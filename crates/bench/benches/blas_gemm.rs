@@ -1,0 +1,90 @@
+//! SGEMM substrate benchmarks: naive vs blocked vs parallel, plus the
+//! packing / microkernel trade-offs the blocked algorithm depends on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ks_blas::{gemm_blocked, gemm_naive, gemm_parallel, GemmConfig, Layout, Matrix};
+
+fn inputs(m: usize, n: usize, k: usize) -> (Matrix, Matrix, Matrix) {
+    let mut state = 42u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+    };
+    (
+        Matrix::from_fn(m, k, Layout::RowMajor, |_, _| next()),
+        Matrix::from_fn(k, n, Layout::ColMajor, |_, _| next()),
+        Matrix::zeros(m, n, Layout::RowMajor),
+    )
+}
+
+fn bench_gemm_variants(c: &mut Criterion) {
+    let (m, n, k) = (256usize, 256, 128);
+    let (a, b, c0) = inputs(m, n, k);
+    let mut g = c.benchmark_group("sgemm_256x256x128");
+    g.throughput(Throughput::Elements((2 * m * n * k) as u64));
+    g.sample_size(10);
+    g.bench_function("naive", |bch| {
+        bch.iter_batched(
+            || c0.clone(),
+            |mut c| gemm_naive(1.0, &a, &b, 0.0, &mut c),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("blocked", |bch| {
+        bch.iter_batched(
+            || c0.clone(),
+            |mut c| gemm_blocked(1.0, &a, &b, 0.0, &mut c, GemmConfig::default()),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("parallel", |bch| {
+        bch.iter_batched(
+            || c0.clone(),
+            |mut c| gemm_parallel(1.0, &a, &b, 0.0, &mut c, GemmConfig::default()),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_blocking_parameters(c: &mut Criterion) {
+    let (m, n, k) = (512usize, 512, 64);
+    let (a, b, c0) = inputs(m, n, k);
+    let mut g = c.benchmark_group("sgemm_blocking");
+    g.sample_size(10);
+    for cfg in [
+        GemmConfig {
+            mc: 32,
+            kc: 32,
+            nc: 128,
+        },
+        GemmConfig {
+            mc: 128,
+            kc: 256,
+            nc: 1024,
+        },
+        GemmConfig {
+            mc: 256,
+            kc: 64,
+            nc: 256,
+        },
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("mc{}_kc{}_nc{}", cfg.mc, cfg.kc, cfg.nc)),
+            &cfg,
+            |bch, cfg| {
+                bch.iter_batched(
+                    || c0.clone(),
+                    |mut c| gemm_blocked(1.0, &a, &b, 0.0, &mut c, *cfg),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm_variants, bench_blocking_parameters);
+criterion_main!(benches);

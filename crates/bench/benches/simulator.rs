@@ -1,0 +1,89 @@
+//! Simulator-substrate throughput benchmarks: how fast the traffic
+//! replay, bank-conflict analysis and cache model run on the host —
+//! the numbers that determine how long the `--full` paper sweep takes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ks_gpu_kernels::{GpuKernelSummation, GpuVariant};
+use ks_gpu_sim::cache::Cache;
+use ks_gpu_sim::smem::warp_transactions;
+use ks_gpu_sim::GpuDevice;
+
+fn bench_smem_conflict_analysis(c: &mut Criterion) {
+    let patterns: Vec<[Option<u32>; 32]> = (0..64)
+        .map(|p| std::array::from_fn(|l| Some(((l * (p + 1)) % 256) as u32)))
+        .collect();
+    let mut g = c.benchmark_group("smem_conflict_analysis");
+    g.throughput(Throughput::Elements(patterns.len() as u64));
+    g.bench_function("64_patterns", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for p in &patterns {
+                acc += warp_transactions(p, 32);
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+fn bench_l2_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("l2_cache_model");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("stream_100k_sectors", |b| {
+        b.iter_batched(
+            || Cache::new(1792 * 1024, 16, 32),
+            |mut l2| {
+                for i in 0..n {
+                    l2.read(i * 32 % (8 * 1024 * 1024));
+                }
+                l2.stats().read_misses
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_pipeline_profile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_profile");
+    g.sample_size(10);
+    for variant in GpuVariant::ALL {
+        g.bench_function(variant.label(), |b| {
+            let ks = GpuKernelSummation::new(4096, 1024, 32, 1.0);
+            b.iter(|| {
+                let mut dev = GpuDevice::gtx970();
+                ks.profile(&mut dev, variant).unwrap().total_time_s()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_functional_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("functional_execution");
+    g.sample_size(10);
+    let (m, n, k) = (256usize, 256, 16);
+    let a: Vec<f32> = (0..m * k).map(|i| (i % 17) as f32 * 0.1).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i % 13) as f32 * 0.1).collect();
+    let w: Vec<f32> = (0..n).map(|i| (i % 7) as f32 * 0.2).collect();
+    g.bench_function("fused_256x256x16", |bch| {
+        let ks = GpuKernelSummation::new(m, n, k, 1.0);
+        bch.iter(|| {
+            let mut dev = GpuDevice::gtx970();
+            ks.execute(&mut dev, GpuVariant::Fused, &a, &b, &w)
+                .unwrap()
+                .0
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_smem_conflict_analysis,
+    bench_l2_model,
+    bench_pipeline_profile,
+    bench_functional_execution
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Profiles the sweep once and prints every exhibit from the shared
+//! data (the efficient path used to populate EXPERIMENTS.md).
+//! `--json PATH` additionally dumps every kernel profile for external
+//! plotting.
+
+use ks_bench::{exhibits, Sweep, SweepData};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let sweep = Sweep::from_args(&args);
+    eprintln!("profiling {} (K, M) points ...", sweep.len());
+    let d = SweepData::compute(sweep);
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let path = args.get(pos + 1).expect("--json needs a path");
+        let dump: Vec<serde_json::Value> = d
+            .points
+            .iter()
+            .map(|p| {
+                serde_json::json!({
+                    "k": p.k,
+                    "m": p.m,
+                    "n": p.n,
+                    "fused": p.fused,
+                    "cuda_unfused": p.cuda_unfused,
+                    "cublas_unfused": p.cublas_unfused,
+                    "fused_energy": p.fused_energy,
+                    "cuda_energy": p.cuda_energy,
+                    "cublas_energy": p.cublas_energy,
+                })
+            })
+            .collect();
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&dump).expect("serialise"),
+        )
+        .expect("write json");
+        eprintln!("wrote {path}");
+    }
+    exhibits::table1_config(&d.device).print("Table I: Configuration (simulated GTX970)", csv);
+    exhibits::fig1_energy_breakdown(&d).print(
+        "Fig 1: Energy breakdown of cuBLAS-Unfused kernel summation (N=1024)",
+        csv,
+    );
+    exhibits::fig2_l2_mpki(&d).print(
+        "Fig 2: L2 MPKI of cuBLAS-Unfused kernel summation (N=1024)",
+        csv,
+    );
+    exhibits::fig6_speedup(&d).print(
+        "Fig 6: Execution time and speedup of fused kernel summation",
+        csv,
+    );
+    exhibits::fig7_gemm_compare(&d).print("Fig 7: CUDA-C GEMM vs vendor GEMM execution time", csv);
+    exhibits::fig8a_l2_transactions(&d)
+        .print("Fig 8a: L2 transactions normalised to cuBLAS-Unfused", csv);
+    exhibits::fig8b_dram_transactions(&d).print(
+        "Fig 8b: DRAM transactions normalised to cuBLAS-Unfused",
+        csv,
+    );
+    exhibits::fig9_energy_compare(&d)
+        .print("Fig 9: Energy breakdown (Compute / SMEM / L2 / DRAM)", csv);
+    exhibits::dram_energy_savings(&d).print(
+        "§V-C detail: DRAM energy savings of Fused vs cuBLAS-Unfused",
+        csv,
+    );
+    exhibits::table2_flop_efficiency(&d).print("Table II: FLOP Efficiency", csv);
+    exhibits::table3_energy_savings(&d).print(
+        "Table III: Energy Savings of Fused compared to cuBLAS-Unfused",
+        csv,
+    );
+}

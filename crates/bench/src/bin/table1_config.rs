@@ -1,0 +1,9 @@
+//! Table I: device configuration of the simulated GTX970.
+
+use ks_bench::exhibits::table1_config;
+use ks_gpu_sim::DeviceConfig;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    table1_config(&DeviceConfig::gtx970()).print("Table I: Configuration (simulated GTX970)", csv);
+}

@@ -1,0 +1,13 @@
+//! Table II: FLOP efficiency (achieved / peak single-precision
+//! throughput) of cuBLAS-Unfused and Fused kernel summation.
+
+use ks_bench::{exhibits, Sweep, SweepData};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let d = SweepData::compute(Sweep::from_args(&args));
+    exhibits::table2_flop_efficiency(&d).print(
+        "Table II: FLOP Efficiency",
+        args.iter().any(|a| a == "--csv"),
+    );
+}

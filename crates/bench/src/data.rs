@@ -1,0 +1,163 @@
+//! Shared profiling engine: every exhibit is a view over one sweep's
+//! worth of pipeline profiles.
+
+use ks_energy::{pipeline_energy, EnergyBreakdown, EnergyParams};
+use ks_gpu_kernels::{GpuKernelSummation, GpuVariant};
+use ks_gpu_sim::profiler::{KernelProfile, PipelineProfile};
+use ks_gpu_sim::{DeviceConfig, GpuDevice};
+use rayon::prelude::*;
+
+use crate::sweep::Sweep;
+
+/// All three pipeline profiles (plus energies) for one `(K, M)` point.
+pub struct PointData {
+    /// Point-space dimension.
+    pub k: usize,
+    /// Source count.
+    pub m: usize,
+    /// Target count.
+    pub n: usize,
+    /// Fused pipeline profile.
+    pub fused: PipelineProfile,
+    /// CUDA-Unfused pipeline profile.
+    pub cuda_unfused: PipelineProfile,
+    /// cuBLAS-Unfused pipeline profile.
+    pub cublas_unfused: PipelineProfile,
+    /// Fused energy.
+    pub fused_energy: EnergyBreakdown,
+    /// CUDA-Unfused energy.
+    pub cuda_energy: EnergyBreakdown,
+    /// cuBLAS-Unfused energy.
+    pub cublas_energy: EnergyBreakdown,
+}
+
+impl PointData {
+    /// Profiles all three variants at `(k, m, n)` on fresh devices.
+    ///
+    /// # Panics
+    /// Panics if the dimensions violate the tiling constraints.
+    #[must_use]
+    pub fn compute(k: usize, m: usize, n: usize) -> Self {
+        let pipeline = GpuKernelSummation::new(m, n, k, 1.0);
+        let params = EnergyParams::default();
+        let run = |variant: GpuVariant| {
+            let mut dev = GpuDevice::gtx970();
+            pipeline.profile(&mut dev, variant).expect("valid launch")
+        };
+        let fused = run(GpuVariant::Fused);
+        let cuda_unfused = run(GpuVariant::CudaUnfused);
+        let cublas_unfused = run(GpuVariant::CublasUnfused);
+        let fused_energy = pipeline_energy(&params, &fused);
+        let cuda_energy = pipeline_energy(&params, &cuda_unfused);
+        let cublas_energy = pipeline_energy(&params, &cublas_unfused);
+        Self {
+            k,
+            m,
+            n,
+            fused,
+            cuda_unfused,
+            cublas_unfused,
+            fused_energy,
+            cuda_energy,
+            cublas_energy,
+        }
+    }
+
+    /// The CUDA-C GEMM kernel profile (third kernel of CUDA-Unfused).
+    #[must_use]
+    pub fn cudac_gemm(&self) -> &KernelProfile {
+        &self.cuda_unfused.kernels[2]
+    }
+
+    /// The vendor (cuBLAS-model) GEMM kernel profile.
+    #[must_use]
+    pub fn vendor_gemm(&self) -> &KernelProfile {
+        &self.cublas_unfused.kernels[2]
+    }
+
+    /// Fused speedup over cuBLAS-Unfused (Fig 6's headline series).
+    #[must_use]
+    pub fn speedup_vs_cublas(&self) -> f64 {
+        self.cublas_unfused.total_time_s() / self.fused.total_time_s()
+    }
+
+    /// Fused speedup over CUDA-Unfused (Fig 6's projected series).
+    #[must_use]
+    pub fn speedup_vs_cuda(&self) -> f64 {
+        self.cuda_unfused.total_time_s() / self.fused.total_time_s()
+    }
+}
+
+/// One full sweep of [`PointData`].
+pub struct SweepData {
+    /// The grid that was profiled.
+    pub sweep: Sweep,
+    /// Per-point data, in `sweep.points()` order.
+    pub points: Vec<PointData>,
+    /// The simulated device (for peaks and Table I).
+    pub device: DeviceConfig,
+}
+
+impl SweepData {
+    /// Profiles the whole grid (points in parallel — each owns its
+    /// device, so they are independent).
+    #[must_use]
+    pub fn compute(sweep: Sweep) -> Self {
+        let pts: Vec<(usize, usize)> = sweep.points().collect();
+        let n = sweep.n;
+        let points: Vec<PointData> = pts
+            .par_iter()
+            .map(|&(k, m)| PointData::compute(k, m, n))
+            .collect();
+        Self {
+            sweep,
+            points,
+            device: DeviceConfig::gtx970(),
+        }
+    }
+
+    /// Data for one `(k, m)` point.
+    #[must_use]
+    pub fn at(&self, k: usize, m: usize) -> Option<&PointData> {
+        self.points.iter().find(|p| p.k == k && p.m == m)
+    }
+
+    /// Points for one K group, in increasing M.
+    pub fn group(&self, k: usize) -> impl Iterator<Item = &PointData> {
+        self.points.iter().filter(move |p| p.k == k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_data_has_expected_kernel_counts() {
+        let p = PointData::compute(32, 1024, 1024);
+        assert_eq!(p.fused.kernels.len(), 3);
+        assert_eq!(p.cuda_unfused.kernels.len(), 4);
+        assert_eq!(p.cublas_unfused.kernels.len(), 4);
+        assert!(p.cudac_gemm().name.contains("cudac"));
+        assert!(p.vendor_gemm().name.contains("vendor"));
+    }
+
+    #[test]
+    fn sweep_data_orders_points() {
+        let d = SweepData::compute(Sweep::smoke());
+        assert_eq!(d.points.len(), 4);
+        assert!(d.at(32, 1024).is_some());
+        assert!(d.at(99, 1024).is_none());
+        assert_eq!(d.group(32).count(), 2);
+    }
+
+    #[test]
+    fn speedups_are_positive() {
+        let p = PointData::compute(32, 2048, 1024);
+        assert!(p.speedup_vs_cublas() > 0.0);
+        assert!(
+            p.speedup_vs_cuda() > p.speedup_vs_cublas(),
+            "CUDA-Unfused must be the slower baseline"
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! One function per paper exhibit, producing a [`TextTable`] from a
+//! [`SweepData`]. Binaries print these; integration tests assert the
+//! paper's claims on the same numbers.
+
+use ks_gpu_sim::DeviceConfig;
+
+use crate::data::SweepData;
+use crate::table::{f3, ms, pct, TextTable};
+
+/// Table I: the simulated device configuration.
+#[must_use]
+pub fn table1_config(dev: &DeviceConfig) -> TextTable {
+    let mut t = TextTable::new(vec!["parameter", "value"]);
+    t.row(vec!["Device".to_string(), dev.name.clone()]);
+    t.row(vec![
+        "Number of Multiprocessors".to_string(),
+        dev.num_sms.to_string(),
+    ]);
+    t.row(vec![
+        "Maximum number of threads per block".to_string(),
+        dev.max_threads_per_block.to_string(),
+    ]);
+    t.row(vec!["Warp size".to_string(), dev.warp_size.to_string()]);
+    t.row(vec![
+        "Maximum number of resident threads per multiprocessor".to_string(),
+        dev.max_threads_per_sm.to_string(),
+    ]);
+    t.row(vec![
+        "Number of 32-bit registers per multiprocessor".to_string(),
+        format!("{}K", dev.regs_per_sm / 1024),
+    ]);
+    t.row(vec![
+        "Maximum number of 32-bit registers per thread".to_string(),
+        dev.max_regs_per_thread.to_string(),
+    ]);
+    t.row(vec![
+        "Maximum amount of shared memory per multiprocessor".to_string(),
+        format!("{}KB", dev.smem_per_sm / 1024),
+    ]);
+    t.row(vec![
+        "Shared Memory Bank Size".to_string(),
+        format!("{}B", dev.smem_bank_bytes),
+    ]);
+    t.row(vec![
+        "Number of shared memory banks".to_string(),
+        dev.smem_banks.to_string(),
+    ]);
+    t.row(vec![
+        "Number of warp schedulers".to_string(),
+        dev.warp_schedulers.to_string(),
+    ]);
+    t.row(vec![
+        "L2 size".to_string(),
+        format!("{:.2}MB", dev.l2_bytes as f64 / (1024.0 * 1024.0)),
+    ]);
+    t
+}
+
+/// Fig 1: energy breakdown of the cuBLAS-Unfused pipeline, as shares
+/// of total energy (compute / shared / L2 / DRAM).
+#[must_use]
+pub fn fig1_energy_breakdown(d: &SweepData) -> TextTable {
+    let mut t = TextTable::new(vec!["K", "M", "compute", "smem", "L2", "DRAM"]);
+    for p in &d.points {
+        let e = &p.cublas_energy;
+        let total = e.total_j();
+        t.row(vec![
+            p.k.to_string(),
+            p.m.to_string(),
+            pct(e.compute_j / total),
+            pct(e.smem_j / total),
+            pct(e.l2_j / total),
+            pct(e.dram_j / total),
+        ]);
+    }
+    t
+}
+
+/// Fig 2: L2 MPKI of the cuBLAS-Unfused pipeline.
+#[must_use]
+pub fn fig2_l2_mpki(d: &SweepData) -> TextTable {
+    let mut t = TextTable::new(vec!["K", "M", "L2 MPKI"]);
+    for p in &d.points {
+        t.row(vec![
+            p.k.to_string(),
+            p.m.to_string(),
+            f3(p.cublas_unfused.l2_mpki()),
+        ]);
+    }
+    t
+}
+
+/// Fig 6: execution times normalised to cuBLAS-Unfused plus the two
+/// speedup series.
+#[must_use]
+pub fn fig6_speedup(d: &SweepData) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "K",
+        "M",
+        "t_fused",
+        "t_cuda_unf",
+        "t_cublas_unf",
+        "norm_fused",
+        "norm_cuda_unf",
+        "speedup_vs_cublas",
+        "speedup_vs_cuda",
+    ]);
+    for p in &d.points {
+        let tc = p.cublas_unfused.total_time_s();
+        t.row(vec![
+            p.k.to_string(),
+            p.m.to_string(),
+            ms(p.fused.total_time_s()),
+            ms(p.cuda_unfused.total_time_s()),
+            ms(tc),
+            f3(p.fused.total_time_s() / tc),
+            f3(p.cuda_unfused.total_time_s() / tc),
+            f3(p.speedup_vs_cublas()),
+            f3(p.speedup_vs_cuda()),
+        ]);
+    }
+    t
+}
+
+/// Fig 7: CUDA-C GEMM vs vendor (cuBLAS-model) GEMM execution time.
+#[must_use]
+pub fn fig7_gemm_compare(d: &SweepData) -> TextTable {
+    let mut t = TextTable::new(vec!["K", "M", "t_cudac_gemm", "t_vendor_gemm", "slowdown"]);
+    for p in &d.points {
+        let tc = p.cudac_gemm().timing.time_s;
+        let tv = p.vendor_gemm().timing.time_s;
+        t.row(vec![
+            p.k.to_string(),
+            p.m.to_string(),
+            ms(tc),
+            ms(tv),
+            f3(tc / tv),
+        ]);
+    }
+    t
+}
+
+/// Fig 8a: L2 transactions normalised to cuBLAS-Unfused.
+#[must_use]
+pub fn fig8a_l2_transactions(d: &SweepData) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "K",
+        "M",
+        "fused",
+        "cuda_unfused",
+        "cublas_unfused(=1)",
+    ]);
+    for p in &d.points {
+        let base = p.cublas_unfused.total_mem().l2_transactions() as f64;
+        t.row(vec![
+            p.k.to_string(),
+            p.m.to_string(),
+            f3(p.fused.total_mem().l2_transactions() as f64 / base),
+            f3(p.cuda_unfused.total_mem().l2_transactions() as f64 / base),
+            "1.000".to_string(),
+        ]);
+    }
+    t
+}
+
+/// Fig 8b: DRAM transactions normalised to cuBLAS-Unfused.
+#[must_use]
+pub fn fig8b_dram_transactions(d: &SweepData) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "K",
+        "M",
+        "fused",
+        "cuda_unfused",
+        "cublas_unfused(=1)",
+    ]);
+    for p in &d.points {
+        let base = p.cublas_unfused.total_mem().dram_transactions() as f64;
+        t.row(vec![
+            p.k.to_string(),
+            p.m.to_string(),
+            f3(p.fused.total_mem().dram_transactions() as f64 / base),
+            f3(p.cuda_unfused.total_mem().dram_transactions() as f64 / base),
+            "1.000".to_string(),
+        ]);
+    }
+    t
+}
+
+/// Fig 9: absolute energy (mJ) split into compute/SMEM/L2/DRAM for all
+/// three solutions.
+#[must_use]
+pub fn fig9_energy_compare(d: &SweepData) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "K",
+        "M",
+        "variant",
+        "compute_mJ",
+        "smem_mJ",
+        "l2_mJ",
+        "dram_mJ",
+        "total_mJ",
+    ]);
+    for p in &d.points {
+        for (label, e) in [
+            ("Fused", &p.fused_energy),
+            ("CUDA-Unfused", &p.cuda_energy),
+            ("cuBLAS-Unfused", &p.cublas_energy),
+        ] {
+            t.row(vec![
+                p.k.to_string(),
+                p.m.to_string(),
+                label.to_string(),
+                f3(e.compute_j * 1e3),
+                f3(e.smem_j * 1e3),
+                f3(e.l2_j * 1e3),
+                f3(e.dram_j * 1e3),
+                f3(e.total_j() * 1e3),
+            ]);
+        }
+    }
+    t
+}
+
+/// Table II: FLOP efficiency of the cuBLAS-Unfused and Fused kernel
+/// summations (cycle-weighted over the pipeline, as the paper does).
+#[must_use]
+pub fn table2_flop_efficiency(d: &SweepData) -> TextTable {
+    let peak = d.device.peak_sp_gflops();
+    let mut t = TextTable::new(vec!["K", "M", "cuBLAS-Unfused", "Fused"]);
+    for p in &d.points {
+        t.row(vec![
+            p.k.to_string(),
+            p.m.to_string(),
+            pct(p.cublas_unfused.flop_efficiency(peak)),
+            pct(p.fused.flop_efficiency(peak)),
+        ]);
+    }
+    t
+}
+
+/// Table III: total-energy savings of Fused vs cuBLAS-Unfused.
+#[must_use]
+pub fn table3_energy_savings(d: &SweepData) -> TextTable {
+    let mut t = TextTable::new(vec!["K", "M", "energy saving"]);
+    for p in &d.points {
+        t.row(vec![
+            p.k.to_string(),
+            p.m.to_string(),
+            pct(p.fused_energy.saving_vs(&p.cublas_energy)),
+        ]);
+    }
+    t
+}
+
+/// DRAM-energy saving detail quoted in §V-C ("the Fused approach saves
+/// more than 80% of the DRAM access energy").
+#[must_use]
+pub fn dram_energy_savings(d: &SweepData) -> TextTable {
+    let mut t = TextTable::new(vec!["K", "M", "DRAM energy saving", "share of total"]);
+    for p in &d.points {
+        let saving = 1.0 - p.fused_energy.dram_j / p.cublas_energy.dram_j;
+        let of_total = (p.cublas_energy.dram_j - p.fused_energy.dram_j) / p.cublas_energy.total_j();
+        t.row(vec![
+            p.k.to_string(),
+            p.m.to_string(),
+            pct(saving),
+            pct(of_total),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::Sweep;
+
+    fn data() -> SweepData {
+        SweepData::compute(Sweep::smoke())
+    }
+
+    #[test]
+    fn all_exhibits_render_nonempty() {
+        let d = data();
+        for (name, t) in [
+            ("fig1", fig1_energy_breakdown(&d)),
+            ("fig2", fig2_l2_mpki(&d)),
+            ("fig6", fig6_speedup(&d)),
+            ("fig7", fig7_gemm_compare(&d)),
+            ("fig8a", fig8a_l2_transactions(&d)),
+            ("fig8b", fig8b_dram_transactions(&d)),
+            ("fig9", fig9_energy_compare(&d)),
+            ("table2", table2_flop_efficiency(&d)),
+            ("table3", table3_energy_savings(&d)),
+            ("dram", dram_energy_savings(&d)),
+        ] {
+            assert!(!t.is_empty(), "{name} is empty");
+            assert!(!t.render(name).is_empty());
+            assert!(t.to_csv().lines().count() >= 2);
+        }
+    }
+
+    #[test]
+    fn table1_lists_every_table_i_row() {
+        let t = table1_config(&DeviceConfig::gtx970());
+        let r = t.render("Table I");
+        for needle in [
+            "Multiprocessors",
+            "Warp size",
+            "L2 size",
+            "1.75MB",
+            "warp schedulers",
+        ] {
+            assert!(r.contains(needle), "missing {needle}: {r}");
+        }
+    }
+}

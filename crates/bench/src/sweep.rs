@@ -1,0 +1,127 @@
+//! Parameter grids (§IV: "The value of dimension K is set to 32, 64,
+//! 128, and 256 in each group, and the value of dimension N is fixed
+//! to 1024 in all groups. Within each group, the value of M dimension
+//! increases from 1024 to 524288.").
+
+/// The paper's K values.
+pub const PAPER_K: [usize; 4] = [32, 64, 128, 256];
+/// The paper's fixed N.
+pub const PAPER_N: usize = 1024;
+
+/// A `(K, M)` grid with fixed `N`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sweep {
+    /// Point-space dimensions to test.
+    pub k_values: Vec<usize>,
+    /// Source-point counts to test.
+    pub m_values: Vec<usize>,
+    /// Target-point count (fixed).
+    pub n: usize,
+}
+
+fn doublings(from: usize, to: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut m = from;
+    while m <= to {
+        v.push(m);
+        m *= 2;
+    }
+    v
+}
+
+impl Sweep {
+    /// The paper's full grid: `M ∈ {1024, 2048, …, 524288}`.
+    /// Budget ~10–20 minutes of traffic replay.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            k_values: PAPER_K.to_vec(),
+            m_values: doublings(1024, 524_288),
+            n: PAPER_N,
+        }
+    }
+
+    /// Default grid: the same shape capped at `M = 65536`
+    /// (~1–2 minutes).
+    #[must_use]
+    pub fn scaled() -> Self {
+        Self {
+            k_values: PAPER_K.to_vec(),
+            m_values: doublings(1024, 65_536),
+            n: PAPER_N,
+        }
+    }
+
+    /// CI-sized grid (seconds).
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            k_values: vec![32, 256],
+            m_values: vec![1024, 4096],
+            n: PAPER_N,
+        }
+    }
+
+    /// Chooses a sweep from command-line arguments: `--full` /
+    /// `--smoke`, default scaled.
+    #[must_use]
+    pub fn from_args(args: &[String]) -> Self {
+        if args.iter().any(|a| a == "--full") {
+            Self::paper()
+        } else if args.iter().any(|a| a == "--smoke") {
+            Self::smoke()
+        } else {
+            Self::scaled()
+        }
+    }
+
+    /// All `(k, m)` points, K-major (the paper's grouping).
+    pub fn points(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.k_values
+            .iter()
+            .flat_map(move |&k| self.m_values.iter().map(move |&m| (k, m)))
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.k_values.len() * self.m_values.len()
+    }
+
+    /// True if the grid is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sweep_matches_section_4() {
+        let s = Sweep::paper();
+        assert_eq!(s.k_values, vec![32, 64, 128, 256]);
+        assert_eq!(s.n, 1024);
+        assert_eq!(*s.m_values.first().unwrap(), 1024);
+        assert_eq!(*s.m_values.last().unwrap(), 524_288);
+        assert_eq!(s.m_values.len(), 10);
+    }
+
+    #[test]
+    fn points_are_k_major() {
+        let s = Sweep::smoke();
+        let pts: Vec<_> = s.points().collect();
+        assert_eq!(pts, vec![(32, 1024), (32, 4096), (256, 1024), (256, 4096)]);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn args_select_sweeps() {
+        assert_eq!(Sweep::from_args(&["--full".into()]), Sweep::paper());
+        assert_eq!(Sweep::from_args(&["--smoke".into()]), Sweep::smoke());
+        assert_eq!(Sweep::from_args(&[]), Sweep::scaled());
+    }
+}

@@ -1,0 +1,155 @@
+//! Plain-text table rendering (fixed-width columns + optional CSV).
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows are present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns and a title line.
+    #[must_use]
+    pub fn render(&self, title: &str) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {title} ==");
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{:>width$}", cells[i], width = widths[i]);
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV rendering (no quoting — cells are numeric/simple labels).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table (and CSV when `csv` is set).
+    pub fn print(&self, title: &str, csv: bool) {
+        if csv {
+            print!("{}", self.to_csv());
+        } else {
+            println!("{}", self.render(title));
+        }
+    }
+}
+
+/// Formats a float with 3 significant decimals.
+#[must_use]
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a ratio as a percentage with one decimal.
+#[must_use]
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Formats seconds as engineering-friendly milliseconds.
+#[must_use]
+pub fn ms(v_s: f64) -> String {
+    format!("{:.3}ms", v_s * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["K", "value"]);
+        t.row(vec!["32", "1.5"]);
+        t.row(vec!["256", "10.25"]);
+        let r = t.render("demo");
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("K"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["1"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.125), "12.5%");
+        assert_eq!(ms(0.001234), "1.234ms");
+    }
+}

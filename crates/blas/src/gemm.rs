@@ -1,0 +1,434 @@
+//! Single-precision general matrix-matrix multiply (`C ← α·A·B + β·C`).
+//!
+//! Three implementations with identical semantics:
+//!
+//! * [`gemm_naive`] — triple loop; the oracle everything else is tested
+//!   against.
+//! * [`gemm_blocked`] — GotoBLAS-style cache blocking (MC/KC/NC) with
+//!   packed panels and the 8×8 register microkernel.
+//! * [`gemm_parallel`] — the blocked algorithm with rayon parallelism
+//!   over M-blocks (the CPU analogue of the GPU grid of thread blocks;
+//!   each M-block × N-block pair is an independent task, exactly like
+//!   the paper's `submatrixC` decomposition).
+
+use rayon::prelude::*;
+
+use crate::matrix::Matrix;
+use crate::microkernel::{microkernel_8x8, microkernel_edge, MR, NR};
+use crate::pack::{pack_a, pack_b};
+
+/// Cache-blocking parameters for [`gemm_blocked`] / [`gemm_parallel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmConfig {
+    /// Rows of A packed per outer iteration (L2-resident block).
+    pub mc: usize,
+    /// Depth of the packed panels (L1-resident block).
+    pub kc: usize,
+    /// Columns of B packed per outer iteration (L3-resident block).
+    pub nc: usize,
+}
+
+impl Default for GemmConfig {
+    fn default() -> Self {
+        // Sized for a ~256KB L2 / 32KB L1 class core; also exercised by
+        // the ablation benches with other values.
+        Self {
+            mc: 128,
+            kc: 256,
+            nc: 1024,
+        }
+    }
+}
+
+impl GemmConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics if any block dimension is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.mc > 0 && self.kc > 0 && self.nc > 0,
+            "GEMM block sizes must be non-zero"
+        );
+    }
+}
+
+fn check_dims(a: &Matrix, b: &Matrix, c: &Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "GEMM inner dimensions differ: A is {}x{}, B is {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    assert_eq!(
+        c.rows(),
+        a.rows(),
+        "C row count {} != A row count {}",
+        c.rows(),
+        a.rows()
+    );
+    assert_eq!(
+        c.cols(),
+        b.cols(),
+        "C col count {} != B col count {}",
+        c.cols(),
+        b.cols()
+    );
+}
+
+/// Reference triple-loop GEMM: `C ← α·A·B + β·C`.
+///
+/// Accumulates in `f64` so it can serve as a tight oracle.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemm_naive(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    check_dims(a, b, c);
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for p in 0..k {
+                acc += a.get(i, p) as f64 * b.get(p, j) as f64;
+            }
+            let v = alpha as f64 * acc + beta as f64 * c.get(i, j) as f64;
+            c.set(i, j, v as f32);
+        }
+    }
+}
+
+/// Scales `c` by `beta` in place (`beta == 1` is a no-op, `beta == 0`
+/// zeroes, matching BLAS semantics where `0 * NaN = 0`).
+fn scale_c(beta: f32, c: &mut Matrix) {
+    if beta == 1.0 {
+        return;
+    }
+    if beta == 0.0 {
+        c.as_mut_slice().fill(0.0);
+    } else {
+        for v in c.as_mut_slice() {
+            *v *= beta;
+        }
+    }
+}
+
+/// Inner macro-kernel: multiplies one packed A block (mc×kc) by one
+/// packed B block (kc×nc) into the row-major scratch `c_block`
+/// (mc rows × nc cols, leading dimension `nc_ld`).
+fn macro_kernel(
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    packed_a: &[f32],
+    packed_b: &[f32],
+    c_block: &mut [f32],
+    nc_ld: usize,
+) {
+    let m_panels = mc.div_ceil(MR);
+    let n_panels = nc.div_ceil(NR);
+    for jp in 0..n_panels {
+        let nr = NR.min(nc - jp * NR);
+        let b_panel = &packed_b[jp * kc * NR..(jp + 1) * kc * NR];
+        for ip in 0..m_panels {
+            let mr = MR.min(mc - ip * MR);
+            let a_panel = &packed_a[ip * kc * MR..(ip + 1) * kc * MR];
+            let c_off = ip * MR * nc_ld + jp * NR;
+            if mr == MR && nr == NR {
+                microkernel_8x8(kc, a_panel, b_panel, &mut c_block[c_off..], nc_ld);
+            } else {
+                microkernel_edge(kc, mr, nr, a_panel, b_panel, &mut c_block[c_off..], nc_ld);
+            }
+        }
+    }
+}
+
+/// Blocked, packed GEMM: `C ← α·A·B + β·C`.
+///
+/// # Panics
+/// Panics on dimension mismatch or a zero block size in `cfg`.
+pub fn gemm_blocked(
+    alpha: f32,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f32,
+    c: &mut Matrix,
+    cfg: GemmConfig,
+) {
+    check_dims(a, b, c);
+    cfg.validate();
+    scale_c(beta, c);
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+
+    let mut packed_a = Vec::new();
+    let mut packed_b = Vec::new();
+    let mut c_scratch = Vec::new();
+
+    for jc in (0..n).step_by(cfg.nc) {
+        let nc = cfg.nc.min(n - jc);
+        for pc in (0..k).step_by(cfg.kc) {
+            let kc = cfg.kc.min(k - pc);
+            pack_b(b, pc, jc, kc, nc, &mut packed_b);
+            for ic in (0..m).step_by(cfg.mc) {
+                let mc = cfg.mc.min(m - ic);
+                pack_a(a, ic, pc, mc, kc, &mut packed_a);
+                c_scratch.clear();
+                c_scratch.resize(mc.div_ceil(MR) * MR * nc, 0.0);
+                macro_kernel(mc, nc, kc, &packed_a, &packed_b, &mut c_scratch, nc);
+                for i in 0..mc {
+                    for j in 0..nc {
+                        c.add_assign(ic + i, jc + j, alpha * c_scratch[i * nc + j]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parallel blocked GEMM. Work is split over row blocks of `C`
+/// (independent tasks, mirroring the GPU thread-block decomposition)
+/// and executed on the global rayon pool.
+///
+/// # Panics
+/// Panics on dimension mismatch or a zero block size in `cfg`.
+pub fn gemm_parallel(
+    alpha: f32,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f32,
+    c: &mut Matrix,
+    cfg: GemmConfig,
+) {
+    check_dims(a, b, c);
+    cfg.validate();
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    scale_c(beta, c);
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+
+    // Each task owns a horizontal strip of C. Collect the strips first
+    // so we can hand out disjoint &mut windows without unsafe.
+    let strips: Vec<(usize, usize)> = (0..m)
+        .step_by(cfg.mc)
+        .map(|ic| (ic, cfg.mc.min(m - ic)))
+        .collect();
+
+    let results: Vec<(usize, usize, Vec<f32>)> = strips
+        .par_iter()
+        .map(|&(ic, mc)| {
+            let mut packed_a = Vec::new();
+            let mut packed_b = Vec::new();
+            let mut strip = vec![0.0f32; mc * n];
+            for jc in (0..n).step_by(cfg.nc) {
+                let nc = cfg.nc.min(n - jc);
+                for pc in (0..k).step_by(cfg.kc) {
+                    let kc = cfg.kc.min(k - pc);
+                    pack_b(b, pc, jc, kc, nc, &mut packed_b);
+                    pack_a(a, ic, pc, mc, kc, &mut packed_a);
+                    let mut c_scratch = vec![0.0f32; mc.div_ceil(MR) * MR * nc];
+                    macro_kernel(mc, nc, kc, &packed_a, &packed_b, &mut c_scratch, nc);
+                    for i in 0..mc {
+                        for j in 0..nc {
+                            strip[i * n + jc + j] += c_scratch[i * nc + j];
+                        }
+                    }
+                }
+            }
+            (ic, mc, strip)
+        })
+        .collect();
+
+    for (ic, mc, strip) in results {
+        for i in 0..mc {
+            for j in 0..n {
+                c.add_assign(ic + i, j, alpha * strip[i * n + j]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Layout;
+
+    fn rand_matrix(rows: usize, cols: usize, layout: Layout, seed: u64) -> Matrix {
+        // Simple deterministic LCG; avoids pulling rand into unit tests.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        Matrix::from_fn(rows, cols, layout, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        let d = a.max_abs_diff(b);
+        assert!(d <= tol, "max abs diff {d} > {tol}");
+    }
+
+    #[test]
+    fn blocked_matches_naive_square() {
+        let a = rand_matrix(64, 48, Layout::RowMajor, 1);
+        let b = rand_matrix(48, 56, Layout::ColMajor, 2);
+        let mut c0 = rand_matrix(64, 56, Layout::RowMajor, 3);
+        let mut c1 = c0.clone();
+        gemm_naive(1.0, &a, &b, 0.5, &mut c0);
+        gemm_blocked(
+            1.0,
+            &a,
+            &b,
+            0.5,
+            &mut c1,
+            GemmConfig {
+                mc: 16,
+                kc: 8,
+                nc: 24,
+            },
+        );
+        assert_close(&c0, &c1, 1e-3);
+    }
+
+    #[test]
+    fn blocked_handles_fringe_dims() {
+        // Deliberately awkward sizes: nothing divides MR/NR or the blocks.
+        let a = rand_matrix(37, 13, Layout::RowMajor, 7);
+        let b = rand_matrix(13, 29, Layout::ColMajor, 8);
+        let mut c0 = Matrix::zeros(37, 29, Layout::RowMajor);
+        let mut c1 = c0.clone();
+        gemm_naive(2.0, &a, &b, 0.0, &mut c0);
+        gemm_blocked(
+            2.0,
+            &a,
+            &b,
+            0.0,
+            &mut c1,
+            GemmConfig {
+                mc: 10,
+                kc: 5,
+                nc: 12,
+            },
+        );
+        assert_close(&c0, &c1, 1e-3);
+    }
+
+    #[test]
+    fn parallel_matches_naive() {
+        let a = rand_matrix(100, 33, Layout::RowMajor, 11);
+        let b = rand_matrix(33, 70, Layout::ColMajor, 12);
+        let mut c0 = rand_matrix(100, 70, Layout::RowMajor, 13);
+        let mut c1 = c0.clone();
+        gemm_naive(1.5, &a, &b, -0.5, &mut c0);
+        gemm_parallel(
+            1.5,
+            &a,
+            &b,
+            -0.5,
+            &mut c1,
+            GemmConfig {
+                mc: 24,
+                kc: 16,
+                nc: 32,
+            },
+        );
+        assert_close(&c0, &c1, 2e-3);
+    }
+
+    #[test]
+    fn beta_zero_overwrites_garbage() {
+        let a = rand_matrix(8, 8, Layout::RowMajor, 21);
+        let b = rand_matrix(8, 8, Layout::ColMajor, 22);
+        let mut c = Matrix::from_fn(8, 8, Layout::RowMajor, |_, _| f32::NAN);
+        gemm_blocked(1.0, &a, &b, 0.0, &mut c, GemmConfig::default());
+        assert!(
+            c.as_slice().iter().all(|v| v.is_finite()),
+            "beta=0 must clear NaNs"
+        );
+    }
+
+    #[test]
+    fn alpha_zero_only_scales() {
+        let a = rand_matrix(4, 4, Layout::RowMajor, 31);
+        let b = rand_matrix(4, 4, Layout::ColMajor, 32);
+        let mut c = Matrix::from_fn(4, 4, Layout::RowMajor, |r, _| r as f32);
+        gemm_parallel(0.0, &a, &b, 2.0, &mut c, GemmConfig::default());
+        for r in 0..4 {
+            for j in 0..4 {
+                assert_eq!(c.get(r, j), 2.0 * r as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn works_with_row_major_b_too() {
+        let a = rand_matrix(20, 10, Layout::ColMajor, 41);
+        let b = rand_matrix(10, 15, Layout::RowMajor, 42);
+        let mut c0 = Matrix::zeros(20, 15, Layout::ColMajor);
+        let mut c1 = c0.clone();
+        gemm_naive(1.0, &a, &b, 0.0, &mut c0);
+        gemm_blocked(
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c1,
+            GemmConfig {
+                mc: 7,
+                kc: 3,
+                nc: 4,
+            },
+        );
+        assert_close(&c0, &c1, 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn rejects_mismatched_inner_dims() {
+        let a = Matrix::zeros(2, 3, Layout::RowMajor);
+        let b = Matrix::zeros(4, 2, Layout::ColMajor);
+        let mut c = Matrix::zeros(2, 2, Layout::RowMajor);
+        gemm_naive(1.0, &a, &b, 0.0, &mut c);
+    }
+
+    #[test]
+    fn empty_matrices_are_noops() {
+        let a = Matrix::zeros(0, 5, Layout::RowMajor);
+        let b = Matrix::zeros(5, 0, Layout::ColMajor);
+        let mut c = Matrix::zeros(0, 0, Layout::RowMajor);
+        gemm_blocked(1.0, &a, &b, 1.0, &mut c, GemmConfig::default());
+        gemm_parallel(1.0, &a, &b, 1.0, &mut c, GemmConfig::default());
+    }
+
+    #[test]
+    fn identity_times_matrix_is_matrix() {
+        let n = 24;
+        let eye = Matrix::from_fn(
+            n,
+            n,
+            Layout::RowMajor,
+            |r, c| if r == c { 1.0 } else { 0.0 },
+        );
+        let b = rand_matrix(n, n, Layout::ColMajor, 55);
+        let mut c = Matrix::zeros(n, n, Layout::RowMajor);
+        gemm_parallel(
+            1.0,
+            &eye,
+            &b,
+            0.0,
+            &mut c,
+            GemmConfig {
+                mc: 8,
+                kc: 8,
+                nc: 8,
+            },
+        );
+        assert_close(&c, &b.to_layout(Layout::RowMajor), 1e-5);
+    }
+}

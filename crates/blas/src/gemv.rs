@@ -1,0 +1,122 @@
+//! Single-precision matrix-vector multiply (`y ← α·A·x + β·y`).
+//!
+//! The final step of the unfused kernel-summation pipeline
+//! (`V ← K·W`, Algorithm 1 line 16). Accumulation is done in `f64`
+//! per output element so the sequential and parallel variants agree to
+//! within rounding of the final store.
+
+use rayon::prelude::*;
+
+use crate::matrix::Matrix;
+
+fn check_dims(a: &Matrix, x: &[f32], y: &[f32]) {
+    assert_eq!(
+        a.cols(),
+        x.len(),
+        "GEMV: A has {} cols but x has {} elements",
+        a.cols(),
+        x.len()
+    );
+    assert_eq!(
+        a.rows(),
+        y.len(),
+        "GEMV: A has {} rows but y has {} elements",
+        a.rows(),
+        y.len()
+    );
+}
+
+/// Sequential GEMV: `y ← α·A·x + β·y`.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemv(alpha: f32, a: &Matrix, x: &[f32], beta: f32, y: &mut [f32]) {
+    check_dims(a, x, y);
+    for (i, yi) in y.iter_mut().enumerate() {
+        let mut acc = 0.0f64;
+        for (j, xj) in x.iter().enumerate() {
+            acc += a.get(i, j) as f64 * *xj as f64;
+        }
+        let base = if beta == 0.0 {
+            0.0
+        } else {
+            beta as f64 * *yi as f64
+        };
+        *yi = (alpha as f64 * acc + base) as f32;
+    }
+}
+
+/// Parallel GEMV over output rows.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemv_parallel(alpha: f32, a: &Matrix, x: &[f32], beta: f32, y: &mut [f32]) {
+    check_dims(a, x, y);
+    y.par_iter_mut().enumerate().for_each(|(i, yi)| {
+        let mut acc = 0.0f64;
+        for (j, xj) in x.iter().enumerate() {
+            acc += a.get(i, j) as f64 * *xj as f64;
+        }
+        let base = if beta == 0.0 {
+            0.0
+        } else {
+            beta as f64 * *yi as f64
+        };
+        *yi = (alpha as f64 * acc + base) as f32;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Layout;
+
+    #[test]
+    fn matches_hand_computation() {
+        let a = Matrix::from_vec(2, 3, Layout::RowMajor, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = [1.0, 0.5, -1.0];
+        let mut y = [10.0, 20.0];
+        gemv(2.0, &a, &x, 1.0, &mut y);
+        // row0: 1 + 1 - 3 = -1 -> 2*-1 + 10 = 8 ; row1: 4 + 2.5 - 6 = 0.5 -> 1 + 20 = 21
+        assert_eq!(y, [8.0, 21.0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = Matrix::from_fn(127, 63, Layout::ColMajor, |r, c| {
+            ((r * 7 + c * 3) % 11) as f32 - 5.0
+        });
+        let x: Vec<f32> = (0..63).map(|i| (i as f32).sin()).collect();
+        let mut y0 = vec![1.0f32; 127];
+        let mut y1 = y0.clone();
+        gemv(0.7, &a, &x, -0.2, &mut y0);
+        gemv_parallel(0.7, &a, &x, -0.2, &mut y1);
+        for (u, v) in y0.iter().zip(y1.iter()) {
+            assert!((u - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn beta_zero_clears_nan() {
+        let a = Matrix::zeros(3, 2, Layout::RowMajor);
+        let x = [1.0, 1.0];
+        let mut y = [f32::NAN; 3];
+        gemv(1.0, &a, &x, 0.0, &mut y);
+        assert_eq!(y, [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "GEMV")]
+    fn rejects_bad_x_len() {
+        let a = Matrix::zeros(2, 3, Layout::RowMajor);
+        let mut y = [0.0; 2];
+        gemv(1.0, &a, &[1.0; 4], 0.0, &mut y);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Matrix::zeros(0, 0, Layout::RowMajor);
+        let mut y: [f32; 0] = [];
+        gemv_parallel(1.0, &a, &[], 1.0, &mut y);
+    }
+}

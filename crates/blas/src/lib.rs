@@ -1,0 +1,31 @@
+//! # ks-blas — CPU BLAS substrate
+//!
+//! A small, self-contained, single-precision BLAS built for the kernel
+//! summation reproduction. It provides the pieces the paper's host-side
+//! pipeline depends on (the paper uses Intel MKL on the host and cuBLAS
+//! on the device; both are closed — we build our own):
+//!
+//! * [`Matrix`] — dense matrix with explicit row-/column-major layout,
+//!   matching the paper's convention (`A` row-major, `B` column-major).
+//! * [`gemm`] — naive, blocked, and packed + rayon-parallel SGEMM.
+//! * [`gemv`](crate::gemv()) — SGEMV.
+//! * [`norms`] — row/column squared norms (`‖α_i‖²`, `‖β_j‖²`).
+//! * [`pack`] / [`microkernel`] — panel packing and the register-blocked
+//!   8×8 microkernel, mirroring the GPU kernel's microtile structure.
+//!
+//! All routines are deterministic and are used as correctness oracles
+//! for the GPU-simulated kernels in `ks-gpu-kernels`.
+
+#![warn(missing_docs)]
+
+pub mod gemm;
+pub mod gemv;
+pub mod matrix;
+pub mod microkernel;
+pub mod norms;
+pub mod pack;
+
+pub use gemm::{gemm_blocked, gemm_naive, gemm_parallel, GemmConfig};
+pub use gemv::{gemv, gemv_parallel};
+pub use matrix::{Layout, Matrix};
+pub use norms::{col_sq_norms, row_sq_norms};

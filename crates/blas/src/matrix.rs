@@ -1,0 +1,321 @@
+//! Dense single-precision matrix with explicit storage layout.
+//!
+//! The paper fixes the layouts of its operands: the source-point matrix
+//! `A` (M×K) is row-major and the target-point matrix `B` (K×N) is
+//! column-major, so that both are traversed contiguously along the K
+//! dimension during the rank-8 updates. [`Matrix`] makes the layout part
+//! of the value so every routine in the workspace can assert it instead
+//! of silently mis-indexing.
+
+/// Storage order of a [`Matrix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Row-major: element `(r, c)` lives at `r * cols + c`.
+    RowMajor,
+    /// Column-major: element `(r, c)` lives at `c * rows + r`.
+    ColMajor,
+}
+
+impl Layout {
+    /// The other layout.
+    #[must_use]
+    pub fn flipped(self) -> Layout {
+        match self {
+            Layout::RowMajor => Layout::ColMajor,
+            Layout::ColMajor => Layout::RowMajor,
+        }
+    }
+}
+
+/// A dense `rows × cols` matrix of `f32` in a contiguous allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+    layout: Layout,
+}
+
+impl Matrix {
+    /// An all-zero matrix.
+    ///
+    /// # Panics
+    /// Panics if `rows * cols` overflows `usize`.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize, layout: Layout) -> Self {
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix dimensions overflow usize");
+        Self {
+            data: vec![0.0; len],
+            rows,
+            cols,
+            layout,
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every element.
+    #[must_use]
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        layout: Layout,
+        mut f: impl FnMut(usize, usize) -> f32,
+    ) -> Self {
+        let mut m = Self::zeros(rows, cols, layout);
+        match layout {
+            Layout::RowMajor => {
+                for r in 0..rows {
+                    for c in 0..cols {
+                        m.data[r * cols + c] = f(r, c);
+                    }
+                }
+            }
+            Layout::ColMajor => {
+                for c in 0..cols {
+                    for r in 0..rows {
+                        m.data[c * rows + r] = f(r, c);
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Wraps an existing buffer. `data.len()` must equal `rows * cols`.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, layout: Layout, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self {
+            data,
+            rows,
+            cols,
+            layout,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Storage layout.
+    #[inline]
+    #[must_use]
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Linear index of element `(r, c)` in the backing buffer.
+    #[inline]
+    #[must_use]
+    pub fn index(&self, r: usize, c: usize) -> usize {
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds {}x{}",
+            self.rows,
+            self.cols
+        );
+        match self.layout {
+            Layout::RowMajor => r * self.cols + c,
+            Layout::ColMajor => c * self.rows + r,
+        }
+    }
+
+    /// Element `(r, c)`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[self.index(r, c)]
+    }
+
+    /// Overwrites element `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        let i = self.index(r, c);
+        self.data[i] = v;
+    }
+
+    /// Adds `v` to element `(r, c)`.
+    #[inline]
+    pub fn add_assign(&mut self, r: usize, c: usize, v: f32) {
+        let i = self.index(r, c);
+        self.data[i] += v;
+    }
+
+    /// Read-only view of the backing buffer (layout order).
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer (layout order).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the backing buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// A copy of row `r` as a contiguous vector.
+    #[must_use]
+    pub fn row_copy(&self, r: usize) -> Vec<f32> {
+        (0..self.cols).map(|c| self.get(r, c)).collect()
+    }
+
+    /// A copy of column `c` as a contiguous vector.
+    #[must_use]
+    pub fn col_copy(&self, c: usize) -> Vec<f32> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Same logical matrix, re-stored in `layout`.
+    #[must_use]
+    pub fn to_layout(&self, layout: Layout) -> Matrix {
+        if layout == self.layout {
+            return self.clone();
+        }
+        Matrix::from_fn(self.rows, self.cols, layout, |r, c| self.get(r, c))
+    }
+
+    /// The transpose, stored in the same layout as `self`.
+    #[must_use]
+    pub fn transposed(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, self.layout, |r, c| self.get(c, r))
+    }
+
+    /// Largest absolute element-wise difference between two
+    /// equally-shaped matrices (layouts may differ).
+    ///
+    /// # Panics
+    /// Panics on a shape mismatch.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        let mut worst = 0.0f32;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                worst = worst.max((self.get(r, c) - other.get(r, c)).abs());
+            }
+        }
+        worst
+    }
+
+    /// Frobenius norm.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data
+            .iter()
+            .map(|v| (*v as f64) * (*v as f64))
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_shape_and_content() {
+        let m = Matrix::zeros(3, 5, Layout::RowMajor);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 5);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn row_major_indexing_matches_definition() {
+        let m = Matrix::from_fn(2, 3, Layout::RowMajor, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m.get(1, 2), 12.0);
+    }
+
+    #[test]
+    fn col_major_indexing_matches_definition() {
+        let m = Matrix::from_fn(2, 3, Layout::ColMajor, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 10.0, 1.0, 11.0, 2.0, 12.0]);
+        assert_eq!(m.get(1, 2), 12.0);
+    }
+
+    #[test]
+    fn layout_round_trip_preserves_elements() {
+        let m = Matrix::from_fn(4, 7, Layout::RowMajor, |r, c| (r * 100 + c) as f32);
+        let back = m.to_layout(Layout::ColMajor).to_layout(Layout::RowMajor);
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let m = Matrix::from_fn(3, 4, Layout::ColMajor, |r, c| (r * 13 + c * 7) as f32);
+        assert_eq!(m.transposed().transposed(), m);
+        assert_eq!(m.transposed().get(2, 1), m.get(1, 2));
+    }
+
+    #[test]
+    fn set_and_add_assign() {
+        let mut m = Matrix::zeros(2, 2, Layout::RowMajor);
+        m.set(0, 1, 3.0);
+        m.add_assign(0, 1, 2.0);
+        assert_eq!(m.get(0, 1), 5.0);
+    }
+
+    #[test]
+    fn row_and_col_copy() {
+        let m = Matrix::from_fn(2, 3, Layout::ColMajor, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.row_copy(1), vec![10.0, 11.0, 12.0]);
+        assert_eq!(m.col_copy(2), vec![2.0, 12.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_across_layouts() {
+        let a = Matrix::from_fn(3, 3, Layout::RowMajor, |r, c| (r + c) as f32);
+        let mut b = a.to_layout(Layout::ColMajor);
+        b.set(2, 0, b.get(2, 0) + 0.5);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_wrong_length() {
+        let _ = Matrix::from_vec(2, 2, Layout::RowMajor, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn frobenius_norm_simple() {
+        let m = Matrix::from_vec(1, 2, Layout::RowMajor, vec![3.0, 4.0]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flipped_layout() {
+        assert_eq!(Layout::RowMajor.flipped(), Layout::ColMajor);
+        assert_eq!(Layout::ColMajor.flipped(), Layout::RowMajor);
+    }
+}

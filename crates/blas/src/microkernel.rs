@@ -1,0 +1,153 @@
+//! Register-blocked GEMM microkernel.
+//!
+//! The CPU analogue of the GPU thread's 8×8 `microtileC`: an
+//! `MR × NR` accumulator tile updated with a sequence of rank-1 updates
+//! from packed A- and B-panels. `MR = NR = 8` mirrors the paper's
+//! per-thread microtile, keeps the accumulator in registers, and lets
+//! LLVM auto-vectorise the inner loop.
+
+/// Rows of the microtile (per-thread tile height in the paper).
+pub const MR: usize = 8;
+/// Columns of the microtile (per-thread tile width in the paper).
+pub const NR: usize = 8;
+
+/// Computes `c[MR×NR] += a_panel · b_panel` where
+/// `a_panel` is `kc` MR-element column slivers (packed contiguously)
+/// and `b_panel` is `kc` NR-element row slivers.
+///
+/// `c` is row-major with leading dimension `ldc`.
+///
+/// # Panics
+/// Debug-asserts panel lengths.
+#[inline]
+pub fn microkernel_8x8(kc: usize, a_panel: &[f32], b_panel: &[f32], c: &mut [f32], ldc: usize) {
+    debug_assert!(a_panel.len() >= kc * MR);
+    debug_assert!(b_panel.len() >= kc * NR);
+    debug_assert!(c.len() >= (MR - 1) * ldc + NR);
+
+    // Accumulate in a local array: the compiler keeps this in vector
+    // registers, exactly as the GPU thread keeps microtileC in its RF.
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let a = &a_panel[p * MR..p * MR + MR];
+        let b = &b_panel[p * NR..p * NR + NR];
+        for (i, ai) in a.iter().enumerate() {
+            for (j, bj) in b.iter().enumerate() {
+                acc[i][j] += ai * bj;
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate() {
+        let dst = &mut c[i * ldc..i * ldc + NR];
+        for (d, v) in dst.iter_mut().zip(row.iter()) {
+            *d += v;
+        }
+    }
+}
+
+/// Edge-case microkernel for partial tiles (`mr ≤ MR`, `nr ≤ NR`).
+///
+/// Slower than [`microkernel_8x8`]; only used on matrix fringes.
+#[inline]
+pub fn microkernel_edge(
+    kc: usize,
+    mr: usize,
+    nr: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+) {
+    debug_assert!(mr <= MR && nr <= NR);
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let a = &a_panel[p * MR..p * MR + MR];
+        let b = &b_panel[p * NR..p * NR + NR];
+        for i in 0..mr {
+            for j in 0..nr {
+                acc[i][j] += a[i] * b[j];
+            }
+        }
+    }
+    for i in 0..mr {
+        for j in 0..nr {
+            c[i * ldc + j] += acc[i][j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(kc: usize, mr: usize, nr: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; mr * nr];
+        for p in 0..kc {
+            for i in 0..mr {
+                for j in 0..nr {
+                    c[i * nr + j] += a[p * MR + i] * b[p * NR + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn full_tile_matches_reference() {
+        let kc = 17;
+        let a: Vec<f32> = (0..kc * MR).map(|i| (i % 13) as f32 * 0.5 - 2.0).collect();
+        let b: Vec<f32> = (0..kc * NR).map(|i| (i % 7) as f32 * 0.25 - 1.0).collect();
+        let mut c = vec![0.0f32; MR * NR];
+        microkernel_8x8(kc, &a, &b, &mut c, NR);
+        let want = reference(kc, MR, NR, &a, &b);
+        for (x, y) in c.iter().zip(want.iter()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let kc = 3;
+        let a = vec![1.0f32; kc * MR];
+        let b = vec![1.0f32; kc * NR];
+        let mut c = vec![10.0f32; MR * NR];
+        microkernel_8x8(kc, &a, &b, &mut c, NR);
+        assert!(c.iter().all(|&v| (v - 13.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn respects_leading_dimension() {
+        let kc = 2;
+        let a = vec![1.0f32; kc * MR];
+        let b = vec![2.0f32; kc * NR];
+        let ldc = NR + 3;
+        let mut c = vec![0.0f32; MR * ldc];
+        microkernel_8x8(kc, &a, &b, &mut c, ldc);
+        for i in 0..MR {
+            for j in 0..ldc {
+                let want = if j < NR { 4.0 } else { 0.0 };
+                assert_eq!(c[i * ldc + j], want);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_kernel_matches_reference_on_fringe() {
+        let (kc, mr, nr) = (5, 3, 6);
+        let a: Vec<f32> = (0..kc * MR).map(|i| i as f32 * 0.1).collect();
+        let b: Vec<f32> = (0..kc * NR).map(|i| i as f32 * 0.2 - 1.5).collect();
+        let mut c = vec![0.0f32; mr * nr];
+        microkernel_edge(kc, mr, nr, &a, &b, &mut c, nr);
+        let want = reference(kc, mr, nr, &a, &b);
+        for (x, y) in c.iter().zip(want.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn zero_kc_is_identity() {
+        let mut c = vec![7.0f32; MR * NR];
+        microkernel_8x8(0, &[], &[], &mut c, NR);
+        assert!(c.iter().all(|&v| v == 7.0));
+    }
+}

@@ -1,0 +1,91 @@
+//! Squared-norm helpers (`vecα`, `vecβ` of Algorithm 1).
+//!
+//! The expansion `‖α−β‖² = ‖α‖² + ‖β‖² − 2αᵀβ` needs the squared
+//! Euclidean norm of every source row of `A` and every target column of
+//! `B`. These are the host-side precomputations of Algorithm 1
+//! lines 3–4.
+
+use rayon::prelude::*;
+
+use crate::matrix::Matrix;
+
+/// `‖row_i‖²` for every row of `a` (source points, `A` is M×K).
+#[must_use]
+pub fn row_sq_norms(a: &Matrix) -> Vec<f32> {
+    (0..a.rows())
+        .into_par_iter()
+        .map(|r| {
+            let mut acc = 0.0f64;
+            for c in 0..a.cols() {
+                let v = a.get(r, c) as f64;
+                acc += v * v;
+            }
+            acc as f32
+        })
+        .collect()
+}
+
+/// `‖col_j‖²` for every column of `b` (target points, `B` is K×N).
+#[must_use]
+pub fn col_sq_norms(b: &Matrix) -> Vec<f32> {
+    (0..b.cols())
+        .into_par_iter()
+        .map(|c| {
+            let mut acc = 0.0f64;
+            for r in 0..b.rows() {
+                let v = b.get(r, c) as f64;
+                acc += v * v;
+            }
+            acc as f32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Layout;
+
+    #[test]
+    fn row_norms_match_hand_values() {
+        let a = Matrix::from_vec(2, 2, Layout::RowMajor, vec![3.0, 4.0, 1.0, 1.0]);
+        assert_eq!(row_sq_norms(&a), vec![25.0, 2.0]);
+    }
+
+    #[test]
+    fn col_norms_match_hand_values() {
+        let b = Matrix::from_vec(2, 2, Layout::ColMajor, vec![3.0, 4.0, 0.0, 2.0]);
+        assert_eq!(col_sq_norms(&b), vec![25.0, 4.0]);
+    }
+
+    #[test]
+    fn norms_are_layout_invariant() {
+        let a = Matrix::from_fn(9, 5, Layout::RowMajor, |r, c| (r as f32 - c as f32) * 0.3);
+        let a2 = a.to_layout(Layout::ColMajor);
+        assert_eq!(row_sq_norms(&a), row_sq_norms(&a2));
+        assert_eq!(col_sq_norms(&a), col_sq_norms(&a2));
+    }
+
+    #[test]
+    fn zero_matrix_gives_zero_norms() {
+        let a = Matrix::zeros(4, 3, Layout::RowMajor);
+        assert!(row_sq_norms(&a).iter().all(|&v| v == 0.0));
+        assert!(col_sq_norms(&a).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn distance_identity_holds() {
+        // ‖α−β‖² == ‖α‖² + ‖β‖² − 2αᵀβ for a concrete pair.
+        let alpha = [1.0f32, -2.0, 0.5];
+        let beta = [0.25f32, 3.0, -1.0];
+        let direct: f32 = alpha
+            .iter()
+            .zip(beta.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        let na: f32 = alpha.iter().map(|v| v * v).sum();
+        let nb: f32 = beta.iter().map(|v| v * v).sum();
+        let dot: f32 = alpha.iter().zip(beta.iter()).map(|(a, b)| a * b).sum();
+        assert!((direct - (na + nb - 2.0 * dot)).abs() < 1e-5);
+    }
+}

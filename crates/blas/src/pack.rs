@@ -1,0 +1,122 @@
+//! Panel packing for the blocked GEMM.
+//!
+//! Packing re-stores a block of `A` (resp. `B`) so the microkernel
+//! streams it contiguously: the CPU analogue of staging `tileA`/`tileB`
+//! in GPU shared memory with a conflict-free placement (paper §III-B).
+//!
+//! Packed-A format: for each micro-row-panel of [`MR`] rows, `kc`
+//! column slivers of `MR` values each (column `p` of the panel, rows
+//! `i..i+MR`). Packed-B format: for each micro-col-panel of [`NR`]
+//! columns, `kc` row slivers of `NR` values. Fringe panels are
+//! zero-padded to full `MR`/`NR` width so the microkernel never needs a
+//! bounds check on the K loop.
+
+use crate::matrix::Matrix;
+use crate::microkernel::{MR, NR};
+
+/// Packs the `mc × kc` block of `a` starting at (`row0`, `col0`) into
+/// `buf`, zero-padding each row panel to `MR` rows.
+///
+/// `buf` is resized to `ceil(mc/MR) * kc * MR`.
+pub fn pack_a(a: &Matrix, row0: usize, col0: usize, mc: usize, kc: usize, buf: &mut Vec<f32>) {
+    let panels = mc.div_ceil(MR);
+    buf.clear();
+    buf.resize(panels * kc * MR, 0.0);
+    for panel in 0..panels {
+        let r0 = row0 + panel * MR;
+        let rows = MR.min(row0 + mc - r0);
+        let dst = &mut buf[panel * kc * MR..(panel + 1) * kc * MR];
+        for p in 0..kc {
+            for i in 0..rows {
+                dst[p * MR + i] = a.get(r0 + i, col0 + p);
+            }
+        }
+    }
+}
+
+/// Packs the `kc × nc` block of `b` starting at (`row0`, `col0`) into
+/// `buf`, zero-padding each column panel to `NR` columns.
+///
+/// `buf` is resized to `ceil(nc/NR) * kc * NR`.
+pub fn pack_b(b: &Matrix, row0: usize, col0: usize, kc: usize, nc: usize, buf: &mut Vec<f32>) {
+    let panels = nc.div_ceil(NR);
+    buf.clear();
+    buf.resize(panels * kc * NR, 0.0);
+    for panel in 0..panels {
+        let c0 = col0 + panel * NR;
+        let cols = NR.min(col0 + nc - c0);
+        let dst = &mut buf[panel * kc * NR..(panel + 1) * kc * NR];
+        for p in 0..kc {
+            for j in 0..cols {
+                dst[p * NR + j] = b.get(row0 + p, c0 + j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Layout;
+
+    #[test]
+    fn pack_a_round_trips_full_panels() {
+        let a = Matrix::from_fn(16, 5, Layout::RowMajor, |r, c| (r * 100 + c) as f32);
+        let mut buf = Vec::new();
+        pack_a(&a, 0, 0, 16, 5, &mut buf);
+        assert_eq!(buf.len(), 2 * 5 * MR);
+        // Panel 0, column sliver p=2, row i=3 -> element (3, 2).
+        assert_eq!(buf[2 * MR + 3], a.get(3, 2));
+        // Panel 1, p=4, i=7 -> element (8+7, 4).
+        assert_eq!(buf[5 * MR + 4 * MR + 7], a.get(15, 4));
+    }
+
+    #[test]
+    fn pack_a_zero_pads_fringe() {
+        let a = Matrix::from_fn(10, 3, Layout::RowMajor, |_, _| 1.0);
+        let mut buf = Vec::new();
+        pack_a(&a, 0, 0, 10, 3, &mut buf);
+        // Second panel holds rows 8..10 -> 2 real rows, 6 padded zeros per sliver.
+        let panel1 = &buf[3 * MR..];
+        for p in 0..3 {
+            for i in 0..MR {
+                let want = if i < 2 { 1.0 } else { 0.0 };
+                assert_eq!(panel1[p * MR + i], want, "p={p} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_round_trips() {
+        let b = Matrix::from_fn(4, 16, Layout::ColMajor, |r, c| (r * 100 + c) as f32);
+        let mut buf = Vec::new();
+        pack_b(&b, 0, 0, 4, 16, &mut buf);
+        assert_eq!(buf.len(), 2 * 4 * NR);
+        // Panel 1, row sliver p=3, col j=5 -> element (3, 8+5).
+        assert_eq!(buf[4 * NR + 3 * NR + 5], b.get(3, 13));
+    }
+
+    #[test]
+    fn pack_respects_offsets() {
+        let a = Matrix::from_fn(20, 9, Layout::RowMajor, |r, c| (r * 31 + c) as f32);
+        let mut buf = Vec::new();
+        pack_a(&a, 8, 2, 8, 4, &mut buf);
+        assert_eq!(buf.len(), 4 * MR);
+        assert_eq!(buf[0], a.get(8, 2));
+        assert_eq!(buf[3 * MR + 7], a.get(15, 5));
+    }
+
+    #[test]
+    fn pack_b_fringe_pads() {
+        let b = Matrix::from_fn(2, 11, Layout::ColMajor, |_, _| 2.0);
+        let mut buf = Vec::new();
+        pack_b(&b, 0, 0, 2, 11, &mut buf);
+        let panel1 = &buf[2 * NR..];
+        for p in 0..2 {
+            for j in 0..NR {
+                let want = if j < 3 { 2.0 } else { 0.0 };
+                assert_eq!(panel1[p * NR + j], want);
+            }
+        }
+    }
+}

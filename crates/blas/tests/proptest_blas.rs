@@ -1,0 +1,151 @@
+//! Property-based tests of the BLAS substrate: algebraic identities
+//! and implementation-equivalence on random shapes, layouts and
+//! blocking parameters.
+
+use ks_blas::{
+    col_sq_norms, gemm_blocked, gemm_naive, gemm_parallel, gemv, gemv_parallel, row_sq_norms,
+    GemmConfig, Layout, Matrix,
+};
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize, layout: Layout, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, layout, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+    })
+}
+
+fn layout_strategy() -> impl Strategy<Value = Layout> {
+    prop_oneof![Just(Layout::RowMajor), Just(Layout::ColMajor)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn blocked_equals_naive(
+        m in 1usize..80,
+        n in 1usize..80,
+        k in 1usize..48,
+        mc in 1usize..40,
+        kc in 1usize..40,
+        nc in 1usize..40,
+        la in layout_strategy(),
+        lb in layout_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let a = matrix(m, k, la, seed);
+        let b = matrix(k, n, lb, seed + 1);
+        let mut c0 = matrix(m, n, Layout::RowMajor, seed + 2);
+        let mut c1 = c0.clone();
+        gemm_naive(1.3, &a, &b, -0.4, &mut c0);
+        gemm_blocked(1.3, &a, &b, -0.4, &mut c1, GemmConfig { mc, kc, nc });
+        prop_assert!(c0.max_abs_diff(&c1) < 1e-3);
+    }
+
+    #[test]
+    fn parallel_equals_naive(
+        m in 1usize..100,
+        n in 1usize..100,
+        k in 1usize..32,
+        seed in 0u64..1_000,
+    ) {
+        let a = matrix(m, k, Layout::RowMajor, seed);
+        let b = matrix(k, n, Layout::ColMajor, seed + 1);
+        let mut c0 = Matrix::zeros(m, n, Layout::RowMajor);
+        let mut c1 = c0.clone();
+        gemm_naive(1.0, &a, &b, 0.0, &mut c0);
+        gemm_parallel(1.0, &a, &b, 0.0, &mut c1, GemmConfig { mc: 24, kc: 16, nc: 32 });
+        prop_assert!(c0.max_abs_diff(&c1) < 1e-3);
+    }
+
+    #[test]
+    fn gemm_is_linear_in_alpha(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..24,
+        alpha in -4.0f32..4.0,
+        seed in 0u64..1_000,
+    ) {
+        let a = matrix(m, k, Layout::RowMajor, seed);
+        let b = matrix(k, n, Layout::ColMajor, seed + 1);
+        let mut c1 = Matrix::zeros(m, n, Layout::RowMajor);
+        let mut c2 = Matrix::zeros(m, n, Layout::RowMajor);
+        gemm_blocked(1.0, &a, &b, 0.0, &mut c1, GemmConfig::default());
+        gemm_blocked(alpha, &a, &b, 0.0, &mut c2, GemmConfig::default());
+        for r in 0..m {
+            for cc in 0..n {
+                let want = alpha * c1.get(r, cc);
+                prop_assert!((c2.get(r, cc) - want).abs() < 1e-3 * want.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_parallel_equals_sequential(
+        m in 1usize..120,
+        n in 1usize..120,
+        alpha in -2.0f32..2.0,
+        beta in -2.0f32..2.0,
+        seed in 0u64..1_000,
+    ) {
+        let a = matrix(m, n, Layout::RowMajor, seed);
+        let x = matrix(n, 1, Layout::RowMajor, seed + 1).into_vec();
+        let y0 = matrix(m, 1, Layout::RowMajor, seed + 2).into_vec();
+        let mut y1 = y0.clone();
+        let mut y2 = y0;
+        gemv(alpha, &a, &x, beta, &mut y1);
+        gemv_parallel(alpha, &a, &x, beta, &mut y2);
+        for (u, v) in y1.iter().zip(y2.iter()) {
+            prop_assert!((u - v).abs() < 1e-4 * u.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn norms_satisfy_distance_identity(
+        k in 1usize..32,
+        seed in 0u64..1_000,
+    ) {
+        // For random points α, β: ‖α−β‖² = ‖α‖² + ‖β‖² − 2αᵀβ.
+        let a = matrix(1, k, Layout::RowMajor, seed);
+        let b = matrix(k, 1, Layout::ColMajor, seed + 1);
+        let na = row_sq_norms(&a)[0];
+        let nb = col_sq_norms(&b)[0];
+        let dot: f32 = (0..k).map(|i| a.get(0, i) * b.get(i, 0)).sum();
+        let direct: f32 = (0..k).map(|i| (a.get(0, i) - b.get(i, 0)).powi(2)).sum();
+        prop_assert!((direct - (na + nb - 2.0 * dot)).abs() < 1e-3 * direct.max(1.0));
+    }
+
+    #[test]
+    fn transpose_round_trip_and_layout_change_preserve_elements(
+        m in 1usize..50,
+        n in 1usize..50,
+        la in layout_strategy(),
+        lb in layout_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let a = matrix(m, n, la, seed);
+        prop_assert_eq!(a.max_abs_diff(&a.transposed().transposed()), 0.0);
+        prop_assert_eq!(a.max_abs_diff(&a.to_layout(lb)), 0.0);
+    }
+
+    #[test]
+    fn gemm_transpose_identity(
+        m in 1usize..30,
+        n in 1usize..30,
+        k in 1usize..16,
+        seed in 0u64..1_000,
+    ) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ.
+        let a = matrix(m, k, Layout::RowMajor, seed);
+        let b = matrix(k, n, Layout::ColMajor, seed + 1);
+        let mut ab = Matrix::zeros(m, n, Layout::RowMajor);
+        gemm_blocked(1.0, &a, &b, 0.0, &mut ab, GemmConfig::default());
+        let mut btat = Matrix::zeros(n, m, Layout::RowMajor);
+        gemm_blocked(1.0, &b.transposed(), &a.transposed(), 0.0, &mut btat, GemmConfig::default());
+        prop_assert!(ab.transposed().max_abs_diff(&btat) < 1e-3);
+    }
+}

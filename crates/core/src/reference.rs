@@ -1,0 +1,79 @@
+//! Naive `O(MNK)` reference solver — the oracle every other
+//! implementation is validated against.
+
+use rayon::prelude::*;
+
+use crate::problem::KernelSumProblem;
+
+/// Direct evaluation of `V_i = Σ_j 𝒦(α_i, β_j) · W_j` with f64
+/// accumulation of both the squared distance and the sum.
+#[must_use]
+pub fn solve(p: &KernelSumProblem) -> Vec<f32> {
+    let (m, _, _) = p.dims();
+    let kernel = p.kernel();
+    (0..m)
+        .into_par_iter()
+        .map(|i| {
+            let alpha = p.sources().point(i);
+            let na: f64 = alpha.iter().map(|v| *v as f64 * *v as f64).sum();
+            let mut acc = 0.0f64;
+            for (j, w) in p.weights().iter().enumerate() {
+                let beta = p.targets().point(j);
+                let mut d2 = 0.0f64;
+                for (a, b) in alpha.iter().zip(beta.iter()) {
+                    let diff = *a as f64 - *b as f64;
+                    d2 += diff * diff;
+                }
+                let nb: f64 = beta.iter().map(|v| *v as f64 * *v as f64).sum();
+                acc += kernel.eval(d2 as f32, na as f32, nb as f32) as f64 * *w as f64;
+            }
+            acc as f32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::GaussianKernel;
+    use crate::problem::{KernelSumProblem, PointSet};
+
+    #[test]
+    fn coincident_points_sum_weights() {
+        // All sources equal all targets ⇒ 𝒦 = 1 everywhere ⇒ V_i = Σw.
+        let pts = PointSet::from_coords(4, 2, vec![0.5; 8]);
+        let p = KernelSumProblem::builder()
+            .sources(pts.clone())
+            .targets(pts)
+            .weights(vec![1.0, 2.0, 3.0, 4.0])
+            .kernel(GaussianKernel { h: 1.0 })
+            .build();
+        let v = solve(&p);
+        for x in v {
+            assert!((x - 10.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn hand_computed_two_point_case() {
+        // α = (0,0), β = (1,0), h = 1: 𝒦 = exp(−0.5).
+        let p = KernelSumProblem::builder()
+            .sources(PointSet::from_coords(1, 2, vec![0.0, 0.0]))
+            .targets(PointSet::from_coords(1, 2, vec![1.0, 0.0]))
+            .weights(vec![2.0])
+            .kernel(GaussianKernel { h: 1.0 })
+            .build();
+        let v = solve(&p);
+        assert!((v[0] - 2.0 * (-0.5f32).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distant_points_contribute_nothing() {
+        let p = KernelSumProblem::builder()
+            .sources(PointSet::from_coords(1, 1, vec![0.0]))
+            .targets(PointSet::from_coords(1, 1, vec![1000.0]))
+            .kernel(GaussianKernel { h: 1.0 })
+            .build();
+        assert_eq!(solve(&p)[0], 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error metrics for comparing solver outputs.
+
+/// Largest element-wise relative error `|a−b| / max(|b|, floor)`,
+/// with a floor of 1 to avoid blowing up near-zero entries (kernel
+/// sums are non-negative and `O(N)`-scaled, so an absolute floor of 1
+/// is conservative).
+///
+/// # Panics
+/// Panics on length mismatch.
+#[must_use]
+pub fn max_rel_error(got: &[f32], want: &[f32]) -> f32 {
+    assert_eq!(got.len(), want.len(), "length mismatch");
+    got.iter()
+        .zip(want.iter())
+        .map(|(g, w)| (g - w).abs() / w.abs().max(1.0))
+        .fold(0.0, f32::max)
+}
+
+/// Relative L2 error `‖got − want‖₂ / ‖want‖₂` (0 when both are zero).
+///
+/// # Panics
+/// Panics on length mismatch.
+#[must_use]
+pub fn rel_l2_error(got: &[f32], want: &[f32]) -> f32 {
+    assert_eq!(got.len(), want.len(), "length mismatch");
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (g, w) in got.iter().zip(want.iter()) {
+        num += ((g - w) as f64).powi(2);
+        den += (*w as f64).powi(2);
+    }
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f32::INFINITY
+        }
+    } else {
+        (num / den).sqrt() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_have_zero_error() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(max_rel_error(&v, &v), 0.0);
+        assert_eq!(rel_l2_error(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn known_errors() {
+        let got = [2.0, 2.0];
+        let want = [1.0, 2.0];
+        assert_eq!(max_rel_error(&got, &want), 1.0);
+        let l2 = rel_l2_error(&got, &want);
+        assert!((l2 - (1.0f32 / 5.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn small_denominators_use_floor() {
+        let got = [1e-6];
+        let want = [0.0];
+        assert!(max_rel_error(&got, &want) < 1e-5);
+    }
+
+    #[test]
+    fn zero_reference_all_zero() {
+        assert_eq!(rel_l2_error(&[0.0], &[0.0]), 0.0);
+        assert_eq!(rel_l2_error(&[1.0], &[0.0]), f32::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_length_mismatch() {
+        let _ = max_rel_error(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,20 @@
+//! # ks-energy — CACTI/McPAT-style GPU energy model
+//!
+//! The paper's energy methodology (§IV): "Energy model of the GPU
+//! memory is built based on CACTI and McPAT, and the statistics are
+//! collected from the counter value reported by nvprof." We do the
+//! same: per-event energy constants multiplied by the simulator's
+//! counters, reported as the paper's four-way breakdown
+//! (Fig 1 / Fig 9): **Compute**, **Shared memory**, **L2**, **DRAM**.
+//!
+//! Per-event constants live in [`EnergyParams`]; each is documented
+//! with its provenance (public 28nm-class CACTI/McPAT and
+//! GDDR5-datasheet numbers). None is fitted to the paper's outputs.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod params;
+
+pub use model::{kernel_energy, pipeline_energy, EnergyBreakdown};
+pub use params::EnergyParams;

@@ -1,0 +1,185 @@
+//! Counters × per-event energies → the four-way breakdown.
+
+use ks_gpu_sim::profiler::{KernelProfile, PipelineProfile};
+use serde::{Deserialize, Serialize};
+
+use crate::params::EnergyParams;
+
+/// Energy of one kernel or pipeline, split the way the paper plots it
+/// (Fig 1, Fig 9): compute, shared memory, L2, DRAM. Joules.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// FPU + instruction pipeline energy.
+    pub compute_j: f64,
+    /// Shared-memory array energy.
+    pub smem_j: f64,
+    /// L2 array energy.
+    pub l2_j: f64,
+    /// DRAM core + interface energy.
+    pub dram_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.compute_j + self.smem_j + self.l2_j + self.dram_j
+    }
+
+    /// DRAM share of the total, in [0, 1] (the quantity of Fig 1).
+    #[must_use]
+    pub fn dram_share(&self) -> f64 {
+        let t = self.total_j();
+        if t > 0.0 {
+            self.dram_j / t
+        } else {
+            0.0
+        }
+    }
+
+    /// Compute share of the total, in [0, 1].
+    #[must_use]
+    pub fn compute_share(&self) -> f64 {
+        let t = self.total_j();
+        if t > 0.0 {
+            self.compute_j / t
+        } else {
+            0.0
+        }
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, o: &EnergyBreakdown) {
+        self.compute_j += o.compute_j;
+        self.smem_j += o.smem_j;
+        self.l2_j += o.l2_j;
+        self.dram_j += o.dram_j;
+    }
+
+    /// Total-energy saving of `self` relative to `baseline`
+    /// (Table III: `1 − self/baseline`).
+    #[must_use]
+    pub fn saving_vs(&self, baseline: &EnergyBreakdown) -> f64 {
+        let b = baseline.total_j();
+        if b > 0.0 {
+            1.0 - self.total_j() / b
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Energy of a single kernel launch.
+#[must_use]
+pub fn kernel_energy(params: &EnergyParams, p: &KernelProfile) -> EnergyBreakdown {
+    let c = &p.counters;
+    let pj = 1e-12;
+    EnergyBreakdown {
+        compute_j: (c.flops as f64 * params.flop_pj + c.thread_insts as f64 * params.inst_pj) * pj,
+        smem_j: (c.smem.load_transactions + c.smem.store_transactions) as f64
+            * params.smem_transaction_pj
+            * pj,
+        // Atomics do a read-modify-write in L2 (two array accesses);
+        // L1 lookups (when the device caches global loads there) are
+        // charged to the same on-chip-cache bucket.
+        l2_j: (p.mem.l2_transactions() + 2 * c.atomic_sectors) as f64 * params.l2_sector_pj * pj
+            + c.l1_read_sectors as f64 * params.l1_sector_pj * pj,
+        dram_j: p.mem.dram_transactions() as f64 * params.dram_sector_pj * pj,
+    }
+}
+
+/// Energy of a whole pipeline (sum over kernels).
+#[must_use]
+pub fn pipeline_energy(params: &EnergyParams, p: &PipelineProfile) -> EnergyBreakdown {
+    let mut e = EnergyBreakdown::default();
+    for k in &p.kernels {
+        e.merge(&kernel_energy(params, k));
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_gpu_kernels::{GpuKernelSummation, GpuVariant};
+    use ks_gpu_sim::GpuDevice;
+
+    fn energies(m: usize, k: usize) -> (EnergyBreakdown, EnergyBreakdown) {
+        let ks = GpuKernelSummation::new(m, 1024, k, 1.0);
+        let params = EnergyParams::default();
+        let mut d1 = GpuDevice::gtx970();
+        let fused = pipeline_energy(&params, &ks.profile(&mut d1, GpuVariant::Fused).unwrap());
+        let mut d2 = GpuDevice::gtx970();
+        let unfused = pipeline_energy(
+            &params,
+            &ks.profile(&mut d2, GpuVariant::CublasUnfused).unwrap(),
+        );
+        (fused, unfused)
+    }
+
+    #[test]
+    fn breakdown_merge_and_total() {
+        let mut a = EnergyBreakdown {
+            compute_j: 1.0,
+            smem_j: 0.5,
+            l2_j: 0.25,
+            dram_j: 0.25,
+        };
+        let b = a;
+        a.merge(&b);
+        assert!((a.total_j() - 4.0).abs() < 1e-12);
+        assert!((a.dram_share() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_saves_over_80_percent_of_dram_energy() {
+        // §V-C: "the Fused approach saves more than 80% [of DRAM
+        // energy]" in all test configurations.
+        for k in [32, 64, 128, 256] {
+            let (fused, unfused) = energies(4096, k);
+            let saving = 1.0 - fused.dram_j / unfused.dram_j;
+            assert!(saving > 0.80, "K={k}: DRAM energy saving {saving}");
+        }
+    }
+
+    #[test]
+    fn total_savings_shrink_with_k() {
+        // Table III: ~31% at K=32 falling to ~4–9% at K=256.
+        let (f32_, u32_) = energies(4096, 32);
+        let (f256, u256) = energies(4096, 256);
+        let s32 = f32_.saving_vs(&u32_);
+        let s256 = f256.saving_vs(&u256);
+        assert!(s32 > s256, "savings must fall with K: {s32} vs {s256}");
+        assert!((0.15..0.45).contains(&s32), "K=32 saving {s32}");
+        assert!((0.0..0.15).contains(&s256), "K=256 saving {s256}");
+    }
+
+    #[test]
+    fn dram_share_of_unfused_is_10_to_35_percent() {
+        // Fig 1: "around 10% to 30% of total energy is spent on DRAM".
+        for k in [32, 64, 128, 256] {
+            let (_, unfused) = energies(4096, k);
+            let share = unfused.dram_share();
+            assert!((0.03..0.40).contains(&share), "K={k}: DRAM share {share}");
+        }
+    }
+
+    #[test]
+    fn compute_dominates_at_high_k() {
+        // §V-C: at K=256 "more than 80% of energy is spent on floating
+        // point computing operations".
+        let (fused, _) = energies(4096, 256);
+        assert!(
+            fused.compute_share() > 0.7,
+            "compute share {}",
+            fused.compute_share()
+        );
+    }
+
+    #[test]
+    fn saving_vs_handles_zero_baseline() {
+        let z = EnergyBreakdown::default();
+        assert_eq!(z.saving_vs(&z), 0.0);
+        assert_eq!(z.dram_share(), 0.0);
+    }
+}

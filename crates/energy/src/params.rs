@@ -1,0 +1,107 @@
+//! Per-event energy constants.
+//!
+//! All values are for a 28nm-class GPU (GM204 is TSMC 28nm) and are
+//! taken from public sources, not fitted to the paper:
+//!
+//! * **FLOP energy** — Horowitz (ISSCC'14) puts a 45nm FP32 FMA at
+//!   ~1.5 pJ for the arithmetic alone; at GPU level each scalar FLOP
+//!   drags register-file reads, operand routing and pipeline control,
+//!   landing at ~20–30 pJ/FLOP system-side (a GTX970 at 145 W TDP and
+//!   ~3.9 TFLOP/s peak is 37 pJ/FLOP for the *whole card*). We use
+//!   25 pJ per scalar FLOP for the compute slice.
+//! * **Instruction overhead** — McPAT-class fetch/decode/schedule
+//!   energy, ~8 pJ per thread-level instruction.
+//! * **Shared memory** — CACTI 6.5 for a 96KB, 32-bank SRAM: ~40 pJ
+//!   per 128-byte transaction (row across all banks).
+//! * **L2** — CACTI for a 1.75MB 16-way array: ~100 pJ per 32-byte
+//!   sector access.
+//! * **DRAM** — GDDR5 core + I/O ≈ 14 pJ/bit (O'Connor, MemSys'17),
+//!   i.e. ~3.5 nJ per 32-byte sector transaction.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy cost of each counted event, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Per scalar single-precision FLOP (FPU + RF + routing).
+    pub flop_pj: f64,
+    /// Per thread-level instruction (fetch/decode/schedule).
+    pub inst_pj: f64,
+    /// Per shared-memory transaction (full 32-bank row).
+    pub smem_transaction_pj: f64,
+    /// Per L1 32-byte sector access (only non-zero traffic when the
+    /// device caches global loads in L1, §II-C).
+    pub l1_sector_pj: f64,
+    /// Per L2 32-byte sector access.
+    pub l2_sector_pj: f64,
+    /// Per DRAM 32-byte sector transaction (read or write).
+    pub dram_sector_pj: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self {
+            flop_pj: 25.0,
+            inst_pj: 8.0,
+            smem_transaction_pj: 40.0,
+            l1_sector_pj: 25.0,
+            l2_sector_pj: 100.0,
+            dram_sector_pj: 3500.0,
+        }
+    }
+}
+
+impl EnergyParams {
+    /// DRAM energy in pJ per byte (for documentation/sanity checks).
+    #[must_use]
+    pub fn dram_pj_per_byte(&self) -> f64 {
+        self.dram_sector_pj / 32.0
+    }
+
+    /// Validates physical plausibility (positive, DRAM ≫ L2 ≫ SMEM per
+    /// byte).
+    ///
+    /// # Panics
+    /// Panics if the hierarchy ordering is violated.
+    pub fn validate(&self) {
+        assert!(
+            self.flop_pj > 0.0 && self.inst_pj > 0.0,
+            "non-positive compute energy"
+        );
+        assert!(
+            self.dram_sector_pj > self.l2_sector_pj,
+            "DRAM access must cost more than L2"
+        );
+        assert!(
+            self.l2_sector_pj > self.smem_transaction_pj / 4.0,
+            "L2 per byte must cost more than shared memory per byte"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        EnergyParams::default().validate();
+    }
+
+    #[test]
+    fn dram_is_gddr5_class() {
+        // 14 pJ/bit ≈ 112 pJ/B; allow the 50–200 pJ/B band.
+        let p = EnergyParams::default().dram_pj_per_byte();
+        assert!((50.0..200.0).contains(&p), "{p} pJ/B");
+    }
+
+    #[test]
+    #[should_panic(expected = "DRAM access must cost more")]
+    fn validate_rejects_inverted_hierarchy() {
+        EnergyParams {
+            dram_sector_pj: 1.0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

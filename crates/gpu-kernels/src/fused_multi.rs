@@ -1,0 +1,524 @@
+//! Multi-weight fused kernel summation (extension experiment).
+//!
+//! Kernel regression evaluates `V = K·W` for several weight columns at
+//! once. The fused structure extends naturally: each Gaussian value is
+//! computed **once** in registers and folded into `R` per-column
+//! accumulators — the incremental cost is `64·(R−1)` FFMAs per thread
+//! against the `64·K` FFMAs of the GEMM itself.
+//!
+//! The catch is the paper's §III-A register economy: each extra column
+//! costs ~16 registers per thread (8 accumulator partials + 8 staged
+//! weights), so `R = 2` pushes the kernel past the 128-register line
+//! where occupancy halves to **one block per SM**. Whether reuse beats
+//! occupancy is exactly the kind of question the simulator answers —
+//! the alternative (running the single-weight kernel `R` times) redoes
+//! the entire GEMM per column. See the `multi_weight` rows of the
+//! ablation bench and this module's tests.
+//!
+//! Layouts: `W` is `N×R` **column-major** (each weight column
+//! contiguous), `V` is `M×R` column-major (each output column receives
+//! coalesced atomics).
+
+use ks_gpu_sim::buffer::BufId;
+use ks_gpu_sim::dim::{Dim3, LaunchConfig};
+use ks_gpu_sim::exec::BlockCtx;
+use ks_gpu_sim::kernel::{ExecModel, Kernel, KernelResources, TimingHints};
+use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
+
+use crate::aux_kernels::{gaussian, Bandwidth};
+use crate::gemm_engine::{fresh_acc, gemm_block, GemmOperands, GemmShape, Microtile, SmemMap};
+use crate::layout::SmemLayout;
+use crate::machine::{FunctionalMachine, TrafficMachine, WarpMachine};
+use crate::{BLOCK_TILE, MICRO_TILE, THREADS_XY, WARPS_PER_BLOCK};
+
+/// Maximum weight columns: the `T` scratch (1024 words, reusing
+/// `sharedA0`) holds `128·R` partials.
+pub const MAX_WEIGHT_COLUMNS: usize = 8;
+
+/// The multi-weight fused kernel (see module docs).
+pub struct FusedMultiWeight {
+    ops: GemmOperands,
+    a2: BufId,
+    b2: BufId,
+    /// `N×R` column-major weights.
+    w: BufId,
+    /// `M×R` column-major output (must be zeroed before launch).
+    v: BufId,
+    shape: GemmShape,
+    bw: Bandwidth,
+    r: usize,
+}
+
+impl FusedMultiWeight {
+    /// Creates the kernel with `r` weight columns.
+    ///
+    /// # Panics
+    /// Panics if the shape violates the tiling constraints or
+    /// `r ∉ 1..=MAX_WEIGHT_COLUMNS`.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        ops: GemmOperands,
+        a2: BufId,
+        b2: BufId,
+        w: BufId,
+        v: BufId,
+        shape: GemmShape,
+        bw: Bandwidth,
+        r: usize,
+    ) -> Self {
+        shape.validate();
+        assert!(
+            (1..=MAX_WEIGHT_COLUMNS).contains(&r),
+            "weight columns {r} out of range 1..={MAX_WEIGHT_COLUMNS}"
+        );
+        Self {
+            ops,
+            a2,
+            b2,
+            w,
+            v,
+            shape,
+            bw,
+            r,
+        }
+    }
+
+    /// Registers per thread as a function of the column count:
+    /// the single-weight kernel's 128 plus ~16 per extra column.
+    #[must_use]
+    pub fn regs_per_thread(r: usize) -> u32 {
+        (128 + 16 * (r - 1)) as u32
+    }
+
+    fn body<M: WarpMachine>(&self, block: Dim3, mach: &mut M) {
+        let (bx, by) = (block.x as usize, block.y as usize);
+        let s = self.bw.inv_2h2();
+        let warps = WARPS_PER_BLOCK as u64;
+        let r = self.r;
+        let (n, m) = (self.shape.n, self.shape.m);
+
+        // --- GEMM phase -------------------------------------------------
+        let mut acc: Vec<Microtile> = if M::FUNCTIONAL {
+            fresh_acc()
+        } else {
+            Vec::new()
+        };
+        gemm_block(
+            mach,
+            &self.ops,
+            &self.shape,
+            SmemLayout::Swizzled,
+            true,
+            bx,
+            by,
+            &mut acc,
+        );
+
+        // --- Evaluation + per-column intra-thread fold -------------------
+        // gamma[tid][col][row partial]
+        let mut gamma =
+            vec![[[0.0f32; MICRO_TILE]; MAX_WEIGHT_COLUMNS]; if M::FUNCTIONAL { 256 } else { 0 }];
+        for wp in 0..WARPS_PER_BLOCK {
+            mach.alu(2);
+            let idx_lo: WarpIdx = std::array::from_fn(|lane| {
+                let ty = 2 * wp + lane / THREADS_XY;
+                Some(by * BLOCK_TILE + ty * MICRO_TILE)
+            });
+            let idx_hi: WarpIdx = std::array::from_fn(|lane| idx_lo[lane].map(|i| i + 4));
+            let a2_lo = mach.ld_global(self.a2, &idx_lo, 4);
+            let a2_hi = mach.ld_global(self.a2, &idx_hi, 4);
+            let col_idx_lo: WarpIdx = std::array::from_fn(|lane| {
+                let tx = lane % THREADS_XY;
+                Some(bx * BLOCK_TILE + tx * MICRO_TILE)
+            });
+            let col_idx_hi: WarpIdx = std::array::from_fn(|lane| col_idx_lo[lane].map(|i| i + 4));
+            let b2_lo = mach.ld_global(self.b2, &col_idx_lo, 4);
+            let b2_hi = mach.ld_global(self.b2, &col_idx_hi, 4);
+            // Stage all R weight slices (column-major: column c at
+            // offset c·N).
+            let mut w_lo = [[[0.0f32; 4]; 32]; MAX_WEIGHT_COLUMNS];
+            let mut w_hi = [[[0.0f32; 4]; 32]; MAX_WEIGHT_COLUMNS];
+            for c in 0..r {
+                let wl: WarpIdx = std::array::from_fn(|lane| col_idx_lo[lane].map(|i| c * n + i));
+                let wh: WarpIdx = std::array::from_fn(|lane| col_idx_hi[lane].map(|i| c * n + i));
+                let lo = mach.ld_global(self.w, &wl, 4);
+                let hi = mach.ld_global(self.w, &wh, 4);
+                if M::FUNCTIONAL {
+                    w_lo[c] = lo;
+                    w_hi[c] = hi;
+                }
+            }
+
+            // Evaluation once; fold R times.
+            mach.falu(64);
+            mach.ffma(128);
+            mach.sfu(64);
+            mach.ffma(64 * r as u64);
+            if M::FUNCTIONAL {
+                for lane in 0..32 {
+                    let tid = wp * 32 + lane;
+                    let a2row: [f32; 8] = std::array::from_fn(|i| {
+                        if i < 4 {
+                            a2_lo[lane][i]
+                        } else {
+                            a2_hi[lane][i - 4]
+                        }
+                    });
+                    let b2col: [f32; 8] = std::array::from_fn(|c| {
+                        if c < 4 {
+                            b2_lo[lane][c]
+                        } else {
+                            b2_hi[lane][c - 4]
+                        }
+                    });
+                    for row in 0..MICRO_TILE {
+                        for cc in 0..MICRO_TILE {
+                            let d = a2row[row] + b2col[cc] - 2.0 * acc[tid][row][cc];
+                            let kv = gaussian(d, s);
+                            for c in 0..r {
+                                let wv = if cc < 4 {
+                                    w_lo[c][lane][cc]
+                                } else {
+                                    w_hi[c][lane][cc - 4]
+                                };
+                                gamma[tid][c][row] += kv * wv;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Intra-block shuffle reduction per column.
+            mach.alu(32 * r as u64);
+            mach.falu(32 * r as u64);
+            // T scratch: column c parks at word offset 128·c.
+            for c in 0..r {
+                let t_base: [Option<u32>; 32] = std::array::from_fn(|lane| {
+                    let tx = lane % THREADS_XY;
+                    let ty = 2 * wp + lane / THREADS_XY;
+                    (tx == 0).then_some((c * BLOCK_TILE + ty * MICRO_TILE) as u32)
+                });
+                for row in 0..MICRO_TILE {
+                    let words: [Option<u32>; 32] =
+                        std::array::from_fn(|lane| t_base[lane].map(|b| b + row as u32));
+                    let mut vals = [[0.0f32; 4]; 32];
+                    if M::FUNCTIONAL {
+                        for half in 0..2 {
+                            let mut sum = 0.0f32;
+                            for tx in 0..THREADS_XY {
+                                sum += gamma[wp * 32 + half * THREADS_XY + tx][c][row];
+                            }
+                            vals[half * THREADS_XY][0] = sum;
+                        }
+                    }
+                    mach.st_shared(&words, 1, &vals);
+                }
+            }
+        }
+        mach.syncthreads(warps);
+
+        // --- Atomic drain, one coalesced pass per column -----------------
+        for wp in 0..WARPS_PER_BLOCK / 2 {
+            for c in 0..r {
+                let words: [Option<u32>; 32] =
+                    std::array::from_fn(|lane| Some((c * BLOCK_TILE + wp * 32 + lane) as u32));
+                let t_vals = mach.ld_shared(&words, 1);
+                let vidx: WarpIdx =
+                    std::array::from_fn(|lane| Some(c * m + by * BLOCK_TILE + wp * 32 + lane));
+                let lane_vals: [f32; 32] = std::array::from_fn(|lane| t_vals[lane][0]);
+                mach.atomic_add(self.v, &vidx, &lane_vals);
+            }
+        }
+    }
+}
+
+impl Kernel for FusedMultiWeight {
+    fn name(&self) -> String {
+        format!(
+            "fused_multiw{}_{}x{}x{}",
+            self.r, self.shape.m, self.shape.n, self.shape.k
+        )
+    }
+
+    fn launch_config(&self) -> LaunchConfig {
+        let (gx, gy) = self.shape.grid();
+        LaunchConfig::new(
+            Dim3::new_2d(gx, gy),
+            Dim3::new_2d(THREADS_XY as u32, THREADS_XY as u32),
+        )
+    }
+
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            threads_per_block: (THREADS_XY * THREADS_XY) as u32,
+            regs_per_thread: Self::regs_per_thread(self.r).min(255),
+            smem_bytes_per_block: SmemMap::new(true).bytes(),
+        }
+    }
+
+    fn timing_hints(&self) -> TimingHints {
+        TimingHints {
+            exec_model: ExecModel::CudaC,
+            mlp: 8.0,
+        }
+    }
+
+    fn execute_block(&self, block: Dim3, ctx: &mut BlockCtx) {
+        self.body(block, &mut FunctionalMachine::new(ctx));
+    }
+
+    fn block_traffic(&self, block: Dim3, sink: &mut TrafficSink) {
+        self.body(block, &mut TrafficMachine::new(sink));
+    }
+
+    fn traffic_homogeneous(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_gpu_sim::GpuDevice;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f32 {
+        let mut state = seed | 1;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) * 0.5
+        }
+    }
+
+    struct Setup {
+        dev: GpuDevice,
+        a: Vec<f32>,
+        b: Vec<f32>,
+        w: Vec<f32>,
+        kern_inputs: (GemmOperands, BufId, BufId, BufId, BufId),
+        shape: GemmShape,
+        bw: Bandwidth,
+        r: usize,
+    }
+
+    fn setup(shape: GemmShape, r: usize, seed: u64) -> Setup {
+        let mut next = lcg(seed);
+        let a: Vec<f32> = (0..shape.m * shape.k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..shape.k * shape.n).map(|_| next()).collect();
+        let w: Vec<f32> = (0..shape.n * r).map(|_| next()).collect();
+        let a2: Vec<f32> = (0..shape.m)
+            .map(|i| {
+                a[i * shape.k..(i + 1) * shape.k]
+                    .iter()
+                    .map(|v| v * v)
+                    .sum()
+            })
+            .collect();
+        let b2: Vec<f32> = (0..shape.n)
+            .map(|j| {
+                b[j * shape.k..(j + 1) * shape.k]
+                    .iter()
+                    .map(|v| v * v)
+                    .sum()
+            })
+            .collect();
+        let mut dev = GpuDevice::gtx970();
+        let ops = GemmOperands {
+            a: dev.upload(&a),
+            b: dev.upload(&b),
+        };
+        let (ba2, bb2) = (dev.upload(&a2), dev.upload(&b2));
+        let bw_buf = dev.upload(&w);
+        let bv = dev.alloc(shape.m * r);
+        Setup {
+            dev,
+            a,
+            b,
+            w,
+            kern_inputs: (ops, ba2, bb2, bw_buf, bv),
+            shape,
+            bw: Bandwidth { h: 1.0 },
+            r,
+        }
+    }
+
+    fn reference(s: &Setup) -> Vec<f32> {
+        let scale = s.bw.inv_2h2() as f64;
+        let (m, n, k) = (s.shape.m, s.shape.n, s.shape.k);
+        let mut out = vec![0.0f32; m * s.r];
+        for c in 0..s.r {
+            for i in 0..m {
+                let mut acc = 0.0f64;
+                for j in 0..n {
+                    let d: f64 = (0..k)
+                        .map(|t| (s.a[i * k + t] as f64 - s.b[j * k + t] as f64).powi(2))
+                        .sum();
+                    acc += (-d * scale).exp() * s.w[c * n + j] as f64;
+                }
+                out[c * m + i] = acc as f32;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn functional_matches_reference_for_r2_and_r4() {
+        for r in [2usize, 4] {
+            let mut s = setup(
+                GemmShape {
+                    m: 128,
+                    n: 256,
+                    k: 16,
+                },
+                r,
+                7 + r as u64,
+            );
+            let (ops, a2, b2, w, v) = s.kern_inputs;
+            let kern = FusedMultiWeight::new(ops, a2, b2, w, v, s.shape, s.bw, r);
+            s.dev.run(&kern).unwrap();
+            let got = s.dev.download(v);
+            let want = reference(&s);
+            for (i, (g, x)) in got.iter().zip(want.iter()).enumerate() {
+                assert!(
+                    (g - x).abs() < 3e-3 * x.abs().max(1.0),
+                    "r={r} idx {i}: {g} vs {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn r1_matches_the_single_weight_kernel() {
+        let mut s = setup(
+            GemmShape {
+                m: 128,
+                n: 128,
+                k: 16,
+            },
+            1,
+            21,
+        );
+        let (ops, a2, b2, w, v) = s.kern_inputs;
+        s.dev
+            .run(&FusedMultiWeight::new(ops, a2, b2, w, v, s.shape, s.bw, 1))
+            .unwrap();
+        let multi = s.dev.download(v);
+        let v2 = s.dev.alloc(s.shape.m);
+        s.dev
+            .run(&crate::fused::FusedKernelSummation::new(
+                ops, a2, b2, w, v2, s.shape, s.bw,
+            ))
+            .unwrap();
+        let single = s.dev.download(v2);
+        for (a, b) in multi.iter().zip(single.iter()) {
+            assert!((a - b).abs() < 1e-4 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn extra_columns_halve_occupancy() {
+        // §III-A register economy: R = 2 needs >128 regs/thread and
+        // drops to one block per SM.
+        let mut s = setup(
+            GemmShape {
+                m: 128,
+                n: 128,
+                k: 8,
+            },
+            2,
+            31,
+        );
+        let (ops, a2, b2, w, v) = s.kern_inputs;
+        let p = s
+            .dev
+            .launch(&FusedMultiWeight::new(ops, a2, b2, w, v, s.shape, s.bw, 2))
+            .unwrap();
+        assert_eq!(p.occupancy.blocks_per_sm, 1);
+    }
+
+    #[test]
+    fn multi_weight_beats_repeated_single_weight_runs() {
+        // The whole point: folding R columns into one pass costs far
+        // less than R full fused passes (each redoing the GEMM).
+        let r = 4usize;
+        let shape = GemmShape {
+            m: 4096,
+            n: 1024,
+            k: 64,
+        };
+        let multi_time = {
+            let mut dev = GpuDevice::gtx970();
+            let ops = GemmOperands {
+                a: dev.alloc_virtual(shape.m * shape.k),
+                b: dev.alloc_virtual(shape.k * shape.n),
+            };
+            let (a2, b2) = (dev.alloc_virtual(shape.m), dev.alloc_virtual(shape.n));
+            let w = dev.alloc_virtual(shape.n * r);
+            let v = dev.alloc_virtual(shape.m * r);
+            let p = dev
+                .launch(&FusedMultiWeight::new(
+                    ops,
+                    a2,
+                    b2,
+                    w,
+                    v,
+                    shape,
+                    Bandwidth { h: 1.0 },
+                    r,
+                ))
+                .unwrap();
+            p.timing.time_s
+        };
+        let single_time = {
+            let mut dev = GpuDevice::gtx970();
+            let ops = GemmOperands {
+                a: dev.alloc_virtual(shape.m * shape.k),
+                b: dev.alloc_virtual(shape.k * shape.n),
+            };
+            let (a2, b2) = (dev.alloc_virtual(shape.m), dev.alloc_virtual(shape.n));
+            let w = dev.alloc_virtual(shape.n);
+            let v = dev.alloc_virtual(shape.m);
+            let p = dev
+                .launch(&crate::fused::FusedKernelSummation::new(
+                    ops,
+                    a2,
+                    b2,
+                    w,
+                    v,
+                    shape,
+                    Bandwidth { h: 1.0 },
+                ))
+                .unwrap();
+            p.timing.time_s
+        };
+        assert!(
+            multi_time < 0.5 * r as f64 * single_time,
+            "multi {multi_time} vs {r}x single {}",
+            r as f64 * single_time
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_too_many_columns() {
+        let mut dev = GpuDevice::gtx970();
+        let shape = GemmShape {
+            m: 128,
+            n: 128,
+            k: 8,
+        };
+        let ops = GemmOperands {
+            a: dev.alloc_virtual(128 * 8),
+            b: dev.alloc_virtual(8 * 128),
+        };
+        let (a2, b2, w, v) = (
+            dev.alloc_virtual(128),
+            dev.alloc_virtual(128),
+            dev.alloc_virtual(128 * 9),
+            dev.alloc_virtual(128 * 9),
+        );
+        let _ = FusedMultiWeight::new(ops, a2, b2, w, v, shape, Bandwidth { h: 1.0 }, 9);
+    }
+}

@@ -1,0 +1,538 @@
+//! The shared 128×128 GEMM block engine (paper §III-A, Fig 4).
+//!
+//! One thread block of 16×16 threads computes a 128×128 `submatrixC`
+//! as `Σ_i tileA_i × tileB_i` with rank-8 updates: `tileA` is 128×8
+//! (rows of A), `tileB` is 8×128 (columns of B). Each thread owns an
+//! 8×8 `microtileC` in registers. Tiles are staged in shared memory
+//! with the Fig 5 swizzle ([`crate::layout`]) and — by default —
+//! double-buffered so the loads of tile `i+1` overlap the compute of
+//! tile `i` (Algorithm 2 lines 5–13).
+//!
+//! The engine is generic over [`WarpMachine`], so the same code path
+//! produces numerics (functional mode) and transaction counts
+//! (traffic mode).
+
+use ks_gpu_sim::buffer::BufId;
+use ks_gpu_sim::traffic::WarpIdx;
+
+use crate::layout::{compute_read_pairs, loader_assignment, tile_word, SmemLayout};
+use crate::machine::WarpMachine;
+use crate::{BLOCK_TILE, K_TILE, MICRO_TILE, THREADS_PER_BLOCK, TILE_WORDS, WARPS_PER_BLOCK};
+
+/// Per-thread accumulator: an 8×8 microtile of C.
+pub type Microtile = [[f32; MICRO_TILE]; MICRO_TILE];
+
+/// Fresh accumulators for one block (256 microtiles). In traffic mode
+/// pass an empty slice instead.
+#[must_use]
+pub fn fresh_acc() -> Vec<Microtile> {
+    vec![[[0.0; MICRO_TILE]; MICRO_TILE]; THREADS_PER_BLOCK]
+}
+
+/// Operand matrices of the GEMM: `a` is M×K row-major, `b` is K×N
+/// column-major — both *point-contiguous* along K, as the paper
+/// requires.
+#[derive(Debug, Clone, Copy)]
+pub struct GemmOperands {
+    /// Source-point matrix A (M×K, row-major).
+    pub a: BufId,
+    /// Target-point matrix B (K×N, column-major).
+    pub b: BufId,
+}
+
+/// Problem dimensions. The engine requires `m % 128 == 0`,
+/// `n % 128 == 0`, `k % 8 == 0` (the paper's sweeps satisfy all
+/// three; fringe tiles are out of scope — see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmShape {
+    /// Rows of A and C.
+    pub m: usize,
+    /// Columns of B and C.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+}
+
+impl GemmShape {
+    /// Validates divisibility constraints.
+    ///
+    /// # Panics
+    /// Panics if the shape violates the tiling constraints.
+    pub fn validate(&self) {
+        assert!(self.m > 0 && self.n > 0 && self.k > 0, "empty GEMM shape");
+        assert_eq!(
+            self.m % BLOCK_TILE,
+            0,
+            "M = {} must be a multiple of {BLOCK_TILE}",
+            self.m
+        );
+        assert_eq!(
+            self.n % BLOCK_TILE,
+            0,
+            "N = {} must be a multiple of {BLOCK_TILE}",
+            self.n
+        );
+        assert_eq!(
+            self.k % K_TILE,
+            0,
+            "K = {} must be a multiple of {K_TILE}",
+            self.k
+        );
+    }
+
+    /// Grid extent: `(N/128, M/128)`.
+    #[must_use]
+    pub fn grid(&self) -> (u32, u32) {
+        ((self.n / BLOCK_TILE) as u32, (self.m / BLOCK_TILE) as u32)
+    }
+}
+
+/// Word offsets of the shared-memory buffers. With double buffering the
+/// block uses four 1024-word tiles (16KB); without, two (8KB). `T`
+/// (the reduction scratch of Algorithm 2) reuses `a[0]`.
+#[derive(Debug, Clone, Copy)]
+pub struct SmemMap {
+    /// Word offsets of sharedA0 / sharedA1.
+    pub a: [u32; 2],
+    /// Word offsets of sharedB0 / sharedB1.
+    pub b: [u32; 2],
+    /// Total shared words.
+    pub words: u32,
+}
+
+impl SmemMap {
+    /// Builds the map for single- or double-buffered operation.
+    #[must_use]
+    pub fn new(double_buffer: bool) -> Self {
+        let t = TILE_WORDS as u32;
+        if double_buffer {
+            Self {
+                a: [0, t],
+                b: [2 * t, 3 * t],
+                words: 4 * t,
+            }
+        } else {
+            Self {
+                a: [0, 0],
+                b: [t, t],
+                words: 2 * t,
+            }
+        }
+    }
+
+    /// Shared-memory bytes per block.
+    #[must_use]
+    pub fn bytes(&self) -> u32 {
+        self.words * 4
+    }
+}
+
+/// Loads `tileA[kt]` and `tileB[kt]` into the shared buffers at
+/// `smem_a` / `smem_b` (Fig 5 store pattern: warps 0–3 load A,
+/// warps 4–7 load B; conflict-free stores).
+#[allow(clippy::too_many_arguments)] // mirrors the CUDA kernel's parameter list
+pub fn load_tiles<M: WarpMachine>(
+    mach: &mut M,
+    ops: &GemmOperands,
+    shape: &GemmShape,
+    layout: SmemLayout,
+    bx: usize,
+    by: usize,
+    kt: usize,
+    smem_a: u32,
+    smem_b: u32,
+) {
+    let k = shape.k;
+    for w in 0..WARPS_PER_BLOCK {
+        // Halves: warps 0..4 fetch tileA (point base = row), warps
+        // 4..8 fetch tileB (point base = column).
+        let (buf, point0, wl, dst) = if w < 4 {
+            (ops.a, by * BLOCK_TILE, w, smem_a)
+        } else {
+            (ops.b, bx * BLOCK_TILE, w - 4, smem_b)
+        };
+
+        // Each lane fetches one 8-element track: two LDG.128.
+        let track_base = |u: usize| {
+            let (m, c) = loader_assignment(wl, u);
+            (m, c, (point0 + m * MICRO_TILE + c) * k + kt * K_TILE)
+        };
+        let idx_lo: WarpIdx = std::array::from_fn(|u| Some(track_base(u).2));
+        let idx_hi: WarpIdx = std::array::from_fn(|u| Some(track_base(u).2 + 4));
+        mach.alu(2); // address computation
+        let lo = mach.ld_global(buf, &idx_lo, 4);
+        let hi = mach.ld_global(buf, &idx_hi, 4);
+
+        // Eight store phases: phase kk writes one full 32-bank row in
+        // the swizzled layout (no store conflicts).
+        for kk in 0..K_TILE {
+            let words: [Option<u32>; 32] = std::array::from_fn(|u| {
+                let (m, c, _) = track_base(u);
+                Some(dst + tile_word(layout, m, c, kk))
+            });
+            let vals: [[f32; 4]; 32] = std::array::from_fn(|u| {
+                let v = if kk < 4 { lo[u][kk] } else { hi[u][kk - 4] };
+                [v, 0.0, 0.0, 0.0]
+            });
+            mach.st_shared(&words, 1, &vals);
+        }
+    }
+}
+
+/// One rank-8 update: every thread multiplies its `microtileA_ty`
+/// column slice by its `microtileB_tx` row slice for each of the 8
+/// k-steps, accumulating into `acc` (functional mode only).
+///
+/// `acc` must have 256 entries in functional mode; it may be empty in
+/// traffic mode.
+pub fn compute_ktile<M: WarpMachine>(
+    mach: &mut M,
+    layout: SmemLayout,
+    smem_a: u32,
+    smem_b: u32,
+    acc: &mut [Microtile],
+) {
+    for w in 0..WARPS_PER_BLOCK {
+        mach.alu(2); // loop/index overhead per warp per tile
+        for kk in 0..K_TILE {
+            // A operand: lane (tx, ty) reads the 8 track values of
+            // microtileA_ty as 4 LDS.64 (2 tracks each).
+            let mut a_vals = [[0.0f32; MICRO_TILE]; 32];
+            for j in 0..4 {
+                let words: [Option<u32>; 32] = std::array::from_fn(|lane| {
+                    let ty = 2 * w + lane / 16;
+                    Some(smem_a + compute_read_pairs(layout, ty, kk)[j])
+                });
+                let v = mach.ld_shared(&words, 2);
+                if M::FUNCTIONAL {
+                    for lane in 0..32 {
+                        a_vals[lane][2 * j] = v[lane][0];
+                        a_vals[lane][2 * j + 1] = v[lane][1];
+                    }
+                }
+            }
+            // B operand: microtileB_tx.
+            let mut b_vals = [[0.0f32; MICRO_TILE]; 32];
+            for j in 0..4 {
+                let words: [Option<u32>; 32] = std::array::from_fn(|lane| {
+                    let tx = lane % 16;
+                    Some(smem_b + compute_read_pairs(layout, tx, kk)[j])
+                });
+                let v = mach.ld_shared(&words, 2);
+                if M::FUNCTIONAL {
+                    for lane in 0..32 {
+                        b_vals[lane][2 * j] = v[lane][0];
+                        b_vals[lane][2 * j + 1] = v[lane][1];
+                    }
+                }
+            }
+            // 64 FFMAs per lane: the rank-1 update of the microtile.
+            mach.ffma((MICRO_TILE * MICRO_TILE) as u64);
+            if M::FUNCTIONAL {
+                for lane in 0..32 {
+                    let tid = w * 32 + lane;
+                    let mt = &mut acc[tid];
+                    for (r, ar) in a_vals[lane].iter().enumerate() {
+                        for (cc, bc) in b_vals[lane].iter().enumerate() {
+                            mt[r][cc] += ar * bc;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs the full GEMM phase of one block: Algorithm 2 lines 5–13.
+/// Leaves the microtile products in `acc` (functional mode).
+#[allow(clippy::too_many_arguments)] // mirrors the CUDA kernel's parameter list
+pub fn gemm_block<M: WarpMachine>(
+    mach: &mut M,
+    ops: &GemmOperands,
+    shape: &GemmShape,
+    layout: SmemLayout,
+    double_buffer: bool,
+    bx: usize,
+    by: usize,
+    acc: &mut [Microtile],
+) {
+    let smem = SmemMap::new(double_buffer);
+    let tiles = shape.k / K_TILE;
+    let warps = WARPS_PER_BLOCK as u64;
+
+    if double_buffer {
+        let mut j = 0usize;
+        load_tiles(mach, ops, shape, layout, bx, by, 0, smem.a[j], smem.b[j]);
+        mach.syncthreads(warps);
+        for i in 1..tiles {
+            let prev = j;
+            j ^= 1;
+            load_tiles(mach, ops, shape, layout, bx, by, i, smem.a[j], smem.b[j]);
+            compute_ktile(mach, layout, smem.a[prev], smem.b[prev], acc);
+            mach.syncthreads(warps);
+        }
+        compute_ktile(mach, layout, smem.a[j], smem.b[j], acc);
+    } else {
+        for i in 0..tiles {
+            load_tiles(mach, ops, shape, layout, bx, by, i, smem.a[0], smem.b[0]);
+            mach.syncthreads(warps);
+            compute_ktile(mach, layout, smem.a[0], smem.b[0], acc);
+            mach.syncthreads(warps);
+        }
+    }
+}
+
+/// Number of `__syncthreads()` per block for a given configuration
+/// (used by tests and the timing documentation).
+#[must_use]
+pub fn syncs_per_block(k: usize, double_buffer: bool) -> u64 {
+    let tiles = (k / K_TILE) as u64;
+    if double_buffer {
+        tiles // one barrier per tile (the paper's pipelined loop)
+    } else {
+        2 * tiles // load barrier + compute barrier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{FunctionalMachine, TrafficMachine};
+    use ks_gpu_sim::buffer::GlobalMem;
+    use ks_gpu_sim::cache::Cache;
+    use ks_gpu_sim::exec::BlockCtx;
+    use ks_gpu_sim::traffic::TrafficSink;
+
+    fn upload_ab(mem: &mut GlobalMem, shape: &GemmShape, seed: u64) -> GemmOperands {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let a: Vec<f32> = (0..shape.m * shape.k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..shape.k * shape.n).map(|_| next()).collect();
+        GemmOperands {
+            a: mem.upload(&a),
+            b: mem.upload(&b),
+        }
+    }
+
+    fn reference_c(mem: &GlobalMem, ops: &GemmOperands, shape: &GemmShape) -> Vec<f32> {
+        let a = mem.download(ops.a);
+        let b = mem.download(ops.b);
+        let mut c = vec![0.0f32; shape.m * shape.n];
+        for i in 0..shape.m {
+            for j in 0..shape.n {
+                let mut acc = 0.0f64;
+                for p in 0..shape.k {
+                    acc += a[i * shape.k + p] as f64 * b[j * shape.k + p] as f64;
+                }
+                c[i * shape.n + j] = acc as f32;
+            }
+        }
+        c
+    }
+
+    fn run_block_functional(
+        mem: &GlobalMem,
+        ops: &GemmOperands,
+        shape: &GemmShape,
+        layout: SmemLayout,
+        double_buffer: bool,
+        bx: usize,
+        by: usize,
+    ) -> Vec<Microtile> {
+        let smem = SmemMap::new(double_buffer);
+        let mut ctx = BlockCtx::new(mem, smem.words as usize, None);
+        let mut acc = fresh_acc();
+        let mut mach = FunctionalMachine::new(&mut ctx);
+        gemm_block(
+            &mut mach,
+            ops,
+            shape,
+            layout,
+            double_buffer,
+            bx,
+            by,
+            &mut acc,
+        );
+        acc
+    }
+
+    fn check_block(acc: &[Microtile], c_ref: &[f32], shape: &GemmShape, bx: usize, by: usize) {
+        for ty in 0..16 {
+            for tx in 0..16 {
+                let mt = &acc[ty * 16 + tx];
+                for r in 0..8 {
+                    for cc in 0..8 {
+                        let row = by * 128 + ty * 8 + r;
+                        let col = bx * 128 + tx * 8 + cc;
+                        let want = c_ref[row * shape.n + col];
+                        let got = mt[r][cc];
+                        assert!(
+                            (want - got).abs() <= 1e-3 * want.abs().max(1.0),
+                            "block ({bx},{by}) thread ({tx},{ty}) elem ({r},{cc}): {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_block_gemm_matches_reference() {
+        let shape = GemmShape {
+            m: 128,
+            n: 128,
+            k: 32,
+        };
+        let mut mem = GlobalMem::new();
+        let ops = upload_ab(&mut mem, &shape, 7);
+        let c_ref = reference_c(&mem, &ops, &shape);
+        let acc = run_block_functional(&mem, &ops, &shape, SmemLayout::Swizzled, true, 0, 0);
+        check_block(&acc, &c_ref, &shape, 0, 0);
+    }
+
+    #[test]
+    fn multi_block_offsets_are_correct() {
+        let shape = GemmShape {
+            m: 256,
+            n: 256,
+            k: 16,
+        };
+        let mut mem = GlobalMem::new();
+        let ops = upload_ab(&mut mem, &shape, 13);
+        let c_ref = reference_c(&mem, &ops, &shape);
+        for (bx, by) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+            let acc = run_block_functional(&mem, &ops, &shape, SmemLayout::Swizzled, true, bx, by);
+            check_block(&acc, &c_ref, &shape, bx, by);
+        }
+    }
+
+    #[test]
+    fn naive_layout_computes_the_same_values() {
+        let shape = GemmShape {
+            m: 128,
+            n: 128,
+            k: 24,
+        };
+        let mut mem = GlobalMem::new();
+        let ops = upload_ab(&mut mem, &shape, 21);
+        let a = run_block_functional(&mem, &ops, &shape, SmemLayout::Swizzled, true, 0, 0);
+        let b = run_block_functional(&mem, &ops, &shape, SmemLayout::NaiveRowMajor, true, 0, 0);
+        assert_eq!(a, b, "layout must not change numerics");
+    }
+
+    #[test]
+    fn single_buffer_computes_the_same_values() {
+        let shape = GemmShape {
+            m: 128,
+            n: 128,
+            k: 24,
+        };
+        let mut mem = GlobalMem::new();
+        let ops = upload_ab(&mut mem, &shape, 22);
+        let a = run_block_functional(&mem, &ops, &shape, SmemLayout::Swizzled, true, 0, 0);
+        let b = run_block_functional(&mem, &ops, &shape, SmemLayout::Swizzled, false, 0, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traffic_mode_counts_without_data() {
+        let shape = GemmShape {
+            m: 128,
+            n: 128,
+            k: 32,
+        };
+        let mut mem = GlobalMem::new();
+        let ops = upload_ab(&mut mem, &shape, 5);
+        let mut l2 = Cache::new(256 * 1024, 16, 32);
+        let mut sink = TrafficSink::new(&mem, &mut l2, 32, 32);
+        {
+            let mut mach = TrafficMachine::new(&mut sink);
+            let mut acc: Vec<Microtile> = Vec::new();
+            gemm_block(
+                &mut mach,
+                &ops,
+                &shape,
+                SmemLayout::Swizzled,
+                true,
+                0,
+                0,
+                &mut acc,
+            );
+        }
+        let c = &sink.counters;
+        let tiles = (shape.k / K_TILE) as u64;
+        // FFMA: 8 warps × 8 k-steps × 64 per tile.
+        assert_eq!(c.ffma_insts, tiles * 8 * 8 * 64);
+        // Global loads: 8 warps × 2 LDG.128 per tile.
+        assert_eq!(c.global_load_insts, tiles * 8 * 2);
+        // Sector traffic: each tile pair is 2×128×8 floats = 8KB = 256
+        // unique sectors per tile, but each 32-byte sector is touched
+        // by both LDG.128s of its track (two instructions), so the L2
+        // sees 512 sector requests per tile (half of them hits).
+        assert_eq!(c.l2_read_sectors, tiles * 512);
+        assert_eq!(c.sync_insts, syncs_per_block(shape.k, true) * 8);
+        // Swizzled layout: zero conflicts ⇒ transactions = 2 per LDS.64
+        // phase... loads: 8 warps × 8 k × 8 LDS.64, each 2 phases ⇒
+        // transactions = insts × 2 / ... every phase is one transaction.
+        assert_eq!(c.smem.load_instructions, tiles * 8 * 8 * 8);
+        assert_eq!(c.smem.load_transactions, c.smem.load_instructions * 2);
+        // Stores: 8 warps × 8 phases per tile, conflict-free.
+        assert_eq!(c.smem.store_instructions, tiles * 8 * 8);
+        assert_eq!(c.smem.store_transactions, c.smem.store_instructions);
+    }
+
+    #[test]
+    fn naive_layout_has_conflicted_loads() {
+        let shape = GemmShape {
+            m: 128,
+            n: 128,
+            k: 32,
+        };
+        let mut mem = GlobalMem::new();
+        let ops = upload_ab(&mut mem, &shape, 5);
+        let count = |layout: SmemLayout| {
+            let mut l2 = Cache::new(256 * 1024, 16, 32);
+            let mut sink = TrafficSink::new(&mem, &mut l2, 32, 32);
+            let mut mach = TrafficMachine::new(&mut sink);
+            let mut acc: Vec<Microtile> = Vec::new();
+            gemm_block(&mut mach, &ops, &shape, layout, true, 0, 0, &mut acc);
+            sink.counters.smem
+        };
+        let sw = count(SmemLayout::Swizzled);
+        let nv = count(SmemLayout::NaiveRowMajor);
+        assert!(
+            nv.load_transactions > 2 * sw.load_transactions,
+            "naive {} vs swizzled {}",
+            nv.load_transactions,
+            sw.load_transactions
+        );
+    }
+
+    #[test]
+    fn sync_counts_match_buffering_mode() {
+        assert_eq!(syncs_per_block(64, true), 8);
+        assert_eq!(syncs_per_block(64, false), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of")]
+    fn shape_validation_rejects_bad_m() {
+        GemmShape {
+            m: 100,
+            n: 128,
+            k: 8,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn smem_map_sizes() {
+        assert_eq!(SmemMap::new(true).bytes(), 16 * 1024);
+        assert_eq!(SmemMap::new(false).bytes(), 8 * 1024);
+    }
+}

@@ -1,0 +1,62 @@
+//! # ks-gpu-kernels — the paper's GPU kernels on the simulator
+//!
+//! Implements §III of the paper:
+//!
+//! * [`layout`] — the Fig 5 thread→track mapping and the swizzled
+//!   shared-memory placement that eliminates both store and load bank
+//!   conflicts (plus the naive placement, kept for the ablation bench).
+//! * [`machine`] — the [`machine::WarpMachine`] abstraction: kernels
+//!   are written once and run either *functionally* (numerics on device
+//!   buffers) or in *traffic* mode (pure access-pattern replay at
+//!   paper-scale sizes). Both paths issue the identical warp-level
+//!   instruction stream by construction.
+//! * [`gemm_engine`] — the shared 128×128-tile GEMM block engine
+//!   (Fig 4): 16×16 threads, 8×8 microtiles, rank-8 updates, double
+//!   buffering.
+//! * [`sgemm`] — the CUDA-C SGEMM kernel and the cuBLAS-class
+//!   [`sgemm::VendorSgemm`] model.
+//! * [`aux_kernels`] — squared-norm, kernel-evaluation and
+//!   evaluation+summation kernels (the unfused pipeline stages).
+//! * [`fused`] — Algorithm 2: fused kernel summation with the
+//!   three-level reduction (intra-thread, intra-block, atomic
+//!   inter-block).
+//! * [`pipelines`] — the three end-to-end implementations of §IV:
+//!   `Fused`, `CUDA-Unfused`, `cuBLAS-Unfused`.
+
+#![warn(missing_docs)]
+// Kernel bodies index explicit lane/row/column loops to mirror the
+// CUDA code they model; iterator adaptors would obscure the mapping
+// the paper's figures describe.
+#![allow(clippy::needless_range_loop)]
+
+pub mod aux_kernels;
+pub mod fused;
+pub mod fused_multi;
+pub mod gemm_engine;
+pub mod layout;
+pub mod machine;
+pub mod pipelines;
+pub mod sgemm;
+pub mod small_micro;
+
+pub use fused::FusedKernelSummation;
+pub use fused_multi::FusedMultiWeight;
+pub use layout::SmemLayout;
+pub use pipelines::{GpuKernelSummation, GpuVariant, ProblemDims};
+pub use sgemm::{CudaSgemm, VendorSgemm};
+pub use small_micro::Sgemm4x4;
+
+/// Block tile edge: each thread block computes a 128×128 `submatrixC`.
+pub const BLOCK_TILE: usize = 128;
+/// Depth of one rank-update step (`tileA` is 128×8, `tileB` is 8×128).
+pub const K_TILE: usize = 8;
+/// Threads per block dimension (16×16 grid).
+pub const THREADS_XY: usize = 16;
+/// Microtile edge: each thread computes 8×8 elements of `submatrixC`.
+pub const MICRO_TILE: usize = 8;
+/// Threads per block.
+pub const THREADS_PER_BLOCK: usize = THREADS_XY * THREADS_XY;
+/// Warps per block.
+pub const WARPS_PER_BLOCK: usize = THREADS_PER_BLOCK / 32;
+/// Words in one shared tile (128×8).
+pub const TILE_WORDS: usize = BLOCK_TILE * K_TILE;

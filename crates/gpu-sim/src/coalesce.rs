@@ -1,0 +1,154 @@
+//! Global-memory coalescing model.
+//!
+//! On Maxwell a warp's global load/store is broken into 32-byte
+//! **sectors** at the L2 (the minimum L2/DRAM transaction size). A
+//! fully coalesced 4-byte-per-lane access touches 4 sectors; a
+//! degenerate scattered access touches up to 32. `float4` (16-byte)
+//! vector accesses touch the same bytes with a quarter of the
+//! instructions — which is why the paper's kernels use `float4`
+//! loads wherever possible (§III-B).
+
+/// Maximum sectors a single warp instruction can touch
+/// (32 lanes × 16B vector / 32B sector = 16 … but scattered 4B lanes
+/// can hit 32 distinct sectors).
+pub const MAX_SECTORS_PER_WARP: usize = 32;
+
+/// Computes the distinct 32-byte sectors touched by one warp-wide
+/// global access. `byte_addrs[lane]` is the base byte address accessed
+/// by the lane (each lane reads `access_bytes` contiguous bytes), or
+/// `None` for inactive lanes.
+///
+/// Returns the sector base addresses (deduplicated, in first-touch
+/// order) in `out`; the returned slice length is the transaction count.
+///
+/// # Panics
+/// Panics if `access_bytes` is 0 or not a power of two ≤ 16.
+pub fn warp_sectors<'a>(
+    byte_addrs: &[Option<u64>; 32],
+    access_bytes: u32,
+    sector_bytes: u32,
+    out: &'a mut [u64; MAX_SECTORS_PER_WARP * 2],
+) -> &'a [u64] {
+    assert!(
+        access_bytes.is_power_of_two() && access_bytes <= 16 && access_bytes > 0,
+        "access size must be 1/2/4/8/16 bytes, got {access_bytes}"
+    );
+    let mut n = 0usize;
+    // Lane address patterns are overwhelmingly monotone (unit stride,
+    // fixed stride, or broadcast). While the inserted sectors remain
+    // ascending, a base above the last insert is certainly new and a
+    // base equal to it is a repeat — both O(1). Only genuinely
+    // irregular patterns fall back to the full dedup scan.
+    let mut ascending = true;
+    for addr in byte_addrs.iter().flatten() {
+        let first = addr / sector_bytes as u64;
+        let last = (addr + access_bytes as u64 - 1) / sector_bytes as u64;
+        for s in first..=last {
+            let base = s * sector_bytes as u64;
+            if n == 0 {
+                out[0] = base;
+                n = 1;
+            } else if base == out[n - 1] {
+                // repeat of the previous sector
+            } else if ascending && base > out[n - 1] {
+                out[n] = base;
+                n += 1;
+            } else if !out[..n].contains(&base) {
+                out[n] = base;
+                n += 1;
+                ascending = false;
+            }
+        }
+    }
+    &out[..n]
+}
+
+/// Number of 32-byte-sector transactions for a warp access (see
+/// [`warp_sectors`]).
+#[must_use]
+pub fn warp_transaction_count(
+    byte_addrs: &[Option<u64>; 32],
+    access_bytes: u32,
+    sector_bytes: u32,
+) -> u32 {
+    let mut buf = [0u64; MAX_SECTORS_PER_WARP * 2];
+    warp_sectors(byte_addrs, access_bytes, sector_bytes, &mut buf).len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full(f: impl Fn(u64) -> u64) -> [Option<u64>; 32] {
+        std::array::from_fn(|l| Some(f(l as u64)))
+    }
+
+    #[test]
+    fn coalesced_float_load_is_four_sectors() {
+        // 32 lanes × 4B contiguous = 128B = 4 sectors.
+        let a = full(|l| 0x1000 + l * 4);
+        assert_eq!(warp_transaction_count(&a, 4, 32), 4);
+    }
+
+    #[test]
+    fn coalesced_float4_load_is_sixteen_sectors() {
+        // 32 lanes × 16B contiguous = 512B = 16 sectors.
+        let a = full(|l| 0x2000 + l * 16);
+        assert_eq!(warp_transaction_count(&a, 16, 32), 16);
+    }
+
+    #[test]
+    fn strided_access_wastes_sectors() {
+        // Stride 32B with 4B loads: every lane its own sector.
+        let a = full(|l| l * 32);
+        assert_eq!(warp_transaction_count(&a, 4, 32), 32);
+    }
+
+    #[test]
+    fn broadcast_address_is_one_sector() {
+        let a = full(|_| 0x40);
+        assert_eq!(warp_transaction_count(&a, 4, 32), 1);
+    }
+
+    #[test]
+    fn misaligned_access_straddles_sectors() {
+        // A 16B access at offset 24 crosses a 32B boundary.
+        let mut a = [None; 32];
+        a[0] = Some(24);
+        assert_eq!(warp_transaction_count(&a, 16, 32), 2);
+    }
+
+    #[test]
+    fn inactive_warp_is_zero() {
+        let a = [None; 32];
+        assert_eq!(warp_transaction_count(&a, 4, 32), 0);
+    }
+
+    #[test]
+    fn sector_bases_are_aligned_and_unique() {
+        let a = full(|l| 100 + l * 8);
+        let mut buf = [0u64; MAX_SECTORS_PER_WARP * 2];
+        let sectors = warp_sectors(&a, 8, 32, &mut buf);
+        for s in sectors {
+            assert_eq!(s % 32, 0);
+        }
+        let mut sorted = sectors.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), sectors.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "access size")]
+    fn rejects_bad_access_size() {
+        let a = [None; 32];
+        let _ = warp_transaction_count(&a, 3, 32);
+    }
+
+    #[test]
+    fn unaligned_warp_adds_one_transaction() {
+        // 128B contiguous starting at +4: spans 5 sectors.
+        let a = full(|l| 4 + l * 4);
+        assert_eq!(warp_transaction_count(&a, 4, 32), 5);
+    }
+}

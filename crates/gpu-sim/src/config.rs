@@ -1,0 +1,218 @@
+//! Device configuration — Table I of the paper plus the datasheet
+//! parameters the timing and energy models need.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of the simulated GPU.
+///
+/// Defaults come from [`DeviceConfig::gtx970`], the machine the paper
+/// evaluated on (NVIDIA GTX970, Maxwell GM204, compute capability 5.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Human-readable device name.
+    pub name: String,
+    /// Number of streaming multiprocessors ("Number of Multiprocessors", Table I).
+    pub num_sms: u32,
+    /// Maximum threads per block (Table I).
+    pub max_threads_per_block: u32,
+    /// Warp size (Table I).
+    pub warp_size: u32,
+    /// Maximum resident threads per SM (Table I).
+    pub max_threads_per_sm: u32,
+    /// 32-bit registers per SM (Table I: 64K).
+    pub regs_per_sm: u32,
+    /// Maximum registers per thread (Table I: 255).
+    pub max_regs_per_thread: u32,
+    /// Register-file allocation granularity in registers (CC 5.2: 256,
+    /// allocated per warp).
+    pub reg_alloc_granularity: u32,
+    /// Shared memory per SM in bytes (Table I: 96KB).
+    pub smem_per_sm: u32,
+    /// Maximum shared memory per block in bytes (CC 5.2: 48KB).
+    pub max_smem_per_block: u32,
+    /// Shared-memory allocation granularity in bytes (CC 5.2: 256).
+    pub smem_alloc_granularity: u32,
+    /// Shared memory banks (Table I: 32).
+    pub smem_banks: u32,
+    /// Bank width in bytes (Table I: 4).
+    pub smem_bank_bytes: u32,
+    /// Warp schedulers per SM (Table I: 4).
+    pub warp_schedulers: u32,
+    /// Maximum resident blocks per SM (CC 5.2: 32).
+    pub max_blocks_per_sm: u32,
+    /// CUDA cores (SP FMA lanes) per SM (GM204: 128).
+    pub cuda_cores_per_sm: u32,
+    /// Special-function units per SM (GM204: 32).
+    pub sfu_per_sm: u32,
+    /// Unified L2 size in bytes (Table I: 1.75MB).
+    pub l2_bytes: u32,
+    /// L2 associativity (modelled; 16-way).
+    pub l2_assoc: u32,
+    /// L2/DRAM sector (minimum transaction) size in bytes: 32.
+    pub sector_bytes: u32,
+    /// Core clock in GHz (GTX970 boost ≈ 1.178 GHz; base 1.05).
+    pub core_clock_ghz: f64,
+    /// Peak DRAM bandwidth in GB/s (GTX970: 196 GB/s usable —
+    /// 224 GB/s nominal less the slow 0.5 GB partition).
+    pub dram_bandwidth_gbps: f64,
+    /// L2 bandwidth in bytes per core clock (GM204 ≈ 512 B/clk).
+    pub l2_bytes_per_clk: f64,
+    /// DRAM (L2-miss) latency in core clocks (Maxwell ≈ 368).
+    pub dram_latency_clk: f64,
+    /// L2-hit latency in core clocks (Maxwell ≈ 194).
+    pub l2_latency_clk: f64,
+    /// Kernel launch overhead in microseconds (driver + dispatch).
+    pub launch_overhead_us: f64,
+    /// Cache global loads in the per-SM unified L1/texture cache.
+    /// Maxwell's default is **off** (§II-C: "the unified L1 and
+    /// texture unit of the Maxwell architecture does not actually
+    /// cache global loads"); the `-Xptxas -dlcm=ca` compiler flag the
+    /// paper mentions turns it on.
+    pub l1_cache_global_loads: bool,
+    /// Per-SM L1 capacity available to global loads in bytes
+    /// (GM204 unified L1/tex: 24KB usable per SM quadrant pair).
+    pub l1_bytes: u32,
+    /// L1 associativity (modelled).
+    pub l1_assoc: u32,
+}
+
+impl DeviceConfig {
+    /// The paper's test machine: NVIDIA GTX970 (Table I, CC 5.2).
+    #[must_use]
+    pub fn gtx970() -> Self {
+        Self {
+            name: "NVIDIA GTX970 (Maxwell GM204, CC 5.2)".to_string(),
+            num_sms: 13,
+            max_threads_per_block: 1024,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            regs_per_sm: 65536,
+            max_regs_per_thread: 255,
+            reg_alloc_granularity: 256,
+            smem_per_sm: 96 * 1024,
+            max_smem_per_block: 48 * 1024,
+            smem_alloc_granularity: 256,
+            smem_banks: 32,
+            smem_bank_bytes: 4,
+            warp_schedulers: 4,
+            max_blocks_per_sm: 32,
+            cuda_cores_per_sm: 128,
+            sfu_per_sm: 32,
+            l2_bytes: 1792 * 1024,
+            l2_assoc: 16,
+            sector_bytes: 32,
+            core_clock_ghz: 1.178,
+            dram_bandwidth_gbps: 196.0,
+            l2_bytes_per_clk: 512.0,
+            dram_latency_clk: 368.0,
+            l2_latency_clk: 194.0,
+            launch_overhead_us: 2.0,
+            l1_cache_global_loads: false,
+            l1_bytes: 24 * 1024,
+            l1_assoc: 8,
+        }
+    }
+
+    /// The GTX970's full-die sibling (GM204, 16 SMs, 2MB L2,
+    /// 224 GB/s): used by the device-generality study to check the
+    /// paper's conclusions aren't GTX970-specific.
+    #[must_use]
+    pub fn gtx980() -> Self {
+        Self {
+            name: "NVIDIA GTX980 (Maxwell GM204, CC 5.2)".to_string(),
+            num_sms: 16,
+            l2_bytes: 2048 * 1024,
+            core_clock_ghz: 1.216,
+            dram_bandwidth_gbps: 224.0,
+            ..Self::gtx970()
+        }
+    }
+
+    /// Peak single-precision throughput in GFLOP/s
+    /// (`cores × SMs × 2 flops/FMA × clock`).
+    #[must_use]
+    pub fn peak_sp_gflops(&self) -> f64 {
+        self.cuda_cores_per_sm as f64 * self.num_sms as f64 * 2.0 * self.core_clock_ghz
+    }
+
+    /// Peak FFMA warp instructions per clock per SM
+    /// (`cores / warp_size`).
+    #[must_use]
+    pub fn ffma_warps_per_clk_per_sm(&self) -> f64 {
+        self.cuda_cores_per_sm as f64 / self.warp_size as f64
+    }
+
+    /// Peak SFU warp instructions per clock per SM.
+    #[must_use]
+    pub fn sfu_warps_per_clk_per_sm(&self) -> f64 {
+        self.sfu_per_sm as f64 / self.warp_size as f64
+    }
+
+    /// DRAM bandwidth in bytes per core clock (whole device).
+    #[must_use]
+    pub fn dram_bytes_per_clk(&self) -> f64 {
+        self.dram_bandwidth_gbps / self.core_clock_ghz
+    }
+
+    /// Maximum resident warps per SM.
+    #[must_use]
+    pub fn max_warps_per_sm(&self) -> u32 {
+        self.max_threads_per_sm / self.warp_size
+    }
+
+    /// Core clock in Hz.
+    #[must_use]
+    pub fn clock_hz(&self) -> f64 {
+        self.core_clock_ghz * 1e9
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::gtx970()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtx970_matches_table_1() {
+        let d = DeviceConfig::gtx970();
+        assert_eq!(d.num_sms, 13);
+        assert_eq!(d.max_threads_per_block, 1024);
+        assert_eq!(d.warp_size, 32);
+        assert_eq!(d.max_threads_per_sm, 2048);
+        assert_eq!(d.regs_per_sm, 64 * 1024);
+        assert_eq!(d.max_regs_per_thread, 255);
+        assert_eq!(d.smem_per_sm, 96 * 1024);
+        assert_eq!(d.smem_banks, 32);
+        assert_eq!(d.smem_bank_bytes, 4);
+        assert_eq!(d.warp_schedulers, 4);
+        assert_eq!(d.l2_bytes, 1792 * 1024); // 1.75 MB
+    }
+
+    #[test]
+    fn peak_flops_is_about_3_9_tflops() {
+        // 13 SMs × 128 cores × 2 × 1.178 GHz ≈ 3920 GFLOP/s.
+        let g = DeviceConfig::gtx970().peak_sp_gflops();
+        assert!((3800.0..4050.0).contains(&g), "peak {g}");
+    }
+
+    #[test]
+    fn derived_rates() {
+        let d = DeviceConfig::gtx970();
+        assert_eq!(d.ffma_warps_per_clk_per_sm(), 4.0);
+        assert_eq!(d.sfu_warps_per_clk_per_sm(), 1.0);
+        assert_eq!(d.max_warps_per_sm(), 64);
+        assert!(d.dram_bytes_per_clk() > 100.0 && d.dram_bytes_per_clk() < 250.0);
+    }
+
+    #[test]
+    fn clone_and_default_agree() {
+        let d = DeviceConfig::default();
+        assert_eq!(d, DeviceConfig::gtx970());
+        assert_eq!(d, d.clone());
+    }
+}

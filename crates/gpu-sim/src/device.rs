@@ -1,0 +1,387 @@
+//! The simulated GPU device: memory, L2 state, launches, profiles.
+//!
+//! [`GpuDevice`] ties the pieces together. A *launch* walks the grid
+//! in CUDA block-enumeration order (x fastest — the CTA scheduler's
+//! dispatch order), replays each block's traffic through the coalescer,
+//! bank model and the persistent L2, then runs the timing model on the
+//! harvested counters. Dirty L2 lines are flushed (and charged as DRAM
+//! writes) at the kernel boundary, so every kernel's DRAM write count
+//! reflects the data it actually produced.
+
+use crate::buffer::{BufId, GlobalMem};
+use crate::cache::Cache;
+use crate::config::DeviceConfig;
+use crate::exec;
+use crate::kernel::{validate_launch, Kernel, LaunchError};
+use crate::occupancy::occupancy;
+use crate::profiler::{KernelProfile, MemTraffic};
+use crate::timing::{self, TimingParams};
+use crate::traffic::TrafficSink;
+
+/// A simulated GPU: configuration, global memory and L2 state.
+pub struct GpuDevice {
+    cfg: DeviceConfig,
+    mem: GlobalMem,
+    l2: Cache,
+    /// Per-SM L1s (only when `cfg.l1_cache_global_loads`).
+    l1s: Vec<Cache>,
+    timing_params: TimingParams,
+}
+
+impl GpuDevice {
+    /// Creates a device from a configuration.
+    #[must_use]
+    pub fn new(cfg: DeviceConfig) -> Self {
+        let l2 = Cache::new(cfg.l2_bytes as u64, cfg.l2_assoc, cfg.sector_bytes);
+        let l1s = if cfg.l1_cache_global_loads {
+            (0..cfg.num_sms)
+                .map(|_| Cache::new_hashed(cfg.l1_bytes as u64, cfg.l1_assoc, cfg.sector_bytes))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Self {
+            cfg,
+            mem: GlobalMem::new(),
+            l2,
+            l1s,
+            timing_params: TimingParams::default(),
+        }
+    }
+
+    /// A GTX970 device (the paper's machine).
+    #[must_use]
+    pub fn gtx970() -> Self {
+        Self::new(DeviceConfig::gtx970())
+    }
+
+    /// Device configuration.
+    #[must_use]
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Replaces the timing-model constants (ablation studies).
+    pub fn set_timing_params(&mut self, p: TimingParams) {
+        self.timing_params = p;
+    }
+
+    /// Current timing-model constants.
+    #[must_use]
+    pub fn timing_params(&self) -> &TimingParams {
+        &self.timing_params
+    }
+
+    /// Read access to global memory.
+    #[must_use]
+    pub fn mem(&self) -> &GlobalMem {
+        &self.mem
+    }
+
+    /// Allocates `len` zeroed `f32` cells.
+    pub fn alloc(&mut self, len: usize) -> BufId {
+        self.mem.alloc(len)
+    }
+
+    /// Reserves address space with no backing data (traffic-only
+    /// profiling of paper-scale problems).
+    pub fn alloc_virtual(&mut self, len: usize) -> BufId {
+        self.mem.alloc_virtual(len)
+    }
+
+    /// Allocates and uploads host data.
+    pub fn upload(&mut self, src: &[f32]) -> BufId {
+        self.mem.upload(src)
+    }
+
+    /// Downloads a buffer to the host.
+    #[must_use]
+    pub fn download(&self, id: BufId) -> Vec<f32> {
+        self.mem.download(id)
+    }
+
+    /// Zeroes a buffer (like `cudaMemset`).
+    pub fn memset_zero(&self, id: BufId) {
+        self.mem.fill(id, 0.0);
+    }
+
+    /// Invalidates L2 contents (cold-cache start) without touching
+    /// statistics.
+    pub fn invalidate_l2(&mut self) {
+        self.l2.invalidate();
+        for l1 in &mut self.l1s {
+            l1.invalidate();
+        }
+    }
+
+    /// Profiles a kernel: replays its traffic (no numerics) through
+    /// the memory system and runs the timing model.
+    ///
+    /// # Errors
+    /// Returns a [`LaunchError`] if the launch violates device limits.
+    pub fn launch(&mut self, kernel: &dyn Kernel) -> Result<KernelProfile, LaunchError> {
+        validate_launch(&self.cfg, kernel)?;
+        let before = self.l2.stats();
+        // L1s are not coherent across kernels: invalidate at launch.
+        for l1 in &mut self.l1s {
+            l1.invalidate();
+        }
+        let mut sink = TrafficSink::new(
+            &self.mem,
+            &mut self.l2,
+            self.cfg.sector_bytes,
+            self.cfg.smem_banks,
+        );
+        if !self.l1s.is_empty() {
+            sink.set_l1s(&mut self.l1s);
+        }
+        let lc = kernel.launch_config();
+        let blocks = lc.total_blocks();
+        let counters = if kernel.traffic_homogeneous() && blocks > 1 {
+            // Fast path: one block's compute/shared counters × grid
+            // size; global traffic replayed per block through the L2.
+            sink.set_mode(crate::traffic::SinkMode::LocalOnly);
+            let first = lc.grid.iter_indices().next().expect("non-empty grid");
+            kernel.block_traffic(first, &mut sink);
+            let mut local = sink.counters;
+            local.scale(blocks);
+            sink.counters = crate::profiler::Counters::default();
+            sink.set_mode(crate::traffic::SinkMode::GlobalOnly);
+            for (i, b) in lc.grid.iter_indices().enumerate() {
+                sink.begin_block(i as u64);
+                kernel.block_traffic(b, &mut sink);
+            }
+            let mut c = sink.counters;
+            c.merge(&local);
+            c
+        } else {
+            for (i, b) in lc.grid.iter_indices().enumerate() {
+                sink.begin_block(i as u64);
+                kernel.block_traffic(b, &mut sink);
+            }
+            sink.counters
+        };
+        self.l2.flush_dirty();
+        let after = self.l2.stats();
+        Ok(self.finish_profile(kernel, counters, before, after))
+    }
+
+    /// Runs a kernel functionally (parallel over blocks, no counters).
+    ///
+    /// # Errors
+    /// Returns a [`LaunchError`] if the launch violates device limits.
+    pub fn run(&mut self, kernel: &dyn Kernel) -> Result<(), LaunchError> {
+        validate_launch(&self.cfg, kernel)?;
+        let smem_words = kernel.resources().smem_bytes_per_block as usize / 4;
+        exec::run_functional(&self.mem, kernel, smem_words);
+        Ok(())
+    }
+
+    /// Runs a kernel functionally **and** profiles it (sequential over
+    /// blocks; slow — used to validate that `block_traffic` replays
+    /// exactly what `execute_block` does).
+    ///
+    /// # Errors
+    /// Returns a [`LaunchError`] if the launch violates device limits.
+    pub fn run_counted(&mut self, kernel: &dyn Kernel) -> Result<KernelProfile, LaunchError> {
+        validate_launch(&self.cfg, kernel)?;
+        let smem_words = kernel.resources().smem_bytes_per_block as usize / 4;
+        let before = self.l2.stats();
+        for l1 in &mut self.l1s {
+            l1.invalidate();
+        }
+        let mut sink = TrafficSink::new(
+            &self.mem,
+            &mut self.l2,
+            self.cfg.sector_bytes,
+            self.cfg.smem_banks,
+        );
+        if !self.l1s.is_empty() {
+            sink.set_l1s(&mut self.l1s);
+        }
+        exec::run_functional_counted(&self.mem, kernel, smem_words, &mut sink);
+        let counters = sink.counters;
+        self.l2.flush_dirty();
+        let after = self.l2.stats();
+        Ok(self.finish_profile(kernel, counters, before, after))
+    }
+
+    fn finish_profile(
+        &self,
+        kernel: &dyn Kernel,
+        counters: crate::profiler::Counters,
+        before: crate::cache::CacheStats,
+        after: crate::cache::CacheStats,
+    ) -> KernelProfile {
+        let mem = MemTraffic::from_delta(&before, &after);
+        let res = kernel.resources();
+        let occ = occupancy(&self.cfg, &res);
+        let lc = kernel.launch_config();
+        let hints = kernel.timing_hints();
+        let timing = timing::estimate(
+            &self.cfg,
+            &self.timing_params,
+            &hints,
+            &counters,
+            &mem,
+            &occ,
+            lc.total_blocks(),
+        );
+        KernelProfile {
+            name: kernel.name(),
+            launch: lc,
+            resources: res,
+            occupancy: occ,
+            counters,
+            mem,
+            timing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::{Dim3, LaunchConfig};
+    use crate::exec::BlockCtx;
+    use crate::kernel::KernelResources;
+    use crate::traffic::full_warp_idx;
+
+    /// Streams `n` words: read x, write y, one warp per block.
+    struct Streamer {
+        x: BufId,
+        y: BufId,
+        n: usize,
+    }
+
+    impl Kernel for Streamer {
+        fn name(&self) -> String {
+            "streamer".into()
+        }
+        fn launch_config(&self) -> LaunchConfig {
+            LaunchConfig::new(Dim3::new_1d((self.n as u32).div_ceil(32)), 32u32)
+        }
+        fn resources(&self) -> KernelResources {
+            KernelResources {
+                threads_per_block: 32,
+                regs_per_thread: 16,
+                smem_bytes_per_block: 0,
+            }
+        }
+        fn execute_block(&self, block: Dim3, ctx: &mut BlockCtx) {
+            let base = block.x as usize * 32;
+            let idx = full_warp_idx(|l| base + l);
+            let v = ctx.warp_ld_global(self.x, &idx);
+            ctx.warp_st_global(self.y, &idx, &v);
+        }
+        fn block_traffic(&self, block: Dim3, sink: &mut crate::traffic::TrafficSink) {
+            let base = block.x as usize * 32;
+            let idx = full_warp_idx(|l| base + l);
+            sink.global_read(self.x, &idx, 1);
+            sink.global_write(self.y, &idx, 1);
+        }
+    }
+
+    #[test]
+    fn launch_counts_cold_misses_and_writebacks() {
+        let mut dev = GpuDevice::gtx970();
+        let n = 32 * 1024;
+        let x = dev.alloc(n);
+        let y = dev.alloc(n);
+        let p = dev.launch(&Streamer { x, y, n }).unwrap();
+        // 4KB... n*4 bytes = 128KB each; sectors = n*4/32 = 4096.
+        assert_eq!(p.mem.dram_reads(), 4096);
+        assert_eq!(
+            p.mem.dram_writes, 4096,
+            "flush at kernel boundary charges the writes"
+        );
+        assert_eq!(p.counters.global_load_insts, 1024);
+        assert!(p.timing.time_s > 0.0);
+    }
+
+    #[test]
+    fn l2_persists_across_launches() {
+        let mut dev = GpuDevice::gtx970();
+        let n = 8 * 1024; // 32KB < L2
+        let x = dev.alloc(n);
+        let y = dev.alloc(n);
+        let k = Streamer { x, y, n };
+        let p1 = dev.launch(&k).unwrap();
+        let p2 = dev.launch(&k).unwrap();
+        assert!(
+            p2.mem.dram_reads() < p1.mem.dram_reads() / 10,
+            "second pass should hit residual L2 lines: {} vs {}",
+            p2.mem.dram_reads(),
+            p1.mem.dram_reads()
+        );
+    }
+
+    #[test]
+    fn invalidate_l2_restores_cold_behaviour() {
+        let mut dev = GpuDevice::gtx970();
+        let n = 8 * 1024;
+        let x = dev.alloc(n);
+        let y = dev.alloc(n);
+        let k = Streamer { x, y, n };
+        let p1 = dev.launch(&k).unwrap();
+        dev.invalidate_l2();
+        let p2 = dev.launch(&k).unwrap();
+        assert_eq!(p1.mem.dram_reads(), p2.mem.dram_reads());
+    }
+
+    #[test]
+    fn run_counted_agrees_with_launch_on_memory_counters() {
+        let n = 4096;
+        let mk = |dev: &mut GpuDevice| {
+            let x = dev.upload(&vec![1.0; n]);
+            let y = dev.alloc(n);
+            Streamer { x, y, n }
+        };
+        let mut d1 = GpuDevice::gtx970();
+        let k1 = mk(&mut d1);
+        let p1 = d1.launch(&k1).unwrap();
+        let mut d2 = GpuDevice::gtx970();
+        let k2 = mk(&mut d2);
+        let p2 = d2.run_counted(&k2).unwrap();
+        assert_eq!(p1.counters, p2.counters);
+        assert_eq!(p1.mem, p2.mem);
+        // And the functional path actually moved the data.
+        assert_eq!(d2.download(k2.y), vec![1.0; n]);
+    }
+
+    #[test]
+    fn launch_rejects_invalid_kernel() {
+        struct Bad;
+        impl Kernel for Bad {
+            fn name(&self) -> String {
+                "bad".into()
+            }
+            fn launch_config(&self) -> LaunchConfig {
+                LaunchConfig::new(1u32, 2048u32)
+            }
+            fn resources(&self) -> KernelResources {
+                KernelResources {
+                    threads_per_block: 2048,
+                    regs_per_thread: 8,
+                    smem_bytes_per_block: 0,
+                }
+            }
+            fn execute_block(&self, _: Dim3, _: &mut BlockCtx) {}
+            fn block_traffic(&self, _: Dim3, _: &mut crate::traffic::TrafficSink) {}
+        }
+        let mut dev = GpuDevice::gtx970();
+        assert!(matches!(
+            dev.launch(&Bad),
+            Err(LaunchError::TooManyThreads { .. })
+        ));
+    }
+
+    #[test]
+    fn profile_carries_occupancy() {
+        let mut dev = GpuDevice::gtx970();
+        let x = dev.alloc(32);
+        let y = dev.alloc(32);
+        let p = dev.launch(&Streamer { x, y, n: 32 }).unwrap();
+        assert_eq!(p.occupancy.blocks_per_sm, 32); // tiny kernel, block-limited
+    }
+}

@@ -1,0 +1,420 @@
+//! Functional block-synchronous execution engine.
+//!
+//! A kernel's `execute_block` runs the numerics of one thread block
+//! against real device buffers. Code is written *warp-synchronously*:
+//! memory traffic is issued through warp-level [`BlockCtx`] calls
+//! (which also feed the [`TrafficSink`] when profiling), and
+//! per-thread compute is ordinary Rust between those calls. Because
+//! the engine interprets one block at a time with explicit barriers,
+//! `__syncthreads()` semantics hold trivially; blocks themselves may
+//! run in parallel across host threads (rayon), mirroring independent
+//! CTAs on different SMs.
+
+use rayon::prelude::*;
+
+use crate::buffer::{BufId, GlobalMem};
+use crate::kernel::Kernel;
+use crate::traffic::{TrafficSink, WarpIdx};
+
+/// Execution context of one thread block (functional mode).
+pub struct BlockCtx<'a, 'b> {
+    mem: &'a GlobalMem,
+    smem: Vec<f32>,
+    sink: Option<&'b mut TrafficSink<'a>>,
+}
+
+impl<'a, 'b> BlockCtx<'a, 'b> {
+    /// Creates a context with `smem_words` words of shared memory.
+    #[must_use]
+    pub fn new(
+        mem: &'a GlobalMem,
+        smem_words: usize,
+        sink: Option<&'b mut TrafficSink<'a>>,
+    ) -> Self {
+        Self {
+            mem,
+            smem: vec![0.0; smem_words],
+            sink,
+        }
+    }
+
+    /// Shared-memory size in words.
+    #[must_use]
+    pub fn smem_words(&self) -> usize {
+        self.smem.len()
+    }
+
+    /// Warp global load, one word per active lane.
+    ///
+    /// # Panics
+    /// Panics if a lane's index is out of bounds (a device fault).
+    #[must_use]
+    pub fn warp_ld_global(&mut self, buf: BufId, idx: &WarpIdx) -> [f32; 32] {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.global_read(buf, idx, 1);
+        }
+        std::array::from_fn(|l| idx[l].map_or(0.0, |i| self.mem.load(buf, i)))
+    }
+
+    /// Warp global vector load: lane `l` reads `VL` consecutive words
+    /// starting at `idx[l]` (VL = 4 models LDG.128 / `float4`).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds access.
+    #[must_use]
+    pub fn warp_ld_global_vec<const VL: usize>(
+        &mut self,
+        buf: BufId,
+        idx: &WarpIdx,
+    ) -> [[f32; VL]; 32] {
+        debug_assert!(matches!(VL, 1 | 2 | 4));
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.global_read(buf, idx, VL as u32);
+        }
+        std::array::from_fn(|l| match idx[l] {
+            Some(i) => std::array::from_fn(|j| self.mem.load(buf, i + j)),
+            None => [0.0; VL],
+        })
+    }
+
+    /// Warp global store, one word per active lane.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds access.
+    pub fn warp_st_global(&mut self, buf: BufId, idx: &WarpIdx, vals: &[f32; 32]) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.global_write(buf, idx, 1);
+        }
+        for (l, i) in idx.iter().enumerate() {
+            if let Some(i) = i {
+                self.mem.store(buf, *i, vals[l]);
+            }
+        }
+    }
+
+    /// Warp global vector store (`float4` for VL = 4).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds access.
+    pub fn warp_st_global_vec<const VL: usize>(
+        &mut self,
+        buf: BufId,
+        idx: &WarpIdx,
+        vals: &[[f32; VL]; 32],
+    ) {
+        debug_assert!(matches!(VL, 1 | 2 | 4));
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.global_write(buf, idx, VL as u32);
+        }
+        for (l, i) in idx.iter().enumerate() {
+            if let Some(i) = i {
+                for j in 0..VL {
+                    self.mem.store(buf, *i + j, vals[l][j]);
+                }
+            }
+        }
+    }
+
+    /// Warp `atomicAdd`, one word per active lane.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds access.
+    pub fn warp_atomic_add(&mut self, buf: BufId, idx: &WarpIdx, vals: &[f32; 32]) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.global_atomic(buf, idx);
+        }
+        for (l, i) in idx.iter().enumerate() {
+            if let Some(i) = i {
+                self.mem.atomic_add(buf, *i, vals[l]);
+            }
+        }
+    }
+
+    /// Warp shared load, one word per active lane.
+    ///
+    /// # Panics
+    /// Panics if a word index exceeds the block's shared memory.
+    #[must_use]
+    pub fn warp_ld_shared(&mut self, word: &[Option<u32>; 32]) -> [f32; 32] {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.shared_read(word, 1);
+        }
+        std::array::from_fn(|l| word[l].map_or(0.0, |w| self.smem[w as usize]))
+    }
+
+    /// Warp shared vector load (LDS.128 for VL = 4).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds shared access.
+    #[must_use]
+    pub fn warp_ld_shared_vec<const VL: usize>(
+        &mut self,
+        word: &[Option<u32>; 32],
+    ) -> [[f32; VL]; 32] {
+        debug_assert!(matches!(VL, 1 | 2 | 4));
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.shared_read(word, VL as u32);
+        }
+        std::array::from_fn(|l| match word[l] {
+            Some(w) => std::array::from_fn(|j| self.smem[w as usize + j]),
+            None => [0.0; VL],
+        })
+    }
+
+    /// Warp shared store, one word per active lane.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds shared access.
+    pub fn warp_st_shared(&mut self, word: &[Option<u32>; 32], vals: &[f32; 32]) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.shared_write(word, 1);
+        }
+        for (l, w) in word.iter().enumerate() {
+            if let Some(w) = w {
+                self.smem[*w as usize] = vals[l];
+            }
+        }
+    }
+
+    /// Warp shared vector store (STS.128 for VL = 4).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds shared access.
+    pub fn warp_st_shared_vec<const VL: usize>(
+        &mut self,
+        word: &[Option<u32>; 32],
+        vals: &[[f32; VL]; 32],
+    ) {
+        debug_assert!(matches!(VL, 1 | 2 | 4));
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.shared_write(word, VL as u32);
+        }
+        for (l, w) in word.iter().enumerate() {
+            if let Some(w) = w {
+                for j in 0..VL {
+                    self.smem[*w as usize + j] = vals[l][j];
+                }
+            }
+        }
+    }
+
+    /// Records `n` full-warp FFMA instructions.
+    pub fn ffma(&mut self, n: u64) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.ffma(n);
+        }
+    }
+
+    /// Records `n` full-warp FADD/FMUL instructions.
+    pub fn falu(&mut self, n: u64) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.falu(n);
+        }
+    }
+
+    /// Records `n` full-warp integer/addressing instructions.
+    pub fn alu(&mut self, n: u64) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.alu(n);
+        }
+    }
+
+    /// Records `n` full-warp special-function instructions.
+    pub fn sfu(&mut self, n: u64) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.sfu(n);
+        }
+    }
+
+    /// Block-wide barrier executed by `warps` warps. (The interpreter
+    /// runs warps to completion between barriers, so this is purely a
+    /// counting event; ordering is enforced by program structure.)
+    pub fn syncthreads(&mut self, warps: u64) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.syncthreads(warps);
+        }
+    }
+}
+
+/// Runs every block of `kernel` functionally, in parallel over host
+/// threads. No counters are collected (use
+/// [`crate::device::GpuDevice::run_counted`] for that).
+pub fn run_functional(mem: &GlobalMem, kernel: &dyn Kernel, smem_words: usize) {
+    let lc = kernel.launch_config();
+    let blocks: Vec<_> = lc.grid.iter_indices().collect();
+    blocks.par_iter().for_each(|&b| {
+        let mut ctx = BlockCtx::new(mem, smem_words, None);
+        kernel.execute_block(b, &mut ctx);
+    });
+}
+
+/// Runs every block sequentially in launch order, feeding `sink` —
+/// functional execution with full profiling (slow; for validation).
+pub fn run_functional_counted<'a>(
+    mem: &'a GlobalMem,
+    kernel: &dyn Kernel,
+    smem_words: usize,
+    sink: &mut TrafficSink<'a>,
+) {
+    let lc = kernel.launch_config();
+    for (i, b) in lc.grid.iter_indices().enumerate() {
+        sink.begin_block(i as u64);
+        let mut ctx = BlockCtx::new(mem, smem_words, Some(sink));
+        kernel.execute_block(b, &mut ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::Cache;
+    use crate::dim::{Dim3, LaunchConfig};
+    use crate::kernel::KernelResources;
+    use crate::traffic::full_warp_idx;
+
+    /// y[i] = 2 * x[i] over one warp per block.
+    struct Doubler {
+        x: BufId,
+        y: BufId,
+        n: usize,
+    }
+
+    impl Kernel for Doubler {
+        fn name(&self) -> String {
+            "doubler".into()
+        }
+        fn launch_config(&self) -> LaunchConfig {
+            LaunchConfig::new(Dim3::new_1d((self.n as u32).div_ceil(32)), 32u32)
+        }
+        fn resources(&self) -> KernelResources {
+            KernelResources {
+                threads_per_block: 32,
+                regs_per_thread: 8,
+                smem_bytes_per_block: 0,
+            }
+        }
+        fn execute_block(&self, block: Dim3, ctx: &mut BlockCtx) {
+            let base = block.x as usize * 32;
+            let idx: WarpIdx = std::array::from_fn(|l| {
+                let i = base + l;
+                (i < self.n).then_some(i)
+            });
+            let v = ctx.warp_ld_global(self.x, &idx);
+            ctx.falu(1);
+            let out: [f32; 32] = std::array::from_fn(|l| v[l] * 2.0);
+            ctx.warp_st_global(self.y, &idx, &out);
+        }
+        fn block_traffic(&self, block: Dim3, sink: &mut TrafficSink) {
+            let base = block.x as usize * 32;
+            let idx: WarpIdx = std::array::from_fn(|l| {
+                let i = base + l;
+                (i < self.n).then_some(i)
+            });
+            sink.global_read(self.x, &idx, 1);
+            sink.falu(1);
+            sink.global_write(self.y, &idx, 1);
+        }
+    }
+
+    #[test]
+    fn functional_run_computes_correct_values() {
+        let mut mem = GlobalMem::new();
+        let n = 100;
+        let x = mem.upload(&(0..n).map(|i| i as f32).collect::<Vec<_>>());
+        let y = mem.alloc(n);
+        let k = Doubler { x, y, n };
+        run_functional(&mem, &k, 0);
+        let out = mem.download(y);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f32);
+        }
+    }
+
+    #[test]
+    fn counted_run_matches_traffic_replay() {
+        let mut mem = GlobalMem::new();
+        let n = 100;
+        let x = mem.upload(&vec![1.0; n]);
+        let y = mem.alloc(n);
+        let k = Doubler { x, y, n };
+
+        let mut l2a = Cache::new(64 * 1024, 16, 32);
+        let mut sink_a = TrafficSink::new(&mem, &mut l2a, 32, 32);
+        run_functional_counted(&mem, &k, 0, &mut sink_a);
+
+        let mut l2b = Cache::new(64 * 1024, 16, 32);
+        let mut sink_b = TrafficSink::new(&mem, &mut l2b, 32, 32);
+        for b in k.launch_config().grid.iter_indices() {
+            k.block_traffic(b, &mut sink_b);
+        }
+
+        assert_eq!(sink_a.counters, sink_b.counters);
+        assert_eq!(l2a.stats(), l2b.stats());
+    }
+
+    #[test]
+    fn shared_memory_round_trip() {
+        let mem = GlobalMem::new();
+        let mut ctx = BlockCtx::new(&mem, 64, None);
+        let words = crate::traffic::full_warp_words(|l| l as u32);
+        let vals: [f32; 32] = std::array::from_fn(|l| l as f32 * 1.5);
+        ctx.warp_st_shared(&words, &vals);
+        let back = ctx.warp_ld_shared(&words);
+        assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn vector_shared_round_trip() {
+        let mem = GlobalMem::new();
+        let mut ctx = BlockCtx::new(&mem, 256, None);
+        let words = crate::traffic::full_warp_words(|l| 4 * l as u32);
+        let vals: [[f32; 4]; 32] =
+            std::array::from_fn(|l| std::array::from_fn(|j| (l * 4 + j) as f32));
+        ctx.warp_st_shared_vec(&words, &vals);
+        assert_eq!(ctx.warp_ld_shared_vec::<4>(&words), vals);
+    }
+
+    #[test]
+    fn vector_global_round_trip() {
+        let mut mem = GlobalMem::new();
+        let buf = mem.alloc(128);
+        let mut ctx = BlockCtx::new(&mem, 0, None);
+        let idx = full_warp_idx(|l| 4 * l);
+        let vals: [[f32; 4]; 32] = std::array::from_fn(|l| std::array::from_fn(|j| (l + j) as f32));
+        ctx.warp_st_global_vec(buf, &idx, &vals);
+        assert_eq!(ctx.warp_ld_global_vec::<4>(buf, &idx), vals);
+    }
+
+    #[test]
+    fn atomic_add_accumulates_across_blocks() {
+        let mut mem = GlobalMem::new();
+        let acc = mem.alloc(32);
+        struct AtomicK {
+            acc: BufId,
+        }
+        impl Kernel for AtomicK {
+            fn name(&self) -> String {
+                "atomic".into()
+            }
+            fn launch_config(&self) -> LaunchConfig {
+                LaunchConfig::new(10u32, 32u32)
+            }
+            fn resources(&self) -> KernelResources {
+                KernelResources {
+                    threads_per_block: 32,
+                    regs_per_thread: 8,
+                    smem_bytes_per_block: 0,
+                }
+            }
+            fn execute_block(&self, _: Dim3, ctx: &mut BlockCtx) {
+                let idx = full_warp_idx(|l| l);
+                ctx.warp_atomic_add(self.acc, &idx, &[1.0; 32]);
+            }
+            fn block_traffic(&self, _: Dim3, sink: &mut TrafficSink) {
+                sink.global_atomic(self.acc, &full_warp_idx(|l| l));
+            }
+        }
+        run_functional(&mem, &AtomicK { acc }, 0);
+        assert_eq!(mem.download(acc), vec![10.0; 32]);
+    }
+}

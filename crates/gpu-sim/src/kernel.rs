@@ -1,0 +1,312 @@
+//! The [`Kernel`] trait — what a GPU kernel looks like to the simulator.
+//!
+//! Each kernel supplies:
+//!
+//! * its launch geometry and static resource usage (registers/thread,
+//!   shared memory/block) — the inputs to the occupancy calculator;
+//! * `execute_block` — the **functional** implementation, run against
+//!   real device buffers to validate numerics;
+//! * `block_traffic` — the **traffic** implementation, which replays
+//!   exactly the same warp-level access pattern into a
+//!   [`crate::traffic::TrafficSink`] without touching data, so
+//!   paper-scale problems (`M = 524288`) can be profiled without
+//!   materialising the `M×N` intermediate.
+//!
+//! The two implementations share their address-mapping helpers in
+//! `ks-gpu-kernels`; consistency between them is enforced by tests
+//! that run both on small problems and compare every counter.
+
+use crate::config::DeviceConfig;
+use crate::dim::{Dim3, LaunchConfig};
+use crate::exec::BlockCtx;
+use crate::traffic::TrafficSink;
+
+/// Static per-kernel resource usage (occupancy inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct KernelResources {
+    /// Threads per block (product of the block dims).
+    pub threads_per_block: u32,
+    /// Registers per thread, as the compiler would allocate.
+    pub regs_per_thread: u32,
+    /// Static shared memory per block in bytes.
+    pub smem_bytes_per_block: u32,
+}
+
+/// Which instruction-scheduling model the timing estimator applies.
+///
+/// The paper attributes its 1.5–2.0× GEMM gap vs cuBLAS to CUDA-C
+/// limitations (§V-A): no control over register-bank conflicts, only
+/// heavyweight `__syncthreads()`, no hand-scheduled dual issue. The
+/// `Vendor` model removes those penalties — it is how we model the
+/// closed-source cuBLAS kernel (see DESIGN.md §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecModel {
+    /// Compiler-scheduled CUDA-C code (penalties on).
+    #[default]
+    CudaC,
+    /// Hand-scheduled assembly, cuBLAS-class (penalties off).
+    Vendor,
+}
+
+/// Per-kernel hints consumed by the timing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingHints {
+    /// Instruction scheduling model.
+    pub exec_model: ExecModel,
+    /// Memory-level parallelism: outstanding global loads a single
+    /// warp sustains (double buffering with `float4` loads ⇒ ~8).
+    pub mlp: f64,
+}
+
+impl Default for TimingHints {
+    fn default() -> Self {
+        Self {
+            exec_model: ExecModel::CudaC,
+            mlp: 4.0,
+        }
+    }
+}
+
+/// A simulated GPU kernel. See the module docs.
+pub trait Kernel: Sync {
+    /// Kernel name (appears in profiles, like nvprof's kernel column).
+    fn name(&self) -> String;
+
+    /// Grid/block geometry.
+    fn launch_config(&self) -> LaunchConfig;
+
+    /// Registers and shared memory consumed.
+    fn resources(&self) -> KernelResources;
+
+    /// Timing-model hints (exec model, MLP).
+    fn timing_hints(&self) -> TimingHints {
+        TimingHints::default()
+    }
+
+    /// Functional execution of one thread block (numerics + optional
+    /// tracing through the [`BlockCtx`]).
+    fn execute_block(&self, block: Dim3, ctx: &mut BlockCtx);
+
+    /// Pure access-pattern replay of one thread block.
+    fn block_traffic(&self, block: Dim3, sink: &mut TrafficSink);
+
+    /// True if every block issues the identical compute and
+    /// shared-memory instruction stream (global addresses may differ).
+    /// Enables the fast profiling path: one block's local counters are
+    /// scaled by the grid size and only global traffic is replayed
+    /// per block. All kernels in this workspace are homogeneous
+    /// because the tilings require exact divisibility.
+    fn traffic_homogeneous(&self) -> bool {
+        false
+    }
+}
+
+/// Why a launch was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// Block has zero threads or grid has zero blocks.
+    EmptyLaunch,
+    /// Threads per block exceeds the device maximum.
+    TooManyThreads {
+        /// Requested threads per block.
+        requested: u32,
+        /// Device limit.
+        limit: u32,
+    },
+    /// Registers per thread exceeds the device maximum.
+    TooManyRegisters {
+        /// Requested registers per thread.
+        requested: u32,
+        /// Device limit.
+        limit: u32,
+    },
+    /// Shared memory per block exceeds the device maximum.
+    TooMuchSharedMemory {
+        /// Requested bytes per block.
+        requested: u32,
+        /// Device limit.
+        limit: u32,
+    },
+    /// Declared `threads_per_block` disagrees with the block dims.
+    InconsistentResources {
+        /// Threads from the launch config.
+        from_launch: u64,
+        /// Threads from the resource declaration.
+        from_resources: u32,
+    },
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::EmptyLaunch => write!(f, "empty grid or block"),
+            LaunchError::TooManyThreads { requested, limit } => {
+                write!(
+                    f,
+                    "{requested} threads per block exceeds device limit {limit}"
+                )
+            }
+            LaunchError::TooManyRegisters { requested, limit } => {
+                write!(
+                    f,
+                    "{requested} registers per thread exceeds device limit {limit}"
+                )
+            }
+            LaunchError::TooMuchSharedMemory { requested, limit } => {
+                write!(
+                    f,
+                    "{requested} bytes of shared memory exceeds device limit {limit}"
+                )
+            }
+            LaunchError::InconsistentResources {
+                from_launch,
+                from_resources,
+            } => {
+                write!(f, "launch config has {from_launch} threads but resources declare {from_resources}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Validates a kernel's launch against device limits — the simulator's
+/// `cudaErrorInvalidConfiguration` check.
+///
+/// # Errors
+/// Returns the first violated limit.
+pub fn validate_launch(dev: &DeviceConfig, kernel: &dyn Kernel) -> Result<(), LaunchError> {
+    let lc = kernel.launch_config();
+    let res = kernel.resources();
+    if lc.total_blocks() == 0 || lc.threads_per_block() == 0 {
+        return Err(LaunchError::EmptyLaunch);
+    }
+    if lc.threads_per_block() != res.threads_per_block as u64 {
+        return Err(LaunchError::InconsistentResources {
+            from_launch: lc.threads_per_block(),
+            from_resources: res.threads_per_block,
+        });
+    }
+    if res.threads_per_block > dev.max_threads_per_block {
+        return Err(LaunchError::TooManyThreads {
+            requested: res.threads_per_block,
+            limit: dev.max_threads_per_block,
+        });
+    }
+    if res.regs_per_thread > dev.max_regs_per_thread {
+        return Err(LaunchError::TooManyRegisters {
+            requested: res.regs_per_thread,
+            limit: dev.max_regs_per_thread,
+        });
+    }
+    if res.smem_bytes_per_block > dev.max_smem_per_block {
+        return Err(LaunchError::TooMuchSharedMemory {
+            requested: res.smem_bytes_per_block,
+            limit: dev.max_smem_per_block,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy {
+        lc: LaunchConfig,
+        res: KernelResources,
+    }
+
+    impl Kernel for Dummy {
+        fn name(&self) -> String {
+            "dummy".into()
+        }
+        fn launch_config(&self) -> LaunchConfig {
+            self.lc
+        }
+        fn resources(&self) -> KernelResources {
+            self.res
+        }
+        fn execute_block(&self, _: Dim3, _: &mut BlockCtx) {}
+        fn block_traffic(&self, _: Dim3, _: &mut TrafficSink) {}
+    }
+
+    fn dummy(threads: u32, regs: u32, smem: u32) -> Dummy {
+        Dummy {
+            lc: LaunchConfig::new(4u32, threads),
+            res: KernelResources {
+                threads_per_block: threads,
+                regs_per_thread: regs,
+                smem_bytes_per_block: smem,
+            },
+        }
+    }
+
+    #[test]
+    fn valid_launch_passes() {
+        let dev = DeviceConfig::gtx970();
+        assert!(validate_launch(&dev, &dummy(256, 128, 16384)).is_ok());
+    }
+
+    #[test]
+    fn rejects_too_many_threads() {
+        let dev = DeviceConfig::gtx970();
+        let e = validate_launch(&dev, &dummy(1056, 32, 0)).unwrap_err();
+        assert!(matches!(
+            e,
+            LaunchError::TooManyThreads {
+                requested: 1056,
+                ..
+            }
+        ));
+        assert!(e.to_string().contains("1056"));
+    }
+
+    #[test]
+    fn rejects_too_much_smem() {
+        let dev = DeviceConfig::gtx970();
+        let e = validate_launch(&dev, &dummy(256, 32, 49 * 1024)).unwrap_err();
+        assert!(matches!(e, LaunchError::TooMuchSharedMemory { .. }));
+    }
+
+    #[test]
+    fn rejects_inconsistent_thread_declaration() {
+        let dev = DeviceConfig::gtx970();
+        let k = Dummy {
+            lc: LaunchConfig::new(1u32, 128u32),
+            res: KernelResources {
+                threads_per_block: 256,
+                regs_per_thread: 32,
+                smem_bytes_per_block: 0,
+            },
+        };
+        assert!(matches!(
+            validate_launch(&dev, &k).unwrap_err(),
+            LaunchError::InconsistentResources { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_grid() {
+        let dev = DeviceConfig::gtx970();
+        let k = Dummy {
+            lc: LaunchConfig::new(0u32, 128u32),
+            res: KernelResources {
+                threads_per_block: 128,
+                regs_per_thread: 32,
+                smem_bytes_per_block: 0,
+            },
+        };
+        assert_eq!(
+            validate_launch(&dev, &k).unwrap_err(),
+            LaunchError::EmptyLaunch
+        );
+    }
+
+    #[test]
+    fn default_hints() {
+        let h = TimingHints::default();
+        assert_eq!(h.exec_model, ExecModel::CudaC);
+        assert!(h.mlp > 0.0);
+    }
+}

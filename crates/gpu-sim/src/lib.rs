@@ -1,0 +1,77 @@
+//! # ks-gpu-sim — Maxwell-class GPGPU simulator
+//!
+//! The hardware substrate for the kernel-summation reproduction. The
+//! paper ran on an NVIDIA GTX970 (Maxwell, CC 5.2) and its results are
+//! functions of that machine's memory system: shared-memory bank
+//! conflicts, global-access coalescing, L2 hit rates, DRAM transaction
+//! counts, occupancy, and an analytical execution-time model. This
+//! crate reproduces each of those mechanisms:
+//!
+//! * [`config`] — device description (Table I of the paper).
+//! * [`dim`] — grids, blocks, threads, warps.
+//! * [`occupancy`](crate::occupancy()) — the CUDA occupancy
+//!   calculator.
+//! * [`smem`] — 32-bank shared memory with broadcast-aware conflict
+//!   analysis.
+//! * [`coalesce`] — global-access → 32-byte-sector transaction model.
+//! * [`cache`] — set-associative write-back L2 model.
+//! * [`buffer`] — device global memory (flat address space, f32 cells).
+//! * [`kernel`] — the [`kernel::Kernel`] trait: every GPU kernel
+//!   provides a *functional* block executor (numerics) and a *traffic*
+//!   generator (pure access pattern, usable at paper-scale sizes
+//!   without materialising data).
+//! * [`traffic`] — the sink that turns warp-level accesses into
+//!   transaction counts through the coalescer, bank model and L2.
+//! * [`exec`] — functional block-synchronous execution engine.
+//! * [`device`] — [`device::GpuDevice`]: allocation, launch, profiling.
+//! * [`profiler`] — nvprof-like counters ([`profiler::Counters`],
+//!   [`profiler::KernelProfile`]).
+//! * [`timing`] — analytical roofline-with-latency timing model with a
+//!   CUDA-C-vs-vendor penalty model (paper §V-A).
+//!
+//! The simulator is calibrated against the GTX970 datasheet, not
+//! against the paper's outputs; see `DESIGN.md` §4.
+//!
+//! ```
+//! use ks_gpu_sim::{occupancy, DeviceConfig, KernelResources};
+//!
+//! // The paper's §III-A occupancy argument, reproduced:
+//! let dev = DeviceConfig::gtx970();
+//! let occ = occupancy(&dev, &KernelResources {
+//!     threads_per_block: 256,   // 16×16 threads
+//!     regs_per_thread: 128,     // 64 accumulators + operands
+//!     smem_bytes_per_block: 16 * 1024, // double-buffered tiles
+//! });
+//! assert_eq!(occ.blocks_per_sm, 2);
+//! ```
+
+#![warn(missing_docs)]
+// Warp-granular models index explicit lane loops on purpose: the code
+// mirrors per-lane hardware behaviour.
+#![allow(clippy::needless_range_loop)]
+
+pub mod buffer;
+pub mod cache;
+pub mod coalesce;
+pub mod config;
+pub mod device;
+pub mod dim;
+pub mod exec;
+pub mod kernel;
+pub mod occupancy;
+pub mod profiler;
+pub mod report;
+pub mod smem;
+pub mod timing;
+pub mod traffic;
+
+pub use buffer::{BufId, GlobalMem};
+pub use config::DeviceConfig;
+pub use device::GpuDevice;
+pub use dim::{Dim3, LaunchConfig};
+pub use exec::BlockCtx;
+pub use kernel::{ExecModel, Kernel, KernelResources, LaunchError, TimingHints};
+pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
+pub use profiler::{Counters, KernelProfile, PipelineProfile};
+pub use timing::{KernelTiming, TimingParams};
+pub use traffic::TrafficSink;

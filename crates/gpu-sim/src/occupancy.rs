@@ -1,0 +1,222 @@
+//! Occupancy calculation — how many blocks of a kernel fit on one SM.
+//!
+//! Reimplements the CUDA occupancy calculator for compute capability
+//! 5.2. The paper leans on this heavily (§III-A): with 16×16 threads
+//! per block and 96–128 registers per thread the fused kernel achieves
+//! exactly **two blocks per SM**, and the paper argues that going to
+//! more registers (bigger microtiles) would drop it to one while fewer
+//! registers would shift the bottleneck elsewhere.
+
+use crate::config::DeviceConfig;
+use crate::kernel::KernelResources;
+
+/// Which resource capped the number of resident blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum OccupancyLimiter {
+    /// `max_threads_per_sm / threads_per_block`.
+    Threads,
+    /// Register-file capacity.
+    Registers,
+    /// Shared-memory capacity.
+    SharedMemory,
+    /// Device limit on resident blocks per SM.
+    Blocks,
+}
+
+/// Result of an occupancy query.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Resident warps per SM.
+    pub warps_per_sm: u32,
+    /// Resident threads per SM.
+    pub threads_per_sm: u32,
+    /// `warps_per_sm / max_warps_per_sm`.
+    pub fraction: f64,
+    /// The binding resource.
+    pub limiter: OccupancyLimiter,
+}
+
+fn round_up(v: u32, granularity: u32) -> u32 {
+    v.div_ceil(granularity) * granularity
+}
+
+/// Computes the occupancy of a kernel on `dev`.
+///
+/// Register allocation is per warp at the CC 5.2 granularity of 256
+/// registers; shared memory is rounded up to the 256-byte allocation
+/// granularity.
+///
+/// # Panics
+/// Panics if the kernel is unlaunchable (zero threads, more threads
+/// than `max_threads_per_block`, more registers than
+/// `max_regs_per_thread`, or more shared memory than a block may use).
+/// Use [`crate::kernel::validate_launch`] for a non-panicking check.
+#[must_use]
+pub fn occupancy(dev: &DeviceConfig, res: &KernelResources) -> Occupancy {
+    assert!(
+        res.threads_per_block > 0,
+        "kernel with zero threads per block"
+    );
+    assert!(
+        res.threads_per_block <= dev.max_threads_per_block,
+        "threads per block {} exceeds device limit {}",
+        res.threads_per_block,
+        dev.max_threads_per_block
+    );
+    assert!(
+        res.regs_per_thread <= dev.max_regs_per_thread,
+        "registers per thread {} exceeds device limit {}",
+        res.regs_per_thread,
+        dev.max_regs_per_thread
+    );
+    assert!(
+        res.smem_bytes_per_block <= dev.max_smem_per_block,
+        "shared memory per block {} exceeds device limit {}",
+        res.smem_bytes_per_block,
+        dev.max_smem_per_block
+    );
+
+    let warps_per_block = res.threads_per_block.div_ceil(dev.warp_size);
+
+    let limit_threads = dev.max_threads_per_sm / (warps_per_block * dev.warp_size);
+
+    // Registers are allocated per warp, rounded to the allocation
+    // granularity; a warp of a 100-reg/thread kernel takes
+    // round_up(100*32, 256) = 3200 registers.
+    let limit_regs = if res.regs_per_thread == 0 {
+        u32::MAX
+    } else {
+        let regs_per_warp = round_up(
+            res.regs_per_thread * dev.warp_size,
+            dev.reg_alloc_granularity,
+        );
+        let warps_by_regs = dev.regs_per_sm / regs_per_warp;
+        warps_by_regs / warps_per_block
+    };
+
+    let limit_smem = if res.smem_bytes_per_block == 0 {
+        u32::MAX
+    } else {
+        dev.smem_per_sm / round_up(res.smem_bytes_per_block, dev.smem_alloc_granularity)
+    };
+
+    let limit_blocks = dev.max_blocks_per_sm;
+
+    let (blocks, limiter) = [
+        (limit_threads, OccupancyLimiter::Threads),
+        (limit_regs, OccupancyLimiter::Registers),
+        (limit_smem, OccupancyLimiter::SharedMemory),
+        (limit_blocks, OccupancyLimiter::Blocks),
+    ]
+    .into_iter()
+    .min_by_key(|(b, _)| *b)
+    .expect("non-empty candidate list");
+
+    let warps = blocks * warps_per_block;
+    Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: warps,
+        threads_per_sm: warps * dev.warp_size,
+        fraction: warps as f64 / dev.max_warps_per_sm() as f64,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::gtx970()
+    }
+
+    fn res(threads: u32, regs: u32, smem: u32) -> KernelResources {
+        KernelResources {
+            threads_per_block: threads,
+            regs_per_thread: regs,
+            smem_bytes_per_block: smem,
+        }
+    }
+
+    #[test]
+    fn papers_fused_kernel_gets_two_blocks_per_sm() {
+        // §III-A: 256 threads/block, 96–128 regs/thread ⇒ 2 blocks/SM,
+        // register limited.
+        for regs in [96, 100, 112, 128] {
+            let o = occupancy(&dev(), &res(256, regs, 2 * (128 * 8 + 8 * 128) * 4));
+            assert_eq!(o.blocks_per_sm, 2, "regs={regs}");
+            assert_eq!(o.limiter, OccupancyLimiter::Registers, "regs={regs}");
+        }
+    }
+
+    #[test]
+    fn more_than_128_regs_drops_to_one_block() {
+        // §III-A: a bigger microtile (more registers) halves occupancy.
+        let o = occupancy(&dev(), &res(256, 255, 16 * 1024));
+        assert_eq!(o.blocks_per_sm, 1);
+    }
+
+    #[test]
+    fn thread_limited_with_1024_thread_blocks() {
+        // §III-A: 1024 threads/block with 4×4 microtiles would still be
+        // 2 blocks/SM because of the 2048 resident-thread limit.
+        let o = occupancy(&dev(), &res(1024, 32, 0));
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, OccupancyLimiter::Threads);
+        assert_eq!(o.threads_per_sm, 2048);
+        assert!((o.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smem_limited_kernel() {
+        let o = occupancy(&dev(), &res(64, 16, 40 * 1024));
+        assert_eq!(o.blocks_per_sm, 2); // 96KB / 40KB = 2
+        assert_eq!(o.limiter, OccupancyLimiter::SharedMemory);
+    }
+
+    #[test]
+    fn block_limited_tiny_kernel() {
+        let o = occupancy(&dev(), &res(32, 8, 0));
+        assert_eq!(o.blocks_per_sm, 32);
+        assert_eq!(o.limiter, OccupancyLimiter::Blocks);
+        assert_eq!(o.warps_per_sm, 32);
+        assert!((o.fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smem_rounds_to_granularity() {
+        // 257 bytes rounds to 512; 96KB/512 = 192, capped by blocks=32.
+        let o = occupancy(&dev(), &res(32, 8, 257));
+        assert_eq!(o.blocks_per_sm, 32);
+    }
+
+    #[test]
+    fn register_allocation_is_warp_granular() {
+        // 65 regs/thread: per warp = round_up(65*32, 256) = 2304.
+        // 65536/2304 = 28 warps; with 8 warps/block → 3 blocks.
+        let o = occupancy(&dev(), &res(256, 65, 0));
+        assert_eq!(o.blocks_per_sm, 3);
+        assert_eq!(o.limiter, OccupancyLimiter::Registers);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device limit")]
+    fn rejects_oversized_block() {
+        let _ = occupancy(&dev(), &res(2048, 32, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero threads")]
+    fn rejects_zero_threads() {
+        let _ = occupancy(&dev(), &res(0, 32, 0));
+    }
+
+    #[test]
+    fn non_multiple_of_warp_size_rounds_warps_up() {
+        let o = occupancy(&dev(), &res(48, 32, 0)); // 2 warps/block
+        assert_eq!(o.warps_per_sm % 2, 0);
+        assert_eq!(o.threads_per_sm, o.warps_per_sm * 32);
+    }
+}

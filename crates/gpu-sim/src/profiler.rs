@@ -1,0 +1,375 @@
+//! nvprof-like counters and per-kernel / per-pipeline profiles.
+//!
+//! The paper's evaluation is driven entirely by profiler counters
+//! (§IV: "all the performance metrics and events in this work are
+//! measured with the nvprof profiling tool"). This module defines the
+//! same counter set for the simulator:
+//!
+//! * instruction counts by pipe (FFMA, other FP, integer/ALU, SFU,
+//!   load/store) at warp and thread granularity;
+//! * shared-memory instructions vs transactions (replays = conflicts);
+//! * L2 read/write sector transactions, hits and misses;
+//! * DRAM read/write transactions (L2 fills and write-backs);
+//! * scalar FLOP count (`flop_count_sp` equivalent);
+//! * derived metrics: FLOP efficiency, L2 MPKI.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheStats;
+use crate::dim::LaunchConfig;
+use crate::kernel::KernelResources;
+use crate::occupancy::Occupancy;
+use crate::smem::SmemStats;
+use crate::timing::KernelTiming;
+
+/// Raw event counters accumulated by a [`crate::traffic::TrafficSink`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Warp-level FFMA instructions.
+    pub ffma_insts: u64,
+    /// Warp-level non-FMA floating-point instructions (FADD/FMUL…).
+    pub falu_insts: u64,
+    /// Warp-level integer/addressing/control instructions.
+    pub alu_insts: u64,
+    /// Warp-level special-function (MUFU: exp, rcp…) instructions.
+    pub sfu_insts: u64,
+    /// Warp-level global load instructions.
+    pub global_load_insts: u64,
+    /// Warp-level global store instructions.
+    pub global_store_insts: u64,
+    /// Warp-level global atomic instructions.
+    pub atomic_insts: u64,
+    /// Warp-level `__syncthreads()` executions (per warp).
+    pub sync_insts: u64,
+    /// Thread-level executed instructions (active lanes summed).
+    pub thread_insts: u64,
+    /// Scalar single-precision FLOPs (FMA = 2, FADD/FMUL = 1,
+    /// special = 1 per lane).
+    pub flops: u64,
+    /// Shared-memory statistics.
+    pub smem: SmemStats,
+    /// Global sectors requested at L2 by reads (pre-hit/miss).
+    pub l2_read_sectors: u64,
+    /// Global sectors requested at L2 by writes.
+    pub l2_write_sectors: u64,
+    /// Sectors touched by atomics (read-modify-write in L2).
+    pub atomic_sectors: u64,
+    /// L1 sector lookups for global loads (0 unless the device caches
+    /// global loads in L1).
+    pub l1_read_sectors: u64,
+    /// L1 hits among those lookups.
+    pub l1_read_hits: u64,
+}
+
+impl Counters {
+    /// Total warp-level instructions (nvprof `inst_executed`).
+    #[must_use]
+    pub fn warp_insts(&self) -> u64 {
+        self.ffma_insts
+            + self.falu_insts
+            + self.alu_insts
+            + self.sfu_insts
+            + self.global_load_insts
+            + self.global_store_insts
+            + self.atomic_insts
+            + self.sync_insts
+            + self.smem.load_instructions
+            + self.smem.store_instructions
+    }
+
+    /// Multiplies every counter by `f` (used to extrapolate one
+    /// block's compute/shared counters across a homogeneous grid).
+    pub fn scale(&mut self, f: u64) {
+        self.ffma_insts *= f;
+        self.falu_insts *= f;
+        self.alu_insts *= f;
+        self.sfu_insts *= f;
+        self.global_load_insts *= f;
+        self.global_store_insts *= f;
+        self.atomic_insts *= f;
+        self.sync_insts *= f;
+        self.thread_insts *= f;
+        self.flops *= f;
+        self.smem.load_instructions *= f;
+        self.smem.load_transactions *= f;
+        self.smem.store_instructions *= f;
+        self.smem.store_transactions *= f;
+        self.l2_read_sectors *= f;
+        self.l2_write_sectors *= f;
+        self.atomic_sectors *= f;
+        self.l1_read_sectors *= f;
+        self.l1_read_hits *= f;
+    }
+
+    /// Accumulates another counter block.
+    pub fn merge(&mut self, o: &Counters) {
+        self.ffma_insts += o.ffma_insts;
+        self.falu_insts += o.falu_insts;
+        self.alu_insts += o.alu_insts;
+        self.sfu_insts += o.sfu_insts;
+        self.global_load_insts += o.global_load_insts;
+        self.global_store_insts += o.global_store_insts;
+        self.atomic_insts += o.atomic_insts;
+        self.sync_insts += o.sync_insts;
+        self.thread_insts += o.thread_insts;
+        self.flops += o.flops;
+        self.smem.merge(&o.smem);
+        self.l2_read_sectors += o.l2_read_sectors;
+        self.l2_write_sectors += o.l2_write_sectors;
+        self.atomic_sectors += o.atomic_sectors;
+        self.l1_read_sectors += o.l1_read_sectors;
+        self.l1_read_hits += o.l1_read_hits;
+    }
+}
+
+/// L2/DRAM traffic attributed to one kernel launch (delta of the
+/// device cache statistics across the launch, including the
+/// kernel-boundary flush of dirty lines).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemTraffic {
+    /// L2 read sector accesses.
+    pub l2_reads: u64,
+    /// L2 read hits.
+    pub l2_read_hits: u64,
+    /// L2 read misses (= DRAM read transactions).
+    pub l2_read_misses: u64,
+    /// L2 write sector accesses.
+    pub l2_writes: u64,
+    /// L2 write hits.
+    pub l2_write_hits: u64,
+    /// L2 write misses (allocated without fill).
+    pub l2_write_misses: u64,
+    /// DRAM write transactions (dirty write-backs + flush).
+    pub dram_writes: u64,
+}
+
+impl MemTraffic {
+    /// Delta between two cache snapshots.
+    #[must_use]
+    pub fn from_delta(before: &CacheStats, after: &CacheStats) -> Self {
+        Self {
+            l2_reads: after.read_accesses - before.read_accesses,
+            l2_read_hits: after.read_hits - before.read_hits,
+            l2_read_misses: after.read_misses - before.read_misses,
+            l2_writes: after.write_accesses - before.write_accesses,
+            l2_write_hits: after.write_hits - before.write_hits,
+            l2_write_misses: after.write_misses - before.write_misses,
+            dram_writes: after.write_backs - before.write_backs,
+        }
+    }
+
+    /// Total L2 sector transactions (reads + writes), the quantity of
+    /// the paper's Fig 8a.
+    #[must_use]
+    pub fn l2_transactions(&self) -> u64 {
+        self.l2_reads + self.l2_writes
+    }
+
+    /// DRAM read transactions (sector fills).
+    #[must_use]
+    pub fn dram_reads(&self) -> u64 {
+        self.l2_read_misses
+    }
+
+    /// Total DRAM transactions (Fig 8b).
+    #[must_use]
+    pub fn dram_transactions(&self) -> u64 {
+        self.dram_reads() + self.dram_writes
+    }
+
+    /// Accumulates another traffic block.
+    pub fn merge(&mut self, o: &MemTraffic) {
+        self.l2_reads += o.l2_reads;
+        self.l2_read_hits += o.l2_read_hits;
+        self.l2_read_misses += o.l2_read_misses;
+        self.l2_writes += o.l2_writes;
+        self.l2_write_hits += o.l2_write_hits;
+        self.l2_write_misses += o.l2_write_misses;
+        self.dram_writes += o.dram_writes;
+    }
+}
+
+/// Complete profile of one kernel launch.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelProfile {
+    /// Kernel name.
+    pub name: String,
+    /// Launch geometry.
+    pub launch: LaunchConfig,
+    /// Static resources.
+    pub resources: KernelResources,
+    /// Occupancy achieved.
+    pub occupancy: Occupancy,
+    /// Event counters.
+    pub counters: Counters,
+    /// L2/DRAM traffic.
+    pub mem: MemTraffic,
+    /// Timing-model output.
+    pub timing: KernelTiming,
+}
+
+impl KernelProfile {
+    /// L2 misses per thousand thread-level instructions — the metric
+    /// of the paper's Fig 2 ("L2 MPKI").
+    #[must_use]
+    pub fn l2_mpki(&self) -> f64 {
+        if self.counters.thread_insts == 0 {
+            return 0.0;
+        }
+        (self.mem.l2_read_misses + self.mem.l2_write_misses) as f64 * 1000.0
+            / self.counters.thread_insts as f64
+    }
+
+    /// Achieved fraction of peak single-precision FLOP throughput
+    /// (Table II, "FLOP efficiency").
+    #[must_use]
+    pub fn flop_efficiency(&self, peak_gflops: f64) -> f64 {
+        if self.timing.time_s <= 0.0 {
+            return 0.0;
+        }
+        (self.counters.flops as f64 / self.timing.time_s) / (peak_gflops * 1e9)
+    }
+}
+
+/// Profile of a multi-kernel pipeline (one end-to-end kernel-summation
+/// implementation: e.g. `cuBLAS-Unfused` = norms + GEMM + exp + GEMV).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PipelineProfile {
+    /// Pipeline label (`Fused`, `CUDA-Unfused`, `cuBLAS-Unfused`).
+    pub name: String,
+    /// Per-kernel profiles in launch order.
+    pub kernels: Vec<KernelProfile>,
+}
+
+impl PipelineProfile {
+    /// New, empty pipeline profile.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            kernels: Vec::new(),
+        }
+    }
+
+    /// Total wall time in seconds (kernels are serialised on one
+    /// stream, as in the paper's pipelines).
+    #[must_use]
+    pub fn total_time_s(&self) -> f64 {
+        self.kernels.iter().map(|k| k.timing.time_s).sum()
+    }
+
+    /// Summed counters.
+    #[must_use]
+    pub fn total_counters(&self) -> Counters {
+        let mut c = Counters::default();
+        for k in &self.kernels {
+            c.merge(&k.counters);
+        }
+        c
+    }
+
+    /// Summed L2/DRAM traffic.
+    #[must_use]
+    pub fn total_mem(&self) -> MemTraffic {
+        let mut m = MemTraffic::default();
+        for k in &self.kernels {
+            m.merge(&k.mem);
+        }
+        m
+    }
+
+    /// Cycle-weighted FLOP efficiency, as the paper computes it for
+    /// multi-kernel pipelines (Table II: "the efficiency of
+    /// cuBLAS-Unfused kernel summation is a weighted sum … based on
+    /// their total cycle count").
+    #[must_use]
+    pub fn flop_efficiency(&self, peak_gflops: f64) -> f64 {
+        let t = self.total_time_s();
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let flops: u64 = self.kernels.iter().map(|k| k.counters.flops).sum();
+        (flops as f64 / t) / (peak_gflops * 1e9)
+    }
+
+    /// Pipeline-level MPKI (all kernels).
+    #[must_use]
+    pub fn l2_mpki(&self) -> f64 {
+        let c = self.total_counters();
+        let m = self.total_mem();
+        if c.thread_insts == 0 {
+            return 0.0;
+        }
+        (m.l2_read_misses + m.l2_write_misses) as f64 * 1000.0 / c.thread_insts as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge_and_total() {
+        let mut a = Counters {
+            ffma_insts: 10,
+            alu_insts: 5,
+            thread_insts: 480,
+            flops: 640,
+            ..Default::default()
+        };
+        let b = Counters {
+            ffma_insts: 1,
+            sfu_insts: 2,
+            sync_insts: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.ffma_insts, 11);
+        assert_eq!(a.warp_insts(), 11 + 5 + 2 + 3);
+    }
+
+    #[test]
+    fn mem_traffic_delta() {
+        let before = CacheStats {
+            read_accesses: 10,
+            read_hits: 4,
+            read_misses: 6,
+            write_accesses: 2,
+            write_hits: 1,
+            write_misses: 1,
+            write_backs: 1,
+        };
+        let after = CacheStats {
+            read_accesses: 110,
+            read_hits: 44,
+            read_misses: 66,
+            write_accesses: 22,
+            write_hits: 11,
+            write_misses: 11,
+            write_backs: 11,
+        };
+        let d = MemTraffic::from_delta(&before, &after);
+        assert_eq!(d.l2_reads, 100);
+        assert_eq!(d.l2_read_misses, 60);
+        assert_eq!(d.dram_reads(), 60);
+        assert_eq!(d.dram_writes, 10);
+        assert_eq!(d.dram_transactions(), 70);
+        assert_eq!(d.l2_transactions(), 120);
+    }
+
+    #[test]
+    fn mem_traffic_merge() {
+        let mut a = MemTraffic {
+            l2_reads: 1,
+            dram_writes: 2,
+            ..Default::default()
+        };
+        a.merge(&MemTraffic {
+            l2_reads: 9,
+            l2_read_misses: 3,
+            ..Default::default()
+        });
+        assert_eq!(a.l2_reads, 10);
+        assert_eq!(a.dram_transactions(), 5);
+    }
+}

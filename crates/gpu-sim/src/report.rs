@@ -1,0 +1,124 @@
+//! Human-readable profile rendering (nvprof-style).
+
+use std::fmt;
+
+use crate::profiler::{KernelProfile, PipelineProfile};
+
+impl fmt::Display for KernelProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<30} {:>9.3}ms  occ {:>4.0}%  {:>14} flops  l2 {:>12}  dram {:>12}  {:?}-bound",
+            self.name,
+            self.timing.time_s * 1e3,
+            self.occupancy.fraction * 100.0,
+            self.counters.flops,
+            self.mem.l2_transactions(),
+            self.mem.dram_transactions(),
+            self.timing.bound,
+        )
+    }
+}
+
+impl fmt::Display for PipelineProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline {:<16} total {:.3}ms, {} kernels",
+            self.name,
+            self.total_time_s() * 1e3,
+            self.kernels.len()
+        )?;
+        for k in &self.kernels {
+            writeln!(f, "  {k}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One-line summary of a pipeline (for logs and examples).
+#[must_use]
+pub fn summary(p: &PipelineProfile, peak_gflops: f64) -> String {
+    let mem = p.total_mem();
+    format!(
+        "{}: {:.3}ms, {:.1}% FLOP efficiency, {} L2 / {} DRAM transactions",
+        p.name,
+        p.total_time_s() * 1e3,
+        p.flop_efficiency(peak_gflops) * 100.0,
+        mem.l2_transactions(),
+        mem.dram_transactions()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::LaunchConfig;
+    use crate::kernel::KernelResources;
+    use crate::occupancy::occupancy;
+    use crate::profiler::{Counters, MemTraffic};
+    use crate::timing::{estimate, TimingParams};
+    use crate::DeviceConfig;
+
+    fn fake_profile() -> KernelProfile {
+        let dev = DeviceConfig::gtx970();
+        let res = KernelResources {
+            threads_per_block: 256,
+            regs_per_thread: 64,
+            smem_bytes_per_block: 0,
+        };
+        let occ = occupancy(&dev, &res);
+        let counters = Counters {
+            ffma_insts: 1000,
+            thread_insts: 32000,
+            flops: 64000,
+            ..Default::default()
+        };
+        let mem = MemTraffic::default();
+        let timing = estimate(
+            &dev,
+            &TimingParams::default(),
+            &Default::default(),
+            &counters,
+            &mem,
+            &occ,
+            10,
+        );
+        KernelProfile {
+            name: "demo_kernel".into(),
+            launch: LaunchConfig::new(10u32, 256u32),
+            resources: res,
+            occupancy: occ,
+            counters,
+            mem,
+            timing,
+        }
+    }
+
+    #[test]
+    fn kernel_display_mentions_name_and_bound() {
+        let s = fake_profile().to_string();
+        assert!(s.contains("demo_kernel"));
+        assert!(s.contains("bound"));
+        assert!(s.contains("flops"));
+    }
+
+    #[test]
+    fn pipeline_display_lists_kernels() {
+        let mut p = PipelineProfile::new("Demo");
+        p.kernels.push(fake_profile());
+        p.kernels.push(fake_profile());
+        let s = p.to_string();
+        assert!(s.contains("pipeline Demo"));
+        assert_eq!(s.matches("demo_kernel").count(), 2);
+    }
+
+    #[test]
+    fn summary_contains_efficiency() {
+        let mut p = PipelineProfile::new("Demo");
+        p.kernels.push(fake_profile());
+        let s = summary(&p, 3920.0);
+        assert!(s.contains("FLOP efficiency"));
+        assert!(s.contains("Demo"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests of the simulator substrate: invariants of the
+//! bank-conflict model, the coalescer, the cache, and the occupancy
+//! calculator under random inputs.
+
+use ks_gpu_sim::cache::Cache;
+use ks_gpu_sim::coalesce::{warp_sectors, warp_transaction_count, MAX_SECTORS_PER_WARP};
+use ks_gpu_sim::config::DeviceConfig;
+use ks_gpu_sim::kernel::KernelResources;
+use ks_gpu_sim::occupancy::occupancy;
+use ks_gpu_sim::smem::warp_transactions;
+use proptest::prelude::*;
+
+fn warp_words() -> impl Strategy<Value = [Option<u32>; 32]> {
+    proptest::collection::vec(proptest::option::of(0u32..2048), 32)
+        .prop_map(|v| std::array::from_fn(|i| v[i]))
+}
+
+fn warp_addrs() -> impl Strategy<Value = [Option<u64>; 32]> {
+    proptest::collection::vec(proptest::option::of(0u64..(1 << 20)), 32)
+        .prop_map(|v| std::array::from_fn(|i| v[i]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn smem_transactions_are_bounded(words in warp_words()) {
+        let active = words.iter().filter(|w| w.is_some()).count() as u32;
+        let t = warp_transactions(&words, 32);
+        prop_assert!(t <= active, "txns {t} > active lanes {active}");
+        if active > 0 {
+            prop_assert!(t >= 1);
+            // Can never exceed the worst distinct-words-per-bank count.
+            prop_assert!(t <= 32);
+        } else {
+            prop_assert_eq!(t, 0);
+        }
+    }
+
+    #[test]
+    fn smem_any_permutation_of_one_row_is_conflict_free(seed in 0u64..10_000) {
+        // Any permutation of the 32 words of one bank row touches all
+        // 32 banks exactly once.
+        let mut perm: Vec<u32> = (0..32).collect();
+        let mut state = seed | 1;
+        for i in (1..32usize).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let words: [Option<u32>; 32] = std::array::from_fn(|i| Some(perm[i]));
+        prop_assert_eq!(warp_transactions(&words, 32), 1);
+    }
+
+    #[test]
+    fn smem_transactions_invariant_under_lane_permutation(words in warp_words(), seed in 0u64..10_000) {
+        let mut lanes: Vec<usize> = (0..32).collect();
+        let mut state = seed | 1;
+        for i in (1..32usize).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            lanes.swap(i, j);
+        }
+        let permuted: [Option<u32>; 32] = std::array::from_fn(|i| words[lanes[i]]);
+        prop_assert_eq!(warp_transactions(&words, 32), warp_transactions(&permuted, 32));
+    }
+
+    #[test]
+    fn coalescer_counts_exactly_the_distinct_sectors(addrs in warp_addrs()) {
+        let mut expected: Vec<u64> = addrs
+            .iter()
+            .flatten()
+            .flat_map(|&a| vec![a / 32, (a + 3) / 32])
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(warp_transaction_count(&addrs, 4, 32) as usize, expected.len());
+    }
+
+    #[test]
+    fn coalescer_sector_list_is_unique_and_aligned(addrs in warp_addrs()) {
+        let mut buf = [0u64; MAX_SECTORS_PER_WARP * 2];
+        let sectors = warp_sectors(&addrs, 16, 32, &mut buf).to_vec();
+        let mut sorted = sectors.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), sectors.len(), "duplicates in sector list");
+        for s in &sectors {
+            prop_assert_eq!(s % 32, 0);
+        }
+    }
+
+    #[test]
+    fn vector_width_never_reduces_sector_count(addrs in warp_addrs()) {
+        // A 16B access per lane covers at least the sectors of a 4B
+        // access at the same base.
+        let narrow = warp_transaction_count(&addrs, 4, 32);
+        let wide = warp_transaction_count(&addrs, 16, 32);
+        prop_assert!(wide >= narrow);
+    }
+
+    #[test]
+    fn cache_conservation_laws(ops in proptest::collection::vec((any::<bool>(), 0u64..(1 << 14)), 1..400)) {
+        let mut c = Cache::new(4096, 4, 32);
+        for (is_write, addr) in &ops {
+            if *is_write {
+                c.write(*addr);
+            } else {
+                c.read(*addr);
+            }
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.read_hits + s.read_misses, s.read_accesses);
+        prop_assert_eq!(s.write_hits + s.write_misses, s.write_accesses);
+        // Write-backs can never exceed total writes (each write dirties
+        // at most one line; flushes clean them).
+        let flushed = c.flush_dirty();
+        prop_assert!(c.stats().write_backs <= s.write_accesses);
+        prop_assert!(flushed <= s.write_accesses);
+        // Second flush is a no-op.
+        prop_assert_eq!(c.flush_dirty(), 0);
+    }
+
+    #[test]
+    fn cache_working_set_within_capacity_has_no_capacity_misses(
+        lines in 1usize..32,
+        passes in 2usize..5,
+    ) {
+        // Touch `lines` distinct sectors repeatedly: with LRU and
+        // capacity 128 lines, ≤ 32 lines always fit.
+        let mut c = Cache::new(4096, 4, 32);
+        let mut misses_after_first = 0;
+        for pass in 0..passes {
+            for i in 0..lines {
+                let before = c.stats().read_misses;
+                c.read((i * 32) as u64);
+                if pass > 0 {
+                    misses_after_first += c.stats().read_misses - before;
+                }
+            }
+        }
+        prop_assert_eq!(misses_after_first, 0);
+    }
+
+    #[test]
+    fn occupancy_is_monotone_in_resources(
+        threads_exp in 5u32..10,
+        regs in 16u32..255,
+        smem in 0u32..48_000,
+    ) {
+        let dev = DeviceConfig::gtx970();
+        let threads = 1 << threads_exp;
+        let base = occupancy(&dev, &KernelResources { threads_per_block: threads, regs_per_thread: regs, smem_bytes_per_block: smem });
+        // More registers can never increase occupancy.
+        if regs + 8 <= 255 {
+            let more_regs = occupancy(&dev, &KernelResources { threads_per_block: threads, regs_per_thread: regs + 8, smem_bytes_per_block: smem });
+            prop_assert!(more_regs.blocks_per_sm <= base.blocks_per_sm);
+        }
+        // More shared memory can never increase occupancy.
+        if smem + 1024 <= 48 * 1024 {
+            let more_smem = occupancy(&dev, &KernelResources { threads_per_block: threads, regs_per_thread: regs, smem_bytes_per_block: smem + 1024 });
+            prop_assert!(more_smem.blocks_per_sm <= base.blocks_per_sm);
+        }
+        // Fraction is consistent with warp counts.
+        prop_assert!((base.fraction - base.warps_per_sm as f64 / 64.0).abs() < 1e-12);
+        // Hardware limits always hold.
+        prop_assert!(base.threads_per_sm <= dev.max_threads_per_sm);
+        prop_assert!(base.blocks_per_sm <= dev.max_blocks_per_sm);
+    }
+}

@@ -1,0 +1,59 @@
+//! nvprof-style profiling of the three kernel-summation pipelines on
+//! the simulated GTX970 (§IV's methodology, one problem size).
+//!
+//! ```bash
+//! cargo run --release --example gpu_profiling [M] [K]
+//! ```
+
+use kernel_summation::energy::{pipeline_energy, EnergyParams};
+use kernel_summation::gpu_kernels::{GpuKernelSummation, GpuVariant};
+use kernel_summation::gpu_sim::GpuDevice;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let m: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16384);
+    let k: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let n = 1024;
+
+    println!("profiling kernel summation at M={m}, N={n}, K={k} on a simulated GTX970\n");
+    let pipeline = GpuKernelSummation::new(m, n, k, 1.0);
+    let params = EnergyParams::default();
+
+    for variant in GpuVariant::ALL {
+        let mut dev = GpuDevice::gtx970();
+        let prof = pipeline.profile(&mut dev, variant).expect("valid launch");
+        let peak = dev.config().peak_sp_gflops();
+        println!(
+            "=== {} — total {:.3} ms, {:.1}% FLOP efficiency ===",
+            variant.label(),
+            prof.total_time_s() * 1e3,
+            prof.flop_efficiency(peak) * 100.0
+        );
+        println!(
+            "{:<28} {:>9} {:>8} {:>12} {:>12} {:>12} {:>10} {:>8}",
+            "kernel", "time", "occup.", "flops", "l2_trans", "dram_trans", "smem_tr", "bound"
+        );
+        for kp in &prof.kernels {
+            println!(
+                "{:<28} {:>7.3}ms {:>7.2} {:>12} {:>12} {:>12} {:>10} {:>8}",
+                kp.name,
+                kp.timing.time_s * 1e3,
+                kp.occupancy.fraction,
+                kp.counters.flops,
+                kp.mem.l2_transactions(),
+                kp.mem.dram_transactions(),
+                kp.counters.smem.load_transactions + kp.counters.smem.store_transactions,
+                format!("{:?}", kp.timing.bound),
+            );
+        }
+        let e = pipeline_energy(&params, &prof);
+        println!(
+            "energy: {:.2} mJ total — compute {:.1}%, smem {:.1}%, L2 {:.1}%, DRAM {:.1}%\n",
+            e.total_j() * 1e3,
+            100.0 * e.compute_j / e.total_j(),
+            100.0 * e.smem_j / e.total_j(),
+            100.0 * e.l2_j / e.total_j(),
+            100.0 * e.dram_j / e.total_j(),
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Kernel (Nadaraya–Watson) regression with multiple output channels —
+//! the machine-learning workload behind the paper's §II-A citations,
+//! exercising the multi-weight extension (`V = K·W` with an `N×R`
+//! weight matrix).
+//!
+//! We fit `R = 3` smooth target functions from noisy samples and
+//! predict them at held-out query points:
+//!
+//! ```text
+//! f̂_r(q) = Σ_j 𝒦(q, x_j) y_{j,r}  /  Σ_j 𝒦(q, x_j)
+//! ```
+//!
+//! Numerator (all channels at once) and denominator (unit weights) are
+//! both kernel summations.
+//!
+//! ```bash
+//! cargo run --release --example kernel_regression
+//! ```
+
+use kernel_summation::core::multi::solve_multi_fused;
+use kernel_summation::core::FusedCpuConfig;
+use kernel_summation::prelude::*;
+use ks_blas::{Layout, Matrix};
+
+/// The three ground-truth functions on [0,1]^dim.
+fn truth(x: &[f32]) -> [f32; 3] {
+    let s: f32 = x.iter().sum();
+    [(2.0 * s).sin(), (0.5 * s).cos() * s, (s - 1.0).powi(2)]
+}
+
+fn main() {
+    let dim = 4;
+    let n_train = 4096;
+    let n_query = 512;
+    let h = 0.15f32;
+
+    let train = PointSet::uniform_cube(n_train, dim, 11);
+    let queries = PointSet::uniform_cube(n_query, dim, 12);
+
+    // Noisy labels.
+    let noise = PointSet::uniform_cube(n_train, 3, 13);
+    let labels = Matrix::from_fn(n_train, 3, Layout::RowMajor, |j, r| {
+        truth(train.point(j))[r] + (noise.point(j)[r] - 0.5) * 0.05
+    });
+
+    let problem = KernelSumProblem::builder()
+        .sources(queries.clone())
+        .targets(train)
+        .unit_weights()
+        .kernel(GaussianKernel { h })
+        .build();
+
+    let t = std::time::Instant::now();
+    // Numerator: R = 3 weighted sums in one fused pass.
+    let num = solve_multi_fused(&problem, &labels, &FusedCpuConfig::default());
+    // Denominator: plain kernel density.
+    let den = problem.solve(Backend::CpuFused);
+    println!(
+        "fit {n_query} queries x 3 channels from {n_train} samples in {:?}",
+        t.elapsed()
+    );
+
+    // Prediction error per channel.
+    let mut mse = [0.0f64; 3];
+    for (i, d) in den.iter().enumerate() {
+        let t = truth(queries.point(i));
+        for (r, m) in mse.iter_mut().enumerate() {
+            let pred = num.get(i, r) / d.max(1e-12);
+            *m += ((pred - t[r]) as f64).powi(2);
+        }
+    }
+    for (r, e) in mse.iter().enumerate() {
+        let rmse = (e / n_query as f64).sqrt();
+        println!("channel {r}: RMSE = {rmse:.4}");
+        // Nadaraya–Watson has O(h²) smoothing bias; with h=0.15 in 4-D
+        // an RMSE well under the signal scale (~1) is a pass.
+        assert!(
+            rmse < 0.30,
+            "regression should recover the smooth target (channel {r}: {rmse})"
+        );
+    }
+    println!("kernel regression sanity checks passed ✓");
+}

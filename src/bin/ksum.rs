@@ -1,0 +1,159 @@
+//! `ksum` — command-line driver for the kernel-summation library.
+//!
+//! ```bash
+//! ksum solve   --m 4096 --n 1024 --k 32 --h 1.0 --backend cpu-fused
+//! ksum profile --m 16384 --n 1024 --k 32 --variant fused
+//! ksum compare --m 8192 --n 1024 --k 64
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use kernel_summation::core::gpu::profile_gpu;
+use kernel_summation::core::Backend;
+use kernel_summation::gpu_sim::report::summary;
+use kernel_summation::prelude::*;
+
+struct Args {
+    m: usize,
+    n: usize,
+    k: usize,
+    h: f32,
+    seed: u64,
+    backend: String,
+    variant: String,
+}
+
+fn parse(rest: &[String]) -> Args {
+    let mut a = Args {
+        m: 4096,
+        n: 1024,
+        k: 32,
+        h: 1.0,
+        seed: 42,
+        backend: "cpu-fused".into(),
+        variant: "fused".into(),
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let val = it
+            .next()
+            .unwrap_or_else(|| panic!("missing value for {flag}"));
+        match flag.as_str() {
+            "--m" => a.m = val.parse().expect("--m"),
+            "--n" => a.n = val.parse().expect("--n"),
+            "--k" => a.k = val.parse().expect("--k"),
+            "--h" => a.h = val.parse().expect("--h"),
+            "--seed" => a.seed = val.parse().expect("--seed"),
+            "--backend" => a.backend = val.clone(),
+            "--variant" => a.variant = val.clone(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    a
+}
+
+fn backend_of(name: &str) -> Backend {
+    match name {
+        "reference" => Backend::Reference,
+        "cpu-fused" => Backend::CpuFused,
+        "cpu-unfused" => Backend::CpuUnfused,
+        "gpu-fused" => Backend::GpuSim(GpuVariant::Fused),
+        "gpu-cuda-unfused" => Backend::GpuSim(GpuVariant::CudaUnfused),
+        "gpu-cublas-unfused" => Backend::GpuSim(GpuVariant::CublasUnfused),
+        other => panic!("unknown backend {other} (try cpu-fused, cpu-unfused, reference, gpu-fused, gpu-cuda-unfused, gpu-cublas-unfused)"),
+    }
+}
+
+fn variant_of(name: &str) -> GpuVariant {
+    match name {
+        "fused" => GpuVariant::Fused,
+        "cuda-unfused" => GpuVariant::CudaUnfused,
+        "cublas-unfused" => GpuVariant::CublasUnfused,
+        other => panic!("unknown variant {other} (try fused, cuda-unfused, cublas-unfused)"),
+    }
+}
+
+fn build(a: &Args) -> KernelSumProblem {
+    KernelSumProblem::builder()
+        .sources(PointSet::uniform_cube(a.m, a.k, a.seed))
+        .targets(PointSet::uniform_cube(a.n, a.k, a.seed + 1))
+        .weights(PointSet::uniform_cube(a.n, 1, a.seed + 2).coords().to_vec())
+        .kernel(GaussianKernel { h: a.h })
+        .build()
+}
+
+fn cmd_solve(a: &Args) {
+    let p = build(a);
+    println!(
+        "solving M={} N={} K={} h={} with {}",
+        a.m, a.n, a.k, a.h, a.backend
+    );
+    let t = Instant::now();
+    let v = p.solve(backend_of(&a.backend));
+    let dt = t.elapsed();
+    let sum: f64 = v.iter().map(|&x| x as f64).sum();
+    let max = v.iter().cloned().fold(f32::MIN, f32::max);
+    println!(
+        "done in {dt:?}: Σ V = {sum:.4}, max V = {max:.4}, V[0..4] = {:?}",
+        &v[..v.len().min(4)]
+    );
+}
+
+fn cmd_profile(a: &Args) {
+    let variant = variant_of(&a.variant);
+    println!(
+        "profiling {} at M={} N={} K={} on a simulated GTX970",
+        variant.label(),
+        a.m,
+        a.n,
+        a.k
+    );
+    let r = profile_gpu(a.m, a.n, a.k, a.h, variant);
+    print!("{}", r.profile);
+    println!("{}", summary(&r.profile, r.peak_gflops));
+    println!(
+        "energy {:.3} mJ (compute {:.1}%, smem {:.1}%, l2 {:.1}%, dram {:.1}%)",
+        r.energy.total_j() * 1e3,
+        r.energy.compute_share() * 100.0,
+        100.0 * r.energy.smem_j / r.energy.total_j(),
+        100.0 * r.energy.l2_j / r.energy.total_j(),
+        r.energy.dram_share() * 100.0,
+    );
+}
+
+fn cmd_compare(a: &Args) {
+    println!(
+        "comparing pipelines at M={} N={} K={} (simulated GTX970)",
+        a.m, a.n, a.k
+    );
+    let mut times = Vec::new();
+    for variant in GpuVariant::ALL {
+        let r = profile_gpu(a.m, a.n, a.k, a.h, variant);
+        println!("  {}", summary(&r.profile, r.peak_gflops));
+        times.push((variant.label(), r.profile.total_time_s()));
+    }
+    let fused = times[0].1;
+    for (label, t) in &times[1..] {
+        println!("  fused speedup vs {label}: {:.3}x", t / fused);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(cmd) = args.get(1) else {
+        eprintln!("usage: ksum <solve|profile|compare> [--m M] [--n N] [--k K] [--h H] [--seed S] [--backend B] [--variant V]");
+        return ExitCode::FAILURE;
+    };
+    let a = parse(&args[2..]);
+    match cmd.as_str() {
+        "solve" => cmd_solve(&a),
+        "profile" => cmd_profile(&a),
+        "compare" => cmd_compare(&a),
+        other => {
+            eprintln!("unknown command {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

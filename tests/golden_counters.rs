@@ -1,0 +1,121 @@
+//! Golden-value regression tests: exact counter values for a fixed
+//! reference configuration. Any change to the kernels' instruction
+//! streams, the coalescer, the bank model or the L2 shows up here
+//! first — these numbers were derived by hand from the paper's tiling
+//! (see the per-assertion notes) and cross-checked against the
+//! functional engine.
+
+use kernel_summation::gpu_kernels::{GpuKernelSummation, GpuVariant};
+use kernel_summation::gpu_sim::GpuDevice;
+
+/// M = 1024, N = 1024, K = 32: 64 blocks, 4 k-tiles per block.
+fn fused_profile() -> kernel_summation::gpu_sim::profiler::PipelineProfile {
+    let ks = GpuKernelSummation::new(1024, 1024, 32, 1.0);
+    let mut dev = GpuDevice::gtx970();
+    ks.profile(&mut dev, GpuVariant::Fused).unwrap()
+}
+
+#[test]
+fn fused_kernel_golden_counters() {
+    let prof = fused_profile();
+    let k = &prof.kernels[2]; // norms_a, norms_b, fused
+    let c = &k.counters;
+    let blocks = 64u64;
+    let tiles = 4u64;
+
+    // GEMM FFMAs: blocks × tiles × 8 warps × 8 steps × 64,
+    // + evaluation (128 + 64 per warp) + W-fold (64 per warp).
+    assert_eq!(c.ffma_insts, blocks * (tiles * 8 * 8 * 64 + 8 * (128 + 64)));
+    // exp: 64 MUFU per warp.
+    assert_eq!(c.sfu_insts, blocks * 8 * 64);
+    // Tile loads: 2 LDG.128/warp/tile; epilogue: 2 (a2) + 2 (b2) + 2
+    // (w) LDG.128 per warp.
+    assert_eq!(c.global_load_insts, blocks * (tiles * 8 * 2 + 8 * 6));
+    // No plain stores; 4 atomic warp instructions per block.
+    assert_eq!(c.global_store_insts, 0);
+    assert_eq!(c.atomic_insts, blocks * 4);
+    // Atomics touch 16 sectors per block (128 contiguous floats).
+    assert_eq!(c.atomic_sectors, blocks * 16);
+    // Shared stores: tile staging (8 warps × 8 phases per tile) + the
+    // T scratch (8 warps × 8 single-lane phases).
+    assert_eq!(c.smem.store_instructions, blocks * (tiles * 8 * 8 + 8 * 8));
+    // Swizzled staging is conflict-free; T stores have 2 active lanes
+    // in distinct banks — transactions equal instructions.
+    assert_eq!(c.smem.store_transactions, c.smem.store_instructions);
+    // Shared loads: GEMM (8 LDS.64 per warp-step ⇒ 2 transactions
+    // each) + the drain (4 warps × 1 LDS.32).
+    assert_eq!(c.smem.load_instructions, blocks * (tiles * 8 * 8 * 8 + 4));
+    assert_eq!(
+        c.smem.load_transactions,
+        blocks * (tiles * 8 * 8 * 8 * 2 + 4)
+    );
+    // One barrier per tile + the pre-drain barrier, per warp.
+    assert_eq!(c.sync_insts, blocks * 8 * (tiles + 1));
+    // FLOPs: GEMM 2·128·128·32 per block + eval/reduce
+    // (per thread: 64 FADD + 128·2 FFMA-flops + 64 MUFU + 64·2 FFMA
+    // + 32 shuffle-adds) + 128 atomic adds per block.
+    let per_block_eval = 256 * (64 + 256 + 64 + 128 + 32) as u64;
+    assert_eq!(
+        c.flops,
+        blocks * (2 * 128 * 128 * 32 + per_block_eval + 128)
+    );
+}
+
+#[test]
+fn fused_pipeline_golden_memory_traffic() {
+    let prof = fused_profile();
+    let mem = prof.total_mem();
+    // Inputs: A and B are each 1024×32 floats = 4096 sectors; read by
+    // the norms kernels (cold) and re-read by the fused kernel
+    // (partially L2-resident). DRAM reads must be bounded by
+    // 3 passes over the inputs and at least 1 pass.
+    assert!(mem.dram_reads() >= 2 * 4096, "reads {}", mem.dram_reads());
+    assert!(mem.dram_reads() <= 5 * 4096, "reads {}", mem.dram_reads());
+    // Writes: the two norm vectors (128 + 128 sectors) and V
+    // (128 sectors of atomics), nothing else.
+    assert_eq!(mem.dram_writes, 128 + 128 + 128);
+}
+
+#[test]
+fn unfused_pipeline_golden_memory_traffic() {
+    let ks = GpuKernelSummation::new(1024, 1024, 32, 1.0);
+    let mut dev = GpuDevice::gtx970();
+    let prof = ks.profile(&mut dev, GpuVariant::CublasUnfused).unwrap();
+    // The intermediate C is 1024² floats = 131072 sectors: written by
+    // the GEMM and read back by the summation kernel.
+    let c_sectors = 131_072u64;
+    let gemm = &prof.kernels[2];
+    assert_eq!(
+        gemm.counters.l2_write_sectors,
+        2 * c_sectors,
+        "two STG.128 touch each sector"
+    );
+    assert_eq!(gemm.mem.dram_writes, c_sectors);
+    let evalsum = &prof.kernels[3];
+    // Thread-per-row: every C element is its own scattered sector
+    // access (32 per warp instruction); the b2/W loads are broadcasts
+    // (1 sector per instruction) and the a2 load covers 32 rows in 4
+    // sectors per warp.
+    let elems = 1024u64 * 1024;
+    let warp_iters = elems / 32;
+    let a2_sectors = (1024 / 32) * 4;
+    assert_eq!(
+        evalsum.counters.l2_read_sectors,
+        elems + 2 * warp_iters + a2_sectors
+    );
+    assert!(
+        evalsum.mem.dram_reads() >= c_sectors,
+        "C must come back from DRAM"
+    );
+}
+
+#[test]
+fn occupancy_and_launch_golden() {
+    let prof = fused_profile();
+    let k = &prof.kernels[2];
+    assert_eq!(k.occupancy.blocks_per_sm, 2);
+    assert_eq!(k.launch.total_blocks(), 64);
+    assert_eq!(k.launch.threads_per_block(), 256);
+    assert_eq!(k.resources.smem_bytes_per_block, 16 * 1024);
+    assert_eq!(k.resources.regs_per_thread, 128);
+}

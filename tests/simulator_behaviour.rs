@@ -1,0 +1,131 @@
+//! Cross-crate behavioural tests of the simulator substrate:
+//! determinism, traffic-vs-functional equivalence on full pipelines,
+//! and failure injection.
+
+use kernel_summation::gpu_kernels::{GpuKernelSummation, GpuVariant};
+use kernel_summation::gpu_sim::GpuDevice;
+use kernel_summation::prelude::*;
+
+fn problem_arrays(m: usize, n: usize, k: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let a = PointSet::uniform_cube(m, k, 7).coords().to_vec();
+    let b = PointSet::uniform_cube(n, k, 8).coords().to_vec();
+    let w = PointSet::uniform_cube(n, 1, 9).coords().to_vec();
+    (a, b, w)
+}
+
+#[test]
+fn profiles_are_deterministic_across_runs() {
+    let ks = GpuKernelSummation::new(1024, 1024, 32, 1.0);
+    let run = || {
+        let mut dev = GpuDevice::gtx970();
+        ks.profile(&mut dev, GpuVariant::Fused).unwrap()
+    };
+    let p1 = run();
+    let p2 = run();
+    assert_eq!(p1.kernels.len(), p2.kernels.len());
+    for (a, b) in p1.kernels.iter().zip(p2.kernels.iter()) {
+        assert_eq!(a.counters, b.counters, "{}", a.name);
+        assert_eq!(a.mem, b.mem, "{}", a.name);
+        assert!((a.timing.time_s - b.timing.time_s).abs() < 1e-15);
+    }
+}
+
+#[test]
+fn functional_execution_is_reproducible_with_same_seed() {
+    let (a, b, w) = problem_arrays(256, 256, 16);
+    let ks = GpuKernelSummation::new(256, 256, 16, 1.0);
+    let run = || {
+        let mut dev = GpuDevice::gtx970();
+        ks.execute(&mut dev, GpuVariant::CudaUnfused, &a, &b, &w)
+            .unwrap()
+            .0
+    };
+    // The unfused pipeline has no atomics, so results are bitwise
+    // reproducible even with parallel block execution.
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn atomic_reduction_is_reproducible_within_tolerance() {
+    let (a, b, w) = problem_arrays(256, 512, 16);
+    let ks = GpuKernelSummation::new(256, 512, 16, 1.0);
+    let run = || {
+        let mut dev = GpuDevice::gtx970();
+        ks.execute(&mut dev, GpuVariant::Fused, &a, &b, &w)
+            .unwrap()
+            .0
+    };
+    let v1 = run();
+    let v2 = run();
+    // Atomic accumulation order varies across host threads; float
+    // addition is not associative, so allow rounding-level wiggle.
+    for (x, y) in v1.iter().zip(v2.iter()) {
+        assert!((x - y).abs() <= 1e-4 * x.abs().max(1.0), "{x} vs {y}");
+    }
+}
+
+#[test]
+fn execute_and_profile_report_identical_traffic() {
+    // Functional execution must not change what the traffic replay
+    // says about the memory system.
+    let (a, b, w) = problem_arrays(256, 256, 16);
+    let ks = GpuKernelSummation::new(256, 256, 16, 1.0);
+    let mut d1 = GpuDevice::gtx970();
+    let (_, from_execute) = ks
+        .execute(&mut d1, GpuVariant::CublasUnfused, &a, &b, &w)
+        .unwrap();
+    let mut d2 = GpuDevice::gtx970();
+    let from_profile = ks.profile(&mut d2, GpuVariant::CublasUnfused).unwrap();
+    for (x, y) in from_execute.kernels.iter().zip(from_profile.kernels.iter()) {
+        assert_eq!(x.counters, y.counters, "{}", x.name);
+        assert_eq!(x.mem, y.mem, "{}", x.name);
+    }
+}
+
+#[test]
+fn oversized_problems_are_rejected_not_miscomputed() {
+    // K not a multiple of 8 must fail at construction.
+    let r = std::panic::catch_unwind(|| GpuKernelSummation::new(128, 128, 12, 1.0));
+    assert!(r.is_err(), "K=12 must violate the tiling constraints");
+    // Invalid bandwidth must fail, too.
+    let r = std::panic::catch_unwind(|| GpuKernelSummation::new(128, 128, 8, 0.0));
+    assert!(r.is_err(), "h=0 must be rejected");
+}
+
+#[test]
+fn l2_size_matters_for_the_unfused_pipeline() {
+    // Shrinking the L2 by 8x must increase DRAM traffic for the
+    // cache-sensitive unfused pipeline: the simulator actually
+    // simulates the cache, it doesn't just count bytes.
+    let ks = GpuKernelSummation::new(2048, 1024, 32, 1.0);
+    let mut big = GpuDevice::gtx970();
+    let p_big = ks.profile(&mut big, GpuVariant::CublasUnfused).unwrap();
+    let mut small_cfg = kernel_summation::gpu_sim::DeviceConfig::gtx970();
+    small_cfg.l2_bytes /= 8;
+    let mut small = GpuDevice::new(small_cfg);
+    let p_small = ks.profile(&mut small, GpuVariant::CublasUnfused).unwrap();
+    assert!(
+        p_small.total_mem().dram_transactions() > p_big.total_mem().dram_transactions(),
+        "smaller L2 must leak more traffic to DRAM: {} vs {}",
+        p_small.total_mem().dram_transactions(),
+        p_big.total_mem().dram_transactions()
+    );
+}
+
+#[test]
+fn gpu_and_cpu_fused_agree_on_a_paper_sized_cell() {
+    let (m, n, k) = (1024, 1024, 32);
+    let p = KernelSumProblem::builder()
+        .sources(PointSet::uniform_cube(m, k, 21))
+        .targets(PointSet::uniform_cube(n, k, 22))
+        .weights(PointSet::uniform_cube(n, 1, 23).coords().to_vec())
+        .kernel(GaussianKernel { h: 1.0 })
+        .build();
+    let cpu = p.solve(kernel_summation::core::Backend::CpuFused);
+    let gpu = p.solve(kernel_summation::core::Backend::GpuSim(GpuVariant::Fused));
+    assert!(
+        max_rel_error(&gpu, &cpu) < 5e-3,
+        "err {}",
+        max_rel_error(&gpu, &cpu)
+    );
+}
