@@ -8,7 +8,7 @@
 //! 5. occupancy vs registers-per-thread (§III-A's 8×8-microtile
 //!    trade-off).
 
-use ks_bench::table::{f3, ms, TextTable};
+use ks_bench::table::{f3, ms, TableSet, TextTable};
 use ks_gpu_kernels::aux_kernels::{Bandwidth, EvalSumCoalescedKernel, EvalSumKernel};
 use ks_gpu_kernels::fused::{FusedKernelSummation, ReducePartialsKernel, Reduction};
 use ks_gpu_kernels::fused_multi::FusedMultiWeight;
@@ -54,6 +54,8 @@ fn setup(m: usize, n: usize, k: usize) -> Setup {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut tables = TableSet::new(false);
     let (m, n, k) = (16384, 1024, 64);
     println!("Ablations at M={m}, N={n}, K={k} (simulated GTX970)\n");
 
@@ -71,7 +73,7 @@ fn main() {
             p.resources.smem_bytes_per_block.to_string(),
         ]);
     }
-    t.print("Ablation 1: double buffering (fused kernel)", false);
+    tables.add("Ablation 1: double buffering (fused kernel)", t);
 
     // 2. Shared-memory layout.
     let mut t = TextTable::new(vec![
@@ -95,7 +97,7 @@ fn main() {
             f3(p.counters.smem.replay_factor()),
         ]);
     }
-    t.print("Ablation 2: shared-memory placement (fused kernel)", false);
+    tables.add("Ablation 2: shared-memory placement (fused kernel)", t);
 
     // 3. Reduction scheme.
     let mut t = TextTable::new(vec!["reduction", "time", "dram_writes", "l2_writes"]);
@@ -128,7 +130,7 @@ fn main() {
             (p1.mem.l2_writes + p2.mem.l2_writes).to_string(),
         ]);
     }
-    t.print("Ablation 3: inter-block reduction (fused kernel)", false);
+    tables.add("Ablation 3: inter-block reduction (fused kernel)", t);
 
     // 4. Unfused summation kernel strength.
     let mut t = TextTable::new(vec!["summation kernel", "time", "l2_reads", "dram_reads"]);
@@ -161,7 +163,7 @@ fn main() {
             p.mem.dram_reads().to_string(),
         ]);
     }
-    t.print("Ablation 4: unfused evaluation+summation kernel", false);
+    tables.add("Ablation 4: unfused evaluation+summation kernel", t);
 
     // 5. Microtile size: 8×8 (paper) vs 4×4 (§III-A's rejected
     //    alternative) on the plain GEMM.
@@ -202,7 +204,7 @@ fn main() {
             ]);
         }
     }
-    t.print("Ablation 5: microtile size (GEMM only)", false);
+    tables.add("Ablation 5: microtile size (GEMM only)", t);
 
     // 6. Multi-weight fusion vs repeated single-weight passes.
     let mut t = TextTable::new(vec!["strategy", "time", "blocks/SM", "flops"]);
@@ -247,7 +249,7 @@ fn main() {
             (single.counters.flops * r as u64).to_string(),
         ]);
     }
-    t.print("Ablation 6: multi-weight fusion (extension)", false);
+    tables.add("Ablation 6: multi-weight fusion (extension)", t);
 
     // 7. Occupancy vs registers (the §III-A microtile trade-off).
     let dev = DeviceConfig::gtx970();
@@ -281,8 +283,10 @@ fn main() {
             format!("{:.0}%", o.fraction * 100.0),
         ]);
     }
-    t.print(
+    tables.add(
         "Ablation 7: registers per thread vs occupancy (256-thread blocks, 16KB SMEM)",
-        false,
+        t,
     );
+
+    tables.export_from_args(&args);
 }

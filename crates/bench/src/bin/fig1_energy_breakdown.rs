@@ -1,11 +1,11 @@
 //! Fig 1: energy breakdown of the cuBLAS-based kernel summation
 //! (shares of total energy; N = 1024 in all cases).
 
-use ks_bench::{exhibits, Sweep, SweepData};
+use ks_bench::{exhibits, profile_or_exit, Sweep};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let d = SweepData::compute(Sweep::from_args(&args));
+    let d = profile_or_exit(Sweep::from_args(&args));
     exhibits::fig1_energy_breakdown(&d).print(
         "Fig 1: Energy breakdown of cuBLAS-Unfused kernel summation (N=1024)",
         args.iter().any(|a| a == "--csv"),

@@ -1,11 +1,11 @@
 //! Fig 2: L2 misses per kilo-instruction of the cuBLAS-based kernel
 //! summation (N = 1024 in all cases).
 
-use ks_bench::{exhibits, Sweep, SweepData};
+use ks_bench::{exhibits, profile_or_exit, Sweep};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let d = SweepData::compute(Sweep::from_args(&args));
+    let d = profile_or_exit(Sweep::from_args(&args));
     exhibits::fig2_l2_mpki(&d).print(
         "Fig 2: L2 MPKI of cuBLAS-Unfused kernel summation (N=1024)",
         args.iter().any(|a| a == "--csv"),

@@ -1,11 +1,11 @@
 //! Fig 6: execution time (normalised to cuBLAS-Unfused) and speedup of
 //! the fused kernel summation versus both unfused implementations.
 
-use ks_bench::{exhibits, Sweep, SweepData};
+use ks_bench::{exhibits, profile_or_exit, Sweep};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let d = SweepData::compute(Sweep::from_args(&args));
+    let d = profile_or_exit(Sweep::from_args(&args));
     exhibits::fig6_speedup(&d).print(
         "Fig 6: Execution time and speedup of fused kernel summation",
         args.iter().any(|a| a == "--csv"),

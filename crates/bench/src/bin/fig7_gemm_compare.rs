@@ -1,11 +1,11 @@
 //! Fig 7: execution time of the CUDA-C GEMM vs the vendor
 //! (cuBLAS-model) GEMM.
 
-use ks_bench::{exhibits, Sweep, SweepData};
+use ks_bench::{exhibits, profile_or_exit, Sweep};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let d = SweepData::compute(Sweep::from_args(&args));
+    let d = profile_or_exit(Sweep::from_args(&args));
     exhibits::fig7_gemm_compare(&d).print(
         "Fig 7: CUDA-C GEMM vs vendor GEMM execution time",
         args.iter().any(|a| a == "--csv"),

@@ -1,12 +1,12 @@
 //! Fig 8: L2 (a) and DRAM (b) transaction counts normalised to
 //! cuBLAS-Unfused.
 
-use ks_bench::{exhibits, Sweep, SweepData};
+use ks_bench::{exhibits, profile_or_exit, Sweep};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let csv = args.iter().any(|a| a == "--csv");
-    let d = SweepData::compute(Sweep::from_args(&args));
+    let d = profile_or_exit(Sweep::from_args(&args));
     exhibits::fig8a_l2_transactions(&d)
         .print("Fig 8a: L2 transactions normalised to cuBLAS-Unfused", csv);
     exhibits::fig8b_dram_transactions(&d).print(

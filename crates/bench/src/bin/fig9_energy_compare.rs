@@ -1,12 +1,12 @@
 //! Fig 9: energy consumption of the three solutions, broken down into
 //! compute, shared memory, L2 and DRAM.
 
-use ks_bench::{exhibits, Sweep, SweepData};
+use ks_bench::{exhibits, profile_or_exit, Sweep};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let csv = args.iter().any(|a| a == "--csv");
-    let d = SweepData::compute(Sweep::from_args(&args));
+    let d = profile_or_exit(Sweep::from_args(&args));
     exhibits::fig9_energy_compare(&d)
         .print("Fig 9: Energy breakdown (Compute / SMEM / L2 / DRAM)", csv);
     exhibits::dram_energy_savings(&d).print(

@@ -12,7 +12,7 @@
 //! (cuBLAS-Unfused / Fused-vendor).
 
 use ks_bench::table::{f3, ms, TextTable};
-use ks_bench::{Sweep, SweepData};
+use ks_bench::{profile_or_exit, Sweep};
 use ks_gpu_kernels::aux_kernels::Bandwidth;
 use ks_gpu_kernels::fused::FusedKernelSummation;
 use ks_gpu_kernels::gemm_engine::{GemmOperands, GemmShape};
@@ -38,7 +38,7 @@ fn fused_vendor_time(m: usize, n: usize, k: usize) -> f64 {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let sweep = Sweep::from_args(&args);
-    let d = SweepData::compute(sweep);
+    let d = profile_or_exit(sweep);
 
     let mut t = TextTable::new(vec![
         "K",

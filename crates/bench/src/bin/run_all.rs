@@ -1,42 +1,27 @@
 //! Profiles the sweep once and prints every exhibit from the shared
 //! data (the efficient path used to populate EXPERIMENTS.md).
-//! `--json PATH` additionally dumps every kernel profile for external
-//! plotting.
+//!
+//! Metric export (see `metrics` module docs for the schema):
+//!
+//! * `--json PATH` — canonical `BENCH_sweep.json`: per point, per
+//!   pipeline, every counter, L2/DRAM transactions, simulated time,
+//!   speedups and energy (the document the perf-regression harness
+//!   diffs against its golden);
+//! * `--csv PATH` — nvprof-style CSV, one row per kernel launch;
+//! * bare `--csv` (no path) — print the exhibit tables themselves as
+//!   CSV to stdout instead of aligned text.
 
-use ks_bench::{exhibits, Sweep, SweepData};
+use ks_bench::{exhibits, metrics, profile_or_exit, Sweep, SweepMetrics};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let csv = args.iter().any(|a| a == "--csv");
+    let csv_tables =
+        args.iter().any(|a| a == "--csv") && metrics::path_arg(&args, "--csv").is_none();
     let sweep = Sweep::from_args(&args);
     eprintln!("profiling {} (K, M) points ...", sweep.len());
-    let d = SweepData::compute(sweep);
-    if let Some(pos) = args.iter().position(|a| a == "--json") {
-        let path = args.get(pos + 1).expect("--json needs a path");
-        let dump: Vec<serde_json::Value> = d
-            .points
-            .iter()
-            .map(|p| {
-                serde_json::json!({
-                    "k": p.k,
-                    "m": p.m,
-                    "n": p.n,
-                    "fused": p.fused,
-                    "cuda_unfused": p.cuda_unfused,
-                    "cublas_unfused": p.cublas_unfused,
-                    "fused_energy": p.fused_energy,
-                    "cuda_energy": p.cuda_energy,
-                    "cublas_energy": p.cublas_energy,
-                })
-            })
-            .collect();
-        std::fs::write(
-            path,
-            serde_json::to_string_pretty(&dump).expect("serialise"),
-        )
-        .expect("write json");
-        eprintln!("wrote {path}");
-    }
+    let d = profile_or_exit(sweep);
+    metrics::export_from_args(&args, &SweepMetrics::collect(&d));
+    let csv = csv_tables;
     exhibits::table1_config(&d.device).print("Table I: Configuration (simulated GTX970)", csv);
     exhibits::fig1_energy_breakdown(&d).print(
         "Fig 1: Energy breakdown of cuBLAS-Unfused kernel summation (N=1024)",

@@ -12,7 +12,7 @@
 //! If the claims flip anywhere in the sweep, the reproduction would be
 //! an artifact of the calibration — they should not.
 
-use ks_bench::table::{f3, TextTable};
+use ks_bench::table::{f3, TableSet, TextTable};
 use ks_gpu_kernels::{GpuKernelSummation, GpuVariant};
 use ks_gpu_sim::timing::TimingParams;
 use ks_gpu_sim::GpuDevice;
@@ -125,10 +125,13 @@ fn main() {
         );
     }
 
-    t.print(
+    let args: Vec<String> = std::env::args().collect();
+    let mut tables = TableSet::new(false);
+    tables.add(
         "Sensitivity of the paper's qualitative claims to timing calibration (M=8192, N=1024)",
-        false,
+        t,
     );
+    tables.export_from_args(&args);
     if all_hold {
         println!("All qualitative claims hold across the calibration sweep ✓");
     } else {

@@ -1,11 +1,11 @@
 //! Table II: FLOP efficiency (achieved / peak single-precision
 //! throughput) of cuBLAS-Unfused and Fused kernel summation.
 
-use ks_bench::{exhibits, Sweep, SweepData};
+use ks_bench::{exhibits, profile_or_exit, Sweep};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let d = SweepData::compute(Sweep::from_args(&args));
+    let d = profile_or_exit(Sweep::from_args(&args));
     exhibits::table2_flop_efficiency(&d).print(
         "Table II: FLOP Efficiency",
         args.iter().any(|a| a == "--csv"),

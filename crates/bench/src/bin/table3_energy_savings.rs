@@ -1,11 +1,11 @@
 //! Table III: total-energy savings of Fused compared to
 //! cuBLAS-Unfused.
 
-use ks_bench::{exhibits, Sweep, SweepData};
+use ks_bench::{exhibits, profile_or_exit, Sweep};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let d = SweepData::compute(Sweep::from_args(&args));
+    let d = profile_or_exit(Sweep::from_args(&args));
     exhibits::table3_energy_savings(&d).print(
         "Table III: Energy Savings of Fused compared to cuBLAS-Unfused",
         args.iter().any(|a| a == "--csv"),

@@ -4,7 +4,7 @@
 use ks_energy::{pipeline_energy, EnergyBreakdown, EnergyParams};
 use ks_gpu_kernels::{GpuKernelSummation, GpuVariant};
 use ks_gpu_sim::profiler::{KernelProfile, PipelineProfile};
-use ks_gpu_sim::{DeviceConfig, GpuDevice};
+use ks_gpu_sim::{DeviceConfig, GpuDevice, LaunchError};
 use rayon::prelude::*;
 
 use crate::sweep::Sweep;
@@ -29,28 +29,33 @@ pub struct PointData {
     pub cuda_energy: EnergyBreakdown,
     /// cuBLAS-Unfused energy.
     pub cublas_energy: EnergyBreakdown,
+    /// Host wall time spent profiling this point, in milliseconds
+    /// (nondeterministic — excluded from regression diffs).
+    pub wall_time_ms: f64,
 }
 
 impl PointData {
     /// Profiles all three variants at `(k, m, n)` on fresh devices.
     ///
-    /// # Panics
-    /// Panics if the dimensions violate the tiling constraints.
-    #[must_use]
-    pub fn compute(k: usize, m: usize, n: usize) -> Self {
+    /// # Errors
+    /// Returns the [`LaunchError`] of the first variant whose launch
+    /// the device rejects (e.g. the dimensions violate the tiling
+    /// constraints).
+    pub fn compute(k: usize, m: usize, n: usize) -> Result<Self, LaunchError> {
+        let started = std::time::Instant::now();
         let pipeline = GpuKernelSummation::new(m, n, k, 1.0);
         let params = EnergyParams::default();
         let run = |variant: GpuVariant| {
             let mut dev = GpuDevice::gtx970();
-            pipeline.profile(&mut dev, variant).expect("valid launch")
+            pipeline.profile(&mut dev, variant)
         };
-        let fused = run(GpuVariant::Fused);
-        let cuda_unfused = run(GpuVariant::CudaUnfused);
-        let cublas_unfused = run(GpuVariant::CublasUnfused);
+        let fused = run(GpuVariant::Fused)?;
+        let cuda_unfused = run(GpuVariant::CudaUnfused)?;
+        let cublas_unfused = run(GpuVariant::CublasUnfused)?;
         let fused_energy = pipeline_energy(&params, &fused);
         let cuda_energy = pipeline_energy(&params, &cuda_unfused);
         let cublas_energy = pipeline_energy(&params, &cublas_unfused);
-        Self {
+        Ok(Self {
             k,
             m,
             n,
@@ -60,7 +65,8 @@ impl PointData {
             fused_energy,
             cuda_energy,
             cublas_energy,
-        }
+            wall_time_ms: started.elapsed().as_secs_f64() * 1e3,
+        })
     }
 
     /// The CUDA-C GEMM kernel profile (third kernel of CUDA-Unfused).
@@ -88,6 +94,18 @@ impl PointData {
     }
 }
 
+/// Profiles `sweep`, exiting the process with a readable message when
+/// the device rejects a launch. The shared entry point for the CLI
+/// bins — library callers should use [`SweepData::compute`] and handle
+/// the [`LaunchError`] themselves.
+#[must_use]
+pub fn profile_or_exit(sweep: Sweep) -> SweepData {
+    SweepData::compute(sweep).unwrap_or_else(|e| {
+        eprintln!("error: cannot profile sweep: {e}");
+        std::process::exit(1);
+    })
+}
+
 /// One full sweep of [`PointData`].
 pub struct SweepData {
     /// The grid that was profiled.
@@ -101,19 +119,21 @@ pub struct SweepData {
 impl SweepData {
     /// Profiles the whole grid (points in parallel — each owns its
     /// device, so they are independent).
-    #[must_use]
-    pub fn compute(sweep: Sweep) -> Self {
+    ///
+    /// # Errors
+    /// Returns the first [`LaunchError`] encountered across the grid.
+    pub fn compute(sweep: Sweep) -> Result<Self, LaunchError> {
         let pts: Vec<(usize, usize)> = sweep.points().collect();
         let n = sweep.n;
         let points: Vec<PointData> = pts
             .par_iter()
             .map(|&(k, m)| PointData::compute(k, m, n))
-            .collect();
-        Self {
+            .collect::<Result<_, _>>()?;
+        Ok(Self {
             sweep,
             points,
             device: DeviceConfig::gtx970(),
-        }
+        })
     }
 
     /// Data for one `(k, m)` point.
@@ -134,7 +154,7 @@ mod tests {
 
     #[test]
     fn point_data_has_expected_kernel_counts() {
-        let p = PointData::compute(32, 1024, 1024);
+        let p = PointData::compute(32, 1024, 1024).expect("valid launch");
         assert_eq!(p.fused.kernels.len(), 3);
         assert_eq!(p.cuda_unfused.kernels.len(), 4);
         assert_eq!(p.cublas_unfused.kernels.len(), 4);
@@ -144,7 +164,7 @@ mod tests {
 
     #[test]
     fn sweep_data_orders_points() {
-        let d = SweepData::compute(Sweep::smoke());
+        let d = SweepData::compute(Sweep::smoke()).expect("valid launch");
         assert_eq!(d.points.len(), 4);
         assert!(d.at(32, 1024).is_some());
         assert!(d.at(99, 1024).is_none());
@@ -153,7 +173,7 @@ mod tests {
 
     #[test]
     fn speedups_are_positive() {
-        let p = PointData::compute(32, 2048, 1024);
+        let p = PointData::compute(32, 2048, 1024).expect("valid launch");
         assert!(p.speedup_vs_cublas() > 0.0);
         assert!(
             p.speedup_vs_cuda() > p.speedup_vs_cublas(),

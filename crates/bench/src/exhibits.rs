@@ -276,7 +276,7 @@ mod tests {
     use crate::sweep::Sweep;
 
     fn data() -> SweepData {
-        SweepData::compute(Sweep::smoke())
+        SweepData::compute(Sweep::smoke()).expect("valid launch")
     }
 
     #[test]

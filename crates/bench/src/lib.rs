@@ -19,9 +19,12 @@
 
 pub mod data;
 pub mod exhibits;
+pub mod metrics;
+pub mod regress;
 pub mod sweep;
 pub mod table;
 
-pub use data::{PointData, SweepData};
+pub use data::{profile_or_exit, PointData, SweepData};
+pub use metrics::SweepMetrics;
 pub use sweep::Sweep;
 pub use table::TextTable;

@@ -1,0 +1,222 @@
+//! Perf-regression harness: diffs a freshly collected
+//! [`SweepMetrics`] export against a checked-in golden.
+//!
+//! Counters and transaction totals are compared **exactly** — the
+//! simulator is deterministic, so any drift is a behaviour change that
+//! must be either fixed or consciously blessed by regenerating the
+//! golden. Simulated times, efficiencies and energies are floats
+//! produced by deterministic arithmetic; they are compared with a
+//! tight relative tolerance ([`REL_TOL`]) to stay robust if
+//! summation order ever changes. Host wall times are ignored.
+
+use crate::metrics::{PipelineMetrics, PointMetrics, SweepMetrics};
+
+/// Relative tolerance for float comparisons (times, efficiencies,
+/// energies). Counters are always compared exactly.
+pub const REL_TOL: f64 = 1e-9;
+
+fn close(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs());
+    (a - b).abs() <= REL_TOL * scale.max(1e-300)
+}
+
+fn diff_pipeline(
+    at: &str,
+    golden: &PipelineMetrics,
+    fresh: &PipelineMetrics,
+    out: &mut Vec<String>,
+) {
+    if golden.counters != fresh.counters {
+        out.push(format!(
+            "{at}: counters drifted\n  golden: {:?}\n  fresh:  {:?}",
+            golden.counters, fresh.counters
+        ));
+    }
+    if golden.mem != fresh.mem {
+        out.push(format!(
+            "{at}: L2/DRAM traffic drifted\n  golden: {:?}\n  fresh:  {:?}",
+            golden.mem, fresh.mem
+        ));
+    }
+    for (name, g, f) in [
+        (
+            "l2_transactions",
+            golden.l2_transactions,
+            fresh.l2_transactions,
+        ),
+        (
+            "dram_transactions",
+            golden.dram_transactions,
+            fresh.dram_transactions,
+        ),
+    ] {
+        if g != f {
+            out.push(format!("{at}: {name} drifted: golden {g}, fresh {f}"));
+        }
+    }
+    for (name, g, f) in [
+        ("time_s", golden.time_s, fresh.time_s),
+        (
+            "flop_efficiency",
+            golden.flop_efficiency,
+            fresh.flop_efficiency,
+        ),
+        ("l2_mpki", golden.l2_mpki, fresh.l2_mpki),
+        (
+            "energy.total_j",
+            golden.energy.total_j(),
+            fresh.energy.total_j(),
+        ),
+    ] {
+        if !close(g, f) {
+            out.push(format!("{at}: {name} drifted: golden {g:?}, fresh {f:?}"));
+        }
+    }
+    if golden.profile != fresh.profile {
+        out.push(format!("{at}: per-kernel profile drifted"));
+    }
+}
+
+fn diff_point(golden: &PointMetrics, fresh: &PointMetrics, out: &mut Vec<String>) {
+    let at = format!("K={} M={}", golden.k, golden.m);
+    for (name, g, f) in [
+        (
+            "speedup_vs_cublas",
+            golden.speedup_vs_cublas,
+            fresh.speedup_vs_cublas,
+        ),
+        (
+            "speedup_vs_cuda",
+            golden.speedup_vs_cuda,
+            fresh.speedup_vs_cuda,
+        ),
+    ] {
+        if !close(g, f) {
+            out.push(format!("{at}: {name} drifted: golden {g:?}, fresh {f:?}"));
+        }
+    }
+    diff_pipeline(&format!("{at} fused"), &golden.fused, &fresh.fused, out);
+    diff_pipeline(
+        &format!("{at} cuda_unfused"),
+        &golden.cuda_unfused,
+        &fresh.cuda_unfused,
+        out,
+    );
+    diff_pipeline(
+        &format!("{at} cublas_unfused"),
+        &golden.cublas_unfused,
+        &fresh.cublas_unfused,
+        out,
+    );
+}
+
+/// Compares two exports and returns one human-readable line (or
+/// block) per mismatch; empty means no regression.
+#[must_use]
+pub fn diff(golden: &SweepMetrics, fresh: &SweepMetrics) -> Vec<String> {
+    let mut out = Vec::new();
+    if golden.schema_version != fresh.schema_version {
+        out.push(format!(
+            "schema version mismatch: golden {}, fresh {} — regenerate the golden",
+            golden.schema_version, fresh.schema_version
+        ));
+        return out;
+    }
+    if golden.n != fresh.n {
+        out.push(format!(
+            "N mismatch: golden {}, fresh {}",
+            golden.n, fresh.n
+        ));
+    }
+    if !close(golden.peak_sp_gflops, fresh.peak_sp_gflops) {
+        out.push(format!(
+            "device peak drifted: golden {:?}, fresh {:?}",
+            golden.peak_sp_gflops, fresh.peak_sp_gflops
+        ));
+    }
+    let gold_pts: Vec<(u64, u64)> = golden.points.iter().map(|p| (p.k, p.m)).collect();
+    let fresh_pts: Vec<(u64, u64)> = fresh.points.iter().map(|p| (p.k, p.m)).collect();
+    if gold_pts != fresh_pts {
+        out.push(format!(
+            "point grids differ: golden {gold_pts:?}, fresh {fresh_pts:?}"
+        ));
+        return out;
+    }
+    for (g, f) in golden.points.iter().zip(&fresh.points) {
+        diff_point(g, f, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SweepMetrics;
+    use crate::{Sweep, SweepData};
+
+    fn tiny() -> SweepMetrics {
+        let d = SweepData::compute(Sweep {
+            k_values: vec![32],
+            m_values: vec![1024],
+            n: 1024,
+        })
+        .expect("valid launch");
+        SweepMetrics::collect(&d)
+    }
+
+    #[test]
+    fn identical_exports_have_no_diff() {
+        let m = tiny();
+        assert!(diff(&m, &m).is_empty());
+    }
+
+    #[test]
+    fn wall_time_is_ignored() {
+        let golden = tiny();
+        let mut fresh = golden.clone();
+        fresh.points[0].wall_time_ms *= 100.0;
+        assert!(diff(&golden, &fresh).is_empty());
+    }
+
+    #[test]
+    fn counter_drift_is_detected() {
+        let golden = tiny();
+        let mut fresh = golden.clone();
+        fresh.points[0].fused.counters.ffma_insts += 1;
+        let d = diff(&golden, &fresh);
+        assert!(
+            d.iter().any(|l| l.contains("counters drifted")),
+            "diff was: {d:?}"
+        );
+    }
+
+    #[test]
+    fn dram_drift_is_detected() {
+        let golden = tiny();
+        let mut fresh = golden.clone();
+        fresh.points[0].cublas_unfused.dram_transactions += 7;
+        let d = diff(&golden, &fresh);
+        assert!(d.iter().any(|l| l.contains("dram_transactions")));
+    }
+
+    #[test]
+    fn time_drift_is_detected_but_tiny_jitter_is_not() {
+        let golden = tiny();
+        let mut fresh = golden.clone();
+        fresh.points[0].fused.time_s *= 1.0 + 1e-12;
+        assert!(diff(&golden, &fresh).is_empty(), "below tolerance");
+        fresh.points[0].fused.time_s *= 1.01;
+        let d = diff(&golden, &fresh);
+        assert!(d.iter().any(|l| l.contains("time_s drifted")));
+    }
+
+    #[test]
+    fn schema_mismatch_short_circuits() {
+        let golden = tiny();
+        let mut fresh = golden.clone();
+        fresh.schema_version += 1;
+        let d = diff(&golden, &fresh);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].contains("schema version"));
+    }
+}

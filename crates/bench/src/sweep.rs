@@ -19,12 +19,28 @@ pub struct Sweep {
     pub n: usize,
 }
 
+/// `from, 2·from, 4·from, …` up to and including `to` (when `to` is a
+/// power-of-two multiple of `from`; otherwise the last value ≤ `to`).
+///
+/// # Panics
+/// Panics when `from == 0` (zero never doubles past `to`, so the loop
+/// would never terminate) or when `to < from` (the grid would be
+/// silently empty, which every caller would misread as "swept
+/// nothing and succeeded").
 fn doublings(from: usize, to: usize) -> Vec<usize> {
+    assert!(from > 0, "doublings: `from` must be non-zero");
+    assert!(
+        from <= to,
+        "doublings: empty range ({from} > {to}); swap the bounds"
+    );
     let mut v = Vec::new();
     let mut m = from;
     while m <= to {
         v.push(m);
-        m *= 2;
+        match m.checked_mul(2) {
+            Some(next) => m = next,
+            None => break,
+        }
     }
     v
 }
@@ -116,6 +132,26 @@ mod tests {
         assert_eq!(pts, vec![(32, 1024), (32, 4096), (256, 1024), (256, 4096)]);
         assert_eq!(s.len(), 4);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn doublings_cover_edges() {
+        assert_eq!(doublings(1024, 1024), vec![1024]);
+        assert_eq!(doublings(3, 13), vec![3, 6, 12]);
+        // Saturating edge: stop instead of overflowing.
+        assert_eq!(doublings(usize::MAX / 2 + 1, usize::MAX).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "`from` must be non-zero")]
+    fn doublings_reject_zero_start() {
+        let _ = doublings(0, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn doublings_reject_inverted_range() {
+        let _ = doublings(2048, 1024);
     }
 
     #[test]

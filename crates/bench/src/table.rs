@@ -95,6 +95,87 @@ impl TextTable {
             println!("{}", self.render(title));
         }
     }
+
+    /// JSON form: `{"title", "columns", "rows"}` with rows as string
+    /// arrays (cells keep their rendered formatting).
+    #[must_use]
+    pub fn to_json_value(&self, title: &str) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            (
+                "title".to_string(),
+                serde_json::Value::Str(title.to_string()),
+            ),
+            (
+                "columns".to_string(),
+                serde::Serialize::to_value(&self.headers),
+            ),
+            ("rows".to_string(), serde::Serialize::to_value(&self.rows)),
+        ])
+    }
+}
+
+/// Collects titled tables so a binary can print them as it goes and
+/// still export the full set through the shared `--json <path>` /
+/// `--csv <path>` flags afterwards.
+#[derive(Debug, Default)]
+pub struct TableSet {
+    tables: Vec<(String, TextTable)>,
+    csv_stdout: bool,
+}
+
+impl TableSet {
+    /// New set; `csv_stdout` selects CSV table printing (the bare
+    /// `--csv` flag) instead of aligned text.
+    #[must_use]
+    pub fn new(csv_stdout: bool) -> Self {
+        Self {
+            tables: Vec::new(),
+            csv_stdout,
+        }
+    }
+
+    /// Prints the table immediately and records it for export.
+    pub fn add(&mut self, title: &str, t: TextTable) {
+        t.print(title, self.csv_stdout);
+        self.tables.push((title.to_string(), t));
+    }
+
+    /// All tables as a pretty JSON array of
+    /// [`TextTable::to_json_value`] objects.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let v: Vec<serde_json::Value> = self
+            .tables
+            .iter()
+            .map(|(title, t)| t.to_json_value(title))
+            .collect();
+        serde_json::to_string_pretty(&v).expect("tables serialise")
+    }
+
+    /// All tables as CSV sections separated by `# title` comments.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for (title, t) in &self.tables {
+            let _ = writeln!(out, "# {title}");
+            out.push_str(&t.to_csv());
+        }
+        out
+    }
+
+    /// Honours `--json <path>` / `--csv <path>`, writing the recorded
+    /// tables. Exits the process on an I/O failure.
+    pub fn export_from_args(&self, args: &[String]) {
+        for (flag, doc) in [("--json", self.to_json()), ("--csv", self.to_csv())] {
+            if let Some(path) = crate::metrics::path_arg(args, flag) {
+                std::fs::write(&path, doc).unwrap_or_else(|e| {
+                    eprintln!("error: cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("wrote {path}");
+            }
+        }
+    }
 }
 
 /// Formats a float with 3 significant decimals.
@@ -151,5 +232,20 @@ mod tests {
         assert_eq!(f3(1.23456), "1.235");
         assert_eq!(pct(0.125), "12.5%");
         assert_eq!(ms(0.001234), "1.234ms");
+    }
+
+    #[test]
+    fn table_set_exports_json_and_csv() {
+        let mut set = TableSet::new(true);
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]);
+        set.add("demo", t);
+        let json = set.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("parse");
+        assert_eq!(v[0]["title"].as_str(), Some("demo"));
+        assert_eq!(v[0]["rows"][0][1].as_str(), Some("2"));
+        let csv = set.to_csv();
+        assert!(csv.starts_with("# demo\n"));
+        assert!(csv.contains("a,b\n1,2\n"));
     }
 }

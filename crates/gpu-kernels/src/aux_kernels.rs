@@ -18,6 +18,7 @@
 use ks_gpu_sim::buffer::BufId;
 use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
+use ks_gpu_sim::kernel::VecWidth;
 use ks_gpu_sim::kernel::{ExecModel, Kernel, KernelResources, TimingHints};
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
@@ -106,7 +107,7 @@ impl NormsKernel {
                     let p = base_point + w * 32 + lane;
                     Some(p * self.dim + j)
                 });
-                let v = mach.ld_global(self.points, &idx, 4);
+                let v = mach.ld_global(self.points, &idx, VecWidth::V4);
                 mach.ffma(4);
                 if M::FUNCTIONAL {
                     for lane in 0..32 {
@@ -118,7 +119,7 @@ impl NormsKernel {
             }
             let idx: WarpIdx = std::array::from_fn(|lane| Some(base_point + w * 32 + lane));
             let vals: [[f32; 4]; 32] = std::array::from_fn(|lane| [acc[lane], 0.0, 0.0, 0.0]);
-            mach.st_global(self.out, &idx, 1, &vals);
+            mach.st_global(self.out, &idx, VecWidth::V1, &vals);
         }
     }
 }
@@ -224,15 +225,15 @@ impl EvalSumKernel {
             mach.alu(2);
             // Row norm: one per thread, coalesced.
             let ridx: WarpIdx = std::array::from_fn(|lane| Some(row(lane)));
-            let a2v = mach.ld_global(self.a2, &ridx, 1);
+            let a2v = mach.ld_global(self.a2, &ridx, VecWidth::V1);
             let mut acc = [0.0f32; 32];
             for j in 0..self.n {
                 // One column of 32 different rows: 32 scattered sectors.
                 let cidx: WarpIdx = std::array::from_fn(|lane| Some(row(lane) * self.n + j));
                 let bidx: WarpIdx = std::array::from_fn(|_| Some(j));
-                let cv = mach.ld_global(self.c_mat, &cidx, 1);
-                let b2v = mach.ld_global(self.b2, &bidx, 1);
-                let wv = mach.ld_global(self.w, &bidx, 1);
+                let cv = mach.ld_global(self.c_mat, &cidx, VecWidth::V1);
+                let b2v = mach.ld_global(self.b2, &bidx, VecWidth::V1);
+                let wv = mach.ld_global(self.w, &bidx, VecWidth::V1);
                 // FADD (norm sum), 2 FFMA (arg fold), MUFU (exp),
                 // FFMA (×W accumulate).
                 mach.falu(1);
@@ -246,7 +247,7 @@ impl EvalSumKernel {
                 }
             }
             let vals: [[f32; 4]; 32] = std::array::from_fn(|lane| [acc[lane], 0.0, 0.0, 0.0]);
-            mach.st_global(self.v, &ridx, 1, &vals);
+            mach.st_global(self.v, &ridx, VecWidth::V1, &vals);
         }
     }
 }
@@ -339,15 +340,15 @@ impl EvalSumCoalescedKernel {
             let row = block.x as usize * 8 + w;
             mach.alu(2);
             // Broadcast load of the row norm.
-            let a2v = mach.ld_global(self.a2, &std::array::from_fn(|_| Some(row)), 1);
+            let a2v = mach.ld_global(self.a2, &std::array::from_fn(|_| Some(row)), VecWidth::V1);
             let mut acc = [0.0f32; 32];
             for j0 in (0..self.n).step_by(128) {
                 let col = |lane: usize| j0 + 4 * lane;
                 let cidx: WarpIdx = std::array::from_fn(|lane| Some(row * self.n + col(lane)));
                 let vidx: WarpIdx = std::array::from_fn(|lane| Some(col(lane)));
-                let cv = mach.ld_global(self.c_mat, &cidx, 4);
-                let b2v = mach.ld_global(self.b2, &vidx, 4);
-                let wv = mach.ld_global(self.w, &vidx, 4);
+                let cv = mach.ld_global(self.c_mat, &cidx, VecWidth::V4);
+                let b2v = mach.ld_global(self.b2, &vidx, VecWidth::V4);
+                let wv = mach.ld_global(self.w, &vidx, VecWidth::V4);
                 mach.falu(4);
                 mach.ffma(12);
                 mach.sfu(4);
@@ -369,7 +370,7 @@ impl EvalSumCoalescedKernel {
             if M::FUNCTIONAL {
                 vals[0][0] = acc.iter().sum();
             }
-            mach.st_global(self.v, &one_lane, 1, &vals);
+            mach.st_global(self.v, &one_lane, VecWidth::V1, &vals);
         }
     }
 }
@@ -462,11 +463,11 @@ impl EvalKernel {
             let base = block.x as usize * 1024 + w * 128;
             let row = base / self.n;
             mach.alu(2);
-            let a2v = mach.ld_global(self.a2, &std::array::from_fn(|_| Some(row)), 1);
+            let a2v = mach.ld_global(self.a2, &std::array::from_fn(|_| Some(row)), VecWidth::V1);
             let eidx: WarpIdx = std::array::from_fn(|lane| Some(base + 4 * lane));
             let vidx: WarpIdx = std::array::from_fn(|lane| Some((base + 4 * lane) % self.n));
-            let cv = mach.ld_global(self.c_mat, &eidx, 4);
-            let b2v = mach.ld_global(self.b2, &vidx, 4);
+            let cv = mach.ld_global(self.c_mat, &eidx, VecWidth::V4);
+            let b2v = mach.ld_global(self.b2, &vidx, VecWidth::V4);
             mach.falu(4);
             mach.ffma(8);
             mach.sfu(4);
@@ -480,7 +481,7 @@ impl EvalKernel {
             } else {
                 [[0.0; 4]; 32]
             };
-            mach.st_global(self.k_mat, &eidx, 4, &out);
+            mach.st_global(self.k_mat, &eidx, VecWidth::V4, &out);
         }
     }
 }
@@ -552,8 +553,8 @@ impl GemvKernel {
             for j0 in (0..self.n).step_by(128) {
                 let kidx: WarpIdx = std::array::from_fn(|lane| Some(row * self.n + j0 + 4 * lane));
                 let vidx: WarpIdx = std::array::from_fn(|lane| Some(j0 + 4 * lane));
-                let kv = mach.ld_global(self.k_mat, &kidx, 4);
-                let wv = mach.ld_global(self.w, &vidx, 4);
+                let kv = mach.ld_global(self.k_mat, &kidx, VecWidth::V4);
+                let wv = mach.ld_global(self.w, &vidx, VecWidth::V4);
                 mach.ffma(4);
                 if M::FUNCTIONAL {
                     for lane in 0..32 {
@@ -571,7 +572,7 @@ impl GemvKernel {
             if M::FUNCTIONAL {
                 vals[0][0] = acc.iter().sum();
             }
-            mach.st_global(self.v, &one_lane, 1, &vals);
+            mach.st_global(self.v, &one_lane, VecWidth::V1, &vals);
         }
     }
 }

@@ -23,6 +23,7 @@
 use ks_gpu_sim::buffer::BufId;
 use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
+use ks_gpu_sim::kernel::VecWidth;
 use ks_gpu_sim::kernel::{ExecModel, Kernel, KernelResources, TimingHints};
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
@@ -163,8 +164,8 @@ impl FusedKernelSummation {
                     Some(by * BLOCK_TILE + ty * MICRO_TILE)
                 });
                 let idx_hi: WarpIdx = std::array::from_fn(|lane| idx_lo[lane].map(|i| i + 4));
-                let lo = mach.ld_global(self.a2, &idx_lo, 4);
-                let hi = mach.ld_global(self.a2, &idx_hi, 4);
+                let lo = mach.ld_global(self.a2, &idx_lo, VecWidth::V4);
+                let hi = mach.ld_global(self.a2, &idx_hi, VecWidth::V4);
                 if M::FUNCTIONAL {
                     a2v = lo;
                     a2w = hi;
@@ -176,10 +177,10 @@ impl FusedKernelSummation {
                 Some(bx * BLOCK_TILE + tx * MICRO_TILE)
             });
             let col_idx_hi: WarpIdx = std::array::from_fn(|lane| col_idx_lo[lane].map(|i| i + 4));
-            let b2_lo = mach.ld_global(self.b2, &col_idx_lo, 4);
-            let b2_hi = mach.ld_global(self.b2, &col_idx_hi, 4);
-            let w_lo = mach.ld_global(self.w, &col_idx_lo, 4);
-            let w_hi = mach.ld_global(self.w, &col_idx_hi, 4);
+            let b2_lo = mach.ld_global(self.b2, &col_idx_lo, VecWidth::V4);
+            let b2_hi = mach.ld_global(self.b2, &col_idx_hi, VecWidth::V4);
+            let w_lo = mach.ld_global(self.w, &col_idx_lo, VecWidth::V4);
+            let w_hi = mach.ld_global(self.w, &col_idx_hi, VecWidth::V4);
 
             // Per element: FADD (‖α‖²+‖β‖²), 2 FFMA (argument fold),
             // MUFU.EX2 (exp); then FFMA against W for the reduction.
@@ -250,7 +251,7 @@ impl FusedKernelSummation {
                         vals[half * THREADS_XY][0] = sum;
                     }
                 }
-                mach.st_shared(&words, 1, &vals);
+                mach.st_shared(&words, VecWidth::V1, &vals);
             }
         }
         mach.syncthreads(warps);
@@ -260,7 +261,7 @@ impl FusedKernelSummation {
         for wp in 0..WARPS_PER_BLOCK / 2 {
             let words: [Option<u32>; 32] =
                 std::array::from_fn(|lane| Some((wp * 32 + lane) as u32));
-            let t_vals = mach.ld_shared(&words, 1);
+            let t_vals = mach.ld_shared(&words, VecWidth::V1);
             let vidx: WarpIdx = std::array::from_fn(|lane| Some(by * BLOCK_TILE + wp * 32 + lane));
             let lane_vals: [f32; 32] = std::array::from_fn(|lane| t_vals[lane][0]);
             match self.reduction {
@@ -273,7 +274,7 @@ impl FusedKernelSummation {
                     });
                     let vals: [[f32; 4]; 32] =
                         std::array::from_fn(|lane| [lane_vals[lane], 0.0, 0.0, 0.0]);
-                    mach.st_global(partials, &pidx, 1, &vals);
+                    mach.st_global(partials, &pidx, VecWidth::V1, &vals);
                 }
             }
         }
@@ -357,7 +358,7 @@ impl ReducePartialsKernel {
             let mut acc = [0.0f32; 32];
             for bx in 0..self.n_blocks_x {
                 let idx: WarpIdx = std::array::from_fn(|lane| Some(bx * self.m + base + lane));
-                let v = mach.ld_global(self.partials, &idx, 1);
+                let v = mach.ld_global(self.partials, &idx, VecWidth::V1);
                 mach.falu(1);
                 if M::FUNCTIONAL {
                     for lane in 0..32 {
@@ -367,7 +368,7 @@ impl ReducePartialsKernel {
             }
             let idx: WarpIdx = std::array::from_fn(|lane| Some(base + lane));
             let vals: [[f32; 4]; 32] = std::array::from_fn(|lane| [acc[lane], 0.0, 0.0, 0.0]);
-            mach.st_global(self.v, &idx, 1, &vals);
+            mach.st_global(self.v, &idx, VecWidth::V1, &vals);
         }
     }
 }

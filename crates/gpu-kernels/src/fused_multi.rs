@@ -22,6 +22,7 @@
 use ks_gpu_sim::buffer::BufId;
 use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
+use ks_gpu_sim::kernel::VecWidth;
 use ks_gpu_sim::kernel::{ExecModel, Kernel, KernelResources, TimingHints};
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
@@ -126,15 +127,15 @@ impl FusedMultiWeight {
                 Some(by * BLOCK_TILE + ty * MICRO_TILE)
             });
             let idx_hi: WarpIdx = std::array::from_fn(|lane| idx_lo[lane].map(|i| i + 4));
-            let a2_lo = mach.ld_global(self.a2, &idx_lo, 4);
-            let a2_hi = mach.ld_global(self.a2, &idx_hi, 4);
+            let a2_lo = mach.ld_global(self.a2, &idx_lo, VecWidth::V4);
+            let a2_hi = mach.ld_global(self.a2, &idx_hi, VecWidth::V4);
             let col_idx_lo: WarpIdx = std::array::from_fn(|lane| {
                 let tx = lane % THREADS_XY;
                 Some(bx * BLOCK_TILE + tx * MICRO_TILE)
             });
             let col_idx_hi: WarpIdx = std::array::from_fn(|lane| col_idx_lo[lane].map(|i| i + 4));
-            let b2_lo = mach.ld_global(self.b2, &col_idx_lo, 4);
-            let b2_hi = mach.ld_global(self.b2, &col_idx_hi, 4);
+            let b2_lo = mach.ld_global(self.b2, &col_idx_lo, VecWidth::V4);
+            let b2_hi = mach.ld_global(self.b2, &col_idx_hi, VecWidth::V4);
             // Stage all R weight slices (column-major: column c at
             // offset c·N).
             let mut w_lo = [[[0.0f32; 4]; 32]; MAX_WEIGHT_COLUMNS];
@@ -142,8 +143,8 @@ impl FusedMultiWeight {
             for c in 0..r {
                 let wl: WarpIdx = std::array::from_fn(|lane| col_idx_lo[lane].map(|i| c * n + i));
                 let wh: WarpIdx = std::array::from_fn(|lane| col_idx_hi[lane].map(|i| c * n + i));
-                let lo = mach.ld_global(self.w, &wl, 4);
-                let hi = mach.ld_global(self.w, &wh, 4);
+                let lo = mach.ld_global(self.w, &wl, VecWidth::V4);
+                let hi = mach.ld_global(self.w, &wh, VecWidth::V4);
                 if M::FUNCTIONAL {
                     w_lo[c] = lo;
                     w_hi[c] = hi;
@@ -212,7 +213,7 @@ impl FusedMultiWeight {
                             vals[half * THREADS_XY][0] = sum;
                         }
                     }
-                    mach.st_shared(&words, 1, &vals);
+                    mach.st_shared(&words, VecWidth::V1, &vals);
                 }
             }
         }
@@ -223,7 +224,7 @@ impl FusedMultiWeight {
             for c in 0..r {
                 let words: [Option<u32>; 32] =
                     std::array::from_fn(|lane| Some((c * BLOCK_TILE + wp * 32 + lane) as u32));
-                let t_vals = mach.ld_shared(&words, 1);
+                let t_vals = mach.ld_shared(&words, VecWidth::V1);
                 let vidx: WarpIdx =
                     std::array::from_fn(|lane| Some(c * m + by * BLOCK_TILE + wp * 32 + lane));
                 let lane_vals: [f32; 32] = std::array::from_fn(|lane| t_vals[lane][0]);

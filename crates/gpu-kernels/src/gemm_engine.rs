@@ -13,6 +13,7 @@
 //! (traffic mode).
 
 use ks_gpu_sim::buffer::BufId;
+use ks_gpu_sim::kernel::VecWidth;
 use ks_gpu_sim::traffic::WarpIdx;
 
 use crate::layout::{compute_read_pairs, loader_assignment, tile_word, SmemLayout};
@@ -160,8 +161,8 @@ pub fn load_tiles<M: WarpMachine>(
         let idx_lo: WarpIdx = std::array::from_fn(|u| Some(track_base(u).2));
         let idx_hi: WarpIdx = std::array::from_fn(|u| Some(track_base(u).2 + 4));
         mach.alu(2); // address computation
-        let lo = mach.ld_global(buf, &idx_lo, 4);
-        let hi = mach.ld_global(buf, &idx_hi, 4);
+        let lo = mach.ld_global(buf, &idx_lo, VecWidth::V4);
+        let hi = mach.ld_global(buf, &idx_hi, VecWidth::V4);
 
         // Eight store phases: phase kk writes one full 32-bank row in
         // the swizzled layout (no store conflicts).
@@ -174,7 +175,7 @@ pub fn load_tiles<M: WarpMachine>(
                 let v = if kk < 4 { lo[u][kk] } else { hi[u][kk - 4] };
                 [v, 0.0, 0.0, 0.0]
             });
-            mach.st_shared(&words, 1, &vals);
+            mach.st_shared(&words, VecWidth::V1, &vals);
         }
     }
 }
@@ -203,7 +204,7 @@ pub fn compute_ktile<M: WarpMachine>(
                     let ty = 2 * w + lane / 16;
                     Some(smem_a + compute_read_pairs(layout, ty, kk)[j])
                 });
-                let v = mach.ld_shared(&words, 2);
+                let v = mach.ld_shared(&words, VecWidth::V2);
                 if M::FUNCTIONAL {
                     for lane in 0..32 {
                         a_vals[lane][2 * j] = v[lane][0];
@@ -218,7 +219,7 @@ pub fn compute_ktile<M: WarpMachine>(
                     let tx = lane % 16;
                     Some(smem_b + compute_read_pairs(layout, tx, kk)[j])
                 });
-                let v = mach.ld_shared(&words, 2);
+                let v = mach.ld_shared(&words, VecWidth::V2);
                 if M::FUNCTIONAL {
                     for lane in 0..32 {
                         b_vals[lane][2 * j] = v[lane][0];

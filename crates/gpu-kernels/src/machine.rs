@@ -20,6 +20,7 @@
 
 use ks_gpu_sim::buffer::BufId;
 use ks_gpu_sim::exec::BlockCtx;
+use ks_gpu_sim::kernel::VecWidth;
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
 /// Warp-level machine interface (see module docs).
@@ -29,19 +30,19 @@ pub trait WarpMachine {
 
     /// Warp global load: lane `l` reads `vlen` consecutive words from
     /// `idx[l]`. Returns up to 4 words per lane (unused tail is zero).
-    fn ld_global(&mut self, buf: BufId, idx: &WarpIdx, vlen: u32) -> [[f32; 4]; 32];
+    fn ld_global(&mut self, buf: BufId, idx: &WarpIdx, vlen: VecWidth) -> [[f32; 4]; 32];
 
     /// Warp global store of `vlen` words per lane.
-    fn st_global(&mut self, buf: BufId, idx: &WarpIdx, vlen: u32, vals: &[[f32; 4]; 32]);
+    fn st_global(&mut self, buf: BufId, idx: &WarpIdx, vlen: VecWidth, vals: &[[f32; 4]; 32]);
 
     /// Warp `atomicAdd` of one word per lane.
     fn atomic_add(&mut self, buf: BufId, idx: &WarpIdx, vals: &[f32; 32]);
 
     /// Warp shared load of `vlen` consecutive words per lane.
-    fn ld_shared(&mut self, word: &[Option<u32>; 32], vlen: u32) -> [[f32; 4]; 32];
+    fn ld_shared(&mut self, word: &[Option<u32>; 32], vlen: VecWidth) -> [[f32; 4]; 32];
 
     /// Warp shared store of `vlen` consecutive words per lane.
-    fn st_shared(&mut self, word: &[Option<u32>; 32], vlen: u32, vals: &[[f32; 4]; 32]);
+    fn st_shared(&mut self, word: &[Option<u32>; 32], vlen: VecWidth, vals: &[[f32; 4]; 32]);
 
     /// `n` full-warp FFMA instructions.
     fn ffma(&mut self, n: u64);
@@ -82,21 +83,19 @@ fn narrow<const VL: usize>(v: &[[f32; 4]; 32]) -> [[f32; VL]; 32] {
 impl WarpMachine for FunctionalMachine<'_, '_, '_> {
     const FUNCTIONAL: bool = true;
 
-    fn ld_global(&mut self, buf: BufId, idx: &WarpIdx, vlen: u32) -> [[f32; 4]; 32] {
+    fn ld_global(&mut self, buf: BufId, idx: &WarpIdx, vlen: VecWidth) -> [[f32; 4]; 32] {
         match vlen {
-            1 => widen(self.ctx.warp_ld_global_vec::<1>(buf, idx)),
-            2 => widen(self.ctx.warp_ld_global_vec::<2>(buf, idx)),
-            4 => self.ctx.warp_ld_global_vec::<4>(buf, idx),
-            _ => panic!("unsupported vector width {vlen}"),
+            VecWidth::V1 => widen(self.ctx.warp_ld_global_vec::<1>(buf, idx)),
+            VecWidth::V2 => widen(self.ctx.warp_ld_global_vec::<2>(buf, idx)),
+            VecWidth::V4 => self.ctx.warp_ld_global_vec::<4>(buf, idx),
         }
     }
 
-    fn st_global(&mut self, buf: BufId, idx: &WarpIdx, vlen: u32, vals: &[[f32; 4]; 32]) {
+    fn st_global(&mut self, buf: BufId, idx: &WarpIdx, vlen: VecWidth, vals: &[[f32; 4]; 32]) {
         match vlen {
-            1 => self.ctx.warp_st_global_vec::<1>(buf, idx, &narrow(vals)),
-            2 => self.ctx.warp_st_global_vec::<2>(buf, idx, &narrow(vals)),
-            4 => self.ctx.warp_st_global_vec::<4>(buf, idx, vals),
-            _ => panic!("unsupported vector width {vlen}"),
+            VecWidth::V1 => self.ctx.warp_st_global_vec::<1>(buf, idx, &narrow(vals)),
+            VecWidth::V2 => self.ctx.warp_st_global_vec::<2>(buf, idx, &narrow(vals)),
+            VecWidth::V4 => self.ctx.warp_st_global_vec::<4>(buf, idx, vals),
         }
     }
 
@@ -104,21 +103,19 @@ impl WarpMachine for FunctionalMachine<'_, '_, '_> {
         self.ctx.warp_atomic_add(buf, idx, vals);
     }
 
-    fn ld_shared(&mut self, word: &[Option<u32>; 32], vlen: u32) -> [[f32; 4]; 32] {
+    fn ld_shared(&mut self, word: &[Option<u32>; 32], vlen: VecWidth) -> [[f32; 4]; 32] {
         match vlen {
-            1 => widen(self.ctx.warp_ld_shared_vec::<1>(word)),
-            2 => widen(self.ctx.warp_ld_shared_vec::<2>(word)),
-            4 => self.ctx.warp_ld_shared_vec::<4>(word),
-            _ => panic!("unsupported vector width {vlen}"),
+            VecWidth::V1 => widen(self.ctx.warp_ld_shared_vec::<1>(word)),
+            VecWidth::V2 => widen(self.ctx.warp_ld_shared_vec::<2>(word)),
+            VecWidth::V4 => self.ctx.warp_ld_shared_vec::<4>(word),
         }
     }
 
-    fn st_shared(&mut self, word: &[Option<u32>; 32], vlen: u32, vals: &[[f32; 4]; 32]) {
+    fn st_shared(&mut self, word: &[Option<u32>; 32], vlen: VecWidth, vals: &[[f32; 4]; 32]) {
         match vlen {
-            1 => self.ctx.warp_st_shared_vec::<1>(word, &narrow(vals)),
-            2 => self.ctx.warp_st_shared_vec::<2>(word, &narrow(vals)),
-            4 => self.ctx.warp_st_shared_vec::<4>(word, vals),
-            _ => panic!("unsupported vector width {vlen}"),
+            VecWidth::V1 => self.ctx.warp_st_shared_vec::<1>(word, &narrow(vals)),
+            VecWidth::V2 => self.ctx.warp_st_shared_vec::<2>(word, &narrow(vals)),
+            VecWidth::V4 => self.ctx.warp_st_shared_vec::<4>(word, vals),
         }
     }
 
@@ -154,26 +151,26 @@ impl<'s, 'a> TrafficMachine<'s, 'a> {
 impl WarpMachine for TrafficMachine<'_, '_> {
     const FUNCTIONAL: bool = false;
 
-    fn ld_global(&mut self, buf: BufId, idx: &WarpIdx, vlen: u32) -> [[f32; 4]; 32] {
-        self.sink.global_read(buf, idx, vlen);
+    fn ld_global(&mut self, buf: BufId, idx: &WarpIdx, vlen: VecWidth) -> [[f32; 4]; 32] {
+        self.sink.global_read(buf, idx, vlen.words());
         [[0.0; 4]; 32]
     }
 
-    fn st_global(&mut self, buf: BufId, idx: &WarpIdx, vlen: u32, _vals: &[[f32; 4]; 32]) {
-        self.sink.global_write(buf, idx, vlen);
+    fn st_global(&mut self, buf: BufId, idx: &WarpIdx, vlen: VecWidth, _vals: &[[f32; 4]; 32]) {
+        self.sink.global_write(buf, idx, vlen.words());
     }
 
     fn atomic_add(&mut self, buf: BufId, idx: &WarpIdx, _vals: &[f32; 32]) {
         self.sink.global_atomic(buf, idx);
     }
 
-    fn ld_shared(&mut self, word: &[Option<u32>; 32], vlen: u32) -> [[f32; 4]; 32] {
-        self.sink.shared_read(word, vlen);
+    fn ld_shared(&mut self, word: &[Option<u32>; 32], vlen: VecWidth) -> [[f32; 4]; 32] {
+        self.sink.shared_read(word, vlen.words());
         [[0.0; 4]; 32]
     }
 
-    fn st_shared(&mut self, word: &[Option<u32>; 32], vlen: u32, _vals: &[[f32; 4]; 32]) {
-        self.sink.shared_write(word, vlen);
+    fn st_shared(&mut self, word: &[Option<u32>; 32], vlen: VecWidth, _vals: &[[f32; 4]; 32]) {
+        self.sink.shared_write(word, vlen.words());
     }
 
     fn ffma(&mut self, n: u64) {
@@ -202,10 +199,10 @@ mod tests {
 
     fn drive<M: WarpMachine>(m: &mut M, buf: BufId) -> [[f32; 4]; 32] {
         let idx = full_warp_idx(|l| l * 4);
-        let out = m.ld_global(buf, &idx, 4);
+        let out = m.ld_global(buf, &idx, VecWidth::V4);
         m.ffma(3);
         m.syncthreads(8);
-        m.st_global(buf, &idx, 4, &out);
+        m.st_global(buf, &idx, VecWidth::V4, &out);
         out
     }
 

@@ -11,6 +11,7 @@
 use ks_gpu_sim::buffer::BufId;
 use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
+use ks_gpu_sim::kernel::VecWidth;
 use ks_gpu_sim::kernel::{ExecModel, Kernel, KernelResources, TimingHints};
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
@@ -107,7 +108,7 @@ impl CudaSgemm {
                     } else {
                         [[0.0; 4]; 32]
                     };
-                    mach.st_global(self.c, &idx, 4, &vals);
+                    mach.st_global(self.c, &idx, VecWidth::V4, &vals);
                 }
             }
         }

@@ -28,6 +28,7 @@
 use ks_gpu_sim::buffer::BufId;
 use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
+use ks_gpu_sim::kernel::VecWidth;
 use ks_gpu_sim::kernel::{ExecModel, Kernel, KernelResources, TimingHints};
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
@@ -98,13 +99,13 @@ impl Sgemm4x4 {
                     let p = 4 * l + c_off;
                     Some((point0 + p) * k + kt * K_TILE + 2 * q)
                 });
-                let vals = mach.ld_global(buf, &idx, 2);
+                let vals = mach.ld_global(buf, &idx, VecWidth::V2);
                 for e in 0..2 {
                     let kk = 2 * q + e;
                     let words: [Option<u32>; 32] =
                         std::array::from_fn(|l| Some(dst + small_tile_word(kk, 4 * l + c_off)));
                     let out: [[f32; 4]; 32] = std::array::from_fn(|l| [vals[l][e], 0.0, 0.0, 0.0]);
-                    mach.st_shared(&words, 1, &out);
+                    mach.st_shared(&words, VecWidth::V1, &out);
                 }
             }
         }
@@ -127,7 +128,7 @@ impl Sgemm4x4 {
                 for j in 0..4 {
                     let words: [Option<u32>; 32] =
                         std::array::from_fn(|_| Some(smem_a + small_tile_word(kk, 4 * ty + j)));
-                    let v = mach.ld_shared(&words, 1);
+                    let v = mach.ld_shared(&words, VecWidth::V1);
                     if M::FUNCTIONAL {
                         a_vals[j] = v[0][0];
                     }
@@ -138,7 +139,7 @@ impl Sgemm4x4 {
                 for j in 0..4 {
                     let words: [Option<u32>; 32] =
                         std::array::from_fn(|tx| Some(smem_b + small_tile_word(kk, 4 * tx + j)));
-                    let v = mach.ld_shared(&words, 1);
+                    let v = mach.ld_shared(&words, VecWidth::V1);
                     if M::FUNCTIONAL {
                         for tx in 0..32 {
                             b_vals[tx][j] = v[tx][0];
@@ -199,7 +200,7 @@ impl Sgemm4x4 {
                 } else {
                     [[0.0; 4]; 32]
                 };
-                mach.st_global(self.c, &idx, 4, &vals);
+                mach.st_global(self.c, &idx, VecWidth::V4, &vals);
             }
         }
     }

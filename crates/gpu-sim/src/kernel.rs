@@ -101,6 +101,46 @@ pub trait Kernel: Sync {
     }
 }
 
+/// Vector width of a warp memory operation, in 32-bit words per lane.
+///
+/// Memory operations are typed on this enum so an unsupported width
+/// surfaces as [`LaunchError::UnsupportedVectorWidth`] where the width
+/// is chosen, rather than as a panic deep inside a kernel body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum VecWidth {
+    /// Scalar `float` access.
+    V1,
+    /// `float2` access.
+    V2,
+    /// `float4` access.
+    V4,
+}
+
+impl VecWidth {
+    /// Words per lane.
+    #[must_use]
+    pub fn words(self) -> u32 {
+        match self {
+            VecWidth::V1 => 1,
+            VecWidth::V2 => 2,
+            VecWidth::V4 => 4,
+        }
+    }
+}
+
+impl TryFrom<u32> for VecWidth {
+    type Error = LaunchError;
+
+    fn try_from(vlen: u32) -> Result<Self, LaunchError> {
+        match vlen {
+            1 => Ok(VecWidth::V1),
+            2 => Ok(VecWidth::V2),
+            4 => Ok(VecWidth::V4),
+            _ => Err(LaunchError::UnsupportedVectorWidth { vlen }),
+        }
+    }
+}
+
 /// Why a launch was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LaunchError {
@@ -134,6 +174,12 @@ pub enum LaunchError {
         /// Threads from the resource declaration.
         from_resources: u32,
     },
+    /// A memory operation requested a vector width the hardware model
+    /// does not support (only 1, 2 and 4 words per lane exist).
+    UnsupportedVectorWidth {
+        /// Requested words per lane.
+        vlen: u32,
+    },
 }
 
 impl std::fmt::Display for LaunchError {
@@ -163,6 +209,9 @@ impl std::fmt::Display for LaunchError {
                 from_resources,
             } => {
                 write!(f, "launch config has {from_launch} threads but resources declare {from_resources}")
+            }
+            LaunchError::UnsupportedVectorWidth { vlen } => {
+                write!(f, "unsupported vector width {vlen} (expected 1, 2 or 4)")
             }
         }
     }

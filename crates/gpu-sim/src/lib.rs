@@ -70,7 +70,7 @@ pub use config::DeviceConfig;
 pub use device::GpuDevice;
 pub use dim::{Dim3, LaunchConfig};
 pub use exec::BlockCtx;
-pub use kernel::{ExecModel, Kernel, KernelResources, LaunchError, TimingHints};
+pub use kernel::{ExecModel, Kernel, KernelResources, LaunchError, TimingHints, VecWidth};
 pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
 pub use profiler::{Counters, KernelProfile, PipelineProfile};
 pub use timing::{KernelTiming, TimingParams};

@@ -190,7 +190,7 @@ impl MemTraffic {
 }
 
 /// Complete profile of one kernel launch.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KernelProfile {
     /// Kernel name.
     pub name: String,
@@ -233,7 +233,7 @@ impl KernelProfile {
 
 /// Profile of a multi-kernel pipeline (one end-to-end kernel-summation
 /// implementation: e.g. `cuBLAS-Unfused` = norms + GEMM + exp + GEMV).
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PipelineProfile {
     /// Pipeline label (`Fused`, `CUDA-Unfused`, `cuBLAS-Unfused`).
     pub name: String,

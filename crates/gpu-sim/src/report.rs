@@ -1,4 +1,6 @@
-//! Human-readable profile rendering (nvprof-style).
+//! Profile rendering: human-readable text (nvprof-style) plus the
+//! machine-readable CSV/JSON metric sink used by the bench harness and
+//! the perf-regression tests.
 
 use std::fmt;
 
@@ -48,6 +50,140 @@ pub fn summary(p: &PipelineProfile, peak_gflops: f64) -> String {
         mem.l2_transactions(),
         mem.dram_transactions()
     )
+}
+
+/// Column names of the metrics CSV, one row per kernel launch.
+/// Counter columns follow nvprof's event names where one exists.
+pub const CSV_COLUMNS: &[&str] = &[
+    "pipeline",
+    "kernel",
+    "grid",
+    "block",
+    "regs_per_thread",
+    "smem_bytes_per_block",
+    "achieved_occupancy",
+    "occupancy_limiter",
+    "blocks_per_sm",
+    "inst_ffma",
+    "inst_falu",
+    "inst_alu",
+    "inst_sfu",
+    "inst_global_load",
+    "inst_global_store",
+    "inst_atomic",
+    "inst_sync",
+    "inst_executed",
+    "thread_inst_executed",
+    "flop_count_sp",
+    "shared_load",
+    "shared_load_transactions",
+    "shared_store",
+    "shared_store_transactions",
+    "l2_read_sectors",
+    "l2_write_sectors",
+    "atomic_sectors",
+    "l1_read_sectors",
+    "l1_read_hits",
+    "l2_read_transactions",
+    "l2_read_hits",
+    "l2_read_misses",
+    "l2_write_transactions",
+    "l2_write_hits",
+    "l2_write_misses",
+    "dram_read_transactions",
+    "dram_write_transactions",
+    "cycles",
+    "time_s",
+    "bound",
+];
+
+/// The CSV header line for [`kernel_csv_row`] rows.
+#[must_use]
+pub fn csv_header() -> String {
+    CSV_COLUMNS.join(",")
+}
+
+/// One CSV row of every metric of one kernel launch, in
+/// [`CSV_COLUMNS`] order. `pipeline` labels which pipeline the launch
+/// belongs to.
+#[must_use]
+pub fn kernel_csv_row(pipeline: &str, k: &KernelProfile) -> String {
+    let c = &k.counters;
+    let m = &k.mem;
+    let cells: Vec<String> = vec![
+        pipeline.to_string(),
+        k.name.clone(),
+        format!(
+            "{}x{}x{}",
+            k.launch.grid.x, k.launch.grid.y, k.launch.grid.z
+        ),
+        format!(
+            "{}x{}x{}",
+            k.launch.block.x, k.launch.block.y, k.launch.block.z
+        ),
+        k.resources.regs_per_thread.to_string(),
+        k.resources.smem_bytes_per_block.to_string(),
+        format!("{:?}", k.occupancy.fraction),
+        format!("{:?}", k.occupancy.limiter),
+        k.occupancy.blocks_per_sm.to_string(),
+        c.ffma_insts.to_string(),
+        c.falu_insts.to_string(),
+        c.alu_insts.to_string(),
+        c.sfu_insts.to_string(),
+        c.global_load_insts.to_string(),
+        c.global_store_insts.to_string(),
+        c.atomic_insts.to_string(),
+        c.sync_insts.to_string(),
+        c.warp_insts().to_string(),
+        c.thread_insts.to_string(),
+        c.flops.to_string(),
+        c.smem.load_instructions.to_string(),
+        c.smem.load_transactions.to_string(),
+        c.smem.store_instructions.to_string(),
+        c.smem.store_transactions.to_string(),
+        c.l2_read_sectors.to_string(),
+        c.l2_write_sectors.to_string(),
+        c.atomic_sectors.to_string(),
+        c.l1_read_sectors.to_string(),
+        c.l1_read_hits.to_string(),
+        m.l2_reads.to_string(),
+        m.l2_read_hits.to_string(),
+        m.l2_read_misses.to_string(),
+        m.l2_writes.to_string(),
+        m.l2_write_hits.to_string(),
+        m.l2_write_misses.to_string(),
+        m.dram_reads().to_string(),
+        m.dram_writes.to_string(),
+        format!("{:?}", k.timing.cycles),
+        format!("{:?}", k.timing.time_s),
+        format!("{:?}", k.timing.bound),
+    ];
+    debug_assert_eq!(cells.len(), CSV_COLUMNS.len());
+    cells.join(",")
+}
+
+/// Renders pipelines as a complete nvprof-style CSV document (header
+/// plus one row per kernel launch).
+#[must_use]
+pub fn pipelines_to_csv<'a>(pipelines: impl IntoIterator<Item = &'a PipelineProfile>) -> String {
+    let mut out = csv_header();
+    out.push('\n');
+    for p in pipelines {
+        for k in &p.kernels {
+            out.push_str(&kernel_csv_row(&p.name, k));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Serialises pipelines to a pretty-printed JSON array. The schema is
+/// the serde data model of [`PipelineProfile`] — every counter,
+/// traffic, occupancy and timing field is present.
+#[must_use]
+pub fn pipelines_to_json<'a>(pipelines: impl IntoIterator<Item = &'a PipelineProfile>) -> String {
+    let v: Vec<&PipelineProfile> = pipelines.into_iter().collect();
+    serde_json::to_string_pretty(&v).expect("profiles serialise")
 }
 
 #[cfg(test)]
@@ -120,5 +256,35 @@ mod tests {
         let s = summary(&p, 3920.0);
         assert!(s.contains("FLOP efficiency"));
         assert!(s.contains("Demo"));
+    }
+
+    #[test]
+    fn csv_rows_match_header_width() {
+        let k = fake_profile();
+        let header = csv_header();
+        let row = kernel_csv_row("Demo", &k);
+        assert_eq!(header.split(',').count(), CSV_COLUMNS.len());
+        assert_eq!(row.split(',').count(), CSV_COLUMNS.len());
+        assert!(row.starts_with("Demo,demo_kernel,"));
+    }
+
+    #[test]
+    fn csv_document_has_one_row_per_kernel() {
+        let mut p = PipelineProfile::new("Demo");
+        p.kernels.push(fake_profile());
+        p.kernels.push(fake_profile());
+        let doc = pipelines_to_csv([&p]);
+        assert_eq!(doc.lines().count(), 3, "header + 2 kernel rows");
+        assert_eq!(doc.lines().next().unwrap(), csv_header());
+    }
+
+    #[test]
+    fn json_round_trips_every_counter() {
+        let mut p = PipelineProfile::new("Demo");
+        p.kernels.push(fake_profile());
+        let json = pipelines_to_json([&p]);
+        let back: Vec<PipelineProfile> = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0], p, "profile must survive a JSON round trip");
     }
 }

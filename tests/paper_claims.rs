@@ -15,6 +15,7 @@ fn sweep() -> &'static SweepData {
             m_values: vec![4096],
             n: 1024,
         })
+        .expect("paper grid profiles cleanly")
     })
 }
 

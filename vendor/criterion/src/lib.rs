@@ -1,0 +1,232 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Mirrors the criterion API surface the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `iter`,
+//! `iter_batched`, `Throughput`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`). Instead of criterion's
+//! statistical engine it runs a short warm-up, then `sample_size`
+//! timed samples, and prints median wall time (and derived
+//! throughput). Good enough to (a) keep `--benches` compiling and
+//! (b) give ballpark per-commit numbers; not a replacement for real
+//! criterion statistics.
+
+use std::time::{Duration, Instant};
+
+/// Keeps the optimizer from deleting benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped (accepted for API compatibility;
+/// every batch is one iteration here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Work-rate annotation for a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Runs closures and accumulates timing samples.
+pub struct Bencher {
+    samples: u64,
+    /// Median duration of one iteration, filled by `iter*`.
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    fn time<F: FnMut()>(&mut self, mut once: F) {
+        // Warm-up.
+        once();
+        let mut durations: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                once();
+                start.elapsed()
+            })
+            .collect();
+        durations.sort();
+        self.measured = Some(durations[durations.len() / 2]);
+    }
+
+    /// Times `routine` directly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.time(|| {
+            black_box(routine());
+        });
+    }
+
+    /// Times `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Setup cost is included here (criterion excludes it); the
+        // workspace's setup closures are cheap clones, so medians stay
+        // comparable run-to-run.
+        self.time(|| {
+            let input = setup();
+            black_box(routine(input));
+        });
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u64;
+        self
+    }
+
+    /// Annotates per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.samples,
+            measured: None,
+        };
+        f(&mut b);
+        let median = b.measured.unwrap_or_default();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                format!("  {:.3} Melem/s", n as f64 / median.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                format!(
+                    "  {:.3} MiB/s",
+                    n as f64 / median.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: median {median:?}{rate}", self.name);
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        let id = id.into();
+        self.run(&id.label.clone(), f);
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        let id = id.into();
+        self.run(&id.label.clone(), |b| f(b, input));
+    }
+
+    /// Ends the group (printing happens per-bench).
+    pub fn finish(self) {}
+}
+
+/// Top-level bench context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// Declares a bench entry point running the listed functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,285 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the trait surface this workspace uses (`RngCore`, `Rng`,
+//! `SeedableRng`, `Distribution`, `Uniform`, `Standard`). Generators
+//! are deterministic for a given seed, which is all the tests and the
+//! data generators require; the streams do **not** match upstream
+//! `rand`'s bit-for-bit.
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// User-facing sampling interface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the [`Standard`](distributions::Standard)
+    /// distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from a half-open range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: Into<distributions::Uniform<T>>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        range.into().sample(self)
+    }
+
+    /// Bernoulli sample with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (as upstream
+    /// rand does) and builds the generator.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Distributions over values.
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution that can be sampled with any [`Rng`].
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution of a type: full range for integers,
+    /// `[0, 1)` for floats, fair coin for `bool`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            // 24 mantissa bits, uniform in [0, 1).
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    /// Uniform sampling support for the ranges [`Uniform`] accepts.
+    pub mod uniform {
+        use super::{Distribution, Rng};
+
+        /// Types [`super::Uniform`] can sample.
+        pub trait SampleUniform: Copy + PartialOrd {
+            /// Draws uniformly from `[lo, hi)`.
+            fn sample_uniform<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+        }
+
+        macro_rules! impl_sample_uniform_int {
+            ($($t:ty => $wide:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_uniform<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                        assert!(lo < hi, "Uniform requires lo < hi");
+                        let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                        // Multiply-shift bounded sampling; bias is
+                        // < 2^-64 per draw, irrelevant for tests.
+                        let r = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                        ((lo as $wide).wrapping_add(r as $wide)) as $t
+                    }
+                }
+            )*};
+        }
+        impl_sample_uniform_int!(
+            u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+            i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+        );
+
+        macro_rules! impl_sample_uniform_float {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_uniform<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                        assert!(lo < hi, "Uniform requires lo < hi");
+                        let unit: $t = super::Standard.sample(rng);
+                        lo + unit * (hi - lo)
+                    }
+                }
+            )*};
+        }
+        impl_sample_uniform_float!(f32, f64);
+    }
+
+    /// Uniform distribution over `[lo, hi)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        lo: T,
+        hi: T,
+    }
+
+    impl<T: uniform::SampleUniform> Uniform<T> {
+        /// Uniform over the half-open range `[lo, hi)`.
+        pub fn new(lo: T, hi: T) -> Self {
+            assert!(lo < hi, "Uniform::new requires lo < hi");
+            Self { lo, hi }
+        }
+    }
+
+    impl<T: uniform::SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_uniform(self.lo, self.hi, rng)
+        }
+    }
+
+    impl<T: uniform::SampleUniform> From<std::ops::Range<T>> for Uniform<T> {
+        fn from(r: std::ops::Range<T>) -> Self {
+            Uniform::new(r.start, r.end)
+        }
+    }
+}
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+pub use distributions::Distribution;
+
+/// Default small fast generator (xoshiro256++-class quality is not
+/// needed here; SplitMix64 is statistically fine for tests and data
+/// generation).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = 0u64;
+        for chunk in seed.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            state ^= u64::from_le_bytes(word);
+        }
+        Self { state }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = Uniform::new(0.0f32, 1.0f32);
+        for _ in 0..10_000 {
+            let x = u.sample(&mut rng);
+            assert!((0.0..1.0).contains(&x));
+        }
+        let d = Uniform::new(5usize, 10usize);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((5..10).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_and_gen() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&x));
+        let y = rng.gen_range(0u32..100);
+        assert!(y < 100);
+    }
+}

@@ -1,0 +1,116 @@
+//! Offline stand-in for `rand_distr`: the [`Normal`] distribution via
+//! the Box-Muller transform, which is all this workspace samples.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Floats Box-Muller works over.
+pub trait Float: Copy {
+    /// Lossy conversion from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Lossless widening to `f64`.
+    fn to_f64(self) -> f64;
+}
+
+impl Float for f32 {
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+impl Float for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+/// Invalid [`Normal`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// Standard deviation was negative or NaN.
+    StdDevTooSmall,
+    /// Mean was NaN.
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::StdDevTooSmall => write!(f, "standard deviation must be finite and >= 0"),
+            NormalError::MeanTooSmall => write!(f, "mean must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Gaussian distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    /// If `std_dev` is negative or either parameter is NaN.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if !mean.to_f64().is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        let sd = std_dev.to_f64();
+        if sd.is_nan() || sd < 0.0 || !sd.is_finite() {
+            return Err(NormalError::StdDevTooSmall);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        // Box-Muller; one of the pair is discarded for simplicity.
+        let u1: f64 = loop {
+            let u: f64 = rand::distributions::Standard.sample(rng);
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2: f64 = rand::distributions::Standard.sample(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngCore, SeedableRng, StdRng};
+
+    #[test]
+    fn rejects_bad_sigma() {
+        assert!(Normal::new(0.0f32, -1.0f32).is_err());
+        assert!(Normal::new(0.0f32, f32::NAN).is_err());
+        assert!(Normal::new(0.0f32, 0.5f32).is_ok());
+    }
+
+    #[test]
+    fn moments_are_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let _ = rng.next_u32();
+        let n = Normal::new(2.0f64, 3.0f64).unwrap();
+        let count = 200_000;
+        let samples: Vec<f64> = (0..count).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var {var}");
+    }
+}

@@ -1,0 +1,267 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build container has no crates.io access, so the workspace
+//! patches `rayon` to this implementation (see `[patch.crates-io]` in
+//! the root `Cargo.toml`). It reproduces the subset of the rayon API
+//! the workspace uses — `par_iter`, `par_iter_mut`, `into_par_iter`,
+//! `par_chunks_mut` and the common adaptors — with real parallelism:
+//! terminal operations fan work out across `std::thread::scope`
+//! threads, one chunk per available core.
+//!
+//! Semantic differences from upstream rayon are deliberate
+//! simplifications, not bugs to inherit from:
+//!
+//! * adaptors are **eager** (each `map` is a full parallel pass), so
+//!   long adaptor chains cost one materialised `Vec` per stage;
+//! * there is no work stealing — items are split into contiguous
+//!   chunks up front, which is fine for the uniform per-item cost of
+//!   the simulator's block replays;
+//! * panics in worker closures propagate to the caller on join.
+
+use std::ops::Range;
+
+/// `rayon::prelude` — import everything call sites need.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+        ParallelSliceMut,
+    };
+}
+
+fn thread_count() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `items` into roughly equal contiguous chunks, runs `f` over
+/// each chunk on its own scoped thread, and returns the per-chunk
+/// outputs in order.
+fn fan_out<T: Send, U: Send>(items: Vec<T>, f: impl Fn(Vec<T>) -> Vec<U> + Sync) -> Vec<U> {
+    let n = items.len();
+    let workers = thread_count().min(n);
+    if workers <= 1 {
+        return f(items);
+    }
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks.into_iter().map(|c| s.spawn(move || f(c))).collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// An eager parallel iterator: the item set is materialised and each
+/// terminal (or mapping) operation distributes it across threads.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map; preserves input order.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync + Send,
+    {
+        ParIter {
+            items: fan_out(self.items, |chunk| chunk.into_iter().map(&f).collect()),
+        }
+    }
+
+    /// Parallel side-effecting traversal.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        fan_out(self.items, |chunk| {
+            chunk.into_iter().for_each(&f);
+            Vec::<()>::new()
+        });
+    }
+
+    /// Pairs every item with its index (like `Iterator::enumerate`).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Keeps items satisfying the predicate.
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync + Send,
+    {
+        ParIter {
+            items: fan_out(self.items, |chunk| {
+                chunk.into_iter().filter(|x| f(x)).collect()
+            }),
+        }
+    }
+
+    /// Collects into any `FromIterator` container, in order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Folds with `op` after seeding each chunk with `identity`
+    /// (rayon's reduce signature).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync + Send,
+        OP: Fn(T, T) -> T + Sync + Send,
+    {
+        self.items.into_iter().fold(identity(), &op)
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Accepted for API compatibility; chunking is already contiguous.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Converts `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_into_par!(usize, u32, u64, i32, i64);
+
+/// `par_iter()` over shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Reference item type.
+    type Item: Send + 'a;
+    /// Parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter_mut()` over exclusive references.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Mutable reference item type.
+    type Item: Send + 'a;
+    /// Parallel iterator over `&mut self`'s items.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// Parallel chunking of mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint mutable chunks of length
+    /// `chunk_size` (last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint() {
+        let mut data = vec![0u64; 97];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, c)| {
+            for v in c.iter_mut() {
+                *v = i as u64;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[95], 9);
+    }
+
+    #[test]
+    fn sum_and_filter() {
+        let s: usize = (0..100usize).into_par_iter().filter(|x| x % 2 == 0).sum();
+        assert_eq!(s, (0..100).filter(|x| x % 2 == 0).sum());
+    }
+}

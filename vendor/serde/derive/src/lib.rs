@@ -1,0 +1,254 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the two shapes this workspace uses — structs with named fields and
+//! enums with unit variants — by hand-parsing the item token stream
+//! (no `syn`/`quote`, which are unavailable offline). Structs map to
+//! objects whose keys follow field declaration order; unit enums map
+//! to their variant name as a string.
+//!
+//! Anything else (tuple structs, generic types, variants with
+//! payloads, `#[serde(...)]` attributes) is rejected with a
+//! `compile_error!` so unsupported shapes fail loudly at build time
+//! rather than serializing wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the derive target.
+enum Item {
+    /// Struct name + named fields, in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant names, in declaration order.
+    Enum(String, Vec<String>),
+}
+
+fn err(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Consumes leading `#[...]` attribute groups and a `pub` /
+/// `pub(...)` visibility prefix, flagging `#[serde(...)]`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> Result<usize, String> {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let inner = g.stream().to_string();
+                    if inner.starts_with("serde") {
+                        return Err("#[serde(...)] attributes are not supported by the \
+                                    offline serde_derive stand-in"
+                            .into());
+                    }
+                    i += 2;
+                } else {
+                    return Err("malformed attribute".into());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return Ok(i),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0)?;
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".into()),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "generic type `{name}` is not supported by the offline serde_derive stand-in"
+        ));
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "`{name}`: only braced bodies (named fields / unit variants) are supported"
+            ))
+        }
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+
+    match kind.as_str() {
+        "struct" => parse_named_fields(&body).map(|fields| Item::Struct(name, fields)),
+        "enum" => parse_unit_variants(&body).map(|variants| Item::Enum(name, variants)),
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i)?;
+        if i >= body.len() {
+            break;
+        }
+        let field = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{field}`")),
+        }
+        // Consume the type: everything up to the next comma at angle
+        // depth zero. Delimited groups arrive as single tokens, so
+        // only `<`/`>` need tracking.
+        let mut depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i)?;
+        if i >= body.len() {
+            break;
+        }
+        let variant = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        match body.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{variant}` carries data; the offline serde_derive \
+                     stand-in only supports unit variants"
+                ))
+            }
+            Some(other) => return Err(format!("unexpected token `{other}` after `{variant}`")),
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+/// Derives the stand-in `serde::Serialize` (see module docs).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return err(&e),
+    };
+    let code = match item {
+        Item::Struct(name, fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "obj.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         let mut obj: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::value::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::value::Value::Object(obj)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         ::serde::value::Value::Str(match self {{\n{arms}}}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derives the stand-in `serde::Deserialize` (see module docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return err(&e),
+    };
+    let code = match item {
+        Item::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(v, {f:?})?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::value::Value) \
+                         -> ::core::result::Result<Self, ::serde::de::Error> {{\n\
+                         ::core::result::Result::Ok(Self {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::core::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::value::Value) \
+                         -> ::core::result::Result<Self, ::serde::de::Error> {{\n\
+                         let s = v.as_str().ok_or_else(|| ::serde::de::Error::custom(\
+                             format!(\"expected {name} variant string, found {{}}\", v.kind())))?;\n\
+                         match s {{\n{arms}\
+                             other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                                 format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

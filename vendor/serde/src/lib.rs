@@ -1,0 +1,436 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no crates.io access, so the workspace
+//! patches `serde` to this implementation. Instead of upstream serde's
+//! visitor-based data model it uses one concrete intermediate form,
+//! [`value::Value`] (a JSON-shaped tree): [`Serialize`] renders a type
+//! into a `Value`, [`Deserialize`] rebuilds a type from one. The
+//! companion `serde_json` stand-in handles text.
+//!
+//! The `#[derive(Serialize, Deserialize)]` macros (re-exported from
+//! the local `serde_derive` proc-macro crate) support exactly the
+//! shapes this workspace uses: structs with named fields and enums
+//! with unit variants. Object keys preserve declaration order, so
+//! serialized output is deterministic — which the perf-regression
+//! goldens rely on.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The intermediate tree every type serializes through.
+pub mod value {
+    /// A JSON-shaped value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null`.
+        Null,
+        /// JSON boolean.
+        Bool(bool),
+        /// Non-negative integer.
+        U64(u64),
+        /// Negative integer.
+        I64(i64),
+        /// Floating-point number.
+        F64(f64),
+        /// JSON string.
+        Str(String),
+        /// JSON array.
+        Array(Vec<Value>),
+        /// JSON object; insertion order is preserved.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// True for `Value::Null`.
+        #[must_use]
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+
+        /// Looks up a key in an object value.
+        #[must_use]
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// Element of an array value.
+        #[must_use]
+        pub fn get_index(&self, i: usize) -> Option<&Value> {
+            match self {
+                Value::Array(items) => items.get(i),
+                _ => None,
+            }
+        }
+
+        /// Numeric view (any of the three number variants).
+        #[must_use]
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Value::U64(v) => Some(v as f64),
+                Value::I64(v) => Some(v as f64),
+                Value::F64(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// Unsigned view; exact only.
+        #[must_use]
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Value::U64(v) => Some(v),
+                Value::I64(v) if v >= 0 => Some(v as u64),
+                _ => None,
+            }
+        }
+
+        /// Signed view; exact only.
+        #[must_use]
+        pub fn as_i64(&self) -> Option<i64> {
+            match *self {
+                Value::U64(v) => i64::try_from(v).ok(),
+                Value::I64(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// String view.
+        #[must_use]
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Boolean view.
+        #[must_use]
+        pub fn as_bool(&self) -> Option<bool> {
+            match *self {
+                Value::Bool(b) => Some(b),
+                _ => None,
+            }
+        }
+
+        /// Array view.
+        #[must_use]
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// Object view.
+        #[must_use]
+        pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+            match self {
+                Value::Object(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        /// Short description of the variant, for error messages.
+        #[must_use]
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+                Value::Str(_) => "string",
+                Value::Array(_) => "array",
+                Value::Object(_) => "object",
+            }
+        }
+    }
+
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+        fn index(&self, key: &str) -> &Value {
+            static NULL: Value = Value::Null;
+            self.get(key).unwrap_or(&NULL)
+        }
+    }
+
+    impl std::ops::Index<usize> for Value {
+        type Output = Value;
+        fn index(&self, i: usize) -> &Value {
+            static NULL: Value = Value::Null;
+            self.get_index(i).unwrap_or(&NULL)
+        }
+    }
+}
+
+/// Deserialization error plumbing.
+pub mod de {
+    use crate::value::Value;
+
+    /// Why deserialization failed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl Error {
+        /// New error with a message.
+        #[must_use]
+        pub fn custom(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+
+        /// Adds field/element context to an inner error.
+        #[must_use]
+        pub fn context(self, path: &str) -> Self {
+            Self {
+                message: format!("{path}: {}", self.message),
+            }
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Looks up `key` in `v` (which must be an object) and
+    /// deserializes the field, attaching the key to any error.
+    ///
+    /// # Errors
+    /// If `v` is not an object, the key is absent, or the field fails
+    /// to deserialize.
+    pub fn field<T: crate::Deserialize>(v: &Value, key: &str) -> Result<T, Error> {
+        match v.get(key) {
+            Some(inner) => T::from_value(inner).map_err(|e| e.context(key)),
+            None => Err(Error::custom(format!(
+                "missing field `{key}` in {}",
+                v.kind()
+            ))),
+        }
+    }
+}
+
+use de::Error;
+use value::Value;
+
+/// Renders `self` into the serde [`Value`] tree.
+pub trait Serialize {
+    /// The value form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of `v`.
+    ///
+    /// # Errors
+    /// If `v` has the wrong shape for `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, found {}", v.kind())))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64().ok_or_else(|| {
+                    Error::custom(format!(
+                        "expected unsigned integer, found {}", v.kind()
+                    ))
+                })?;
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!("{raw} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let raw = v.as_u64().ok_or_else(|| {
+            Error::custom(format!("expected unsigned integer, found {}", v.kind()))
+        })?;
+        usize::try_from(raw).map_err(|_| Error::custom(format!("{raw} out of range for usize")))
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i64().ok_or_else(|| {
+                    Error::custom(format!("expected integer, found {}", v.kind()))
+                })?;
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!("{raw} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_f64().map(|f| f as $t).ok_or_else(|| {
+                    Error::custom(format!("expected number, found {}", v.kind()))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom(format!("expected string, found {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, found {}", v.kind())))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_value(item).map_err(|e| e.context(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2, 3].to_value()).unwrap(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn errors_carry_context() {
+        let v = Value::Object(vec![("a".into(), Value::Str("x".into()))]);
+        let e = de::field::<u64>(&v, "a").unwrap_err();
+        assert!(e.to_string().contains('a'));
+        let e = de::field::<u64>(&v, "b").unwrap_err();
+        assert!(e.to_string().contains("missing field"));
+    }
+}
