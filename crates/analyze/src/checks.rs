@@ -1,0 +1,370 @@
+//! The individual static checks, each a pure function over a recorded
+//! [`BlockTrace`] (plus the kernel's declared [`AnalysisBudget`]).
+//!
+//! ## Epoch-based happens-before
+//!
+//! The simulator executes warps of a block to completion between
+//! barriers, so a real data race still produces deterministic (and
+//! usually correct-looking) numbers — exactly the bug class that is
+//! invisible to the functional oracles. The race detector therefore
+//! works on the *trace*: two shared-memory accesses are ordered iff
+//! they lie in different barrier epochs or were issued by the same
+//! warp. Same epoch + different warps + at least one write = race.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use ks_gpu_sim::config::DeviceConfig;
+use ks_gpu_sim::kernel::{AnalysisBudget, Kernel};
+use ks_gpu_sim::occupancy::occupancy;
+use ks_gpu_sim::smem::conflict_degree;
+use ks_gpu_sim::trace::BlockTrace;
+
+use crate::report::{Finding, FindingKind};
+
+/// Renders a warp bitmask as a sorted list, e.g. `[0, 3, 7]`.
+fn warp_list(mask: u64) -> String {
+    let warps: Vec<String> = (0..64)
+        .filter(|w| mask & (1 << w) != 0)
+        .map(|w| w.to_string())
+        .collect();
+    format!("[{}]", warps.join(", "))
+}
+
+/// Shared-memory race detection (see module docs). Reports at most one
+/// write-write and one read-write finding per block, each carrying the
+/// first racy word as an example plus the total count.
+#[must_use]
+pub fn shared_races(kernel: &str, t: &BlockTrace) -> Vec<Finding> {
+    // (epoch, word) -> (writer-warp mask, reader-warp mask).
+    let mut words: BTreeMap<(u32, u32), (u64, u64)> = BTreeMap::new();
+    for a in &t.shared {
+        let bit = 1u64 << (a.warp % 64);
+        for base in a.words.iter().flatten() {
+            for j in 0..a.vlen {
+                let slot = words.entry((a.epoch, base + j)).or_insert((0, 0));
+                if a.dir.is_write() {
+                    slot.0 |= bit;
+                } else {
+                    slot.1 |= bit;
+                }
+            }
+        }
+    }
+
+    let mut ww: Option<((u32, u32), u64)> = None;
+    let mut ww_count = 0usize;
+    let mut rw: Option<((u32, u32), (u64, u64))> = None;
+    let mut rw_count = 0usize;
+    for (&key, &(writers, readers)) in &words {
+        if writers.count_ones() >= 2 {
+            ww_count += 1;
+            ww.get_or_insert((key, writers));
+        }
+        // A read races with a write from any *other* warp.
+        if writers != 0 && readers & !writers != 0 {
+            rw_count += 1;
+            rw.get_or_insert((key, (writers, readers & !writers)));
+        }
+    }
+
+    let mut findings = Vec::new();
+    if let Some(((epoch, word), writers)) = ww {
+        findings.push(Finding {
+            kernel: kernel.to_string(),
+            kind: FindingKind::SharedRace,
+            block: Some(t.block),
+            detail: format!(
+                "write-write: {ww_count} shared word(s) written by multiple warps in one epoch; \
+                 e.g. word {word} in epoch {epoch} written by warps {}",
+                warp_list(writers)
+            ),
+        });
+    }
+    if let Some(((epoch, word), (writers, readers))) = rw {
+        findings.push(Finding {
+            kernel: kernel.to_string(),
+            kind: FindingKind::SharedRace,
+            block: Some(t.block),
+            detail: format!(
+                "read-write: {rw_count} shared word(s) read and written by different warps in one \
+                 epoch; e.g. word {word} in epoch {epoch}: writers {}, unordered readers {}",
+                warp_list(writers),
+                warp_list(readers)
+            ),
+        });
+    }
+    findings
+}
+
+/// Bank-conflict lint: replays every recorded shared access, one
+/// word-phase at a time, through the hardware conflict model and
+/// compares the conflict degree against the kernel's declared budget.
+/// Reports one finding per block carrying the worst offender.
+#[must_use]
+pub fn bank_conflicts(kernel: &str, t: &BlockTrace, budget: u32, num_banks: u32) -> Vec<Finding> {
+    let mut worst = (0u32, 0u32, 0u32); // (degree, warp, epoch)
+    let mut violations = 0usize;
+    for a in &t.shared {
+        for j in 0..a.vlen {
+            let phase: [Option<u32>; 32] = std::array::from_fn(|l| a.words[l].map(|w| w + j));
+            let degree = conflict_degree(&phase, num_banks);
+            if degree > budget {
+                violations += 1;
+                if degree > worst.0 {
+                    worst = (degree, a.warp, a.epoch);
+                }
+            }
+        }
+    }
+    match violations {
+        0 => Vec::new(),
+        _ => vec![Finding {
+            kernel: kernel.to_string(),
+            kind: FindingKind::BankConflict,
+            block: Some(t.block),
+            detail: format!(
+                "{violations} access phase(s) over the declared budget of {budget}; worst is \
+                 {}-way extra conflict (warp {}, epoch {})",
+                worst.0, worst.1, worst.2
+            ),
+        }],
+    }
+}
+
+/// Barrier-divergence check: every recorded barrier must have been
+/// reached by all warps of the block (a barrier inside divergent
+/// control flow deadlocks real hardware).
+#[must_use]
+pub fn barrier_divergence(kernel: &str, t: &BlockTrace, warps_per_block: u64) -> Vec<Finding> {
+    for (seq, b) in t.barriers.iter().enumerate() {
+        if b.warps != warps_per_block {
+            return vec![Finding {
+                kernel: kernel.to_string(),
+                kind: FindingKind::BarrierDivergence,
+                block: Some(t.block),
+                detail: format!(
+                    "barrier #{seq} (closing epoch {}) reached by {} of {warps_per_block} warps",
+                    b.epoch, b.warps
+                ),
+            }];
+        }
+    }
+    Vec::new()
+}
+
+/// Out-of-bounds check for global accesses against the declared buffer
+/// extents. Skipped entirely when the kernel declares no buffers.
+/// Also flags writes to buffers declared read-only and accesses to
+/// undeclared buffers.
+#[must_use]
+pub fn global_bounds(kernel: &str, t: &BlockTrace, budget: &AnalysisBudget) -> Vec<Finding> {
+    if budget.buffers.is_empty() {
+        return Vec::new();
+    }
+    let decls: HashMap<_, _> = budget.buffers.iter().map(|b| (b.buf, b)).collect();
+    let mut violations: Vec<String> = Vec::new();
+    for a in &t.global {
+        let Some(decl) = decls.get(&a.buf) else {
+            violations.push(format!(
+                "warp {} accesses undeclared buffer {:?}",
+                a.warp, a.buf
+            ));
+            continue;
+        };
+        if a.dir.is_write() && !decl.writes {
+            violations.push(format!(
+                "warp {} writes read-only buffer '{}'",
+                a.warp, decl.label
+            ));
+        }
+        for idx in a.idx.iter().flatten() {
+            if idx + a.vlen as usize > decl.len {
+                violations.push(format!(
+                    "warp {} touches '{}'[{}..{}] past extent {}",
+                    a.warp,
+                    decl.label,
+                    idx,
+                    idx + a.vlen as usize,
+                    decl.len
+                ));
+            }
+        }
+    }
+    if violations.is_empty() {
+        return Vec::new();
+    }
+    let total = violations.len();
+    vec![Finding {
+        kernel: kernel.to_string(),
+        kind: FindingKind::OutOfBounds,
+        block: Some(t.block),
+        detail: format!("{total} violation(s); first: {}", violations[0]),
+    }]
+}
+
+/// Buffer-overlap check: two declared roles naming the same allocation
+/// while at least one writes (the allocator never hands out physically
+/// overlapping ranges, so same-`BufId` aliasing is the only way global
+/// ranges can overlap).
+#[must_use]
+pub fn buffer_overlap(kernel: &str, budget: &AnalysisBudget) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, x) in budget.buffers.iter().enumerate() {
+        for y in budget.buffers.iter().skip(i + 1) {
+            if x.buf == y.buf && (x.writes || y.writes) {
+                findings.push(Finding {
+                    kernel: kernel.to_string(),
+                    kind: FindingKind::BufferOverlap,
+                    block: None,
+                    detail: format!(
+                        "roles '{}' and '{}' alias one allocation and at least one writes",
+                        x.label, y.label
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Occupancy-budget lint: computes the achieved occupancy on `dev` and
+/// compares it against the kernel's declared expectation (blocks/SM
+/// and limiting resource). Skipped when the kernel declares neither.
+#[must_use]
+pub fn occupancy_budget(dev: &DeviceConfig, kernel: &dyn Kernel) -> Vec<Finding> {
+    let budget = kernel.analysis_budget();
+    if budget.expected_blocks_per_sm.is_none() && budget.expected_limiter.is_none() {
+        return Vec::new();
+    }
+    let occ = occupancy(dev, &kernel.resources());
+    let mut findings = Vec::new();
+    if let Some(expected) = budget.expected_blocks_per_sm {
+        if occ.blocks_per_sm != expected {
+            findings.push(Finding {
+                kernel: kernel.name(),
+                kind: FindingKind::OccupancyMismatch,
+                block: None,
+                detail: format!(
+                    "expected {expected} block(s)/SM on {}, achieved {}",
+                    dev.name, occ.blocks_per_sm
+                ),
+            });
+        }
+    }
+    if let Some(expected) = budget.expected_limiter {
+        if occ.limiter != expected {
+            findings.push(Finding {
+                kernel: kernel.name(),
+                kind: FindingKind::OccupancyMismatch,
+                block: None,
+                detail: format!(
+                    "expected occupancy limiter {expected:?}, computed {:?}",
+                    occ.limiter
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_gpu_sim::trace::{AccessDir, TraceSink};
+
+    fn words(f: impl Fn(usize) -> u32) -> [Option<u32>; 32] {
+        std::array::from_fn(|l| Some(f(l)))
+    }
+
+    #[test]
+    fn same_epoch_cross_warp_write_is_ww_race() {
+        let mut t = TraceSink::new();
+        t.begin_block(0);
+        t.begin_warp(0);
+        t.shared(&words(|l| l as u32), 1, AccessDir::Write);
+        t.begin_warp(1);
+        t.shared(&words(|l| l as u32), 1, AccessDir::Write);
+        let f = shared_races("k", &t.blocks()[0]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].detail.contains("write-write"));
+        assert!(f[0].detail.contains("[0, 1]"));
+    }
+
+    #[test]
+    fn barrier_orders_accesses() {
+        let mut t = TraceSink::new();
+        t.begin_block(0);
+        t.begin_warp(0);
+        t.shared(&words(|l| l as u32), 1, AccessDir::Write);
+        t.barrier(2);
+        t.begin_warp(1);
+        t.shared(&words(|l| l as u32), 1, AccessDir::Read);
+        assert!(shared_races("k", &t.blocks()[0]).is_empty());
+    }
+
+    #[test]
+    fn unordered_read_of_written_word_is_rw_race() {
+        let mut t = TraceSink::new();
+        t.begin_block(0);
+        t.begin_warp(0);
+        t.shared(&words(|_| 7), 1, AccessDir::Write);
+        t.begin_warp(3);
+        t.shared(&words(|_| 7), 1, AccessDir::Read);
+        let f = shared_races("k", &t.blocks()[0]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].detail.contains("read-write"));
+    }
+
+    #[test]
+    fn same_warp_read_after_write_is_ordered() {
+        let mut t = TraceSink::new();
+        t.begin_block(0);
+        t.begin_warp(2);
+        t.shared(&words(|_| 7), 1, AccessDir::Write);
+        t.shared(&words(|_| 7), 1, AccessDir::Read);
+        assert!(shared_races("k", &t.blocks()[0]).is_empty());
+    }
+
+    #[test]
+    fn vector_access_races_on_expanded_words() {
+        // Warp 0 stores words 0..4 (LDS.128 footprint at base 0); warp
+        // 1 reads scalar word 3 — the overlap is only visible after
+        // vlen expansion.
+        let mut t = TraceSink::new();
+        t.begin_block(0);
+        t.begin_warp(0);
+        let mut base: [Option<u32>; 32] = [None; 32];
+        base[0] = Some(0);
+        t.shared(&base, 4, AccessDir::Write);
+        t.begin_warp(1);
+        let mut rd: [Option<u32>; 32] = [None; 32];
+        rd[0] = Some(3);
+        t.shared(&rd, 1, AccessDir::Read);
+        assert_eq!(shared_races("k", &t.blocks()[0]).len(), 1);
+    }
+
+    #[test]
+    fn stride_conflicts_flagged_against_budget() {
+        let mut t = TraceSink::new();
+        t.begin_block(0);
+        t.shared(&words(|l| (l as u32) * 2), 1, AccessDir::Read);
+        let b = &t.blocks()[0];
+        // Stride 2 over 32 banks: 2-way conflict (degree 1).
+        assert!(bank_conflicts("k", b, 1, 32).is_empty());
+        let f = bank_conflicts("k", b, 0, 32);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].detail.contains("1-way"), "{}", f[0].detail);
+    }
+
+    #[test]
+    fn partial_barrier_is_divergence() {
+        let mut t = TraceSink::new();
+        t.begin_block(0);
+        t.barrier(8);
+        t.barrier(5);
+        let f = barrier_divergence("k", &t.blocks()[0], 8);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].detail.contains("5 of 8"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # ks-analyze — static analysis over recorded warp traces
+//!
+//! The functional oracles in this workspace prove *numerics*; they
+//! cannot prove the scheduling invariants the paper's kernel design
+//! rests on, because the block-synchronous interpreter runs warps to
+//! completion between barriers — a genuinely racy kernel still
+//! produces deterministic, correct-looking numbers. This crate closes
+//! that gap by analysing the warp-level access traces recorded by
+//! [`ks_gpu_sim::trace::TraceSink`] during `block_traffic` replay:
+//!
+//! * **Shared-memory race detector** ([`checks::shared_races`]) —
+//!   epoch-based happens-before: two accesses are ordered iff they
+//!   lie in different barrier epochs or belong to the same warp.
+//!   Catches write-write and read-write hazards, including
+//!   double-buffer parity bugs in the §III-A pipelined GEMM.
+//! * **Bank-conflict lint** ([`checks::bank_conflicts`]) — replays
+//!   every recorded shared access through the hardware conflict model
+//!   and enforces per-kernel declared budgets (the fused kernel
+//!   declares 0, the Fig. 5 guarantee).
+//! * **Barrier-divergence check** ([`checks::barrier_divergence`]) —
+//!   every barrier must be reached by all warps of the block.
+//! * **Bounds/overlap checks** ([`checks::global_bounds`],
+//!   [`checks::buffer_overlap`]) — global accesses vs declared buffer
+//!   extents and writable-role aliasing.
+//! * **Occupancy-budget lint** ([`checks::occupancy_budget`]) — the
+//!   fused kernel must achieve exactly 2 blocks/SM, limited by
+//!   registers (§III-A).
+//!
+//! Budgets are declared per kernel via
+//! [`ks_gpu_sim::kernel::Kernel::analysis_budget`]. The `ksum lint`
+//! CLI subcommand (and the CI `lint-kernels` job) runs
+//! [`runner::lint_report`] over every shipped kernel/variant; the
+//! [`fixtures`] module holds deliberately-broken kernels proving the
+//! detectors fire.
+
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod fixtures;
+pub mod report;
+pub mod runner;
+
+pub use report::{Finding, FindingKind, Report};
+pub use runner::{lint_kernel, lint_report, record_traces, shipped_probes, Probe};

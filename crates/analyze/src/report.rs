@@ -1,0 +1,203 @@
+//! Findings and the lint report.
+
+use std::fmt;
+
+/// What kind of invariant a finding violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FindingKind {
+    /// Two warps touch the same shared word in the same barrier epoch
+    /// and at least one of them writes.
+    SharedRace,
+    /// A shared-memory access phase exceeds the kernel's declared
+    /// bank-conflict budget.
+    BankConflict,
+    /// A barrier was executed by fewer warps than the block holds.
+    BarrierDivergence,
+    /// A global access lies outside the declared buffer extent (or
+    /// writes a buffer declared read-only, or touches an undeclared
+    /// buffer).
+    OutOfBounds,
+    /// Two declared buffer roles alias the same allocation and at
+    /// least one of them writes.
+    BufferOverlap,
+    /// Achieved occupancy disagrees with the kernel's declared
+    /// expectation (blocks/SM or limiting resource).
+    OccupancyMismatch,
+}
+
+impl fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FindingKind::SharedRace => "shared-race",
+            FindingKind::BankConflict => "bank-conflict",
+            FindingKind::BarrierDivergence => "barrier-divergence",
+            FindingKind::OutOfBounds => "out-of-bounds",
+            FindingKind::BufferOverlap => "buffer-overlap",
+            FindingKind::OccupancyMismatch => "occupancy-mismatch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Kernel the finding is about.
+    pub kernel: String,
+    /// Violated invariant.
+    pub kind: FindingKind,
+    /// Linear block index the violation was observed in (`None` for
+    /// whole-kernel checks like occupancy).
+    pub block: Option<u64>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.block {
+            Some(b) => write!(
+                f,
+                "{}: [{}] block {}: {}",
+                self.kernel, self.kind, b, self.detail
+            ),
+            None => write!(f, "{}: [{}] {}", self.kernel, self.kind, self.detail),
+        }
+    }
+}
+
+/// The result of linting one kernel (or, merged, a whole registry).
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All violations found.
+    pub findings: Vec<Finding>,
+    /// Names of the kernels that were checked (clean or not).
+    pub checked: Vec<String>,
+}
+
+impl Report {
+    /// True if no invariant was violated.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+        self.checked.extend(other.checked);
+    }
+
+    /// Findings of a given kind.
+    #[must_use]
+    pub fn of_kind(&self, kind: FindingKind) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.kind == kind).collect()
+    }
+
+    /// Renders the findings as an aligned text table (one row per
+    /// finding; a summary line when clean).
+    #[must_use]
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        if self.findings.is_empty() {
+            out.push_str(&format!(
+                "OK: no findings across {} kernel(s)\n",
+                self.checked.len()
+            ));
+            for name in &self.checked {
+                out.push_str(&format!("  clean  {name}\n"));
+            }
+            return out;
+        }
+        let rows: Vec<[String; 4]> = self
+            .findings
+            .iter()
+            .map(|f| {
+                [
+                    f.kernel.clone(),
+                    f.kind.to_string(),
+                    f.block.map_or_else(|| "-".to_string(), |b| b.to_string()),
+                    f.detail.clone(),
+                ]
+            })
+            .collect();
+        let header = ["KERNEL", "KIND", "BLOCK", "DETAIL"];
+        let width = |col: usize| {
+            rows.iter()
+                .map(|r| r[col].len())
+                .chain(std::iter::once(header[col].len()))
+                .max()
+                .unwrap_or(0)
+        };
+        let (w0, w1, w2) = (width(0), width(1), width(2));
+        out.push_str(&format!(
+            "{:<w0$}  {:<w1$}  {:<w2$}  {}\n",
+            header[0], header[1], header[2], header[3]
+        ));
+        for r in &rows {
+            out.push_str(&format!(
+                "{:<w0$}  {:<w1$}  {:<w2$}  {}\n",
+                r[0], r[1], r[2], r[3]
+            ));
+        }
+        out.push_str(&format!(
+            "{} finding(s) across {} kernel(s)\n",
+            self.findings.len(),
+            self.checked.len()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(kind: FindingKind) -> Finding {
+        Finding {
+            kernel: "k".into(),
+            kind,
+            block: Some(0),
+            detail: "d".into(),
+        }
+    }
+
+    #[test]
+    fn clean_report_renders_summary() {
+        let r = Report {
+            findings: vec![],
+            checked: vec!["a".into(), "b".into()],
+        };
+        assert!(r.is_clean());
+        let t = r.table();
+        assert!(t.contains("no findings across 2"));
+        assert!(t.contains("clean  a"));
+    }
+
+    #[test]
+    fn findings_render_as_rows() {
+        let mut r = Report::default();
+        r.merge(Report {
+            findings: vec![finding(FindingKind::SharedRace)],
+            checked: vec!["k".into()],
+        });
+        assert!(!r.is_clean());
+        assert_eq!(r.of_kind(FindingKind::SharedRace).len(), 1);
+        assert_eq!(r.of_kind(FindingKind::BankConflict).len(), 0);
+        let t = r.table();
+        assert!(t.contains("KERNEL"));
+        assert!(t.contains("shared-race"));
+        assert!(t.contains("1 finding(s)"));
+    }
+
+    #[test]
+    fn display_forms() {
+        let f = finding(FindingKind::OutOfBounds);
+        assert!(f.to_string().contains("[out-of-bounds] block 0"));
+        let g = Finding {
+            block: None,
+            ..finding(FindingKind::OccupancyMismatch)
+        };
+        assert!(g.to_string().contains("[occupancy-mismatch] d"));
+    }
+}

@@ -102,19 +102,17 @@ pub fn pipeline_energy(params: &EnergyParams, p: &PipelineProfile) -> EnergyBrea
 mod tests {
     use super::*;
     use ks_gpu_kernels::{GpuKernelSummation, GpuVariant};
+    use ks_gpu_sim::kernel::LaunchError;
     use ks_gpu_sim::GpuDevice;
 
-    fn energies(m: usize, k: usize) -> (EnergyBreakdown, EnergyBreakdown) {
+    fn energies(m: usize, k: usize) -> Result<(EnergyBreakdown, EnergyBreakdown), LaunchError> {
         let ks = GpuKernelSummation::new(m, 1024, k, 1.0);
         let params = EnergyParams::default();
         let mut d1 = GpuDevice::gtx970();
-        let fused = pipeline_energy(&params, &ks.profile(&mut d1, GpuVariant::Fused).unwrap());
+        let fused = pipeline_energy(&params, &ks.profile(&mut d1, GpuVariant::Fused)?);
         let mut d2 = GpuDevice::gtx970();
-        let unfused = pipeline_energy(
-            &params,
-            &ks.profile(&mut d2, GpuVariant::CublasUnfused).unwrap(),
-        );
-        (fused, unfused)
+        let unfused = pipeline_energy(&params, &ks.profile(&mut d2, GpuVariant::CublasUnfused)?);
+        Ok((fused, unfused))
     }
 
     #[test]
@@ -132,48 +130,52 @@ mod tests {
     }
 
     #[test]
-    fn fused_saves_over_80_percent_of_dram_energy() {
+    fn fused_saves_over_80_percent_of_dram_energy() -> Result<(), LaunchError> {
         // §V-C: "the Fused approach saves more than 80% [of DRAM
         // energy]" in all test configurations.
         for k in [32, 64, 128, 256] {
-            let (fused, unfused) = energies(4096, k);
+            let (fused, unfused) = energies(4096, k)?;
             let saving = 1.0 - fused.dram_j / unfused.dram_j;
             assert!(saving > 0.80, "K={k}: DRAM energy saving {saving}");
         }
+        Ok(())
     }
 
     #[test]
-    fn total_savings_shrink_with_k() {
+    fn total_savings_shrink_with_k() -> Result<(), LaunchError> {
         // Table III: ~31% at K=32 falling to ~4–9% at K=256.
-        let (f32_, u32_) = energies(4096, 32);
-        let (f256, u256) = energies(4096, 256);
+        let (f32_, u32_) = energies(4096, 32)?;
+        let (f256, u256) = energies(4096, 256)?;
         let s32 = f32_.saving_vs(&u32_);
         let s256 = f256.saving_vs(&u256);
         assert!(s32 > s256, "savings must fall with K: {s32} vs {s256}");
         assert!((0.15..0.45).contains(&s32), "K=32 saving {s32}");
         assert!((0.0..0.15).contains(&s256), "K=256 saving {s256}");
+        Ok(())
     }
 
     #[test]
-    fn dram_share_of_unfused_is_10_to_35_percent() {
+    fn dram_share_of_unfused_is_10_to_35_percent() -> Result<(), LaunchError> {
         // Fig 1: "around 10% to 30% of total energy is spent on DRAM".
         for k in [32, 64, 128, 256] {
-            let (_, unfused) = energies(4096, k);
+            let (_, unfused) = energies(4096, k)?;
             let share = unfused.dram_share();
             assert!((0.03..0.40).contains(&share), "K={k}: DRAM share {share}");
         }
+        Ok(())
     }
 
     #[test]
-    fn compute_dominates_at_high_k() {
+    fn compute_dominates_at_high_k() -> Result<(), LaunchError> {
         // §V-C: at K=256 "more than 80% of energy is spent on floating
         // point computing operations".
-        let (fused, _) = energies(4096, 256);
+        let (fused, _) = energies(4096, 256)?;
         assert!(
             fused.compute_share() > 0.7,
             "compute share {}",
             fused.compute_share()
         );
+        Ok(())
     }
 
     #[test]

@@ -19,7 +19,9 @@ use ks_gpu_sim::buffer::BufId;
 use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
 use ks_gpu_sim::kernel::VecWidth;
-use ks_gpu_sim::kernel::{ExecModel, Kernel, KernelResources, TimingHints};
+use ks_gpu_sim::kernel::{
+    AnalysisBudget, BufferUse, ExecModel, Kernel, KernelResources, TimingHints,
+};
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
 use crate::machine::{FunctionalMachine, TrafficMachine, WarpMachine};
@@ -100,6 +102,7 @@ impl NormsKernel {
     fn body<M: WarpMachine>(&self, block: Dim3, mach: &mut M) {
         let base_point = block.x as usize * 128;
         for w in 0..4 {
+            mach.begin_warp(w as u32);
             mach.alu(2);
             let mut acc = [0.0f32; 32];
             for j in (0..self.dim).step_by(4) {
@@ -158,6 +161,26 @@ impl Kernel for NormsKernel {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn analysis_budget(&self) -> AnalysisBudget {
+        AnalysisBudget {
+            buffers: vec![
+                BufferUse {
+                    buf: self.points,
+                    len: self.n_points * self.dim,
+                    writes: false,
+                    label: "points",
+                },
+                BufferUse {
+                    buf: self.out,
+                    len: self.n_points,
+                    writes: true,
+                    label: "norms",
+                },
+            ],
+            ..AnalysisBudget::default()
+        }
     }
 }
 
@@ -221,6 +244,7 @@ impl EvalSumKernel {
     fn body<M: WarpMachine>(&self, block: Dim3, mach: &mut M) {
         let s = self.bw.inv_2h2();
         for wp in 0..4 {
+            mach.begin_warp(wp as u32);
             let row = |lane: usize| block.x as usize * 128 + wp * 32 + lane;
             mach.alu(2);
             // Row norm: one per thread, coalesced.
@@ -287,6 +311,57 @@ impl Kernel for EvalSumKernel {
     fn traffic_homogeneous(&self) -> bool {
         true
     }
+
+    fn analysis_budget(&self) -> AnalysisBudget {
+        AnalysisBudget {
+            buffers: eval_sum_buffers(self.c_mat, self.a2, self.b2, self.w, self.v, self.m, self.n),
+            ..AnalysisBudget::default()
+        }
+    }
+}
+
+/// Shared buffer-extent declaration for the two eval+sum variants.
+fn eval_sum_buffers(
+    c_mat: BufId,
+    a2: BufId,
+    b2: BufId,
+    w: BufId,
+    v: BufId,
+    m: usize,
+    n: usize,
+) -> Vec<BufferUse> {
+    vec![
+        BufferUse {
+            buf: c_mat,
+            len: m * n,
+            writes: false,
+            label: "C",
+        },
+        BufferUse {
+            buf: a2,
+            len: m,
+            writes: false,
+            label: "a2",
+        },
+        BufferUse {
+            buf: b2,
+            len: n,
+            writes: false,
+            label: "b2",
+        },
+        BufferUse {
+            buf: w,
+            len: n,
+            writes: false,
+            label: "W",
+        },
+        BufferUse {
+            buf: v,
+            len: m,
+            writes: true,
+            label: "V",
+        },
+    ]
 }
 
 /// Tuned warp-per-row evaluation + reduction (ablation: what the
@@ -337,6 +412,7 @@ impl EvalSumCoalescedKernel {
     fn body<M: WarpMachine>(&self, block: Dim3, mach: &mut M) {
         let s = self.bw.inv_2h2();
         for w in 0..8 {
+            mach.begin_warp(w as u32);
             let row = block.x as usize * 8 + w;
             mach.alu(2);
             // Broadcast load of the row norm.
@@ -410,6 +486,13 @@ impl Kernel for EvalSumCoalescedKernel {
     fn traffic_homogeneous(&self) -> bool {
         true
     }
+
+    fn analysis_budget(&self) -> AnalysisBudget {
+        AnalysisBudget {
+            buffers: eval_sum_buffers(self.c_mat, self.a2, self.b2, self.w, self.v, self.m, self.n),
+            ..AnalysisBudget::default()
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -460,6 +543,7 @@ impl EvalKernel {
     fn body<M: WarpMachine>(&self, block: Dim3, mach: &mut M) {
         let s = self.bw.inv_2h2();
         for w in 0..8 {
+            mach.begin_warp(w as u32);
             let base = block.x as usize * 1024 + w * 128;
             let row = base / self.n;
             mach.alu(2);
@@ -521,6 +605,38 @@ impl Kernel for EvalKernel {
     fn traffic_homogeneous(&self) -> bool {
         true
     }
+
+    fn analysis_budget(&self) -> AnalysisBudget {
+        AnalysisBudget {
+            buffers: vec![
+                BufferUse {
+                    buf: self.c_mat,
+                    len: self.m * self.n,
+                    writes: false,
+                    label: "C",
+                },
+                BufferUse {
+                    buf: self.k_mat,
+                    len: self.m * self.n,
+                    writes: true,
+                    label: "K",
+                },
+                BufferUse {
+                    buf: self.a2,
+                    len: self.m,
+                    writes: false,
+                    label: "a2",
+                },
+                BufferUse {
+                    buf: self.b2,
+                    len: self.n,
+                    writes: false,
+                    label: "b2",
+                },
+            ],
+            ..AnalysisBudget::default()
+        }
+    }
 }
 
 /// Plain GEMV reduction: `V_i = Σ_j K_ij · W_j` (second pass of the
@@ -547,6 +663,7 @@ impl GemvKernel {
 
     fn body<M: WarpMachine>(&self, block: Dim3, mach: &mut M) {
         for w in 0..8 {
+            mach.begin_warp(w as u32);
             let row = block.x as usize * 8 + w;
             mach.alu(2);
             let mut acc = [0.0f32; 32];
@@ -611,6 +728,32 @@ impl Kernel for GemvKernel {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn analysis_budget(&self) -> AnalysisBudget {
+        AnalysisBudget {
+            buffers: vec![
+                BufferUse {
+                    buf: self.k_mat,
+                    len: self.m * self.n,
+                    writes: false,
+                    label: "K",
+                },
+                BufferUse {
+                    buf: self.w,
+                    len: self.n,
+                    writes: false,
+                    label: "W",
+                },
+                BufferUse {
+                    buf: self.v,
+                    len: self.m,
+                    writes: true,
+                    label: "V",
+                },
+            ],
+            ..AnalysisBudget::default()
+        }
     }
 }
 

@@ -9,8 +9,8 @@
 //!    against its 8 weights, leaving 8 row partials in registers;
 //! 2. **intra-block** (line 20): the 16 `tx` lanes of each row group
 //!    combine via warp shuffles, and the per-`ty` results land in the
-//!    shared scratch `T` (which reuses `sharedA0`, as the paper notes,
-//!    to keep occupancy at 2 blocks/SM);
+//!    shared scratch `T` (which reuses an idle GEMM tile buffer, as the
+//!    paper notes, to keep occupancy at 2 blocks/SM);
 //! 3. **inter-block** (line 21): the first half of the block
 //!    `atomicAdd`s the 128 row partials into `V` — blocks never wait
 //!    for each other ("a thread block immediately retires after it
@@ -24,7 +24,10 @@ use ks_gpu_sim::buffer::BufId;
 use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
 use ks_gpu_sim::kernel::VecWidth;
-use ks_gpu_sim::kernel::{ExecModel, Kernel, KernelResources, TimingHints};
+use ks_gpu_sim::kernel::{
+    AnalysisBudget, BufferUse, ExecModel, Kernel, KernelResources, TimingHints,
+};
+use ks_gpu_sim::occupancy::OccupancyLimiter;
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
 use crate::aux_kernels::{gaussian, Bandwidth};
@@ -32,7 +35,7 @@ use crate::gemm_engine::{fresh_acc, gemm_block, GemmOperands, GemmShape, Microti
 use crate::layout::SmemLayout;
 use crate::machine::{FunctionalMachine, TrafficMachine, WarpMachine};
 use crate::sgemm::GEMM_REGS_PER_THREAD;
-use crate::{BLOCK_TILE, MICRO_TILE, THREADS_XY, WARPS_PER_BLOCK};
+use crate::{BLOCK_TILE, K_TILE, MICRO_TILE, THREADS_XY, WARPS_PER_BLOCK};
 
 /// How partial block results reach the final `V`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,8 +155,18 @@ impl FusedKernelSummation {
 
         // --- Gaussian evaluation + intra-thread reduction (lines 14–16)
         // Row partials per (warp, lane): γ[r] = Σ_c K[r][c]·W[c].
+        //
+        // T reuses a GEMM tile buffer (the paper reuses sharedA0 to keep
+        // occupancy at 2 blocks/SM). It must be the A buffer the final
+        // `compute_ktile` is NOT still reading in this epoch — with
+        // double buffering that compute reads `a[(tiles−1) % 2]`, so T
+        // parks in `a[tiles % 2]`; single-buffered, both map to word 0
+        // and the extra barrier before the eval loop orders them.
+        let tiles = self.shape.k / K_TILE;
+        let t_base = SmemMap::new(self.double_buffer).a[tiles % 2];
         let mut gamma = vec![[0.0f32; MICRO_TILE]; if M::FUNCTIONAL { 256 } else { 0 }];
         for wp in 0..WARPS_PER_BLOCK {
+            mach.begin_warp(wp as u32);
             mach.alu(2);
             // Row norms for the warp's two ty groups: 2 LDG.128.
             let mut a2v = [[0.0f32; 4]; 32];
@@ -228,11 +241,11 @@ impl FusedKernelSummation {
             mach.alu(32);
             mach.falu(32);
             // Lanes with tx == 0 (two per warp) park the per-ty row
-            // sums in T (reusing sharedA0, word offset 0).
+            // sums in T (the idle A tile buffer, see `t_base` above).
             let t_words: [Option<u32>; 32] = std::array::from_fn(|lane| {
                 let tx = lane % THREADS_XY;
                 let ty = 2 * wp + lane / THREADS_XY;
-                (tx == 0).then_some((ty * MICRO_TILE) as u32)
+                (tx == 0).then_some(t_base + (ty * MICRO_TILE) as u32)
             });
             // Eight phases: one word per microtile row.
             for r in 0..MICRO_TILE {
@@ -259,8 +272,9 @@ impl FusedKernelSummation {
         // --- Inter-block reduction (lines 18–22): first half of the
         //     block drains T and atomically updates V. ----------------
         for wp in 0..WARPS_PER_BLOCK / 2 {
+            mach.begin_warp(wp as u32);
             let words: [Option<u32>; 32] =
-                std::array::from_fn(|lane| Some((wp * 32 + lane) as u32));
+                std::array::from_fn(|lane| Some(t_base + (wp * 32 + lane) as u32));
             let t_vals = mach.ld_shared(&words, VecWidth::V1);
             let vidx: WarpIdx = std::array::from_fn(|lane| Some(by * BLOCK_TILE + wp * 32 + lane));
             let lane_vals: [f32; 32] = std::array::from_fn(|lane| t_vals[lane][0]);
@@ -323,6 +337,67 @@ impl Kernel for FusedKernelSummation {
     fn traffic_homogeneous(&self) -> bool {
         true
     }
+
+    fn analysis_budget(&self) -> AnalysisBudget {
+        let (m, n, k) = (self.shape.m, self.shape.n, self.shape.k);
+        let mut buffers = vec![
+            BufferUse {
+                buf: self.ops.a,
+                len: m * k,
+                writes: false,
+                label: "a",
+            },
+            BufferUse {
+                buf: self.ops.b,
+                len: k * n,
+                writes: false,
+                label: "b",
+            },
+            BufferUse {
+                buf: self.a2,
+                len: m,
+                writes: false,
+                label: "a2",
+            },
+            BufferUse {
+                buf: self.b2,
+                len: n,
+                writes: false,
+                label: "b2",
+            },
+            BufferUse {
+                buf: self.w,
+                len: n,
+                writes: false,
+                label: "w",
+            },
+        ];
+        match self.reduction {
+            Reduction::Atomic => buffers.push(BufferUse {
+                buf: self.v,
+                len: m,
+                writes: true,
+                label: "v",
+            }),
+            Reduction::TwoPass { partials } => buffers.push(BufferUse {
+                buf: partials,
+                len: (n / BLOCK_TILE) * m,
+                writes: true,
+                label: "partials",
+            }),
+        }
+        AnalysisBudget {
+            // Fig. 5's swizzle is conflict-free; the naive row-major
+            // ablation's compute loads are 4-way conflicted (degree 3).
+            smem_conflict_budget: match self.layout {
+                SmemLayout::Swizzled => 0,
+                SmemLayout::NaiveRowMajor => 3,
+            },
+            expected_blocks_per_sm: Some(2),
+            expected_limiter: Some(OccupancyLimiter::Registers),
+            buffers,
+        }
+    }
 }
 
 /// Second pass of the [`Reduction::TwoPass`] ablation:
@@ -353,6 +428,7 @@ impl ReducePartialsKernel {
 
     fn body<M: WarpMachine>(&self, block: Dim3, mach: &mut M) {
         for wp in 0..8 {
+            mach.begin_warp(wp as u32);
             mach.alu(2);
             let base = block.x as usize * 256 + wp * 32;
             let mut acc = [0.0f32; 32];
@@ -407,6 +483,28 @@ impl Kernel for ReducePartialsKernel {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn analysis_budget(&self) -> AnalysisBudget {
+        AnalysisBudget {
+            smem_conflict_budget: 0,
+            expected_blocks_per_sm: None,
+            expected_limiter: None,
+            buffers: vec![
+                BufferUse {
+                    buf: self.partials,
+                    len: self.n_blocks_x * self.m,
+                    writes: false,
+                    label: "partials",
+                },
+                BufferUse {
+                    buf: self.v,
+                    len: self.m,
+                    writes: true,
+                    label: "v",
+                },
+            ],
+        }
     }
 }
 

@@ -23,17 +23,20 @@ use ks_gpu_sim::buffer::BufId;
 use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
 use ks_gpu_sim::kernel::VecWidth;
-use ks_gpu_sim::kernel::{ExecModel, Kernel, KernelResources, TimingHints};
+use ks_gpu_sim::kernel::{
+    AnalysisBudget, BufferUse, ExecModel, Kernel, KernelResources, TimingHints,
+};
+use ks_gpu_sim::occupancy::OccupancyLimiter;
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
 use crate::aux_kernels::{gaussian, Bandwidth};
 use crate::gemm_engine::{fresh_acc, gemm_block, GemmOperands, GemmShape, Microtile, SmemMap};
 use crate::layout::SmemLayout;
 use crate::machine::{FunctionalMachine, TrafficMachine, WarpMachine};
-use crate::{BLOCK_TILE, MICRO_TILE, THREADS_XY, WARPS_PER_BLOCK};
+use crate::{BLOCK_TILE, K_TILE, MICRO_TILE, THREADS_XY, WARPS_PER_BLOCK};
 
-/// Maximum weight columns: the `T` scratch (1024 words, reusing
-/// `sharedA0`) holds `128·R` partials.
+/// Maximum weight columns: the `T` scratch (1024 words, reusing an
+/// idle GEMM tile buffer) holds `128·R` partials.
 pub const MAX_WEIGHT_COLUMNS: usize = 8;
 
 /// The multi-weight fused kernel (see module docs).
@@ -117,10 +120,16 @@ impl FusedMultiWeight {
         );
 
         // --- Evaluation + per-column intra-thread fold -------------------
+        // T reuses the A tile buffer the final `compute_ktile` is NOT
+        // still reading in this epoch (see `fused.rs`): that compute
+        // reads `a[(tiles−1) % 2]`, so T parks in `a[tiles % 2]`.
+        let tiles = self.shape.k / K_TILE;
+        let t_off = SmemMap::new(true).a[tiles % 2];
         // gamma[tid][col][row partial]
         let mut gamma =
             vec![[[0.0f32; MICRO_TILE]; MAX_WEIGHT_COLUMNS]; if M::FUNCTIONAL { 256 } else { 0 }];
         for wp in 0..WARPS_PER_BLOCK {
+            mach.begin_warp(wp as u32);
             mach.alu(2);
             let idx_lo: WarpIdx = std::array::from_fn(|lane| {
                 let ty = 2 * wp + lane / THREADS_XY;
@@ -193,12 +202,12 @@ impl FusedMultiWeight {
             // Intra-block shuffle reduction per column.
             mach.alu(32 * r as u64);
             mach.falu(32 * r as u64);
-            // T scratch: column c parks at word offset 128·c.
+            // T scratch: column c parks at word offset t_off + 128·c.
             for c in 0..r {
                 let t_base: [Option<u32>; 32] = std::array::from_fn(|lane| {
                     let tx = lane % THREADS_XY;
                     let ty = 2 * wp + lane / THREADS_XY;
-                    (tx == 0).then_some((c * BLOCK_TILE + ty * MICRO_TILE) as u32)
+                    (tx == 0).then_some(t_off + (c * BLOCK_TILE + ty * MICRO_TILE) as u32)
                 });
                 for row in 0..MICRO_TILE {
                     let words: [Option<u32>; 32] =
@@ -221,9 +230,11 @@ impl FusedMultiWeight {
 
         // --- Atomic drain, one coalesced pass per column -----------------
         for wp in 0..WARPS_PER_BLOCK / 2 {
+            mach.begin_warp(wp as u32);
             for c in 0..r {
-                let words: [Option<u32>; 32] =
-                    std::array::from_fn(|lane| Some((c * BLOCK_TILE + wp * 32 + lane) as u32));
+                let words: [Option<u32>; 32] = std::array::from_fn(|lane| {
+                    Some(t_off + (c * BLOCK_TILE + wp * 32 + lane) as u32)
+                });
                 let t_vals = mach.ld_shared(&words, VecWidth::V1);
                 let vidx: WarpIdx =
                     std::array::from_fn(|lane| Some(c * m + by * BLOCK_TILE + wp * 32 + lane));
@@ -275,6 +286,55 @@ impl Kernel for FusedMultiWeight {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn analysis_budget(&self) -> AnalysisBudget {
+        let (m, n, k) = (self.shape.m, self.shape.n, self.shape.k);
+        AnalysisBudget {
+            smem_conflict_budget: 0,
+            // §III-A register economy: R ≥ 2 exceeds 128 regs/thread
+            // and halves occupancy to one block per SM.
+            expected_blocks_per_sm: Some(if self.r >= 2 { 1 } else { 2 }),
+            expected_limiter: Some(OccupancyLimiter::Registers),
+            buffers: vec![
+                BufferUse {
+                    buf: self.ops.a,
+                    len: m * k,
+                    writes: false,
+                    label: "a",
+                },
+                BufferUse {
+                    buf: self.ops.b,
+                    len: k * n,
+                    writes: false,
+                    label: "b",
+                },
+                BufferUse {
+                    buf: self.a2,
+                    len: m,
+                    writes: false,
+                    label: "a2",
+                },
+                BufferUse {
+                    buf: self.b2,
+                    len: n,
+                    writes: false,
+                    label: "b2",
+                },
+                BufferUse {
+                    buf: self.w,
+                    len: n * self.r,
+                    writes: false,
+                    label: "w",
+                },
+                BufferUse {
+                    buf: self.v,
+                    len: m * self.r,
+                    writes: true,
+                    label: "v",
+                },
+            ],
+        }
     }
 }
 

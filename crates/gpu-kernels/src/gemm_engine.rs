@@ -145,6 +145,7 @@ pub fn load_tiles<M: WarpMachine>(
 ) {
     let k = shape.k;
     for w in 0..WARPS_PER_BLOCK {
+        mach.begin_warp(w as u32);
         // Halves: warps 0..4 fetch tileA (point base = row), warps
         // 4..8 fetch tileB (point base = column).
         let (buf, point0, wl, dst) = if w < 4 {
@@ -194,6 +195,7 @@ pub fn compute_ktile<M: WarpMachine>(
     acc: &mut [Microtile],
 ) {
     for w in 0..WARPS_PER_BLOCK {
+        mach.begin_warp(w as u32);
         mach.alu(2); // loop/index overhead per warp per tile
         for kk in 0..K_TILE {
             // A operand: lane (tx, ty) reads the 8 track values of

@@ -28,6 +28,11 @@ pub trait WarpMachine {
     /// True when the machine executes numerics.
     const FUNCTIONAL: bool;
 
+    /// Announces the warp issuing subsequent events. Purely for access
+    /// tracing (`ks-analyze`): it records nothing and must never change
+    /// counters or numerics, so the default is a no-op.
+    fn begin_warp(&mut self, _warp: u32) {}
+
     /// Warp global load: lane `l` reads `vlen` consecutive words from
     /// `idx[l]`. Returns up to 4 words per lane (unused tail is zero).
     fn ld_global(&mut self, buf: BufId, idx: &WarpIdx, vlen: VecWidth) -> [[f32; 4]; 32];
@@ -82,6 +87,10 @@ fn narrow<const VL: usize>(v: &[[f32; 4]; 32]) -> [[f32; VL]; 32] {
 
 impl WarpMachine for FunctionalMachine<'_, '_, '_> {
     const FUNCTIONAL: bool = true;
+
+    fn begin_warp(&mut self, warp: u32) {
+        self.ctx.begin_warp(warp);
+    }
 
     fn ld_global(&mut self, buf: BufId, idx: &WarpIdx, vlen: VecWidth) -> [[f32; 4]; 32] {
         match vlen {
@@ -150,6 +159,10 @@ impl<'s, 'a> TrafficMachine<'s, 'a> {
 
 impl WarpMachine for TrafficMachine<'_, '_> {
     const FUNCTIONAL: bool = false;
+
+    fn begin_warp(&mut self, warp: u32) {
+        self.sink.begin_warp(warp);
+    }
 
     fn ld_global(&mut self, buf: BufId, idx: &WarpIdx, vlen: VecWidth) -> [[f32; 4]; 32] {
         self.sink.global_read(buf, idx, vlen.words());

@@ -12,7 +12,10 @@ use ks_gpu_sim::buffer::BufId;
 use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
 use ks_gpu_sim::kernel::VecWidth;
-use ks_gpu_sim::kernel::{ExecModel, Kernel, KernelResources, TimingHints};
+use ks_gpu_sim::kernel::{
+    AnalysisBudget, BufferUse, ExecModel, Kernel, KernelResources, TimingHints,
+};
+use ks_gpu_sim::occupancy::OccupancyLimiter;
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
 use crate::gemm_engine::{fresh_acc, gemm_block, GemmOperands, GemmShape, Microtile, SmemMap};
@@ -90,6 +93,7 @@ impl CudaSgemm {
         // global memory — precisely the traffic fusion eliminates).
         let n = self.shape.n;
         for w in 0..WARPS_PER_BLOCK {
+            mach.begin_warp(w as u32);
             mach.alu(2);
             for r in 0..MICRO_TILE {
                 for half in 0..2 {
@@ -162,6 +166,38 @@ impl Kernel for CudaSgemm {
     fn traffic_homogeneous(&self) -> bool {
         true
     }
+
+    fn analysis_budget(&self) -> AnalysisBudget {
+        let (m, n, k) = (self.shape.m, self.shape.n, self.shape.k);
+        AnalysisBudget {
+            smem_conflict_budget: match self.layout {
+                SmemLayout::Swizzled => 0,
+                SmemLayout::NaiveRowMajor => 3,
+            },
+            expected_blocks_per_sm: Some(2),
+            expected_limiter: Some(OccupancyLimiter::Registers),
+            buffers: vec![
+                BufferUse {
+                    buf: self.ops.a,
+                    len: m * k,
+                    writes: false,
+                    label: "a",
+                },
+                BufferUse {
+                    buf: self.ops.b,
+                    len: k * n,
+                    writes: false,
+                    label: "b",
+                },
+                BufferUse {
+                    buf: self.c,
+                    len: m * n,
+                    writes: true,
+                    label: "c",
+                },
+            ],
+        }
+    }
 }
 
 /// The cuBLAS-class GEMM model: identical traffic, vendor timing
@@ -214,6 +250,10 @@ impl Kernel for VendorSgemm {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn analysis_budget(&self) -> AnalysisBudget {
+        self.inner.analysis_budget()
     }
 }
 

@@ -29,7 +29,10 @@ use ks_gpu_sim::buffer::BufId;
 use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
 use ks_gpu_sim::kernel::VecWidth;
-use ks_gpu_sim::kernel::{ExecModel, Kernel, KernelResources, TimingHints};
+use ks_gpu_sim::kernel::{
+    AnalysisBudget, BufferUse, ExecModel, Kernel, KernelResources, TimingHints,
+};
+use ks_gpu_sim::occupancy::OccupancyLimiter;
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
 use crate::gemm_engine::{GemmOperands, GemmShape};
@@ -92,6 +95,7 @@ impl Sgemm4x4 {
                 (self.ops.b, bx * BLOCK_TILE, smem_b)
             };
             for wa in 0..16 {
+                mach.begin_warp((half * 16 + wa) as u32);
                 let c_off = wa % 4;
                 let q = wa / 4;
                 mach.alu(2);
@@ -120,6 +124,7 @@ impl Sgemm4x4 {
         acc: &mut [[[f32; 4]; 4]],
     ) {
         for w in 0..SMALL_WARPS {
+            mach.begin_warp(w as u32);
             mach.alu(2);
             let ty = w; // a warp is one full row of tx lanes
             for kk in 0..K_TILE {
@@ -187,6 +192,7 @@ impl Sgemm4x4 {
         // Write back: thread (tx, ty) stores 4 rows × one STG.128.
         let n = self.shape.n;
         for w in 0..SMALL_WARPS {
+            mach.begin_warp(w as u32);
             mach.alu(1);
             let ty = w;
             for r in 0..SMALL_MICRO {
@@ -250,6 +256,37 @@ impl Kernel for Sgemm4x4 {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn analysis_budget(&self) -> AnalysisBudget {
+        let (m, n, k) = (self.shape.m, self.shape.n, self.shape.k);
+        AnalysisBudget {
+            smem_conflict_budget: 0,
+            // §III-A: two 1024-thread blocks hit the 2048-threads/SM
+            // device limit before any other resource.
+            expected_blocks_per_sm: Some(2),
+            expected_limiter: Some(OccupancyLimiter::Threads),
+            buffers: vec![
+                BufferUse {
+                    buf: self.ops.a,
+                    len: m * k,
+                    writes: false,
+                    label: "a",
+                },
+                BufferUse {
+                    buf: self.ops.b,
+                    len: k * n,
+                    writes: false,
+                    label: "b",
+                },
+                BufferUse {
+                    buf: self.c,
+                    len: m * n,
+                    writes: true,
+                    label: "c",
+                },
+            ],
+        }
     }
 }
 

@@ -44,6 +44,14 @@ impl<'a, 'b> BlockCtx<'a, 'b> {
         self.smem.len()
     }
 
+    /// Announces the warp issuing subsequent events (trace-only; no
+    /// counter or functional effect).
+    pub fn begin_warp(&mut self, warp: u32) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.begin_warp(warp);
+        }
+    }
+
     /// Warp global load, one word per active lane.
     ///
     /// # Panics

@@ -16,9 +16,11 @@
 //! `ks-gpu-kernels`; consistency between them is enforced by tests
 //! that run both on small problems and compare every counter.
 
+use crate::buffer::BufId;
 use crate::config::DeviceConfig;
 use crate::dim::{Dim3, LaunchConfig};
 use crate::exec::BlockCtx;
+use crate::occupancy::OccupancyLimiter;
 use crate::traffic::TrafficSink;
 
 /// Static per-kernel resource usage (occupancy inputs).
@@ -67,6 +69,39 @@ impl Default for TimingHints {
     }
 }
 
+/// One global buffer a kernel touches, declared for bounds checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferUse {
+    /// The buffer.
+    pub buf: BufId,
+    /// Declared extent in elements; accesses at or past this index are
+    /// out of bounds.
+    pub len: usize,
+    /// Whether the kernel writes (or atomically updates) the buffer.
+    pub writes: bool,
+    /// Human-readable role for findings ("a", "partials", …).
+    pub label: &'static str,
+}
+
+/// Budgets and expectations a kernel declares for static analysis
+/// (`ks-analyze`); every field has a permissive default so ordinary
+/// kernels need not opt in.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisBudget {
+    /// Worst tolerated shared-memory conflict degree per warp access
+    /// phase (0 = every access must be conflict-free, the Fig. 5
+    /// guarantee).
+    pub smem_conflict_budget: u32,
+    /// Expected blocks per SM on the reference device (`None` = not
+    /// checked). The fused kernel pins this to 2 per §III-A.
+    pub expected_blocks_per_sm: Option<u32>,
+    /// Expected occupancy limiter (`None` = not checked).
+    pub expected_limiter: Option<OccupancyLimiter>,
+    /// Global buffers the kernel may touch, with extents. Empty list =
+    /// bounds checking skipped (nothing declared).
+    pub buffers: Vec<BufferUse>,
+}
+
 /// A simulated GPU kernel. See the module docs.
 pub trait Kernel: Sync {
     /// Kernel name (appears in profiles, like nvprof's kernel column).
@@ -98,6 +133,13 @@ pub trait Kernel: Sync {
     /// because the tilings require exact divisibility.
     fn traffic_homogeneous(&self) -> bool {
         false
+    }
+
+    /// Budgets and expectations for static analysis (`ks-analyze`).
+    /// The default declares nothing: conflict budget 0, no occupancy
+    /// expectation, no buffer extents (bounds checking skipped).
+    fn analysis_budget(&self) -> AnalysisBudget {
+        AnalysisBudget::default()
     }
 }
 

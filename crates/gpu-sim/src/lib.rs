@@ -22,6 +22,8 @@
 //!   without materialising data).
 //! * [`traffic`] — the sink that turns warp-level accesses into
 //!   transaction counts through the coalescer, bank model and L2.
+//! * [`trace`] — warp-level access recording for the `ks-analyze`
+//!   static checks (races, bank conflicts, barrier divergence).
 //! * [`exec`] — functional block-synchronous execution engine.
 //! * [`device`] — [`device::GpuDevice`]: allocation, launch, profiling.
 //! * [`profiler`] — nvprof-like counters ([`profiler::Counters`],
@@ -63,6 +65,7 @@ pub mod profiler;
 pub mod report;
 pub mod smem;
 pub mod timing;
+pub mod trace;
 pub mod traffic;
 
 pub use buffer::{BufId, GlobalMem};
@@ -70,8 +73,12 @@ pub use config::DeviceConfig;
 pub use device::GpuDevice;
 pub use dim::{Dim3, LaunchConfig};
 pub use exec::BlockCtx;
-pub use kernel::{ExecModel, Kernel, KernelResources, LaunchError, TimingHints, VecWidth};
+pub use kernel::{
+    AnalysisBudget, BufferUse, ExecModel, Kernel, KernelResources, LaunchError, TimingHints,
+    VecWidth,
+};
 pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
 pub use profiler::{Counters, KernelProfile, PipelineProfile};
 pub use timing::{KernelTiming, TimingParams};
+pub use trace::{AccessDir, BlockTrace, TraceSink};
 pub use traffic::TrafficSink;

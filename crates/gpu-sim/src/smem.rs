@@ -24,7 +24,13 @@ pub fn warp_transactions(addrs: &[Option<u32>; 32], num_banks: u32) -> u32 {
     // serviced in parallel; replays re-issue the whole warp).
     let mut worst = 0u32;
     let mut seen: [heapless_set::WordSet; 32] = Default::default();
-    debug_assert!(num_banks as usize <= 32, "at most 32 banks supported");
+    // Validated in release builds too: `num_banks = 0` would divide by
+    // zero below, and `num_banks > 32` would index past the 32-slot
+    // per-bank sets.
+    assert!(
+        (1..=32).contains(&num_banks),
+        "num_banks must be in 1..=32, got {num_banks}"
+    );
     for addr in addrs.iter().flatten() {
         let bank = (addr % num_banks) as usize;
         if seen[bank].insert(*addr) {
@@ -210,6 +216,20 @@ mod tests {
                 "trial {trial}: {a:?}"
             );
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "num_banks must be in 1..=32")]
+    fn zero_banks_is_rejected_in_release() {
+        let a = full_warp(|l| l);
+        let _ = warp_transactions(&a, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_banks must be in 1..=32")]
+    fn more_than_32_banks_is_rejected_in_release() {
+        let a = full_warp(|l| l);
+        let _ = warp_transactions(&a, 33);
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Warp-level access traces for static analysis.
+//!
+//! A [`TraceSink`] rides along with a [`crate::traffic::TrafficSink`]
+//! and records every warp-level memory event — which warp issued it,
+//! which shared words / global elements it touched, whether it read or
+//! wrote, and in which *barrier epoch* it happened. The epoch is the
+//! number of `__syncthreads()` barriers the block has executed so far;
+//! two shared-memory accesses are ordered (happen-before) iff they lie
+//! in different epochs or in the same warp. `ks-analyze` consumes the
+//! recorded [`BlockTrace`]s to prove the invariants the paper only
+//! asserts (§III-A/§III-B): race-freedom of the double-buffered tile
+//! pipeline, conflict-freedom of the Fig. 5 swizzled layout, and
+//! barrier convergence.
+//!
+//! Tracing moves no data: it piggybacks on the symbolic
+//! `block_traffic` replay, so paper-scale geometry still traces in
+//! microseconds per block.
+
+use crate::buffer::BufId;
+use crate::traffic::WarpIdx;
+
+/// Direction of a recorded memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessDir {
+    /// Load.
+    Read,
+    /// Store.
+    Write,
+    /// Read-modify-write (global atomics). Orders like a write, but
+    /// atomics to the same word never race with each other.
+    Atomic,
+}
+
+impl AccessDir {
+    /// Whether the access modifies memory.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        !matches!(self, AccessDir::Read)
+    }
+}
+
+/// One warp-wide shared-memory access.
+#[derive(Debug, Clone)]
+pub struct SharedAccess {
+    /// Warp that issued the access (index within the block).
+    pub warp: u32,
+    /// Barrier epoch at issue time.
+    pub epoch: u32,
+    /// Base word index per lane (`None` = inactive lane).
+    pub words: [Option<u32>; 32],
+    /// Words per lane (1 = LDS.32, 2 = LDS.64, 4 = LDS.128).
+    pub vlen: u32,
+    /// Load or store.
+    pub dir: AccessDir,
+}
+
+/// One warp-wide global-memory access.
+#[derive(Debug, Clone)]
+pub struct GlobalAccess {
+    /// Warp that issued the access (index within the block).
+    pub warp: u32,
+    /// Barrier epoch at issue time.
+    pub epoch: u32,
+    /// Buffer the access targets.
+    pub buf: BufId,
+    /// Base element index per lane (`None` = inactive lane).
+    pub idx: WarpIdx,
+    /// Words per lane (1 = LDG.32, 2 = LDG.64, 4 = LDG.128).
+    pub vlen: u32,
+    /// Load, store, or atomic.
+    pub dir: AccessDir,
+}
+
+/// One `__syncthreads()` barrier event.
+#[derive(Debug, Clone, Copy)]
+pub struct BarrierEvent {
+    /// Number of warps that participated.
+    pub warps: u64,
+    /// Epoch the barrier *closed* (accesses with this epoch happened
+    /// before the barrier).
+    pub epoch: u32,
+}
+
+/// All events recorded while replaying one block.
+#[derive(Debug, Clone, Default)]
+pub struct BlockTrace {
+    /// Linear block index (as passed to `begin_block`).
+    pub block: u64,
+    /// Shared-memory accesses in program order.
+    pub shared: Vec<SharedAccess>,
+    /// Global-memory accesses in program order.
+    pub global: Vec<GlobalAccess>,
+    /// Barriers in program order.
+    pub barriers: Vec<BarrierEvent>,
+}
+
+impl BlockTrace {
+    /// Number of barrier epochs in the block (`last epoch + 1`).
+    #[must_use]
+    pub fn epochs(&self) -> u32 {
+        self.barriers.len() as u32 + 1
+    }
+}
+
+/// Recorder for per-block warp-level access traces.
+///
+/// Attach with [`crate::traffic::TrafficSink::set_trace`]; kernels
+/// announce the issuing warp via `begin_warp` on their machine
+/// abstraction, and every subsequent event is tagged with that warp
+/// and the running barrier-epoch counter.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    blocks: Vec<BlockTrace>,
+    warp: u32,
+    epoch: u32,
+}
+
+impl TraceSink {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts recording a new block; resets the warp and epoch state.
+    pub fn begin_block(&mut self, block: u64) {
+        self.blocks.push(BlockTrace {
+            block,
+            ..BlockTrace::default()
+        });
+        self.warp = 0;
+        self.epoch = 0;
+    }
+
+    /// Announces the warp issuing subsequent events.
+    pub fn begin_warp(&mut self, warp: u32) {
+        self.warp = warp;
+    }
+
+    /// Records a shared-memory access by the current warp.
+    pub fn shared(&mut self, words: &[Option<u32>; 32], vlen: u32, dir: AccessDir) {
+        if let Some(b) = self.blocks.last_mut() {
+            b.shared.push(SharedAccess {
+                warp: self.warp,
+                epoch: self.epoch,
+                words: *words,
+                vlen,
+                dir,
+            });
+        }
+    }
+
+    /// Records a global-memory access by the current warp.
+    pub fn global(&mut self, buf: BufId, idx: &WarpIdx, vlen: u32, dir: AccessDir) {
+        if let Some(b) = self.blocks.last_mut() {
+            b.global.push(GlobalAccess {
+                warp: self.warp,
+                epoch: self.epoch,
+                buf,
+                idx: *idx,
+                vlen,
+                dir,
+            });
+        }
+    }
+
+    /// Records a barrier and advances to the next epoch.
+    pub fn barrier(&mut self, warps: u64) {
+        let epoch = self.epoch;
+        if let Some(b) = self.blocks.last_mut() {
+            b.barriers.push(BarrierEvent { warps, epoch });
+        }
+        self.epoch += 1;
+    }
+
+    /// Recorded traces, one per `begin_block` call.
+    #[must_use]
+    pub fn blocks(&self) -> &[BlockTrace] {
+        &self.blocks
+    }
+
+    /// Consumes the recorder, returning the traces.
+    #[must_use]
+    pub fn into_blocks(self) -> Vec<BlockTrace> {
+        self.blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::GlobalMem;
+
+    #[test]
+    fn records_epochs_and_warps() {
+        let mut mem = GlobalMem::new();
+        let buf = mem.alloc_virtual(128);
+        let mut t = TraceSink::new();
+        t.begin_block(0);
+        t.begin_warp(0);
+        t.shared(&[Some(0); 32], 1, AccessDir::Write);
+        t.barrier(8);
+        t.begin_warp(3);
+        t.shared(&[Some(0); 32], 1, AccessDir::Read);
+        t.global(buf, &[Some(5); 32], 4, AccessDir::Write);
+        let blocks = t.into_blocks();
+        assert_eq!(blocks.len(), 1);
+        let b = &blocks[0];
+        assert_eq!(b.epochs(), 2);
+        assert_eq!(b.shared[0].epoch, 0);
+        assert_eq!(b.shared[0].warp, 0);
+        assert!(b.shared[0].dir.is_write());
+        assert_eq!(b.shared[1].epoch, 1);
+        assert_eq!(b.shared[1].warp, 3);
+        assert_eq!(b.barriers[0].epoch, 0);
+        assert_eq!(b.global[0].warp, 3);
+        assert_eq!(b.global[0].vlen, 4);
+    }
+
+    #[test]
+    fn begin_block_resets_state() {
+        let mut t = TraceSink::new();
+        t.begin_block(0);
+        t.begin_warp(7);
+        t.barrier(8);
+        t.begin_block(1);
+        t.shared(&[None; 32], 1, AccessDir::Read);
+        let blocks = t.into_blocks();
+        assert_eq!(blocks[1].shared[0].warp, 0);
+        assert_eq!(blocks[1].shared[0].epoch, 0);
+        assert_eq!(blocks[1].block, 1);
+    }
+}

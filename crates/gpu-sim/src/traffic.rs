@@ -19,6 +19,7 @@ use crate::cache::Cache;
 use crate::coalesce;
 use crate::profiler::Counters;
 use crate::smem;
+use crate::trace::{AccessDir, TraceSink};
 
 /// Lane activity + word index for one warp access: `idx[lane]` is the
 /// element index accessed by the lane, or `None` if inactive.
@@ -56,6 +57,10 @@ pub struct TrafficSink<'a> {
     sector_bytes: u32,
     num_banks: u32,
     mode: SinkMode,
+    /// Optional access-trace recorder (see [`crate::trace`]). Trace
+    /// events are forwarded regardless of [`SinkMode`] so analyses see
+    /// the complete access history.
+    trace: Option<&'a mut TraceSink>,
 }
 
 impl<'a> TrafficSink<'a> {
@@ -71,6 +76,7 @@ impl<'a> TrafficSink<'a> {
             sector_bytes,
             num_banks,
             mode: SinkMode::Full,
+            trace: None,
         }
     }
 
@@ -79,11 +85,29 @@ impl<'a> TrafficSink<'a> {
         self.l1s = Some(l1s);
     }
 
+    /// Attaches a trace recorder; every subsequent warp event is also
+    /// forwarded to it (independent of the [`SinkMode`]).
+    pub fn set_trace(&mut self, trace: &'a mut TraceSink) {
+        self.trace = Some(trace);
+    }
+
     /// Announces the start of a block: the round-robin CTA scheduler
     /// pins it to an SM, selecting which L1 its loads see.
     pub fn begin_block(&mut self, linear_block_idx: u64) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.begin_block(linear_block_idx);
+        }
         if let Some(l1s) = &self.l1s {
             self.current_sm = (linear_block_idx % l1s.len() as u64) as usize;
+        }
+    }
+
+    /// Announces the warp issuing subsequent events. Only meaningful
+    /// for tracing; counters are warp-agnostic, so this never changes
+    /// profiled numbers.
+    pub fn begin_warp(&mut self, warp: u32) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.begin_warp(warp);
         }
     }
 
@@ -120,6 +144,9 @@ impl<'a> TrafficSink<'a> {
     /// (`vlen`=1: LDG.32, 4: LDG.128). One instruction; sectors are
     /// deduplicated then serviced by the L2.
     pub fn global_read(&mut self, buf: BufId, idx: &WarpIdx, vlen: u32) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.global(buf, idx, vlen, AccessDir::Read);
+        }
         if !self.record_global() {
             return;
         }
@@ -152,6 +179,9 @@ impl<'a> TrafficSink<'a> {
 
     /// Warp global store of `vlen` consecutive words per lane.
     pub fn global_write(&mut self, buf: BufId, idx: &WarpIdx, vlen: u32) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.global(buf, idx, vlen, AccessDir::Write);
+        }
         if !self.record_global() {
             return;
         }
@@ -176,6 +206,9 @@ impl<'a> TrafficSink<'a> {
     /// are resolved by the L2 atomic unit on Maxwell: each touched
     /// sector performs a read-modify-write in L2.
     pub fn global_atomic(&mut self, buf: BufId, idx: &WarpIdx) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.global(buf, idx, 1, AccessDir::Atomic);
+        }
         if !self.record_global() {
             return;
         }
@@ -201,6 +234,9 @@ impl<'a> TrafficSink<'a> {
     /// starting at word index `word[l]`. One instruction, `vlen`
     /// word-phases of bank-conflict analysis.
     pub fn shared_read(&mut self, word: &[Option<u32>; 32], vlen: u32) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.shared(word, vlen, AccessDir::Read);
+        }
         if !self.record_local() {
             return;
         }
@@ -215,6 +251,9 @@ impl<'a> TrafficSink<'a> {
 
     /// Warp shared store (see [`TrafficSink::shared_read`]).
     pub fn shared_write(&mut self, word: &[Option<u32>; 32], vlen: u32) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.shared(word, vlen, AccessDir::Write);
+        }
         if !self.record_local() {
             return;
         }
@@ -269,6 +308,9 @@ impl<'a> TrafficSink<'a> {
 
     /// One `__syncthreads()` executed by `warps` warps of the block.
     pub fn syncthreads(&mut self, warps: u64) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.barrier(warps);
+        }
         if !self.record_local() {
             return;
         }

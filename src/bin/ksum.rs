@@ -4,6 +4,7 @@
 //! ksum solve   --m 4096 --n 1024 --k 32 --h 1.0 --backend cpu-fused
 //! ksum profile --m 16384 --n 1024 --k 32 --variant fused
 //! ksum compare --m 8192 --n 1024 --k 64
+//! ksum lint    [--out findings.txt]
 //! ```
 
 use std::process::ExitCode;
@@ -139,12 +140,43 @@ fn cmd_compare(a: &Args) {
     }
 }
 
+fn cmd_lint(rest: &[String]) -> ExitCode {
+    let mut out: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out = Some(it.next().expect("missing value for --out").clone()),
+            other => panic!("unknown flag {other} (lint takes only --out PATH)"),
+        }
+    }
+    let dev = kernel_summation::gpu_sim::config::DeviceConfig::gtx970();
+    println!("linting recorded warp traces on a simulated {}", dev.name);
+    let report = kernel_summation::analyze::lint_report(&dev);
+    let table = report.table();
+    println!("{table}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, &table) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("findings table written to {path}");
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let Some(cmd) = args.get(1) else {
-        eprintln!("usage: ksum <solve|profile|compare> [--m M] [--n N] [--k K] [--h H] [--seed S] [--backend B] [--variant V]");
+        eprintln!("usage: ksum <solve|profile|compare|lint> [--m M] [--n N] [--k K] [--h H] [--seed S] [--backend B] [--variant V] | lint [--out PATH]");
         return ExitCode::FAILURE;
     };
+    if cmd == "lint" {
+        return cmd_lint(&args[2..]);
+    }
     let a = parse(&args[2..]);
     match cmd.as_str() {
         "solve" => cmd_solve(&a),

@@ -8,6 +8,7 @@
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory; `EXPERIMENTS.md` records the paper-vs-measured numbers.
 
+pub use ks_analyze as analyze;
 pub use ks_blas as blas;
 pub use ks_core as core;
 pub use ks_energy as energy;
