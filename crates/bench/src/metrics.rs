@@ -9,9 +9,11 @@
 //! the perf-regression harness ([`crate::regress`]) diffs against a
 //! checked-in golden.
 
-use ks_energy::EnergyBreakdown;
+use ks_energy::{pipeline_energy, EnergyBreakdown, EnergyParams};
+use ks_gpu_sim::config::DeviceConfig;
 use ks_gpu_sim::profiler::{Counters, MemTraffic, PipelineProfile};
 use ks_gpu_sim::report;
+use ks_serve::ServeReport;
 use serde::{Deserialize, Serialize};
 
 use crate::data::{PointData, SweepData};
@@ -188,6 +190,100 @@ impl SweepMetrics {
     /// Propagates the I/O error.
     pub fn write_csv(&self, path: &str) -> std::io::Result<()> {
         std::fs::write(path, self.to_csv())
+    }
+}
+
+/// The `serve-bench` export: end-of-run serving counters plus the
+/// merged GPU pipeline summary (when any GPU batch completed),
+/// reusing the [`PipelineMetrics`] schema the sweep export uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeMetrics {
+    /// Export schema version (see [`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Queries offered to the server.
+    pub submitted: u64,
+    /// Queries accepted into the queue.
+    pub accepted: u64,
+    /// Queries bounced by backpressure.
+    pub rejected: u64,
+    /// Queries that produced a result.
+    pub completed: u64,
+    /// Queries dropped for a passed deadline.
+    pub expired: u64,
+    /// Queries failed with a launch error.
+    pub failed: u64,
+    /// Batches recovered on the CPU after a GPU launch failure.
+    pub fallbacks: u64,
+    /// Coalesced solves executed.
+    pub batches: u64,
+    /// Queries served through those solves.
+    pub batched_queries: u64,
+    /// Plan-cache hits.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses.
+    pub plan_cache_misses: u64,
+    /// Plan-cache evictions.
+    pub plan_cache_evictions: u64,
+    /// Plan-cache hit rate over batch lookups.
+    pub plan_cache_hit_rate: f64,
+    /// Deepest queue occupancy observed.
+    pub queue_high_water: u64,
+    /// Merged GPU pipeline metrics (all batches' kernels in execution
+    /// order); `None` when no GPU batch completed.
+    pub gpu: Option<PipelineMetrics>,
+}
+
+impl ServeMetrics {
+    /// Flattens a serving run into the export schema. `device` is the
+    /// simulated device the server ran batches on (its peak FLOP/s is
+    /// the efficiency denominator).
+    #[must_use]
+    pub fn collect(report: &ServeReport, device: &DeviceConfig) -> Self {
+        let gpu = (!report.profiles.is_empty()).then(|| {
+            let merged = report.merged_profile();
+            let energy = pipeline_energy(&EnergyParams::default(), &merged);
+            PipelineMetrics::collect(&merged, &energy, device.peak_sp_gflops())
+        });
+        Self {
+            schema_version: SCHEMA_VERSION,
+            submitted: report.submitted,
+            accepted: report.accepted,
+            rejected: report.rejected,
+            completed: report.completed,
+            expired: report.expired,
+            failed: report.failed,
+            fallbacks: report.fallbacks,
+            batches: report.batches,
+            batched_queries: report.batched_queries,
+            plan_cache_hits: report.plan_cache.hits,
+            plan_cache_misses: report.plan_cache.misses,
+            plan_cache_evictions: report.plan_cache.evictions,
+            plan_cache_hit_rate: report.hit_rate(),
+            queue_high_water: report.queue_high_water as u64,
+            gpu,
+        }
+    }
+
+    /// Pretty-printed JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics serialise")
+    }
+
+    /// Parses a document produced by [`ServeMetrics::to_json`].
+    ///
+    /// # Errors
+    /// Returns the underlying parse/shape error message.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes [`ServeMetrics::to_json`] to `path`.
+    ///
+    /// # Errors
+    /// Propagates the I/O error.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
     }
 }
 

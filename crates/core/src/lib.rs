@@ -45,6 +45,7 @@ pub mod gpu;
 pub mod kernels;
 pub mod logspace;
 pub mod multi;
+pub mod plan;
 pub mod problem;
 pub mod reference;
 pub mod validate;
@@ -54,6 +55,7 @@ pub use gpu::{GpuReport, GpuSolveOutput};
 pub use kernels::{CauchyKernel, GaussianKernel, KernelFunction, LaplaceKernel, PolynomialKernel};
 pub use logspace::solve_logspace;
 pub use multi::{solve_multi_fused, solve_multi_reference, solve_multi_unfused};
+pub use plan::{solve_multi_planned, SourcePlan, SourceSet, SourceSetId};
 pub use problem::{Backend, KernelSumProblem, PointSet, ProblemBuilder};
 pub use validate::{max_rel_error, rel_l2_error};
 

@@ -12,12 +12,11 @@
 //! gestures at (§VI): the fused structure is unchanged; only the
 //! intra-tile reduction widens.
 
-use ks_blas::{
-    col_sq_norms, gemm_blocked, gemm_parallel, row_sq_norms, GemmConfig, Layout, Matrix,
-};
+use ks_blas::{col_sq_norms, gemm_parallel, row_sq_norms, GemmConfig, Layout, Matrix};
 use rayon::prelude::*;
 
 use crate::cpu_fused::FusedCpuConfig;
+use crate::plan::{solve_multi_planned, SourcePlan};
 use crate::problem::KernelSumProblem;
 
 fn check_weights(p: &KernelSumProblem, weights: &Matrix) {
@@ -100,61 +99,17 @@ pub fn solve_multi_unfused(p: &KernelSumProblem, weights: &Matrix) -> Matrix {
 /// Fused multi-weight evaluation: per-tile GEMM → evaluate → fold all
 /// `R` weight columns while the tile is cache-resident.
 ///
+/// Delegates to [`solve_multi_planned`] over a freshly built
+/// [`SourcePlan`], so single-shot and plan-cached serving paths are
+/// bit-identical by construction.
+///
 /// # Panics
 /// Panics if `weights` is not `N×R` or the configuration is invalid.
 #[must_use]
 pub fn solve_multi_fused(p: &KernelSumProblem, weights: &Matrix, cfg: &FusedCpuConfig) -> Matrix {
     check_weights(p, weights);
-    cfg.validate();
-    let (m, n, _) = p.dims();
-    let r = weights.cols();
-    let a = p.sources().as_row_major();
-    let b = p.targets().as_col_major_transposed();
-    let vec_a = row_sq_norms(&a);
-    let vec_b = col_sq_norms(&b);
-    let kernel = p.kernel();
-
-    let blocks: Vec<usize> = (0..m).step_by(cfg.mb).collect();
-    let chunks: Vec<(usize, Matrix)> = blocks
-        .par_iter()
-        .map(|&i0| {
-            let mb = cfg.mb.min(m - i0);
-            let mut v_local = Matrix::zeros(mb, r, Layout::RowMajor);
-            let a_block =
-                Matrix::from_fn(mb, a.cols(), Layout::RowMajor, |rr, cc| a.get(i0 + rr, cc));
-            let mut scratch = Matrix::zeros(mb, cfg.nb.min(n).max(1), Layout::RowMajor);
-            for j0 in (0..n).step_by(cfg.nb) {
-                let nb = cfg.nb.min(n - j0);
-                let b_block =
-                    Matrix::from_fn(b.rows(), nb, Layout::ColMajor, |rr, cc| b.get(rr, j0 + cc));
-                if scratch.cols() != nb {
-                    scratch = Matrix::zeros(mb, nb, Layout::RowMajor);
-                }
-                gemm_blocked(1.0, &a_block, &b_block, 0.0, &mut scratch, cfg.gemm);
-                for rr in 0..mb {
-                    let na = vec_a[i0 + rr];
-                    for cc in 0..nb {
-                        let d2 = na + vec_b[j0 + cc] - 2.0 * scratch.get(rr, cc);
-                        let kv = kernel.eval(d2, na, vec_b[j0 + cc]);
-                        for ch in 0..r {
-                            v_local.add_assign(rr, ch, kv * weights.get(j0 + cc, ch));
-                        }
-                    }
-                }
-            }
-            (i0, v_local)
-        })
-        .collect();
-
-    let mut v = Matrix::zeros(m, r, Layout::RowMajor);
-    for (i0, local) in chunks {
-        for rr in 0..local.rows() {
-            for ch in 0..r {
-                v.set(i0 + rr, ch, local.get(rr, ch));
-            }
-        }
-    }
-    v
+    let plan = SourcePlan::build(p.sources());
+    solve_multi_planned(&plan, p.targets(), p.kernel(), weights, cfg)
 }
 
 #[cfg(test)]

@@ -1,0 +1,304 @@
+//! Source-set handles and reusable solve plans (the serving split).
+//!
+//! A production deployment serves many queries against a handful of
+//! long-lived *source sets* (the corpus `A`). Everything that depends
+//! only on `A` — the row-major pack and the row square norms — can be
+//! computed once and reused across queries, exactly as the paper's
+//! fused kernel amortises the `M×N` intermediate across one query
+//! (§III): the reuse argument is the same, lifted from intra-kernel to
+//! inter-request.
+//!
+//! [`SourceSet`] wraps a [`PointSet`] with a process-unique identity
+//! so caches can key on *which* corpus a query references instead of
+//! hashing megabytes of coordinates. [`SourcePlan`] is the cacheable
+//! artifact; [`solve_multi_planned`] is [`crate::multi::solve_multi_fused`]
+//! with the `A`-side precomputation factored out (the single-shot
+//! entry point now delegates here, so planned and unplanned solves are
+//! bit-identical by construction).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ks_blas::{col_sq_norms, gemm_blocked, row_sq_norms, Layout, Matrix};
+use rayon::prelude::*;
+
+use crate::cpu_fused::FusedCpuConfig;
+use crate::kernels::KernelFunction;
+use crate::problem::PointSet;
+
+/// Process-unique identity of a [`SourceSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceSetId(u64);
+
+impl SourceSetId {
+    /// The raw identifier.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+static NEXT_SOURCE_SET_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A registered source corpus: shared, immutable points plus a
+/// process-unique id. Clones share both the points (via `Arc`) and
+/// the identity, so two queries built from clones of one handle are
+/// recognisably "the same corpus" without comparing coordinates.
+#[derive(Debug, Clone)]
+pub struct SourceSet {
+    id: SourceSetId,
+    points: Arc<PointSet>,
+}
+
+impl SourceSet {
+    /// Registers a point set as a corpus, minting a fresh id.
+    #[must_use]
+    pub fn new(points: PointSet) -> Self {
+        Self {
+            id: SourceSetId(NEXT_SOURCE_SET_ID.fetch_add(1, Ordering::Relaxed)),
+            points: Arc::new(points),
+        }
+    }
+
+    /// The corpus identity.
+    #[must_use]
+    pub fn id(&self) -> SourceSetId {
+        self.id
+    }
+
+    /// The underlying points.
+    #[must_use]
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+
+    /// Number of points (the problem's `M`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the corpus holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Point-space dimension (the problem's `K`).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.points.dim()
+    }
+}
+
+/// The `A`-side precomputation of a fused multi-weight solve: the
+/// packed row-major source matrix and its row square norms. Building
+/// one costs `O(M·K)`; reusing one saves exactly that per query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourcePlan {
+    a: Matrix,
+    row_sq_norms: Vec<f32>,
+}
+
+impl SourcePlan {
+    /// Builds the plan for a point set.
+    #[must_use]
+    pub fn build(sources: &PointSet) -> Self {
+        let a = sources.as_row_major();
+        let row_sq_norms = row_sq_norms(&a);
+        Self { a, row_sq_norms }
+    }
+
+    /// The packed row-major `M×K` source matrix.
+    #[must_use]
+    pub fn a(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// Precomputed `‖α_i‖²` per source row.
+    #[must_use]
+    pub fn row_sq_norms(&self) -> &[f32] {
+        &self.row_sq_norms
+    }
+
+    /// `(M, K)` of the planned corpus.
+    #[must_use]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.a.rows(), self.a.cols())
+    }
+
+    /// The pack payload as raw words — what a cache-consistency check
+    /// should compare bit-for-bit (plan building is deterministic, so
+    /// evicting and rebuilding must reproduce these exact bytes).
+    #[must_use]
+    pub fn pack_words(&self) -> &[f32] {
+        self.a.as_slice()
+    }
+}
+
+/// Fused multi-weight evaluation against a prebuilt [`SourcePlan`]:
+/// per-tile GEMM → kernel evaluation → fold of all `R` weight columns,
+/// with the `A`-side pack and norms taken from the plan.
+///
+/// [`crate::multi::solve_multi_fused`] delegates here, so for any
+/// query the planned result is **bit-identical** to the single-shot
+/// solve — the invariant the serving layer's differential tests pin.
+///
+/// # Panics
+/// Panics if `targets` and the plan disagree on the point dimension,
+/// `weights` is not `N×R`, or the configuration is invalid.
+#[must_use]
+pub fn solve_multi_planned(
+    plan: &SourcePlan,
+    targets: &PointSet,
+    kernel: &dyn KernelFunction,
+    weights: &Matrix,
+    cfg: &FusedCpuConfig,
+) -> Matrix {
+    cfg.validate();
+    let (m, k) = plan.dims();
+    let n = targets.len();
+    assert_eq!(
+        targets.dim(),
+        k,
+        "target dimension {} does not match the plan's K = {k}",
+        targets.dim()
+    );
+    assert_eq!(
+        weights.rows(),
+        n,
+        "weight matrix must have one row per target (N = {n})"
+    );
+    assert!(weights.cols() > 0, "need at least one weight column");
+    let r = weights.cols();
+    let a = plan.a();
+    let vec_a = plan.row_sq_norms();
+    let b = targets.as_col_major_transposed();
+    let vec_b = col_sq_norms(&b);
+
+    let blocks: Vec<usize> = (0..m).step_by(cfg.mb).collect();
+    let chunks: Vec<(usize, Matrix)> = blocks
+        .par_iter()
+        .map(|&i0| {
+            let mb = cfg.mb.min(m - i0);
+            let mut v_local = Matrix::zeros(mb, r, Layout::RowMajor);
+            let a_block =
+                Matrix::from_fn(mb, a.cols(), Layout::RowMajor, |rr, cc| a.get(i0 + rr, cc));
+            let mut scratch = Matrix::zeros(mb, cfg.nb.min(n).max(1), Layout::RowMajor);
+            for j0 in (0..n).step_by(cfg.nb) {
+                let nb = cfg.nb.min(n - j0);
+                let b_block =
+                    Matrix::from_fn(b.rows(), nb, Layout::ColMajor, |rr, cc| b.get(rr, j0 + cc));
+                if scratch.cols() != nb {
+                    scratch = Matrix::zeros(mb, nb, Layout::RowMajor);
+                }
+                gemm_blocked(1.0, &a_block, &b_block, 0.0, &mut scratch, cfg.gemm);
+                for rr in 0..mb {
+                    let na = vec_a[i0 + rr];
+                    for cc in 0..nb {
+                        let d2 = na + vec_b[j0 + cc] - 2.0 * scratch.get(rr, cc);
+                        let kv = kernel.eval(d2, na, vec_b[j0 + cc]);
+                        for ch in 0..r {
+                            v_local.add_assign(rr, ch, kv * weights.get(j0 + cc, ch));
+                        }
+                    }
+                }
+            }
+            (i0, v_local)
+        })
+        .collect();
+
+    let mut v = Matrix::zeros(m, r, Layout::RowMajor);
+    for (i0, local) in chunks {
+        for rr in 0..local.rows() {
+            for ch in 0..r {
+                v.set(i0 + rr, ch, local.get(rr, ch));
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::GaussianKernel;
+    use crate::multi::solve_multi_fused;
+    use crate::problem::KernelSumProblem;
+
+    fn rand_weights(n: usize, r: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        Matrix::from_fn(n, r, Layout::RowMajor, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+    }
+
+    #[test]
+    fn source_set_ids_are_unique_and_shared_by_clones() {
+        let a = SourceSet::new(PointSet::uniform_cube(8, 3, 1));
+        let b = SourceSet::new(PointSet::uniform_cube(8, 3, 1));
+        assert_ne!(a.id(), b.id(), "identical contents, distinct corpora");
+        let a2 = a.clone();
+        assert_eq!(a.id(), a2.id());
+        assert_eq!(a.len(), 8);
+        assert_eq!(a.dim(), 3);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn plan_build_is_deterministic_bit_for_bit() {
+        let pts = PointSet::uniform_cube(40, 6, 9);
+        let p1 = SourcePlan::build(&pts);
+        let p2 = SourcePlan::build(&pts);
+        assert_eq!(p1, p2);
+        let bits1: Vec<u32> = p1.pack_words().iter().map(|v| v.to_bits()).collect();
+        let bits2: Vec<u32> = p2.pack_words().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits1, bits2);
+        assert_eq!(p1.dims(), (40, 6));
+        assert_eq!(p1.row_sq_norms().len(), 40);
+    }
+
+    #[test]
+    fn planned_solve_is_bit_identical_to_single_shot() {
+        let sources = PointSet::uniform_cube(70, 5, 11);
+        let targets = PointSet::uniform_cube(44, 5, 12);
+        let w = rand_weights(44, 3, 13);
+        let kernel = GaussianKernel { h: 0.7 };
+        let p = KernelSumProblem::builder()
+            .sources(sources.clone())
+            .targets(targets.clone())
+            .unit_weights()
+            .kernel(kernel)
+            .build();
+        let single = solve_multi_fused(&p, &w, &FusedCpuConfig::default());
+        let plan = SourcePlan::build(&sources);
+        let planned = solve_multi_planned(&plan, &targets, &kernel, &w, &FusedCpuConfig::default());
+        for i in 0..single.rows() {
+            for j in 0..single.cols() {
+                assert_eq!(
+                    single.get(i, j).to_bits(),
+                    planned.get(i, j).to_bits(),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the plan")]
+    fn planned_solve_rejects_dim_mismatch() {
+        let plan = SourcePlan::build(&PointSet::uniform_cube(16, 4, 1));
+        let targets = PointSet::uniform_cube(8, 5, 2);
+        let w = rand_weights(8, 1, 3);
+        let _ = solve_multi_planned(
+            &plan,
+            &targets,
+            &GaussianKernel { h: 1.0 },
+            &w,
+            &FusedCpuConfig::default(),
+        );
+    }
+}

@@ -20,16 +20,18 @@
 //! coalesced atomics).
 
 use ks_gpu_sim::buffer::BufId;
+use ks_gpu_sim::device::GpuDevice;
 use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
 use ks_gpu_sim::kernel::VecWidth;
 use ks_gpu_sim::kernel::{
-    AnalysisBudget, BufferUse, ExecModel, Kernel, KernelResources, TimingHints,
+    AnalysisBudget, BufferUse, ExecModel, Kernel, KernelResources, LaunchError, TimingHints,
 };
 use ks_gpu_sim::occupancy::OccupancyLimiter;
+use ks_gpu_sim::profiler::PipelineProfile;
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
-use crate::aux_kernels::{gaussian, Bandwidth};
+use crate::aux_kernels::{gaussian, Bandwidth, NormsKernel};
 use crate::gemm_engine::{fresh_acc, gemm_block, GemmOperands, GemmShape, Microtile, SmemMap};
 use crate::layout::SmemLayout;
 use crate::machine::{FunctionalMachine, TrafficMachine, WarpMachine};
@@ -338,6 +340,77 @@ impl Kernel for FusedMultiWeight {
     }
 }
 
+/// Label under which served batches appear in profiles and metrics.
+pub const FUSED_MULTI_PIPELINE: &str = "Fused-Multi";
+
+/// Batched serving entry: runs the multi-weight pipeline end to end on
+/// `dev` — `norms(B)`, `norms(A)` **unless** precomputed row norms are
+/// supplied (the plan-cache hit path uploads them instead of
+/// relaunching the kernel), then the fused multi-weight kernel — and
+/// returns the `M×R` column-major result plus the pipeline profile.
+///
+/// `w_cols` is `N×R` column-major (column `c` of query `c` contiguous
+/// at offset `c·N`); the result places query `c` at `c·M..c·M+M`.
+///
+/// # Errors
+/// Propagates launch-validation failures from any kernel.
+///
+/// # Panics
+/// Panics if the shape violates the tiling constraints, buffer
+/// lengths disagree with the shape, `w_cols` is not a whole number of
+/// columns, or the column count is outside `1..=MAX_WEIGHT_COLUMNS`.
+pub fn execute_fused_multi(
+    dev: &mut GpuDevice,
+    shape: GemmShape,
+    h: f32,
+    a: &[f32],
+    b: &[f32],
+    w_cols: &[f32],
+    a2: Option<&[f32]>,
+) -> Result<(Vec<f32>, PipelineProfile), LaunchError> {
+    shape.validate();
+    let (m, n, k) = (shape.m, shape.n, shape.k);
+    assert_eq!(a.len(), m * k, "A must be M·K elements");
+    assert_eq!(b.len(), k * n, "B must be K·N elements");
+    assert_eq!(w_cols.len() % n, 0, "W must be a whole number of columns");
+    let r = w_cols.len() / n;
+    if let Some(norms) = a2 {
+        assert_eq!(norms.len(), m, "precomputed row norms must be M elements");
+    }
+    let bw = Bandwidth { h };
+    let _ = bw.inv_2h2(); // validates h
+
+    let ops = GemmOperands {
+        a: dev.upload(a),
+        b: dev.upload(b),
+    };
+    let a2_buf = match a2 {
+        Some(norms) => dev.upload(norms),
+        None => dev.alloc(m),
+    };
+    let b2_buf = dev.alloc(n);
+    let w_buf = dev.upload(w_cols);
+    let v_buf = dev.alloc(m * r);
+    dev.invalidate_l2();
+    dev.memset_zero(v_buf); // cudaMemset before the atomic reduction
+
+    let mut kernels: Vec<Box<dyn Kernel>> = Vec::with_capacity(3);
+    if a2.is_none() {
+        kernels.push(Box::new(NormsKernel::new(ops.a, a2_buf, m, k, "a")));
+    }
+    kernels.push(Box::new(NormsKernel::new(ops.b, b2_buf, n, k, "b")));
+    kernels.push(Box::new(FusedMultiWeight::new(
+        ops, a2_buf, b2_buf, w_buf, v_buf, shape, bw, r,
+    )));
+
+    let mut prof = PipelineProfile::new(FUSED_MULTI_PIPELINE);
+    for kern in kernels {
+        prof.kernels.push(dev.launch(kern.as_ref())?);
+        dev.run(kern.as_ref())?;
+    }
+    Ok((dev.download(v_buf), prof))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,6 +632,75 @@ mod tests {
             "multi {multi_time} vs {r}x single {}",
             r as f64 * single_time
         );
+    }
+
+    #[test]
+    fn batched_entry_matches_reference_and_profiles_every_kernel() {
+        let shape = GemmShape {
+            m: 128,
+            n: 256,
+            k: 16,
+        };
+        let s = setup(shape, 3, 91);
+        let mut dev = GpuDevice::gtx970();
+        let (got, prof) =
+            execute_fused_multi(&mut dev, shape, 1.0, &s.a, &s.b, &s.w, None).unwrap();
+        assert_eq!(prof.name, FUSED_MULTI_PIPELINE);
+        assert_eq!(prof.kernels.len(), 3, "norms(A), norms(B), fused-multi");
+        let want = reference(&s);
+        for (i, (g, x)) in got.iter().zip(want.iter()).enumerate() {
+            assert!(
+                (g - x).abs() < 3e-3 * x.abs().max(1.0),
+                "idx {i}: {g} vs {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn precomputed_norms_skip_a_kernel_and_save_dram() {
+        // The DRAM saving shows up when the corpus does not stay
+        // L2-resident between the norms pass and the fused pass — the
+        // production-serving regime. Model inter-request cache
+        // pressure with a 64 KB effective L2 (A alone is 128 KB).
+        let small_l2 = || {
+            let mut cfg = ks_gpu_sim::config::DeviceConfig::gtx970();
+            cfg.l2_bytes = 64 * 1024;
+            GpuDevice::new(cfg)
+        };
+        let shape = GemmShape {
+            m: 1024,
+            n: 128,
+            k: 32,
+        };
+        let s = setup(shape, 2, 101);
+        let a2: Vec<f32> = (0..shape.m)
+            .map(|i| {
+                s.a[i * shape.k..(i + 1) * shape.k]
+                    .iter()
+                    .map(|v| v * v)
+                    .sum()
+            })
+            .collect();
+        let mut d_cold = small_l2();
+        let (v_cold, p_cold) =
+            execute_fused_multi(&mut d_cold, shape, 1.0, &s.a, &s.b, &s.w, None).unwrap();
+        let mut d_hit = small_l2();
+        let (v_hit, p_hit) =
+            execute_fused_multi(&mut d_hit, shape, 1.0, &s.a, &s.b, &s.w, Some(&a2)).unwrap();
+        assert_eq!(p_cold.kernels.len(), 3);
+        assert_eq!(p_hit.kernels.len(), 2, "norms(A) skipped on a plan hit");
+        assert!(
+            p_hit.total_mem().dram_transactions() < p_cold.total_mem().dram_transactions(),
+            "plan reuse must save DRAM: {} vs {}",
+            p_hit.total_mem().dram_transactions(),
+            p_cold.total_mem().dram_transactions()
+        );
+        for (i, (a, b)) in v_cold.iter().zip(v_hit.iter()).enumerate() {
+            assert!(
+                (a - b).abs() < 2e-3 * a.abs().max(1.0),
+                "idx {i}: {a} vs {b}"
+            );
+        }
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub mod sgemm;
 pub mod small_micro;
 
 pub use fused::FusedKernelSummation;
-pub use fused_multi::FusedMultiWeight;
+pub use fused_multi::{
+    execute_fused_multi, FusedMultiWeight, FUSED_MULTI_PIPELINE, MAX_WEIGHT_COLUMNS,
+};
 pub use layout::SmemLayout;
 pub use pipelines::{GpuKernelSummation, GpuVariant, ProblemDims};
 pub use sgemm::{CudaSgemm, VendorSgemm};

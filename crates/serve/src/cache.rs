@@ -1,0 +1,209 @@
+//! The plan cache: LRU-evicted `A`-side precomputation per corpus.
+//!
+//! Keyed by `(source-set id, M, K, h)` — everything the cached
+//! [`SourcePlan`] (packed `A` + row square norms) is valid for. The
+//! cache is the cross-request analogue of the paper's intra-kernel
+//! reuse: a hit skips the `O(M·K)` host pack/norms pass *and* lets the
+//! GPU path skip the `norms(A)` kernel launch entirely.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ks_core::plan::{SourcePlan, SourceSet, SourceSetId};
+
+/// Cache key: the corpus identity plus every parameter the plan
+/// depends on (dimensions pin the id against corpus reuse across
+/// rebuilds; `h` is carried bit-exactly so distinct bandwidths never
+/// alias).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Corpus identity.
+    pub source: SourceSetId,
+    /// Source count `M`.
+    pub m: usize,
+    /// Point dimension `K`.
+    pub k: usize,
+    /// Gaussian bandwidth, bit-exact.
+    pub h_bits: u32,
+}
+
+impl PlanKey {
+    /// Builds the key for a corpus/bandwidth pair.
+    #[must_use]
+    pub fn new(source: &SourceSet, h: f32) -> Self {
+        Self {
+            source: source.id(),
+            m: source.len(),
+            k: source.dim(),
+            h_bits: h.to_bits(),
+        }
+    }
+}
+
+/// Hit/miss/eviction counters. `hits + misses` equals the number of
+/// [`PlanCache::get_or_build`] calls.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the plan.
+    pub misses: u64,
+    /// Entries displaced by the LRU policy.
+    pub evictions: u64,
+}
+
+impl PlanCacheStats {
+    /// Total lookups.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when unused).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.accesses() as f64
+    }
+}
+
+/// A bounded LRU map from [`PlanKey`] to shared [`SourcePlan`]s.
+pub struct PlanCache {
+    capacity: usize,
+    map: HashMap<PlanKey, Arc<SourcePlan>>,
+    /// Recency order, least-recently-used first.
+    lru: Vec<PlanKey>,
+    stats: PlanCacheStats,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "plan cache capacity must be positive");
+        Self {
+            capacity,
+            map: HashMap::new(),
+            lru: Vec::new(),
+            stats: PlanCacheStats::default(),
+        }
+    }
+
+    /// Looks up `key`, building (and inserting) the plan on a miss.
+    /// Returns the plan and whether it was a hit. Eviction is strict
+    /// LRU over `get_or_build` accesses.
+    pub fn get_or_build(
+        &mut self,
+        key: PlanKey,
+        build: impl FnOnce() -> SourcePlan,
+    ) -> (Arc<SourcePlan>, bool) {
+        if let Some(plan) = self.map.get(&key) {
+            let plan = Arc::clone(plan);
+            self.touch(key);
+            self.stats.hits += 1;
+            return (plan, true);
+        }
+        self.stats.misses += 1;
+        if self.map.len() >= self.capacity {
+            let victim = self.lru.remove(0);
+            self.map.remove(&victim);
+            self.stats.evictions += 1;
+        }
+        let plan = Arc::new(build());
+        self.map.insert(key, Arc::clone(&plan));
+        self.lru.push(key);
+        (plan, false)
+    }
+
+    fn touch(&mut self, key: PlanKey) {
+        let pos = self.lru.iter().position(|k| *k == key).expect("in map");
+        let k = self.lru.remove(pos);
+        self.lru.push(k);
+    }
+
+    /// True if `key` is currently cached (no recency effect).
+    #[must_use]
+    pub fn contains(&self, key: &PlanKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Cached plan count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_core::problem::PointSet;
+
+    fn corpus(n: usize, seed: u64) -> SourceSet {
+        SourceSet::new(PointSet::uniform_cube(n, 4, seed))
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let (a, b, c) = (corpus(8, 1), corpus(8, 2), corpus(8, 3));
+        let (ka, kb, kc) = (
+            PlanKey::new(&a, 1.0),
+            PlanKey::new(&b, 1.0),
+            PlanKey::new(&c, 1.0),
+        );
+        let mut cache = PlanCache::new(2);
+        let (_, hit) = cache.get_or_build(ka, || SourcePlan::build(a.points()));
+        assert!(!hit);
+        let (_, hit) = cache.get_or_build(kb, || SourcePlan::build(b.points()));
+        assert!(!hit);
+        let (_, hit) = cache.get_or_build(ka, || SourcePlan::build(a.points()));
+        assert!(hit, "a is warm");
+        // Inserting c evicts b (LRU after a's touch), not a.
+        let (_, hit) = cache.get_or_build(kc, || SourcePlan::build(c.points()));
+        assert!(!hit);
+        assert!(cache.contains(&ka));
+        assert!(!cache.contains(&kb));
+        assert_eq!(cache.len(), 2);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 3, 1));
+        assert!((s.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_bandwidths_do_not_alias() {
+        let a = corpus(8, 9);
+        let mut cache = PlanCache::new(4);
+        let _ = cache.get_or_build(PlanKey::new(&a, 0.5), || SourcePlan::build(a.points()));
+        let (_, hit) = cache.get_or_build(PlanKey::new(&a, 0.7), || SourcePlan::build(a.points()));
+        assert!(!hit, "different h is a different plan key");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = PlanCache::new(0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # ks-serve — batched kernel-summation serving
+//!
+//! Production kernel-summation workloads are *query streams*: many
+//! clients evaluate Gaussian sums against a handful of long-lived
+//! source corpora. This crate lifts the paper's reuse argument from
+//! the kernel to the service: just as the fused kernel amortises the
+//! `M×N` intermediate across one query (§III), the server amortises
+//! the `A`-side precomputation across the stream.
+//!
+//! * [`queue`] — bounded submission queue; a full queue *rejects*
+//!   (explicit backpressure) instead of blocking or growing.
+//! * [`server`] — the scheduler: queries sharing
+//!   `(corpus, bandwidth, targets)` coalesce into one multi-weight
+//!   fused solve, each contributing a weight column; per-query
+//!   deadlines; CPU-fused fallback when a simulated-GPU launch fails.
+//! * [`cache`] — the LRU plan cache keyed by `(corpus id, M, K, h)`;
+//!   a hit skips the host-side pack/norms pass and the `norms(A)`
+//!   kernel launch.
+//! * [`executor`] — one coalesced batch on either backend. The CPU
+//!   path is bit-deterministic and column-wise identical to the
+//!   single-shot solver; the GPU path pads to the tiling constraints.
+//! * [`workload`] — deterministic synthetic arrival streams and the
+//!   multi-client driver behind `ksum serve-bench`.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod executor;
+pub mod queue;
+pub mod server;
+pub mod workload;
+
+pub use cache::{PlanCache, PlanCacheStats, PlanKey};
+pub use executor::MAX_GPU_BATCH;
+pub use queue::BoundedQueue;
+pub use server::{
+    FaultInjection, Query, ServeBackend, ServeConfig, ServeError, ServeReport, Server, Submit,
+    Ticket,
+};
+pub use workload::{generate_queries, run_workload, smoke_workload, WorkloadConfig};

@@ -1,0 +1,158 @@
+//! Bounded multi-producer submission queue with explicit rejection.
+//!
+//! Backpressure is the load-shedding contract of the service: when the
+//! queue is full, [`BoundedQueue::try_push`] returns the item to the
+//! caller instead of blocking or growing — the server surfaces that as
+//! [`crate::server::Submit::Rejected`]. The queue also records its
+//! high-water mark so tests can prove the bound was never exceeded.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    high_water: usize,
+}
+
+/// A bounded MPSC queue: producers `try_push` (never block), the
+/// single consumer blocks in `pop_blocking` until an item arrives or
+/// the queue is closed and drained.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            capacity,
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+                high_water: 0,
+            }),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues without blocking. Returns the item back when the
+    /// queue is full (backpressure) or already closed.
+    ///
+    /// # Errors
+    /// `Err(item)` when the queue is at capacity or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut g = self.inner.lock().expect("queue poisoned");
+        if g.closed || g.items.len() >= self.capacity {
+            return Err(item);
+        }
+        g.items.push_back(item);
+        g.high_water = g.high_water.max(g.items.len());
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available; returns `None` once the
+    /// queue is closed **and** drained.
+    pub fn pop_blocking(&self) -> Option<T> {
+        let mut g = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).expect("queue poisoned");
+        }
+    }
+
+    /// Dequeues without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner.lock().expect("queue poisoned").items.pop_front()
+    }
+
+    /// Closes the queue: further pushes are rejected, consumers drain
+    /// the remainder and then see `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently enqueued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// True when nothing is enqueued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Largest depth ever observed — never exceeds `capacity`.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_tracks_high_water() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.high_water(), 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.try_pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_signals_end() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(8), "closed queue rejects");
+        assert_eq!(q.pop_blocking(), Some(7));
+        assert_eq!(q.pop_blocking(), None);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop_blocking());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(42).unwrap();
+        assert_eq!(h.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = BoundedQueue::<i32>::new(0);
+    }
+}

@@ -1,0 +1,764 @@
+//! The batch server: bounded submission, coalescing worker, tickets.
+//!
+//! Producers [`Server::submit`] queries into a [`BoundedQueue`]; a
+//! single worker thread drains them in *waves*, groups queries that
+//! share `(source-set id, h, target set)` into one multi-weight fused
+//! solve, resolves the `A`-side plan through the LRU [`PlanCache`],
+//! and fulfils per-query [`Ticket`]s. Backpressure is explicit: a full
+//! queue returns [`Submit::Rejected`] with the query handed back.
+//!
+//! Failure policy: queries whose deadline has passed at dequeue time
+//! complete with [`ServeError::DeadlineExpired`]; a simulated-GPU
+//! launch failure either falls back to the bit-deterministic CPU fused
+//! path (`cpu_fallback`, the default) or surfaces as
+//! [`ServeError::Launch`] per query.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ks_core::plan::{SourcePlan, SourceSet};
+use ks_core::problem::PointSet;
+use ks_core::FusedCpuConfig;
+use ks_gpu_kernels::FUSED_MULTI_PIPELINE;
+use ks_gpu_sim::config::DeviceConfig;
+use ks_gpu_sim::device::GpuDevice;
+use ks_gpu_sim::kernel::LaunchError;
+use ks_gpu_sim::profiler::PipelineProfile;
+
+use crate::cache::{PlanCache, PlanCacheStats, PlanKey};
+use crate::executor::{self, MAX_GPU_BATCH};
+use crate::queue::BoundedQueue;
+
+/// One kernel-summation request: evaluate the Gaussian sum over
+/// `sources` at bandwidth `h`, weighted by one weight per target.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// The corpus (`A`); queries sharing a corpus handle coalesce.
+    pub sources: SourceSet,
+    /// The targets (`B`); shared via `Arc` so coalescing can test
+    /// identity instead of comparing coordinates.
+    pub targets: Arc<PointSet>,
+    /// One weight per target (the query's column of `W`).
+    pub weights: Vec<f32>,
+    /// Gaussian bandwidth.
+    pub h: f32,
+    /// Drop the query (with [`ServeError::DeadlineExpired`]) if it is
+    /// still queued past this instant.
+    pub deadline: Option<Instant>,
+}
+
+/// Why a query completed without a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The query was still queued when its deadline passed.
+    DeadlineExpired,
+    /// The GPU launch failed and CPU fallback was disabled.
+    Launch(LaunchError),
+    /// The server shut down before the query was executed.
+    ShutDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::DeadlineExpired => write!(f, "deadline expired before execution"),
+            ServeError::Launch(e) => write!(f, "GPU launch failed: {e}"),
+            ServeError::ShutDown => write!(f, "server shut down before execution"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+struct TicketInner {
+    result: Mutex<Option<Result<Vec<f32>, ServeError>>>,
+    done: Condvar,
+}
+
+/// A handle to one submitted query's eventual result.
+#[derive(Clone)]
+pub struct Ticket {
+    inner: Arc<TicketInner>,
+}
+
+impl Ticket {
+    fn new() -> Self {
+        Self {
+            inner: Arc::new(TicketInner {
+                result: Mutex::new(None),
+                done: Condvar::new(),
+            }),
+        }
+    }
+
+    fn fulfil(&self, r: Result<Vec<f32>, ServeError>) {
+        let mut g = self.inner.result.lock().expect("ticket poisoned");
+        if g.is_none() {
+            *g = Some(r);
+        }
+        drop(g);
+        self.inner.done.notify_all();
+    }
+
+    /// Blocks until the query completes; returns the potential vector
+    /// `V ∈ R^M` or the failure.
+    ///
+    /// # Errors
+    /// The query's [`ServeError`] when it did not produce a result.
+    pub fn wait(&self) -> Result<Vec<f32>, ServeError> {
+        let mut g = self.inner.result.lock().expect("ticket poisoned");
+        loop {
+            if let Some(r) = g.take() {
+                return r;
+            }
+            g = self.inner.done.wait(g).expect("ticket poisoned");
+        }
+    }
+
+    /// Non-blocking check; consumes the result if present.
+    pub fn try_take(&self) -> Option<Result<Vec<f32>, ServeError>> {
+        self.inner.result.lock().expect("ticket poisoned").take()
+    }
+}
+
+/// Outcome of [`Server::submit`].
+pub enum Submit {
+    /// Queued; await the ticket.
+    Accepted(Ticket),
+    /// Backpressure: the queue was full (or closing) and the query is
+    /// handed back untouched.
+    Rejected(Box<Query>),
+}
+
+/// Which execution path serves batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeBackend {
+    /// Cache-blocked fused CPU solver (bit-deterministic).
+    CpuFused,
+    /// Simulated-GPU fused multi-weight pipeline.
+    GpuFused {
+        /// Retry a failed launch on the CPU fused path instead of
+        /// failing the batch's queries.
+        cpu_fallback: bool,
+    },
+}
+
+/// Deterministic fault injection for testing the fallback path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultInjection {
+    /// No injected faults.
+    None,
+    /// The first `n` GPU batch launches fail with
+    /// [`LaunchError::EmptyLaunch`] before touching the device.
+    FirstN(u64),
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Submission queue bound (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Maximum queries drained per scheduling wave.
+    pub wave: usize,
+    /// Maximum queries coalesced into one solve (clamped to
+    /// [`MAX_GPU_BATCH`] on the GPU backend).
+    pub max_batch: usize,
+    /// LRU plan-cache capacity (plans, not bytes).
+    pub plan_cache_capacity: usize,
+    /// Disable to rebuild the plan for every batch (ablation).
+    pub enable_plan_cache: bool,
+    /// Execution path.
+    pub backend: ServeBackend,
+    /// Device model for GPU batches (a fresh device per batch, so
+    /// per-batch DRAM accounting is independent).
+    pub device: DeviceConfig,
+    /// CPU fused-solver blocking.
+    pub cpu: FusedCpuConfig,
+    /// Injected launch faults (tests only).
+    pub fault_injection: FaultInjection,
+    /// Artificial per-batch latency — a slow consumer for soak tests.
+    pub batch_delay: Option<Duration>,
+    /// Start with the worker gated; queries queue up until
+    /// [`Server::resume`]. Gives tests deterministic batch
+    /// composition.
+    pub start_paused: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            wave: 16,
+            max_batch: MAX_GPU_BATCH,
+            plan_cache_capacity: 8,
+            enable_plan_cache: true,
+            backend: ServeBackend::GpuFused { cpu_fallback: true },
+            device: DeviceConfig::gtx970(),
+            cpu: FusedCpuConfig::default(),
+            fault_injection: FaultInjection::None,
+            batch_delay: None,
+            start_paused: false,
+        }
+    }
+}
+
+/// End-of-run accounting. `submitted == accepted + rejected` and
+/// `accepted == completed + expired + failed` always hold after
+/// [`Server::shutdown`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Queries offered to [`Server::submit`].
+    pub submitted: u64,
+    /// Queries that entered the queue.
+    pub accepted: u64,
+    /// Queries bounced by backpressure.
+    pub rejected: u64,
+    /// Queries that produced a result.
+    pub completed: u64,
+    /// Queries dropped for a passed deadline.
+    pub expired: u64,
+    /// Queries failed with a launch error (no fallback).
+    pub failed: u64,
+    /// Batches recovered on the CPU after a GPU launch failure.
+    pub fallbacks: u64,
+    /// Coalesced solves executed.
+    pub batches: u64,
+    /// Queries served through those solves.
+    pub batched_queries: u64,
+    /// Plan-cache counters.
+    pub plan_cache: PlanCacheStats,
+    /// Deepest queue occupancy observed (≤ configured capacity).
+    pub queue_high_water: usize,
+    /// One pipeline profile per GPU batch, in execution order.
+    pub profiles: Vec<PipelineProfile>,
+}
+
+impl ServeReport {
+    /// Total simulated DRAM transactions across all GPU batches.
+    #[must_use]
+    pub fn total_dram_transactions(&self) -> u64 {
+        self.profiles
+            .iter()
+            .map(|p| p.total_mem().dram_transactions())
+            .sum()
+    }
+
+    /// Plan-cache hit rate over batch lookups.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        self.plan_cache.hit_rate()
+    }
+
+    /// All per-batch profiles merged into one pipeline (for metrics
+    /// export and energy modelling).
+    #[must_use]
+    pub fn merged_profile(&self) -> PipelineProfile {
+        let mut merged = PipelineProfile::new(FUSED_MULTI_PIPELINE);
+        for p in &self.profiles {
+            merged.kernels.extend(p.kernels.iter().cloned());
+        }
+        merged
+    }
+}
+
+/// Grouping key for coalescing: corpus identity, bit-exact bandwidth,
+/// and target-set identity (the `Arc` pointer — shared targets are
+/// shared allocations by construction).
+#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+struct BatchKey {
+    source: u64,
+    h_bits: u32,
+    targets: usize,
+}
+
+impl BatchKey {
+    fn of(q: &Query) -> Self {
+        Self {
+            source: q.sources.id().raw(),
+            h_bits: q.h.to_bits(),
+            targets: Arc::as_ptr(&q.targets) as usize,
+        }
+    }
+}
+
+struct Gate {
+    paused: Mutex<bool>,
+    resumed: Condvar,
+}
+
+/// Counters the worker owns; merged into the report at shutdown.
+#[derive(Default)]
+struct WorkerStats {
+    completed: u64,
+    expired: u64,
+    failed: u64,
+    fallbacks: u64,
+    batches: u64,
+    batched_queries: u64,
+    plan_cache: PlanCacheStats,
+    profiles: Vec<PipelineProfile>,
+}
+
+/// The batch server. See the module docs.
+pub struct Server {
+    queue: Arc<BoundedQueue<(Query, Ticket)>>,
+    gate: Arc<Gate>,
+    worker: Option<JoinHandle<WorkerStats>>,
+    submitted: u64,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl Server {
+    /// Starts the worker thread.
+    ///
+    /// # Panics
+    /// Panics on a zero queue capacity, wave or batch size, or a zero
+    /// plan-cache capacity while the cache is enabled.
+    #[must_use]
+    pub fn start(cfg: ServeConfig) -> Self {
+        assert!(cfg.wave > 0, "wave size must be positive");
+        assert!(cfg.max_batch > 0, "batch size must be positive");
+        let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        let gate = Arc::new(Gate {
+            paused: Mutex::new(cfg.start_paused),
+            resumed: Condvar::new(),
+        });
+        let worker = {
+            let queue = Arc::clone(&queue);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || worker_loop(&cfg, &queue, &gate))
+        };
+        Self {
+            queue,
+            gate,
+            worker: Some(worker),
+            submitted: 0,
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Offers a query. Full queue ⇒ [`Submit::Rejected`] with the
+    /// query returned; the caller decides whether to retry.
+    ///
+    /// # Panics
+    /// Panics on a malformed query: empty corpus or target set,
+    /// mismatched dimensions or weight count, or a non-finite/
+    /// non-positive bandwidth.
+    pub fn submit(&mut self, q: Query) -> Submit {
+        assert!(!q.sources.is_empty(), "query has an empty corpus");
+        assert!(!q.targets.is_empty(), "query has an empty target set");
+        assert_eq!(
+            q.sources.dim(),
+            q.targets.dim(),
+            "source/target dimensions differ"
+        );
+        assert_eq!(
+            q.weights.len(),
+            q.targets.len(),
+            "weights length must equal target count"
+        );
+        assert!(
+            q.h.is_finite() && q.h > 0.0,
+            "bandwidth must be finite and positive"
+        );
+        self.submitted += 1;
+        let ticket = Ticket::new();
+        match self.queue.try_push((q, ticket.clone())) {
+            Ok(()) => {
+                self.accepted += 1;
+                Submit::Accepted(ticket)
+            }
+            Err((q, _)) => {
+                self.rejected += 1;
+                Submit::Rejected(Box::new(q))
+            }
+        }
+    }
+
+    /// Opens the gate of a paused server; the worker starts draining.
+    pub fn resume(&self) {
+        *self.gate.paused.lock().expect("gate poisoned") = false;
+        self.gate.resumed.notify_all();
+    }
+
+    /// Closes the queue, drains the backlog, joins the worker and
+    /// returns the final accounting.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServeReport {
+        self.queue.close();
+        self.resume();
+        let w = self
+            .worker
+            .take()
+            .expect("worker present until shutdown")
+            .join()
+            .expect("worker panicked");
+        ServeReport {
+            submitted: self.submitted,
+            accepted: self.accepted,
+            rejected: self.rejected,
+            completed: w.completed,
+            expired: w.expired,
+            failed: w.failed,
+            fallbacks: w.fallbacks,
+            batches: w.batches,
+            batched_queries: w.batched_queries,
+            plan_cache: w.plan_cache,
+            queue_high_water: self.queue.high_water(),
+            profiles: w.profiles,
+        }
+    }
+
+    /// Current queue depth (racy; for monitoring).
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(w) = self.worker.take() {
+            self.queue.close();
+            self.resume();
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(
+    cfg: &ServeConfig,
+    queue: &BoundedQueue<(Query, Ticket)>,
+    gate: &Gate,
+) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    let mut cache = PlanCache::new(cfg.plan_cache_capacity.max(1));
+    let mut injected = 0u64;
+    loop {
+        {
+            let mut paused = gate.paused.lock().expect("gate poisoned");
+            while *paused {
+                paused = gate.resumed.wait(paused).expect("gate poisoned");
+            }
+        }
+        // One wave: block for the first query, then opportunistically
+        // drain up to `wave` total so concurrent arrivals coalesce.
+        let Some(first) = queue.pop_blocking() else {
+            break;
+        };
+        let mut wave = vec![first];
+        while wave.len() < cfg.wave {
+            match queue.try_pop() {
+                Some(item) => wave.push(item),
+                None => break,
+            }
+        }
+        // Group by (corpus, h, targets), preserving arrival order
+        // within each group.
+        let mut order: Vec<BatchKey> = Vec::new();
+        let mut groups: HashMap<BatchKey, Vec<(Query, Ticket)>> = HashMap::new();
+        for (q, t) in wave {
+            let key = BatchKey::of(&q);
+            groups.entry(key).or_insert_with(|| {
+                order.push(key);
+                Vec::new()
+            });
+            groups.get_mut(&key).expect("just inserted").push((q, t));
+        }
+        let max_batch = match cfg.backend {
+            ServeBackend::CpuFused => cfg.max_batch,
+            ServeBackend::GpuFused { .. } => cfg.max_batch.min(MAX_GPU_BATCH),
+        };
+        for key in order {
+            let group = groups.remove(&key).expect("grouped above");
+            for chunk in group.chunks(max_batch) {
+                execute_chunk(cfg, chunk, &mut cache, &mut injected, &mut stats);
+            }
+        }
+    }
+    stats.plan_cache = cache.stats();
+    stats
+}
+
+fn execute_chunk(
+    cfg: &ServeConfig,
+    chunk: &[(Query, Ticket)],
+    cache: &mut PlanCache,
+    injected: &mut u64,
+    stats: &mut WorkerStats,
+) {
+    // Deadline check at dequeue time: expired queries never reach the
+    // solver (and never count as a batch column).
+    let now = Instant::now();
+    let mut live: Vec<&(Query, Ticket)> = Vec::with_capacity(chunk.len());
+    for qt in chunk {
+        match qt.0.deadline {
+            Some(d) if d < now => {
+                qt.1.fulfil(Err(ServeError::DeadlineExpired));
+                stats.expired += 1;
+            }
+            _ => live.push(qt),
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let proto = &live[0].0;
+    let key = PlanKey::new(&proto.sources, proto.h);
+    let (plan, hit) = if cfg.enable_plan_cache {
+        cache.get_or_build(key, || SourcePlan::build(proto.sources.points()))
+    } else {
+        (Arc::new(SourcePlan::build(proto.sources.points())), false)
+    };
+    let weights: Vec<Vec<f32>> = live.iter().map(|(q, _)| q.weights.clone()).collect();
+    let outcome = run_batch(cfg, &plan, proto, &weights, hit, injected, stats);
+    if let Some(delay) = cfg.batch_delay {
+        std::thread::sleep(delay);
+    }
+    stats.batches += 1;
+    stats.batched_queries += live.len() as u64;
+    match outcome {
+        Ok(results) => {
+            for ((_, t), v) in live.iter().zip(results) {
+                t.fulfil(Ok(v));
+                stats.completed += 1;
+            }
+        }
+        Err(e) => {
+            for (_, t) in &live {
+                t.fulfil(Err(ServeError::Launch(e.clone())));
+                stats.failed += 1;
+            }
+        }
+    }
+}
+
+fn run_batch(
+    cfg: &ServeConfig,
+    plan: &SourcePlan,
+    proto: &Query,
+    weights: &[Vec<f32>],
+    hit: bool,
+    injected: &mut u64,
+    stats: &mut WorkerStats,
+) -> Result<Vec<Vec<f32>>, LaunchError> {
+    match cfg.backend {
+        ServeBackend::CpuFused => Ok(executor::execute_cpu(
+            plan,
+            &proto.targets,
+            proto.h,
+            weights,
+            &cfg.cpu,
+        )),
+        ServeBackend::GpuFused { cpu_fallback } => {
+            let launch = if let FaultInjection::FirstN(n) = cfg.fault_injection {
+                if *injected < n {
+                    *injected += 1;
+                    Err(LaunchError::EmptyLaunch)
+                } else {
+                    gpu_launch(cfg, plan, proto, weights, hit)
+                }
+            } else {
+                gpu_launch(cfg, plan, proto, weights, hit)
+            };
+            match launch {
+                Ok((results, prof)) => {
+                    stats.profiles.push(prof);
+                    Ok(results)
+                }
+                Err(e) if cpu_fallback => {
+                    stats.fallbacks += 1;
+                    let _ = e;
+                    Ok(executor::execute_cpu(
+                        plan,
+                        &proto.targets,
+                        proto.h,
+                        weights,
+                        &cfg.cpu,
+                    ))
+                }
+                Err(e) => Err(e),
+            }
+        }
+    }
+}
+
+fn gpu_launch(
+    cfg: &ServeConfig,
+    plan: &SourcePlan,
+    proto: &Query,
+    weights: &[Vec<f32>],
+    hit: bool,
+) -> Result<(Vec<Vec<f32>>, PipelineProfile), LaunchError> {
+    let mut dev = GpuDevice::new(cfg.device.clone());
+    executor::execute_gpu(&mut dev, plan, &proto.targets, proto.h, weights, hit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_core::problem::PointSet;
+
+    fn query(sources: &SourceSet, targets: &Arc<PointSet>, seed: u64) -> Query {
+        let w = PointSet::uniform_cube(targets.len(), 1, seed)
+            .coords()
+            .iter()
+            .map(|v| v - 0.5)
+            .collect();
+        Query {
+            sources: sources.clone(),
+            targets: Arc::clone(targets),
+            weights: w,
+            h: 0.9,
+            deadline: None,
+        }
+    }
+
+    fn cpu_config() -> ServeConfig {
+        ServeConfig {
+            backend: ServeBackend::CpuFused,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_a_simple_query() {
+        let sources = SourceSet::new(PointSet::uniform_cube(24, 4, 1));
+        let targets = Arc::new(PointSet::uniform_cube(16, 4, 2));
+        let mut srv = Server::start(cpu_config());
+        let Submit::Accepted(t) = srv.submit(query(&sources, &targets, 3)) else {
+            panic!("empty queue must accept");
+        };
+        let v = t.wait().expect("completes");
+        assert_eq!(v.len(), 24);
+        let report = srv.shutdown();
+        assert_eq!(report.submitted, 1);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.batches, 1);
+    }
+
+    #[test]
+    fn paused_server_coalesces_shared_corpus_queries() {
+        let sources = SourceSet::new(PointSet::uniform_cube(32, 4, 5));
+        let targets = Arc::new(PointSet::uniform_cube(16, 4, 6));
+        let mut cfg = cpu_config();
+        cfg.start_paused = true;
+        cfg.wave = 8;
+        let mut srv = Server::start(cfg);
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| match srv.submit(query(&sources, &targets, 10 + i)) {
+                Submit::Accepted(t) => t,
+                Submit::Rejected(_) => panic!("capacity 64 cannot reject 4"),
+            })
+            .collect();
+        srv.resume();
+        for t in &tickets {
+            assert!(t.wait().is_ok());
+        }
+        let report = srv.shutdown();
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.batches, 1, "one coalesced solve");
+        assert_eq!(report.batched_queries, 4);
+        assert_eq!(report.plan_cache.misses, 1);
+    }
+
+    #[test]
+    fn expired_deadline_is_reported() {
+        let sources = SourceSet::new(PointSet::uniform_cube(16, 3, 7));
+        let targets = Arc::new(PointSet::uniform_cube(8, 3, 8));
+        let mut cfg = cpu_config();
+        cfg.start_paused = true;
+        let mut srv = Server::start(cfg);
+        let mut q = query(&sources, &targets, 9);
+        q.deadline = Some(Instant::now() - Duration::from_millis(1));
+        let Submit::Accepted(t) = srv.submit(q) else {
+            panic!("must accept");
+        };
+        srv.resume();
+        assert_eq!(t.wait(), Err(ServeError::DeadlineExpired));
+        let report = srv.shutdown();
+        assert_eq!(report.expired, 1);
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn backpressure_rejects_and_returns_the_query() {
+        let sources = SourceSet::new(PointSet::uniform_cube(16, 3, 11));
+        let targets = Arc::new(PointSet::uniform_cube(8, 3, 12));
+        let mut cfg = cpu_config();
+        cfg.queue_capacity = 2;
+        cfg.start_paused = true;
+        let mut srv = Server::start(cfg);
+        let _t1 = srv.submit(query(&sources, &targets, 13));
+        let _t2 = srv.submit(query(&sources, &targets, 14));
+        match srv.submit(query(&sources, &targets, 15)) {
+            Submit::Rejected(q) => assert_eq!(q.weights.len(), 8),
+            Submit::Accepted(_) => panic!("full queue must reject"),
+        }
+        srv.resume();
+        let report = srv.shutdown();
+        assert_eq!(report.submitted, 3);
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.rejected, 1);
+        assert!(report.queue_high_water <= 2);
+    }
+
+    #[test]
+    fn fault_injection_falls_back_to_cpu() {
+        let sources = SourceSet::new(PointSet::uniform_cube(128, 8, 21));
+        let targets = Arc::new(PointSet::uniform_cube(128, 8, 22));
+        let mut cfg = ServeConfig {
+            backend: ServeBackend::GpuFused { cpu_fallback: true },
+            fault_injection: FaultInjection::FirstN(1),
+            ..ServeConfig::default()
+        };
+        cfg.start_paused = true;
+        let mut srv = Server::start(cfg);
+        let Submit::Accepted(t) = srv.submit(query(&sources, &targets, 23)) else {
+            panic!("must accept");
+        };
+        srv.resume();
+        assert!(t.wait().is_ok(), "fallback recovers the query");
+        let report = srv.shutdown();
+        assert_eq!(report.fallbacks, 1);
+        assert_eq!(report.completed, 1);
+        assert!(report.profiles.is_empty(), "failed launch has no profile");
+    }
+
+    #[test]
+    fn fault_without_fallback_fails_the_query() {
+        let sources = SourceSet::new(PointSet::uniform_cube(128, 8, 31));
+        let targets = Arc::new(PointSet::uniform_cube(128, 8, 32));
+        let cfg = ServeConfig {
+            backend: ServeBackend::GpuFused {
+                cpu_fallback: false,
+            },
+            fault_injection: FaultInjection::FirstN(1),
+            start_paused: true,
+            ..ServeConfig::default()
+        };
+        let mut srv = Server::start(cfg);
+        let Submit::Accepted(t) = srv.submit(query(&sources, &targets, 33)) else {
+            panic!("must accept");
+        };
+        srv.resume();
+        assert_eq!(t.wait(), Err(ServeError::Launch(LaunchError::EmptyLaunch)));
+        let report = srv.shutdown();
+        assert_eq!(report.failed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights length")]
+    fn submit_rejects_malformed_query() {
+        let sources = SourceSet::new(PointSet::uniform_cube(16, 3, 41));
+        let targets = Arc::new(PointSet::uniform_cube(8, 3, 42));
+        let mut q = query(&sources, &targets, 43);
+        q.weights.pop();
+        let mut srv = Server::start(cpu_config());
+        let _ = srv.submit(q);
+    }
+}

@@ -1,0 +1,264 @@
+//! Synthetic serving workloads: arrival mixes over shared corpora.
+//!
+//! [`generate_queries`] is deterministic in the seed so tests can
+//! replay exactly the stream a benchmark ran; [`run_workload`] drives
+//! a [`Server`] with concurrent client threads and returns the final
+//! [`ServeReport`].
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ks_core::plan::SourceSet;
+use ks_core::problem::PointSet;
+use rand::distributions::{Distribution, Uniform};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::server::{ServeConfig, ServeReport, Server, Submit, Ticket};
+use crate::Query;
+
+/// Workload shape: who asks what, how often against shared corpora.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Queries each client submits.
+    pub queries_per_client: usize,
+    /// Number of long-lived shared corpora.
+    pub corpora: usize,
+    /// Probability a query targets a shared corpus (vs minting a
+    /// private one the plan cache can never hit).
+    pub shared_ratio: f64,
+    /// Probability a query uses the double-size variant of its corpus
+    /// (the arrival-size mix).
+    pub large_ratio: f64,
+    /// Sources per (small) corpus.
+    pub m: usize,
+    /// Targets per query.
+    pub n: usize,
+    /// Point dimension.
+    pub k: usize,
+    /// Gaussian bandwidth.
+    pub h: f32,
+    /// Per-query deadline, applied at submission time.
+    pub deadline: Option<Duration>,
+    /// Master seed; everything is deterministic in it.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            queries_per_client: 16,
+            corpora: 2,
+            shared_ratio: 0.8,
+            large_ratio: 0.2,
+            m: 256,
+            n: 128,
+            k: 8,
+            h: 1.0,
+            deadline: None,
+            seed: 42,
+        }
+    }
+}
+
+/// The smoke preset used by `ksum serve-bench --smoke` and the
+/// acceptance test: small enough for CI, sized so a corpus (32 KB at
+/// `m = 256, k = 32`) overflows the serving device's reduced L2 and
+/// plan reuse shows up in the DRAM ledger.
+#[must_use]
+pub fn smoke_workload() -> WorkloadConfig {
+    WorkloadConfig {
+        clients: 1,
+        queries_per_client: 48,
+        corpora: 2,
+        shared_ratio: 0.8,
+        large_ratio: 0.0,
+        m: 256,
+        n: 128,
+        k: 32,
+        h: 1.0,
+        deadline: None,
+        seed: 7,
+    }
+}
+
+/// Generates the full query stream, deterministic in `wl.seed`.
+/// Queries are listed client-major: client `c`'s stream is the slice
+/// `[c·queries_per_client, (c+1)·queries_per_client)`.
+///
+/// # Panics
+/// Panics on a zero-sized workload or ratios outside `[0, 1]`.
+#[must_use]
+pub fn generate_queries(wl: &WorkloadConfig) -> Vec<Query> {
+    assert!(
+        wl.clients > 0 && wl.queries_per_client > 0,
+        "empty workload"
+    );
+    assert!(wl.corpora > 0, "need at least one shared corpus");
+    assert!(
+        (0.0..=1.0).contains(&wl.shared_ratio) && (0.0..=1.0).contains(&wl.large_ratio),
+        "ratios must be in [0, 1]"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(wl.seed);
+    let unit = Uniform::new(0.0f64, 1.0f64);
+    let weight = Uniform::new(-0.5f32, 0.5f32);
+    // Shared pools: a small and a large (2M) variant per corpus slot,
+    // each with its own shared target set.
+    let small: Vec<(SourceSet, Arc<PointSet>)> = (0..wl.corpora)
+        .map(|c| {
+            let seed = wl.seed.wrapping_mul(1000).wrapping_add(c as u64);
+            (
+                SourceSet::new(PointSet::uniform_cube(wl.m, wl.k, seed)),
+                Arc::new(PointSet::uniform_cube(wl.n, wl.k, seed ^ 0x5EED)),
+            )
+        })
+        .collect();
+    let large: Vec<(SourceSet, Arc<PointSet>)> = (0..wl.corpora)
+        .map(|c| {
+            let seed = wl.seed.wrapping_mul(2000).wrapping_add(c as u64);
+            (
+                SourceSet::new(PointSet::uniform_cube(2 * wl.m, wl.k, seed)),
+                Arc::new(PointSet::uniform_cube(wl.n, wl.k, seed ^ 0x5EED)),
+            )
+        })
+        .collect();
+    let total = wl.clients * wl.queries_per_client;
+    (0..total)
+        .map(|_| {
+            let is_large = unit.sample(&mut rng) < wl.large_ratio;
+            let (sources, targets) = if unit.sample(&mut rng) < wl.shared_ratio {
+                let pool = if is_large { &large } else { &small };
+                let idx = rng.gen_range(0..wl.corpora);
+                (pool[idx].0.clone(), Arc::clone(&pool[idx].1))
+            } else {
+                // Private corpus: fresh identity, guaranteed cache miss.
+                let m = if is_large { 2 * wl.m } else { wl.m };
+                let seed = rng.gen::<u64>();
+                (
+                    SourceSet::new(PointSet::uniform_cube(m, wl.k, seed)),
+                    Arc::new(PointSet::uniform_cube(wl.n, wl.k, seed ^ 0x5EED)),
+                )
+            };
+            let weights = (0..wl.n).map(|_| weight.sample(&mut rng)).collect();
+            Query {
+                sources,
+                targets,
+                weights,
+                h: wl.h,
+                deadline: None,
+            }
+        })
+        .collect()
+}
+
+/// Drives a server with `wl.clients` concurrent producer threads and
+/// returns the final report. The worker is never gated
+/// (`start_paused` is overridden to `false` — clients block on their
+/// own tickets, so a paused worker would deadlock). Rejected queries
+/// are dropped, not retried.
+///
+/// # Panics
+/// Panics on an invalid workload or if a client thread panics.
+#[must_use]
+pub fn run_workload(mut cfg: ServeConfig, wl: &WorkloadConfig) -> ServeReport {
+    cfg.start_paused = false;
+    let queries = generate_queries(wl);
+    let server = Arc::new(Mutex::new(Server::start(cfg)));
+    let mut clients = Vec::with_capacity(wl.clients);
+    let mut streams: Vec<Vec<Query>> = Vec::with_capacity(wl.clients);
+    {
+        let mut rest = queries;
+        for _ in 0..wl.clients {
+            let tail = rest.split_off(wl.queries_per_client.min(rest.len()));
+            streams.push(rest);
+            rest = tail;
+        }
+    }
+    for stream in streams {
+        let server = Arc::clone(&server);
+        let deadline = wl.deadline;
+        clients.push(std::thread::spawn(move || {
+            let mut tickets: Vec<Ticket> = Vec::with_capacity(stream.len());
+            for mut q in stream {
+                if let Some(d) = deadline {
+                    q.deadline = Some(Instant::now() + d);
+                }
+                match server.lock().expect("server poisoned").submit(q) {
+                    Submit::Accepted(t) => tickets.push(t),
+                    Submit::Rejected(_) => {}
+                }
+            }
+            for t in tickets {
+                let _ = t.wait();
+            }
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread panicked");
+    }
+    let server = Arc::try_unwrap(server)
+        .unwrap_or_else(|_| panic!("clients joined, server uniquely owned"))
+        .into_inner()
+        .expect("server poisoned");
+    server.shutdown()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServeBackend;
+
+    #[test]
+    fn generation_is_deterministic_and_shares_corpora() {
+        let wl = WorkloadConfig {
+            clients: 2,
+            queries_per_client: 10,
+            ..WorkloadConfig::default()
+        };
+        let a = generate_queries(&wl);
+        let b = generate_queries(&wl);
+        assert_eq!(a.len(), 20);
+        for (qa, qb) in a.iter().zip(b.iter()) {
+            // Same streams share weights bit-for-bit; corpus ids differ
+            // between runs (identity is mint-on-create) but the points
+            // must match.
+            assert_eq!(qa.weights, qb.weights);
+            assert_eq!(qa.sources.points(), qb.sources.points());
+        }
+        // With shared_ratio 0.8 over 20 queries, at least two must
+        // share a corpus identity.
+        let shared = a.iter().any(|q| {
+            a.iter()
+                .filter(|p| p.sources.id() == q.sources.id())
+                .count()
+                > 1
+        });
+        assert!(shared, "workload must exercise corpus sharing");
+    }
+
+    #[test]
+    fn workload_completes_on_cpu_backend() {
+        let wl = WorkloadConfig {
+            clients: 3,
+            queries_per_client: 5,
+            m: 32,
+            n: 16,
+            k: 4,
+            ..WorkloadConfig::default()
+        };
+        let cfg = ServeConfig {
+            backend: ServeBackend::CpuFused,
+            ..ServeConfig::default()
+        };
+        let report = run_workload(cfg, &wl);
+        assert_eq!(report.submitted, 15);
+        assert_eq!(report.accepted + report.rejected, report.submitted);
+        assert_eq!(
+            report.completed + report.expired + report.failed,
+            report.accepted
+        );
+    }
+}

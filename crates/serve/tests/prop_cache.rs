@@ -1,0 +1,122 @@
+//! Property tests of the plan cache: LRU model-checking, counter
+//! consistency, and bit-exact rebuild after eviction.
+
+use ks_core::plan::{SourcePlan, SourceSet};
+use ks_core::problem::PointSet;
+use ks_serve::{PlanCache, PlanKey};
+use proptest::prelude::*;
+
+/// Reference LRU: a recency-ordered vec of key indices.
+struct ModelLru {
+    capacity: usize,
+    /// Least-recently-used first.
+    entries: Vec<usize>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Returns whether the access hit.
+    fn access(&mut self, key: usize) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&k| k == key) {
+            let k = self.entries.remove(pos);
+            self.entries.push(k);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            if self.entries.len() >= self.capacity {
+                self.entries.remove(0);
+                self.evictions += 1;
+            }
+            self.entries.push(key);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The real cache agrees with the reference LRU on every access of
+    /// a random sequence: hit/miss outcome, membership, size bound,
+    /// and all three counters.
+    #[test]
+    fn cache_model_checks_against_reference_lru(
+        capacity in 1usize..5,
+        accesses in proptest::collection::vec(0usize..8, 1..60),
+    ) {
+        // Eight tiny corpora form the key universe.
+        let corpora: Vec<SourceSet> = (0..8)
+            .map(|i| SourceSet::new(PointSet::uniform_cube(8, 2, 900 + i)))
+            .collect();
+        let keys: Vec<PlanKey> =
+            corpora.iter().map(|c| PlanKey::new(c, 1.0)).collect();
+        let mut cache = PlanCache::new(capacity);
+        let mut model = ModelLru::new(capacity);
+        for &a in &accesses {
+            let (_, hit) =
+                cache.get_or_build(keys[a], || SourcePlan::build(corpora[a].points()));
+            let model_hit = model.access(a);
+            prop_assert_eq!(hit, model_hit, "access {} diverged", a);
+            prop_assert!(cache.len() <= capacity, "capacity exceeded");
+            prop_assert_eq!(cache.len(), model.entries.len());
+            for (i, k) in keys.iter().enumerate() {
+                prop_assert_eq!(
+                    cache.contains(k),
+                    model.entries.contains(&i),
+                    "membership of key {} diverged", i
+                );
+            }
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits, model.hits);
+        prop_assert_eq!(s.misses, model.misses);
+        prop_assert_eq!(s.evictions, model.evictions);
+        prop_assert_eq!(s.accesses(), accesses.len() as u64);
+    }
+
+    /// Evicting a plan and rebuilding it reproduces the identical
+    /// artifact: same pack bytes, same norms, bit for bit.
+    #[test]
+    fn evict_and_rebuild_is_bit_exact(
+        m in 1usize..8,
+        k in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let corpus = SourceSet::new(PointSet::uniform_cube(8 * m, k, seed));
+        let other = SourceSet::new(PointSet::uniform_cube(8, k, seed + 1));
+        let key = PlanKey::new(&corpus, 0.9);
+        let mut cache = PlanCache::new(1);
+        let (first, hit) =
+            cache.get_or_build(key, || SourcePlan::build(corpus.points()));
+        prop_assert!(!hit);
+        // Capacity 1: touching the other corpus must evict `corpus`.
+        let _ = cache.get_or_build(PlanKey::new(&other, 0.9), || {
+            SourcePlan::build(other.points())
+        });
+        prop_assert!(!cache.contains(&key), "capacity-1 cache evicted");
+        let (rebuilt, hit) =
+            cache.get_or_build(key, || SourcePlan::build(corpus.points()));
+        prop_assert!(!hit, "post-eviction access is a miss");
+        prop_assert_eq!(cache.stats().evictions, 2);
+        let bits = |p: &SourcePlan| -> (Vec<u32>, Vec<u32>) {
+            (
+                p.pack_words().iter().map(|v| v.to_bits()).collect(),
+                p.row_sq_norms().iter().map(|v| v.to_bits()).collect(),
+            )
+        };
+        prop_assert_eq!(bits(&first), bits(&rebuilt));
+    }
+}

@@ -1,0 +1,137 @@
+//! Concurrency soak: many producers, a tiny queue, a slow consumer.
+//!
+//! Proves the scheduler's liveness and accounting under contention:
+//! no deadlock (the test finishes), the queue bound is never exceeded,
+//! every submitted query is either rejected by backpressure or
+//! completed, and every completion matches the bit-deterministic
+//! single-shot oracle.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use ks_blas::{Layout, Matrix};
+use ks_core::plan::SourceSet;
+use ks_core::problem::{KernelSumProblem, PointSet};
+use ks_core::{solve_multi_fused, FusedCpuConfig, GaussianKernel};
+use ks_serve::{Query, ServeBackend, ServeConfig, Server, Submit};
+
+const PRODUCERS: usize = 6;
+const QUERIES_PER_PRODUCER: usize = 30;
+const QUEUE_CAPACITY: usize = 4;
+
+/// Deterministic weights for (producer, index).
+fn weights(n: usize, producer: usize, i: usize) -> Vec<f32> {
+    PointSet::uniform_cube(n, 1, (producer as u64) << 32 | i as u64)
+        .coords()
+        .iter()
+        .map(|v| v - 0.5)
+        .collect()
+}
+
+#[test]
+fn soak_small_queue_slow_consumer() {
+    let sources = SourceSet::new(PointSet::uniform_cube(32, 4, 1));
+    let targets = Arc::new(PointSet::uniform_cube(16, 4, 2));
+    let h = 0.8f32;
+    let cfg = ServeConfig {
+        backend: ServeBackend::CpuFused,
+        queue_capacity: QUEUE_CAPACITY,
+        wave: 3,
+        batch_delay: Some(Duration::from_millis(2)),
+        ..ServeConfig::default()
+    };
+    let server = Arc::new(Mutex::new(Server::start(cfg)));
+
+    let mut producers = Vec::new();
+    for p in 0..PRODUCERS {
+        let server = Arc::clone(&server);
+        let sources = sources.clone();
+        let targets = Arc::clone(&targets);
+        producers.push(std::thread::spawn(move || {
+            // (accepted tickets with their identity, rejected count)
+            let mut accepted = Vec::new();
+            let mut rejected = 0u64;
+            for i in 0..QUERIES_PER_PRODUCER {
+                let q = Query {
+                    sources: sources.clone(),
+                    targets: Arc::clone(&targets),
+                    weights: weights(targets.len(), p, i),
+                    h,
+                    deadline: None,
+                };
+                match server.lock().expect("server poisoned").submit(q) {
+                    Submit::Accepted(t) => accepted.push((i, t)),
+                    Submit::Rejected(_) => rejected += 1,
+                }
+            }
+            // Wait outside the lock so the consumer can make progress.
+            let results: Vec<(usize, Vec<f32>)> = accepted
+                .into_iter()
+                .map(|(i, t)| (i, t.wait().expect("accepted query completes")))
+                .collect();
+            (results, rejected)
+        }));
+    }
+
+    let mut all_results: Vec<(usize, usize, Vec<f32>)> = Vec::new();
+    let mut rejected_by_producers = 0u64;
+    for (p, handle) in producers.into_iter().enumerate() {
+        let (results, rejected) = handle.join().expect("producer panicked");
+        rejected_by_producers += rejected;
+        for (i, v) in results {
+            all_results.push((p, i, v));
+        }
+    }
+    let server = Arc::try_unwrap(server)
+        .unwrap_or_else(|_| panic!("producers joined, server uniquely owned"))
+        .into_inner()
+        .expect("server poisoned");
+    let report = server.shutdown();
+
+    let total = (PRODUCERS * QUERIES_PER_PRODUCER) as u64;
+    assert_eq!(report.submitted, total);
+    assert_eq!(report.rejected, rejected_by_producers);
+    assert_eq!(
+        report.rejected + report.completed,
+        report.submitted,
+        "every query is either bounced or served"
+    );
+    assert_eq!(report.expired, 0);
+    assert_eq!(report.failed, 0);
+    assert!(
+        report.queue_high_water <= QUEUE_CAPACITY,
+        "bound exceeded: {} > {QUEUE_CAPACITY}",
+        report.queue_high_water
+    );
+    assert!(
+        report.rejected > 0,
+        "a {QUEUE_CAPACITY}-deep queue with a slow consumer must shed load"
+    );
+    assert!(
+        report.batched_queries == report.completed,
+        "all completions flow through batches"
+    );
+    assert_eq!(report.plan_cache.misses, 1, "one corpus, one plan build");
+
+    // Every completion matches the single-shot oracle bit for bit —
+    // scheduling nondeterminism must never reach the numbers.
+    let p = KernelSumProblem::builder()
+        .sources(sources.points().clone())
+        .targets((*targets).clone())
+        .unit_weights()
+        .kernel(GaussianKernel { h })
+        .build();
+    for (prod, i, got) in &all_results {
+        let w = weights(targets.len(), *prod, *i);
+        let wm = Matrix::from_fn(w.len(), 1, Layout::RowMajor, |j, _| w[j]);
+        let want = solve_multi_fused(&p, &wm, &FusedCpuConfig::default());
+        assert_eq!(got.len(), sources.len());
+        for (r, g) in got.iter().enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                want.get(r, 0).to_bits(),
+                "producer {prod} query {i} row {r}"
+            );
+        }
+    }
+}

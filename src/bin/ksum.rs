@@ -1,19 +1,57 @@
 //! `ksum` — command-line driver for the kernel-summation library.
 //!
 //! ```bash
-//! ksum solve   --m 4096 --n 1024 --k 32 --h 1.0 --backend cpu-fused
-//! ksum profile --m 16384 --n 1024 --k 32 --variant fused
-//! ksum compare --m 8192 --n 1024 --k 64
-//! ksum lint    [--out findings.txt]
+//! ksum solve       --m 4096 --n 1024 --k 32 --h 1.0 --backend cpu-fused
+//! ksum profile     --m 16384 --n 1024 --k 32 --variant fused
+//! ksum compare     --m 8192 --n 1024 --k 64
+//! ksum lint        [--out findings.txt]
+//! ksum serve-bench [--smoke] [--clients C] [--queries Q] [--json PATH]
 //! ```
+//!
+//! Argument errors (unknown command, flag, backend or variant, or a
+//! malformed value) print the usage to stderr and exit with status 2;
+//! they never panic.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
+use kernel_summation::bench::ServeMetrics;
 use kernel_summation::core::gpu::profile_gpu;
 use kernel_summation::core::Backend;
+use kernel_summation::gpu_sim::config::DeviceConfig;
 use kernel_summation::gpu_sim::report::summary;
 use kernel_summation::prelude::*;
+use kernel_summation::serve::{
+    run_workload, smoke_workload, ServeBackend, ServeConfig, WorkloadConfig,
+};
+
+const USAGE: &str = "usage: ksum <command> [flags]
+  solve        --m M --n N --k K --h H --seed S --backend B
+               (backends: cpu-fused, cpu-unfused, reference,
+                gpu-fused, gpu-cuda-unfused, gpu-cublas-unfused)
+  profile      --m M --n N --k K --h H --variant V
+               (variants: fused, cuda-unfused, cublas-unfused)
+  compare      --m M --n N --k K --h H
+  lint         [--out PATH]
+  serve-bench  [--smoke] [--clients C] [--queries Q] [--corpora R]
+               [--shared-ratio F] [--large-ratio F] [--m M] [--n N]
+               [--k K] [--h H] [--seed S] [--queue DEPTH] [--wave W]
+               [--no-cache] [--backend cpu-fused|gpu-fused]
+               [--json PATH]";
+
+/// A usage error: printed to stderr with the usage text, exit code 2.
+struct UsageError(String);
+
+fn usage_exit(e: &UsageError) -> ExitCode {
+    eprintln!("error: {}", e.0);
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, val: &str) -> Result<T, UsageError> {
+    val.parse()
+        .map_err(|_| UsageError(format!("invalid value for {flag}: {val}")))
+}
 
 struct Args {
     m: usize,
@@ -25,7 +63,7 @@ struct Args {
     variant: String,
 }
 
-fn parse(rest: &[String]) -> Args {
+fn parse(rest: &[String]) -> Result<Args, UsageError> {
     let mut a = Args {
         m: 4096,
         n: 1024,
@@ -39,40 +77,40 @@ fn parse(rest: &[String]) -> Args {
     while let Some(flag) = it.next() {
         let val = it
             .next()
-            .unwrap_or_else(|| panic!("missing value for {flag}"));
+            .ok_or_else(|| UsageError(format!("missing value for {flag}")))?;
         match flag.as_str() {
-            "--m" => a.m = val.parse().expect("--m"),
-            "--n" => a.n = val.parse().expect("--n"),
-            "--k" => a.k = val.parse().expect("--k"),
-            "--h" => a.h = val.parse().expect("--h"),
-            "--seed" => a.seed = val.parse().expect("--seed"),
+            "--m" => a.m = parse_value(flag, val)?,
+            "--n" => a.n = parse_value(flag, val)?,
+            "--k" => a.k = parse_value(flag, val)?,
+            "--h" => a.h = parse_value(flag, val)?,
+            "--seed" => a.seed = parse_value(flag, val)?,
             "--backend" => a.backend = val.clone(),
             "--variant" => a.variant = val.clone(),
-            other => panic!("unknown flag {other}"),
+            other => return Err(UsageError(format!("unknown flag {other}"))),
         }
     }
-    a
+    Ok(a)
 }
 
-fn backend_of(name: &str) -> Backend {
-    match name {
+fn backend_of(name: &str) -> Result<Backend, UsageError> {
+    Ok(match name {
         "reference" => Backend::Reference,
         "cpu-fused" => Backend::CpuFused,
         "cpu-unfused" => Backend::CpuUnfused,
         "gpu-fused" => Backend::GpuSim(GpuVariant::Fused),
         "gpu-cuda-unfused" => Backend::GpuSim(GpuVariant::CudaUnfused),
         "gpu-cublas-unfused" => Backend::GpuSim(GpuVariant::CublasUnfused),
-        other => panic!("unknown backend {other} (try cpu-fused, cpu-unfused, reference, gpu-fused, gpu-cuda-unfused, gpu-cublas-unfused)"),
-    }
+        other => return Err(UsageError(format!("unknown backend {other}"))),
+    })
 }
 
-fn variant_of(name: &str) -> GpuVariant {
-    match name {
+fn variant_of(name: &str) -> Result<GpuVariant, UsageError> {
+    Ok(match name {
         "fused" => GpuVariant::Fused,
         "cuda-unfused" => GpuVariant::CudaUnfused,
         "cublas-unfused" => GpuVariant::CublasUnfused,
-        other => panic!("unknown variant {other} (try fused, cuda-unfused, cublas-unfused)"),
-    }
+        other => return Err(UsageError(format!("unknown variant {other}"))),
+    })
 }
 
 fn build(a: &Args) -> KernelSumProblem {
@@ -84,14 +122,15 @@ fn build(a: &Args) -> KernelSumProblem {
         .build()
 }
 
-fn cmd_solve(a: &Args) {
+fn cmd_solve(a: &Args) -> Result<(), UsageError> {
+    let backend = backend_of(&a.backend)?;
     let p = build(a);
     println!(
         "solving M={} N={} K={} h={} with {}",
         a.m, a.n, a.k, a.h, a.backend
     );
     let t = Instant::now();
-    let v = p.solve(backend_of(&a.backend));
+    let v = p.solve(backend);
     let dt = t.elapsed();
     let sum: f64 = v.iter().map(|&x| x as f64).sum();
     let max = v.iter().cloned().fold(f32::MIN, f32::max);
@@ -99,10 +138,11 @@ fn cmd_solve(a: &Args) {
         "done in {dt:?}: Σ V = {sum:.4}, max V = {max:.4}, V[0..4] = {:?}",
         &v[..v.len().min(4)]
     );
+    Ok(())
 }
 
-fn cmd_profile(a: &Args) {
-    let variant = variant_of(&a.variant);
+fn cmd_profile(a: &Args) -> Result<(), UsageError> {
+    let variant = variant_of(&a.variant)?;
     println!(
         "profiling {} at M={} N={} K={} on a simulated GTX970",
         variant.label(),
@@ -121,9 +161,10 @@ fn cmd_profile(a: &Args) {
         100.0 * r.energy.l2_j / r.energy.total_j(),
         r.energy.dram_share() * 100.0,
     );
+    Ok(())
 }
 
-fn cmd_compare(a: &Args) {
+fn cmd_compare(a: &Args) -> Result<(), UsageError> {
     println!(
         "comparing pipelines at M={} N={} K={} (simulated GTX970)",
         a.m, a.n, a.k
@@ -138,18 +179,29 @@ fn cmd_compare(a: &Args) {
     for (label, t) in &times[1..] {
         println!("  fused speedup vs {label}: {:.3}x", t / fused);
     }
+    Ok(())
 }
 
-fn cmd_lint(rest: &[String]) -> ExitCode {
+fn cmd_lint(rest: &[String]) -> Result<ExitCode, UsageError> {
     let mut out: Option<String> = None;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--out" => out = Some(it.next().expect("missing value for --out").clone()),
-            other => panic!("unknown flag {other} (lint takes only --out PATH)"),
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .ok_or_else(|| UsageError("missing value for --out".into()))?
+                        .clone(),
+                );
+            }
+            other => {
+                return Err(UsageError(format!(
+                    "unknown flag {other} (lint takes only --out PATH)"
+                )))
+            }
         }
     }
-    let dev = kernel_summation::gpu_sim::config::DeviceConfig::gtx970();
+    let dev = DeviceConfig::gtx970();
     println!("linting recorded warp traces on a simulated {}", dev.name);
     let report = kernel_summation::analyze::lint_report(&dev);
     let table = report.table();
@@ -157,35 +209,156 @@ fn cmd_lint(rest: &[String]) -> ExitCode {
     if let Some(path) = out {
         if let Err(e) = std::fs::write(&path, &table) {
             eprintln!("failed to write {path}: {e}");
-            return ExitCode::FAILURE;
+            return Ok(ExitCode::FAILURE);
         }
         println!("findings table written to {path}");
     }
-    if report.is_clean() {
+    Ok(if report.is_clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    })
+}
+
+/// The serving device: a GTX970 with its effective L2 cut to 16 KB to
+/// model inter-request cache pressure, so plan reuse is visible in
+/// the DRAM ledger (matches the acceptance test in `ks-bench`).
+fn serve_device() -> DeviceConfig {
+    let mut d = DeviceConfig::gtx970();
+    d.l2_bytes = 16 * 1024;
+    d
+}
+
+fn cmd_serve_bench(rest: &[String]) -> Result<ExitCode, UsageError> {
+    let mut wl = WorkloadConfig::default();
+    let mut cfg = ServeConfig {
+        backend: ServeBackend::GpuFused { cpu_fallback: true },
+        device: serve_device(),
+        wave: 4,
+        ..ServeConfig::default()
+    };
+    let mut json: Option<String> = None;
+    let mut it = rest.iter().peekable();
+    while let Some(flag) = it.next() {
+        // Bare switches first; everything else takes a value.
+        match flag.as_str() {
+            "--smoke" => {
+                wl = smoke_workload();
+                continue;
+            }
+            "--no-cache" => {
+                cfg.enable_plan_cache = false;
+                continue;
+            }
+            _ => {}
+        }
+        let val = it
+            .next()
+            .ok_or_else(|| UsageError(format!("missing value for {flag}")))?;
+        match flag.as_str() {
+            "--clients" => wl.clients = parse_value(flag, val)?,
+            "--queries" => wl.queries_per_client = parse_value(flag, val)?,
+            "--corpora" => wl.corpora = parse_value(flag, val)?,
+            "--shared-ratio" => wl.shared_ratio = parse_value(flag, val)?,
+            "--large-ratio" => wl.large_ratio = parse_value(flag, val)?,
+            "--m" => wl.m = parse_value(flag, val)?,
+            "--n" => wl.n = parse_value(flag, val)?,
+            "--k" => wl.k = parse_value(flag, val)?,
+            "--h" => wl.h = parse_value(flag, val)?,
+            "--seed" => wl.seed = parse_value(flag, val)?,
+            "--queue" => cfg.queue_capacity = parse_value(flag, val)?,
+            "--wave" => cfg.wave = parse_value(flag, val)?,
+            "--backend" => {
+                cfg.backend = match val.as_str() {
+                    "cpu-fused" => ServeBackend::CpuFused,
+                    "gpu-fused" => ServeBackend::GpuFused { cpu_fallback: true },
+                    other => {
+                        return Err(UsageError(format!(
+                            "unknown serve backend {other} (try cpu-fused, gpu-fused)"
+                        )))
+                    }
+                };
+            }
+            "--json" => json = Some(val.clone()),
+            other => return Err(UsageError(format!("unknown flag {other}"))),
+        }
     }
+    println!(
+        "serve-bench: {} clients x {} queries, {} corpora, shared ratio {}, M={} N={} K={}",
+        wl.clients, wl.queries_per_client, wl.corpora, wl.shared_ratio, wl.m, wl.n, wl.k
+    );
+    let device = cfg.device.clone();
+    let t = Instant::now();
+    let report = run_workload(cfg, &wl);
+    let wall = t.elapsed();
+    println!(
+        "submitted {} | accepted {} | rejected {} | completed {} | expired {} | failed {}",
+        report.submitted,
+        report.accepted,
+        report.rejected,
+        report.completed,
+        report.expired,
+        report.failed
+    );
+    println!(
+        "batches {} (avg width {:.2}) | plan cache: {} hits / {} misses / {} evictions (hit rate {:.2})",
+        report.batches,
+        if report.batches > 0 {
+            report.batched_queries as f64 / report.batches as f64
+        } else {
+            0.0
+        },
+        report.plan_cache.hits,
+        report.plan_cache.misses,
+        report.plan_cache.evictions,
+        report.hit_rate(),
+    );
+    println!(
+        "queue high water {} | fallbacks {} | wall {wall:?}",
+        report.queue_high_water, report.fallbacks
+    );
+    let metrics = ServeMetrics::collect(&report, &device);
+    if let Some(gpu) = &metrics.gpu {
+        println!(
+            "gpu: {} kernels, sim time {:.3} ms, {} DRAM transactions, {:.3} mJ",
+            gpu.profile.kernels.len(),
+            gpu.time_s * 1e3,
+            gpu.dram_transactions,
+            gpu.energy.total_j() * 1e3
+        );
+    }
+    if let Some(path) = json {
+        if let Err(e) = metrics.write_json(&path) {
+            eprintln!("error: cannot write {path}: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+        eprintln!("wrote {path}");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let Some(cmd) = args.get(1) else {
-        eprintln!("usage: ksum <solve|profile|compare|lint> [--m M] [--n N] [--k K] [--h H] [--seed S] [--backend B] [--variant V] | lint [--out PATH]");
-        return ExitCode::FAILURE;
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
     };
-    if cmd == "lint" {
-        return cmd_lint(&args[2..]);
-    }
-    let a = parse(&args[2..]);
-    match cmd.as_str() {
-        "solve" => cmd_solve(&a),
-        "profile" => cmd_profile(&a),
-        "compare" => cmd_compare(&a),
-        other => {
-            eprintln!("unknown command {other}");
-            return ExitCode::FAILURE;
+    let run = || -> Result<ExitCode, UsageError> {
+        match cmd.as_str() {
+            "lint" => cmd_lint(&args[2..]),
+            "serve-bench" => cmd_serve_bench(&args[2..]),
+            "solve" => parse(&args[2..]).and_then(|a| cmd_solve(&a).map(|()| ExitCode::SUCCESS)),
+            "profile" => {
+                parse(&args[2..]).and_then(|a| cmd_profile(&a).map(|()| ExitCode::SUCCESS))
+            }
+            "compare" => {
+                parse(&args[2..]).and_then(|a| cmd_compare(&a).map(|()| ExitCode::SUCCESS))
+            }
+            other => Err(UsageError(format!("unknown command {other}"))),
         }
+    };
+    match run() {
+        Ok(code) => code,
+        Err(e) => usage_exit(&e),
     }
-    ExitCode::SUCCESS
 }

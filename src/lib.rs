@@ -3,16 +3,20 @@
 //! One-stop re-export of the workspace: the kernel-summation library
 //! ([`ks_core`]), the CPU BLAS substrate ([`ks_blas`]), the
 //! Maxwell-class GPU simulator ([`ks_gpu_sim`]), the GPU kernels
-//! ([`ks_gpu_kernels`]) and the energy model ([`ks_energy`]).
+//! ([`ks_gpu_kernels`]), the energy model ([`ks_energy`]), the batched
+//! serving stack ([`ks_serve`]) and the experiment harness
+//! ([`ks_bench`]).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory; `EXPERIMENTS.md` records the paper-vs-measured numbers.
 
 pub use ks_analyze as analyze;
+pub use ks_bench as bench;
 pub use ks_blas as blas;
 pub use ks_core as core;
 pub use ks_energy as energy;
 pub use ks_gpu_kernels as gpu_kernels;
 pub use ks_gpu_sim as gpu_sim;
+pub use ks_serve as serve;
 
 pub use ks_core::prelude;

@@ -1,0 +1,137 @@
+//! Black-box tests of the `ksum` binary's argument handling: malformed
+//! invocations must print the usage to stderr and exit with status 2
+//! (never panic), and `serve-bench --json` must emit a parseable
+//! `ServeMetrics` document.
+
+use std::process::{Command, Output};
+
+use kernel_summation::bench::ServeMetrics;
+
+fn ksum(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ksum"))
+        .args(args)
+        .output()
+        .expect("ksum binary runs")
+}
+
+fn assert_usage_error(out: &Output, needle: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "expected exit 2, got {:?}; stderr: {stderr}",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains("usage: ksum"),
+        "stderr must show the usage; got: {stderr}"
+    );
+    assert!(
+        stderr.contains(needle),
+        "stderr must name the problem ({needle}); got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "argument errors must not panic; got: {stderr}"
+    );
+}
+
+#[test]
+fn no_command_prints_usage_and_exits_2() {
+    let out = ksum(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: ksum"));
+}
+
+#[test]
+fn unknown_command_is_a_usage_error() {
+    assert_usage_error(&ksum(&["frobnicate"]), "unknown command frobnicate");
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    assert_usage_error(&ksum(&["solve", "--bogus", "1"]), "unknown flag --bogus");
+}
+
+#[test]
+fn unknown_backend_is_a_usage_error() {
+    assert_usage_error(&ksum(&["solve", "--backend", "tpu"]), "unknown backend tpu");
+}
+
+#[test]
+fn unknown_variant_is_a_usage_error() {
+    assert_usage_error(
+        &ksum(&["profile", "--variant", "nope"]),
+        "unknown variant nope",
+    );
+}
+
+#[test]
+fn missing_and_malformed_values_are_usage_errors() {
+    assert_usage_error(&ksum(&["solve", "--m"]), "missing value for --m");
+    assert_usage_error(
+        &ksum(&["solve", "--m", "many"]),
+        "invalid value for --m: many",
+    );
+}
+
+#[test]
+fn serve_bench_rejects_unknown_backends_too() {
+    assert_usage_error(
+        &ksum(&["serve-bench", "--backend", "fpga"]),
+        "unknown serve backend fpga",
+    );
+}
+
+#[test]
+fn solve_succeeds_on_a_tiny_problem() {
+    let out = ksum(&[
+        "solve",
+        "--m",
+        "64",
+        "--n",
+        "32",
+        "--k",
+        "4",
+        "--backend",
+        "cpu-fused",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("done in"));
+}
+
+#[test]
+fn serve_bench_json_export_parses() {
+    let dir = std::env::temp_dir().join("ksum_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("serve_bench.json");
+    let out = ksum(&[
+        "serve-bench",
+        "--clients",
+        "2",
+        "--queries",
+        "6",
+        "--m",
+        "64",
+        "--n",
+        "32",
+        "--k",
+        "8",
+        "--backend",
+        "cpu-fused",
+        "--json",
+        path.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&path).expect("json written");
+    let metrics = ServeMetrics::from_json(&doc).expect("valid ServeMetrics document");
+    assert_eq!(metrics.submitted, 12);
+    assert_eq!(metrics.completed + metrics.rejected, metrics.submitted);
+    assert!(metrics.gpu.is_none(), "cpu-fused backend runs no GPU batch");
+    std::fs::remove_file(&path).ok();
+}
