@@ -1,0 +1,133 @@
+//! Serial-vs-parallel replay benchmark over the fused pipeline
+//! (`BENCH_replay.json`).
+//!
+//! For each sweep point the fused pipeline is profiled twice on fresh
+//! devices — once with [`ReplayStrategy::Serial`], once with the
+//! default memoized parallel strategy — and the wall-clock of each
+//! replay, their ratio, and whether the two profiles agree on every
+//! counter are recorded.
+//!
+//! ```text
+//! replay_bench [--smoke] [--gate MIN_SPEEDUP] [--threads N] [--json PATH]
+//! ```
+//!
+//! * default grid: `M ∈ {8192, 65536, 524288}`, `K = 32`, `N = 1024`;
+//! * `--smoke`: `M ∈ {8192, 65536}` only (CI-sized);
+//! * `--gate X`: exit 1 unless the **largest** point's speedup ≥ X
+//!   (and always exit 1 on a counter mismatch);
+//! * `--threads N`: worker count for the parallel runs (default: the
+//!   machine's cores);
+//! * `--json PATH`: write the [`ReplayMetrics`] document.
+
+use std::time::Instant;
+
+use ks_bench::metrics::{path_arg, ReplayMetrics, ReplayPoint, SCHEMA_VERSION};
+use ks_gpu_kernels::{GpuKernelSummation, GpuVariant};
+use ks_gpu_sim::{GpuDevice, ReplayStrategy};
+
+const K: usize = 32;
+const N: usize = 1024;
+
+fn profile_ms(m: usize, strategy: ReplayStrategy) -> (f64, ks_gpu_sim::PipelineProfile, u64) {
+    let pipeline = GpuKernelSummation::new(m, N, K, 1.0);
+    let mut dev = GpuDevice::gtx970();
+    dev.set_replay_strategy(strategy);
+    let t = Instant::now();
+    let prof = pipeline
+        .profile(&mut dev, GpuVariant::Fused)
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot profile M={m}: {e}");
+            std::process::exit(1);
+        });
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    let blocks = prof
+        .kernels
+        .iter()
+        .map(|k| k.launch.total_blocks())
+        .max()
+        .unwrap_or(0);
+    (ms, prof, blocks)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let gate: Option<f64> = path_arg(&args, "--gate").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid --gate value {v}");
+            std::process::exit(2);
+        })
+    });
+    let threads: Option<usize> = path_arg(&args, "--threads").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid --threads value {v}");
+            std::process::exit(2);
+        })
+    });
+    let m_values: &[usize] = if smoke {
+        &[8192, 65_536]
+    } else {
+        &[8192, 65_536, 524_288]
+    };
+
+    let mut points = Vec::new();
+    for &m in m_values {
+        let (serial_ms, serial_prof, blocks) = profile_ms(m, ReplayStrategy::Serial);
+        let (parallel_ms, parallel_prof, _) = profile_ms(
+            m,
+            ReplayStrategy::Parallel {
+                memoize: true,
+                threads,
+            },
+        );
+        let counters_match = serial_prof == parallel_prof;
+        let speedup = serial_ms / parallel_ms;
+        eprintln!(
+            "M={m:>7} blocks={blocks:>6}: serial {serial_ms:>9.1} ms, parallel {parallel_ms:>9.1} ms, speedup {speedup:.2}x, counters {}",
+            if counters_match { "match" } else { "MISMATCH" }
+        );
+        points.push(ReplayPoint {
+            m: m as u64,
+            k: K as u64,
+            n: N as u64,
+            blocks,
+            serial_ms,
+            parallel_ms,
+            speedup,
+            threads: threads.unwrap_or(0) as u64,
+            counters_match,
+        });
+    }
+
+    let metrics = ReplayMetrics {
+        schema_version: SCHEMA_VERSION,
+        kernel: "Fused".into(),
+        points,
+    };
+    if let Some(path) = path_arg(&args, "--json") {
+        metrics.write_json(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+
+    if metrics.points.iter().any(|p| !p.counters_match) {
+        eprintln!("FAIL: parallel replay drifted from serial counters");
+        std::process::exit(1);
+    }
+    if let Some(min) = gate {
+        let last = metrics.points.last().expect("at least one point");
+        if last.speedup < min {
+            eprintln!(
+                "FAIL: speedup {:.2}x at M={} below gate {min:.2}x",
+                last.speedup, last.m
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "gate passed: {:.2}x >= {min:.2}x at M={}",
+            last.speedup, last.m
+        );
+    }
+}

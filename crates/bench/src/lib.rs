@@ -25,6 +25,6 @@ pub mod sweep;
 pub mod table;
 
 pub use data::{profile_or_exit, PointData, SweepData};
-pub use metrics::{ServeMetrics, SweepMetrics};
+pub use metrics::{ReplayMetrics, ReplayPoint, ServeMetrics, SweepMetrics};
 pub use sweep::Sweep;
 pub use table::TextTable;

@@ -287,6 +287,70 @@ impl ServeMetrics {
     }
 }
 
+/// One serial-vs-parallel replay measurement (the `BENCH_replay.json`
+/// schema, produced by the `replay_bench` binary).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayPoint {
+    /// Source count.
+    pub m: u64,
+    /// Point-space dimension.
+    pub k: u64,
+    /// Target count.
+    pub n: u64,
+    /// Grid blocks of the fused kernel at this point.
+    pub blocks: u64,
+    /// Host wall time of the serial replay, in milliseconds.
+    pub serial_ms: f64,
+    /// Host wall time of the parallel (memoized) replay, in
+    /// milliseconds.
+    pub parallel_ms: f64,
+    /// `serial_ms / parallel_ms`.
+    pub speedup: f64,
+    /// Worker count the parallel replay ran with (0 = machine
+    /// default).
+    pub threads: u64,
+    /// Whether both replays produced identical counters and memory
+    /// traffic (they must; recorded so a regression is visible in the
+    /// artifact, not only in the process exit code).
+    pub counters_match: bool,
+}
+
+/// The `replay_bench` export: serial vs parallel replay wall-clock
+/// over the fused pipeline at a set of sweep points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayMetrics {
+    /// Export schema version (see [`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Pipeline the measurements ran (always the fused variant).
+    pub kernel: String,
+    /// Per-point measurements, in increasing M.
+    pub points: Vec<ReplayPoint>,
+}
+
+impl ReplayMetrics {
+    /// Pretty-printed JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics serialise")
+    }
+
+    /// Parses a document produced by [`ReplayMetrics::to_json`].
+    ///
+    /// # Errors
+    /// Returns the underlying parse/shape error message.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes [`ReplayMetrics::to_json`] to `path`.
+    ///
+    /// # Errors
+    /// Propagates the I/O error.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
 /// Parses `--<flag> <path>` from argv. Returns `Some(path)` only when
 /// a value follows the flag and is not itself a `--` option, so bare
 /// boolean flags (e.g. `run_all --csv` table mode) keep working.

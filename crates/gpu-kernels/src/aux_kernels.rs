@@ -20,7 +20,7 @@ use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
 use ks_gpu_sim::kernel::VecWidth;
 use ks_gpu_sim::kernel::{
-    AnalysisBudget, BufferUse, ExecModel, Kernel, KernelResources, TimingHints,
+    AnalysisBudget, BlockClass, BufferUse, ExecModel, Kernel, KernelResources, TimingHints,
 };
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
@@ -161,6 +161,16 @@ impl Kernel for NormsKernel {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn block_class(&self, block: Dim3) -> Option<BlockClass> {
+        // Block x norms points [x·128, x·128+128): reads start at
+        // x·128·dim, the output store at x·128.
+        let b = block.x as usize;
+        Some(BlockClass {
+            key: 0,
+            anchors: vec![(self.points, b * 128 * self.dim), (self.out, b * 128)],
+        })
     }
 
     fn analysis_budget(&self) -> AnalysisBudget {
@@ -310,6 +320,21 @@ impl Kernel for EvalSumKernel {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn block_class(&self, block: Dim3) -> Option<BlockClass> {
+        // Block x covers rows [x·128, x·128+128): C reads start at
+        // x·128·n, the row norms and output at x·128; b2/W are read at
+        // block-independent addresses (delta 0, so left unanchored).
+        let b = block.x as usize;
+        Some(BlockClass {
+            key: 0,
+            anchors: vec![
+                (self.c_mat, b * 128 * self.n),
+                (self.a2, b * 128),
+                (self.v, b * 128),
+            ],
+        })
     }
 
     fn analysis_budget(&self) -> AnalysisBudget {
@@ -485,6 +510,21 @@ impl Kernel for EvalSumCoalescedKernel {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn block_class(&self, block: Dim3) -> Option<BlockClass> {
+        // Block x covers rows [x·8, x·8+8): C reads start at x·8·n,
+        // the row norms and output at x·8 (32 bytes — exactly one
+        // sector, so translations stay aligned).
+        let b = block.x as usize;
+        Some(BlockClass {
+            key: 0,
+            anchors: vec![
+                (self.c_mat, b * 8 * self.n),
+                (self.a2, b * 8),
+                (self.v, b * 8),
+            ],
+        })
     }
 
     fn analysis_budget(&self) -> AnalysisBudget {
@@ -728,6 +768,15 @@ impl Kernel for GemvKernel {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn block_class(&self, block: Dim3) -> Option<BlockClass> {
+        // Block x reduces rows [x·8, x·8+8) of K against the shared W.
+        let b = block.x as usize;
+        Some(BlockClass {
+            key: 0,
+            anchors: vec![(self.k_mat, b * 8 * self.n), (self.v, b * 8)],
+        })
     }
 
     fn analysis_budget(&self) -> AnalysisBudget {

@@ -25,7 +25,7 @@ use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
 use ks_gpu_sim::kernel::VecWidth;
 use ks_gpu_sim::kernel::{
-    AnalysisBudget, BufferUse, ExecModel, Kernel, KernelResources, TimingHints,
+    AnalysisBudget, BlockClass, BufferUse, ExecModel, Kernel, KernelResources, TimingHints,
 };
 use ks_gpu_sim::occupancy::OccupancyLimiter;
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
@@ -338,6 +338,29 @@ impl Kernel for FusedKernelSummation {
         true
     }
 
+    fn block_class(&self, block: Dim3) -> Option<BlockClass> {
+        // Every block runs the identical tile schedule; only the tile
+        // origin moves. All global accesses are affine in (bx, by):
+        // A rows start at by·128·k, B columns at bx·128·k, the norm /
+        // weight vectors at by·128 / bx·128, and the reduction target
+        // at by·128 (atomic) or bx·m + by·128 (two-pass partials).
+        let (bx, by) = (block.x as usize, block.y as usize);
+        let mut anchors = vec![
+            (self.ops.a, by * BLOCK_TILE * self.shape.k),
+            (self.ops.b, bx * BLOCK_TILE * self.shape.k),
+            (self.a2, by * BLOCK_TILE),
+            (self.b2, bx * BLOCK_TILE),
+            (self.w, bx * BLOCK_TILE),
+        ];
+        match self.reduction {
+            Reduction::Atomic => anchors.push((self.v, by * BLOCK_TILE)),
+            Reduction::TwoPass { partials } => {
+                anchors.push((partials, bx * self.shape.m + by * BLOCK_TILE));
+            }
+        }
+        Some(BlockClass { key: 0, anchors })
+    }
+
     fn analysis_budget(&self) -> AnalysisBudget {
         let (m, n, k) = (self.shape.m, self.shape.n, self.shape.k);
         let mut buffers = vec![
@@ -483,6 +506,17 @@ impl Kernel for ReducePartialsKernel {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn block_class(&self, block: Dim3) -> Option<BlockClass> {
+        // Block x reduces rows [x·256, x·256+256): every partials read
+        // (bx·m + x·256 + …) and the final store shift by 256 elements
+        // per block.
+        let base = block.x as usize * 256;
+        Some(BlockClass {
+            key: 0,
+            anchors: vec![(self.partials, base), (self.v, base)],
+        })
     }
 
     fn analysis_budget(&self) -> AnalysisBudget {
@@ -703,6 +737,48 @@ mod tests {
         for (g, wv) in got.iter().zip(want.iter()) {
             assert!((g - wv).abs() < 2e-3 * wv.abs().max(1.0));
         }
+    }
+
+    /// Extension of the gpu-sim `run_counted_agrees_with_launch_on_
+    /// memory_counters` test to the fused kernel's two-pass mode: the
+    /// sequential functional-counting path and the (parallel,
+    /// memoized) replay path must agree on every counter for both
+    /// reduction ablations, not just the atomic default covered by
+    /// `fused_profile_fast_path_matches_counted`.
+    #[test]
+    fn run_counted_agrees_with_launch_on_fused_two_pass() {
+        let p = make_problem(
+            GemmShape {
+                m: 256,
+                n: 256,
+                k: 16,
+            },
+            46,
+        );
+        let nbx = p.shape.n / BLOCK_TILE;
+        let build = |dev: &mut GpuDevice| {
+            let (ops, a2, b2, w, v) = gpu_setup(dev, &p);
+            let partials = dev.alloc(nbx * p.shape.m);
+            (
+                FusedKernelSummation::new(ops, a2, b2, w, v, p.shape, p.bw)
+                    .with_reduction(Reduction::TwoPass { partials }),
+                ReducePartialsKernel::new(partials, v, p.shape.m, nbx),
+            )
+        };
+        let mut d1 = GpuDevice::gtx970();
+        let (k1, r1) = build(&mut d1);
+        let fast = d1.launch(&k1).unwrap();
+        let fast_r = d1.launch(&r1).unwrap();
+
+        let mut d2 = GpuDevice::gtx970();
+        let (k2, r2) = build(&mut d2);
+        let slow = d2.run_counted(&k2).unwrap();
+        let slow_r = d2.run_counted(&r2).unwrap();
+
+        assert_eq!(fast.counters, slow.counters);
+        assert_eq!(fast.mem, slow.mem);
+        assert_eq!(fast_r.counters, slow_r.counters);
+        assert_eq!(fast_r.mem, slow_r.mem);
     }
 
     #[test]

@@ -25,7 +25,8 @@ use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
 use ks_gpu_sim::kernel::VecWidth;
 use ks_gpu_sim::kernel::{
-    AnalysisBudget, BufferUse, ExecModel, Kernel, KernelResources, LaunchError, TimingHints,
+    AnalysisBudget, BlockClass, BufferUse, ExecModel, Kernel, KernelResources, LaunchError,
+    TimingHints,
 };
 use ks_gpu_sim::occupancy::OccupancyLimiter;
 use ks_gpu_sim::profiler::PipelineProfile;
@@ -288,6 +289,25 @@ impl Kernel for FusedMultiWeight {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn block_class(&self, block: Dim3) -> Option<BlockClass> {
+        // Same affine structure as the single-weight kernel: the
+        // column-major weight reads (c·n + bx·128 + …) and atomic
+        // drains (c·m + by·128 + …) shift with bx·128 / by·128; the
+        // c·n / c·m column offsets are block-independent.
+        let (bx, by) = (block.x as usize, block.y as usize);
+        Some(BlockClass {
+            key: 0,
+            anchors: vec![
+                (self.ops.a, by * BLOCK_TILE * self.shape.k),
+                (self.ops.b, bx * BLOCK_TILE * self.shape.k),
+                (self.a2, by * BLOCK_TILE),
+                (self.b2, bx * BLOCK_TILE),
+                (self.w, bx * BLOCK_TILE),
+                (self.v, by * BLOCK_TILE),
+            ],
+        })
     }
 
     fn analysis_budget(&self) -> AnalysisBudget {

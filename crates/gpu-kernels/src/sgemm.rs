@@ -13,7 +13,7 @@ use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
 use ks_gpu_sim::kernel::VecWidth;
 use ks_gpu_sim::kernel::{
-    AnalysisBudget, BufferUse, ExecModel, Kernel, KernelResources, TimingHints,
+    AnalysisBudget, BlockClass, BufferUse, ExecModel, Kernel, KernelResources, TimingHints,
 };
 use ks_gpu_sim::occupancy::OccupancyLimiter;
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
@@ -167,6 +167,21 @@ impl Kernel for CudaSgemm {
         true
     }
 
+    fn block_class(&self, block: Dim3) -> Option<BlockClass> {
+        // A rows anchor at by·128·k, B columns at bx·128·k, and the C
+        // write-back tile at by·128·n + bx·128 — all affine in the
+        // block coordinates with a fixed intra-block pattern.
+        let (bx, by) = (block.x as usize, block.y as usize);
+        Some(BlockClass {
+            key: 0,
+            anchors: vec![
+                (self.ops.a, by * BLOCK_TILE * self.shape.k),
+                (self.ops.b, bx * BLOCK_TILE * self.shape.k),
+                (self.c, by * BLOCK_TILE * self.shape.n + bx * BLOCK_TILE),
+            ],
+        })
+    }
+
     fn analysis_budget(&self) -> AnalysisBudget {
         let (m, n, k) = (self.shape.m, self.shape.n, self.shape.k);
         AnalysisBudget {
@@ -250,6 +265,10 @@ impl Kernel for VendorSgemm {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn block_class(&self, block: Dim3) -> Option<BlockClass> {
+        self.inner.block_class(block)
     }
 
     fn analysis_budget(&self) -> AnalysisBudget {

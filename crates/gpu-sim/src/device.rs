@@ -15,6 +15,7 @@ use crate::exec;
 use crate::kernel::{validate_launch, Kernel, LaunchError};
 use crate::occupancy::occupancy;
 use crate::profiler::{KernelProfile, MemTraffic};
+use crate::replay::{self, ReplayStrategy};
 use crate::timing::{self, TimingParams};
 use crate::traffic::TrafficSink;
 
@@ -26,6 +27,7 @@ pub struct GpuDevice {
     /// Per-SM L1s (only when `cfg.l1_cache_global_loads`).
     l1s: Vec<Cache>,
     timing_params: TimingParams,
+    replay: ReplayStrategy,
 }
 
 impl GpuDevice {
@@ -46,6 +48,7 @@ impl GpuDevice {
             l2,
             l1s,
             timing_params: TimingParams::default(),
+            replay: ReplayStrategy::default(),
         }
     }
 
@@ -70,6 +73,19 @@ impl GpuDevice {
     #[must_use]
     pub fn timing_params(&self) -> &TimingParams {
         &self.timing_params
+    }
+
+    /// Selects how launches replay traffic (see
+    /// [`ReplayStrategy`]). Every strategy produces bit-identical
+    /// counters and cache state; only wall-clock differs.
+    pub fn set_replay_strategy(&mut self, s: ReplayStrategy) {
+        self.replay = s;
+    }
+
+    /// Current replay strategy.
+    #[must_use]
+    pub fn replay_strategy(&self) -> ReplayStrategy {
+        self.replay
     }
 
     /// Read access to global memory.
@@ -126,41 +142,14 @@ impl GpuDevice {
         for l1 in &mut self.l1s {
             l1.invalidate();
         }
-        let mut sink = TrafficSink::new(
+        let counters = replay::replay(
             &self.mem,
             &mut self.l2,
-            self.cfg.sector_bytes,
-            self.cfg.smem_banks,
+            &mut self.l1s,
+            &self.cfg,
+            kernel,
+            self.replay,
         );
-        if !self.l1s.is_empty() {
-            sink.set_l1s(&mut self.l1s);
-        }
-        let lc = kernel.launch_config();
-        let blocks = lc.total_blocks();
-        let counters = if kernel.traffic_homogeneous() && blocks > 1 {
-            // Fast path: one block's compute/shared counters × grid
-            // size; global traffic replayed per block through the L2.
-            sink.set_mode(crate::traffic::SinkMode::LocalOnly);
-            let first = lc.grid.iter_indices().next().expect("non-empty grid");
-            kernel.block_traffic(first, &mut sink);
-            let mut local = sink.counters;
-            local.scale(blocks);
-            sink.counters = crate::profiler::Counters::default();
-            sink.set_mode(crate::traffic::SinkMode::GlobalOnly);
-            for (i, b) in lc.grid.iter_indices().enumerate() {
-                sink.begin_block(i as u64);
-                kernel.block_traffic(b, &mut sink);
-            }
-            let mut c = sink.counters;
-            c.merge(&local);
-            c
-        } else {
-            for (i, b) in lc.grid.iter_indices().enumerate() {
-                sink.begin_block(i as u64);
-                kernel.block_traffic(b, &mut sink);
-            }
-            sink.counters
-        };
         self.l2.flush_dirty();
         let after = self.l2.stats();
         Ok(self.finish_profile(kernel, counters, before, after))
@@ -177,9 +166,17 @@ impl GpuDevice {
         Ok(())
     }
 
-    /// Runs a kernel functionally **and** profiles it (sequential over
-    /// blocks; slow — used to validate that `block_traffic` replays
-    /// exactly what `execute_block` does).
+    /// Runs a kernel functionally **and** profiles it — used to
+    /// validate that `block_traffic` replays exactly what
+    /// `execute_block` does.
+    ///
+    /// Functional counting always walks blocks **sequentially**
+    /// regardless of the device's [`ReplayStrategy`]: the numerics
+    /// mutate shared global memory, so blocks must observe each
+    /// other's writes in launch order. The per-block counters are
+    /// still harvested individually and folded through the same
+    /// grid-order merge the traffic replay engine uses, so the totals
+    /// agree with [`GpuDevice::launch`] by construction.
     ///
     /// # Errors
     /// Returns a [`LaunchError`] if the launch violates device limits.
@@ -199,8 +196,9 @@ impl GpuDevice {
         if !self.l1s.is_empty() {
             sink.set_l1s(&mut self.l1s);
         }
-        exec::run_functional_counted(&self.mem, kernel, smem_words, &mut sink);
-        let counters = sink.counters;
+        let per_block =
+            exec::run_functional_counted_per_block(&self.mem, kernel, smem_words, &mut sink);
+        let counters = replay::merge_grid_order(&per_block);
         self.l2.flush_dirty();
         let after = self.l2.stats();
         Ok(self.finish_profile(kernel, counters, before, after))
@@ -347,6 +345,193 @@ mod tests {
         assert_eq!(p1.mem, p2.mem);
         // And the functional path actually moved the data.
         assert_eq!(d2.download(k2.y), vec![1.0; n]);
+    }
+
+    /// Homogeneous tiled kernel declaring a block class: every block
+    /// reads/writes a 32-element tile at `block.x * stride`.
+    struct Tiled {
+        x: BufId,
+        y: BufId,
+        blocks: u32,
+        /// Element stride between consecutive block tiles. 32 keeps
+        /// translations sector-aligned; 3 forces the sub-sector
+        /// fallback.
+        stride: usize,
+    }
+
+    impl Kernel for Tiled {
+        fn name(&self) -> String {
+            "tiled".into()
+        }
+        fn launch_config(&self) -> LaunchConfig {
+            LaunchConfig::new(Dim3::new_1d(self.blocks), 32u32)
+        }
+        fn resources(&self) -> KernelResources {
+            KernelResources {
+                threads_per_block: 32,
+                regs_per_thread: 16,
+                smem_bytes_per_block: 0,
+            }
+        }
+        fn traffic_homogeneous(&self) -> bool {
+            true
+        }
+        fn execute_block(&self, block: Dim3, ctx: &mut BlockCtx) {
+            let base = block.x as usize * self.stride;
+            let idx = full_warp_idx(|l| base + l);
+            let v = ctx.warp_ld_global(self.x, &idx);
+            ctx.warp_st_global(self.y, &idx, &v);
+        }
+        fn block_traffic(&self, block: Dim3, sink: &mut crate::traffic::TrafficSink) {
+            let base = block.x as usize * self.stride;
+            let idx = full_warp_idx(|l| base + l);
+            sink.global_read(self.x, &idx, 1);
+            sink.ffma(1);
+            sink.global_write(self.y, &idx, 1);
+        }
+        fn block_class(&self, block: Dim3) -> Option<crate::kernel::BlockClass> {
+            let base = block.x as usize * self.stride;
+            Some(crate::kernel::BlockClass {
+                key: 0,
+                anchors: vec![(self.x, base), (self.y, base)],
+            })
+        }
+    }
+
+    fn profile_with(strategy: ReplayStrategy, stride: usize) -> KernelProfile {
+        let mut dev = GpuDevice::gtx970();
+        dev.set_replay_strategy(strategy);
+        let x = dev.alloc(64 * 64);
+        let y = dev.alloc(64 * 64);
+        dev.launch(&Tiled {
+            x,
+            y,
+            blocks: 64,
+            stride,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_replay_matches_serial_on_homogeneous_kernel() {
+        for stride in [32usize, 3] {
+            let serial = profile_with(ReplayStrategy::Serial, stride);
+            for threads in [1, 2, 7, 16] {
+                for memoize in [false, true] {
+                    let par = profile_with(
+                        ReplayStrategy::Parallel {
+                            memoize,
+                            threads: Some(threads),
+                        },
+                        stride,
+                    );
+                    assert_eq!(
+                        serial.counters, par.counters,
+                        "stride {stride}, {threads} threads, memoize {memoize}"
+                    );
+                    assert_eq!(serial.mem, par.mem, "stride {stride}, {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_replay_matches_serial_on_heterogeneous_kernel() {
+        let n = 32 * 1024;
+        let run = |strategy: ReplayStrategy| {
+            let mut dev = GpuDevice::gtx970();
+            dev.set_replay_strategy(strategy);
+            let x = dev.alloc(n);
+            let y = dev.alloc(n);
+            dev.launch(&Streamer { x, y, n }).unwrap()
+        };
+        let serial = run(ReplayStrategy::Serial);
+        let par = run(ReplayStrategy::Parallel {
+            memoize: true,
+            threads: Some(5),
+        });
+        assert_eq!(serial.counters, par.counters);
+        assert_eq!(serial.mem, par.mem);
+    }
+
+    #[test]
+    fn parallel_replay_matches_serial_with_l1s() {
+        let mut cfg = crate::config::DeviceConfig::gtx970();
+        cfg.l1_cache_global_loads = true;
+        let n = 16 * 1024;
+        let run = |strategy: ReplayStrategy| {
+            let mut dev = GpuDevice::new(cfg.clone());
+            dev.set_replay_strategy(strategy);
+            let x = dev.alloc(n);
+            let y = dev.alloc(n);
+            dev.launch(&Streamer { x, y, n }).unwrap()
+        };
+        let serial = run(ReplayStrategy::Serial);
+        for threads in [1, 4] {
+            let par = run(ReplayStrategy::Parallel {
+                memoize: true,
+                threads: Some(threads),
+            });
+            assert_eq!(serial.counters, par.counters, "{threads} threads");
+            assert_eq!(serial.mem, par.mem, "{threads} threads");
+        }
+    }
+
+    /// A kernel that mis-declares its class (all blocks claim the
+    /// same key and anchors, but block 1 actually strides
+    /// differently): the per-class spot-check must catch it and fall
+    /// back to direct replay, keeping parallel == serial.
+    struct Liar {
+        x: BufId,
+    }
+
+    impl Kernel for Liar {
+        fn name(&self) -> String {
+            "liar".into()
+        }
+        fn launch_config(&self) -> LaunchConfig {
+            LaunchConfig::new(Dim3::new_1d(4), 32u32)
+        }
+        fn resources(&self) -> KernelResources {
+            KernelResources {
+                threads_per_block: 32,
+                regs_per_thread: 16,
+                smem_bytes_per_block: 0,
+            }
+        }
+        fn traffic_homogeneous(&self) -> bool {
+            true
+        }
+        fn execute_block(&self, _: Dim3, _: &mut BlockCtx) {}
+        fn block_traffic(&self, block: Dim3, sink: &mut crate::traffic::TrafficSink) {
+            // Block 1 secretly reads with a gather the others don't.
+            let mul = if block.x == 1 { 2 } else { 1 };
+            let idx = full_warp_idx(|l| l * mul);
+            sink.global_read(self.x, &idx, 1);
+        }
+        fn block_class(&self, _: Dim3) -> Option<crate::kernel::BlockClass> {
+            Some(crate::kernel::BlockClass {
+                key: 7,
+                anchors: vec![(self.x, 0)],
+            })
+        }
+    }
+
+    #[test]
+    fn memo_spot_check_catches_mis_declared_class() {
+        let run = |strategy: ReplayStrategy| {
+            let mut dev = GpuDevice::gtx970();
+            dev.set_replay_strategy(strategy);
+            let x = dev.alloc(256);
+            dev.launch(&Liar { x }).unwrap()
+        };
+        let serial = run(ReplayStrategy::Serial);
+        let par = run(ReplayStrategy::Parallel {
+            memoize: true,
+            threads: Some(4),
+        });
+        assert_eq!(serial.counters, par.counters);
+        assert_eq!(serial.mem, par.mem);
     }
 
     #[test]

@@ -272,6 +272,28 @@ pub fn run_functional_counted<'a>(
     }
 }
 
+/// Like [`run_functional_counted`], but harvests each block's counters
+/// separately (the sink's running counters are reset per block), so
+/// the caller can merge them through the same deterministic grid-order
+/// reduction the traffic replay engine uses.
+pub fn run_functional_counted_per_block<'a>(
+    mem: &'a GlobalMem,
+    kernel: &dyn Kernel,
+    smem_words: usize,
+    sink: &mut TrafficSink<'a>,
+) -> Vec<crate::profiler::Counters> {
+    let lc = kernel.launch_config();
+    let mut per_block = Vec::with_capacity(lc.total_blocks() as usize);
+    for (i, b) in lc.grid.iter_indices().enumerate() {
+        sink.counters = crate::profiler::Counters::default();
+        sink.begin_block(i as u64);
+        let mut ctx = BlockCtx::new(mem, smem_words, Some(sink));
+        kernel.execute_block(b, &mut ctx);
+        per_block.push(sink.counters);
+    }
+    per_block
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

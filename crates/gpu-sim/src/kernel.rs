@@ -102,6 +102,28 @@ pub struct AnalysisBudget {
     pub buffers: Vec<BufferUse>,
 }
 
+/// Declares which translation class a block's global traffic belongs
+/// to, enabling block-class memoization during parallel replay (see
+/// `crate::replay`).
+///
+/// Two blocks with the same `key` must issue **identical** warp-level
+/// instruction streams whose global accesses differ only by a
+/// constant per-buffer element offset — the `anchors`. For such a
+/// pair, every sector address of one block equals the corresponding
+/// sector address of the other shifted by `Δanchor × 4` bytes,
+/// provided the byte delta is a multiple of the sector size (the
+/// replay engine verifies this at runtime and falls back to direct
+/// replay otherwise). Buffers absent from `anchors` are accessed at
+/// block-independent addresses (delta 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockClass {
+    /// Class discriminant; blocks sharing a key are
+    /// translation-equivalent.
+    pub key: u64,
+    /// `(buffer, element offset)` anchors of this block's accesses.
+    pub anchors: Vec<(BufId, usize)>,
+}
+
 /// A simulated GPU kernel. See the module docs.
 pub trait Kernel: Sync {
     /// Kernel name (appears in profiles, like nvprof's kernel column).
@@ -140,6 +162,17 @@ pub trait Kernel: Sync {
     /// expectation, no buffer extents (bounds checking skipped).
     fn analysis_budget(&self) -> AnalysisBudget {
         AnalysisBudget::default()
+    }
+
+    /// The block's translation class for memoized replay, or `None`
+    /// (the default) when the block's traffic is not known to be a
+    /// pure translation of some class representative — every block is
+    /// then replayed directly. Kernels whose per-block addressing is
+    /// affine in the block coordinates (all the tiled kernels in this
+    /// workspace) override this with their per-buffer anchors.
+    fn block_class(&self, block: Dim3) -> Option<BlockClass> {
+        let _ = block;
+        None
     }
 }
 

@@ -25,6 +25,9 @@
 //! * [`trace`] — warp-level access recording for the `ks-analyze`
 //!   static checks (races, bank conflicts, barrier divergence).
 //! * [`exec`] — functional block-synchronous execution engine.
+//! * [`replay`] — deterministic parallel traffic replay: sharded
+//!   counting, set-sharded L2 simulation and block-class memoization,
+//!   bit-identical to the serial walk ([`replay::ReplayStrategy`]).
 //! * [`device`] — [`device::GpuDevice`]: allocation, launch, profiling.
 //! * [`profiler`] — nvprof-like counters ([`profiler::Counters`],
 //!   [`profiler::KernelProfile`]).
@@ -62,6 +65,7 @@ pub mod exec;
 pub mod kernel;
 pub mod occupancy;
 pub mod profiler;
+pub mod replay;
 pub mod report;
 pub mod smem;
 pub mod timing;
@@ -74,11 +78,12 @@ pub use device::GpuDevice;
 pub use dim::{Dim3, LaunchConfig};
 pub use exec::BlockCtx;
 pub use kernel::{
-    AnalysisBudget, BufferUse, ExecModel, Kernel, KernelResources, LaunchError, TimingHints,
-    VecWidth,
+    AnalysisBudget, BlockClass, BufferUse, ExecModel, Kernel, KernelResources, LaunchError,
+    TimingHints, VecWidth,
 };
 pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
 pub use profiler::{Counters, KernelProfile, PipelineProfile};
+pub use replay::ReplayStrategy;
 pub use timing::{KernelTiming, TimingParams};
 pub use trace::{AccessDir, BlockTrace, TraceSink};
-pub use traffic::TrafficSink;
+pub use traffic::{L2Event, TrafficSink};

@@ -44,12 +44,65 @@ pub enum SinkMode {
     LocalOnly,
 }
 
+/// One L2 sector transaction captured by a recording sink: the sector
+/// address, the buffer it belongs to (so block-class memoization can
+/// translate the stream per buffer) and the direction. An atomic
+/// records its read-modify-write as a read event followed by a write
+/// event, preserving the in-order L2 interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Event {
+    /// Sector byte address.
+    pub addr: u64,
+    /// Buffer the sector belongs to.
+    pub buf: BufId,
+    /// True for a write, false for a read.
+    pub write: bool,
+}
+
+/// Where a sink's L2 sector transactions go: straight into the live
+/// cache model, or into an in-order event log for deferred
+/// (set-sharded) simulation.
+enum L2Backend<'a> {
+    Live(&'a mut Cache),
+    Record(Vec<L2Event>),
+}
+
+impl L2Backend<'_> {
+    #[inline]
+    fn read(&mut self, buf: BufId, addr: u64) {
+        match self {
+            L2Backend::Live(c) => {
+                c.read(addr);
+            }
+            L2Backend::Record(log) => log.push(L2Event {
+                addr,
+                buf,
+                write: false,
+            }),
+        }
+    }
+
+    #[inline]
+    fn write(&mut self, buf: BufId, addr: u64) {
+        match self {
+            L2Backend::Live(c) => {
+                c.write(addr);
+            }
+            L2Backend::Record(log) => log.push(L2Event {
+                addr,
+                buf,
+                write: true,
+            }),
+        }
+    }
+}
+
 /// Sink translating warp-level events into counters (see module docs).
 pub struct TrafficSink<'a> {
     /// Accumulated counters (public so the device can harvest them).
     pub counters: Counters,
     mem: &'a GlobalMem,
-    l2: &'a mut Cache,
+    l2: L2Backend<'a>,
     /// Per-SM L1s (present only when the device caches global loads in
     /// L1, §II-C). Indexed by the round-robin CTA→SM assignment.
     l1s: Option<&'a mut [Cache]>,
@@ -70,13 +123,43 @@ impl<'a> TrafficSink<'a> {
         Self {
             counters: Counters::default(),
             mem,
-            l2,
+            l2: L2Backend::Live(l2),
             l1s: None,
             current_sm: 0,
             sector_bytes,
             num_banks,
             mode: SinkMode::Full,
             trace: None,
+        }
+    }
+
+    /// Creates a **recording** sink: counters accumulate exactly as in
+    /// a live sink, but L2 sector transactions are appended to an
+    /// in-order [`L2Event`] log (drained with
+    /// [`TrafficSink::take_recorded`]) instead of driving a cache.
+    /// L1s, when attached, still filter loads live — only the sectors
+    /// that would reach L2 are logged.
+    #[must_use]
+    pub fn new_recording(mem: &'a GlobalMem, sector_bytes: u32, num_banks: u32) -> Self {
+        Self {
+            counters: Counters::default(),
+            mem,
+            l2: L2Backend::Record(Vec::new()),
+            l1s: None,
+            current_sm: 0,
+            sector_bytes,
+            num_banks,
+            mode: SinkMode::Full,
+            trace: None,
+        }
+    }
+
+    /// Drains the recorded L2 event log (recording sinks only; a live
+    /// sink returns an empty vector).
+    pub fn take_recorded(&mut self) -> Vec<L2Event> {
+        match &mut self.l2 {
+            L2Backend::Live(_) => Vec::new(),
+            L2Backend::Record(log) => std::mem::take(log),
         }
     }
 
@@ -166,13 +249,13 @@ impl<'a> TrafficSink<'a> {
                     self.counters.l1_read_hits += 1;
                 } else {
                     self.counters.l2_read_sectors += 1;
-                    self.l2.read(s);
+                    self.l2.read(buf, s);
                 }
             }
         } else {
             self.counters.l2_read_sectors += sectors.len() as u64;
             for &s in sectors {
-                self.l2.read(s);
+                self.l2.read(buf, s);
             }
         }
     }
@@ -198,7 +281,7 @@ impl<'a> TrafficSink<'a> {
             if let Some(l1s) = self.l1s.as_deref_mut() {
                 l1s[self.current_sm].invalidate_addr(s);
             }
-            self.l2.write(s);
+            self.l2.write(buf, s);
         }
     }
 
@@ -223,8 +306,8 @@ impl<'a> TrafficSink<'a> {
             if let Some(l1s) = self.l1s.as_deref_mut() {
                 l1s[self.current_sm].invalidate_addr(s);
             }
-            self.l2.read(s); // fetch for the RMW
-            self.l2.write(s); // modified result stays dirty in L2
+            self.l2.read(buf, s); // fetch for the RMW
+            self.l2.write(buf, s); // modified result stays dirty in L2
         }
         // The adds themselves are FLOPs performed by the L2 ROP units.
         self.counters.flops += Self::active(idx);
@@ -424,6 +507,39 @@ mod tests {
         assert_eq!(c.flops, 640 + 64 + 32);
         assert_eq!(c.warp_insts(), 10 + 2 + 1 + 5 + 8);
         assert_eq!(c.thread_insts, 32 * 26);
+    }
+
+    #[test]
+    fn recording_sink_matches_live_counters_and_replays_identically() {
+        let (mut mem, mut l2) = fixture();
+        let buf = mem.alloc(1024);
+        let live_counters = {
+            let mut live = TrafficSink::new(&mem, &mut l2, 32, 32);
+            live.global_read(buf, &full_warp_idx(|l| l), 1);
+            live.global_write(buf, &full_warp_idx(|l| l + 32), 1);
+            live.global_atomic(buf, &full_warp_idx(|l| l));
+            live.counters
+        };
+        let mut rec = TrafficSink::new_recording(&mem, 32, 32);
+        rec.global_read(buf, &full_warp_idx(|l| l), 1);
+        rec.global_write(buf, &full_warp_idx(|l| l + 32), 1);
+        rec.global_atomic(buf, &full_warp_idx(|l| l));
+        assert_eq!(rec.counters, live_counters);
+        let events = rec.take_recorded();
+        // 4 read sectors, 4 write sectors, 4 atomic sectors × RMW pair.
+        assert_eq!(events.len(), 4 + 4 + 8);
+        // Replaying the log in order against a fresh cache reproduces
+        // the live cache's statistics exactly.
+        let mut fresh = Cache::new(64 * 1024, 16, 32);
+        for e in &events {
+            if e.write {
+                fresh.write(e.addr);
+            } else {
+                fresh.read(e.addr);
+            }
+        }
+        assert_eq!(fresh.stats(), l2.stats());
+        assert!(rec.take_recorded().is_empty(), "log drains once");
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Property-based tests of the parallel replay engine: replayed
+//! counters and memory traffic are invariant under the worker count
+//! and memoization flag, counter merging is order-independent, and
+//! set-sharded L2 simulation reproduces the whole-cache serial walk
+//! on random address streams.
+
+use ks_gpu_sim::cache::Cache;
+use ks_gpu_sim::dim::{Dim3, LaunchConfig};
+use ks_gpu_sim::exec::BlockCtx;
+use ks_gpu_sim::kernel::KernelResources;
+use ks_gpu_sim::traffic::full_warp_idx;
+use ks_gpu_sim::{BufId, Counters, GpuDevice, Kernel, ReplayStrategy, TrafficSink};
+use proptest::prelude::*;
+
+/// Heterogeneous kernel driven by a per-block table of tile bases:
+/// block `i` reads `x[bases[i]..+32]`, writes `y` at the same offset,
+/// and every third block also issues an atomic — enough variety to
+/// exercise the Full replay mode (reads, writes, atomics, per-block
+/// counter differences).
+struct Scatter {
+    x: BufId,
+    y: BufId,
+    bases: Vec<usize>,
+}
+
+impl Kernel for Scatter {
+    fn name(&self) -> String {
+        "scatter".into()
+    }
+    fn launch_config(&self) -> LaunchConfig {
+        LaunchConfig::new(Dim3::new_1d(self.bases.len() as u32), 32u32)
+    }
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            threads_per_block: 32,
+            regs_per_thread: 16,
+            smem_bytes_per_block: 0,
+        }
+    }
+    fn execute_block(&self, _block: Dim3, _ctx: &mut BlockCtx) {
+        unreachable!("traffic-only kernel");
+    }
+    fn block_traffic(&self, block: Dim3, sink: &mut TrafficSink) {
+        let base = self.bases[block.x as usize];
+        let idx = full_warp_idx(|l| base + l);
+        sink.global_read(self.x, &idx, 1);
+        sink.ffma(1 + block.x as u64 % 3);
+        sink.global_write(self.y, &idx, 1);
+        if block.x.is_multiple_of(3) {
+            sink.global_atomic(self.y, &idx);
+        }
+    }
+}
+
+fn profile_with(bases: &[usize], strategy: ReplayStrategy) -> ks_gpu_sim::KernelProfile {
+    let mut dev = GpuDevice::gtx970();
+    let x = dev.alloc(8192);
+    let y = dev.alloc(8192);
+    dev.set_replay_strategy(strategy);
+    dev.launch(&Scatter {
+        x,
+        y,
+        bases: bases.to_vec(),
+    })
+    .unwrap()
+}
+
+fn counters_strategy() -> impl Strategy<Value = Counters> {
+    (
+        0u64..1000,
+        0u64..1000,
+        0u64..1000,
+        0u64..1000,
+        0u64..1000,
+        0u64..1000,
+    )
+        .prop_map(|(ffma, loads, l2r, atom, flops, thread)| Counters {
+            ffma_insts: ffma,
+            global_load_insts: loads,
+            l2_read_sectors: l2r,
+            atomic_sectors: atom,
+            flops,
+            thread_insts: thread,
+            ..Counters::default()
+        })
+}
+
+/// Applies `ops` through `n` set shards (bucketing exactly as the
+/// replay engine does: `set_index / ceil(sets / n)`, global order
+/// preserved within each bucket) and folds the shard stats back.
+fn apply_sharded(c: &mut Cache, ops: &[(bool, u64)], n: usize) {
+    let n = n.clamp(1, c.num_sets());
+    let per = c.num_sets().div_ceil(n);
+    let mut buckets: Vec<Vec<(bool, u64)>> = vec![Vec::new(); n];
+    for &(w, a) in ops {
+        buckets[c.set_index(a) / per].push((w, a));
+    }
+    let mut stats = Vec::with_capacity(n);
+    for (shard, bucket) in c.shards(n).iter_mut().zip(&buckets) {
+        for &(w, a) in bucket {
+            if w {
+                shard.write(a);
+            } else {
+                shard.read(a);
+            }
+        }
+        stats.push(shard.stats());
+    }
+    for s in &stats {
+        c.absorb_stats(s);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tentpole invariant: the replayed profile (every counter and the
+    /// L2/DRAM traffic delta) does not depend on the shard/worker
+    /// count or on memoization.
+    #[test]
+    fn replay_profile_invariant_under_shard_count(
+        bases in proptest::collection::vec(0usize..8000, 1..20),
+    ) {
+        let serial = profile_with(&bases, ReplayStrategy::Serial);
+        for threads in [1usize, 2, 7, 16] {
+            for memoize in [false, true] {
+                let par = profile_with(
+                    &bases,
+                    ReplayStrategy::Parallel { memoize, threads: Some(threads) },
+                );
+                prop_assert_eq!(serial.counters, par.counters,
+                    "threads {} memoize {}", threads, memoize);
+                prop_assert_eq!(serial.mem, par.mem,
+                    "threads {} memoize {}", threads, memoize);
+            }
+        }
+    }
+
+    /// Per-block counters merge to the same total in any order (the
+    /// engine still folds them in grid order; this pins down that the
+    /// choice is presentational, not load-bearing).
+    #[test]
+    fn counter_merge_is_order_independent(
+        per_block in proptest::collection::vec(counters_strategy(), 1..32),
+        seed in 0u64..10_000,
+    ) {
+        let mut grid_order = Counters::default();
+        for c in &per_block {
+            grid_order.merge(c);
+        }
+        let mut perm: Vec<usize> = (0..per_block.len()).collect();
+        let mut state = seed | 1;
+        for i in (1..perm.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let mut permuted = Counters::default();
+        for &i in &perm {
+            permuted.merge(&per_block[i]);
+        }
+        prop_assert_eq!(grid_order, permuted);
+    }
+
+    /// Set-sharded simulation of a random read/write stream produces
+    /// the same aggregate statistics and the same dirty-line
+    /// population as the serial whole-cache walk, for any shard count.
+    #[test]
+    fn sharded_l2_stats_match_serial(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..(1 << 15)), 1..500),
+        n in 1usize..17,
+        hashed in any::<bool>(),
+    ) {
+        let mk = || if hashed {
+            Cache::new_hashed(16 * 1024, 4, 32)
+        } else {
+            Cache::new(16 * 1024, 4, 32)
+        };
+        let mut serial = mk();
+        for &(w, a) in &ops {
+            if w {
+                serial.write(a);
+            } else {
+                serial.read(a);
+            }
+        }
+        let mut sharded = mk();
+        apply_sharded(&mut sharded, &ops, n);
+        prop_assert_eq!(serial.stats(), sharded.stats(), "shards {}", n);
+        prop_assert_eq!(serial.flush_dirty(), sharded.flush_dirty(), "shards {}", n);
+    }
+}

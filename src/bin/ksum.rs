@@ -25,7 +25,9 @@ use kernel_summation::serve::{
     run_workload, smoke_workload, ServeBackend, ServeConfig, WorkloadConfig,
 };
 
-const USAGE: &str = "usage: ksum <command> [flags]
+const USAGE: &str = "usage: ksum [--threads N] <command> [flags]
+  --threads N  global: size of the worker pool used for parallel
+               traffic replay (N >= 1; default: machine cores)
   solve        --m M --n N --k K --h H --seed S --backend B
                (backends: cpu-fused, cpu-unfused, reference,
                 gpu-fused, gpu-cuda-unfused, gpu-cublas-unfused)
@@ -337,8 +339,36 @@ fn cmd_serve_bench(rest: &[String]) -> Result<ExitCode, UsageError> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Strips the global `--threads N` flag (valid anywhere on the
+/// command line) and returns the remaining args plus the requested
+/// pool size. `N` must parse as an integer >= 1.
+fn extract_threads(args: &[String]) -> Result<(Vec<String>, Option<usize>), UsageError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut threads = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threads" {
+            let val = it
+                .next()
+                .ok_or_else(|| UsageError("missing value for --threads".into()))?;
+            let n: usize = parse_value("--threads", val)?;
+            if n == 0 {
+                return Err(UsageError("--threads must be >= 1".into()));
+            }
+            threads = Some(n);
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((rest, threads))
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
+    let raw: Vec<String> = std::env::args().collect();
+    let (args, threads) = match extract_threads(&raw) {
+        Ok(x) => x,
+        Err(e) => return usage_exit(&e),
+    };
     let Some(cmd) = args.get(1) else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
@@ -357,7 +387,17 @@ fn main() -> ExitCode {
             other => Err(UsageError(format!("unknown command {other}"))),
         }
     };
-    match run() {
+    let out = match threads {
+        Some(n) => {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .map_err(|e| UsageError(format!("cannot build thread pool: {e}")));
+            pool.and_then(|p| p.install(run))
+        }
+        None => run(),
+    };
+    match out {
         Ok(code) => code,
         Err(e) => usage_exit(&e),
     }

@@ -84,6 +84,58 @@ fn serve_bench_rejects_unknown_backends_too() {
 }
 
 #[test]
+fn threads_flag_rejects_missing_zero_and_malformed_values() {
+    assert_usage_error(
+        &ksum(&["solve", "--threads"]),
+        "missing value for --threads",
+    );
+    assert_usage_error(
+        &ksum(&["--threads", "0", "solve"]),
+        "--threads must be >= 1",
+    );
+    assert_usage_error(
+        &ksum(&["--threads", "lots", "solve"]),
+        "invalid value for --threads: lots",
+    );
+}
+
+#[test]
+fn threads_flag_is_accepted_anywhere_on_the_command_line() {
+    for args in [
+        &[
+            "--threads",
+            "2",
+            "solve",
+            "--m",
+            "64",
+            "--n",
+            "32",
+            "--k",
+            "4",
+        ][..],
+        &[
+            "solve",
+            "--m",
+            "64",
+            "--n",
+            "32",
+            "--k",
+            "4",
+            "--threads",
+            "2",
+        ][..],
+    ] {
+        let out = ksum(args);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
 fn solve_succeeds_on_a_tiny_problem() {
     let out = ksum(&[
         "solve",

@@ -18,6 +18,7 @@
 //!   the simulator's block replays;
 //! * panics in worker closures propagate to the caller on join.
 
+use std::cell::Cell;
 use std::ops::Range;
 
 /// `rayon::prelude` — import everything call sites need.
@@ -28,10 +29,31 @@ pub mod prelude {
     };
 }
 
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`]
+    /// (0 = no override, use the machine's parallelism).
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+    /// Set on fan-out worker threads so nested parallel calls run
+    /// inline instead of spawning threads-of-threads.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
 fn thread_count() -> usize {
+    let pinned = POOL_THREADS.with(Cell::get);
+    if pinned > 0 {
+        return pinned;
+    }
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// The number of threads parallel operations currently fan out to:
+/// the innermost [`ThreadPool::install`] override, or the machine's
+/// available parallelism.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    thread_count()
 }
 
 /// Splits `items` into roughly equal contiguous chunks, runs `f` over
@@ -40,7 +62,7 @@ fn thread_count() -> usize {
 fn fan_out<T: Send, U: Send>(items: Vec<T>, f: impl Fn(Vec<T>) -> Vec<U> + Sync) -> Vec<U> {
     let n = items.len();
     let workers = thread_count().min(n);
-    if workers <= 1 {
+    if workers <= 1 || IN_WORKER.with(Cell::get) {
         return f(items);
     }
     let chunk_len = n.div_ceil(workers);
@@ -54,13 +76,103 @@ fn fan_out<T: Send, U: Send>(items: Vec<T>, f: impl Fn(Vec<T>) -> Vec<U> + Sync)
         chunks.push(chunk);
     }
     let f = &f;
+    let pinned = POOL_THREADS.with(Cell::get);
     std::thread::scope(|s| {
-        let handles: Vec<_> = chunks.into_iter().map(|c| s.spawn(move || f(c))).collect();
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                s.spawn(move || {
+                    // Workers inherit the pool override so code asking
+                    // for the thread count sees a consistent answer,
+                    // and run nested parallelism inline (rayon pool
+                    // threads likewise never over-subscribe).
+                    POOL_THREADS.with(|p| p.set(pinned));
+                    IN_WORKER.with(|w| w.set(true));
+                    f(c)
+                })
+            })
+            .collect();
         handles
             .into_iter()
             .flat_map(|h| h.join().expect("parallel worker panicked"))
             .collect()
     })
+}
+
+/// Error building a [`ThreadPool`] (kept for rayon API parity; this
+/// stand-in cannot actually fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a scoped [`ThreadPool`], mirroring rayon's API.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with the default (machine) thread count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the pool to `n` threads (0 = machine default).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    /// Never fails in this stand-in; the `Result` mirrors rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count override. Unlike upstream rayon there are no
+/// persistent pool threads: `install` pins the fan-out width for the
+/// duration of the closure (including parallel calls it makes), which
+/// is the property call sites rely on for deterministic sizing.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count installed; parallel
+    /// operations inside `f` fan out to at most that many threads.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|p| p.replace(self.num_threads));
+        let out = f();
+        POOL_THREADS.with(|p| p.set(prev));
+        out
+    }
+
+    /// The pool's thread count.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
 }
 
 /// An eager parallel iterator: the item set is materialised and each
@@ -263,5 +375,56 @@ mod tests {
     fn sum_and_filter() {
         let s: usize = (0..100usize).into_par_iter().filter(|x| x % 2 == 0).sum();
         assert_eq!(s, (0..100).filter(|x| x % 2 == 0).sum());
+    }
+
+    #[test]
+    fn pool_install_pins_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(crate::current_num_threads);
+        assert_eq!(seen, 3);
+        assert_ne!(crate::current_num_threads(), 0, "override restored");
+    }
+
+    #[test]
+    fn pool_install_nests_and_restores() {
+        let outer = crate::ThreadPoolBuilder::new()
+            .num_threads(5)
+            .build()
+            .unwrap();
+        let inner = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        outer.install(|| {
+            assert_eq!(crate::current_num_threads(), 5);
+            inner.install(|| assert_eq!(crate::current_num_threads(), 2));
+            assert_eq!(crate::current_num_threads(), 5);
+        });
+    }
+
+    #[test]
+    fn workers_inherit_override_and_run_nested_inline() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let counts: Vec<usize> = pool.install(|| {
+            (0..64usize)
+                .into_par_iter()
+                .map(|_| {
+                    // Nested parallelism inside a worker must still see
+                    // the pinned count and must not explode into
+                    // threads-of-threads (it runs inline).
+                    let inner: Vec<usize> = (0..8usize).into_par_iter().map(|x| x).collect();
+                    assert_eq!(inner, (0..8).collect::<Vec<_>>());
+                    crate::current_num_threads()
+                })
+                .collect()
+        });
+        assert!(counts.iter().all(|&c| c == 4));
     }
 }
