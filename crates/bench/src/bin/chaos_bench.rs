@@ -1,0 +1,234 @@
+//! Seeded chaos soak of the resilient serving backend
+//! (`BENCH_chaos.json`).
+//!
+//! Drives a query stream through [`ServeBackend::GpuResilient`] on a
+//! device with an *active* fault model — SMEM/register upsets plus
+//! launch-level SM losses and watchdog timeouts, all drawn from a
+//! fixed seed — and checks every single outcome against the CPU fused
+//! reference:
+//!
+//! * a completion must be bit-identical to the reference (CPU rung) or
+//!   within the GPU tolerance (healthy GPU rungs);
+//! * anything else must have surfaced as an error on the ticket.
+//!
+//! A completion outside tolerance with no error is **silently wrong**
+//! — the failure mode the ABFT ladder exists to prevent — and fails
+//! the soak, as does any inconsistency in the report's retry/breaker/
+//! degradation accounting.
+//!
+//! ```text
+//! chaos_bench [--smoke] [--queries N] [--seed S] [--json PATH]
+//! ```
+//!
+//! * default stream: 2000 queries; `--smoke`: 500 (CI-sized);
+//! * `--seed S`: master seed of the workload and fault schedule
+//!   (default 42);
+//! * `--json PATH`: write the [`ChaosMetrics`] document.
+
+use std::time::Instant;
+
+use ks_bench::metrics::{path_arg, ChaosMetrics, SCHEMA_VERSION};
+use ks_blas::{Layout, Matrix};
+use ks_core::problem::KernelSumProblem;
+use ks_core::{solve_multi_fused, FusedCpuConfig, GaussianKernel};
+use ks_gpu_sim::FaultSpec;
+use ks_serve::{
+    generate_queries, Query, ServeBackend, ServeConfig, Server, Submit, Ticket, WorkloadConfig,
+};
+
+/// Per-launch fault rates of the soak: expected data flips well above
+/// the ISSUE's 1e-3/launch floor, plus launch-level faults so the
+/// retry and breaker paths actually run.
+const SMEM_RATE: f64 = 0.05;
+const REG_RATE: f64 = 0.05;
+const SM_LOSS_RATE: f64 = 0.01;
+const WATCHDOG_RATE: f64 = 0.005;
+
+/// The single-shot CPU fused answer for one query — the same solver
+/// configuration the server's safe harbor runs, so CPU-rung
+/// completions must match it bit for bit.
+fn reference(q: &Query) -> Vec<f32> {
+    let p = KernelSumProblem::builder()
+        .sources(q.sources.points().clone())
+        .targets((*q.targets).clone())
+        .unit_weights()
+        .kernel(GaussianKernel { h: q.h })
+        .build();
+    let w = Matrix::from_fn(q.weights.len(), 1, Layout::RowMajor, |j, _| q.weights[j]);
+    let v = solve_multi_fused(&p, &w, &FusedCpuConfig::default());
+    (0..v.rows()).map(|i| v.get(i, 0)).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed: u64 = path_arg(&args, "--seed").map_or(42, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid --seed value {v}");
+            std::process::exit(2);
+        })
+    });
+    let queries: usize = path_arg(&args, "--queries").map_or(if smoke { 500 } else { 2000 }, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid --queries value {v}");
+            std::process::exit(2);
+        })
+    });
+
+    let wl = WorkloadConfig {
+        clients: 1,
+        queries_per_client: queries,
+        corpora: 3,
+        shared_ratio: 0.9,
+        large_ratio: 0.0,
+        m: 256,
+        n: 128,
+        k: 16,
+        h: 1.0,
+        deadline: None,
+        seed,
+    };
+    let stream = generate_queries(&wl);
+
+    let mut cfg = ServeConfig {
+        backend: ServeBackend::GpuResilient,
+        queue_capacity: stream.len(),
+        start_paused: true,
+        ..ServeConfig::default()
+    };
+    cfg.device.fault = Some(FaultSpec {
+        seed: seed ^ 0xC4A0_5BAD,
+        smem_rate: SMEM_RATE,
+        reg_rate: REG_RATE,
+        sm_loss_rate: SM_LOSS_RATE,
+        watchdog_rate: WATCHDOG_RATE,
+        // DRAM exponent flips stay off: flips landing in the norm
+        // intermediates *before* the checksummed kernel are outside
+        // ABFT coverage by design (DESIGN.md §11).
+        dram_rate: 0.0,
+    });
+
+    let t0 = Instant::now();
+    let mut srv = Server::start(cfg);
+    let tickets: Vec<Ticket> = stream
+        .iter()
+        .map(|q| match srv.submit(q.clone()) {
+            Submit::Accepted(t) => t,
+            Submit::Rejected(_) => {
+                eprintln!("error: queue sized for the stream rejected a query");
+                std::process::exit(1);
+            }
+        })
+        .collect();
+    srv.resume();
+
+    let mut bit_exact = 0u64;
+    let mut tolerant = 0u64;
+    let mut silent_wrong = 0u64;
+    let mut errors = 0u64;
+    for (qi, (q, t)) in stream.iter().zip(&tickets).enumerate() {
+        match t.wait() {
+            Ok(got) => {
+                let want = reference(q);
+                assert_eq!(got.len(), want.len(), "query {qi}: result length");
+                let exact = got
+                    .iter()
+                    .zip(want.iter())
+                    .all(|(g, w)| g.to_bits() == w.to_bits());
+                let close = got
+                    .iter()
+                    .zip(want.iter())
+                    .all(|(g, w)| (g - w).abs() <= 5e-3 * w.abs().max(1.0));
+                if exact {
+                    bit_exact += 1;
+                } else if close {
+                    tolerant += 1;
+                } else {
+                    silent_wrong += 1;
+                    eprintln!("SILENT WRONG: query {qi} completed outside tolerance");
+                }
+            }
+            Err(e) => {
+                errors += 1;
+                eprintln!("query {qi} surfaced: {e}");
+            }
+        }
+        if (qi + 1) % 100 == 0 {
+            eprintln!("checked {}/{} queries", qi + 1, stream.len());
+        }
+    }
+    let report = srv.shutdown();
+    let wall_time_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let counters_consistent = report.attempts == report.batches + report.retries
+        && report.submitted == report.accepted + report.rejected
+        && report.accepted == report.completed + report.expired + report.failed
+        && report.completed == bit_exact + tolerant + silent_wrong
+        && report.expired + report.failed == errors
+        && report.internal_errors == 0;
+
+    let metrics = ChaosMetrics {
+        schema_version: SCHEMA_VERSION,
+        seed,
+        smem_rate: SMEM_RATE,
+        reg_rate: REG_RATE,
+        sm_loss_rate: SM_LOSS_RATE,
+        watchdog_rate: WATCHDOG_RATE,
+        submitted: report.submitted,
+        rejected: report.rejected,
+        completed: report.completed,
+        errors,
+        bit_exact,
+        tolerant,
+        silent_wrong,
+        batches: report.batches,
+        attempts: report.attempts,
+        retries: report.retries,
+        fallbacks: report.fallbacks,
+        degraded_completions: report.degraded_completions,
+        corruption_detected: report.corruption_detected,
+        injected_faults: report.injected_faults,
+        undetected_injected: report.undetected_injected,
+        breaker_trips: report.breaker_trips,
+        breaker_resets: report.breaker_resets,
+        internal_errors: report.internal_errors,
+        counters_consistent,
+        wall_time_ms,
+    };
+
+    eprintln!(
+        "{} queries in {wall_time_ms:.0} ms: {bit_exact} bit-exact, {tolerant} in-tolerance, \
+         {errors} surfaced, {silent_wrong} silently wrong",
+        report.submitted
+    );
+    eprintln!(
+        "ladder: {} batches, {} attempts ({} retries), {} corruption detections, \
+         {} injected fault events, {} breaker trips / {} resets, {} CPU fallbacks",
+        report.batches,
+        report.attempts,
+        report.retries,
+        report.corruption_detected,
+        report.injected_faults,
+        report.breaker_trips,
+        report.breaker_resets,
+        report.fallbacks
+    );
+
+    if let Some(path) = path_arg(&args, "--json") {
+        metrics.write_json(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+
+    if silent_wrong > 0 {
+        eprintln!("FAIL: {silent_wrong} silently-wrong results");
+        std::process::exit(1);
+    }
+    if !counters_consistent {
+        eprintln!("FAIL: ServeReport accounting is inconsistent: {report:?}");
+        std::process::exit(1);
+    }
+    eprintln!("chaos soak passed: zero silently-wrong results, accounting consistent");
+}

@@ -351,6 +351,97 @@ impl ReplayMetrics {
     }
 }
 
+/// The `chaos_bench` export (the `BENCH_chaos.json` schema): a seeded
+/// fault-injection soak over the resilient serving backend. The
+/// headline field is `silent_wrong` — completions that deviated from
+/// the CPU reference without any surfaced error — which the harness
+/// requires to be exactly zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosMetrics {
+    /// Export schema version (see [`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Master seed of the workload and the device fault schedule.
+    pub seed: u64,
+    /// Expected SMEM bit flips per fused-kernel launch.
+    pub smem_rate: f64,
+    /// Expected accumulator-register flips per launch.
+    pub reg_rate: f64,
+    /// Per-launch probability of an SM loss (launch-level fault).
+    pub sm_loss_rate: f64,
+    /// Per-launch probability of a watchdog timeout.
+    pub watchdog_rate: f64,
+    /// Queries offered to the server.
+    pub submitted: u64,
+    /// Queries bounced by backpressure.
+    pub rejected: u64,
+    /// Queries that produced a result.
+    pub completed: u64,
+    /// Queries that surfaced an error (launch failure, deadline, or
+    /// internal) — *surfaced*, so never silently wrong.
+    pub errors: u64,
+    /// Completions bit-identical to the CPU fused reference (every
+    /// CPU-rung completion must be).
+    pub bit_exact: u64,
+    /// Completions within the GPU tolerance of the reference but not
+    /// bit-exact (healthy GPU-rung completions).
+    pub tolerant: u64,
+    /// Completions outside tolerance with no surfaced error. The soak
+    /// fails unless this is zero.
+    pub silent_wrong: u64,
+    /// Coalesced solves executed.
+    pub batches: u64,
+    /// Batch execution attempts across all ladder rungs.
+    pub attempts: u64,
+    /// Attempts beyond each batch's first.
+    pub retries: u64,
+    /// Batches that landed on the CPU safe harbor.
+    pub fallbacks: u64,
+    /// Queries completed below the verified-GPU rung.
+    pub degraded_completions: u64,
+    /// Verified attempts whose ABFT checks tripped.
+    pub corruption_detected: u64,
+    /// Injected data-fault events observed in completed profiles.
+    pub injected_faults: u64,
+    /// Completed attempts with injected faults but clean checks.
+    pub undetected_injected: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Circuit-breaker recoveries.
+    pub breaker_resets: u64,
+    /// Worker-side internal failures (must be zero in a soak).
+    pub internal_errors: u64,
+    /// Whether `attempts == batches + retries` and the per-query
+    /// accounting invariants all held.
+    pub counters_consistent: bool,
+    /// Host wall time of the soak, in milliseconds (nondeterministic —
+    /// informational only).
+    pub wall_time_ms: f64,
+}
+
+impl ChaosMetrics {
+    /// Pretty-printed JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics serialise")
+    }
+
+    /// Parses a document produced by [`ChaosMetrics::to_json`].
+    ///
+    /// # Errors
+    /// Returns the underlying parse/shape error message.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes [`ChaosMetrics::to_json`] to `path`.
+    ///
+    /// # Errors
+    /// Propagates the I/O error.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
 /// Parses `--<flag> <path>` from argv. Returns `Some(path)` only when
 /// a value follows the flag and is not itself a `--` option, so bare
 /// boolean flags (e.g. `run_all --csv` table mode) keep working.

@@ -9,7 +9,7 @@
 use ks_energy::{pipeline_energy, EnergyBreakdown, EnergyParams};
 use ks_gpu_kernels::{GpuKernelSummation, GpuVariant};
 use ks_gpu_sim::profiler::PipelineProfile;
-use ks_gpu_sim::GpuDevice;
+use ks_gpu_sim::{GpuDevice, LaunchError};
 
 use crate::kernels::{GaussianKernel, KernelFunction};
 use crate::problem::KernelSumProblem;
@@ -88,9 +88,32 @@ fn pad_points(
 ///
 /// # Panics
 /// Panics on non-Gaussian kernels (the GPU pipelines hard-code the
-/// paper's Equation 1).
+/// paper's Equation 1), or if the launch fails — which on the default
+/// fault-free GTX 970 means a validation bug, never a soft error.
 #[must_use]
 pub fn solve_gpu(p: &KernelSumProblem, variant: GpuVariant) -> GpuSolveOutput {
+    let mut dev = GpuDevice::gtx970();
+    try_solve_gpu_on(&mut dev, p, variant).expect("launch validation")
+}
+
+/// [`solve_gpu`] on a caller-supplied device, surfacing launch
+/// failures instead of panicking. With fault injection configured on
+/// the device ([`ks_gpu_sim::FaultSpec`]), an `Err` is an *injected*
+/// launch-level fault (SM loss, watchdog) that callers are expected to
+/// handle — retry, degrade, or report.
+///
+/// # Errors
+/// Launch validation failures, and injected launch faults when the
+/// device has a fault model.
+///
+/// # Panics
+/// Panics on non-Gaussian kernels (the GPU pipelines hard-code the
+/// paper's Equation 1).
+pub fn try_solve_gpu_on(
+    dev: &mut GpuDevice,
+    p: &KernelSumProblem,
+    variant: GpuVariant,
+) -> Result<GpuSolveOutput, LaunchError> {
     let (m, n, k) = p.dims();
     let h = bandwidth_of(p);
     let m_pad = m.next_multiple_of(128);
@@ -102,40 +125,53 @@ pub fn solve_gpu(p: &KernelSumProblem, variant: GpuVariant) -> GpuSolveOutput {
     w.resize(n_pad, 0.0);
 
     let pipeline = GpuKernelSummation::new(m_pad, n_pad, k_pad, h);
-    let mut dev = GpuDevice::gtx970();
-    let (mut v, profile) = pipeline
-        .execute(&mut dev, variant, &a, &b, &w)
-        .expect("launch validation");
+    let (mut v, profile) = pipeline.execute(dev, variant, &a, &b, &w)?;
     v.truncate(m);
     let energy = pipeline_energy(&EnergyParams::default(), &profile);
     let peak = dev.config().peak_sp_gflops();
-    GpuSolveOutput {
+    Ok(GpuSolveOutput {
         v,
         report: GpuReport {
             profile,
             energy,
             peak_gflops: peak,
         },
-    }
+    })
 }
 
 /// Profiles a variant (traffic-only, any size) without numerics.
 ///
 /// # Panics
-/// Panics on invalid dimensions or a non-Gaussian kernel.
+/// Panics on invalid dimensions, a non-Gaussian kernel, or a launch
+/// failure (impossible on the default fault-free device).
 #[must_use]
 pub fn profile_gpu(m: usize, n: usize, k: usize, h: f32, variant: GpuVariant) -> GpuReport {
-    let pipeline = GpuKernelSummation::new(m, n, k, h);
     let mut dev = GpuDevice::gtx970();
-    let profile = pipeline
-        .profile(&mut dev, variant)
-        .expect("launch validation");
+    try_profile_gpu_on(&mut dev, m, n, k, h, variant).expect("launch validation")
+}
+
+/// [`profile_gpu`] on a caller-supplied device, surfacing launch
+/// failures — including injected launch faults — instead of panicking.
+///
+/// # Errors
+/// Launch validation failures, and injected launch faults when the
+/// device has a fault model.
+pub fn try_profile_gpu_on(
+    dev: &mut GpuDevice,
+    m: usize,
+    n: usize,
+    k: usize,
+    h: f32,
+    variant: GpuVariant,
+) -> Result<GpuReport, LaunchError> {
+    let pipeline = GpuKernelSummation::new(m, n, k, h);
+    let profile = pipeline.profile(dev, variant)?;
     let energy = pipeline_energy(&EnergyParams::default(), &profile);
-    GpuReport {
+    Ok(GpuReport {
         profile,
         energy,
         peak_gflops: dev.config().peak_sp_gflops(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -209,6 +245,23 @@ mod tests {
             "err {}",
             max_rel_error(&out.v, &want)
         );
+    }
+
+    #[test]
+    fn injected_launch_faults_surface_as_errors_not_panics() {
+        let mut cfg = ks_gpu_sim::DeviceConfig::gtx970();
+        cfg.fault = Some(ks_gpu_sim::FaultSpec {
+            sm_loss_rate: 1.0,
+            ..Default::default()
+        });
+        let mut dev = GpuDevice::new(cfg);
+        let p = build(128, 128, 8);
+        let err = try_solve_gpu_on(&mut dev, &p, GpuVariant::Fused);
+        assert!(matches!(err, Err(LaunchError::SmLost { .. })), "{err:?}");
+        assert_eq!(dev.take_fault_counters().launch_faults, 1);
+
+        let err = try_profile_gpu_on(&mut dev, 1024, 1024, 32, 1.0, GpuVariant::Fused);
+        assert!(matches!(err, Err(LaunchError::SmLost { .. })), "{err:?}");
     }
 
     #[test]

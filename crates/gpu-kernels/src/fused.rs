@@ -30,12 +30,97 @@ use ks_gpu_sim::kernel::{
 use ks_gpu_sim::occupancy::OccupancyLimiter;
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
+use ks_gpu_sim::smem::flip_bit;
+
 use crate::aux_kernels::{gaussian, Bandwidth};
-use crate::gemm_engine::{fresh_acc, gemm_block, GemmOperands, GemmShape, Microtile, SmemMap};
+use crate::gemm_engine::{
+    fresh_acc, gemm_block, gemm_block_verified, GemmOperands, GemmShape, Microtile, SmemMap,
+};
 use crate::layout::SmemLayout;
 use crate::machine::{FunctionalMachine, TrafficMachine, WarpMachine};
 use crate::sgemm::GEMM_REGS_PER_THREAD;
 use crate::{BLOCK_TILE, K_TILE, MICRO_TILE, THREADS_XY, WARPS_PER_BLOCK};
+
+/// Words per checksum slot: one full 32-byte DRAM sector per
+/// `(column, row group)` so block-class replay deltas stay
+/// sector-aligned and concurrent atomics never share a sector.
+pub const CHECKSUM_SLOT_WORDS: usize = 8;
+
+/// Device buffers of the ABFT verification scheme (DESIGN.md §11).
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyBufs {
+    /// Checksum column: slot `(c·(M/128) + by)·CHECKSUM_SLOT_WORDS`
+    /// accumulates `σ = Σ_i T_i` of every block in row group `by` of
+    /// weight column `c` — the same partials the block drains into
+    /// `V`, folded in a second association order.
+    pub checksum: BufId,
+    /// Corruption flag (`CHECKSUM_SLOT_WORDS` words): every block that
+    /// detects an internal mismatch atomically adds 1.0 to word 0.
+    /// Clean blocks add 0.0 so traffic stays homogeneous.
+    pub flag: BufId,
+}
+
+/// Host-side outcome of one verified execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerifyReport {
+    /// Blocks that flagged an internal mismatch (shared-memory audit,
+    /// γ re-fold, or `T` drain digest).
+    pub blocks_flagged: u64,
+    /// Row-group checksums compared on the host.
+    pub checksum_groups: usize,
+    /// Row groups whose `Σ V` disagreed with the checksum column
+    /// beyond the analytic float tolerance.
+    pub checksum_mismatches: usize,
+}
+
+impl VerifyReport {
+    /// Builds the report from downloaded `V` (`M×R` column-major),
+    /// checksum and flag buffers.
+    #[must_use]
+    pub fn from_outputs(v: &[f32], checksum: &[f32], flag: &[f32], m: usize, r: usize) -> Self {
+        let gy = m / BLOCK_TILE;
+        let mut mismatches = 0;
+        for c in 0..r {
+            for g in 0..gy {
+                let got = f64::from(checksum[(c * gy + g) * CHECKSUM_SLOT_WORDS]);
+                let seg = &v[c * m + g * BLOCK_TILE..c * m + (g + 1) * BLOCK_TILE];
+                let sum: f64 = seg.iter().map(|&x| f64::from(x)).sum();
+                // Tolerance: the two sides sum the same f32 partials in
+                // different association orders, so they agree to a few
+                // ULPs scaled by the absolute mass; injected DRAM
+                // flips target exponent/sign bits and move a value by
+                // at least half its own magnitude — far above this.
+                let abs: f64 = seg.iter().map(|&x| f64::from(x.abs())).sum::<f64>() + got.abs();
+                if (sum - got).abs() > 1e-3 * abs + 1e-4 {
+                    mismatches += 1;
+                }
+            }
+        }
+        let flagged = if flag[0] == 0.0 {
+            0
+        } else {
+            (flag[0].round() as u64).max(1)
+        };
+        Self {
+            blocks_flagged: flagged,
+            checksum_groups: r * gy,
+            checksum_mismatches: mismatches,
+        }
+    }
+
+    /// True iff any check tripped — the result must not be trusted.
+    #[must_use]
+    pub fn corruption_detected(&self) -> bool {
+        self.blocks_flagged > 0 || self.checksum_mismatches > 0
+    }
+
+    /// Accumulates another report (per-batch aggregation).
+    pub fn merge(&mut self, o: &VerifyReport) {
+        self.blocks_flagged += o.blocks_flagged;
+        self.checksum_groups += o.checksum_groups;
+        self.checksum_mismatches += o.checksum_mismatches;
+    }
+}
 
 /// How partial block results reach the final `V`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +150,7 @@ pub struct FusedKernelSummation {
     double_buffer: bool,
     reduction: Reduction,
     exec_model: ExecModel,
+    verify: Option<VerifyBufs>,
 }
 
 impl FusedKernelSummation {
@@ -97,7 +183,19 @@ impl FusedKernelSummation {
             double_buffer: true,
             reduction: Reduction::Atomic,
             exec_model: ExecModel::CudaC,
+            verify: None,
         }
+    }
+
+    /// Enables ABFT verification: the shared-memory audit, the γ
+    /// re-fold, the `T` drain digest, and the checksum column /
+    /// corruption flag in `bufs`. The checksum buffer must hold
+    /// `(M/128)·CHECKSUM_SLOT_WORDS` zeroed words and the flag buffer
+    /// `CHECKSUM_SLOT_WORDS` zeroed words.
+    #[must_use]
+    pub fn with_verify(mut self, bufs: VerifyBufs) -> Self {
+        self.verify = Some(bufs);
+        self
     }
 
     /// Switches the timing-model execution class. `Vendor` models the
@@ -142,16 +240,42 @@ impl FusedKernelSummation {
         } else {
             Vec::new()
         };
-        gemm_block(
-            mach,
-            &self.ops,
-            &self.shape,
-            self.layout,
-            self.double_buffer,
-            bx,
-            by,
-            &mut acc,
-        );
+        let mut corrupt = if self.verify.is_some() {
+            gemm_block_verified(
+                mach,
+                &self.ops,
+                &self.shape,
+                self.layout,
+                self.double_buffer,
+                bx,
+                by,
+                &mut acc,
+            )
+        } else {
+            gemm_block(
+                mach,
+                &self.ops,
+                &self.shape,
+                self.layout,
+                self.double_buffer,
+                bx,
+                by,
+                &mut acc,
+            );
+            false
+        };
+
+        // Accumulator-register upsets scheduled against this block land
+        // on the γ row partials (data only — no instructions, so the
+        // unverified kernel's counters are untouched and the fault
+        // surfaces as a silently wrong result).
+        let mut reg_flips: Vec<(usize, usize, u8)> = Vec::new();
+        if M::FUNCTIONAL {
+            for (pick, bit) in mach.accumulator_faults() {
+                let elem = (pick % (256 * MICRO_TILE as u64)) as usize;
+                reg_flips.push((elem / MICRO_TILE, elem % MICRO_TILE, bit));
+            }
+        }
 
         // --- Gaussian evaluation + intra-thread reduction (lines 14–16)
         // Row partials per (warp, lane): γ[r] = Σ_c K[r][c]·W[c].
@@ -165,6 +289,11 @@ impl FusedKernelSummation {
         let tiles = self.shape.k / K_TILE;
         let t_base = SmemMap::new(self.double_buffer).a[tiles % 2];
         let mut gamma = vec![[0.0f32; MICRO_TILE]; if M::FUNCTIONAL { 256 } else { 0 }];
+        // ABFT digests: γ before/after the register-fault window (the
+        // re-fold comparison), and T at store vs drain time.
+        let mut gamma_clean_xor = 0u32;
+        let mut gamma_parked_xor = 0u32;
+        let mut t_store_xor = 0u32;
         for wp in 0..WARPS_PER_BLOCK {
             mach.begin_warp(wp as u32);
             mach.alu(2);
@@ -236,6 +365,34 @@ impl FusedKernelSummation {
                 }
             }
 
+            if self.verify.is_some() {
+                // DMR on the fold: re-evaluate γ from the (ECC-clean)
+                // Gaussian values and compare. The simulator's
+                // recompute is bit-identical, so the comparison is
+                // modelled as an exact digest of the clean γ.
+                mach.ffma(64);
+                mach.falu(8);
+                if M::FUNCTIONAL {
+                    for lane in 0..32 {
+                        for g in &gamma[wp * 32 + lane] {
+                            gamma_clean_xor ^= g.to_bits();
+                        }
+                    }
+                }
+            }
+            if M::FUNCTIONAL {
+                for &(tid, row, bit) in reg_flips.iter().filter(|f| f.0 / 32 == wp) {
+                    gamma[tid][row] = flip_bit(gamma[tid][row], bit);
+                }
+                if self.verify.is_some() {
+                    for lane in 0..32 {
+                        for g in &gamma[wp * 32 + lane] {
+                            gamma_parked_xor ^= g.to_bits();
+                        }
+                    }
+                }
+            }
+
             // --- Intra-block reduction: 4 shuffle rounds over the 16
             //     tx lanes of each ty group (lines 16–20). ------------
             mach.alu(32);
@@ -262,6 +419,9 @@ impl FusedKernelSummation {
                             sum += gamma[tid][r];
                         }
                         vals[half * THREADS_XY][0] = sum;
+                        if self.verify.is_some() {
+                            t_store_xor ^= sum.to_bits();
+                        }
                     }
                 }
                 mach.st_shared(&words, VecWidth::V1, &vals);
@@ -271,6 +431,8 @@ impl FusedKernelSummation {
 
         // --- Inter-block reduction (lines 18–22): first half of the
         //     block drains T and atomically updates V. ----------------
+        let mut t_drain_xor = 0u32;
+        let mut sigma = 0.0f32;
         for wp in 0..WARPS_PER_BLOCK / 2 {
             mach.begin_warp(wp as u32);
             let words: [Option<u32>; 32] =
@@ -278,6 +440,12 @@ impl FusedKernelSummation {
             let t_vals = mach.ld_shared(&words, VecWidth::V1);
             let vidx: WarpIdx = std::array::from_fn(|lane| Some(by * BLOCK_TILE + wp * 32 + lane));
             let lane_vals: [f32; 32] = std::array::from_fn(|lane| t_vals[lane][0]);
+            if M::FUNCTIONAL && self.verify.is_some() {
+                for v in &lane_vals {
+                    t_drain_xor ^= v.to_bits();
+                    sigma += v;
+                }
+            }
             match self.reduction {
                 Reduction::Atomic => {
                     mach.atomic_add(self.v, &vidx, &lane_vals);
@@ -292,13 +460,33 @@ impl FusedKernelSummation {
                 }
             }
         }
+
+        // --- ABFT epilogue: checksum column + corruption flag ---------
+        if let Some(vb) = self.verify {
+            corrupt |= gamma_clean_xor != gamma_parked_xor;
+            corrupt |= t_store_xor != t_drain_xor;
+            mach.begin_warp(0);
+            mach.falu(2); // fold σ; combine the corruption predicate
+            let cidx: WarpIdx =
+                std::array::from_fn(|lane| (lane == 0).then_some(by * CHECKSUM_SLOT_WORDS));
+            let mut cvals = [0.0f32; 32];
+            cvals[0] = sigma;
+            mach.atomic_add(vb.checksum, &cidx, &cvals);
+            // Unconditional: clean blocks add 0.0, so every block
+            // issues the identical instruction stream.
+            let fidx: WarpIdx = std::array::from_fn(|lane| (lane == 0).then_some(0));
+            let mut fvals = [0.0f32; 32];
+            fvals[0] = if corrupt { 1.0 } else { 0.0 };
+            mach.atomic_add(vb.flag, &fidx, &fvals);
+        }
     }
 }
 
 impl Kernel for FusedKernelSummation {
     fn name(&self) -> String {
+        let tag = if self.verify.is_some() { "_abft" } else { "" };
         format!(
-            "fused_ks_{}x{}x{}",
+            "fused_ks{tag}_{}x{}x{}",
             self.shape.m, self.shape.n, self.shape.k
         )
     }
@@ -358,6 +546,12 @@ impl Kernel for FusedKernelSummation {
                 anchors.push((partials, bx * self.shape.m + by * BLOCK_TILE));
             }
         }
+        if let Some(vb) = self.verify {
+            // Checksum atomics shift by one sector-aligned slot per
+            // row group; the flag is block-invariant (zero delta).
+            anchors.push((vb.checksum, by * CHECKSUM_SLOT_WORDS));
+            anchors.push((vb.flag, 0));
+        }
         Some(BlockClass { key: 0, anchors })
     }
 
@@ -408,6 +602,20 @@ impl Kernel for FusedKernelSummation {
                 writes: true,
                 label: "partials",
             }),
+        }
+        if let Some(vb) = self.verify {
+            buffers.push(BufferUse {
+                buf: vb.checksum,
+                len: (m / BLOCK_TILE) * CHECKSUM_SLOT_WORDS,
+                writes: true,
+                label: "chk",
+            });
+            buffers.push(BufferUse {
+                buf: vb.flag,
+                len: CHECKSUM_SLOT_WORDS,
+                writes: true,
+                label: "flag",
+            });
         }
         AnalysisBudget {
             // Fig. 5's swizzle is conflict-free; the naive row-major
@@ -830,5 +1038,280 @@ mod tests {
             .launch(&FusedKernelSummation::new(ops, a2, b2, w, v, p.shape, p.bw))
             .unwrap();
         assert_eq!(prof.occupancy.blocks_per_sm, 2);
+    }
+
+    // ---- ABFT verification -------------------------------------------
+
+    use ks_gpu_sim::{DeviceConfig, FaultSpec};
+
+    /// A GTX 970 with fault injection enabled at the given spec+seed.
+    fn faulty_device(spec: &str, seed: u64) -> GpuDevice {
+        let mut fs = FaultSpec::parse(spec).expect("valid fault spec");
+        fs.seed = seed;
+        let mut cfg = DeviceConfig::gtx970();
+        cfg.fault = Some(fs);
+        GpuDevice::new(cfg)
+    }
+
+    /// Runs the ABFT-verified fused kernel (norms precomputed on the
+    /// host, so the only launch — and the only DRAM fault targets —
+    /// are the fused kernel's own outputs) via the deterministic
+    /// sequential `run_counted` path. Returns `(V, report)`.
+    fn verified_run(dev: &mut GpuDevice, p: &Problem) -> (Vec<f32>, VerifyReport) {
+        let (ops, a2, b2, w, v) = gpu_setup(dev, p);
+        let vb = VerifyBufs {
+            checksum: dev.alloc((p.shape.m / BLOCK_TILE) * CHECKSUM_SLOT_WORDS),
+            flag: dev.alloc(CHECKSUM_SLOT_WORDS),
+        };
+        dev.run_counted(
+            &FusedKernelSummation::new(ops, a2, b2, w, v, p.shape, p.bw).with_verify(vb),
+        )
+        .unwrap();
+        let out = dev.download(v);
+        let report = VerifyReport::from_outputs(
+            &out,
+            &dev.download(vb.checksum),
+            &dev.download(vb.flag),
+            p.shape.m,
+            1,
+        );
+        (out, report)
+    }
+
+    #[test]
+    fn verified_clean_run_is_bit_identical_and_unflagged() {
+        let p = make_problem(
+            GemmShape {
+                m: 256,
+                n: 256,
+                k: 32,
+            },
+            50,
+        );
+        let mut d1 = GpuDevice::gtx970();
+        let (ops, a2, b2, w, v) = gpu_setup(&mut d1, &p);
+        d1.run_counted(&FusedKernelSummation::new(ops, a2, b2, w, v, p.shape, p.bw))
+            .unwrap();
+        let base = d1.download(v);
+
+        let mut d2 = GpuDevice::gtx970();
+        let (got, report) = verified_run(&mut d2, &p);
+        // Verification must be a pure observer: same V bits as the
+        // unverified kernel on the same sequential schedule.
+        for (g, b) in got.iter().zip(base.iter()) {
+            assert_eq!(g.to_bits(), b.to_bits());
+        }
+        assert!(!report.corruption_detected(), "{report:?}");
+        assert_eq!(report.checksum_groups, p.shape.m / BLOCK_TILE);
+        assert_eq!(report.checksum_mismatches, 0);
+        assert_eq!(report.blocks_flagged, 0);
+    }
+
+    /// Shared oracle for the in-flight fault surfaces: every run whose
+    /// output differs bit-for-bit from the clean baseline must be
+    /// flagged — no silent corruption — and at least one seed must
+    /// actually corrupt, so the sweep cannot pass vacuously.
+    fn detection_sweep(spec: &str, surface: &str) {
+        let p = make_problem(
+            GemmShape {
+                m: 256,
+                n: 256,
+                k: 32,
+            },
+            51,
+        );
+        let mut clean = GpuDevice::gtx970();
+        let (base, clean_report) = verified_run(&mut clean, &p);
+        assert!(!clean_report.corruption_detected());
+
+        let mut corrupted = 0u32;
+        let mut injected_total = 0u64;
+        for seed in 0..12u64 {
+            let mut dev = faulty_device(spec, seed);
+            let (got, report) = verified_run(&mut dev, &p);
+            let injected = dev.take_fault_counters();
+            injected_total += injected.smem_flips + injected.reg_flips;
+            let changed = got
+                .iter()
+                .zip(base.iter())
+                .any(|(g, b)| g.to_bits() != b.to_bits());
+            if changed {
+                corrupted += 1;
+                assert!(
+                    report.blocks_flagged > 0,
+                    "{surface} seed {seed}: silent corruption ({injected:?})"
+                );
+            }
+        }
+        assert!(injected_total > 0, "{surface}: no faults were injected");
+        assert!(
+            corrupted >= 1,
+            "{surface}: no seed corrupted V — the sweep is vacuous"
+        );
+    }
+
+    #[test]
+    fn verified_flags_every_effective_smem_flip() {
+        detection_sweep("smem=3", "smem");
+    }
+
+    #[test]
+    fn verified_flags_every_effective_reg_flip() {
+        detection_sweep("reg=2", "reg");
+    }
+
+    #[test]
+    fn host_checksum_catches_tampered_outputs() {
+        let p = make_problem(
+            GemmShape {
+                m: 256,
+                n: 256,
+                k: 32,
+            },
+            52,
+        );
+        let mut dev = GpuDevice::gtx970();
+        let (ops, a2, b2, w, v) = gpu_setup(&mut dev, &p);
+        let vb = VerifyBufs {
+            checksum: dev.alloc((p.shape.m / BLOCK_TILE) * CHECKSUM_SLOT_WORDS),
+            flag: dev.alloc(CHECKSUM_SLOT_WORDS),
+        };
+        dev.run_counted(
+            &FusedKernelSummation::new(ops, a2, b2, w, v, p.shape, p.bw).with_verify(vb),
+        )
+        .unwrap();
+        let out = dev.download(v);
+        let chk = dev.download(vb.checksum);
+        let flag = dev.download(vb.flag);
+
+        // An exponent flip on a V element shifts its row-group sum off
+        // the checksum column.
+        let mut tampered = out.clone();
+        tampered[3] = f32::from_bits(tampered[3].to_bits() ^ (1 << 30));
+        let r = VerifyReport::from_outputs(&tampered, &chk, &flag, p.shape.m, 1);
+        assert!(r.checksum_mismatches >= 1, "{r:?}");
+
+        // Same for a flip on the checksum column itself.
+        let mut bad_chk = chk.clone();
+        bad_chk[CHECKSUM_SLOT_WORDS] =
+            f32::from_bits(bad_chk[CHECKSUM_SLOT_WORDS].to_bits() ^ (1 << 31));
+        let r = VerifyReport::from_outputs(&out, &bad_chk, &flag, p.shape.m, 1);
+        assert!(r.checksum_mismatches >= 1, "{r:?}");
+
+        // And a flipped device flag surfaces as blocks_flagged.
+        let mut bad_flag = flag.clone();
+        bad_flag[0] = 1.0;
+        let r = VerifyReport::from_outputs(&out, &chk, &bad_flag, p.shape.m, 1);
+        assert!(r.blocks_flagged >= 1 && r.corruption_detected());
+    }
+
+    /// DRAM upsets land *after* the kernel, on its writable buffers
+    /// (V, checksum, flag). The model injects exponent/sign flips; the
+    /// FP checksum has a noise floor, so the contract is weaker than
+    /// for the in-flight surfaces: no row group may deviate beyond the
+    /// checksum tolerance without the report noticing (DESIGN.md §11).
+    #[test]
+    fn verified_bounds_dram_flip_escapes() {
+        let p = make_problem(
+            GemmShape {
+                m: 256,
+                n: 256,
+                k: 32,
+            },
+            53,
+        );
+        let mut clean = GpuDevice::gtx970();
+        let (base, _) = verified_run(&mut clean, &p);
+
+        let gy = p.shape.m / BLOCK_TILE;
+        let mut detected = 0u32;
+        for seed in 0..12u64 {
+            let mut dev = faulty_device("dram=2", seed);
+            let (got, report) = verified_run(&mut dev, &p);
+            if report.corruption_detected() {
+                detected += 1;
+            }
+            for g in 0..gy {
+                let gs: f64 = got[g * BLOCK_TILE..(g + 1) * BLOCK_TILE]
+                    .iter()
+                    .map(|&x| f64::from(x))
+                    .sum();
+                let bs: f64 = base[g * BLOCK_TILE..(g + 1) * BLOCK_TILE]
+                    .iter()
+                    .map(|&x| f64::from(x))
+                    .sum();
+                let abs: f64 = got[g * BLOCK_TILE..(g + 1) * BLOCK_TILE]
+                    .iter()
+                    .map(|&x| f64::from(x.abs()))
+                    .sum();
+                if (gs - bs).abs() > 2.0 * (1e-3 * abs + 1e-4) {
+                    assert!(
+                        report.checksum_mismatches >= 1,
+                        "dram seed {seed}: group {g} drifted silently"
+                    );
+                }
+            }
+        }
+        assert!(detected >= 1, "no DRAM seed tripped the checksum");
+    }
+
+    /// The verified kernel must keep the traffic/functional counter
+    /// equivalence the unverified kernel has: launch (memoized replay)
+    /// and run_counted (sequential functional) agree on every counter.
+    #[test]
+    fn verified_profile_fast_path_matches_counted() {
+        let p = make_problem(
+            GemmShape {
+                m: 256,
+                n: 256,
+                k: 16,
+            },
+            54,
+        );
+        let build = |dev: &mut GpuDevice| {
+            let (ops, a2, b2, w, v) = gpu_setup(dev, &p);
+            let vb = VerifyBufs {
+                checksum: dev.alloc((p.shape.m / BLOCK_TILE) * CHECKSUM_SLOT_WORDS),
+                flag: dev.alloc(CHECKSUM_SLOT_WORDS),
+            };
+            FusedKernelSummation::new(ops, a2, b2, w, v, p.shape, p.bw).with_verify(vb)
+        };
+        let mut d1 = GpuDevice::gtx970();
+        let k1 = build(&mut d1);
+        let fast = d1.launch(&k1).unwrap();
+
+        let mut d2 = GpuDevice::gtx970();
+        let k2 = build(&mut d2);
+        let slow = d2.run_counted(&k2).unwrap();
+        assert_eq!(fast.counters, slow.counters);
+        assert_eq!(fast.mem, slow.mem);
+    }
+
+    /// Fault injection must never perturb performance counters: a
+    /// faulty run's profile equals the clean profile except for the
+    /// `faults` tally (the goldens therefore stay valid).
+    #[test]
+    fn faults_leave_performance_counters_untouched() {
+        let p = make_problem(
+            GemmShape {
+                m: 256,
+                n: 256,
+                k: 16,
+            },
+            55,
+        );
+        let run = |dev: &mut GpuDevice| {
+            let (ops, a2, b2, w, v) = gpu_setup(dev, &p);
+            dev.run_counted(&FusedKernelSummation::new(ops, a2, b2, w, v, p.shape, p.bw))
+                .unwrap()
+        };
+        let mut clean = GpuDevice::gtx970();
+        let clean_prof = run(&mut clean);
+        let mut faulty = faulty_device("smem=4,reg=4,dram=2", 9);
+        let faulty_prof = run(&mut faulty);
+        assert_eq!(clean_prof.counters, faulty_prof.counters);
+        assert_eq!(clean_prof.mem, faulty_prof.mem);
+        assert!(clean_prof.faults.is_empty());
+        assert!(!faulty_prof.faults.is_empty());
     }
 }

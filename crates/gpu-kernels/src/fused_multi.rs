@@ -32,8 +32,13 @@ use ks_gpu_sim::occupancy::OccupancyLimiter;
 use ks_gpu_sim::profiler::PipelineProfile;
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
+use ks_gpu_sim::smem::flip_bit;
+
 use crate::aux_kernels::{gaussian, Bandwidth, NormsKernel};
-use crate::gemm_engine::{fresh_acc, gemm_block, GemmOperands, GemmShape, Microtile, SmemMap};
+use crate::fused::{VerifyBufs, VerifyReport, CHECKSUM_SLOT_WORDS};
+use crate::gemm_engine::{
+    fresh_acc, gemm_block, gemm_block_verified, GemmOperands, GemmShape, Microtile, SmemMap,
+};
 use crate::layout::SmemLayout;
 use crate::machine::{FunctionalMachine, TrafficMachine, WarpMachine};
 use crate::{BLOCK_TILE, K_TILE, MICRO_TILE, THREADS_XY, WARPS_PER_BLOCK};
@@ -54,6 +59,7 @@ pub struct FusedMultiWeight {
     shape: GemmShape,
     bw: Bandwidth,
     r: usize,
+    verify: Option<VerifyBufs>,
 }
 
 impl FusedMultiWeight {
@@ -88,7 +94,19 @@ impl FusedMultiWeight {
             shape,
             bw,
             r,
+            verify: None,
         }
+    }
+
+    /// Enables ABFT verification (see [`crate::fused`]). The checksum
+    /// buffer must hold `R·(M/128)·CHECKSUM_SLOT_WORDS` zeroed words
+    /// (slot `(c·(M/128) + by)·CHECKSUM_SLOT_WORDS` for column `c`,
+    /// row group `by`) and the flag buffer `CHECKSUM_SLOT_WORDS`
+    /// zeroed words.
+    #[must_use]
+    pub fn with_verify(mut self, bufs: VerifyBufs) -> Self {
+        self.verify = Some(bufs);
+        self
     }
 
     /// Registers per thread as a function of the column count:
@@ -111,16 +129,43 @@ impl FusedMultiWeight {
         } else {
             Vec::new()
         };
-        gemm_block(
-            mach,
-            &self.ops,
-            &self.shape,
-            SmemLayout::Swizzled,
-            true,
-            bx,
-            by,
-            &mut acc,
-        );
+        let mut corrupt = if self.verify.is_some() {
+            gemm_block_verified(
+                mach,
+                &self.ops,
+                &self.shape,
+                SmemLayout::Swizzled,
+                true,
+                bx,
+                by,
+                &mut acc,
+            )
+        } else {
+            gemm_block(
+                mach,
+                &self.ops,
+                &self.shape,
+                SmemLayout::Swizzled,
+                true,
+                bx,
+                by,
+                &mut acc,
+            );
+            false
+        };
+
+        // Register upsets land on the γ partials (data only; see the
+        // single-weight kernel).
+        let mut reg_flips: Vec<(usize, usize, usize, u8)> = Vec::new();
+        if M::FUNCTIONAL {
+            let span = (256 * MICRO_TILE * r) as u64;
+            for (pick, bit) in mach.accumulator_faults() {
+                let elem = (pick % span) as usize;
+                let tid = elem / (MICRO_TILE * r);
+                let rest = elem % (MICRO_TILE * r);
+                reg_flips.push((tid, rest / MICRO_TILE, rest % MICRO_TILE, bit));
+            }
+        }
 
         // --- Evaluation + per-column intra-thread fold -------------------
         // T reuses the A tile buffer the final `compute_ktile` is NOT
@@ -131,6 +176,9 @@ impl FusedMultiWeight {
         // gamma[tid][col][row partial]
         let mut gamma =
             vec![[[0.0f32; MICRO_TILE]; MAX_WEIGHT_COLUMNS]; if M::FUNCTIONAL { 256 } else { 0 }];
+        let mut gamma_clean_xor = 0u32;
+        let mut gamma_parked_xor = 0u32;
+        let mut t_store_xor = 0u32;
         for wp in 0..WARPS_PER_BLOCK {
             mach.begin_warp(wp as u32);
             mach.alu(2);
@@ -202,6 +250,37 @@ impl FusedMultiWeight {
                 }
             }
 
+            if self.verify.is_some() {
+                // DMR on the R folds (see the single-weight kernel).
+                mach.ffma(64 * r as u64);
+                mach.falu(8);
+                if M::FUNCTIONAL {
+                    for lane in 0..32 {
+                        let tid = wp * 32 + lane;
+                        for c in 0..r {
+                            for g in &gamma[tid][c] {
+                                gamma_clean_xor ^= g.to_bits();
+                            }
+                        }
+                    }
+                }
+            }
+            if M::FUNCTIONAL {
+                for &(tid, col, row, bit) in reg_flips.iter().filter(|f| f.0 / 32 == wp) {
+                    gamma[tid][col][row] = flip_bit(gamma[tid][col][row], bit);
+                }
+                if self.verify.is_some() {
+                    for lane in 0..32 {
+                        let tid = wp * 32 + lane;
+                        for c in 0..r {
+                            for g in &gamma[tid][c] {
+                                gamma_parked_xor ^= g.to_bits();
+                            }
+                        }
+                    }
+                }
+            }
+
             // Intra-block shuffle reduction per column.
             mach.alu(32 * r as u64);
             mach.falu(32 * r as u64);
@@ -223,6 +302,9 @@ impl FusedMultiWeight {
                                 sum += gamma[wp * 32 + half * THREADS_XY + tx][c][row];
                             }
                             vals[half * THREADS_XY][0] = sum;
+                            if self.verify.is_some() {
+                                t_store_xor ^= sum.to_bits();
+                            }
                         }
                     }
                     mach.st_shared(&words, VecWidth::V1, &vals);
@@ -232,6 +314,8 @@ impl FusedMultiWeight {
         mach.syncthreads(warps);
 
         // --- Atomic drain, one coalesced pass per column -----------------
+        let mut t_drain_xor = 0u32;
+        let mut sigma = [0.0f32; MAX_WEIGHT_COLUMNS];
         for wp in 0..WARPS_PER_BLOCK / 2 {
             mach.begin_warp(wp as u32);
             for c in 0..r {
@@ -242,16 +326,44 @@ impl FusedMultiWeight {
                 let vidx: WarpIdx =
                     std::array::from_fn(|lane| Some(c * m + by * BLOCK_TILE + wp * 32 + lane));
                 let lane_vals: [f32; 32] = std::array::from_fn(|lane| t_vals[lane][0]);
+                if M::FUNCTIONAL && self.verify.is_some() {
+                    for v in &lane_vals {
+                        t_drain_xor ^= v.to_bits();
+                        sigma[c] += v;
+                    }
+                }
                 mach.atomic_add(self.v, &vidx, &lane_vals);
             }
+        }
+
+        // --- ABFT epilogue (see the single-weight kernel) ----------------
+        if let Some(vb) = self.verify {
+            corrupt |= gamma_clean_xor != gamma_parked_xor;
+            corrupt |= t_store_xor != t_drain_xor;
+            let gy = m / BLOCK_TILE;
+            mach.begin_warp(0);
+            mach.falu(2);
+            // One atomic with R active lanes: lane c updates the slot
+            // of (column c, row group by) — distinct sectors.
+            let cidx: WarpIdx = std::array::from_fn(|lane| {
+                (lane < r).then_some((lane * gy + by) * CHECKSUM_SLOT_WORDS)
+            });
+            let mut cvals = [0.0f32; 32];
+            cvals[..r].copy_from_slice(&sigma[..r]);
+            mach.atomic_add(vb.checksum, &cidx, &cvals);
+            let fidx: WarpIdx = std::array::from_fn(|lane| (lane == 0).then_some(0));
+            let mut fvals = [0.0f32; 32];
+            fvals[0] = if corrupt { 1.0 } else { 0.0 };
+            mach.atomic_add(vb.flag, &fidx, &fvals);
         }
     }
 }
 
 impl Kernel for FusedMultiWeight {
     fn name(&self) -> String {
+        let tag = if self.verify.is_some() { "_abft" } else { "" };
         format!(
-            "fused_multiw{}_{}x{}x{}",
+            "fused_multiw{}{tag}_{}x{}x{}",
             self.r, self.shape.m, self.shape.n, self.shape.k
         )
     }
@@ -297,21 +409,41 @@ impl Kernel for FusedMultiWeight {
         // drains (c·m + by·128 + …) shift with bx·128 / by·128; the
         // c·n / c·m column offsets are block-independent.
         let (bx, by) = (block.x as usize, block.y as usize);
-        Some(BlockClass {
-            key: 0,
-            anchors: vec![
-                (self.ops.a, by * BLOCK_TILE * self.shape.k),
-                (self.ops.b, bx * BLOCK_TILE * self.shape.k),
-                (self.a2, by * BLOCK_TILE),
-                (self.b2, bx * BLOCK_TILE),
-                (self.w, bx * BLOCK_TILE),
-                (self.v, by * BLOCK_TILE),
-            ],
-        })
+        let mut anchors = vec![
+            (self.ops.a, by * BLOCK_TILE * self.shape.k),
+            (self.ops.b, bx * BLOCK_TILE * self.shape.k),
+            (self.a2, by * BLOCK_TILE),
+            (self.b2, bx * BLOCK_TILE),
+            (self.w, bx * BLOCK_TILE),
+            (self.v, by * BLOCK_TILE),
+        ];
+        if let Some(vb) = self.verify {
+            // Checksum slots shift by one sector-aligned slot per row
+            // group (the c·gy·8 column offsets are block-invariant,
+            // like the w/v column offsets above); the flag never moves.
+            anchors.push((vb.checksum, by * CHECKSUM_SLOT_WORDS));
+            anchors.push((vb.flag, 0));
+        }
+        Some(BlockClass { key: 0, anchors })
     }
 
     fn analysis_budget(&self) -> AnalysisBudget {
         let (m, n, k) = (self.shape.m, self.shape.n, self.shape.k);
+        let mut extra = Vec::new();
+        if let Some(vb) = self.verify {
+            extra.push(BufferUse {
+                buf: vb.checksum,
+                len: self.r * (m / BLOCK_TILE) * CHECKSUM_SLOT_WORDS,
+                writes: true,
+                label: "chk",
+            });
+            extra.push(BufferUse {
+                buf: vb.flag,
+                len: CHECKSUM_SLOT_WORDS,
+                writes: true,
+                label: "flag",
+            });
+        }
         AnalysisBudget {
             smem_conflict_budget: 0,
             // §III-A register economy: R ≥ 2 exceeds 128 regs/thread
@@ -355,13 +487,19 @@ impl Kernel for FusedMultiWeight {
                     writes: true,
                     label: "v",
                 },
-            ],
+            ]
+            .into_iter()
+            .chain(extra)
+            .collect(),
         }
     }
 }
 
 /// Label under which served batches appear in profiles and metrics.
 pub const FUSED_MULTI_PIPELINE: &str = "Fused-Multi";
+
+/// Pipeline label of the ABFT-verified serving path.
+pub const FUSED_MULTI_VERIFIED_PIPELINE: &str = "Fused-Multi-ABFT";
 
 /// Batched serving entry: runs the multi-weight pipeline end to end on
 /// `dev` — `norms(B)`, `norms(A)` **unless** precomputed row norms are
@@ -388,6 +526,50 @@ pub fn execute_fused_multi(
     w_cols: &[f32],
     a2: Option<&[f32]>,
 ) -> Result<(Vec<f32>, PipelineProfile), LaunchError> {
+    let (v, prof, _) = execute_fused_multi_inner(dev, shape, h, a, b, w_cols, a2, false)?;
+    Ok((v, prof))
+}
+
+/// [`execute_fused_multi`] with ABFT verification enabled: the fused
+/// kernel runs in its checksum-augmented variant and the host compares
+/// the per-row-group checksum column against `V` before returning.
+/// The returned [`VerifyReport`] says whether any corruption was
+/// detected; the result vector must not be used when it was.
+///
+/// # Errors
+/// Propagates launch-validation failures and injected launch-level
+/// faults from any kernel.
+///
+/// # Panics
+/// As [`execute_fused_multi`].
+pub fn execute_fused_multi_verified(
+    dev: &mut GpuDevice,
+    shape: GemmShape,
+    h: f32,
+    a: &[f32],
+    b: &[f32],
+    w_cols: &[f32],
+    a2: Option<&[f32]>,
+) -> Result<(Vec<f32>, PipelineProfile, VerifyReport), LaunchError> {
+    let (v, prof, report) = execute_fused_multi_inner(dev, shape, h, a, b, w_cols, a2, true)?;
+    Ok((
+        v,
+        prof,
+        report.expect("verified path always builds a report"),
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_fused_multi_inner(
+    dev: &mut GpuDevice,
+    shape: GemmShape,
+    h: f32,
+    a: &[f32],
+    b: &[f32],
+    w_cols: &[f32],
+    a2: Option<&[f32]>,
+    verify: bool,
+) -> Result<(Vec<f32>, PipelineProfile, Option<VerifyReport>), LaunchError> {
     shape.validate();
     let (m, n, k) = (shape.m, shape.n, shape.k);
     assert_eq!(a.len(), m * k, "A must be M·K elements");
@@ -411,24 +593,47 @@ pub fn execute_fused_multi(
     let b2_buf = dev.alloc(n);
     let w_buf = dev.upload(w_cols);
     let v_buf = dev.alloc(m * r);
+    let verify_bufs = verify.then(|| {
+        let checksum = dev.alloc(r * (m / BLOCK_TILE) * CHECKSUM_SLOT_WORDS);
+        let flag = dev.alloc(CHECKSUM_SLOT_WORDS);
+        VerifyBufs { checksum, flag }
+    });
     dev.invalidate_l2();
     dev.memset_zero(v_buf); // cudaMemset before the atomic reduction
+    if let Some(vb) = verify_bufs {
+        dev.memset_zero(vb.checksum);
+        dev.memset_zero(vb.flag);
+    }
 
     let mut kernels: Vec<Box<dyn Kernel>> = Vec::with_capacity(3);
     if a2.is_none() {
         kernels.push(Box::new(NormsKernel::new(ops.a, a2_buf, m, k, "a")));
     }
     kernels.push(Box::new(NormsKernel::new(ops.b, b2_buf, n, k, "b")));
-    kernels.push(Box::new(FusedMultiWeight::new(
-        ops, a2_buf, b2_buf, w_buf, v_buf, shape, bw, r,
-    )));
-
-    let mut prof = PipelineProfile::new(FUSED_MULTI_PIPELINE);
-    for kern in kernels {
-        prof.kernels.push(dev.launch(kern.as_ref())?);
-        dev.run(kern.as_ref())?;
+    let mut fused = FusedMultiWeight::new(ops, a2_buf, b2_buf, w_buf, v_buf, shape, bw, r);
+    if let Some(vb) = verify_bufs {
+        fused = fused.with_verify(vb);
     }
-    Ok((dev.download(v_buf), prof))
+    kernels.push(Box::new(fused));
+
+    let mut prof = PipelineProfile::new(if verify {
+        FUSED_MULTI_VERIFIED_PIPELINE
+    } else {
+        FUSED_MULTI_PIPELINE
+    });
+    for kern in kernels {
+        let mut kp = dev.launch(kern.as_ref())?;
+        dev.run(kern.as_ref())?;
+        // The launch replay schedules upsets; the functional run
+        // applies them — fold the applied tally into the profile.
+        kp.faults.merge(&dev.take_fault_counters());
+        prof.kernels.push(kp);
+    }
+    let v = dev.download(v_buf);
+    let report = verify_bufs.map(|vb| {
+        VerifyReport::from_outputs(&v, &dev.download(vb.checksum), &dev.download(vb.flag), m, r)
+    });
+    Ok((v, prof, report))
 }
 
 #[cfg(test)]
@@ -721,6 +926,126 @@ mod tests {
                 "idx {i}: {a} vs {b}"
             );
         }
+    }
+
+    // ---- ABFT verification -------------------------------------------
+
+    use ks_gpu_sim::{DeviceConfig, FaultSpec};
+
+    fn faulty_device(spec: &str, seed: u64) -> GpuDevice {
+        let mut fs = FaultSpec::parse(spec).expect("valid fault spec");
+        fs.seed = seed;
+        let mut cfg = DeviceConfig::gtx970();
+        cfg.fault = Some(fs);
+        GpuDevice::new(cfg)
+    }
+
+    #[test]
+    fn verified_entry_matches_unverified_and_reports_clean() {
+        let shape = GemmShape {
+            m: 128,
+            n: 256,
+            k: 16,
+        };
+        let s = setup(shape, 3, 92);
+        let mut d1 = GpuDevice::gtx970();
+        let (plain, _) = execute_fused_multi(&mut d1, shape, 1.0, &s.a, &s.b, &s.w, None).unwrap();
+        let mut d2 = GpuDevice::gtx970();
+        let (got, prof, report) =
+            execute_fused_multi_verified(&mut d2, shape, 1.0, &s.a, &s.b, &s.w, None).unwrap();
+        assert_eq!(prof.name, FUSED_MULTI_VERIFIED_PIPELINE);
+        assert_eq!(prof.kernels.len(), 3);
+        assert!(
+            prof.kernels[2].name.contains("_abft"),
+            "{}",
+            prof.kernels[2].name
+        );
+        assert!(!report.corruption_detected(), "{report:?}");
+        assert_eq!(report.checksum_groups, 3 * (shape.m / crate::BLOCK_TILE));
+        for (g, p) in got.iter().zip(plain.iter()) {
+            assert!((g - p).abs() < 1e-4 * p.abs().max(1.0), "{g} vs {p}");
+        }
+    }
+
+    /// In-flight fault sweep over the batched verified entry. With
+    /// `n = 256` only two blocks atomically fold into each `V` row, so
+    /// the parallel `run` stays bit-deterministic (two-operand float
+    /// addition is commutative) and the baseline comparison is exact.
+    #[test]
+    fn verified_entry_flags_injected_faults() {
+        let shape = GemmShape {
+            m: 256,
+            n: 256,
+            k: 32,
+        };
+        let s = setup(shape, 2, 93);
+        let mut clean = GpuDevice::gtx970();
+        let (base, _, clean_report) =
+            execute_fused_multi_verified(&mut clean, shape, 1.0, &s.a, &s.b, &s.w, None).unwrap();
+        assert!(!clean_report.corruption_detected());
+
+        let mut corrupted = 0u32;
+        let mut injected_total = 0u64;
+        for seed in 0..10u64 {
+            let mut dev = faulty_device("smem=3,reg=2", seed);
+            let (got, prof, report) =
+                execute_fused_multi_verified(&mut dev, shape, 1.0, &s.a, &s.b, &s.w, None).unwrap();
+            let injected: u64 = prof
+                .kernels
+                .iter()
+                .map(|k| k.faults.smem_flips + k.faults.reg_flips)
+                .sum();
+            injected_total += injected;
+            let changed = got
+                .iter()
+                .zip(base.iter())
+                .any(|(g, b)| g.to_bits() != b.to_bits());
+            if changed {
+                corrupted += 1;
+                assert!(
+                    report.blocks_flagged > 0,
+                    "seed {seed}: silent corruption ({injected} flips applied)"
+                );
+            }
+        }
+        assert!(injected_total > 0, "no faults were applied");
+        assert!(corrupted >= 1, "no seed corrupted V — sweep is vacuous");
+    }
+
+    #[test]
+    fn multi_verification_adds_at_most_two_percent_dram_traffic() {
+        let r = 4usize;
+        let shape = GemmShape {
+            m: 4096,
+            n: 1024,
+            k: 32,
+        };
+        let launch = |verify: bool| {
+            let mut dev = GpuDevice::gtx970();
+            let ops = GemmOperands {
+                a: dev.alloc_virtual(shape.m * shape.k),
+                b: dev.alloc_virtual(shape.k * shape.n),
+            };
+            let (a2, b2) = (dev.alloc_virtual(shape.m), dev.alloc_virtual(shape.n));
+            let w = dev.alloc_virtual(shape.n * r);
+            let v = dev.alloc_virtual(shape.m * r);
+            let mut kern = FusedMultiWeight::new(ops, a2, b2, w, v, shape, Bandwidth { h: 1.0 }, r);
+            if verify {
+                kern = kern.with_verify(crate::fused::VerifyBufs {
+                    checksum: dev
+                        .alloc_virtual(r * (shape.m / crate::BLOCK_TILE) * CHECKSUM_SLOT_WORDS),
+                    flag: dev.alloc_virtual(CHECKSUM_SLOT_WORDS),
+                });
+            }
+            dev.launch(&kern).unwrap()
+        };
+        let plain = launch(false);
+        let verified = launch(true);
+        let ratio = verified.mem.dram_transactions() as f64 / plain.mem.dram_transactions() as f64;
+        assert!(
+            (1.0..=1.02).contains(&ratio),
+            "verified/plain DRAM ratio {ratio}"
+        );
     }
 
     #[test]

@@ -131,6 +131,12 @@ impl SmemMap {
 /// Loads `tileA[kt]` and `tileB[kt]` into the shared buffers at
 /// `smem_a` / `smem_b` (Fig 5 store pattern: warps 0–3 load A,
 /// warps 4–7 load B; conflict-free stores).
+///
+/// Returns the XOR of the bit patterns of all 2048 stored words — the
+/// *staged checksum* of the tile pair, computed for free while the
+/// values pass through registers. [`gemm_block_verified`] compares it
+/// against a post-compute [`audit_tile`] re-read to detect shared-
+/// memory corruption. Traffic mode returns 0.
 #[allow(clippy::too_many_arguments)] // mirrors the CUDA kernel's parameter list
 pub fn load_tiles<M: WarpMachine>(
     mach: &mut M,
@@ -142,8 +148,9 @@ pub fn load_tiles<M: WarpMachine>(
     kt: usize,
     smem_a: u32,
     smem_b: u32,
-) {
+) -> u32 {
     let k = shape.k;
+    let mut staged = 0u32;
     for w in 0..WARPS_PER_BLOCK {
         mach.begin_warp(w as u32);
         // Halves: warps 0..4 fetch tileA (point base = row), warps
@@ -176,9 +183,43 @@ pub fn load_tiles<M: WarpMachine>(
                 let v = if kk < 4 { lo[u][kk] } else { hi[u][kk - 4] };
                 [v, 0.0, 0.0, 0.0]
             });
+            if M::FUNCTIONAL {
+                for v in &vals {
+                    staged ^= v[0].to_bits();
+                }
+            }
             mach.st_shared(&words, VecWidth::V1, &vals);
         }
     }
+    staged
+}
+
+/// Re-reads one 1024-word tile buffer and returns the XOR of its bit
+/// patterns (0 in traffic mode). The read is conflict-free: each of
+/// the 8 warps covers 128 contiguous words in 4 single-word phases of
+/// 32 consecutive words, so the 32 lanes of every phase hit 32
+/// distinct banks.
+pub fn audit_tile<M: WarpMachine>(mach: &mut M, base: u32) -> u32 {
+    let mut digest = 0u32;
+    for w in 0..WARPS_PER_BLOCK {
+        mach.begin_warp(w as u32);
+        for phase in 0..4u32 {
+            let words: [Option<u32>; 32] = std::array::from_fn(|lane| {
+                Some(base + (w as u32) * 128 + phase * 32 + lane as u32)
+            });
+            let v = mach.ld_shared(&words, VecWidth::V1);
+            if M::FUNCTIONAL {
+                for lane in &v {
+                    digest ^= lane[0].to_bits();
+                }
+            }
+        }
+    }
+    digest
+}
+
+fn audit_pair<M: WarpMachine>(mach: &mut M, smem_a: u32, smem_b: u32) -> u32 {
+    audit_tile(mach, smem_a) ^ audit_tile(mach, smem_b)
 }
 
 /// One rank-8 update: every thread multiplies its `microtileA_ty`
@@ -283,6 +324,59 @@ pub fn gemm_block<M: WarpMachine>(
             mach.syncthreads(warps);
         }
     }
+}
+
+/// [`gemm_block`] with an ABFT shared-memory audit: every tile pair's
+/// staged checksum (the XOR [`load_tiles`] computes while the values
+/// pass through registers) is compared against an [`audit_tile`]
+/// re-read issued right after the `compute_ktile` that consumed it.
+///
+/// Returns `true` iff any consumed tile word differed from what was
+/// staged — i.e. a bit flip landed in a live tile buffer between its
+/// store and its last read. Flips into dead or about-to-be-overwritten
+/// buffers never reach `acc` and are deliberately *not* flagged.
+/// Always `false` in traffic mode (both digests are 0).
+#[allow(clippy::too_many_arguments)] // mirrors gemm_block
+pub fn gemm_block_verified<M: WarpMachine>(
+    mach: &mut M,
+    ops: &GemmOperands,
+    shape: &GemmShape,
+    layout: SmemLayout,
+    double_buffer: bool,
+    bx: usize,
+    by: usize,
+    acc: &mut [Microtile],
+) -> bool {
+    let smem = SmemMap::new(double_buffer);
+    let tiles = shape.k / K_TILE;
+    let warps = WARPS_PER_BLOCK as u64;
+    let mut corrupt = false;
+
+    if double_buffer {
+        let mut j = 0usize;
+        let mut staged = [0u32; 2];
+        staged[j] = load_tiles(mach, ops, shape, layout, bx, by, 0, smem.a[j], smem.b[j]);
+        mach.syncthreads(warps);
+        for i in 1..tiles {
+            let prev = j;
+            j ^= 1;
+            staged[j] = load_tiles(mach, ops, shape, layout, bx, by, i, smem.a[j], smem.b[j]);
+            compute_ktile(mach, layout, smem.a[prev], smem.b[prev], acc);
+            corrupt |= audit_pair(mach, smem.a[prev], smem.b[prev]) != staged[prev];
+            mach.syncthreads(warps);
+        }
+        compute_ktile(mach, layout, smem.a[j], smem.b[j], acc);
+        corrupt |= audit_pair(mach, smem.a[j], smem.b[j]) != staged[j];
+    } else {
+        for i in 0..tiles {
+            let staged = load_tiles(mach, ops, shape, layout, bx, by, i, smem.a[0], smem.b[0]);
+            mach.syncthreads(warps);
+            compute_ktile(mach, layout, smem.a[0], smem.b[0], acc);
+            corrupt |= audit_pair(mach, smem.a[0], smem.b[0]) != staged;
+            mach.syncthreads(warps);
+        }
+    }
+    corrupt
 }
 
 /// Number of `__syncthreads()` per block for a given configuration

@@ -19,7 +19,10 @@
 //!   evaluation+summation kernels (the unfused pipeline stages).
 //! * [`fused`] — Algorithm 2: fused kernel summation with the
 //!   three-level reduction (intra-thread, intra-block, atomic
-//!   inter-block).
+//!   inter-block), plus the ABFT-verified variant (checksum column,
+//!   shared-memory audit, γ re-fold; DESIGN.md §11).
+//! * [`fused_multi`] — the multi-weight serving kernel and the
+//!   `execute_fused_multi[_verified]` batched entries.
 //! * [`pipelines`] — the three end-to-end implementations of §IV:
 //!   `Fused`, `CUDA-Unfused`, `cuBLAS-Unfused`.
 
@@ -39,12 +42,13 @@ pub mod pipelines;
 pub mod sgemm;
 pub mod small_micro;
 
-pub use fused::FusedKernelSummation;
+pub use fused::{FusedKernelSummation, VerifyBufs, VerifyReport, CHECKSUM_SLOT_WORDS};
 pub use fused_multi::{
-    execute_fused_multi, FusedMultiWeight, FUSED_MULTI_PIPELINE, MAX_WEIGHT_COLUMNS,
+    execute_fused_multi, execute_fused_multi_verified, FusedMultiWeight, FUSED_MULTI_PIPELINE,
+    FUSED_MULTI_VERIFIED_PIPELINE, MAX_WEIGHT_COLUMNS,
 };
 pub use layout::SmemLayout;
-pub use pipelines::{GpuKernelSummation, GpuVariant, ProblemDims};
+pub use pipelines::{GpuKernelSummation, GpuVariant, ProblemDims, FUSED_VERIFIED_PIPELINE};
 pub use sgemm::{CudaSgemm, VendorSgemm};
 pub use small_micro::Sgemm4x4;
 

@@ -63,6 +63,15 @@ pub trait WarpMachine {
 
     /// Block barrier executed by `warps` warps.
     fn syncthreads(&mut self, warps: u64);
+
+    /// Drains the accumulator-register bit flips the fault model
+    /// scheduled against this block, as `(element draw, bit)` pairs.
+    /// Purely functional: it issues no instructions and must never
+    /// change counters, so the traffic machine's default returns
+    /// nothing.
+    fn accumulator_faults(&mut self) -> Vec<(u64, u8)> {
+        Vec::new()
+    }
 }
 
 /// Functional back-end over a [`BlockCtx`].
@@ -142,6 +151,9 @@ impl WarpMachine for FunctionalMachine<'_, '_, '_> {
     }
     fn syncthreads(&mut self, warps: u64) {
         self.ctx.syncthreads(warps);
+    }
+    fn accumulator_faults(&mut self) -> Vec<(u64, u8)> {
+        self.ctx.take_accumulator_faults()
     }
 }
 

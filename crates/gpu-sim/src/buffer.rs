@@ -141,6 +141,13 @@ impl GlobalMem {
         self.entry(id).len() == 0
     }
 
+    /// True if the buffer is address-space-only (no backing data) —
+    /// such buffers cannot receive injected DRAM faults.
+    #[must_use]
+    pub fn is_virtual(&self, id: BufId) -> bool {
+        matches!(self.entry(id).data, Storage::Virtual(_))
+    }
+
     /// Base byte address of the buffer in the flat device address space.
     #[must_use]
     pub fn base_addr(&self, id: BufId) -> u64 {

@@ -3,6 +3,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultSpec;
+
 /// Static description of the simulated GPU.
 ///
 /// Defaults come from [`DeviceConfig::gtx970`], the machine the paper
@@ -74,6 +76,9 @@ pub struct DeviceConfig {
     pub l1_bytes: u32,
     /// L1 associativity (modelled).
     pub l1_assoc: u32,
+    /// Soft-error fault injection, or `None` (the default) for a
+    /// fault-free device. See [`crate::fault`].
+    pub fault: Option<FaultSpec>,
 }
 
 impl DeviceConfig {
@@ -110,6 +115,7 @@ impl DeviceConfig {
             l1_cache_global_loads: false,
             l1_bytes: 24 * 1024,
             l1_assoc: 8,
+            fault: None,
         }
     }
 

@@ -12,10 +12,12 @@ use crate::buffer::{BufId, GlobalMem};
 use crate::cache::Cache;
 use crate::config::DeviceConfig;
 use crate::exec;
+use crate::fault::{FaultCounters, FaultState, LaunchFault, LaunchFaultPlan};
 use crate::kernel::{validate_launch, Kernel, LaunchError};
 use crate::occupancy::occupancy;
 use crate::profiler::{KernelProfile, MemTraffic};
 use crate::replay::{self, ReplayStrategy};
+use crate::smem::flip_bit;
 use crate::timing::{self, TimingParams};
 use crate::traffic::TrafficSink;
 
@@ -28,6 +30,10 @@ pub struct GpuDevice {
     l1s: Vec<Cache>,
     timing_params: TimingParams,
     replay: ReplayStrategy,
+    /// Fault generator (only when `cfg.fault` is set).
+    faults: Option<FaultState>,
+    /// Applied injections since the last [`GpuDevice::take_fault_counters`].
+    fault_counters: FaultCounters,
 }
 
 impl GpuDevice {
@@ -42,6 +48,7 @@ impl GpuDevice {
         } else {
             Vec::new()
         };
+        let faults = cfg.fault.map(FaultState::new);
         Self {
             cfg,
             mem: GlobalMem::new(),
@@ -49,6 +56,8 @@ impl GpuDevice {
             l1s,
             timing_params: TimingParams::default(),
             replay: ReplayStrategy::default(),
+            faults,
+            fault_counters: FaultCounters::default(),
         }
     }
 
@@ -130,6 +139,67 @@ impl GpuDevice {
         }
     }
 
+    /// Injected-fault counters accumulated since the last call,
+    /// resetting them. Includes launch-level faults (which surface as
+    /// [`LaunchError`]s and therefore never appear on a profile).
+    pub fn take_fault_counters(&mut self) -> FaultCounters {
+        std::mem::take(&mut self.fault_counters)
+    }
+
+    /// Draws the next launch's fault schedule, charging a launch-level
+    /// fault as an error. `None` means the device is fault-free.
+    fn draw_faults(&mut self, kernel: &dyn Kernel) -> Result<Option<LaunchFaultPlan>, LaunchError> {
+        let Some(state) = self.faults.as_mut() else {
+            return Ok(None);
+        };
+        let total_blocks = kernel.launch_config().total_blocks();
+        let draw = state.next_draw(total_blocks, self.cfg.num_sms);
+        if let Some(lf) = draw.launch_fault {
+            self.fault_counters.launch_faults += 1;
+            return Err(match lf {
+                LaunchFault::SmLost { sm } => LaunchError::SmLost { sm },
+                LaunchFault::Watchdog { limit_ms } => LaunchError::WatchdogTimeout { limit_ms },
+            });
+        }
+        Ok(Some(draw.plan))
+    }
+
+    /// Applies the plan's DRAM word flips over the kernel's declared
+    /// writable, materialised buffers (a kernel that declares no
+    /// [`crate::kernel::BufferUse`] extents cannot be hit). Returns
+    /// the number of flips applied.
+    fn apply_dram_faults(&self, kernel: &dyn Kernel, plan: &LaunchFaultPlan) -> u64 {
+        if plan.dram.is_empty() {
+            return 0;
+        }
+        let targets: Vec<(BufId, u64)> = kernel
+            .analysis_budget()
+            .buffers
+            .iter()
+            .filter(|b| b.writes && !self.mem.is_virtual(b.buf))
+            .map(|b| (b.buf, b.len.min(self.mem.len(b.buf)) as u64))
+            .filter(|&(_, len)| len > 0)
+            .collect();
+        let total: u64 = targets.iter().map(|&(_, len)| len).sum();
+        if total == 0 {
+            return 0;
+        }
+        let mut applied = 0u64;
+        for &(word_pick, bit) in &plan.dram {
+            let mut idx = word_pick % total;
+            for &(buf, len) in &targets {
+                if idx < len {
+                    let v = self.mem.load(buf, idx as usize);
+                    self.mem.store(buf, idx as usize, flip_bit(v, bit));
+                    applied += 1;
+                    break;
+                }
+                idx -= len;
+            }
+        }
+        applied
+    }
+
     /// Profiles a kernel: replays its traffic (no numerics) through
     /// the memory system and runs the timing model.
     ///
@@ -137,6 +207,11 @@ impl GpuDevice {
     /// Returns a [`LaunchError`] if the launch violates device limits.
     pub fn launch(&mut self, kernel: &dyn Kernel) -> Result<KernelProfile, LaunchError> {
         validate_launch(&self.cfg, kernel)?;
+        // Launch-level faults can kill a profiling launch too; the
+        // bit-flip schedule is irrelevant here (replay touches no
+        // functional data) but the draw still advances the epoch so
+        // profiling and functional runs stay in lockstep.
+        let _plan = self.draw_faults(kernel)?;
         let before = self.l2.stats();
         // L1s are not coherent across kernels: invalidate at launch.
         for l1 in &mut self.l1s {
@@ -161,8 +236,20 @@ impl GpuDevice {
     /// Returns a [`LaunchError`] if the launch violates device limits.
     pub fn run(&mut self, kernel: &dyn Kernel) -> Result<(), LaunchError> {
         validate_launch(&self.cfg, kernel)?;
+        let plan = self.draw_faults(kernel)?;
         let smem_words = kernel.resources().smem_bytes_per_block as usize / 4;
-        exec::run_functional(&self.mem, kernel, smem_words);
+        match plan {
+            None => exec::run_functional(&self.mem, kernel, smem_words),
+            Some(plan) => {
+                exec::run_functional_with_faults(&self.mem, kernel, smem_words, &plan);
+                self.fault_counters.merge(&FaultCounters {
+                    smem_flips: plan.applied_smem(),
+                    reg_flips: plan.applied_reg(),
+                    dram_flips: self.apply_dram_faults(kernel, &plan),
+                    launch_faults: 0,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -182,6 +269,7 @@ impl GpuDevice {
     /// Returns a [`LaunchError`] if the launch violates device limits.
     pub fn run_counted(&mut self, kernel: &dyn Kernel) -> Result<KernelProfile, LaunchError> {
         validate_launch(&self.cfg, kernel)?;
+        let plan = self.draw_faults(kernel)?;
         let smem_words = kernel.resources().smem_bytes_per_block as usize / 4;
         let before = self.l2.stats();
         for l1 in &mut self.l1s {
@@ -196,12 +284,28 @@ impl GpuDevice {
         if !self.l1s.is_empty() {
             sink.set_l1s(&mut self.l1s);
         }
-        let per_block =
-            exec::run_functional_counted_per_block(&self.mem, kernel, smem_words, &mut sink);
+        let per_block = match plan.as_ref() {
+            None => {
+                exec::run_functional_counted_per_block(&self.mem, kernel, smem_words, &mut sink)
+            }
+            Some(plan) => exec::run_functional_counted_per_block_with_faults(
+                &self.mem, kernel, smem_words, &mut sink, plan,
+            ),
+        };
         let counters = replay::merge_grid_order(&per_block);
         self.l2.flush_dirty();
         let after = self.l2.stats();
-        Ok(self.finish_profile(kernel, counters, before, after))
+        let mut prof = self.finish_profile(kernel, counters, before, after);
+        if let Some(plan) = plan {
+            prof.faults = FaultCounters {
+                smem_flips: plan.applied_smem(),
+                reg_flips: plan.applied_reg(),
+                dram_flips: self.apply_dram_faults(kernel, &plan),
+                launch_faults: 0,
+            };
+            self.fault_counters.merge(&prof.faults);
+        }
+        Ok(prof)
     }
 
     fn finish_profile(
@@ -233,6 +337,7 @@ impl GpuDevice {
             counters,
             mem,
             timing,
+            faults: FaultCounters::default(),
         }
     }
 }

@@ -13,7 +13,9 @@
 use rayon::prelude::*;
 
 use crate::buffer::{BufId, GlobalMem};
+use crate::fault::{BlockFaults, LaunchFaultPlan};
 use crate::kernel::Kernel;
+use crate::smem::flip_bit;
 use crate::traffic::{TrafficSink, WarpIdx};
 
 /// Execution context of one thread block (functional mode).
@@ -21,6 +23,11 @@ pub struct BlockCtx<'a, 'b> {
     mem: &'a GlobalMem,
     smem: Vec<f32>,
     sink: Option<&'b mut TrafficSink<'a>>,
+    /// Faults scheduled against this block (see [`crate::fault`]).
+    faults: Option<BlockFaults>,
+    /// `__syncthreads()` ordinal, counted so scheduled shared-memory
+    /// flips can target a specific barrier.
+    sync_seen: u32,
 }
 
 impl<'a, 'b> BlockCtx<'a, 'b> {
@@ -35,7 +42,36 @@ impl<'a, 'b> BlockCtx<'a, 'b> {
             mem,
             smem: vec![0.0; smem_words],
             sink,
+            faults: None,
+            sync_seen: 0,
         }
+    }
+
+    /// Arms this block with its scheduled faults. Shared-memory flips
+    /// fire at their targeted barrier; register flips wait in the
+    /// context until the kernel drains them with
+    /// [`BlockCtx::take_accumulator_faults`].
+    pub fn arm_faults(&mut self, faults: BlockFaults) {
+        self.faults = Some(faults);
+    }
+
+    /// Drains every accumulator-register fault scheduled against this
+    /// block as `(element draw, bit)` pairs, tallying them as applied.
+    /// Kernels that keep partial sums in registers call this once,
+    /// after their accumulate phase, and map each element draw onto
+    /// their accumulator layout (modulo the accumulator count).
+    /// Returns an empty vector when the block is not under attack —
+    /// and always in traffic mode, where no data exists to corrupt.
+    #[must_use]
+    pub fn take_accumulator_faults(&mut self) -> Vec<(u64, u8)> {
+        let Some(faults) = self.faults.as_mut() else {
+            return Vec::new();
+        };
+        let drained: Vec<(u64, u8)> = faults.reg.drain(..).map(|f| (f.elem_pick, f.bit)).collect();
+        if !drained.is_empty() {
+            faults.tally.add_reg(drained.len() as u64);
+        }
+        drained
     }
 
     /// Shared-memory size in words.
@@ -237,9 +273,29 @@ impl<'a, 'b> BlockCtx<'a, 'b> {
     /// Block-wide barrier executed by `warps` warps. (The interpreter
     /// runs warps to completion between barriers, so this is purely a
     /// counting event; ordering is enforced by program structure.)
+    ///
+    /// When the block is armed with faults, scheduled shared-memory
+    /// bit flips targeting this barrier ordinal are applied here —
+    /// data only, never counters.
     pub fn syncthreads(&mut self, warps: u64) {
         if let Some(sink) = self.sink.as_deref_mut() {
             sink.syncthreads(warps);
+        }
+        let sync_idx = self.sync_seen;
+        self.sync_seen += 1;
+        if let Some(faults) = self.faults.as_ref() {
+            if self.smem.is_empty() {
+                return;
+            }
+            let mut applied = 0u64;
+            for f in faults.smem.iter().filter(|f| f.sync_idx == sync_idx) {
+                let word = (f.word_pick % self.smem.len() as u64) as usize;
+                self.smem[word] = flip_bit(self.smem[word], f.bit);
+                applied += 1;
+            }
+            if applied > 0 {
+                faults.tally.add_smem(applied);
+            }
         }
     }
 }
@@ -252,6 +308,27 @@ pub fn run_functional(mem: &GlobalMem, kernel: &dyn Kernel, smem_words: usize) {
     let blocks: Vec<_> = lc.grid.iter_indices().collect();
     blocks.par_iter().for_each(|&b| {
         let mut ctx = BlockCtx::new(mem, smem_words, None);
+        kernel.execute_block(b, &mut ctx);
+    });
+}
+
+/// [`run_functional`] with a fault schedule: each block is armed with
+/// the faults aimed at its launch-order (linear) index before it
+/// executes. The linear index is the position in the grid's block
+/// enumeration order, which is stable under the rayon partitioning.
+pub fn run_functional_with_faults(
+    mem: &GlobalMem,
+    kernel: &dyn Kernel,
+    smem_words: usize,
+    plan: &LaunchFaultPlan,
+) {
+    let lc = kernel.launch_config();
+    let blocks: Vec<_> = lc.grid.iter_indices().collect();
+    blocks.par_iter().enumerate().for_each(|(i, &b)| {
+        let mut ctx = BlockCtx::new(mem, smem_words, None);
+        if let Some(f) = plan.block_faults(i as u64) {
+            ctx.arm_faults(f);
+        }
         kernel.execute_block(b, &mut ctx);
     });
 }
@@ -288,6 +365,33 @@ pub fn run_functional_counted_per_block<'a>(
         sink.counters = crate::profiler::Counters::default();
         sink.begin_block(i as u64);
         let mut ctx = BlockCtx::new(mem, smem_words, Some(sink));
+        kernel.execute_block(b, &mut ctx);
+        per_block.push(sink.counters);
+    }
+    per_block
+}
+
+/// [`run_functional_counted_per_block`] with a fault schedule (see
+/// [`run_functional_with_faults`]). Faults perturb data, never the
+/// harvested counters: the per-block counter vector is bit-identical
+/// to a fault-free run because every kernel's instruction stream is
+/// data-independent.
+pub fn run_functional_counted_per_block_with_faults<'a>(
+    mem: &'a GlobalMem,
+    kernel: &dyn Kernel,
+    smem_words: usize,
+    sink: &mut TrafficSink<'a>,
+    plan: &LaunchFaultPlan,
+) -> Vec<crate::profiler::Counters> {
+    let lc = kernel.launch_config();
+    let mut per_block = Vec::with_capacity(lc.total_blocks() as usize);
+    for (i, b) in lc.grid.iter_indices().enumerate() {
+        sink.counters = crate::profiler::Counters::default();
+        sink.begin_block(i as u64);
+        let mut ctx = BlockCtx::new(mem, smem_words, Some(sink));
+        if let Some(f) = plan.block_faults(i as u64) {
+            ctx.arm_faults(f);
+        }
         kernel.execute_block(b, &mut ctx);
         per_block.push(sink.counters);
     }

@@ -255,6 +255,31 @@ pub enum LaunchError {
         /// Requested words per lane.
         vlen: u32,
     },
+    /// An injected launch-level fault: an SM dropped off the bus
+    /// mid-launch (see [`crate::fault`]).
+    SmLost {
+        /// Which SM was lost.
+        sm: u32,
+    },
+    /// An injected launch-level fault: the driver watchdog killed the
+    /// launch (see [`crate::fault`]).
+    WatchdogTimeout {
+        /// The watchdog limit that was exceeded, in milliseconds.
+        limit_ms: u32,
+    },
+}
+
+impl LaunchError {
+    /// True for errors produced by the fault-injection subsystem
+    /// rather than an invalid launch configuration — the cases a
+    /// resilient caller may retry.
+    #[must_use]
+    pub fn is_injected_fault(&self) -> bool {
+        matches!(
+            self,
+            LaunchError::SmLost { .. } | LaunchError::WatchdogTimeout { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for LaunchError {
@@ -287,6 +312,15 @@ impl std::fmt::Display for LaunchError {
             }
             LaunchError::UnsupportedVectorWidth { vlen } => {
                 write!(f, "unsupported vector width {vlen} (expected 1, 2 or 4)")
+            }
+            LaunchError::SmLost { sm } => {
+                write!(f, "injected fault: SM {sm} lost during launch")
+            }
+            LaunchError::WatchdogTimeout { limit_ms } => {
+                write!(
+                    f,
+                    "injected fault: watchdog killed launch after {limit_ms} ms"
+                )
             }
         }
     }

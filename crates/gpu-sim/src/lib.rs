@@ -25,6 +25,8 @@
 //! * [`trace`] — warp-level access recording for the `ks-analyze`
 //!   static checks (races, bank conflicts, barrier divergence).
 //! * [`exec`] — functional block-synchronous execution engine.
+//! * [`fault`] — deterministic, seeded soft-error injection (SMEM /
+//!   register / DRAM bit flips, SM loss, watchdog kills).
 //! * [`replay`] — deterministic parallel traffic replay: sharded
 //!   counting, set-sharded L2 simulation and block-class memoization,
 //!   bit-identical to the serial walk ([`replay::ReplayStrategy`]).
@@ -62,6 +64,7 @@ pub mod config;
 pub mod device;
 pub mod dim;
 pub mod exec;
+pub mod fault;
 pub mod kernel;
 pub mod occupancy;
 pub mod profiler;
@@ -77,6 +80,7 @@ pub use config::DeviceConfig;
 pub use device::GpuDevice;
 pub use dim::{Dim3, LaunchConfig};
 pub use exec::BlockCtx;
+pub use fault::{FaultCounters, FaultSpec};
 pub use kernel::{
     AnalysisBudget, BlockClass, BufferUse, ExecModel, Kernel, KernelResources, LaunchError,
     TimingHints, VecWidth,

@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheStats;
 use crate::dim::LaunchConfig;
+use crate::fault::FaultCounters;
 use crate::kernel::KernelResources;
 use crate::occupancy::Occupancy;
 use crate::smem::SmemStats;
@@ -190,7 +191,7 @@ impl MemTraffic {
 }
 
 /// Complete profile of one kernel launch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelProfile {
     /// Kernel name.
     pub name: String,
@@ -206,6 +207,51 @@ pub struct KernelProfile {
     pub mem: MemTraffic,
     /// Timing-model output.
     pub timing: KernelTiming,
+    /// Soft errors injected into this launch by the fault model
+    /// (all-zero on a fault-free device).
+    pub faults: FaultCounters,
+}
+
+// Hand-written serde impls (not derived) so the `faults` key is
+// *omitted* when no fault was injected and *defaulted* when absent:
+// fault-free profiles serialize byte-identically to the
+// pre-fault-model schema, and pre-existing golden documents still
+// deserialize. Field order matches the struct declaration, like the
+// derive would emit.
+impl Serialize for KernelProfile {
+    fn to_value(&self) -> serde::value::Value {
+        let mut obj: Vec<(String, serde::value::Value)> = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("launch".to_string(), self.launch.to_value()),
+            ("resources".to_string(), self.resources.to_value()),
+            ("occupancy".to_string(), self.occupancy.to_value()),
+            ("counters".to_string(), self.counters.to_value()),
+            ("mem".to_string(), self.mem.to_value()),
+            ("timing".to_string(), self.timing.to_value()),
+        ];
+        if !self.faults.is_empty() {
+            obj.push(("faults".to_string(), self.faults.to_value()));
+        }
+        serde::value::Value::Object(obj)
+    }
+}
+
+impl Deserialize for KernelProfile {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::de::Error> {
+        Ok(Self {
+            name: serde::de::field(v, "name")?,
+            launch: serde::de::field(v, "launch")?,
+            resources: serde::de::field(v, "resources")?,
+            occupancy: serde::de::field(v, "occupancy")?,
+            counters: serde::de::field(v, "counters")?,
+            mem: serde::de::field(v, "mem")?,
+            timing: serde::de::field(v, "timing")?,
+            faults: match v.get("faults") {
+                Some(f) => FaultCounters::from_value(f).map_err(|e| e.context("faults"))?,
+                None => FaultCounters::default(),
+            },
+        })
+    }
 }
 
 impl KernelProfile {
@@ -276,6 +322,16 @@ impl PipelineProfile {
             m.merge(&k.mem);
         }
         m
+    }
+
+    /// Summed injected-fault counters across the pipeline's launches.
+    #[must_use]
+    pub fn total_faults(&self) -> FaultCounters {
+        let mut f = FaultCounters::default();
+        for k in &self.kernels {
+            f.merge(&k.faults);
+        }
+        f
     }
 
     /// Cycle-weighted FLOP efficiency, as the paper computes it for

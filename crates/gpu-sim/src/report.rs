@@ -95,6 +95,10 @@ pub const CSV_COLUMNS: &[&str] = &[
     "cycles",
     "time_s",
     "bound",
+    "injected_smem_flips",
+    "injected_reg_flips",
+    "injected_dram_flips",
+    "injected_launch_faults",
 ];
 
 /// The CSV header line for [`kernel_csv_row`] rows.
@@ -157,6 +161,10 @@ pub fn kernel_csv_row(pipeline: &str, k: &KernelProfile) -> String {
         format!("{:?}", k.timing.cycles),
         format!("{:?}", k.timing.time_s),
         format!("{:?}", k.timing.bound),
+        k.faults.smem_flips.to_string(),
+        k.faults.reg_flips.to_string(),
+        k.faults.dram_flips.to_string(),
+        k.faults.launch_faults.to_string(),
     ];
     debug_assert_eq!(cells.len(), CSV_COLUMNS.len());
     cells.join(",")
@@ -228,6 +236,7 @@ mod tests {
             counters,
             mem,
             timing,
+            faults: Default::default(),
         }
     }
 

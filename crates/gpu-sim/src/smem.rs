@@ -47,6 +47,15 @@ pub fn conflict_degree(addrs: &[Option<u32>; 32], num_banks: u32) -> u32 {
     warp_transactions(addrs, num_banks).saturating_sub(1)
 }
 
+/// Flips bit `bit & 31` of the IEEE-754 bit pattern of `v` — the
+/// primitive single-event upset applied by the fault model
+/// ([`crate::fault`]) to shared-memory words, accumulator registers
+/// and DRAM cells.
+#[must_use]
+pub fn flip_bit(v: f32, bit: u8) -> f32 {
+    f32::from_bits(v.to_bits() ^ (1u32 << (u32::from(bit) & 31)))
+}
+
 /// Tiny fixed-capacity set used by the conflict model: a warp has at
 /// most 32 lanes, so each bank sees at most 32 distinct words.
 mod heapless_set {

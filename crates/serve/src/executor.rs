@@ -14,7 +14,9 @@ use ks_core::plan::SourcePlan;
 use ks_core::problem::PointSet;
 use ks_core::{FusedCpuConfig, GaussianKernel};
 use ks_gpu_kernels::gemm_engine::GemmShape;
-use ks_gpu_kernels::{execute_fused_multi, MAX_WEIGHT_COLUMNS};
+use ks_gpu_kernels::{
+    execute_fused_multi, execute_fused_multi_verified, VerifyReport, MAX_WEIGHT_COLUMNS,
+};
 use ks_gpu_sim::device::GpuDevice;
 use ks_gpu_sim::kernel::LaunchError;
 use ks_gpu_sim::profiler::PipelineProfile;
@@ -58,21 +60,23 @@ fn pad_coords(
     out
 }
 
-/// Runs a batch on the simulated GPU. `plan_hit` selects the warm
-/// path: the plan's precomputed row norms are uploaded and the
-/// `norms(A)` kernel launch is skipped.
-///
-/// # Errors
-/// Propagates launch-validation failures; the server turns these into
-/// the CPU fallback or a per-query error.
-pub(crate) fn execute_gpu(
-    dev: &mut GpuDevice,
+/// A batch padded to the GPU tiling constraints, ready to launch.
+struct PaddedBatch {
+    a: Vec<f32>,
+    b: Vec<f32>,
+    w_cols: Vec<f32>,
+    a2: Option<Vec<f32>>,
+    shape: GemmShape,
+    m: usize,
+    r: usize,
+}
+
+fn pad_batch(
     plan: &SourcePlan,
     targets: &PointSet,
-    h: f32,
     weights: &[Vec<f32>],
     plan_hit: bool,
-) -> Result<(Vec<Vec<f32>>, PipelineProfile), LaunchError> {
+) -> PaddedBatch {
     let (m, k) = plan.dims();
     let n = targets.len();
     let r = weights.len();
@@ -92,25 +96,90 @@ pub(crate) fn execute_gpu(
     }
     // Padded source rows are all-zero points: their norm is 0, so the
     // precomputed norms extend with zeros.
-    let a2_pad;
-    let a2 = if plan_hit {
+    let a2 = plan_hit.then(|| {
         let mut norms = plan.row_sq_norms().to_vec();
         norms.resize(m_pad, 0.0);
-        a2_pad = norms;
-        Some(a2_pad.as_slice())
-    } else {
-        None
-    };
-    let shape = GemmShape {
-        m: m_pad,
-        n: n_pad,
-        k: k_pad,
-    };
-    let (v, prof) = execute_fused_multi(dev, shape, h, &a, &b, &w_cols, a2)?;
-    let results = (0..r)
-        .map(|c| v[c * m_pad..c * m_pad + m].to_vec())
-        .collect();
-    Ok((results, prof))
+        norms
+    });
+    PaddedBatch {
+        a,
+        b,
+        w_cols,
+        a2,
+        shape: GemmShape {
+            m: m_pad,
+            n: n_pad,
+            k: k_pad,
+        },
+        m,
+        r,
+    }
+}
+
+impl PaddedBatch {
+    /// Slices the padded `M_pad×R` result back to `R` vectors of `M`.
+    fn unpad(&self, v: &[f32]) -> Vec<Vec<f32>> {
+        (0..self.r)
+            .map(|c| v[c * self.shape.m..c * self.shape.m + self.m].to_vec())
+            .collect()
+    }
+}
+
+/// Runs a batch on the simulated GPU. `plan_hit` selects the warm
+/// path: the plan's precomputed row norms are uploaded and the
+/// `norms(A)` kernel launch is skipped.
+///
+/// # Errors
+/// Propagates launch-validation failures; the server turns these into
+/// the CPU fallback or a per-query error.
+pub(crate) fn execute_gpu(
+    dev: &mut GpuDevice,
+    plan: &SourcePlan,
+    targets: &PointSet,
+    h: f32,
+    weights: &[Vec<f32>],
+    plan_hit: bool,
+) -> Result<(Vec<Vec<f32>>, PipelineProfile), LaunchError> {
+    let batch = pad_batch(plan, targets, weights, plan_hit);
+    let (v, prof) = execute_fused_multi(
+        dev,
+        batch.shape,
+        h,
+        &batch.a,
+        &batch.b,
+        &batch.w_cols,
+        batch.a2.as_deref(),
+    )?;
+    Ok((batch.unpad(&v), prof))
+}
+
+/// [`execute_gpu`] through the checksum-augmented (ABFT) fused-multi
+/// pipeline. The returned [`VerifyReport`] says whether any in-kernel
+/// check or host-side checksum comparison tripped; the results must
+/// not be fulfilled when it did.
+///
+/// # Errors
+/// Propagates launch-validation failures and injected launch-level
+/// faults.
+pub(crate) fn execute_gpu_verified(
+    dev: &mut GpuDevice,
+    plan: &SourcePlan,
+    targets: &PointSet,
+    h: f32,
+    weights: &[Vec<f32>],
+    plan_hit: bool,
+) -> Result<(Vec<Vec<f32>>, PipelineProfile, VerifyReport), LaunchError> {
+    let batch = pad_batch(plan, targets, weights, plan_hit);
+    let (v, prof, report) = execute_fused_multi_verified(
+        dev,
+        batch.shape,
+        h,
+        &batch.a,
+        &batch.b,
+        &batch.w_cols,
+        batch.a2.as_deref(),
+    )?;
+    Ok((batch.unpad(&v), prof, report))
 }
 
 #[cfg(test)]
@@ -170,6 +239,27 @@ mod tests {
             for (i, g) in got[c].iter().enumerate() {
                 let x = want.get(i, 0);
                 assert!((g - x).abs() < 5e-3 * x.abs().max(1.0), "col {c} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn verified_gpu_batch_is_clean_and_matches_unverified() {
+        let sources = SourceSet::new(PointSet::uniform_cube(96, 5, 31));
+        let targets = PointSet::uniform_cube(64, 5, 32);
+        let ws = weights(64, 3, 33);
+        let plan = SourcePlan::build(sources.points());
+        let (plain, _) =
+            execute_gpu(&mut GpuDevice::gtx970(), &plan, &targets, 0.9, &ws, false).unwrap();
+        let (verified, prof, report) =
+            execute_gpu_verified(&mut GpuDevice::gtx970(), &plan, &targets, 0.9, &ws, false)
+                .unwrap();
+        assert!(!report.corruption_detected(), "fault-free run is clean");
+        assert!(report.checksum_groups > 0);
+        assert_eq!(prof.kernels.len(), 3);
+        for (c, (a, b)) in plain.iter().zip(verified.iter()).enumerate() {
+            for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                assert!((x - y).abs() <= 1e-4 * x.abs().max(1.0), "col {c} row {i}");
             }
         }
     }

@@ -13,6 +13,9 @@
 //!   `(corpus, bandwidth, targets)` coalesce into one multi-weight
 //!   fused solve, each contributing a weight column; per-query
 //!   deadlines; CPU-fused fallback when a simulated-GPU launch fails.
+//!   The `gpu-resilient` backend adds ABFT-verified launches with
+//!   seeded-backoff retries, a per-backend circuit breaker and a
+//!   degradation ladder ending at the bit-exact CPU reference.
 //! * [`cache`] — the LRU plan cache keyed by `(corpus id, M, K, h)`;
 //!   a hit skips the host-side pack/norms pass and the `norms(A)`
 //!   kernel launch.
@@ -34,7 +37,7 @@ pub use cache::{PlanCache, PlanCacheStats, PlanKey};
 pub use executor::MAX_GPU_BATCH;
 pub use queue::BoundedQueue;
 pub use server::{
-    FaultInjection, Query, ServeBackend, ServeConfig, ServeError, ServeReport, Server, Submit,
-    Ticket,
+    backoff_delay, FaultInjection, Query, ResilienceConfig, ServeBackend, ServeConfig, ServeError,
+    ServeReport, Server, Submit, Ticket,
 };
 pub use workload::{generate_queries, run_workload, smoke_workload, WorkloadConfig};

@@ -7,7 +7,7 @@
 //! high-water mark so tests can prove the bound was never exceeded.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 struct Inner<T> {
     items: VecDeque<T>,
@@ -25,6 +25,17 @@ pub struct BoundedQueue<T> {
 }
 
 impl<T> BoundedQueue<T> {
+    /// Locks the queue state, recovering from poisoning. Every
+    /// critical section below is a handful of panic-free `VecDeque`
+    /// and flag operations, so a poisoned mutex (a producer or the
+    /// consumer panicked *outside* the lock while unwinding through
+    /// it) leaves the state structurally sound — recovering keeps the
+    /// queue drainable during shutdown instead of cascading the panic
+    /// into every other client thread.
+    fn state(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Creates a queue holding at most `capacity` items.
     ///
     /// # Panics
@@ -49,7 +60,7 @@ impl<T> BoundedQueue<T> {
     /// # Errors
     /// `Err(item)` when the queue is at capacity or closed.
     pub fn try_push(&self, item: T) -> Result<(), T> {
-        let mut g = self.inner.lock().expect("queue poisoned");
+        let mut g = self.state();
         if g.closed || g.items.len() >= self.capacity {
             return Err(item);
         }
@@ -63,7 +74,7 @@ impl<T> BoundedQueue<T> {
     /// Blocks until an item is available; returns `None` once the
     /// queue is closed **and** drained.
     pub fn pop_blocking(&self) -> Option<T> {
-        let mut g = self.inner.lock().expect("queue poisoned");
+        let mut g = self.state();
         loop {
             if let Some(item) = g.items.pop_front() {
                 return Some(item);
@@ -71,26 +82,29 @@ impl<T> BoundedQueue<T> {
             if g.closed {
                 return None;
             }
-            g = self.not_empty.wait(g).expect("queue poisoned");
+            g = self
+                .not_empty
+                .wait(g)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Dequeues without blocking.
     pub fn try_pop(&self) -> Option<T> {
-        self.inner.lock().expect("queue poisoned").items.pop_front()
+        self.state().items.pop_front()
     }
 
     /// Closes the queue: further pushes are rejected, consumers drain
     /// the remainder and then see `None`.
     pub fn close(&self) {
-        self.inner.lock().expect("queue poisoned").closed = true;
+        self.state().closed = true;
         self.not_empty.notify_all();
     }
 
     /// Items currently enqueued.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        self.state().items.len()
     }
 
     /// True when nothing is enqueued.
@@ -108,7 +122,7 @@ impl<T> BoundedQueue<T> {
     /// Largest depth ever observed — never exceeds `capacity`.
     #[must_use]
     pub fn high_water(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").high_water
+        self.state().high_water
     }
 }
 

@@ -8,20 +8,29 @@
 //! queue returns [`Submit::Rejected`] with the query handed back.
 //!
 //! Failure policy: queries whose deadline has passed at dequeue time
-//! complete with [`ServeError::DeadlineExpired`]; a simulated-GPU
-//! launch failure either falls back to the bit-deterministic CPU fused
-//! path (`cpu_fallback`, the default) or surfaces as
-//! [`ServeError::Launch`] per query.
+//! complete with [`ServeError::DeadlineExpired`], and completed
+//! batches re-check deadlines at fulfilment (`expired_in_batch`); a
+//! simulated-GPU launch failure either falls back to the
+//! bit-deterministic CPU fused path (`cpu_fallback`, the default) or
+//! surfaces as [`ServeError::Launch`] per query.
+//!
+//! Resilience: the [`ServeBackend::GpuResilient`] backend drives a
+//! degradation ladder — ABFT-verified GPU → unverified GPU → CPU
+//! fused — with bounded retries (exponential backoff, deterministic
+//! jitter) and a per-backend circuit breaker; see
+//! [`ResilienceConfig`] and DESIGN.md §11. Lock poisoning never
+//! cascades: a panicked worker is drained into explicit
+//! [`ServeError::Internal`] completions at shutdown.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ks_core::plan::{SourcePlan, SourceSet};
 use ks_core::problem::PointSet;
 use ks_core::FusedCpuConfig;
-use ks_gpu_kernels::FUSED_MULTI_PIPELINE;
+use ks_gpu_kernels::{VerifyReport, FUSED_MULTI_PIPELINE};
 use ks_gpu_sim::config::DeviceConfig;
 use ks_gpu_sim::device::GpuDevice;
 use ks_gpu_sim::kernel::LaunchError;
@@ -58,6 +67,9 @@ pub enum ServeError {
     Launch(LaunchError),
     /// The server shut down before the query was executed.
     ShutDown,
+    /// The server hit an internal failure (e.g. a panicked worker
+    /// thread) and drained the query instead of cascading the panic.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for ServeError {
@@ -66,6 +78,7 @@ impl std::fmt::Display for ServeError {
             ServeError::DeadlineExpired => write!(f, "deadline expired before execution"),
             ServeError::Launch(e) => write!(f, "GPU launch failed: {e}"),
             ServeError::ShutDown => write!(f, "server shut down before execution"),
+            ServeError::Internal(why) => write!(f, "internal server error: {why}"),
         }
     }
 }
@@ -93,8 +106,17 @@ impl Ticket {
         }
     }
 
+    // All ticket locks recover from poisoning instead of propagating
+    // the panic: the critical sections only move an `Option` in or
+    // out, so a poisoned slot is still structurally sound — the Err
+    // completions a dying worker leaves behind must reach waiters,
+    // not abort them.
     fn fulfil(&self, r: Result<Vec<f32>, ServeError>) {
-        let mut g = self.inner.result.lock().expect("ticket poisoned");
+        let mut g = self
+            .inner
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if g.is_none() {
             *g = Some(r);
         }
@@ -108,18 +130,30 @@ impl Ticket {
     /// # Errors
     /// The query's [`ServeError`] when it did not produce a result.
     pub fn wait(&self) -> Result<Vec<f32>, ServeError> {
-        let mut g = self.inner.result.lock().expect("ticket poisoned");
+        let mut g = self
+            .inner
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(r) = g.take() {
                 return r;
             }
-            g = self.inner.done.wait(g).expect("ticket poisoned");
+            g = self
+                .inner
+                .done
+                .wait(g)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Non-blocking check; consumes the result if present.
     pub fn try_take(&self) -> Option<Result<Vec<f32>, ServeError>> {
-        self.inner.result.lock().expect("ticket poisoned").take()
+        self.inner
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
     }
 }
 
@@ -143,6 +177,11 @@ pub enum ServeBackend {
         /// failing the batch's queries.
         cpu_fallback: bool,
     },
+    /// The resilient ladder: ABFT-verified GPU with bounded retries
+    /// and a circuit breaker, degrading through unverified GPU to the
+    /// bit-deterministic CPU fused safe harbor. Policy lives in
+    /// [`ServeConfig::resilience`].
+    GpuResilient,
 }
 
 /// Deterministic fault injection for testing the fallback path.
@@ -150,9 +189,74 @@ pub enum ServeBackend {
 pub enum FaultInjection {
     /// No injected faults.
     None,
-    /// The first `n` GPU batch launches fail with
+    /// The first `n` GPU batch launch attempts fail with
     /// [`LaunchError::EmptyLaunch`] before touching the device.
     FirstN(u64),
+    /// The first GPU batch panics the worker thread (a driver-bug
+    /// stand-in for exercising poison recovery end to end).
+    PanicFirst,
+}
+
+/// Retry, backoff and circuit-breaker policy of
+/// [`ServeBackend::GpuResilient`].
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Launch attempts on the top GPU rung before degrading (≥ 1).
+    pub gpu_attempts: u32,
+    /// Base backoff delay; retry `a` sleeps `base·2^a` plus a
+    /// deterministic jitter of up to one `base` (see
+    /// [`backoff_delay`]).
+    pub backoff_base: Duration,
+    /// Seed of the deterministic jitter hash.
+    pub backoff_seed: u64,
+    /// Consecutive GPU-attempt failures that trip the breaker open.
+    pub breaker_threshold: u32,
+    /// Batches the breaker stays open before probing half-open.
+    pub breaker_cooldown: u64,
+    /// Run the top rung through the checksum-augmented (ABFT)
+    /// pipeline. Off, the ladder starts at unverified GPU.
+    pub verify: bool,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            gpu_attempts: 3,
+            backoff_base: Duration::from_micros(100),
+            backoff_seed: 0x5EED,
+            breaker_threshold: 3,
+            breaker_cooldown: 4,
+            verify: true,
+        }
+    }
+}
+
+/// SplitMix64: the jitter/decorrelation hash. Full-avalanche, so
+/// nearby (batch, attempt) pairs give unrelated draws.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic backoff schedule: before retry `attempt`
+/// (1-based) of `batch`, the worker sleeps
+/// `base·2^min(attempt,10) + base·jitter/256` where `jitter ∈ 0..256`
+/// is a [`splitmix64`] hash of `(seed, batch, attempt)`. Pure in its
+/// inputs — a fixed seed replays the exact schedule — and strictly
+/// increasing in `attempt` up to the `2^10` clamp (the jitter never
+/// exceeds one doubling).
+#[must_use]
+pub fn backoff_delay(rc: &ResilienceConfig, batch: u64, attempt: u32) -> Duration {
+    let exp = 1u32 << attempt.min(10);
+    let h = splitmix64(
+        rc.backoff_seed
+            ^ batch.rotate_left(17)
+            ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let jitter = (h % 256) as u32;
+    rc.backoff_base * exp + rc.backoff_base * jitter / 256
 }
 
 /// Server configuration.
@@ -178,6 +282,8 @@ pub struct ServeConfig {
     pub cpu: FusedCpuConfig,
     /// Injected launch faults (tests only).
     pub fault_injection: FaultInjection,
+    /// Retry/backoff/breaker policy of the resilient backend.
+    pub resilience: ResilienceConfig,
     /// Artificial per-batch latency — a slow consumer for soak tests.
     pub batch_delay: Option<Duration>,
     /// Start with the worker gated; queries queue up until
@@ -198,6 +304,7 @@ impl Default for ServeConfig {
             device: DeviceConfig::gtx970(),
             cpu: FusedCpuConfig::default(),
             fault_injection: FaultInjection::None,
+            resilience: ResilienceConfig::default(),
             batch_delay: None,
             start_paused: false,
         }
@@ -206,7 +313,12 @@ impl Default for ServeConfig {
 
 /// End-of-run accounting. `submitted == accepted + rejected` and
 /// `accepted == completed + expired + failed` always hold after
-/// [`Server::shutdown`].
+/// [`Server::shutdown`] when `internal_errors == 0` (a panicked
+/// worker loses its counters; its queries drain as
+/// [`ServeError::Internal`]). Batch execution obeys
+/// `attempts == batches + retries`: every batch makes exactly one
+/// first attempt and each extra attempt — GPU retry, rung
+/// degradation, or CPU fallback — counts one retry.
 #[derive(Debug, Clone, Default)]
 pub struct ServeReport {
     /// Queries offered to [`Server::submit`].
@@ -219,14 +331,43 @@ pub struct ServeReport {
     pub completed: u64,
     /// Queries dropped for a passed deadline.
     pub expired: u64,
+    /// Of `expired`: queries still live at batch assembly that
+    /// expired while their own batch executed (re-checked at
+    /// fulfilment, never completed as on-time).
+    pub expired_in_batch: u64,
     /// Queries failed with a launch error (no fallback).
     pub failed: u64,
-    /// Batches recovered on the CPU after a GPU launch failure.
+    /// Batches recovered on the CPU after GPU failure (the
+    /// `cpu_fallback` path and the resilient ladder's safe harbor).
     pub fallbacks: u64,
     /// Coalesced solves executed.
     pub batches: u64,
     /// Queries served through those solves.
     pub batched_queries: u64,
+    /// Batch execution attempts across all rungs and backends.
+    pub attempts: u64,
+    /// Attempts beyond each batch's first (`attempts - batches`).
+    pub retries: u64,
+    /// Queries completed below the configured top rung (unverified
+    /// GPU or CPU on the resilient backend).
+    pub degraded_completions: u64,
+    /// Verified-GPU attempts whose ABFT checks tripped (the result
+    /// was discarded and the attempt retried or degraded).
+    pub corruption_detected: u64,
+    /// Injected data-fault events (SMEM/register/DRAM flips) observed
+    /// in completed GPU batch profiles.
+    pub injected_faults: u64,
+    /// Completed GPU attempts whose profile recorded injected data
+    /// faults but whose checks (if any) stayed clean — masked flips
+    /// or faults outside ABFT coverage (see DESIGN.md §11).
+    pub undetected_injected: u64,
+    /// Circuit-breaker transitions to open.
+    pub breaker_trips: u64,
+    /// Circuit-breaker recoveries (half-open probe succeeded).
+    pub breaker_resets: u64,
+    /// Worker-side internal failures (panicked worker drained at
+    /// shutdown). Non-zero voids the per-query invariants above.
+    pub internal_errors: u64,
     /// Plan-cache counters.
     pub plan_cache: PlanCacheStats,
     /// Deepest queue occupancy observed (≤ configured capacity).
@@ -293,12 +434,92 @@ struct Gate {
 struct WorkerStats {
     completed: u64,
     expired: u64,
+    expired_in_batch: u64,
     failed: u64,
     fallbacks: u64,
     batches: u64,
     batched_queries: u64,
+    attempts: u64,
+    retries: u64,
+    degraded_completions: u64,
+    corruption_detected: u64,
+    injected_faults: u64,
+    undetected_injected: u64,
+    breaker_trips: u64,
+    breaker_resets: u64,
+    internal_errors: u64,
     plan_cache: PlanCacheStats,
     profiles: Vec<PipelineProfile>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open { since_batch: u64 },
+    HalfOpen,
+}
+
+/// Per-backend circuit breaker over GPU attempts: `threshold`
+/// consecutive failures (launch faults or detected corruption) trip
+/// it open; open batches skip the GPU rungs entirely (straight to the
+/// CPU safe harbor); after `cooldown` batches one half-open probe is
+/// admitted — success closes the breaker, failure re-opens it.
+struct Breaker {
+    threshold: u32,
+    cooldown: u64,
+    state: BreakerState,
+    consecutive_failures: u32,
+    trips: u64,
+    resets: u64,
+}
+
+impl Breaker {
+    fn new(rc: &ResilienceConfig) -> Self {
+        Self {
+            threshold: rc.breaker_threshold.max(1),
+            cooldown: rc.breaker_cooldown,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            trips: 0,
+            resets: 0,
+        }
+    }
+
+    /// May batch `batch_idx` attempt the GPU rungs?
+    fn allow(&mut self, batch_idx: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { since_batch } => {
+                if batch_idx >= since_batch.saturating_add(self.cooldown) {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn record_success(&mut self) {
+        if self.state == BreakerState::HalfOpen {
+            self.resets += 1;
+        }
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    fn record_failure(&mut self, batch_idx: u64) {
+        self.consecutive_failures += 1;
+        let reopen = self.state == BreakerState::HalfOpen;
+        if reopen || self.consecutive_failures >= self.threshold {
+            if !matches!(self.state, BreakerState::Open { .. }) {
+                self.trips += 1;
+            }
+            self.state = BreakerState::Open {
+                since_batch: batch_idx,
+            };
+        }
+    }
 }
 
 /// The batch server. See the module docs.
@@ -306,6 +527,11 @@ pub struct Server {
     queue: Arc<BoundedQueue<(Query, Ticket)>>,
     gate: Arc<Gate>,
     worker: Option<JoinHandle<WorkerStats>>,
+    /// One clone per accepted query, so a panicked worker's in-flight
+    /// queries can still be drained with an explicit error at
+    /// shutdown (fulfilment is first-write-wins, so completed tickets
+    /// are untouched).
+    outstanding: Vec<Ticket>,
     submitted: u64,
     accepted: u64,
     rejected: u64,
@@ -335,6 +561,7 @@ impl Server {
             queue,
             gate,
             worker: Some(worker),
+            outstanding: Vec::new(),
             submitted: 0,
             accepted: 0,
             rejected: 0,
@@ -370,6 +597,7 @@ impl Server {
         match self.queue.try_push((q, ticket.clone())) {
             Ok(()) => {
                 self.accepted += 1;
+                self.outstanding.push(ticket.clone());
                 Submit::Accepted(ticket)
             }
             Err((q, _)) => {
@@ -381,32 +609,62 @@ impl Server {
 
     /// Opens the gate of a paused server; the worker starts draining.
     pub fn resume(&self) {
-        *self.gate.paused.lock().expect("gate poisoned") = false;
+        *self
+            .gate
+            .paused
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = false;
         self.gate.resumed.notify_all();
     }
 
     /// Closes the queue, drains the backlog, joins the worker and
     /// returns the final accounting.
+    ///
+    /// A panicked worker does **not** propagate: its queued and
+    /// in-flight queries are drained with [`ServeError::Internal`],
+    /// the report carries `internal_errors = 1`, and the worker-side
+    /// counters are lost (the per-query invariants hold only when
+    /// `internal_errors == 0`).
     #[must_use]
     pub fn shutdown(mut self) -> ServeReport {
         self.queue.close();
         self.resume();
-        let w = self
-            .worker
-            .take()
-            .expect("worker present until shutdown")
-            .join()
-            .expect("worker panicked");
+        let worker = self.worker.take().expect("worker present until shutdown");
+        let w = match worker.join() {
+            Ok(w) => w,
+            Err(_) => {
+                while let Some((_, t)) = self.queue.try_pop() {
+                    t.fulfil(Err(ServeError::Internal("worker thread panicked")));
+                }
+                for t in &self.outstanding {
+                    t.fulfil(Err(ServeError::Internal("worker thread panicked")));
+                }
+                WorkerStats {
+                    internal_errors: 1,
+                    ..WorkerStats::default()
+                }
+            }
+        };
         ServeReport {
             submitted: self.submitted,
             accepted: self.accepted,
             rejected: self.rejected,
             completed: w.completed,
             expired: w.expired,
+            expired_in_batch: w.expired_in_batch,
             failed: w.failed,
             fallbacks: w.fallbacks,
             batches: w.batches,
             batched_queries: w.batched_queries,
+            attempts: w.attempts,
+            retries: w.retries,
+            degraded_completions: w.degraded_completions,
+            corruption_detected: w.corruption_detected,
+            injected_faults: w.injected_faults,
+            undetected_injected: w.undetected_injected,
+            breaker_trips: w.breaker_trips,
+            breaker_resets: w.breaker_resets,
+            internal_errors: w.internal_errors,
             plan_cache: w.plan_cache,
             queue_high_water: self.queue.high_water(),
             profiles: w.profiles,
@@ -437,12 +695,16 @@ fn worker_loop(
 ) -> WorkerStats {
     let mut stats = WorkerStats::default();
     let mut cache = PlanCache::new(cfg.plan_cache_capacity.max(1));
+    let mut breaker = Breaker::new(&cfg.resilience);
     let mut injected = 0u64;
     loop {
         {
-            let mut paused = gate.paused.lock().expect("gate poisoned");
+            let mut paused = gate.paused.lock().unwrap_or_else(PoisonError::into_inner);
             while *paused {
-                paused = gate.resumed.wait(paused).expect("gate poisoned");
+                paused = gate
+                    .resumed
+                    .wait(paused)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
         // One wave: block for the first query, then opportunistically
@@ -471,16 +733,27 @@ fn worker_loop(
         }
         let max_batch = match cfg.backend {
             ServeBackend::CpuFused => cfg.max_batch,
-            ServeBackend::GpuFused { .. } => cfg.max_batch.min(MAX_GPU_BATCH),
+            ServeBackend::GpuFused { .. } | ServeBackend::GpuResilient => {
+                cfg.max_batch.min(MAX_GPU_BATCH)
+            }
         };
         for key in order {
             let group = groups.remove(&key).expect("grouped above");
             for chunk in group.chunks(max_batch) {
-                execute_chunk(cfg, chunk, &mut cache, &mut injected, &mut stats);
+                execute_chunk(
+                    cfg,
+                    chunk,
+                    &mut cache,
+                    &mut breaker,
+                    &mut injected,
+                    &mut stats,
+                );
             }
         }
     }
     stats.plan_cache = cache.stats();
+    stats.breaker_trips = breaker.trips;
+    stats.breaker_resets = breaker.resets;
     stats
 }
 
@@ -488,6 +761,7 @@ fn execute_chunk(
     cfg: &ServeConfig,
     chunk: &[(Query, Ticket)],
     cache: &mut PlanCache,
+    breaker: &mut Breaker,
     injected: &mut u64,
     stats: &mut WorkerStats,
 ) {
@@ -515,87 +789,266 @@ fn execute_chunk(
         (Arc::new(SourcePlan::build(proto.sources.points())), false)
     };
     let weights: Vec<Vec<f32>> = live.iter().map(|(q, _)| q.weights.clone()).collect();
-    let outcome = run_batch(cfg, &plan, proto, &weights, hit, injected, stats);
+    let outcome = run_batch(cfg, &plan, proto, &weights, hit, breaker, injected, stats);
     if let Some(delay) = cfg.batch_delay {
         std::thread::sleep(delay);
     }
     stats.batches += 1;
     stats.batched_queries += live.len() as u64;
     match outcome {
-        Ok(results) => {
-            for ((_, t), v) in live.iter().zip(results) {
-                t.fulfil(Ok(v));
-                stats.completed += 1;
+        Ok((results, degraded)) => {
+            // Deadline re-check at fulfilment: plan resolution, the
+            // solve and any retries take time — a query that expired
+            // while its own batch executed must not complete as
+            // on-time.
+            let now = Instant::now();
+            for ((q, t), v) in live.iter().zip(results) {
+                match q.deadline {
+                    Some(d) if d < now => {
+                        t.fulfil(Err(ServeError::DeadlineExpired));
+                        stats.expired += 1;
+                        stats.expired_in_batch += 1;
+                    }
+                    _ => {
+                        t.fulfil(Ok(v));
+                        stats.completed += 1;
+                        if degraded {
+                            stats.degraded_completions += 1;
+                        }
+                    }
+                }
             }
         }
         Err(e) => {
             for (_, t) in &live {
-                t.fulfil(Err(ServeError::Launch(e.clone())));
+                t.fulfil(Err(e.clone()));
                 stats.failed += 1;
             }
         }
     }
 }
 
+/// True when the configured injection consumes this GPU attempt
+/// (which then fails with [`LaunchError::EmptyLaunch`]).
+///
+/// # Panics
+/// [`FaultInjection::PanicFirst`] panics the worker on its first call
+/// — deliberately, to exercise the poison-recovery path.
+fn consume_injection(cfg: &ServeConfig, injected: &mut u64) -> bool {
+    match cfg.fault_injection {
+        FaultInjection::None => false,
+        FaultInjection::FirstN(n) => {
+            if *injected < n {
+                *injected += 1;
+                true
+            } else {
+                false
+            }
+        }
+        FaultInjection::PanicFirst => {
+            if *injected == 0 {
+                *injected = 1;
+                panic!("injected worker panic (FaultInjection::PanicFirst)");
+            }
+            false
+        }
+    }
+}
+
+/// Runs one batch; `Ok((results, degraded))` flags completions below
+/// the configured top rung.
+#[allow(clippy::too_many_arguments)]
 fn run_batch(
     cfg: &ServeConfig,
     plan: &SourcePlan,
     proto: &Query,
     weights: &[Vec<f32>],
     hit: bool,
+    breaker: &mut Breaker,
     injected: &mut u64,
     stats: &mut WorkerStats,
-) -> Result<Vec<Vec<f32>>, LaunchError> {
+) -> Result<(Vec<Vec<f32>>, bool), ServeError> {
     match cfg.backend {
-        ServeBackend::CpuFused => Ok(executor::execute_cpu(
-            plan,
-            &proto.targets,
-            proto.h,
-            weights,
-            &cfg.cpu,
-        )),
+        ServeBackend::CpuFused => {
+            stats.attempts += 1;
+            Ok((
+                executor::execute_cpu(plan, &proto.targets, proto.h, weights, &cfg.cpu),
+                false,
+            ))
+        }
         ServeBackend::GpuFused { cpu_fallback } => {
-            let launch = if let FaultInjection::FirstN(n) = cfg.fault_injection {
-                if *injected < n {
-                    *injected += 1;
-                    Err(LaunchError::EmptyLaunch)
-                } else {
-                    gpu_launch(cfg, plan, proto, weights, hit)
-                }
+            stats.attempts += 1;
+            let launch = if consume_injection(cfg, injected) {
+                Err(LaunchError::EmptyLaunch)
             } else {
-                gpu_launch(cfg, plan, proto, weights, hit)
+                let mut dev = GpuDevice::new(cfg.device.clone());
+                executor::execute_gpu(&mut dev, plan, &proto.targets, proto.h, weights, hit)
             };
             match launch {
                 Ok((results, prof)) => {
+                    stats.injected_faults += injected_data_faults(&prof);
                     stats.profiles.push(prof);
-                    Ok(results)
+                    Ok((results, false))
                 }
                 Err(e) if cpu_fallback => {
+                    stats.attempts += 1;
+                    stats.retries += 1;
                     stats.fallbacks += 1;
                     let _ = e;
-                    Ok(executor::execute_cpu(
-                        plan,
-                        &proto.targets,
-                        proto.h,
-                        weights,
-                        &cfg.cpu,
+                    Ok((
+                        executor::execute_cpu(plan, &proto.targets, proto.h, weights, &cfg.cpu),
+                        false,
                     ))
                 }
-                Err(e) => Err(e),
+                Err(e) => Err(ServeError::Launch(e)),
             }
+        }
+        ServeBackend::GpuResilient => {
+            run_batch_resilient(cfg, plan, proto, weights, hit, breaker, injected, stats)
         }
     }
 }
 
-fn gpu_launch(
+/// Injected data-fault events recorded in a completed GPU profile
+/// (launch faults never produce a profile).
+fn injected_data_faults(prof: &PipelineProfile) -> u64 {
+    prof.kernels
+        .iter()
+        .map(|k| k.faults.smem_flips + k.faults.reg_flips + k.faults.dram_flips)
+        .sum()
+}
+
+/// One GPU attempt of the resilient ladder, on a fresh device whose
+/// fault seed (if any) is decorrelated per `(batch, attempt)` — a
+/// fresh device restarts the launch-epoch counter, so without the
+/// reseed every attempt would redraw the identical fault schedule and
+/// a retry could never clear a deterministic fault.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+fn resilient_attempt(
     cfg: &ServeConfig,
     plan: &SourcePlan,
     proto: &Query,
     weights: &[Vec<f32>],
     hit: bool,
-) -> Result<(Vec<Vec<f32>>, PipelineProfile), LaunchError> {
-    let mut dev = GpuDevice::new(cfg.device.clone());
-    executor::execute_gpu(&mut dev, plan, &proto.targets, proto.h, weights, hit)
+    verify: bool,
+    batch: u64,
+    attempt: u32,
+    injected: &mut u64,
+) -> Result<(Vec<Vec<f32>>, PipelineProfile, Option<VerifyReport>), LaunchError> {
+    if consume_injection(cfg, injected) {
+        return Err(LaunchError::EmptyLaunch);
+    }
+    let mut dev_cfg = cfg.device.clone();
+    if let Some(f) = &mut dev_cfg.fault {
+        f.seed ^= splitmix64(batch ^ (u64::from(attempt) << 48));
+    }
+    let mut dev = GpuDevice::new(dev_cfg);
+    if verify {
+        let (r, p, v) =
+            executor::execute_gpu_verified(&mut dev, plan, &proto.targets, proto.h, weights, hit)?;
+        Ok((r, p, Some(v)))
+    } else {
+        let (r, p) = executor::execute_gpu(&mut dev, plan, &proto.targets, proto.h, weights, hit)?;
+        Ok((r, p, None))
+    }
+}
+
+/// The degradation ladder: verified GPU (bounded retries with
+/// deterministic backoff) → unverified GPU (one attempt, and only
+/// when no corruption was detected — ABFT-flagged data upsets must
+/// not be retried without verification) → the bit-deterministic CPU
+/// fused safe harbor, which cannot fail. Every rung transition and
+/// retry is counted; the breaker gates each GPU attempt.
+#[allow(clippy::too_many_arguments)]
+fn run_batch_resilient(
+    cfg: &ServeConfig,
+    plan: &SourcePlan,
+    proto: &Query,
+    weights: &[Vec<f32>],
+    hit: bool,
+    breaker: &mut Breaker,
+    injected: &mut u64,
+    stats: &mut WorkerStats,
+) -> Result<(Vec<Vec<f32>>, bool), ServeError> {
+    let rc = &cfg.resilience;
+    let batch_idx = stats.batches;
+    let mut attempt_no: u32 = 0;
+    let mut corruption_seen = false;
+    let note_attempt = |stats: &mut WorkerStats, attempt_no: &mut u32| {
+        stats.attempts += 1;
+        if *attempt_no > 0 {
+            stats.retries += 1;
+        }
+        *attempt_no += 1;
+    };
+
+    // Top rung: up to `gpu_attempts` tries, verified when configured.
+    for _ in 0..rc.gpu_attempts.max(1) {
+        if !breaker.allow(batch_idx) {
+            break;
+        }
+        if attempt_no > 0 {
+            std::thread::sleep(backoff_delay(rc, batch_idx, attempt_no));
+        }
+        note_attempt(stats, &mut attempt_no);
+        match resilient_attempt(
+            cfg, plan, proto, weights, hit, rc.verify, batch_idx, attempt_no, injected,
+        ) {
+            Ok((results, prof, verify)) => {
+                let inj = injected_data_faults(&prof);
+                stats.injected_faults += inj;
+                let corrupt = verify
+                    .as_ref()
+                    .is_some_and(VerifyReport::corruption_detected);
+                stats.profiles.push(prof);
+                if corrupt {
+                    stats.corruption_detected += 1;
+                    corruption_seen = true;
+                    breaker.record_failure(batch_idx);
+                    continue;
+                }
+                if inj > 0 {
+                    stats.undetected_injected += 1;
+                }
+                breaker.record_success();
+                return Ok((results, false));
+            }
+            Err(_) => breaker.record_failure(batch_idx),
+        }
+    }
+
+    // Middle rung: one unverified attempt — only when verification
+    // was the top rung and no corruption was detected there (after a
+    // flagged data upset, dropping the checksums would invite exactly
+    // the silent wrong answer the ladder exists to prevent).
+    if rc.verify && !corruption_seen && breaker.allow(batch_idx) {
+        std::thread::sleep(backoff_delay(rc, batch_idx, attempt_no));
+        note_attempt(stats, &mut attempt_no);
+        match resilient_attempt(
+            cfg, plan, proto, weights, hit, false, batch_idx, attempt_no, injected,
+        ) {
+            Ok((results, prof, _)) => {
+                let inj = injected_data_faults(&prof);
+                stats.injected_faults += inj;
+                if inj > 0 {
+                    stats.undetected_injected += 1;
+                }
+                stats.profiles.push(prof);
+                breaker.record_success();
+                return Ok((results, true));
+            }
+            Err(_) => breaker.record_failure(batch_idx),
+        }
+    }
+
+    // Safe harbor: the CPU fused path is bit-deterministic and cannot
+    // fault — the ladder always terminates with a correct result.
+    note_attempt(stats, &mut attempt_no);
+    stats.fallbacks += 1;
+    Ok((
+        executor::execute_cpu(plan, &proto.targets, proto.h, weights, &cfg.cpu),
+        true,
+    ))
 }
 
 #[cfg(test)]
@@ -749,6 +1202,213 @@ mod tests {
         assert_eq!(t.wait(), Err(ServeError::Launch(LaunchError::EmptyLaunch)));
         let report = srv.shutdown();
         assert_eq!(report.failed, 1);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_monotonic() {
+        let rc = ResilienceConfig::default();
+        for batch in [0u64, 1, 17, u64::MAX] {
+            for attempt in 0..12u32 {
+                assert_eq!(
+                    backoff_delay(&rc, batch, attempt),
+                    backoff_delay(&rc, batch, attempt),
+                    "pure in (seed, batch, attempt)"
+                );
+            }
+            for attempt in 0..10u32 {
+                assert!(
+                    backoff_delay(&rc, batch, attempt + 1) > backoff_delay(&rc, batch, attempt),
+                    "strictly increasing below the clamp (batch {batch}, attempt {attempt})"
+                );
+            }
+        }
+        let other = ResilienceConfig {
+            backoff_seed: 0xDEAD,
+            ..ResilienceConfig::default()
+        };
+        assert_ne!(
+            backoff_delay(&rc, 3, 2),
+            backoff_delay(&other, 3, 2),
+            "seed moves the jitter"
+        );
+    }
+
+    #[test]
+    fn breaker_trips_cools_down_probes_and_resets() {
+        let rc = ResilienceConfig {
+            breaker_threshold: 2,
+            breaker_cooldown: 3,
+            ..ResilienceConfig::default()
+        };
+        let mut b = Breaker::new(&rc);
+        assert!(b.allow(0));
+        b.record_failure(0);
+        assert!(b.allow(0), "below threshold stays closed");
+        b.record_failure(0);
+        assert_eq!(b.trips, 1, "threshold consecutive failures trip it");
+        assert!(!b.allow(1), "open rejects during cooldown");
+        assert!(!b.allow(2));
+        assert!(b.allow(3), "cooldown elapsed: half-open probe admitted");
+        b.record_failure(3);
+        assert_eq!(b.trips, 2, "failed probe re-opens (a fresh trip)");
+        assert!(!b.allow(4));
+        assert!(b.allow(6), "second probe after renewed cooldown");
+        b.record_success();
+        assert_eq!(b.resets, 1, "successful probe closes the breaker");
+        assert!(b.allow(7));
+    }
+
+    #[test]
+    fn resilient_clean_path_completes_verified_without_degradation() {
+        let sources = SourceSet::new(PointSet::uniform_cube(128, 8, 51));
+        let targets = Arc::new(PointSet::uniform_cube(128, 8, 52));
+        let cfg = ServeConfig {
+            backend: ServeBackend::GpuResilient,
+            start_paused: true,
+            ..ServeConfig::default()
+        };
+        let mut srv = Server::start(cfg);
+        let Submit::Accepted(t) = srv.submit(query(&sources, &targets, 53)) else {
+            panic!("must accept");
+        };
+        srv.resume();
+        assert_eq!(t.wait().expect("completes").len(), 128);
+        let report = srv.shutdown();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.attempts, report.batches, "first attempt succeeds");
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.degraded_completions, 0, "top rung, not degraded");
+        assert_eq!(report.corruption_detected, 0);
+        assert_eq!(report.injected_faults, 0);
+        assert_eq!(report.breaker_trips, 0);
+        assert!(!report.profiles.is_empty(), "verified run is profiled");
+    }
+
+    #[test]
+    fn resilient_exhaustion_lands_bit_exact_on_the_cpu_safe_harbor() {
+        let sources = SourceSet::new(PointSet::uniform_cube(128, 8, 61));
+        let targets = Arc::new(PointSet::uniform_cube(128, 8, 62));
+        let cfg = ServeConfig {
+            backend: ServeBackend::GpuResilient,
+            fault_injection: FaultInjection::FirstN(u64::MAX),
+            start_paused: true,
+            ..ServeConfig::default()
+        };
+        let cpu = cfg.cpu;
+        let rc = cfg.resilience.clone();
+        let mut srv = Server::start(cfg);
+        let q = query(&sources, &targets, 63);
+        let weights = q.weights.clone();
+        let Submit::Accepted(t) = srv.submit(q) else {
+            panic!("must accept");
+        };
+        srv.resume();
+        let got = t.wait().expect("safe harbor always completes");
+        let plan = SourcePlan::build(sources.points());
+        let want = executor::execute_cpu(&plan, &targets, 0.9, &[weights], &cpu);
+        for (i, (g, w)) in got.iter().zip(want[0].iter()).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "row {i}: CPU rung is bit-exact");
+        }
+        let report = srv.shutdown();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.degraded_completions, 1);
+        assert_eq!(report.fallbacks, 1);
+        assert_eq!(report.attempts, report.batches + report.retries);
+        // Every GPU attempt failed: the breaker tripped at its
+        // threshold and the ladder stopped burning attempts.
+        assert_eq!(report.breaker_trips, 1);
+        assert!(report.retries <= u64::from(rc.gpu_attempts) + 1);
+        assert!(report.profiles.is_empty(), "no GPU attempt completed");
+    }
+
+    #[test]
+    fn resilient_ladder_detects_injected_corruption_and_stays_correct() {
+        let sources = SourceSet::new(PointSet::uniform_cube(128, 8, 71));
+        let targets = Arc::new(PointSet::uniform_cube(128, 8, 72));
+        let mut cfg = ServeConfig {
+            backend: ServeBackend::GpuResilient,
+            start_paused: true,
+            ..ServeConfig::default()
+        };
+        cfg.device.fault = Some(ks_gpu_sim::FaultSpec {
+            seed: 9,
+            smem_rate: 4.0,
+            ..Default::default()
+        });
+        let cpu = cfg.cpu;
+        let mut srv = Server::start(cfg);
+        let q = query(&sources, &targets, 73);
+        let weights = q.weights.clone();
+        let Submit::Accepted(t) = srv.submit(q) else {
+            panic!("must accept");
+        };
+        srv.resume();
+        let got = t.wait().expect("ladder always completes");
+        let plan = SourcePlan::build(sources.points());
+        let want = executor::execute_cpu(&plan, &targets, 0.9, &[weights], &cpu);
+        for (i, (g, w)) in got.iter().zip(want[0].iter()).enumerate() {
+            assert!(
+                (g - w).abs() <= 5e-3 * w.abs().max(1.0),
+                "row {i}: served {g} vs reference {w} — never silently wrong"
+            );
+        }
+        let report = srv.shutdown();
+        assert_eq!(report.completed, 1);
+        assert!(
+            report.corruption_detected >= 1,
+            "heavy SMEM flips must trip the ABFT checks: {report:?}"
+        );
+        assert!(report.injected_faults > 0);
+        assert_eq!(report.attempts, report.batches + report.retries);
+    }
+
+    #[test]
+    fn panicked_worker_drains_tickets_with_internal_error() {
+        let sources = SourceSet::new(PointSet::uniform_cube(128, 8, 81));
+        let targets = Arc::new(PointSet::uniform_cube(128, 8, 82));
+        let cfg = ServeConfig {
+            backend: ServeBackend::GpuFused { cpu_fallback: true },
+            fault_injection: FaultInjection::PanicFirst,
+            start_paused: true,
+            ..ServeConfig::default()
+        };
+        let mut srv = Server::start(cfg);
+        let Submit::Accepted(t) = srv.submit(query(&sources, &targets, 83)) else {
+            panic!("must accept");
+        };
+        srv.resume();
+        let report = srv.shutdown();
+        assert_eq!(report.internal_errors, 1);
+        assert_eq!(report.completed, 0, "worker counters are lost");
+        assert_eq!(
+            t.wait(),
+            Err(ServeError::Internal("worker thread panicked")),
+            "in-flight queries surface an explicit error, not a hang"
+        );
+    }
+
+    #[test]
+    fn query_expiring_mid_batch_is_counted_separately() {
+        let sources = SourceSet::new(PointSet::uniform_cube(16, 3, 91));
+        let targets = Arc::new(PointSet::uniform_cube(8, 3, 92));
+        let mut cfg = cpu_config();
+        cfg.start_paused = true;
+        cfg.batch_delay = Some(Duration::from_millis(300));
+        let mut srv = Server::start(cfg);
+        let mut q = query(&sources, &targets, 93);
+        // Alive at batch assembly, expired by the time the (slow)
+        // batch fulfils.
+        q.deadline = Some(Instant::now() + Duration::from_millis(100));
+        let Submit::Accepted(t) = srv.submit(q) else {
+            panic!("must accept");
+        };
+        srv.resume();
+        assert_eq!(t.wait(), Err(ServeError::DeadlineExpired));
+        let report = srv.shutdown();
+        assert_eq!(report.expired, 1);
+        assert_eq!(report.expired_in_batch, 1, "expired *inside* its batch");
+        assert_eq!(report.completed, 0, "must not complete as on-time");
+        assert_eq!(report.batches, 1, "the batch itself ran");
     }
 
     #[test]

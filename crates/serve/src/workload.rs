@@ -5,7 +5,7 @@
 //! a [`Server`] with concurrent client threads and returns the final
 //! [`ServeReport`].
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use ks_core::plan::SourceSet;
@@ -186,7 +186,14 @@ pub fn run_workload(mut cfg: ServeConfig, wl: &WorkloadConfig) -> ServeReport {
                 if let Some(d) = deadline {
                     q.deadline = Some(Instant::now() + d);
                 }
-                match server.lock().expect("server poisoned").submit(q) {
+                // Recover from poisoning: a sibling client panicking
+                // mid-submit must not take the rest of the stream
+                // down with it (submit itself never panics).
+                match server
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .submit(q)
+                {
                     Submit::Accepted(t) => tickets.push(t),
                     Submit::Rejected(_) => {}
                 }
@@ -202,7 +209,7 @@ pub fn run_workload(mut cfg: ServeConfig, wl: &WorkloadConfig) -> ServeReport {
     let server = Arc::try_unwrap(server)
         .unwrap_or_else(|_| panic!("clients joined, server uniquely owned"))
         .into_inner()
-        .expect("server poisoned");
+        .unwrap_or_else(PoisonError::into_inner);
     server.shutdown()
 }
 

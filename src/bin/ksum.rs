@@ -16,18 +16,24 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use kernel_summation::bench::ServeMetrics;
-use kernel_summation::core::gpu::profile_gpu;
+use kernel_summation::core::gpu::{profile_gpu, try_profile_gpu_on, try_solve_gpu_on, GpuReport};
 use kernel_summation::core::Backend;
 use kernel_summation::gpu_sim::config::DeviceConfig;
 use kernel_summation::gpu_sim::report::summary;
+use kernel_summation::gpu_sim::{FaultSpec, GpuDevice};
 use kernel_summation::prelude::*;
 use kernel_summation::serve::{
     run_workload, smoke_workload, ServeBackend, ServeConfig, WorkloadConfig,
 };
 
-const USAGE: &str = "usage: ksum [--threads N] <command> [flags]
+const USAGE: &str = "usage: ksum [--threads N] [--faults SPEC] <command> [flags]
   --threads N  global: size of the worker pool used for parallel
                traffic replay (N >= 1; default: machine cores)
+  --faults SPEC
+               global: seeded soft-error injection on the simulated
+               device, e.g. seed=7,smem=0.5,reg=1,dram=0.25,sm=0.01,
+               watchdog=0.001 (rates per launch; applies to the
+               gpu-sim backends of solve/profile/compare/serve-bench)
   solve        --m M --n N --k K --h H --seed S --backend B
                (backends: cpu-fused, cpu-unfused, reference,
                 gpu-fused, gpu-cuda-unfused, gpu-cublas-unfused)
@@ -38,7 +44,8 @@ const USAGE: &str = "usage: ksum [--threads N] <command> [flags]
   serve-bench  [--smoke] [--clients C] [--queries Q] [--corpora R]
                [--shared-ratio F] [--large-ratio F] [--m M] [--n N]
                [--k K] [--h H] [--seed S] [--queue DEPTH] [--wave W]
-               [--no-cache] [--backend cpu-fused|gpu-fused]
+               [--no-cache]
+               [--backend cpu-fused|gpu-fused|gpu-resilient]
                [--json PATH]";
 
 /// A usage error: printed to stderr with the usage text, exit code 2.
@@ -124,7 +131,25 @@ fn build(a: &Args) -> KernelSumProblem {
         .build()
 }
 
-fn cmd_solve(a: &Args) -> Result<(), UsageError> {
+/// A fresh GTX 970 with the given fault model installed.
+fn faulty_device(fault: FaultSpec) -> GpuDevice {
+    let mut cfg = DeviceConfig::gtx970();
+    cfg.fault = Some(fault);
+    GpuDevice::new(cfg)
+}
+
+/// Reports injected-fault tallies (if any) after a faulty run.
+fn print_fault_tally(dev: &mut GpuDevice) {
+    let fc = dev.take_fault_counters();
+    if !fc.is_empty() {
+        println!(
+            "injected faults: {} smem, {} reg, {} dram, {} launch",
+            fc.smem_flips, fc.reg_flips, fc.dram_flips, fc.launch_faults
+        );
+    }
+}
+
+fn cmd_solve(a: &Args, fault: Option<FaultSpec>) -> Result<ExitCode, UsageError> {
     let backend = backend_of(&a.backend)?;
     let p = build(a);
     println!(
@@ -132,7 +157,23 @@ fn cmd_solve(a: &Args) -> Result<(), UsageError> {
         a.m, a.n, a.k, a.h, a.backend
     );
     let t = Instant::now();
-    let v = p.solve(backend);
+    let v = match (fault, backend) {
+        (Some(fs), Backend::GpuSim(variant)) => {
+            let mut dev = faulty_device(fs);
+            match try_solve_gpu_on(&mut dev, &p, variant) {
+                Ok(out) => {
+                    print_fault_tally(&mut dev);
+                    out.v
+                }
+                Err(e) => {
+                    print_fault_tally(&mut dev);
+                    eprintln!("error: launch failed: {e}");
+                    return Ok(ExitCode::FAILURE);
+                }
+            }
+        }
+        _ => p.solve(backend),
+    };
     let dt = t.elapsed();
     let sum: f64 = v.iter().map(|&x| x as f64).sum();
     let max = v.iter().cloned().fold(f32::MIN, f32::max);
@@ -140,19 +181,10 @@ fn cmd_solve(a: &Args) -> Result<(), UsageError> {
         "done in {dt:?}: Σ V = {sum:.4}, max V = {max:.4}, V[0..4] = {:?}",
         &v[..v.len().min(4)]
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_profile(a: &Args) -> Result<(), UsageError> {
-    let variant = variant_of(&a.variant)?;
-    println!(
-        "profiling {} at M={} N={} K={} on a simulated GTX970",
-        variant.label(),
-        a.m,
-        a.n,
-        a.k
-    );
-    let r = profile_gpu(a.m, a.n, a.k, a.h, variant);
+fn print_profile_report(r: &GpuReport) {
     print!("{}", r.profile);
     println!("{}", summary(&r.profile, r.peak_gflops));
     println!(
@@ -163,17 +195,55 @@ fn cmd_profile(a: &Args) -> Result<(), UsageError> {
         100.0 * r.energy.l2_j / r.energy.total_j(),
         r.energy.dram_share() * 100.0,
     );
-    Ok(())
 }
 
-fn cmd_compare(a: &Args) -> Result<(), UsageError> {
+fn cmd_profile(a: &Args, fault: Option<FaultSpec>) -> Result<ExitCode, UsageError> {
+    let variant = variant_of(&a.variant)?;
+    println!(
+        "profiling {} at M={} N={} K={} on a simulated GTX970",
+        variant.label(),
+        a.m,
+        a.n,
+        a.k
+    );
+    let r = match fault {
+        Some(fs) => {
+            let mut dev = faulty_device(fs);
+            match try_profile_gpu_on(&mut dev, a.m, a.n, a.k, a.h, variant) {
+                Ok(r) => r,
+                Err(e) => {
+                    print_fault_tally(&mut dev);
+                    eprintln!("error: launch failed: {e}");
+                    return Ok(ExitCode::FAILURE);
+                }
+            }
+        }
+        None => profile_gpu(a.m, a.n, a.k, a.h, variant),
+    };
+    print_profile_report(&r);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_compare(a: &Args, fault: Option<FaultSpec>) -> Result<ExitCode, UsageError> {
     println!(
         "comparing pipelines at M={} N={} K={} (simulated GTX970)",
         a.m, a.n, a.k
     );
     let mut times = Vec::new();
     for variant in GpuVariant::ALL {
-        let r = profile_gpu(a.m, a.n, a.k, a.h, variant);
+        let r = match fault {
+            Some(fs) => {
+                let mut dev = faulty_device(fs);
+                match try_profile_gpu_on(&mut dev, a.m, a.n, a.k, a.h, variant) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("error: launch failed for {}: {e}", variant.label());
+                        return Ok(ExitCode::FAILURE);
+                    }
+                }
+            }
+            None => profile_gpu(a.m, a.n, a.k, a.h, variant),
+        };
         println!("  {}", summary(&r.profile, r.peak_gflops));
         times.push((variant.label(), r.profile.total_time_s()));
     }
@@ -181,7 +251,7 @@ fn cmd_compare(a: &Args) -> Result<(), UsageError> {
     for (label, t) in &times[1..] {
         println!("  fused speedup vs {label}: {:.3}x", t / fused);
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_lint(rest: &[String]) -> Result<ExitCode, UsageError> {
@@ -231,11 +301,13 @@ fn serve_device() -> DeviceConfig {
     d
 }
 
-fn cmd_serve_bench(rest: &[String]) -> Result<ExitCode, UsageError> {
+fn cmd_serve_bench(rest: &[String], fault: Option<FaultSpec>) -> Result<ExitCode, UsageError> {
     let mut wl = WorkloadConfig::default();
+    let mut device = serve_device();
+    device.fault = fault;
     let mut cfg = ServeConfig {
         backend: ServeBackend::GpuFused { cpu_fallback: true },
-        device: serve_device(),
+        device,
         wave: 4,
         ..ServeConfig::default()
     };
@@ -274,10 +346,11 @@ fn cmd_serve_bench(rest: &[String]) -> Result<ExitCode, UsageError> {
                 cfg.backend = match val.as_str() {
                     "cpu-fused" => ServeBackend::CpuFused,
                     "gpu-fused" => ServeBackend::GpuFused { cpu_fallback: true },
+                    "gpu-resilient" => ServeBackend::GpuResilient,
                     other => {
                         return Err(UsageError(format!(
-                            "unknown serve backend {other} (try cpu-fused, gpu-fused)"
-                        )))
+                        "unknown serve backend {other} (try cpu-fused, gpu-fused, gpu-resilient)"
+                    )))
                     }
                 };
             }
@@ -319,6 +392,23 @@ fn cmd_serve_bench(rest: &[String]) -> Result<ExitCode, UsageError> {
         "queue high water {} | fallbacks {} | wall {wall:?}",
         report.queue_high_water, report.fallbacks
     );
+    if report.attempts > report.batches
+        || report.corruption_detected > 0
+        || report.injected_faults > 0
+    {
+        println!(
+            "resilience: {} attempts ({} retries) | corruption detected {} | injected faults {} \
+             (undetected {}) | degraded {} | breaker trips {} / resets {}",
+            report.attempts,
+            report.retries,
+            report.corruption_detected,
+            report.injected_faults,
+            report.undetected_injected,
+            report.degraded_completions,
+            report.breaker_trips,
+            report.breaker_resets,
+        );
+    }
     let metrics = ServeMetrics::collect(&report, &device);
     if let Some(gpu) = &metrics.gpu {
         println!(
@@ -339,33 +429,54 @@ fn cmd_serve_bench(rest: &[String]) -> Result<ExitCode, UsageError> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// Strips the global `--threads N` flag (valid anywhere on the
-/// command line) and returns the remaining args plus the requested
-/// pool size. `N` must parse as an integer >= 1.
-fn extract_threads(args: &[String]) -> Result<(Vec<String>, Option<usize>), UsageError> {
+/// Global flags, valid anywhere on the command line.
+struct Globals {
+    /// Worker-pool size for parallel traffic replay.
+    threads: Option<usize>,
+    /// Soft-error injection spec for the simulated device.
+    fault: Option<FaultSpec>,
+}
+
+/// Strips the global `--threads N` and `--faults SPEC` flags (valid
+/// anywhere on the command line) and returns the remaining args plus
+/// the parsed globals. `N` must parse as an integer >= 1; `SPEC` must
+/// satisfy [`FaultSpec::parse`].
+fn extract_globals(args: &[String]) -> Result<(Vec<String>, Globals), UsageError> {
     let mut rest = Vec::with_capacity(args.len());
-    let mut threads = None;
+    let mut g = Globals {
+        threads: None,
+        fault: None,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        if arg == "--threads" {
-            let val = it
-                .next()
-                .ok_or_else(|| UsageError("missing value for --threads".into()))?;
-            let n: usize = parse_value("--threads", val)?;
-            if n == 0 {
-                return Err(UsageError("--threads must be >= 1".into()));
+        match arg.as_str() {
+            "--threads" => {
+                let val = it
+                    .next()
+                    .ok_or_else(|| UsageError("missing value for --threads".into()))?;
+                let n: usize = parse_value("--threads", val)?;
+                if n == 0 {
+                    return Err(UsageError("--threads must be >= 1".into()));
+                }
+                g.threads = Some(n);
             }
-            threads = Some(n);
-        } else {
-            rest.push(arg.clone());
+            "--faults" => {
+                let val = it
+                    .next()
+                    .ok_or_else(|| UsageError("missing value for --faults".into()))?;
+                let spec = FaultSpec::parse(val)
+                    .map_err(|e| UsageError(format!("invalid --faults spec: {e}")))?;
+                g.fault = Some(spec);
+            }
+            _ => rest.push(arg.clone()),
         }
     }
-    Ok((rest, threads))
+    Ok((rest, g))
 }
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().collect();
-    let (args, threads) = match extract_threads(&raw) {
+    let (args, globals) = match extract_globals(&raw) {
         Ok(x) => x,
         Err(e) => return usage_exit(&e),
     };
@@ -373,21 +484,18 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    let fault = globals.fault;
     let run = || -> Result<ExitCode, UsageError> {
         match cmd.as_str() {
             "lint" => cmd_lint(&args[2..]),
-            "serve-bench" => cmd_serve_bench(&args[2..]),
-            "solve" => parse(&args[2..]).and_then(|a| cmd_solve(&a).map(|()| ExitCode::SUCCESS)),
-            "profile" => {
-                parse(&args[2..]).and_then(|a| cmd_profile(&a).map(|()| ExitCode::SUCCESS))
-            }
-            "compare" => {
-                parse(&args[2..]).and_then(|a| cmd_compare(&a).map(|()| ExitCode::SUCCESS))
-            }
+            "serve-bench" => cmd_serve_bench(&args[2..], fault),
+            "solve" => parse(&args[2..]).and_then(|a| cmd_solve(&a, fault)),
+            "profile" => parse(&args[2..]).and_then(|a| cmd_profile(&a, fault)),
+            "compare" => parse(&args[2..]).and_then(|a| cmd_compare(&a, fault)),
             other => Err(UsageError(format!("unknown command {other}"))),
         }
     };
-    let out = match threads {
+    let out = match globals.threads {
         Some(n) => {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(n)

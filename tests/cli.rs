@@ -136,6 +136,73 @@ fn threads_flag_is_accepted_anywhere_on_the_command_line() {
 }
 
 #[test]
+fn faults_flag_rejects_missing_and_malformed_specs() {
+    assert_usage_error(&ksum(&["solve", "--faults"]), "missing value for --faults");
+    assert_usage_error(
+        &ksum(&["--faults", "bogus=1", "solve"]),
+        "invalid --faults spec",
+    );
+    assert_usage_error(
+        &ksum(&["--faults", "sm=2", "solve"]),
+        "sm probability must be <= 1",
+    );
+}
+
+#[test]
+fn faulty_solve_reports_injected_flips_and_succeeds() {
+    let out = ksum(&[
+        "--faults",
+        "seed=3,smem=2,reg=1",
+        "solve",
+        "--m",
+        "256",
+        "--n",
+        "256",
+        "--k",
+        "16",
+        "--backend",
+        "gpu-fused",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("injected faults:"), "stdout: {stdout}");
+}
+
+#[test]
+fn injected_launch_fault_fails_with_runtime_error_not_panic() {
+    let out = ksum(&[
+        "--faults",
+        "sm=1",
+        "profile",
+        "--m",
+        "1024",
+        "--n",
+        "1024",
+        "--k",
+        "32",
+        "--variant",
+        "fused",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "launch faults are runtime errors"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("launch failed"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+    assert!(
+        !stderr.contains("usage: ksum"),
+        "runtime failures must not print usage; stderr: {stderr}"
+    );
+}
+
+#[test]
 fn solve_succeeds_on_a_tiny_problem() {
     let out = ksum(&[
         "solve",

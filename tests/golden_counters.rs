@@ -6,7 +6,7 @@
 //! functional engine.
 
 use kernel_summation::gpu_kernels::{GpuKernelSummation, GpuVariant};
-use kernel_summation::gpu_sim::GpuDevice;
+use kernel_summation::gpu_sim::{DeviceConfig, GpuDevice};
 
 /// M = 1024, N = 1024, K = 32: 64 blocks, 4 k-tiles per block.
 fn fused_profile() -> kernel_summation::gpu_sim::profiler::PipelineProfile {
@@ -106,6 +106,34 @@ fn unfused_pipeline_golden_memory_traffic() {
     assert!(
         evalsum.mem.dram_reads() >= c_sectors,
         "C must come back from DRAM"
+    );
+}
+
+/// The fault model and ABFT verification are strictly additive: with
+/// verification off, a profile taken on a device that merely *carries*
+/// a (quiet) fault model serializes byte-identically to the pre-fault
+/// baseline — same counters, same JSON, no new keys. This pins the
+/// golden values above against the resilience subsystem.
+#[test]
+fn quiet_fault_model_profile_is_bit_identical_to_baseline() {
+    let baseline = fused_profile();
+    let mut cfg = DeviceConfig::gtx970();
+    cfg.fault = Some(kernel_summation::gpu_sim::FaultSpec {
+        seed: 1234,
+        ..Default::default()
+    });
+    let mut dev = GpuDevice::new(cfg);
+    let quiet = GpuKernelSummation::new(1024, 1024, 32, 1.0)
+        .profile(&mut dev, GpuVariant::Fused)
+        .unwrap();
+    assert_eq!(
+        serde_json::to_string(&baseline).unwrap(),
+        serde_json::to_string(&quiet).unwrap(),
+        "a zero-rate fault model must not perturb profiles or their serialization"
+    );
+    assert!(
+        !serde_json::to_string(&baseline).unwrap().contains("faults"),
+        "fault counters stay out of fault-free documents (golden files untouched)"
     );
 }
 
