@@ -1,0 +1,301 @@
+//! Multi-device pool serving benchmark (`BENCH_pool.json`).
+//!
+//! Serves one deterministic query stream four ways:
+//!
+//! 1. **unpooled** single-device serving — the bit-exactness golden;
+//! 2. a **1-device pool** — the simulated-time baseline (same shard
+//!    machinery, no parallelism);
+//! 3. an **N-device pool** (default 4) — must be bit-identical to the
+//!    golden and at least 2× faster in simulated time;
+//! 4. the N-device pool with one device **permanently faulted** — the
+//!    pool must degrade shard-locally (only the sick device's breaker
+//!    trips, its shards recover on the CPU) and still complete every
+//!    query correctly.
+//!
+//! Any bit drift, counter drift between the passes, a speedup below
+//! the floor, or pool-wide degradation fails the run.
+//!
+//! ```text
+//! pool_bench [--smoke] [--devices N] [--queries N] [--seed S] [--json PATH]
+//! ```
+//!
+//! * default stream: 24 queries over `M = 32768` corpora; `--smoke`
+//!   halves the stream (CI-sized) at the same corpus shape, so the
+//!   speedup gate still means something;
+//! * `--devices N`: pooled device count (default 4, minimum 2);
+//! * `--seed S`: master workload seed (default 42);
+//! * `--json PATH`: write the [`PoolMetrics`] document.
+
+use std::time::Instant;
+
+use ks_bench::metrics::{path_arg, PoolMetrics, PoolRunMetrics, SCHEMA_VERSION};
+use ks_gpu_sim::{FaultSpec, Interconnect};
+use ks_serve::{
+    generate_queries, PoolConfig, Query, ServeConfig, ServeReport, Server, Submit, Ticket,
+    WorkloadConfig,
+};
+
+/// Simulated-time speedup floor for the N-device pool over the
+/// 1-device baseline.
+const SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Relative tolerance for the degraded pass, whose sick-device shards
+/// recover on the (bit-exact but differently-ordered) CPU path.
+const TOL: f32 = 5e-3;
+
+/// Index of the device given a permanent launch fault in the degraded
+/// pass.
+const SICK: usize = 2;
+
+fn usize_arg(args: &[String], flag: &str, default: usize) -> usize {
+    path_arg(args, flag).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid {flag} value {v}");
+            std::process::exit(2);
+        })
+    })
+}
+
+/// Serves the whole stream through one paused server and returns every
+/// per-query outcome plus the shutdown report and host wall time.
+fn serve(cfg: ServeConfig, stream: &[Query]) -> (Vec<Option<Vec<f32>>>, ServeReport, f64) {
+    let t0 = Instant::now();
+    let mut srv = Server::start(cfg);
+    let tickets: Vec<Ticket> = stream
+        .iter()
+        .map(|q| match srv.submit(q.clone()) {
+            Submit::Accepted(t) => t,
+            Submit::Rejected(_) => {
+                eprintln!("error: queue sized for the stream rejected a query");
+                std::process::exit(1);
+            }
+        })
+        .collect();
+    srv.resume();
+    let results: Vec<Option<Vec<f32>>> = tickets.iter().map(|t| t.wait().ok()).collect();
+    let report = srv.shutdown();
+    (results, report, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Flattens one pooled pass into the export row. Panics if the pass
+/// was not actually pooled.
+fn run_metrics(report: &ServeReport, wall_time_ms: f64) -> PoolRunMetrics {
+    let pool = report.pool.as_ref().expect("pooled pass carries a report");
+    PoolRunMetrics {
+        devices: pool.devices.len() as u64,
+        completed: report.completed,
+        failed: report.failed,
+        batches: report.batches,
+        batched_queries: report.batched_queries,
+        fallbacks: report.fallbacks,
+        shard_tasks: pool.shard_tasks,
+        stolen_tasks: pool.stolen_tasks,
+        breaker_trips: pool.total_trips(),
+        transfer_bytes: pool.devices.iter().map(|d| d.transfer_bytes).sum(),
+        sim_time_s: pool.sim_time_s,
+        wall_time_ms,
+    }
+}
+
+fn bits_eq(a: &[Option<Vec<f32>>], b: &[Option<Vec<f32>>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| match (x, y) {
+            (Some(x), Some(y)) => {
+                x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+            }
+            (None, None) => true,
+            _ => false,
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = usize_arg(&args, "--seed", 42) as u64;
+    let devices = usize_arg(&args, "--devices", 4);
+    if devices < 2 {
+        eprintln!("error: --devices must be at least 2 (got {devices})");
+        std::process::exit(2);
+    }
+    let queries = usize_arg(&args, "--queries", if smoke { 12 } else { 24 });
+
+    // Corpora are sized so per-shard kernel time dominates the
+    // modelled PCIe cost at 4 shards: M = 32768 keeps each 8192-row
+    // shard well past the alignment floor, and the smoke profile
+    // shortens the *stream*, not the corpus, so the speedup gate
+    // measures the same shard economics CI-sized.
+    let wl = WorkloadConfig {
+        clients: 1,
+        queries_per_client: queries,
+        corpora: 2,
+        shared_ratio: 0.8,
+        large_ratio: 0.0,
+        m: 32_768,
+        n: 128,
+        k: 16,
+        h: 1.0,
+        deadline: None,
+        seed,
+    };
+    let stream = generate_queries(&wl);
+    let base = ServeConfig {
+        queue_capacity: stream.len(),
+        start_paused: true,
+        ..ServeConfig::default()
+    };
+    let pooled_cfg = |n: usize| {
+        let mut cfg = base.clone();
+        cfg.pool = Some(PoolConfig::homogeneous(
+            n,
+            cfg.device.clone(),
+            Interconnect::pcie3_x16(),
+        ));
+        cfg
+    };
+
+    eprintln!("serving {} queries unpooled (golden)...", stream.len());
+    let (golden, golden_report, golden_wall) = serve(base.clone(), &stream);
+    eprintln!("serving through a 1-device pool...");
+    let (single_res, single_report, single_wall) = serve(pooled_cfg(1), &stream);
+    eprintln!("serving through a {devices}-device pool...");
+    let (pooled_res, pooled_report, pooled_wall) = serve(pooled_cfg(devices), &stream);
+
+    eprintln!("serving with device {SICK} permanently faulted...");
+    let mut sick_cfg = pooled_cfg(devices);
+    if let Some(pool) = sick_cfg.pool.as_mut() {
+        pool.devices[SICK].device.fault = Some(FaultSpec {
+            seed: seed ^ 0xDEAD_DE5B,
+            smem_rate: 0.0,
+            reg_rate: 0.0,
+            dram_rate: 0.0,
+            sm_loss_rate: 1.0,
+            watchdog_rate: 0.0,
+        });
+    }
+    let (faulted_res, faulted_report, faulted_wall) = serve(sick_cfg, &stream);
+
+    let single = run_metrics(&single_report, single_wall);
+    let pooled = run_metrics(&pooled_report, pooled_wall);
+    let faulted = run_metrics(&faulted_report, faulted_wall);
+    let speedup = single.sim_time_s / pooled.sim_time_s;
+
+    let bit_identical = bits_eq(&golden, &single_res) && bits_eq(&golden, &pooled_res);
+    let counters_match = [&single_report, &pooled_report, &faulted_report]
+        .iter()
+        .all(|r| {
+            r.completed == golden_report.completed
+                && r.batches == golden_report.batches
+                && r.batched_queries == golden_report.batched_queries
+                && r.failed == 0
+                && r.rejected == 0
+                && r.internal_errors == 0
+        })
+        && golden_report.failed == 0;
+
+    // The degraded pass: every query still completes, within tolerance
+    // of the golden (sick shards recover on the CPU, which is bit-exact
+    // to the reference but not to the healthy GPU shards it replaces).
+    let mut faulted_correct = true;
+    for (qi, (got, want)) in faulted_res.iter().zip(&golden).enumerate() {
+        match (got, want) {
+            (Some(got), Some(want)) => {
+                let close = got.len() == want.len()
+                    && got
+                        .iter()
+                        .zip(want)
+                        .all(|(g, w)| (g - w).abs() <= TOL * w.abs().max(1.0));
+                if !close {
+                    eprintln!("degraded pass: query {qi} outside tolerance");
+                    faulted_correct = false;
+                }
+            }
+            _ => {
+                eprintln!("degraded pass: query {qi} did not complete");
+                faulted_correct = false;
+            }
+        }
+    }
+    let sick_report = &faulted_report.pool.as_ref().expect("pooled").devices[SICK];
+    let faulted_sick_trips = sick_report.breaker_trips;
+    let faulted_sick_fallbacks = sick_report.cpu_fallbacks;
+    let faulted_healthy_fallbacks = faulted_report
+        .pool
+        .as_ref()
+        .expect("pooled")
+        .devices
+        .iter()
+        .enumerate()
+        .filter(|(d, _)| *d != SICK)
+        .map(|(_, r)| r.cpu_fallbacks)
+        .sum::<u64>();
+    let degradation_local = faulted_correct
+        && faulted_sick_trips > 0
+        && faulted_sick_fallbacks > 0
+        && faulted_healthy_fallbacks == 0;
+
+    let gates_passed =
+        bit_identical && counters_match && speedup >= SPEEDUP_FLOOR && degradation_local;
+
+    let metrics = PoolMetrics {
+        schema_version: SCHEMA_VERSION,
+        seed,
+        m: wl.m as u64,
+        n: wl.n as u64,
+        k: wl.k as u64,
+        queries: stream.len() as u64,
+        shared_ratio: wl.shared_ratio,
+        single,
+        pooled,
+        speedup,
+        bit_identical,
+        counters_match,
+        faulted,
+        faulted_sick_trips,
+        faulted_sick_fallbacks,
+        faulted_healthy_fallbacks,
+        gates_passed,
+    };
+
+    eprintln!(
+        "sim time: {:.6} s at 1 device, {:.6} s at {devices} ({speedup:.2}x, floor {SPEEDUP_FLOOR}x)",
+        metrics.single.sim_time_s, metrics.pooled.sim_time_s
+    );
+    eprintln!(
+        "pool: {} shard tasks ({} stolen), {} bytes over PCIe; degraded pass: \
+         {faulted_sick_trips} sick trips, {faulted_sick_fallbacks} sick / \
+         {faulted_healthy_fallbacks} healthy CPU shard recoveries",
+        metrics.pooled.shard_tasks, metrics.pooled.stolen_tasks, metrics.pooled.transfer_bytes
+    );
+    eprintln!(
+        "wall: golden {golden_wall:.0} ms, pool1 {:.0} ms, pool{devices} {:.0} ms, \
+         degraded {:.0} ms",
+        metrics.single.wall_time_ms, metrics.pooled.wall_time_ms, metrics.faulted.wall_time_ms
+    );
+
+    if let Some(path) = path_arg(&args, "--json") {
+        metrics.write_json(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+
+    if !bit_identical {
+        eprintln!("FAIL: pooled results drifted from unpooled single-device serving");
+    }
+    if !counters_match {
+        eprintln!("FAIL: serve counters drifted between passes");
+    }
+    if speedup < SPEEDUP_FLOOR {
+        eprintln!("FAIL: simulated speedup {speedup:.2}x below the {SPEEDUP_FLOOR}x floor");
+    }
+    if !degradation_local {
+        eprintln!("FAIL: faulted device did not degrade shard-locally");
+    }
+    if !gates_passed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "pool bench passed: bit-identical, counters stable, {speedup:.2}x at {devices} devices"
+    );
+}

@@ -442,6 +442,109 @@ impl ChaosMetrics {
     }
 }
 
+/// One serving pass of the pool bench at a fixed device count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolRunMetrics {
+    /// Devices in the pool (`1` for the single-device baseline).
+    pub devices: u64,
+    /// Queries that produced a result.
+    pub completed: u64,
+    /// Queries failed with a surfaced error.
+    pub failed: u64,
+    /// Coalesced solves executed.
+    pub batches: u64,
+    /// Queries served through those solves.
+    pub batched_queries: u64,
+    /// Batches containing at least one CPU-recovered shard.
+    pub fallbacks: u64,
+    /// Shard tasks dispatched across the pool.
+    pub shard_tasks: u64,
+    /// Shard tasks executed by a thread other than their owner.
+    pub stolen_tasks: u64,
+    /// Circuit-breaker trips summed over devices.
+    pub breaker_trips: u64,
+    /// Host↔device bytes moved over the modelled interconnects.
+    pub transfer_bytes: u64,
+    /// Simulated serving time: per batch, the slowest shard pipeline
+    /// (devices run concurrently), summed over batches.
+    pub sim_time_s: f64,
+    /// Host wall time of the pass, in milliseconds (nondeterministic —
+    /// informational only).
+    pub wall_time_ms: f64,
+}
+
+/// The `pool_bench` export (the `BENCH_pool.json` schema): the same
+/// query stream served by a 1-device pool and an `N`-device pool,
+/// checked bit-identical against unpooled single-device serving, plus
+/// a degraded pass with one faulted device. The headline fields are
+/// `speedup` (simulated-time ratio, gated at ≥ 2× for 4 devices) and
+/// the `bit_identical` / `counters_match` flags.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolMetrics {
+    /// Export schema version (see [`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Master seed of the workload.
+    pub seed: u64,
+    /// Source-set rows per corpus.
+    pub m: u64,
+    /// Targets per query.
+    pub n: u64,
+    /// Point dimensionality.
+    pub k: u64,
+    /// Queries in the stream.
+    pub queries: u64,
+    /// Fraction of queries hitting a shared corpus.
+    pub shared_ratio: f64,
+    /// The 1-device pool baseline pass.
+    pub single: PoolRunMetrics,
+    /// The `N`-device pool pass.
+    pub pooled: PoolRunMetrics,
+    /// `single.sim_time_s / pooled.sim_time_s`.
+    pub speedup: f64,
+    /// Every pooled result matched unpooled serving bit for bit.
+    pub bit_identical: bool,
+    /// completed/failed/batches/batched-queries agreed across the
+    /// unpooled, 1-device and `N`-device passes.
+    pub counters_match: bool,
+    /// The degraded pass: `N` devices, one with a permanent
+    /// launch-level fault.
+    pub faulted: PoolRunMetrics,
+    /// Breaker trips on the faulted device (must be > 0).
+    pub faulted_sick_trips: u64,
+    /// CPU-recovered shards owned by the faulted device (must be > 0).
+    pub faulted_sick_fallbacks: u64,
+    /// CPU-recovered shards owned by healthy devices (must be 0:
+    /// degradation stays device-local).
+    pub faulted_healthy_fallbacks: u64,
+    /// All gates held (bit identity, counter agreement, speedup floor,
+    /// device-local degradation).
+    pub gates_passed: bool,
+}
+
+impl PoolMetrics {
+    /// Pretty-printed JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics serialise")
+    }
+
+    /// Parses a document produced by [`PoolMetrics::to_json`].
+    ///
+    /// # Errors
+    /// Returns the underlying parse/shape error message.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes [`PoolMetrics::to_json`] to `path`.
+    ///
+    /// # Errors
+    /// Propagates the I/O error.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
 /// Parses `--<flag> <path>` from argv. Returns `Some(path)` only when
 /// a value follows the flag and is not itself a `--` option, so bare
 /// boolean flags (e.g. `run_all --csv` table mode) keep working.

@@ -55,7 +55,7 @@ pub use gpu::{GpuReport, GpuSolveOutput};
 pub use kernels::{CauchyKernel, GaussianKernel, KernelFunction, LaplaceKernel, PolynomialKernel};
 pub use logspace::solve_logspace;
 pub use multi::{solve_multi_fused, solve_multi_reference, solve_multi_unfused};
-pub use plan::{solve_multi_planned, SourcePlan, SourceSet, SourceSetId};
+pub use plan::{shard_ranges, solve_multi_planned, SourcePlan, SourceSet, SourceSetId};
 pub use problem::{Backend, KernelSumProblem, PointSet, ProblemBuilder};
 pub use validate::{max_rel_error, rel_l2_error};
 

@@ -134,6 +134,72 @@ impl SourcePlan {
     pub fn pack_words(&self) -> &[f32] {
         self.a.as_slice()
     }
+
+    /// Extracts the sub-plan covering source rows `rows` — the unit a
+    /// device pool ships to one device. The slice copies the already
+    /// packed words and norms verbatim, so a shard plan is bit-equal
+    /// to building a plan from the same rows directly, and the
+    /// concatenation of shard results reproduces the unsharded solve
+    /// bit for bit (each output row is a fixed-order reduction over
+    /// its own `A` row only; see `shard_ranges`).
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or out of bounds.
+    #[must_use]
+    pub fn shard(&self, rows: std::ops::Range<usize>) -> Self {
+        let (m, k) = self.dims();
+        assert!(!rows.is_empty(), "shard must cover at least one row");
+        assert!(
+            rows.end <= m,
+            "shard rows {rows:?} out of bounds for M = {m}"
+        );
+        let a = Matrix::from_vec(
+            rows.len(),
+            k,
+            Layout::RowMajor,
+            self.a.as_slice()[rows.start * k..rows.end * k].to_vec(),
+        );
+        let row_sq_norms = self.row_sq_norms[rows.clone()].to_vec();
+        Self { a, row_sq_norms }
+    }
+}
+
+/// Partitions `m` source rows into at most `shards` contiguous ranges,
+/// each (except possibly the last) a multiple of `align` rows, sized
+/// as evenly as the alignment allows. Returns fewer than `shards`
+/// ranges when `m` has fewer than `shards` alignment tiles — a device
+/// pool must not receive empty shards.
+///
+/// Row-wise partition is *exact* for kernel summation: output row `i`
+/// is `Σ_j w_j·k(x_j, a_i)`, a reduction over the targets whose
+/// floating-point evaluation order is row-local, so concatenating
+/// shard outputs in range order is bit-identical to the unsharded
+/// solve on both backends (CPU tiles and the simulated GPU's
+/// 128-row blocks never mix rows across an `align`-multiple boundary).
+///
+/// # Panics
+/// Panics if `shards` or `align` is zero.
+#[must_use]
+pub fn shard_ranges(m: usize, shards: usize, align: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(shards > 0, "shards must be positive");
+    assert!(align > 0, "align must be positive");
+    if m == 0 {
+        return Vec::new();
+    }
+    let tiles = m.div_ceil(align);
+    let shards = shards.min(tiles);
+    let base = tiles / shards;
+    let extra = tiles % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut row = 0usize;
+    for s in 0..shards {
+        let t = base + usize::from(s < extra);
+        let end = (row + t * align).min(m);
+        ranges.push(row..end);
+        row = end;
+    }
+    debug_assert_eq!(row, m);
+    ranges
 }
 
 /// Fused multi-weight evaluation against a prebuilt [`SourcePlan`]:
@@ -285,6 +351,94 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn shard_ranges_cover_aligned_and_balanced() {
+        // 5 tiles of 128 over 2 shards: 3 + 2 tiles.
+        assert_eq!(shard_ranges(640, 2, 128), vec![0..384, 384..640]);
+        // Ragged tail stays in the last shard.
+        assert_eq!(shard_ranges(300, 2, 128), vec![0..256, 256..300]);
+        // More shards than tiles: collapse, never emit an empty shard.
+        assert_eq!(shard_ranges(100, 4, 128), vec![0..100]);
+        // Exact division.
+        assert_eq!(
+            shard_ranges(512, 4, 128),
+            vec![0..128, 128..256, 256..384, 384..512]
+        );
+        // Degenerate corpus.
+        assert!(shard_ranges(0, 3, 128).is_empty());
+        // Every interior boundary is a multiple of the alignment.
+        for m in [1usize, 127, 128, 129, 1000, 4096] {
+            for shards in 1..6 {
+                let rs = shard_ranges(m, shards, 128);
+                assert_eq!(rs.first().unwrap().start, 0);
+                assert_eq!(rs.last().unwrap().end, m);
+                for w in rs.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "contiguous");
+                    assert_eq!(w[0].end % 128, 0, "aligned boundary");
+                }
+                assert!(rs.iter().all(|r| !r.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_plan_is_bit_equal_to_direct_build() {
+        let pts = PointSet::uniform_cube(300, 4, 21);
+        let plan = SourcePlan::build(&pts);
+        for range in shard_ranges(300, 3, 128) {
+            let shard = plan.shard(range.clone());
+            assert_eq!(shard.dims(), (range.len(), 4));
+            for (local, global) in range.clone().enumerate() {
+                assert_eq!(
+                    shard.row_sq_norms()[local].to_bits(),
+                    plan.row_sq_norms()[global].to_bits()
+                );
+                for c in 0..4 {
+                    assert_eq!(
+                        shard.a().get(local, c).to_bits(),
+                        plan.a().get(global, c).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_solve_concatenates_bit_identical_to_unsharded() {
+        let sources = PointSet::uniform_cube(300, 5, 31);
+        let targets = PointSet::uniform_cube(40, 5, 32);
+        let w = rand_weights(40, 2, 33);
+        let kernel = GaussianKernel { h: 0.8 };
+        let cfg = FusedCpuConfig::default();
+        let plan = SourcePlan::build(&sources);
+        let whole = solve_multi_planned(&plan, &targets, &kernel, &w, &cfg);
+        for shards in [1usize, 2, 3] {
+            let mut row = 0usize;
+            for range in shard_ranges(300, shards, 128) {
+                let part =
+                    solve_multi_planned(&plan.shard(range.clone()), &targets, &kernel, &w, &cfg);
+                for rr in 0..part.rows() {
+                    for ch in 0..part.cols() {
+                        assert_eq!(
+                            part.get(rr, ch).to_bits(),
+                            whole.get(row + rr, ch).to_bits(),
+                            "shards={shards} row={} col={ch}",
+                            row + rr
+                        );
+                    }
+                }
+                row = range.end;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn shard_rejects_out_of_bounds_rows() {
+        let plan = SourcePlan::build(&PointSet::uniform_cube(16, 3, 5));
+        let _ = plan.shard(8..32);
     }
 
     #[test]

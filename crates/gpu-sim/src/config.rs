@@ -179,6 +179,59 @@ impl Default for DeviceConfig {
     }
 }
 
+/// Host↔device interconnect description: a latency+bandwidth ("alpha
+/// beta") cost model for staging shards onto a device in a multi-GPU
+/// pool.
+///
+/// Kept separate from [`DeviceConfig`] on purpose: the interconnect is
+/// a property of the *slot* a device sits in (PCIe lane allocation,
+/// NVLink bridge), not of the die, and `DeviceConfig`'s serialized
+/// schema stays untouched for existing golden documents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    /// Human-readable link name.
+    pub name: String,
+    /// Sustained host↔device bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Fixed per-transfer latency in microseconds (DMA setup, driver).
+    pub latency_us: f64,
+}
+
+impl Interconnect {
+    /// PCIe 3.0 x16: ~12 GB/s sustained (of 15.75 GB/s raw), ~5 µs
+    /// per-transfer setup — the link a GTX970-class card sits on.
+    #[must_use]
+    pub fn pcie3_x16() -> Self {
+        Self {
+            name: "PCIe 3.0 x16".to_string(),
+            bandwidth_gbps: 12.0,
+            latency_us: 5.0,
+        }
+    }
+
+    /// First-generation NVLink-class link: ~45 GB/s sustained, ~2 µs
+    /// setup. Used by pool experiments as the "fast fabric" contrast.
+    #[must_use]
+    pub fn nvlink() -> Self {
+        Self {
+            name: "NVLink".to_string(),
+            bandwidth_gbps: 45.0,
+            latency_us: 2.0,
+        }
+    }
+
+    /// Time in seconds to move `bytes` over this link:
+    /// `latency + bytes / bandwidth`. A zero-byte transfer costs
+    /// nothing (no DMA is issued).
+    #[must_use]
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.latency_us * 1e-6 + bytes as f64 / (self.bandwidth_gbps * 1e9)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,5 +273,28 @@ mod tests {
         let d = DeviceConfig::default();
         assert_eq!(d, DeviceConfig::gtx970());
         assert_eq!(d, d.clone());
+    }
+
+    #[test]
+    fn interconnect_alpha_beta_cost() {
+        let ic = Interconnect::pcie3_x16();
+        // Zero bytes: no DMA, no latency.
+        assert_eq!(ic.transfer_time_s(0), 0.0);
+        // 12 GB over a 12 GB/s link ≈ 1 s plus 5 µs setup.
+        let t = ic.transfer_time_s(12_000_000_000);
+        assert!((t - 1.0).abs() < 1e-4, "{t}");
+        // Latency dominates tiny transfers.
+        let tiny = ic.transfer_time_s(4);
+        assert!(tiny > 4.9e-6 && tiny < 6e-6, "{tiny}");
+        // NVLink beats PCIe on every non-empty transfer.
+        let nv = Interconnect::nvlink();
+        assert!(nv.transfer_time_s(1 << 20) < ic.transfer_time_s(1 << 20));
+    }
+
+    #[test]
+    fn interconnect_round_trips_through_serde() {
+        let ic = Interconnect::nvlink();
+        let back = Interconnect::from_value(&ic.to_value()).unwrap();
+        assert_eq!(ic, back);
     }
 }

@@ -76,7 +76,7 @@ pub mod trace;
 pub mod traffic;
 
 pub use buffer::{BufId, GlobalMem};
-pub use config::DeviceConfig;
+pub use config::{DeviceConfig, Interconnect};
 pub use device::GpuDevice;
 pub use dim::{Dim3, LaunchConfig};
 pub use exec::BlockCtx;
@@ -86,8 +86,8 @@ pub use kernel::{
     TimingHints, VecWidth,
 };
 pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
-pub use profiler::{Counters, KernelProfile, PipelineProfile};
+pub use profiler::{Counters, KernelProfile, PipelineProfile, TransferProfile};
 pub use replay::ReplayStrategy;
-pub use timing::{KernelTiming, TimingParams};
+pub use timing::{estimate_transfer, KernelTiming, TimingParams};
 pub use trace::{AccessDir, BlockTrace, TraceSink};
 pub use traffic::{L2Event, TrafficSink};

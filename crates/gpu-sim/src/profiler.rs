@@ -277,14 +277,64 @@ impl KernelProfile {
     }
 }
 
+/// One modelled host↔device (or device↔device) transfer attributed to
+/// a pipeline: shard upload, weight staging, result download. Costed
+/// by [`crate::config::Interconnect::transfer_time_s`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferProfile {
+    /// What moved (`"shard A"`, `"weights"`, `"result V"`, …).
+    pub label: String,
+    /// Link the bytes moved over.
+    pub link: String,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Modelled transfer time in seconds.
+    pub time_s: f64,
+}
+
 /// Profile of a multi-kernel pipeline (one end-to-end kernel-summation
 /// implementation: e.g. `cuBLAS-Unfused` = norms + GEMM + exp + GEMV).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PipelineProfile {
     /// Pipeline label (`Fused`, `CUDA-Unfused`, `cuBLAS-Unfused`).
     pub name: String,
     /// Per-kernel profiles in launch order.
     pub kernels: Vec<KernelProfile>,
+    /// Host↔device transfers charged to this pipeline (empty for
+    /// single-device pipelines, which assume resident data).
+    pub transfers: Vec<TransferProfile>,
+}
+
+// Hand-written serde, same contract as [`KernelProfile`]: `transfers`
+// is omitted when empty and defaulted when absent, so transfer-free
+// profiles serialize byte-identically to the pre-pool schema and old
+// golden documents still deserialize.
+impl Serialize for PipelineProfile {
+    fn to_value(&self) -> serde::value::Value {
+        let mut obj: Vec<(String, serde::value::Value)> = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("kernels".to_string(), self.kernels.to_value()),
+        ];
+        if !self.transfers.is_empty() {
+            obj.push(("transfers".to_string(), self.transfers.to_value()));
+        }
+        serde::value::Value::Object(obj)
+    }
+}
+
+impl Deserialize for PipelineProfile {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::de::Error> {
+        Ok(Self {
+            name: serde::de::field(v, "name")?,
+            kernels: serde::de::field(v, "kernels")?,
+            transfers: match v.get("transfers") {
+                Some(t) => {
+                    Vec::<TransferProfile>::from_value(t).map_err(|e| e.context("transfers"))?
+                }
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl PipelineProfile {
@@ -294,14 +344,29 @@ impl PipelineProfile {
         Self {
             name: name.into(),
             kernels: Vec::new(),
+            transfers: Vec::new(),
         }
     }
 
-    /// Total wall time in seconds (kernels are serialised on one
-    /// stream, as in the paper's pipelines).
+    /// Total wall time in seconds: kernels serialised on one stream
+    /// (as in the paper's pipelines) plus any modelled transfers,
+    /// which a single stream also serialises with the kernels.
     #[must_use]
     pub fn total_time_s(&self) -> f64 {
-        self.kernels.iter().map(|k| k.timing.time_s).sum()
+        self.kernels.iter().map(|k| k.timing.time_s).sum::<f64>() + self.transfer_time_s()
+    }
+
+    /// Summed modelled transfer time in seconds (0 when no transfers
+    /// are charged).
+    #[must_use]
+    pub fn transfer_time_s(&self) -> f64 {
+        self.transfers.iter().map(|t| t.time_s).sum()
+    }
+
+    /// Summed transfer payload bytes.
+    #[must_use]
+    pub fn transfer_bytes(&self) -> u64 {
+        self.transfers.iter().map(|t| t.bytes).sum()
     }
 
     /// Summed counters.
@@ -411,6 +476,34 @@ mod tests {
         assert_eq!(d.dram_writes, 10);
         assert_eq!(d.dram_transactions(), 70);
         assert_eq!(d.l2_transactions(), 120);
+    }
+
+    #[test]
+    fn transfer_free_pipeline_serializes_without_transfers_key() {
+        use serde::value::Value;
+        let p = PipelineProfile::new("Fused");
+        let Value::Object(fields) = p.to_value() else {
+            panic!("pipeline must serialize to an object");
+        };
+        assert!(
+            fields.iter().all(|(k, _)| k != "transfers"),
+            "empty transfers must be omitted for golden stability"
+        );
+        // Absent key defaults to no transfers (old documents).
+        let back = PipelineProfile::from_value(&Value::Object(fields)).unwrap();
+        assert_eq!(back, p);
+        // Non-empty transfers round-trip and extend total time.
+        let mut q = PipelineProfile::new("Pooled");
+        q.transfers.push(TransferProfile {
+            label: "shard A".to_string(),
+            link: "PCIe 3.0 x16".to_string(),
+            bytes: 4096,
+            time_s: 1.5e-6,
+        });
+        let rt = PipelineProfile::from_value(&q.to_value()).unwrap();
+        assert_eq!(rt, q);
+        assert_eq!(q.transfer_bytes(), 4096);
+        assert!((q.total_time_s() - 1.5e-6).abs() < 1e-12);
     }
 
     #[test]

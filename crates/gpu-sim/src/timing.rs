@@ -265,6 +265,24 @@ pub fn estimate(
     }
 }
 
+/// Costs one host↔device transfer over `link` and returns the profile
+/// entry to attach to a [`crate::profiler::PipelineProfile`]. The
+/// alpha-beta model lives on [`Interconnect::transfer_time_s`]; this
+/// helper only packages the result with its provenance labels.
+#[must_use]
+pub fn estimate_transfer(
+    link: &crate::config::Interconnect,
+    label: impl Into<String>,
+    bytes: u64,
+) -> crate::profiler::TransferProfile {
+    crate::profiler::TransferProfile {
+        label: label.into(),
+        link: link.name.clone(),
+        bytes,
+        time_s: link.transfer_time_s(bytes),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -69,12 +69,36 @@ impl PlanCacheStats {
     }
 }
 
+/// Sentinel index terminating the recency list.
+const NIL: usize = usize::MAX;
+
+/// One slab slot of the recency list.
+struct Entry {
+    key: PlanKey,
+    plan: Arc<SourcePlan>,
+    /// Towards LRU.
+    prev: usize,
+    /// Towards MRU.
+    next: usize,
+}
+
 /// A bounded LRU map from [`PlanKey`] to shared [`SourcePlan`]s.
+///
+/// Recency is an intrusive doubly-linked list threaded through a slab
+/// of entries, with the key map pointing at slab slots — every
+/// operation (hit touch, miss insert, eviction) is O(1), so cache
+/// maintenance stays negligible however many corpora a device pool
+/// keeps warm.
 pub struct PlanCache {
     capacity: usize,
-    map: HashMap<PlanKey, Arc<SourcePlan>>,
-    /// Recency order, least-recently-used first.
-    lru: Vec<PlanKey>,
+    map: HashMap<PlanKey, usize>,
+    slab: Vec<Entry>,
+    /// Recycled slab slots.
+    free: Vec<usize>,
+    /// Least-recently-used slot.
+    head: usize,
+    /// Most-recently-used slot.
+    tail: usize,
     stats: PlanCacheStats,
 }
 
@@ -89,9 +113,39 @@ impl PlanCache {
         Self {
             capacity,
             map: HashMap::new(),
-            lru: Vec::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
             stats: PlanCacheStats::default(),
         }
+    }
+
+    /// Detaches slot `idx` from the recency list.
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    /// Appends slot `idx` at the MRU end.
+    fn push_mru(&mut self, idx: usize) {
+        self.slab[idx].prev = self.tail;
+        self.slab[idx].next = NIL;
+        if self.tail == NIL {
+            self.head = idx;
+        } else {
+            self.slab[self.tail].next = idx;
+        }
+        self.tail = idx;
     }
 
     /// Looks up `key`, building (and inserting) the plan on a miss.
@@ -102,28 +156,40 @@ impl PlanCache {
         key: PlanKey,
         build: impl FnOnce() -> SourcePlan,
     ) -> (Arc<SourcePlan>, bool) {
-        if let Some(plan) = self.map.get(&key) {
-            let plan = Arc::clone(plan);
-            self.touch(key);
+        if let Some(&idx) = self.map.get(&key) {
+            self.unlink(idx);
+            self.push_mru(idx);
             self.stats.hits += 1;
-            return (plan, true);
+            return (Arc::clone(&self.slab[idx].plan), true);
         }
         self.stats.misses += 1;
         if self.map.len() >= self.capacity {
-            let victim = self.lru.remove(0);
-            self.map.remove(&victim);
+            let victim = self.head;
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.free.push(victim);
             self.stats.evictions += 1;
         }
         let plan = Arc::new(build());
-        self.map.insert(key, Arc::clone(&plan));
-        self.lru.push(key);
+        let entry = Entry {
+            key,
+            plan: Arc::clone(&plan),
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = entry;
+                slot
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        self.push_mru(idx);
+        self.map.insert(key, idx);
         (plan, false)
-    }
-
-    fn touch(&mut self, key: PlanKey) {
-        let pos = self.lru.iter().position(|k| *k == key).expect("in map");
-        let k = self.lru.remove(pos);
-        self.lru.push(k);
     }
 
     /// True if `key` is currently cached (no recency effect).

@@ -24,17 +24,26 @@
 //!   single-shot solver; the GPU path pads to the tiling constraints.
 //! * [`workload`] — deterministic synthetic arrival streams and the
 //!   multi-client driver behind `ksum serve-bench`.
+//! * [`pool`] — multi-device sharded serving: each batch is
+//!   partitioned row-wise over `N` simulated devices (own plan cache,
+//!   fault spec, breaker, interconnect) and the partial results merge
+//!   in fixed shard order, bit-identical to a single-device solve.
+//! * [`router`] — the shard placement policy: cache-first, then
+//!   load-aware, deterministic.
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod executor;
+pub mod pool;
 pub mod queue;
+pub mod router;
 pub mod server;
 pub mod workload;
 
 pub use cache::{PlanCache, PlanCacheStats, PlanKey};
 pub use executor::MAX_GPU_BATCH;
+pub use pool::{DeviceReport, PoolConfig, PoolDevice, PoolReport, SHARD_ALIGN};
 pub use queue::BoundedQueue;
 pub use server::{
     backoff_delay, FaultInjection, Query, ResilienceConfig, ServeBackend, ServeConfig, ServeError,

@@ -1,0 +1,924 @@
+//! Multi-device sharded serving: the `ks-pool` routing tier.
+//!
+//! Kernel summation is a pure sum over the source set, so a row-wise
+//! partition of `A` across devices merges *exactly*: output row `i`
+//! depends only on its own `A` row (plus all of `B`/`W`), and both
+//! backends evaluate that row in a fixed order independent of the
+//! partition. The pool exploits this: each batch is sharded over `N`
+//! simulated devices with [`shard_ranges`] (128-row aligned, matching
+//! the GPU block tile), the per-device partial `V` slices are merged
+//! by concatenation in shard order, and the pooled result is
+//! **bit-identical** to the single-device solve — the invariant
+//! `tests/pool_differential.rs` pins.
+//!
+//! Architecture:
+//!
+//! * The **coordinator** (the server's worker thread) owns the
+//!   per-device shard-plan caches and all placement decisions, made
+//!   synchronously at enqueue time via [`crate::router::place`] —
+//!   cache-first, then load-aware. Keeping routing out of the device
+//!   threads makes warm/cold accounting (and therefore transfer bytes
+//!   and simulated time) deterministic.
+//! * Each device has a bounded task queue and a host thread. Idle
+//!   threads **steal** from other queues (deterministic ring scan),
+//!   but a stolen task still executes against its *owner's* device
+//!   model, breaker and interconnect — stealing parallelises the
+//!   host-side simulation without changing any modelled outcome.
+//! * Each device has its own [`DeviceConfig`] (including an optional
+//!   fault spec) and circuit breaker. A shard attempt that fails to
+//!   launch or trips ABFT verification records a failure on *its own*
+//!   breaker and completes on the bit-exact CPU fused path, so a sick
+//!   device degrades without taking the pool down — and without ever
+//!   failing a batch.
+//! * Host↔device traffic is charged per shard through the owner's
+//!   [`Interconnect`]: the shard's `A`-pack + norms upload on a cold
+//!   placement, the `B`/`W` uploads and the `V` download always. The
+//!   costs land as transfer entries on the shard's pipeline profile
+//!   and in the per-device report.
+//!
+//! Simulated batch latency is the **max** over shard pipelines
+//! (kernels + transfers): devices run concurrently, so the slowest
+//! shard sets the pace. [`PoolReport::sim_time_s`] accumulates that
+//! per-batch max — the quantity `pool_bench` compares across pool
+//! sizes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use ks_core::plan::{shard_ranges, SourcePlan};
+use ks_core::problem::PointSet;
+use ks_core::FusedCpuConfig;
+use ks_gpu_kernels::VerifyReport;
+use ks_gpu_sim::config::{DeviceConfig, Interconnect};
+use ks_gpu_sim::device::GpuDevice;
+use ks_gpu_sim::profiler::PipelineProfile;
+use ks_gpu_sim::timing::estimate_transfer;
+
+use crate::cache::{PlanCacheStats, PlanKey};
+use crate::executor;
+use crate::queue::BoundedQueue;
+use crate::server::{
+    injected_data_faults, splitmix64, Breaker, Query, ResilienceConfig, ServeBackend,
+};
+
+/// Rows per shard-alignment tile: the GPU block tile, so shard
+/// boundaries never split a 128-row block and padding stays minimal.
+pub const SHARD_ALIGN: usize = 128;
+
+/// One slot of the pool: a device model plus the link it sits on.
+#[derive(Debug, Clone)]
+pub struct PoolDevice {
+    /// The simulated device (its own fault spec, clocks, caches).
+    pub device: DeviceConfig,
+    /// The host↔device link shard traffic is charged through.
+    pub interconnect: Interconnect,
+}
+
+/// Pool shape and sizing.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// The devices; shard count per batch is at most `devices.len()`.
+    pub devices: Vec<PoolDevice>,
+    /// Per-device task queue bound.
+    pub queue_capacity: usize,
+    /// Per-device shard-plan cache capacity (entries).
+    pub plan_cache_capacity: usize,
+    /// Shard alignment in rows. Keep it a multiple of [`SHARD_ALIGN`]
+    /// (the GPU block tile) for the bit-identity argument to cover the
+    /// GPU backend.
+    pub shard_align: usize,
+}
+
+impl PoolConfig {
+    /// `n` identical devices on identical links, with defaults sized
+    /// so one batch's shards never deadlock on queue backpressure.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn homogeneous(n: usize, device: DeviceConfig, interconnect: Interconnect) -> Self {
+        assert!(n > 0, "pool needs at least one device");
+        Self {
+            devices: vec![
+                PoolDevice {
+                    device,
+                    interconnect,
+                };
+                n
+            ],
+            queue_capacity: (2 * n).max(4),
+            plan_cache_capacity: 8,
+            shard_align: SHARD_ALIGN,
+        }
+    }
+}
+
+/// Per-device accounting, reported at shutdown.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceReport {
+    /// Device name (from its config).
+    pub name: String,
+    /// Shard tasks placed on (owned by) this device.
+    pub shard_tasks: u64,
+    /// Tasks this device's thread executed (own or stolen).
+    pub executed: u64,
+    /// Of `executed`: tasks stolen from another device's queue.
+    pub stolen: u64,
+    /// Shards completed on this device's GPU model.
+    pub gpu_shards: u64,
+    /// Shards recovered on the bit-exact CPU path (launch failure,
+    /// detected corruption, or an open breaker).
+    pub cpu_fallbacks: u64,
+    /// ABFT verification failures on this device's attempts.
+    pub corruption_detected: u64,
+    /// Injected data-fault events observed in completed profiles.
+    pub injected_faults: u64,
+    /// Circuit-breaker transitions to open.
+    pub breaker_trips: u64,
+    /// Circuit-breaker recoveries.
+    pub breaker_resets: u64,
+    /// Shard-plan cache counters (coordinator-resolved).
+    pub plan_cache: PlanCacheStats,
+    /// Bytes moved over this device's interconnect.
+    pub transfer_bytes: u64,
+    /// Modelled time spent moving them, in seconds.
+    pub transfer_time_s: f64,
+    /// Summed simulated pipeline time of this device's GPU shards
+    /// (kernels + transfers).
+    pub busy_time_s: f64,
+}
+
+/// Pool-level accounting, attached to
+/// [`crate::server::ServeReport::pool`].
+#[derive(Debug, Clone, Default)]
+pub struct PoolReport {
+    /// Per-device reports, in device order.
+    pub devices: Vec<DeviceReport>,
+    /// Batches the pool executed.
+    pub batches: u64,
+    /// Shard tasks across all batches.
+    pub shard_tasks: u64,
+    /// Tasks executed by a thread other than their owner's.
+    pub stolen_tasks: u64,
+    /// Simulated serving time: Σ over batches of the slowest shard's
+    /// pipeline time (devices run concurrently).
+    pub sim_time_s: f64,
+}
+
+impl PoolReport {
+    /// Total shards recovered on the CPU path across devices.
+    #[must_use]
+    pub fn total_fallbacks(&self) -> u64 {
+        self.devices.iter().map(|d| d.cpu_fallbacks).sum()
+    }
+
+    /// Total breaker trips across devices.
+    #[must_use]
+    pub fn total_trips(&self) -> u64 {
+        self.devices.iter().map(|d| d.breaker_trips).sum()
+    }
+}
+
+/// What one batch hands back to the server loop.
+pub(crate) struct PoolBatch {
+    /// Per-query result columns, merged to full `M` length.
+    pub results: Vec<Vec<f32>>,
+    /// Shard pipeline profiles in shard order (pure-CPU shards have
+    /// none).
+    pub profiles: Vec<PipelineProfile>,
+    /// ABFT verification failures across the batch's shards.
+    pub corruption_detected: u64,
+    /// Injected data faults observed across the batch's shards.
+    pub injected_faults: u64,
+    /// Shards that recovered on the CPU path this batch.
+    pub fallback_shards: u64,
+    /// Shards whose completed GPU attempt recorded injected faults
+    /// the checks (if any) did not catch — masked flips or faults
+    /// outside ABFT coverage.
+    pub undetected_shards: u64,
+}
+
+/// Result of one shard task.
+struct ShardOutcome {
+    /// Per-query columns over the shard's rows.
+    results: Vec<Vec<f32>>,
+    profile: Option<PipelineProfile>,
+    fallback: bool,
+    corruption: u64,
+    injected: u64,
+}
+
+/// Rendezvous for one batch's shards.
+struct BatchMerge {
+    slots: Mutex<Vec<Option<ShardOutcome>>>,
+    done: Condvar,
+}
+
+impl BatchMerge {
+    fn new(shards: usize) -> Self {
+        Self {
+            slots: Mutex::new((0..shards).map(|_| None).collect()),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, slot: usize, outcome: ShardOutcome) {
+        let mut g = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        debug_assert!(g[slot].is_none(), "shard slot filled twice");
+        g[slot] = Some(outcome);
+        drop(g);
+        self.done.notify_all();
+    }
+
+    /// Blocks until every slot is filled; returns outcomes in shard
+    /// order.
+    fn wait(&self) -> Vec<ShardOutcome> {
+        let mut g = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if g.iter().all(Option::is_some) {
+                return g
+                    .iter_mut()
+                    .map(|s| s.take().expect("all filled"))
+                    .collect();
+            }
+            g = self.done.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// One unit of device work: a shard of one coalesced batch, bound at
+/// placement time to its owner device's model, link, warmth and
+/// breaker — so a steal changes *which host thread* runs the
+/// simulation, never what is simulated.
+struct ShardTask {
+    plan: Arc<SourcePlan>,
+    targets: Arc<PointSet>,
+    h: f32,
+    weights: Arc<Vec<Vec<f32>>>,
+    warm: bool,
+    owner: usize,
+    device: DeviceConfig,
+    interconnect: Interconnect,
+    batch_idx: u64,
+    slot: usize,
+    merge: Arc<BatchMerge>,
+}
+
+/// Execution policy shared by every device thread.
+struct PoolPolicy {
+    /// Serve shards on the CPU fused path only (no GPU, no breaker).
+    cpu_only: bool,
+    /// Run GPU shard attempts through the ABFT-verified pipeline.
+    verify: bool,
+    cpu: FusedCpuConfig,
+}
+
+/// State shared between the coordinator and the device threads.
+struct Shared {
+    queues: Vec<Arc<BoundedQueue<ShardTask>>>,
+    breakers: Vec<Mutex<Breaker>>,
+    stats: Vec<Mutex<DeviceReport>>,
+    policy: PoolPolicy,
+    /// Bumped (under the lock) whenever work is enqueued.
+    work_seq: Mutex<u64>,
+    work: Condvar,
+    closed: AtomicBool,
+}
+
+/// Key of the per-device shard-plan caches: the batch-level plan key
+/// plus the shard's starting row (equal-length shards of one corpus
+/// would otherwise alias).
+#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+struct ShardKey {
+    plan: PlanKey,
+    row0: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// A small O(1) LRU map for shard plans — same intrusive-list design
+/// as [`crate::cache::PlanCache`], private to the pool because its
+/// key carries the shard offset.
+struct ShardPlanCache {
+    capacity: usize,
+    map: HashMap<ShardKey, usize>,
+    slab: Vec<(ShardKey, Arc<SourcePlan>, usize, usize)>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    stats: PlanCacheStats,
+}
+
+impl ShardPlanCache {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "shard-plan cache capacity must be positive");
+        Self {
+            capacity,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: PlanCacheStats::default(),
+        }
+    }
+
+    fn contains(&self, key: &ShardKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].2, self.slab[idx].3);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].3 = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].2 = prev;
+        }
+    }
+
+    fn push_mru(&mut self, idx: usize) {
+        self.slab[idx].2 = self.tail;
+        self.slab[idx].3 = NIL;
+        if self.tail == NIL {
+            self.head = idx;
+        } else {
+            self.slab[self.tail].3 = idx;
+        }
+        self.tail = idx;
+    }
+
+    /// Returns `(shard plan, was_hit)`, building by slicing `full` on
+    /// a miss.
+    fn get_or_slice(
+        &mut self,
+        key: ShardKey,
+        full: &SourcePlan,
+        rows: std::ops::Range<usize>,
+    ) -> (Arc<SourcePlan>, bool) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.unlink(idx);
+            self.push_mru(idx);
+            self.stats.hits += 1;
+            return (Arc::clone(&self.slab[idx].1), true);
+        }
+        self.stats.misses += 1;
+        if self.map.len() >= self.capacity {
+            let victim = self.head;
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].0);
+            self.free.push(victim);
+            self.stats.evictions += 1;
+        }
+        let plan = Arc::new(full.shard(rows));
+        let entry = (key, Arc::clone(&plan), NIL, NIL);
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = entry;
+                slot
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        self.push_mru(idx);
+        self.map.insert(key, idx);
+        (plan, false)
+    }
+}
+
+/// The device pool. Owned by the server's worker thread; one instance
+/// lives for the server's lifetime so breakers and shard-plan caches
+/// persist across batches.
+pub(crate) struct DevicePool {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    /// Immutable device table (model + link per slot).
+    devices: Vec<PoolDevice>,
+    /// Coordinator-owned per-device shard-plan caches.
+    caches: Vec<ShardPlanCache>,
+    shard_align: usize,
+    report: PoolReport,
+}
+
+impl DevicePool {
+    /// Spawns the device threads.
+    ///
+    /// # Panics
+    /// Panics on an empty device list or zero sizing.
+    pub(crate) fn start(
+        pool: &PoolConfig,
+        backend: ServeBackend,
+        resilience: &ResilienceConfig,
+        cpu: FusedCpuConfig,
+    ) -> Self {
+        assert!(!pool.devices.is_empty(), "pool needs at least one device");
+        assert!(
+            pool.queue_capacity > 0,
+            "pool queue capacity must be positive"
+        );
+        assert!(pool.shard_align > 0, "shard alignment must be positive");
+        let n = pool.devices.len();
+        let policy = PoolPolicy {
+            cpu_only: matches!(backend, ServeBackend::CpuFused),
+            verify: matches!(backend, ServeBackend::GpuResilient) && resilience.verify,
+            cpu,
+        };
+        let shared = Arc::new(Shared {
+            queues: (0..n)
+                .map(|_| Arc::new(BoundedQueue::new(pool.queue_capacity)))
+                .collect(),
+            breakers: (0..n)
+                .map(|_| Mutex::new(Breaker::new(resilience)))
+                .collect(),
+            stats: pool
+                .devices
+                .iter()
+                .map(|d| {
+                    Mutex::new(DeviceReport {
+                        name: d.device.name.clone(),
+                        ..DeviceReport::default()
+                    })
+                })
+                .collect(),
+            policy,
+            work_seq: Mutex::new(0),
+            work: Condvar::new(),
+            closed: AtomicBool::new(false),
+        });
+        let threads = (0..n)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || device_loop(me, &shared))
+            })
+            .collect();
+        Self {
+            shared,
+            threads,
+            devices: pool.devices.clone(),
+            caches: (0..n)
+                .map(|_| ShardPlanCache::new(pool.plan_cache_capacity.max(1)))
+                .collect(),
+            shard_align: pool.shard_align,
+            report: PoolReport::default(),
+        }
+    }
+
+    /// Number of devices.
+    pub(crate) fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Executes one coalesced batch across the pool and merges the
+    /// shard results in shard order. Blocks the coordinator until
+    /// every shard completes; never fails (sick shards land on the
+    /// bit-exact CPU path).
+    pub(crate) fn run_batch(
+        &mut self,
+        plan: &SourcePlan,
+        proto: &Query,
+        weights: &[Vec<f32>],
+        batch_idx: u64,
+    ) -> PoolBatch {
+        let (m, _) = plan.dims();
+        let ranges = shard_ranges(m, self.len(), self.shard_align);
+        let key = PlanKey::new(&proto.sources, proto.h);
+        let merge = Arc::new(BatchMerge::new(ranges.len()));
+        let weights = Arc::new(weights.to_vec());
+        // Placement load = queue depth plus what this batch already
+        // placed (queues may drain faster than we enqueue).
+        let mut placed = vec![0usize; self.len()];
+        for (slot, rows) in ranges.iter().enumerate() {
+            let skey = ShardKey {
+                plan: key,
+                row0: rows.start,
+            };
+            let warm: Vec<bool> = self.caches.iter().map(|c| c.contains(&skey)).collect();
+            let depth: Vec<usize> = self
+                .shared
+                .queues
+                .iter()
+                .zip(&placed)
+                .map(|(q, p)| q.len() + p)
+                .collect();
+            let owner = crate::router::place(&warm, &depth);
+            placed[owner] += 1;
+            let (shard_plan, hit) = self.caches[owner].get_or_slice(skey, plan, rows.clone());
+            self.shared.stats[owner]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .shard_tasks += 1;
+            let mut item = ShardTask {
+                plan: shard_plan,
+                targets: Arc::clone(&proto.targets),
+                h: proto.h,
+                weights: Arc::clone(&weights),
+                warm: hit,
+                owner,
+                device: self.devices[owner].device.clone(),
+                interconnect: self.devices[owner].interconnect.clone(),
+                batch_idx,
+                slot,
+                merge: Arc::clone(&merge),
+            };
+            loop {
+                match self.shared.queues[owner].try_push(item) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        // Backpressure: the device threads are
+                        // draining; give them the timeslice.
+                        item = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            let mut seq = self
+                .shared
+                .work_seq
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *seq += 1;
+            drop(seq);
+            self.shared.work.notify_all();
+        }
+        let outcomes = merge.wait();
+
+        // Merge: concatenate shard rows in shard order — the fixed
+        // deterministic order the bit-identity invariant needs.
+        let r = weights.len();
+        let mut results: Vec<Vec<f32>> = (0..r).map(|_| Vec::with_capacity(m)).collect();
+        let mut profiles = Vec::new();
+        let mut corruption = 0u64;
+        let mut injected = 0u64;
+        let mut fallback_shards = 0u64;
+        let mut undetected_shards = 0u64;
+        let mut batch_sim = 0.0f64;
+        for o in outcomes {
+            for (c, col) in o.results.iter().enumerate() {
+                results[c].extend_from_slice(col);
+            }
+            if let Some(p) = o.profile {
+                batch_sim = batch_sim.max(p.total_time_s());
+                profiles.push(p);
+            }
+            corruption += o.corruption;
+            injected += o.injected;
+            fallback_shards += u64::from(o.fallback);
+            undetected_shards += u64::from(!o.fallback && o.injected > 0);
+        }
+        self.report.batches += 1;
+        self.report.shard_tasks += ranges.len() as u64;
+        self.report.sim_time_s += batch_sim;
+        PoolBatch {
+            results,
+            profiles,
+            corruption_detected: corruption,
+            injected_faults: injected,
+            fallback_shards,
+            undetected_shards,
+        }
+    }
+
+    /// Joins the device threads and assembles the final report.
+    pub(crate) fn shutdown(mut self) -> PoolReport {
+        self.shared.closed.store(true, Ordering::SeqCst);
+        for q in &self.shared.queues {
+            q.close();
+        }
+        {
+            let mut seq = self
+                .shared
+                .work_seq
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *seq += 1;
+        }
+        self.shared.work.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let mut report = std::mem::take(&mut self.report);
+        for (d, stat) in self.shared.stats.iter().enumerate() {
+            let mut dr = stat.lock().unwrap_or_else(PoisonError::into_inner).clone();
+            let b = self.shared.breakers[d]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            dr.breaker_trips = b.trips;
+            dr.breaker_resets = b.resets;
+            dr.plan_cache = self.caches[d].stats;
+            report.stolen_tasks += dr.stolen;
+            report.devices.push(dr);
+        }
+        report
+    }
+}
+
+/// Device-thread main loop: drain the own queue, steal when idle,
+/// park when the pool is quiet, exit when closed and fully drained.
+fn device_loop(me: usize, shared: &Arc<Shared>) {
+    let n = shared.queues.len();
+    loop {
+        if let Some(task) = shared.queues[me].try_pop() {
+            run_task(task, me, false, shared);
+            continue;
+        }
+        // Deterministic steal scan: ring-wise from the next device.
+        let mut stole = false;
+        for off in 1..n {
+            let victim = (me + off) % n;
+            if let Some(task) = shared.queues[victim].try_pop() {
+                run_task(task, me, true, shared);
+                stole = true;
+                break;
+            }
+        }
+        if stole {
+            continue;
+        }
+        if shared.closed.load(Ordering::SeqCst) {
+            // Queues are closed: nothing new arrives, and the scans
+            // above found them all empty.
+            return;
+        }
+        // Park until the coordinator enqueues more work (with a
+        // timeout so a lost wakeup only costs latency, not liveness).
+        let seq = shared
+            .work_seq
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let before = *seq;
+        let mut seq = seq;
+        while *seq == before && !shared.closed.load(Ordering::SeqCst) {
+            let (g, timeout) = shared
+                .work
+                .wait_timeout(seq, std::time::Duration::from_millis(5))
+                .unwrap_or_else(PoisonError::into_inner);
+            seq = g;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+    }
+}
+
+/// Executes one shard task on behalf of its owner device and posts the
+/// outcome to the batch merge. `me` is the executing thread's device
+/// index; `stolen` says it differs from the owner.
+fn run_task(task: ShardTask, me: usize, stolen: bool, shared: &Shared) {
+    let policy = &shared.policy;
+    let outcome = if policy.cpu_only {
+        ShardOutcome {
+            results: executor::execute_cpu(
+                &task.plan,
+                &task.targets,
+                task.h,
+                &task.weights,
+                &policy.cpu,
+            ),
+            profile: None,
+            fallback: false,
+            corruption: 0,
+            injected: 0,
+        }
+    } else {
+        run_gpu_shard(&task, shared)
+    };
+    {
+        let mut mine = shared.stats[me]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        mine.executed += 1;
+        if stolen {
+            mine.stolen += 1;
+        }
+    }
+    {
+        let mut owner = shared.stats[task.owner]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if outcome.fallback {
+            owner.cpu_fallbacks += 1;
+        } else if outcome.profile.is_some() {
+            owner.gpu_shards += 1;
+        }
+        owner.corruption_detected += outcome.corruption;
+        owner.injected_faults += outcome.injected;
+        if let Some(p) = &outcome.profile {
+            owner.transfer_bytes += p.transfer_bytes();
+            owner.transfer_time_s += p.transfer_time_s();
+            owner.busy_time_s += p.total_time_s();
+        }
+    }
+    task.merge.complete(task.slot, outcome);
+}
+
+/// One GPU shard attempt: per-column results, the shard's pipeline
+/// profile and the ABFT report when the verified path ran.
+type GpuAttempt =
+    Result<(Vec<Vec<f32>>, PipelineProfile, Option<VerifyReport>), ks_gpu_sim::LaunchError>;
+
+/// The per-shard resilience ladder: (verified) GPU on the owner's
+/// device, else the bit-exact CPU fused path; every failure is
+/// recorded on the owner's breaker only.
+fn run_gpu_shard(task: &ShardTask, shared: &Shared) -> ShardOutcome {
+    let policy = &shared.policy;
+    let allowed = shared.breakers[task.owner]
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .allow(task.batch_idx);
+    let cpu_shard = |fallback: bool, corruption: u64, injected: u64, profile| ShardOutcome {
+        results: executor::execute_cpu(
+            &task.plan,
+            &task.targets,
+            task.h,
+            &task.weights,
+            &policy.cpu,
+        ),
+        profile,
+        fallback,
+        corruption,
+        injected,
+    };
+    if !allowed {
+        return cpu_shard(true, 0, 0, None);
+    }
+    // Decorrelate the fault schedule per (batch, shard): a fresh
+    // device restarts the launch-epoch counter, so without the reseed
+    // every shard of every batch would redraw identical faults.
+    let mut dev_cfg = task.device.clone();
+    if let Some(f) = &mut dev_cfg.fault {
+        f.seed ^= splitmix64(task.batch_idx ^ ((task.slot as u64) << 48));
+    }
+    let mut dev = GpuDevice::new(dev_cfg);
+    let attempt: GpuAttempt = if policy.verify {
+        executor::execute_gpu_verified(
+            &mut dev,
+            &task.plan,
+            &task.targets,
+            task.h,
+            &task.weights,
+            task.warm,
+        )
+        .map(|(r, p, v)| (r, p, Some(v)))
+    } else {
+        executor::execute_gpu(
+            &mut dev,
+            &task.plan,
+            &task.targets,
+            task.h,
+            &task.weights,
+            task.warm,
+        )
+        .map(|(r, p)| (r, p, None))
+    };
+    match attempt {
+        Ok((results, mut prof, verify)) => {
+            let injected = injected_data_faults(&prof);
+            attach_transfers(&mut prof, task);
+            if verify
+                .as_ref()
+                .is_some_and(VerifyReport::corruption_detected)
+            {
+                // Surfaced corruption: discard the shard result, fail
+                // the owner's breaker, recover bit-exactly on the CPU.
+                // The attempt's profile is kept — its transfers and
+                // kernel time were spent.
+                shared.breakers[task.owner]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .record_failure(task.batch_idx);
+                return cpu_shard(true, 1, injected, Some(prof));
+            }
+            shared.breakers[task.owner]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .record_success();
+            ShardOutcome {
+                results,
+                profile: Some(prof),
+                fallback: false,
+                corruption: 0,
+                injected,
+            }
+        }
+        Err(_) => {
+            shared.breakers[task.owner]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .record_failure(task.batch_idx);
+            cpu_shard(true, 0, 0, None)
+        }
+    }
+}
+
+/// Charges the shard's host↔device traffic to its pipeline profile:
+/// `A`-pack + norms upload on a cold placement, `B`/`W` uploads and
+/// the `V` download always (logical payload sizes; padding is
+/// device-side).
+fn attach_transfers(prof: &mut PipelineProfile, task: &ShardTask) {
+    const F32: u64 = 4;
+    let (rows, k) = task.plan.dims();
+    let n = task.targets.len();
+    let r = task.weights.len();
+    let ic = &task.interconnect;
+    if !task.warm {
+        prof.transfers.push(estimate_transfer(
+            ic,
+            "shard A+norms",
+            (rows * k + rows) as u64 * F32,
+        ));
+    }
+    prof.transfers
+        .push(estimate_transfer(ic, "targets B", (n * k) as u64 * F32));
+    prof.transfers
+        .push(estimate_transfer(ic, "weights W", (n * r) as u64 * F32));
+    prof.transfers
+        .push(estimate_transfer(ic, "result V", (rows * r) as u64 * F32));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_core::plan::SourceSet;
+    use ks_core::problem::PointSet;
+
+    #[test]
+    fn homogeneous_pool_config_sizes_sanely() {
+        let cfg = PoolConfig::homogeneous(4, DeviceConfig::gtx970(), Interconnect::pcie3_x16());
+        assert_eq!(cfg.devices.len(), 4);
+        assert_eq!(cfg.queue_capacity, 8);
+        assert_eq!(cfg.shard_align, SHARD_ALIGN);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_device_pool_is_rejected() {
+        let _ = PoolConfig::homogeneous(0, DeviceConfig::gtx970(), Interconnect::nvlink());
+    }
+
+    #[test]
+    fn shard_plan_cache_is_lru_and_offset_keyed() {
+        let pts = PointSet::uniform_cube(8, 3, 7);
+        let full = SourcePlan::build(&pts);
+        let source = PlanKey::new(&SourceSet::new(pts), 1.0);
+        let mut cache = ShardPlanCache::new(2);
+        let k0 = ShardKey {
+            plan: source,
+            row0: 0,
+        };
+        let k4 = ShardKey {
+            plan: source,
+            row0: 4,
+        };
+        // Equal-length shards at different offsets are distinct keys.
+        let (_, hit) = cache.get_or_slice(k0, &full, 0..4);
+        assert!(!hit);
+        let (_, hit) = cache.get_or_slice(k4, &full, 4..8);
+        assert!(!hit, "same length, different offset: no aliasing");
+        let (p, hit) = cache.get_or_slice(k0, &full, 0..4);
+        assert!(hit);
+        assert_eq!(p.dims(), (4, 3));
+        assert_eq!(cache.stats.evictions, 0);
+    }
+
+    #[test]
+    fn transfer_charges_scale_with_shard_and_warmth() {
+        let pts = PointSet::uniform_cube(256, 4, 3);
+        let full = SourcePlan::build(&pts);
+        let targets = Arc::new(PointSet::uniform_cube(32, 4, 4));
+        let weights = Arc::new(vec![vec![1.0f32; 32]; 2]);
+        let mk = |warm: bool| ShardTask {
+            plan: Arc::new(full.shard(0..128)),
+            targets: Arc::clone(&targets),
+            h: 1.0,
+            weights: Arc::clone(&weights),
+            warm,
+            owner: 0,
+            device: DeviceConfig::gtx970(),
+            interconnect: Interconnect::pcie3_x16(),
+            batch_idx: 0,
+            slot: 0,
+            merge: Arc::new(BatchMerge::new(1)),
+        };
+        let mut cold = PipelineProfile::new("t");
+        attach_transfers(&mut cold, &mk(false));
+        let mut warm = PipelineProfile::new("t");
+        attach_transfers(&mut warm, &mk(true));
+        assert_eq!(cold.transfers.len(), 4, "A+norms, B, W, V");
+        assert_eq!(warm.transfers.len(), 3, "warm placement skips A");
+        let a_bytes = (128 * 4 + 128) * 4;
+        assert_eq!(
+            cold.transfer_bytes() - warm.transfer_bytes(),
+            a_bytes,
+            "the cold surcharge is exactly the shard's A-pack + norms"
+        );
+        assert!(cold.transfer_time_s() > warm.transfer_time_s());
+    }
+}

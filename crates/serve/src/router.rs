@@ -1,0 +1,73 @@
+//! Shard placement policy for the device pool.
+//!
+//! The router decides which device owns each shard task. Placement is
+//! **load-aware** (fewest queued tasks wins) but **cache-first**: a
+//! device whose shard-plan cache already holds this `(plan, shard)` is
+//! preferred over any cold device regardless of load, because a warm
+//! placement skips both the `norms(A)` kernel launch and the shard's
+//! `A`-pack upload over the interconnect — the pool-level analogue of
+//! the paper's intra-kernel reuse argument.
+//!
+//! Ties break to the lowest device index, so placement is a pure
+//! deterministic function of `(warm, depth)`: replaying a workload
+//! replays the exact shard→device assignment, which the differential
+//! suite relies on.
+
+/// Picks the device for one shard task.
+///
+/// `warm[d]` says whether device `d` has the shard's plan resident;
+/// `depth[d]` is its current queue depth (queued plus already placed
+/// this batch). Warm devices are preferred; within a class the
+/// shallowest queue wins; ties go to the lowest index.
+///
+/// # Panics
+/// Panics if the slices are empty or disagree in length.
+#[must_use]
+pub fn place(warm: &[bool], depth: &[usize]) -> usize {
+    assert!(!warm.is_empty(), "placement over an empty pool");
+    assert_eq!(warm.len(), depth.len(), "warm/depth length mismatch");
+    let best_in = |class: &mut dyn Iterator<Item = usize>| -> Option<usize> {
+        class.min_by_key(|&d| (depth[d], d))
+    };
+    best_in(&mut (0..warm.len()).filter(|&d| warm[d]))
+        .or_else(|| best_in(&mut (0..warm.len())))
+        .expect("non-empty pool")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_pool_balances_by_depth_with_index_tiebreak() {
+        assert_eq!(place(&[false; 4], &[0, 0, 0, 0]), 0, "tie → lowest");
+        assert_eq!(place(&[false; 4], &[1, 0, 0, 0]), 1);
+        assert_eq!(place(&[false; 4], &[1, 1, 0, 0]), 2);
+        assert_eq!(place(&[false; 4], &[2, 1, 3, 1]), 1);
+    }
+
+    #[test]
+    fn warm_device_wins_even_when_deeper() {
+        assert_eq!(
+            place(&[false, false, true, false], &[0, 0, 5, 0]),
+            2,
+            "cache residency beats load"
+        );
+        // Among several warm devices, load decides again.
+        assert_eq!(place(&[true, false, true, false], &[3, 0, 1, 0]), 2);
+        assert_eq!(place(&[true, true, false, false], &[2, 2, 0, 0]), 0);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let warm = [false, true, false];
+        let depth = [1, 4, 1];
+        assert_eq!(place(&warm, &depth), place(&warm, &depth));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pool")]
+    fn rejects_empty_pool() {
+        let _ = place(&[], &[]);
+    }
+}

@@ -22,7 +22,6 @@
 //! cascades: a panicked worker is drained into explicit
 //! [`ServeError::Internal`] completions at shutdown.
 
-use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -38,6 +37,7 @@ use ks_gpu_sim::profiler::PipelineProfile;
 
 use crate::cache::{PlanCache, PlanCacheStats, PlanKey};
 use crate::executor::{self, MAX_GPU_BATCH};
+use crate::pool::{DevicePool, PoolConfig, PoolReport};
 use crate::queue::BoundedQueue;
 
 /// One kernel-summation request: evaluate the Gaussian sum over
@@ -233,7 +233,7 @@ impl Default for ResilienceConfig {
 
 /// SplitMix64: the jitter/decorrelation hash. Full-avalanche, so
 /// nearby (batch, attempt) pairs give unrelated draws.
-fn splitmix64(x: u64) -> u64 {
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -290,6 +290,11 @@ pub struct ServeConfig {
     /// [`Server::resume`]. Gives tests deterministic batch
     /// composition.
     pub start_paused: bool,
+    /// Shard every batch across a pool of simulated devices instead
+    /// of the single [`ServeConfig::device`]. Results stay
+    /// bit-identical to single-device serving (row-wise sharding is an
+    /// exact partition); `None` serves unpooled.
+    pub pool: Option<PoolConfig>,
 }
 
 impl Default for ServeConfig {
@@ -307,6 +312,7 @@ impl Default for ServeConfig {
             resilience: ResilienceConfig::default(),
             batch_delay: None,
             start_paused: false,
+            pool: None,
         }
     }
 }
@@ -372,8 +378,11 @@ pub struct ServeReport {
     pub plan_cache: PlanCacheStats,
     /// Deepest queue occupancy observed (≤ configured capacity).
     pub queue_high_water: usize,
-    /// One pipeline profile per GPU batch, in execution order.
+    /// One pipeline profile per GPU batch, in execution order (per
+    /// GPU shard when pooled).
     pub profiles: Vec<PipelineProfile>,
+    /// Per-device pool accounting; `Some` iff serving was pooled.
+    pub pool: Option<PoolReport>,
 }
 
 impl ServeReport {
@@ -399,19 +408,27 @@ impl ServeReport {
         let mut merged = PipelineProfile::new(FUSED_MULTI_PIPELINE);
         for p in &self.profiles {
             merged.kernels.extend(p.kernels.iter().cloned());
+            merged.transfers.extend(p.transfers.iter().cloned());
         }
         merged
     }
 }
 
 /// Grouping key for coalescing: corpus identity, bit-exact bandwidth,
-/// and target-set identity (the `Arc` pointer — shared targets are
-/// shared allocations by construction).
+/// and a **content fingerprint** of the target set. Keying targets on
+/// the `Arc` pointer looks attractive but is wrong two ways: equal
+/// target sets in separate allocations never coalesce (a missed
+/// batching opportunity every multi-client workload hits), and a
+/// freed-then-reused allocation address could collide queries with
+/// *different* targets into one batch. The fingerprint hashes the
+/// coordinate bits; grouping additionally verifies equality against
+/// the group's prototype, so a hash collision can only split a batch,
+/// never corrupt one.
 #[derive(PartialEq, Eq, Hash, Clone, Copy)]
 struct BatchKey {
     source: u64,
     h_bits: u32,
-    targets: usize,
+    targets: u64,
 }
 
 impl BatchKey {
@@ -419,9 +436,32 @@ impl BatchKey {
         Self {
             source: q.sources.id().raw(),
             h_bits: q.h.to_bits(),
-            targets: Arc::as_ptr(&q.targets) as usize,
+            targets: fingerprint_targets(&q.targets),
         }
     }
+}
+
+/// Order-sensitive [`splitmix64`] chain over a target set's shape and
+/// coordinate bits.
+fn fingerprint_targets(t: &PointSet) -> u64 {
+    let mut acc = splitmix64(t.len() as u64 ^ ((t.dim() as u64) << 32));
+    for &c in t.coords() {
+        acc = splitmix64(acc ^ u64::from(c.to_bits()));
+    }
+    acc
+}
+
+/// Bit-exact target-set equality (pointer fast path). The slow path
+/// only runs on a fingerprint match, i.e. almost always on genuinely
+/// equal sets.
+fn same_targets(a: &Arc<PointSet>, b: &Arc<PointSet>) -> bool {
+    Arc::ptr_eq(a, b)
+        || (a.len() == b.len()
+            && a.dim() == b.dim()
+            && a.coords()
+                .iter()
+                .zip(b.coords())
+                .all(|(x, y)| x.to_bits() == y.to_bits()))
 }
 
 struct Gate {
@@ -450,6 +490,7 @@ struct WorkerStats {
     internal_errors: u64,
     plan_cache: PlanCacheStats,
     profiles: Vec<PipelineProfile>,
+    pool: Option<PoolReport>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -464,17 +505,17 @@ enum BreakerState {
 /// it open; open batches skip the GPU rungs entirely (straight to the
 /// CPU safe harbor); after `cooldown` batches one half-open probe is
 /// admitted — success closes the breaker, failure re-opens it.
-struct Breaker {
+pub(crate) struct Breaker {
     threshold: u32,
     cooldown: u64,
     state: BreakerState,
     consecutive_failures: u32,
-    trips: u64,
-    resets: u64,
+    pub(crate) trips: u64,
+    pub(crate) resets: u64,
 }
 
 impl Breaker {
-    fn new(rc: &ResilienceConfig) -> Self {
+    pub(crate) fn new(rc: &ResilienceConfig) -> Self {
         Self {
             threshold: rc.breaker_threshold.max(1),
             cooldown: rc.breaker_cooldown,
@@ -486,7 +527,7 @@ impl Breaker {
     }
 
     /// May batch `batch_idx` attempt the GPU rungs?
-    fn allow(&mut self, batch_idx: u64) -> bool {
+    pub(crate) fn allow(&mut self, batch_idx: u64) -> bool {
         match self.state {
             BreakerState::Closed | BreakerState::HalfOpen => true,
             BreakerState::Open { since_batch } => {
@@ -500,7 +541,7 @@ impl Breaker {
         }
     }
 
-    fn record_success(&mut self) {
+    pub(crate) fn record_success(&mut self) {
         if self.state == BreakerState::HalfOpen {
             self.resets += 1;
         }
@@ -508,8 +549,11 @@ impl Breaker {
         self.consecutive_failures = 0;
     }
 
-    fn record_failure(&mut self, batch_idx: u64) {
-        self.consecutive_failures += 1;
+    pub(crate) fn record_failure(&mut self, batch_idx: u64) {
+        // Saturate: a permanently sick device on a long run would
+        // otherwise overflow the counter (a panic in debug, a silent
+        // breaker close at the wrap in release).
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
         let reopen = self.state == BreakerState::HalfOpen;
         if reopen || self.consecutive_failures >= self.threshold {
             if !matches!(self.state, BreakerState::Open { .. }) {
@@ -668,6 +712,7 @@ impl Server {
             plan_cache: w.plan_cache,
             queue_high_water: self.queue.high_water(),
             profiles: w.profiles,
+            pool: w.pool,
         }
     }
 
@@ -697,6 +742,10 @@ fn worker_loop(
     let mut cache = PlanCache::new(cfg.plan_cache_capacity.max(1));
     let mut breaker = Breaker::new(&cfg.resilience);
     let mut injected = 0u64;
+    let mut pool = cfg
+        .pool
+        .as_ref()
+        .map(|p| DevicePool::start(p, cfg.backend, &cfg.resilience, cfg.cpu));
     loop {
         {
             let mut paused = gate.paused.lock().unwrap_or_else(PoisonError::into_inner);
@@ -720,16 +769,19 @@ fn worker_loop(
             }
         }
         // Group by (corpus, h, targets), preserving arrival order
-        // within each group.
-        let mut order: Vec<BatchKey> = Vec::new();
-        let mut groups: HashMap<BatchKey, Vec<(Query, Ticket)>> = HashMap::new();
+        // across and within groups. Groups are a Vec, not a map: the
+        // wave is small, and membership needs the prototype-equality
+        // check (fingerprints alone could collide).
+        let mut groups: Vec<(BatchKey, Vec<(Query, Ticket)>)> = Vec::new();
         for (q, t) in wave {
             let key = BatchKey::of(&q);
-            groups.entry(key).or_insert_with(|| {
-                order.push(key);
-                Vec::new()
-            });
-            groups.get_mut(&key).expect("just inserted").push((q, t));
+            match groups
+                .iter_mut()
+                .find(|(k, g)| *k == key && same_targets(&g[0].0.targets, &q.targets))
+            {
+                Some((_, g)) => g.push((q, t)),
+                None => groups.push((key, vec![(q, t)])),
+            }
         }
         let max_batch = match cfg.backend {
             ServeBackend::CpuFused => cfg.max_batch,
@@ -737,13 +789,13 @@ fn worker_loop(
                 cfg.max_batch.min(MAX_GPU_BATCH)
             }
         };
-        for key in order {
-            let group = groups.remove(&key).expect("grouped above");
+        for (_, group) in groups {
             for chunk in group.chunks(max_batch) {
                 execute_chunk(
                     cfg,
                     chunk,
                     &mut cache,
+                    &mut pool,
                     &mut breaker,
                     &mut injected,
                     &mut stats,
@@ -754,13 +806,16 @@ fn worker_loop(
     stats.plan_cache = cache.stats();
     stats.breaker_trips = breaker.trips;
     stats.breaker_resets = breaker.resets;
+    stats.pool = pool.map(DevicePool::shutdown);
     stats
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_chunk(
     cfg: &ServeConfig,
     chunk: &[(Query, Ticket)],
     cache: &mut PlanCache,
+    pool: &mut Option<DevicePool>,
     breaker: &mut Breaker,
     injected: &mut u64,
     stats: &mut WorkerStats,
@@ -789,7 +844,9 @@ fn execute_chunk(
         (Arc::new(SourcePlan::build(proto.sources.points())), false)
     };
     let weights: Vec<Vec<f32>> = live.iter().map(|(q, _)| q.weights.clone()).collect();
-    let outcome = run_batch(cfg, &plan, proto, &weights, hit, breaker, injected, stats);
+    let outcome = run_batch(
+        cfg, &plan, proto, &weights, hit, pool, breaker, injected, stats,
+    );
     if let Some(delay) = cfg.batch_delay {
         std::thread::sleep(delay);
     }
@@ -864,10 +921,29 @@ fn run_batch(
     proto: &Query,
     weights: &[Vec<f32>],
     hit: bool,
+    pool: &mut Option<DevicePool>,
     breaker: &mut Breaker,
     injected: &mut u64,
     stats: &mut WorkerStats,
 ) -> Result<(Vec<Vec<f32>>, bool), ServeError> {
+    // Pooled serving: shard the batch across the devices. The pool
+    // ladder never fails a batch (sick shards recover on the CPU), so
+    // a pooled batch is always exactly one attempt; per-device
+    // warmth/fallback/breaker accounting lives in the pool report.
+    if let Some(pool) = pool {
+        let _ = (hit, breaker, injected);
+        stats.attempts += 1;
+        let out = pool.run_batch(plan, proto, weights, stats.batches);
+        stats.corruption_detected += out.corruption_detected;
+        stats.injected_faults += out.injected_faults;
+        stats.undetected_injected += out.undetected_shards;
+        stats.profiles.extend(out.profiles);
+        let degraded = out.fallback_shards > 0;
+        if degraded {
+            stats.fallbacks += 1;
+        }
+        return Ok((out.results, degraded));
+    }
     match cfg.backend {
         ServeBackend::CpuFused => {
             stats.attempts += 1;
@@ -911,7 +987,7 @@ fn run_batch(
 
 /// Injected data-fault events recorded in a completed GPU profile
 /// (launch faults never produce a profile).
-fn injected_data_faults(prof: &PipelineProfile) -> u64 {
+pub(crate) fn injected_data_faults(prof: &PipelineProfile) -> u64 {
     prof.kernels
         .iter()
         .map(|k| k.faults.smem_flips + k.faults.reg_flips + k.faults.dram_flips)
@@ -1231,6 +1307,69 @@ mod tests {
             backoff_delay(&other, 3, 2),
             "seed moves the jitter"
         );
+    }
+
+    #[test]
+    fn equal_but_separately_allocated_targets_coalesce() {
+        // Regression: keying targets on the Arc pointer split these
+        // into two launches (and could alias a recycled allocation).
+        let sources = SourceSet::new(PointSet::uniform_cube(32, 4, 41));
+        let t1 = Arc::new(PointSet::uniform_cube(16, 4, 42));
+        let t2 = Arc::new(PointSet::uniform_cube(16, 4, 42));
+        assert!(!Arc::ptr_eq(&t1, &t2), "distinct allocations");
+        let mut cfg = cpu_config();
+        cfg.start_paused = true;
+        let mut srv = Server::start(cfg);
+        let Submit::Accepted(a) = srv.submit(query(&sources, &t1, 43)) else {
+            panic!("must accept");
+        };
+        let Submit::Accepted(b) = srv.submit(query(&sources, &t2, 44)) else {
+            panic!("must accept");
+        };
+        srv.resume();
+        assert!(a.wait().is_ok());
+        assert!(b.wait().is_ok());
+        let report = srv.shutdown();
+        assert_eq!(report.batches, 1, "equal targets coalesce into one launch");
+        assert_eq!(report.batched_queries, 2);
+    }
+
+    #[test]
+    fn different_targets_with_colliding_shape_do_not_coalesce() {
+        let sources = SourceSet::new(PointSet::uniform_cube(32, 4, 51));
+        let t1 = Arc::new(PointSet::uniform_cube(16, 4, 52));
+        let t2 = Arc::new(PointSet::uniform_cube(16, 4, 53));
+        let mut cfg = cpu_config();
+        cfg.start_paused = true;
+        let mut srv = Server::start(cfg);
+        let (Submit::Accepted(a), Submit::Accepted(b)) = (
+            srv.submit(query(&sources, &t1, 54)),
+            srv.submit(query(&sources, &t2, 55)),
+        ) else {
+            panic!("must accept");
+        };
+        srv.resume();
+        assert!(a.wait().is_ok() && b.wait().is_ok());
+        let report = srv.shutdown();
+        assert_eq!(report.batches, 2, "different coordinates stay separate");
+    }
+
+    #[test]
+    fn breaker_failure_count_saturates_instead_of_overflowing() {
+        let rc = ResilienceConfig {
+            breaker_threshold: u32::MAX,
+            breaker_cooldown: 1,
+            ..ResilienceConfig::default()
+        };
+        let mut b = Breaker::new(&rc);
+        b.consecutive_failures = u32::MAX - 1;
+        b.record_failure(0);
+        assert_eq!(b.consecutive_failures, u32::MAX);
+        assert_eq!(b.trips, 1, "at threshold: trips");
+        // The next failure must not wrap to 0 (which would silently
+        // restart the count and, in debug builds, panic first).
+        b.record_failure(1);
+        assert_eq!(b.consecutive_failures, u32::MAX, "saturates at the top");
     }
 
     #[test]

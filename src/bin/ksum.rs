@@ -5,7 +5,7 @@
 //! ksum profile     --m 16384 --n 1024 --k 32 --variant fused
 //! ksum compare     --m 8192 --n 1024 --k 64
 //! ksum lint        [--out findings.txt]
-//! ksum serve-bench [--smoke] [--clients C] [--queries Q] [--json PATH]
+//! ksum serve-bench [--smoke] [--clients C] [--queries Q] [--devices N] [--json PATH]
 //! ```
 //!
 //! Argument errors (unknown command, flag, backend or variant, or a
@@ -20,10 +20,11 @@ use kernel_summation::core::gpu::{profile_gpu, try_profile_gpu_on, try_solve_gpu
 use kernel_summation::core::Backend;
 use kernel_summation::gpu_sim::config::DeviceConfig;
 use kernel_summation::gpu_sim::report::summary;
+use kernel_summation::gpu_sim::Interconnect;
 use kernel_summation::gpu_sim::{FaultSpec, GpuDevice};
 use kernel_summation::prelude::*;
 use kernel_summation::serve::{
-    run_workload, smoke_workload, ServeBackend, ServeConfig, WorkloadConfig,
+    run_workload, smoke_workload, PoolConfig, ServeBackend, ServeConfig, WorkloadConfig,
 };
 
 const USAGE: &str = "usage: ksum [--threads N] [--faults SPEC] <command> [flags]
@@ -44,9 +45,12 @@ const USAGE: &str = "usage: ksum [--threads N] [--faults SPEC] <command> [flags]
   serve-bench  [--smoke] [--clients C] [--queries Q] [--corpora R]
                [--shared-ratio F] [--large-ratio F] [--m M] [--n N]
                [--k K] [--h H] [--seed S] [--queue DEPTH] [--wave W]
-               [--no-cache]
+               [--no-cache] [--devices N]
                [--backend cpu-fused|gpu-fused|gpu-resilient]
-               [--json PATH]";
+               [--json PATH]
+               (--devices N shards every batch row-wise over a pool of
+                N simulated devices on PCIe 3.0 x16 links; results stay
+                bit-identical to single-device serving)";
 
 /// A usage error: printed to stderr with the usage text, exit code 2.
 struct UsageError(String);
@@ -312,6 +316,7 @@ fn cmd_serve_bench(rest: &[String], fault: Option<FaultSpec>) -> Result<ExitCode
         ..ServeConfig::default()
     };
     let mut json: Option<String> = None;
+    let mut devices: usize = 0;
     let mut it = rest.iter().peekable();
     while let Some(flag) = it.next() {
         // Bare switches first; everything else takes a value.
@@ -341,6 +346,12 @@ fn cmd_serve_bench(rest: &[String], fault: Option<FaultSpec>) -> Result<ExitCode
             "--h" => wl.h = parse_value(flag, val)?,
             "--seed" => wl.seed = parse_value(flag, val)?,
             "--queue" => cfg.queue_capacity = parse_value(flag, val)?,
+            "--devices" => {
+                devices = parse_value(flag, val)?;
+                if devices == 0 {
+                    return Err(UsageError("--devices needs at least 1 device".into()));
+                }
+            }
             "--wave" => cfg.wave = parse_value(flag, val)?,
             "--backend" => {
                 cfg.backend = match val.as_str() {
@@ -358,9 +369,29 @@ fn cmd_serve_bench(rest: &[String], fault: Option<FaultSpec>) -> Result<ExitCode
             other => return Err(UsageError(format!("unknown flag {other}"))),
         }
     }
+    if devices > 0 {
+        // Pool devices clone the final serve device, so the global
+        // --faults spec (if any) applies to every pool member.
+        cfg.pool = Some(PoolConfig::homogeneous(
+            devices,
+            cfg.device.clone(),
+            Interconnect::pcie3_x16(),
+        ));
+    }
     println!(
-        "serve-bench: {} clients x {} queries, {} corpora, shared ratio {}, M={} N={} K={}",
-        wl.clients, wl.queries_per_client, wl.corpora, wl.shared_ratio, wl.m, wl.n, wl.k
+        "serve-bench: {} clients x {} queries, {} corpora, shared ratio {}, M={} N={} K={}{}",
+        wl.clients,
+        wl.queries_per_client,
+        wl.corpora,
+        wl.shared_ratio,
+        wl.m,
+        wl.n,
+        wl.k,
+        if devices > 0 {
+            format!(", {devices}-device pool")
+        } else {
+            String::new()
+        }
     );
     let device = cfg.device.clone();
     let t = Instant::now();
@@ -408,6 +439,32 @@ fn cmd_serve_bench(rest: &[String], fault: Option<FaultSpec>) -> Result<ExitCode
             report.breaker_trips,
             report.breaker_resets,
         );
+    }
+    if let Some(pool) = &report.pool {
+        println!(
+            "pool: {} devices | {} shard tasks ({} stolen) | sim time {:.3} ms | \
+             {} CPU shard recoveries | breaker trips {}",
+            pool.devices.len(),
+            pool.shard_tasks,
+            pool.stolen_tasks,
+            pool.sim_time_s * 1e3,
+            pool.total_fallbacks(),
+            pool.total_trips(),
+        );
+        for d in &pool.devices {
+            println!(
+                "  {}: {} executed ({} stolen), {} gpu / {} cpu shards, \
+                 shard cache {} hits / {} misses, {} B transferred",
+                d.name,
+                d.executed,
+                d.stolen,
+                d.gpu_shards,
+                d.cpu_fallbacks,
+                d.plan_cache.hits,
+                d.plan_cache.misses,
+                d.transfer_bytes,
+            );
+        }
     }
     let metrics = ServeMetrics::collect(&report, &device);
     if let Some(gpu) = &metrics.gpu {
