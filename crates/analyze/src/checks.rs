@@ -74,6 +74,7 @@ pub fn shared_races(kernel: &str, t: &BlockTrace) -> Vec<Finding> {
             kernel: kernel.to_string(),
             kind: FindingKind::SharedRace,
             block: Some(t.block),
+            count: 1,
             detail: format!(
                 "write-write: {ww_count} shared word(s) written by multiple warps in one epoch; \
                  e.g. word {word} in epoch {epoch} written by warps {}",
@@ -86,6 +87,7 @@ pub fn shared_races(kernel: &str, t: &BlockTrace) -> Vec<Finding> {
             kernel: kernel.to_string(),
             kind: FindingKind::SharedRace,
             block: Some(t.block),
+            count: 1,
             detail: format!(
                 "read-write: {rw_count} shared word(s) read and written by different warps in one \
                  epoch; e.g. word {word} in epoch {epoch}: writers {}, unordered readers {}",
@@ -123,6 +125,7 @@ pub fn bank_conflicts(kernel: &str, t: &BlockTrace, budget: u32, num_banks: u32)
             kernel: kernel.to_string(),
             kind: FindingKind::BankConflict,
             block: Some(t.block),
+            count: 1,
             detail: format!(
                 "{violations} access phase(s) over the declared budget of {budget}; worst is \
                  {}-way extra conflict (warp {}, epoch {})",
@@ -143,6 +146,7 @@ pub fn barrier_divergence(kernel: &str, t: &BlockTrace, warps_per_block: u64) ->
                 kernel: kernel.to_string(),
                 kind: FindingKind::BarrierDivergence,
                 block: Some(t.block),
+                count: 1,
                 detail: format!(
                     "barrier #{seq} (closing epoch {}) reached by {} of {warps_per_block} warps",
                     b.epoch, b.warps
@@ -199,6 +203,7 @@ pub fn global_bounds(kernel: &str, t: &BlockTrace, budget: &AnalysisBudget) -> V
         kernel: kernel.to_string(),
         kind: FindingKind::OutOfBounds,
         block: Some(t.block),
+        count: 1,
         detail: format!("{total} violation(s); first: {}", violations[0]),
     }]
 }
@@ -217,6 +222,7 @@ pub fn buffer_overlap(kernel: &str, budget: &AnalysisBudget) -> Vec<Finding> {
                     kernel: kernel.to_string(),
                     kind: FindingKind::BufferOverlap,
                     block: None,
+                    count: 1,
                     detail: format!(
                         "roles '{}' and '{}' alias one allocation and at least one writes",
                         x.label, y.label
@@ -245,6 +251,7 @@ pub fn occupancy_budget(dev: &DeviceConfig, kernel: &dyn Kernel) -> Vec<Finding>
                 kernel: kernel.name(),
                 kind: FindingKind::OccupancyMismatch,
                 block: None,
+                count: 1,
                 detail: format!(
                     "expected {expected} block(s)/SM on {}, achieved {}",
                     dev.name, occ.blocks_per_sm
@@ -258,6 +265,7 @@ pub fn occupancy_budget(dev: &DeviceConfig, kernel: &dyn Kernel) -> Vec<Finding>
                 kernel: kernel.name(),
                 kind: FindingKind::OccupancyMismatch,
                 block: None,
+                count: 1,
                 detail: format!(
                     "expected occupancy limiter {expected:?}, computed {:?}",
                     occ.limiter

@@ -1,0 +1,314 @@
+//! Differential validation: every static verdict cross-checked
+//! against the dynamic machinery it claims to replace.
+//!
+//! The static pass (`crate::static_`) derives bank-conflict degrees,
+//! launch-total DRAM sectors, and barrier shapes from declared
+//! [`ks_gpu_sim::access::AccessSpec`]s alone. Specs are claims, so
+//! this module replays each probe the *old* way and demands exact
+//! agreement:
+//!
+//! * **Sectors** — the whole grid is replayed through a Full-mode
+//!   [`TrafficSink`] (no L1s; L2 sector counters are cache-state
+//!   independent) and the launch totals must equal the static
+//!   prediction **exactly**, counter by counter.
+//! * **Bank conflicts** — each traced block's shared accesses are
+//!   expanded phase-by-phase into a conflict-degree histogram, which
+//!   must equal the spec-derived histogram **exactly** (the Fig. 5
+//!   numbers — fused 0, naive layout 3 — fall out of this).
+//! * **Barriers** — each traced block's barrier count and per-barrier
+//!   warp count must match the declared
+//!   [`ks_gpu_sim::access::BarrierSpec`].
+//!
+//! Kernels the static pass downgrades (no spec / non-affine) are
+//! reported as `n/a` rather than silently passing — the agreement
+//! table shows exactly which kernels are proved and which are merely
+//! replayed.
+
+use ks_gpu_sim::buffer::GlobalMem;
+use ks_gpu_sim::cache::Cache;
+use ks_gpu_sim::config::DeviceConfig;
+use ks_gpu_sim::kernel::Kernel;
+use ks_gpu_sim::profiler::Counters;
+use ks_gpu_sim::smem::conflict_degree;
+use ks_gpu_sim::traffic::TrafficSink;
+
+use crate::runner::{self, MAX_TRACED_BLOCKS};
+use crate::static_::{analyze_spec, LintMode, SectorPrediction};
+
+/// Agreement record for one probe.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ProbeAgreement {
+    /// Probe registry name.
+    pub probe: String,
+    /// How the static pass handled the kernel.
+    pub mode: LintMode,
+    /// Static launch-total sector prediction (`None` when downgraded).
+    pub static_sectors: Option<SectorPrediction>,
+    /// Replayed launch-total sectors (ground truth).
+    pub replay_sectors: SectorPrediction,
+    /// Static == replay, counter by counter.
+    pub sectors_agree: bool,
+    /// Spec-derived conflict-degree histogram == per-block trace
+    /// histogram for every traced block.
+    pub conflicts_agree: bool,
+    /// Declared barrier count/warps == every traced block's barriers.
+    pub barriers_agree: bool,
+    /// Human-readable mismatch details (empty when all agree).
+    pub notes: Vec<String>,
+}
+
+impl ProbeAgreement {
+    /// True when every applicable cross-check passed.
+    #[must_use]
+    pub fn agrees(&self) -> bool {
+        self.sectors_agree && self.conflicts_agree && self.barriers_agree
+    }
+}
+
+/// Agreement records for a whole registry.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct AgreementReport {
+    /// One record per probe, in registry order.
+    pub probes: Vec<ProbeAgreement>,
+}
+
+impl AgreementReport {
+    /// True when every probe's static verdicts match the replay.
+    #[must_use]
+    pub fn all_agree(&self) -> bool {
+        self.probes.iter().all(ProbeAgreement::agrees)
+    }
+
+    /// Probes whose static verdicts disagreed with the replay.
+    #[must_use]
+    pub fn disagreements(&self) -> Vec<&ProbeAgreement> {
+        self.probes.iter().filter(|p| !p.agrees()).collect()
+    }
+
+    /// Machine-readable export (pretty-printed JSON), for the CI
+    /// agreement artifact.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("agreement report serialises")
+    }
+
+    /// Renders the agreement matrix as an aligned text table.
+    #[must_use]
+    pub fn table(&self) -> String {
+        let mark = |applicable: bool, ok: bool| match (applicable, ok) {
+            (false, _) => "n/a",
+            (true, true) => "ok",
+            (true, false) => "MISMATCH",
+        };
+        let rows: Vec<[String; 5]> = self
+            .probes
+            .iter()
+            .map(|p| {
+                let is_static = p.mode.is_static();
+                [
+                    p.probe.clone(),
+                    if is_static { "static" } else { "dynamic" }.to_string(),
+                    mark(is_static, p.sectors_agree).to_string(),
+                    mark(is_static, p.conflicts_agree).to_string(),
+                    mark(is_static, p.barriers_agree).to_string(),
+                ]
+            })
+            .collect();
+        let header = ["PROBE", "MODE", "SECTORS", "CONFLICTS", "BARRIERS"];
+        let width = |c: usize| {
+            rows.iter()
+                .map(|r| r[c].len())
+                .chain(std::iter::once(header[c].len()))
+                .max()
+                .unwrap_or(0)
+        };
+        let w: Vec<usize> = (0..5).map(width).collect();
+        let fmt_row = |r: [&str; 5]| {
+            format!(
+                "{:<a$}  {:<b$}  {:<c$}  {:<d$}  {:<e$}\n",
+                r[0],
+                r[1],
+                r[2],
+                r[3],
+                r[4],
+                a = w[0],
+                b = w[1],
+                c = w[2],
+                d = w[3],
+                e = w[4]
+            )
+        };
+        let mut out = fmt_row([header[0], header[1], header[2], header[3], header[4]]);
+        for r in &rows {
+            out.push_str(&fmt_row([&r[0], &r[1], &r[2], &r[3], &r[4]]));
+        }
+        for p in self.disagreements() {
+            for n in &p.notes {
+                out.push_str(&format!("  {}: {}\n", p.probe, n));
+            }
+        }
+        out
+    }
+}
+
+/// Replays every block of the launch through a Full-mode traffic sink
+/// and returns the accumulated counters. Sector counters are
+/// independent of L2 cache state (they count sectors *reaching* L2,
+/// not misses), so this is exact ground truth for the static
+/// prediction.
+#[must_use]
+pub fn replay_counters(kernel: &dyn Kernel, mem: &GlobalMem) -> Counters {
+    let lc = kernel.launch_config();
+    let mut l2 = Cache::new(64 * 1024, 16, 32);
+    let mut sink = TrafficSink::new(mem, &mut l2, 32, 32);
+    for block in lc.grid.iter_indices() {
+        sink.begin_block(block.linear_in(lc.grid));
+        kernel.block_traffic(block, &mut sink);
+    }
+    sink.counters
+}
+
+fn not_applicable(name: &str, reason: &str, replay_sectors: SectorPrediction) -> ProbeAgreement {
+    ProbeAgreement {
+        probe: name.to_string(),
+        mode: LintMode::Dynamic(reason.to_string()),
+        static_sectors: None,
+        replay_sectors,
+        sectors_agree: true,
+        conflicts_agree: true,
+        barriers_agree: true,
+        notes: vec!["static pass not applicable (downgraded)".into()],
+    }
+}
+
+/// Cross-checks one kernel's static verdicts against replay + traces.
+#[must_use]
+pub fn validate_probe(
+    dev: &DeviceConfig,
+    name: &str,
+    kernel: &dyn Kernel,
+    mem: &GlobalMem,
+) -> ProbeAgreement {
+    let counters = replay_counters(kernel, mem);
+    let replay_sectors = SectorPrediction {
+        read_sectors: counters.l2_read_sectors,
+        write_sectors: counters.l2_write_sectors,
+        atomic_sectors: counters.atomic_sectors,
+    };
+
+    let spec = match kernel.access_spec() {
+        Some(s) if s.is_affine() => s,
+        Some(_) => {
+            return not_applicable(name, "non-affine (indirect) access pattern", replay_sectors)
+        }
+        None => return not_applicable(name, "no access spec declared", replay_sectors),
+    };
+
+    let mut notes = Vec::new();
+
+    // The sector prediction drops allocation bases; that is exact only
+    // because every base is sector-aligned. Verify the precondition
+    // instead of assuming it.
+    for g in &spec.global {
+        let base = mem.addr_of(g.buf, 0);
+        if !base.is_multiple_of(32) {
+            notes.push(format!(
+                "buffer '{}' base {base} not sector-aligned; prediction unsound",
+                g.label
+            ));
+        }
+    }
+
+    let (_, ks) = analyze_spec(dev, kernel, &spec);
+    let static_sectors = ks.predicted;
+    let mut sectors_agree = notes.is_empty();
+    if static_sectors != Some(replay_sectors) {
+        sectors_agree = false;
+        notes.push(format!(
+            "sectors: static {static_sectors:?} vs replay {replay_sectors:?}"
+        ));
+    }
+
+    let mut conflicts_agree = true;
+    let mut barriers_agree = true;
+    let traces = runner::record_traces(kernel, mem, MAX_TRACED_BLOCKS);
+    for t in &traces {
+        let mut hist = vec![0u64; ks.conflict_hist.len()];
+        for a in &t.shared {
+            for j in 0..a.vlen {
+                let phase: [Option<u32>; 32] = std::array::from_fn(|l| a.words[l].map(|w| w + j));
+                hist[conflict_degree(&phase, 32) as usize] += 1;
+            }
+        }
+        if hist != ks.conflict_hist {
+            conflicts_agree = false;
+            let diff: Vec<String> = hist
+                .iter()
+                .zip(&ks.conflict_hist)
+                .enumerate()
+                .filter(|(_, (a, b))| a != b)
+                .map(|(d, (a, b))| format!("degree {d}: trace {a} vs static {b}"))
+                .collect();
+            notes.push(format!(
+                "conflict histogram mismatch in block {}: {}",
+                t.block,
+                diff.join(", ")
+            ));
+        }
+        match spec.barriers {
+            Some(b) => {
+                if t.barriers.len() as u64 != b.count {
+                    barriers_agree = false;
+                    notes.push(format!(
+                        "block {}: {} barrier(s) traced, spec declares {}",
+                        t.block,
+                        t.barriers.len(),
+                        b.count
+                    ));
+                }
+                if let Some(e) = t.barriers.iter().find(|e| e.warps != b.warps) {
+                    barriers_agree = false;
+                    notes.push(format!(
+                        "block {}: barrier reached by {} warp(s), spec declares {}",
+                        t.block, e.warps, b.warps
+                    ));
+                }
+            }
+            None => {
+                if !t.barriers.is_empty() {
+                    barriers_agree = false;
+                    notes.push(format!(
+                        "block {}: {} barrier(s) traced, spec declares none",
+                        t.block,
+                        t.barriers.len()
+                    ));
+                }
+            }
+        }
+    }
+
+    ProbeAgreement {
+        probe: name.to_string(),
+        mode: LintMode::Static,
+        static_sectors,
+        replay_sectors,
+        sectors_agree,
+        conflicts_agree,
+        barriers_agree,
+        notes,
+    }
+}
+
+/// Runs the differential validation over the whole shipped-probe
+/// registry plus the lint fixtures.
+#[must_use]
+pub fn differential_report(dev: &DeviceConfig) -> AgreementReport {
+    let mut probes = runner::shipped_probes();
+    probes.extend(crate::fixtures::fixture_probes());
+    AgreementReport {
+        probes: probes
+            .iter()
+            .map(|p| validate_probe(dev, p.name, p.kernel.as_ref(), &p.mem))
+            .collect(),
+    }
+}

@@ -11,11 +11,15 @@
 //!   layout pathology Fig. 5's swizzle exists to prevent: 16-way bank
 //!   conflicts against a declared budget of zero.
 
-use ks_gpu_sim::buffer::BufId;
+use ks_gpu_sim::access::{affine_lanes, AccessSpec, GlobalPattern, SharedPattern};
+use ks_gpu_sim::buffer::{BufId, GlobalMem};
 use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
-use ks_gpu_sim::kernel::{Kernel, KernelResources, VecWidth};
+use ks_gpu_sim::kernel::{AnalysisBudget, BufferUse, Kernel, KernelResources, VecWidth};
+use ks_gpu_sim::trace::AccessDir;
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
+
+use crate::runner::Probe;
 
 use ks_gpu_kernels::gemm_engine::{self, GemmOperands, GemmShape, Microtile, SmemMap};
 use ks_gpu_kernels::layout::SmemLayout;
@@ -207,4 +211,232 @@ impl Kernel for Stride16Kernel {
     fn block_traffic(&self, block: Dim3, sink: &mut TrafficSink) {
         self.body(block, &mut TrafficMachine::new(sink));
     }
+
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let mut spec = AccessSpec::default();
+        for w in 0..8u32 {
+            spec.global.push(
+                GlobalPattern::new(
+                    self.buf,
+                    "data",
+                    AccessDir::Read,
+                    VecWidth::V1,
+                    affine_lanes(|l| i64::from(w) * 32 + l as i64),
+                )
+                .with_bx(2048),
+            );
+            let words: [Option<u32>; 32] = std::array::from_fn(|l| Some(w * 512 + 16 * l as u32));
+            spec.shared
+                .push(SharedPattern::new(words, VecWidth::V1, AccessDir::Write));
+            spec.shared
+                .push(SharedPattern::new(words, VecWidth::V1, AccessDir::Read));
+        }
+        Some(spec)
+    }
+}
+
+/// A kernel whose access pattern provably escapes its declared buffer
+/// extent: each block reads 256 contiguous elements, but the declared
+/// [`BufferUse`] extent is 64 elements short of what the grid covers.
+/// Both the static bounds proof (index hull vs extent) and the dynamic
+/// trace check (observed indices vs extent) must flag it.
+pub struct OverrunKernel {
+    buf: BufId,
+    n: usize,
+}
+
+impl OverrunKernel {
+    /// Creates the fixture over a buffer of `n` elements (a multiple
+    /// of 256, at least 512 so the overrunning block is traced).
+    #[must_use]
+    pub fn new(buf: BufId, n: usize) -> Self {
+        assert!(n >= 512 && n.is_multiple_of(256), "need a multi-block grid");
+        Self { buf, n }
+    }
+
+    fn body<M: WarpMachine>(&self, block: Dim3, mach: &mut M) {
+        for w in 0..8usize {
+            mach.begin_warp(w as u32);
+            let idx: WarpIdx = std::array::from_fn(|l| Some(block.x as usize * 256 + w * 32 + l));
+            let _ = mach.ld_global(self.buf, &idx, VecWidth::V1);
+        }
+    }
+}
+
+impl Kernel for OverrunKernel {
+    fn name(&self) -> String {
+        "overrun_reader".to_string()
+    }
+
+    fn launch_config(&self) -> LaunchConfig {
+        LaunchConfig::new((self.n / 256) as u32, 256u32)
+    }
+
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            threads_per_block: 256,
+            regs_per_thread: 16,
+            smem_bytes_per_block: 0,
+        }
+    }
+
+    fn analysis_budget(&self) -> AnalysisBudget {
+        AnalysisBudget {
+            buffers: vec![BufferUse {
+                buf: self.buf,
+                len: self.n - 64,
+                writes: false,
+                label: "data",
+            }],
+            ..AnalysisBudget::default()
+        }
+    }
+
+    fn execute_block(&self, block: Dim3, ctx: &mut BlockCtx) {
+        self.body(block, &mut FunctionalMachine::new(ctx));
+    }
+
+    fn block_traffic(&self, block: Dim3, sink: &mut TrafficSink) {
+        self.body(block, &mut TrafficMachine::new(sink));
+    }
+
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let mut spec = AccessSpec::default();
+        for w in 0..8usize {
+            spec.global.push(
+                GlobalPattern::new(
+                    self.buf,
+                    "data",
+                    AccessDir::Read,
+                    VecWidth::V1,
+                    affine_lanes(|l| (w * 32 + l) as i64),
+                )
+                .with_bx(256),
+            );
+        }
+        Some(spec)
+    }
+}
+
+/// Static-only fixture with a genuinely data-dependent gather (a
+/// modular permutation the affine IR cannot express). Its spec
+/// honestly marks the pattern [`GlobalPattern::indirect`], which must
+/// force the analyzer's downgrade to the dynamic lint — never a
+/// silent static pass.
+pub struct IndirectGatherKernel {
+    buf: BufId,
+    n: usize,
+}
+
+impl IndirectGatherKernel {
+    /// Creates the fixture over a buffer of `n >= 256` elements.
+    #[must_use]
+    pub fn new(buf: BufId, n: usize) -> Self {
+        assert!(n >= 256, "need one element per thread");
+        Self { buf, n }
+    }
+
+    fn body<M: WarpMachine>(&self, block: Dim3, mach: &mut M) {
+        for w in 0..4usize {
+            mach.begin_warp(w as u32);
+            // In-bounds but non-affine: a stride-37 modular walk.
+            let idx: WarpIdx = std::array::from_fn(|l| {
+                Some((block.x as usize * 128 + (w * 32 + l) * 37) % self.n)
+            });
+            let _ = mach.ld_global(self.buf, &idx, VecWidth::V1);
+        }
+    }
+}
+
+impl Kernel for IndirectGatherKernel {
+    fn name(&self) -> String {
+        "indirect_gather".to_string()
+    }
+
+    fn launch_config(&self) -> LaunchConfig {
+        LaunchConfig::new(2u32, 128u32)
+    }
+
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            threads_per_block: 128,
+            regs_per_thread: 16,
+            smem_bytes_per_block: 0,
+        }
+    }
+
+    fn analysis_budget(&self) -> AnalysisBudget {
+        AnalysisBudget {
+            buffers: vec![BufferUse {
+                buf: self.buf,
+                len: self.n,
+                writes: false,
+                label: "data",
+            }],
+            ..AnalysisBudget::default()
+        }
+    }
+
+    fn execute_block(&self, block: Dim3, ctx: &mut BlockCtx) {
+        self.body(block, &mut FunctionalMachine::new(ctx));
+    }
+
+    fn block_traffic(&self, block: Dim3, sink: &mut TrafficSink) {
+        self.body(block, &mut TrafficMachine::new(sink));
+    }
+
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let mut spec = AccessSpec::default();
+        // The lane values here are placeholders; `indirect` tells the
+        // analyzer not to trust them.
+        spec.global.push(
+            GlobalPattern::new(
+                self.buf,
+                "data",
+                AccessDir::Read,
+                VecWidth::V1,
+                affine_lanes(|l| l as i64),
+            )
+            .into_indirect(),
+        );
+        Some(spec)
+    }
+}
+
+/// The fixture registry: deliberately broken (or deliberately
+/// unprovable) kernels on probe-sized problems, in the same [`Probe`]
+/// shape as [`crate::runner::shipped_probes`]. CI lints these
+/// expecting findings — a detector that has only ever seen clean
+/// kernels proves nothing.
+#[must_use]
+pub fn fixture_probes() -> Vec<Probe> {
+    let mut probes = Vec::new();
+    {
+        let mut mem = GlobalMem::new();
+        let buf = mem.alloc_virtual(4096);
+        probes.push(Probe {
+            name: "fixture_stride16",
+            mem,
+            kernel: Box::new(Stride16Kernel::new(buf, 4096)),
+        });
+    }
+    {
+        let mut mem = GlobalMem::new();
+        let buf = mem.alloc_virtual(512);
+        probes.push(Probe {
+            name: "fixture_overrun",
+            mem,
+            kernel: Box::new(OverrunKernel::new(buf, 512)),
+        });
+    }
+    {
+        let mut mem = GlobalMem::new();
+        let buf = mem.alloc_virtual(1024);
+        probes.push(Probe {
+            name: "fixture_indirect",
+            mem,
+            kernel: Box::new(IndirectGatherKernel::new(buf, 1024)),
+        });
+    }
+    probes
 }

@@ -36,9 +36,12 @@
 #![warn(missing_docs)]
 
 pub mod checks;
+pub mod differential;
 pub mod fixtures;
 pub mod report;
 pub mod runner;
+pub mod static_;
 
 pub use report::{Finding, FindingKind, Report};
 pub use runner::{lint_kernel, lint_report, record_traces, shipped_probes, Probe};
+pub use static_::{lint_kernel_hybrid, lint_report_static, KernelStatic, LintMode, StaticOutcome};

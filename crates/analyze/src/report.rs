@@ -1,9 +1,10 @@
 //! Findings and the lint report.
 
+use std::collections::HashMap;
 use std::fmt;
 
 /// What kind of invariant a finding violates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
 pub enum FindingKind {
     /// Two warps touch the same shared word in the same barrier epoch
     /// and at least one of them writes.
@@ -40,7 +41,7 @@ impl fmt::Display for FindingKind {
 }
 
 /// One lint violation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Finding {
     /// Kernel the finding is about.
     pub kernel: String,
@@ -49,8 +50,23 @@ pub struct Finding {
     /// Linear block index the violation was observed in (`None` for
     /// whole-kernel checks like occupancy).
     pub block: Option<u64>,
+    /// How many identical occurrences (same kernel, kind, and detail,
+    /// blocks aside) this finding stands for after [`Report::dedup`].
+    pub count: usize,
     /// Human-readable description.
     pub detail: String,
+}
+
+impl Finding {
+    /// The detail, suffixed with the occurrence count when this
+    /// finding stands for more than one.
+    fn detail_with_count(&self) -> String {
+        if self.count > 1 {
+            format!("{} (x{})", self.detail, self.count)
+        } else {
+            self.detail.clone()
+        }
+    }
 }
 
 impl fmt::Display for Finding {
@@ -59,15 +75,24 @@ impl fmt::Display for Finding {
             Some(b) => write!(
                 f,
                 "{}: [{}] block {}: {}",
-                self.kernel, self.kind, b, self.detail
+                self.kernel,
+                self.kind,
+                b,
+                self.detail_with_count()
             ),
-            None => write!(f, "{}: [{}] {}", self.kernel, self.kind, self.detail),
+            None => write!(
+                f,
+                "{}: [{}] {}",
+                self.kernel,
+                self.kind,
+                self.detail_with_count()
+            ),
         }
     }
 }
 
 /// The result of linting one kernel (or, merged, a whole registry).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, serde::Serialize)]
 pub struct Report {
     /// All violations found.
     pub findings: Vec<Finding>,
@@ -94,6 +119,41 @@ impl Report {
         self.findings.iter().filter(|f| f.kind == kind).collect()
     }
 
+    /// Keeps only findings about `kernel` (and its entry in
+    /// `checked`). Backs the CLI `--kernel` filter.
+    pub fn retain_kernel(&mut self, kernel: &str) {
+        self.findings.retain(|f| f.kernel == kernel);
+        self.checked.retain(|c| c == kernel);
+    }
+
+    /// Collapses findings that are identical up to the block index —
+    /// same (kernel, kind, detail) — into the first occurrence, with
+    /// `count` accumulating how many it stands for. A registry lint
+    /// that trips the same check in every traced block then reports
+    /// it once instead of [`crate::runner::MAX_TRACED_BLOCKS`] times.
+    pub fn dedup(&mut self) {
+        let mut index: HashMap<(String, FindingKind, String), usize> = HashMap::new();
+        let mut out: Vec<Finding> = Vec::with_capacity(self.findings.len());
+        for f in self.findings.drain(..) {
+            let key = (f.kernel.clone(), f.kind, f.detail.clone());
+            match index.get(&key) {
+                Some(&i) => out[i].count += f.count.max(1),
+                None => {
+                    index.insert(key, out.len());
+                    out.push(f);
+                }
+            }
+        }
+        self.findings = out;
+    }
+
+    /// Machine-readable findings export (pretty-printed JSON), for
+    /// `ksum lint --json` and CI artifacts.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
     /// Renders the findings as an aligned text table (one row per
     /// finding; a summary line when clean).
     #[must_use]
@@ -117,7 +177,7 @@ impl Report {
                     f.kernel.clone(),
                     f.kind.to_string(),
                     f.block.map_or_else(|| "-".to_string(), |b| b.to_string()),
-                    f.detail.clone(),
+                    f.detail_with_count(),
                 ]
             })
             .collect();
@@ -158,6 +218,7 @@ mod tests {
             kernel: "k".into(),
             kind,
             block: Some(0),
+            count: 1,
             detail: "d".into(),
         }
     }

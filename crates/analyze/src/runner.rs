@@ -317,6 +317,9 @@ pub fn lint_report(dev: &DeviceConfig) -> Report {
         }
         report.merge(r);
     }
+    // The registry trips the same (kernel, check, detail) once per
+    // traced block; report each once with an occurrence count.
+    report.dedup();
     report
 }
 

@@ -1,0 +1,124 @@
+//! Differential validation of the static analyzer: every
+//! spec-derived verdict must agree exactly with trace replay, and the
+//! paper's Fig. 5 invariants must be reproduced with zero execution.
+
+use ks_analyze::differential::{differential_report, validate_probe};
+use ks_analyze::fixtures::fixture_probes;
+use ks_analyze::static_::{lint_kernel_hybrid, lint_report_static, LintMode};
+use ks_analyze::{shipped_probes, FindingKind};
+use ks_gpu_sim::config::DeviceConfig;
+
+/// Every probe in the registry (and every fixture) whose spec is
+/// affine must agree with the replay on sectors, conflict histograms,
+/// and barriers — exactly, not approximately.
+#[test]
+fn differential_agreement_is_exact() {
+    let dev = DeviceConfig::gtx970();
+    let report = differential_report(&dev);
+    assert!(
+        report.all_agree(),
+        "static/dynamic disagreement:\n{}",
+        report.table()
+    );
+    // The registry itself must be statically provable: no shipped
+    // kernel may silently ride on the dynamic fallback.
+    let static_probes = report.probes.iter().filter(|p| p.mode.is_static()).count();
+    let shipped = shipped_probes().len();
+    assert!(
+        static_probes >= shipped,
+        "only {static_probes} of {shipped} shipped probes proved statically"
+    );
+}
+
+/// The Fig. 5 shared-memory budgets, proved with zero trace replay:
+/// swizzled fused layout 0-conflict, naive row-major layout 3-way.
+#[test]
+fn fig5_conflict_degrees_proved_statically() {
+    let dev = DeviceConfig::gtx970();
+    let outcome = lint_report_static(&dev);
+    let degree = |name: &str| {
+        let k = outcome
+            .kernels
+            .iter()
+            .find(|k| k.kernel == name)
+            .unwrap_or_else(|| panic!("probe {name} missing"));
+        assert!(k.mode.is_static(), "{name} was downgraded");
+        k.max_conflict_degree
+    };
+    assert_eq!(degree("fused"), 0, "swizzled layout must be conflict-free");
+    assert_eq!(degree("fused_naive_layout"), 3, "naive layout is 3-way");
+    // And the shipped registry lints clean statically.
+    assert!(
+        outcome.report.is_clean(),
+        "static findings on shipped kernels:\n{}",
+        outcome.report.table()
+    );
+}
+
+/// The fixtures prove the static detectors fire: the stride-16 layout
+/// trips the bank-conflict proof, the overrun kernel trips the bounds
+/// proof, and the indirect kernel is downgraded (never silently
+/// passed).
+#[test]
+fn fixtures_flagged_statically() {
+    let dev = DeviceConfig::gtx970();
+    let probes = fixture_probes();
+    let by_name = |n: &str| probes.iter().find(|p| p.name == n).unwrap();
+
+    let p = by_name("fixture_stride16");
+    let (report, summary) = lint_kernel_hybrid(&dev, p.kernel.as_ref(), &p.mem);
+    assert!(summary.mode.is_static());
+    assert_eq!(summary.max_conflict_degree, 15, "stride-16 is 16-way");
+    assert!(
+        !report.of_kind(FindingKind::BankConflict).is_empty(),
+        "static bank-conflict proof must fire"
+    );
+
+    let p = by_name("fixture_overrun");
+    let (report, summary) = lint_kernel_hybrid(&dev, p.kernel.as_ref(), &p.mem);
+    assert!(summary.mode.is_static());
+    assert!(
+        !report.of_kind(FindingKind::OutOfBounds).is_empty(),
+        "static bounds proof must fire"
+    );
+    // The dynamic lint agrees on the same kernel.
+    let dynamic = ks_analyze::lint_kernel(&dev, p.kernel.as_ref(), &p.mem);
+    assert!(!dynamic.of_kind(FindingKind::OutOfBounds).is_empty());
+
+    let p = by_name("fixture_indirect");
+    let (report, summary) = lint_kernel_hybrid(&dev, p.kernel.as_ref(), &p.mem);
+    match &summary.mode {
+        LintMode::Dynamic(reason) => assert!(
+            reason.contains("non-affine"),
+            "downgrade reason should name the cause, got: {reason}"
+        ),
+        LintMode::Static => panic!("indirect kernel must not be statically proved"),
+    }
+    assert!(summary.predicted.is_none(), "no prediction when downgraded");
+    assert!(report.is_clean(), "the gather itself is in bounds");
+    // The differential validator marks it not-applicable, not agreeing
+    // by accident.
+    let agreement = validate_probe(&dev, p.name, p.kernel.as_ref(), &p.mem);
+    assert!(!agreement.mode.is_static());
+}
+
+/// Occupancy expectations ride along unchanged in static mode: the
+/// fused kernel still proves 2 blocks/SM on the reference device.
+#[test]
+fn occupancy_checked_in_static_mode() {
+    let dev = DeviceConfig::gtx970();
+    let probes = shipped_probes();
+    let fused = probes.iter().find(|p| p.name == "fused").unwrap();
+    let (report, summary) = lint_kernel_hybrid(&dev, fused.kernel.as_ref(), &fused.mem);
+    assert!(summary.mode.is_static());
+    assert!(report.is_clean(), "{}", report.table());
+    // Break the device so the expectation fails: fewer registers per
+    // SM halves the achievable blocks.
+    let mut small = DeviceConfig::gtx970();
+    small.regs_per_sm /= 2;
+    let (report, _) = lint_kernel_hybrid(&small, fused.kernel.as_ref(), &fused.mem);
+    assert!(
+        !report.of_kind(FindingKind::OccupancyMismatch).is_empty(),
+        "occupancy mismatch must surface statically"
+    );
+}

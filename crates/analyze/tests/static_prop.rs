@@ -1,0 +1,188 @@
+//! Property tests of the static analyzer: on randomized strided
+//! synthetic kernels the spec-derived verdicts must match the dynamic
+//! machinery exactly — conflict degrees against trace replay, and
+//! DRAM-sector predictions against full traffic replay.
+
+use ks_analyze::differential::replay_counters;
+use ks_analyze::record_traces;
+use ks_analyze::static_::pattern_sectors;
+use ks_gpu_sim::access::{affine_lanes, AccessSpec, GlobalPattern, SharedPattern};
+use ks_gpu_sim::buffer::{BufId, GlobalMem};
+use ks_gpu_sim::dim::{Dim3, LaunchConfig};
+use ks_gpu_sim::exec::BlockCtx;
+use ks_gpu_sim::kernel::{Kernel, KernelResources, VecWidth};
+use ks_gpu_sim::smem::conflict_degree;
+use ks_gpu_sim::trace::AccessDir;
+use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
+use proptest::prelude::*;
+
+/// Index headroom so negative block/loop steps never take the actual
+/// (usize) index below zero.
+const BASE: usize = 8192;
+const BUF_LEN: usize = 1 << 16;
+
+/// A synthetic two-warp kernel whose global traffic is one strided,
+/// looped pattern per warp and whose shared traffic is one strided
+/// store per warp — with an `access_spec` that mirrors the traffic
+/// exactly. Randomizing its parameters sweeps coalescing regimes
+/// (broadcast, unit stride, scattered), sector-straddling offsets,
+/// negative loop steps, and every conflict degree.
+#[derive(Debug, Clone)]
+struct StridedProbe {
+    buf: BufId,
+    lane_stride: usize,
+    vlen: VecWidth,
+    grid_x: u32,
+    bx_step: i64,
+    loop_trip: u64,
+    loop_step: i64,
+    smem_stride: u32,
+}
+
+impl StridedProbe {
+    fn lane_idx(&self, w: usize, l: usize) -> i64 {
+        (BASE + w * 512 + l * self.lane_stride) as i64
+    }
+
+    fn body(&self, block: Dim3, mut issue: impl FnMut(u32, WarpIdx, [Option<u32>; 32])) {
+        for w in 0..2usize {
+            for i in 0..self.loop_trip {
+                let idx: WarpIdx = std::array::from_fn(|l| {
+                    let v = self.lane_idx(w, l)
+                        + i64::from(block.x) * self.bx_step
+                        + i as i64 * self.loop_step;
+                    Some(usize::try_from(v).expect("index stays non-negative"))
+                });
+                let words: [Option<u32>; 32] =
+                    std::array::from_fn(|l| Some(w as u32 * 2048 + l as u32 * self.smem_stride));
+                issue(w as u32, idx, words);
+            }
+        }
+    }
+}
+
+impl Kernel for StridedProbe {
+    fn name(&self) -> String {
+        "strided_probe".to_string()
+    }
+
+    fn launch_config(&self) -> LaunchConfig {
+        LaunchConfig::new(self.grid_x, 64u32)
+    }
+
+    fn resources(&self) -> KernelResources {
+        KernelResources {
+            threads_per_block: 64,
+            regs_per_thread: 16,
+            smem_bytes_per_block: 4096 * 4,
+        }
+    }
+
+    fn execute_block(&self, _block: Dim3, _ctx: &mut BlockCtx) {
+        unreachable!("traffic-only probe");
+    }
+
+    fn block_traffic(&self, block: Dim3, sink: &mut TrafficSink) {
+        self.body(block, |w, idx, words| {
+            sink.begin_warp(w);
+            sink.global_read(self.buf, &idx, self.vlen.words());
+            sink.shared_write(&words, 1);
+        });
+    }
+
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let mut spec = AccessSpec::default();
+        for w in 0..2usize {
+            spec.global.push(
+                GlobalPattern::new(
+                    self.buf,
+                    "data",
+                    AccessDir::Read,
+                    self.vlen,
+                    affine_lanes(|l| self.lane_idx(w, l)),
+                )
+                .with_bx(self.bx_step)
+                .with_loop(self.loop_trip, self.loop_step),
+            );
+            let words: [Option<u32>; 32] =
+                std::array::from_fn(|l| Some(w as u32 * 2048 + l as u32 * self.smem_stride));
+            spec.shared.push(
+                SharedPattern::new(words, VecWidth::V1, AccessDir::Write).times(self.loop_trip),
+            );
+        }
+        Some(spec)
+    }
+}
+
+fn vlen_strategy() -> impl Strategy<Value = VecWidth> {
+    prop_oneof![Just(VecWidth::V1), Just(VecWidth::V2), Just(VecWidth::V4)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Static DRAM-sector prediction equals full traffic replay —
+    /// exactly — across random strides, vector widths, block steps
+    /// (including sector-straddling and negative ones), and loops.
+    #[test]
+    fn predicted_sectors_match_replay(
+        lane_stride in 0usize..7,
+        vlen in vlen_strategy(),
+        grid_x in 1u32..5,
+        bx_step in -64i64..65,
+        loop_trip in 1u64..6,
+        loop_step in -17i64..18,
+        smem_stride in 0u32..33,
+    ) {
+        let mut mem = GlobalMem::new();
+        let buf = mem.alloc_virtual(BUF_LEN);
+        let probe = StridedProbe {
+            buf, lane_stride, vlen, grid_x, bx_step, loop_trip, loop_step, smem_stride,
+        };
+        let spec = probe.access_spec().unwrap();
+        let predicted: u64 = spec
+            .global
+            .iter()
+            .map(|g| pattern_sectors(g, u64::from(grid_x), 1).0)
+            .sum();
+        let counters = replay_counters(&probe, &mem);
+        prop_assert_eq!(predicted, counters.l2_read_sectors);
+    }
+
+    /// Static bank-conflict degree equals the dynamic `conflict_degree`
+    /// of the recorded trace, phase by phase, on randomized strides.
+    #[test]
+    fn static_conflict_degree_matches_trace(
+        lane_stride in 0usize..7,
+        grid_x in 1u32..3,
+        loop_trip in 1u64..4,
+        smem_stride in 0u32..33,
+    ) {
+        let mut mem = GlobalMem::new();
+        let buf = mem.alloc_virtual(BUF_LEN);
+        let probe = StridedProbe {
+            buf, lane_stride, vlen: VecWidth::V1, grid_x,
+            bx_step: 0, loop_trip, loop_step: 0, smem_stride,
+        };
+        let spec = probe.access_spec().unwrap();
+        let static_degrees: Vec<u32> = spec
+            .shared
+            .iter()
+            .map(|s| conflict_degree(&s.lanes, 32))
+            .collect();
+        for t in record_traces(&probe, &mem, 4) {
+            let traced: Vec<u32> = t
+                .shared
+                .iter()
+                .map(|a| conflict_degree(&a.words, 32))
+                .collect();
+            // Spec: one pattern per warp, `loop_trip` issues each.
+            // Trace: `loop_trip` consecutive accesses per warp.
+            let expanded: Vec<u32> = static_degrees
+                .iter()
+                .flat_map(|&d| std::iter::repeat_n(d, spec.shared[0].issues as usize))
+                .collect();
+            prop_assert_eq!(&traced, &expanded);
+        }
+    }
+}

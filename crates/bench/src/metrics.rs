@@ -226,6 +226,14 @@ pub struct ServeMetrics {
     pub plan_cache_evictions: u64,
     /// Plan-cache hit rate over batch lookups.
     pub plan_cache_hit_rate: f64,
+    /// Static-admission analyses run (one per distinct launch
+    /// geometry; warm shapes hit the memo instead).
+    pub static_admission_checks: u64,
+    /// Static-admission verdicts served from the memo.
+    pub static_admission_hits: u64,
+    /// Batches denied the GPU by a static proof and served on the
+    /// CPU path.
+    pub static_admission_rejects: u64,
     /// Deepest queue occupancy observed.
     pub queue_high_water: u64,
     /// Merged GPU pipeline metrics (all batches' kernels in execution
@@ -259,6 +267,9 @@ impl ServeMetrics {
             plan_cache_misses: report.plan_cache.misses,
             plan_cache_evictions: report.plan_cache.evictions,
             plan_cache_hit_rate: report.hit_rate(),
+            static_admission_checks: report.static_admission.checks,
+            static_admission_hits: report.static_admission.hits,
+            static_admission_rejects: report.static_admission.rejects,
             queue_high_water: report.queue_high_water as u64,
             gpu,
         }

@@ -15,6 +15,7 @@
 //! All kernels require `N % 128 == 0` (warps never straddle rows);
 //! the paper fixes `N = 1024`.
 
+use ks_gpu_sim::access::{affine_lanes, masked_lanes, AccessSpec, GlobalPattern};
 use ks_gpu_sim::buffer::BufId;
 use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
@@ -22,6 +23,7 @@ use ks_gpu_sim::kernel::VecWidth;
 use ks_gpu_sim::kernel::{
     AnalysisBudget, BlockClass, BufferUse, ExecModel, Kernel, KernelResources, TimingHints,
 };
+use ks_gpu_sim::trace::AccessDir;
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
 use crate::machine::{FunctionalMachine, TrafficMachine, WarpMachine};
@@ -161,6 +163,35 @@ impl Kernel for NormsKernel {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let mut spec = AccessSpec::default();
+        let dim = self.dim;
+        for w in 0..4usize {
+            spec.global.push(
+                GlobalPattern::new(
+                    self.points,
+                    "points",
+                    AccessDir::Read,
+                    VecWidth::V4,
+                    affine_lanes(|lane| ((w * 32 + lane) * dim) as i64),
+                )
+                .with_bx((128 * dim) as i64)
+                .with_loop(dim.div_ceil(4) as u64, 4),
+            );
+            spec.global.push(
+                GlobalPattern::new(
+                    self.out,
+                    "norms",
+                    AccessDir::Write,
+                    VecWidth::V1,
+                    affine_lanes(|lane| (w * 32 + lane) as i64),
+                )
+                .with_bx(128),
+            );
+        }
+        Some(spec)
     }
 
     fn block_class(&self, block: Dim3) -> Option<BlockClass> {
@@ -320,6 +351,60 @@ impl Kernel for EvalSumKernel {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let mut spec = AccessSpec::default();
+        let n = self.n;
+        for wp in 0..4usize {
+            let row = |lane: usize| (wp * 32 + lane) as i64;
+            spec.global.push(
+                GlobalPattern::new(
+                    self.a2,
+                    "a2",
+                    AccessDir::Read,
+                    VecWidth::V1,
+                    affine_lanes(row),
+                )
+                .with_bx(128),
+            );
+            // The uncoalesced walk: one column of 32 different rows
+            // per iteration — the Fig 2 pathology, declared as-is.
+            spec.global.push(
+                GlobalPattern::new(
+                    self.c_mat,
+                    "C",
+                    AccessDir::Read,
+                    VecWidth::V1,
+                    affine_lanes(|lane| row(lane) * n as i64),
+                )
+                .with_bx(128 * n as i64)
+                .with_loop(n as u64, 1),
+            );
+            for (buf, label) in [(self.b2, "b2"), (self.w, "W")] {
+                spec.global.push(
+                    GlobalPattern::new(
+                        buf,
+                        label,
+                        AccessDir::Read,
+                        VecWidth::V1,
+                        affine_lanes(|_| 0),
+                    )
+                    .with_loop(n as u64, 1),
+                );
+            }
+            spec.global.push(
+                GlobalPattern::new(
+                    self.v,
+                    "V",
+                    AccessDir::Write,
+                    VecWidth::V1,
+                    affine_lanes(row),
+                )
+                .with_bx(128),
+            );
+        }
+        Some(spec)
     }
 
     fn block_class(&self, block: Dim3) -> Option<BlockClass> {
@@ -512,6 +597,58 @@ impl Kernel for EvalSumCoalescedKernel {
         true
     }
 
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let mut spec = AccessSpec::default();
+        let n = self.n;
+        let strips = (n / 128) as u64;
+        for w in 0..8usize {
+            spec.global.push(
+                GlobalPattern::new(
+                    self.a2,
+                    "a2",
+                    AccessDir::Read,
+                    VecWidth::V1,
+                    affine_lanes(|_| w as i64),
+                )
+                .with_bx(8),
+            );
+            spec.global.push(
+                GlobalPattern::new(
+                    self.c_mat,
+                    "C",
+                    AccessDir::Read,
+                    VecWidth::V4,
+                    affine_lanes(|lane| (w * n + 4 * lane) as i64),
+                )
+                .with_bx(8 * n as i64)
+                .with_loop(strips, 128),
+            );
+            for (buf, label) in [(self.b2, "b2"), (self.w, "W")] {
+                spec.global.push(
+                    GlobalPattern::new(
+                        buf,
+                        label,
+                        AccessDir::Read,
+                        VecWidth::V4,
+                        affine_lanes(|lane| (4 * lane) as i64),
+                    )
+                    .with_loop(strips, 128),
+                );
+            }
+            spec.global.push(
+                GlobalPattern::new(
+                    self.v,
+                    "V",
+                    AccessDir::Write,
+                    VecWidth::V1,
+                    masked_lanes(|lane| (lane == 0).then_some(w as i64)),
+                )
+                .with_bx(8),
+            );
+        }
+        Some(spec)
+    }
+
     fn block_class(&self, block: Dim3) -> Option<BlockClass> {
         // Block x covers rows [x·8, x·8+8): C reads start at x·8·n,
         // the row norms and output at x·8 (32 bytes — exactly one
@@ -646,6 +783,65 @@ impl Kernel for EvalKernel {
         true
     }
 
+    fn access_spec(&self) -> Option<AccessSpec> {
+        // The element-linear walk (`base + 4·lane` over C/K) is always
+        // affine, but the row-norm broadcast (`base / n`) and the
+        // wrapped column index (`(base + 4·lane) mod n`) are affine in
+        // `bx` only when n divides the 1024-element block stripe — then
+        // `bx·1024` vanishes mod n and divides exactly. Otherwise the
+        // patterns are declared honestly as indirect and the analyzer
+        // falls back to the dynamic lint.
+        let n = self.n;
+        let affine = 1024 % n == 0;
+        let mut spec = AccessSpec::default();
+        for w in 0..8usize {
+            let base = w * 128;
+            let mut a2p = GlobalPattern::new(
+                self.a2,
+                "a2",
+                AccessDir::Read,
+                VecWidth::V1,
+                affine_lanes(|_| (base / n) as i64),
+            );
+            let mut b2p = GlobalPattern::new(
+                self.b2,
+                "b2",
+                AccessDir::Read,
+                VecWidth::V4,
+                affine_lanes(|lane| ((base + 4 * lane) % n) as i64),
+            );
+            if affine {
+                a2p = a2p.with_bx((1024 / n) as i64);
+            } else {
+                a2p = a2p.into_indirect();
+                b2p = b2p.into_indirect();
+            }
+            spec.global.push(a2p);
+            spec.global.push(b2p);
+            spec.global.push(
+                GlobalPattern::new(
+                    self.c_mat,
+                    "C",
+                    AccessDir::Read,
+                    VecWidth::V4,
+                    affine_lanes(|lane| (base + 4 * lane) as i64),
+                )
+                .with_bx(1024),
+            );
+            spec.global.push(
+                GlobalPattern::new(
+                    self.k_mat,
+                    "K",
+                    AccessDir::Write,
+                    VecWidth::V4,
+                    affine_lanes(|lane| (base + 4 * lane) as i64),
+                )
+                .with_bx(1024),
+            );
+        }
+        Some(spec)
+    }
+
     fn analysis_budget(&self) -> AnalysisBudget {
         AnalysisBudget {
             buffers: vec![
@@ -768,6 +964,46 @@ impl Kernel for GemvKernel {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let mut spec = AccessSpec::default();
+        let n = self.n;
+        let strips = (n / 128) as u64;
+        for w in 0..8usize {
+            spec.global.push(
+                GlobalPattern::new(
+                    self.k_mat,
+                    "K",
+                    AccessDir::Read,
+                    VecWidth::V4,
+                    affine_lanes(|lane| (w * n + 4 * lane) as i64),
+                )
+                .with_bx(8 * n as i64)
+                .with_loop(strips, 128),
+            );
+            spec.global.push(
+                GlobalPattern::new(
+                    self.w,
+                    "W",
+                    AccessDir::Read,
+                    VecWidth::V4,
+                    affine_lanes(|lane| (4 * lane) as i64),
+                )
+                .with_loop(strips, 128),
+            );
+            spec.global.push(
+                GlobalPattern::new(
+                    self.v,
+                    "V",
+                    AccessDir::Write,
+                    VecWidth::V1,
+                    masked_lanes(|lane| (lane == 0).then_some(w as i64)),
+                )
+                .with_bx(8),
+            );
+        }
+        Some(spec)
     }
 
     fn block_class(&self, block: Dim3) -> Option<BlockClass> {

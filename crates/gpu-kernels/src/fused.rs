@@ -20,6 +20,9 @@
 //! `M×N` intermediate never exists in memory. That is the paper's
 //! whole point.
 
+use ks_gpu_sim::access::{
+    affine_lanes, masked_lanes, AccessSpec, BarrierSpec, GlobalPattern, SharedPattern,
+};
 use ks_gpu_sim::buffer::BufId;
 use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
@@ -28,13 +31,15 @@ use ks_gpu_sim::kernel::{
     AnalysisBudget, BlockClass, BufferUse, ExecModel, Kernel, KernelResources, TimingHints,
 };
 use ks_gpu_sim::occupancy::OccupancyLimiter;
+use ks_gpu_sim::trace::AccessDir;
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
 use ks_gpu_sim::smem::flip_bit;
 
 use crate::aux_kernels::{gaussian, Bandwidth};
 use crate::gemm_engine::{
-    fresh_acc, gemm_block, gemm_block_verified, GemmOperands, GemmShape, Microtile, SmemMap,
+    fresh_acc, gemm_access_spec, gemm_block, gemm_block_verified, syncs_per_block, GemmOperands,
+    GemmShape, Microtile, SmemMap,
 };
 use crate::layout::SmemLayout;
 use crate::machine::{FunctionalMachine, TrafficMachine, WarpMachine};
@@ -526,6 +531,112 @@ impl Kernel for FusedKernelSummation {
         true
     }
 
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let mut spec = AccessSpec::default();
+        gemm_access_spec(
+            &mut spec,
+            &self.ops,
+            &self.shape,
+            self.layout,
+            self.double_buffer,
+            self.verify.is_some(),
+        );
+        let tiles = self.shape.k / K_TILE;
+        let t_base = SmemMap::new(self.double_buffer).a[tiles % 2];
+        // Evaluation phase: per warp, norm/weight vector loads and the
+        // eight T-park store phases (tx == 0 lanes only).
+        for wp in 0..WARPS_PER_BLOCK {
+            let row = |lane: usize| ((2 * wp + lane / THREADS_XY) * MICRO_TILE) as i64;
+            let col = |lane: usize| ((lane % THREADS_XY) * MICRO_TILE) as i64;
+            for half in 0..2i64 {
+                spec.global.push(
+                    GlobalPattern::new(
+                        self.a2,
+                        "a2",
+                        AccessDir::Read,
+                        VecWidth::V4,
+                        affine_lanes(|lane| row(lane) + 4 * half),
+                    )
+                    .with_by(BLOCK_TILE as i64),
+                );
+                for (buf, label) in [(self.b2, "b2"), (self.w, "w")] {
+                    spec.global.push(
+                        GlobalPattern::new(
+                            buf,
+                            label,
+                            AccessDir::Read,
+                            VecWidth::V4,
+                            affine_lanes(|lane| col(lane) + 4 * half),
+                        )
+                        .with_bx(BLOCK_TILE as i64),
+                    );
+                }
+            }
+            for r in 0..MICRO_TILE {
+                let words: [Option<u32>; 32] = std::array::from_fn(|lane| {
+                    (lane % THREADS_XY == 0).then_some(t_base + row(lane) as u32 + r as u32)
+                });
+                spec.shared
+                    .push(SharedPattern::new(words, VecWidth::V1, AccessDir::Write));
+            }
+        }
+        // Drain: first half of the block reads T and reduces into V.
+        for wp in 0..WARPS_PER_BLOCK / 2 {
+            let words: [Option<u32>; 32] =
+                std::array::from_fn(|lane| Some(t_base + (wp * 32 + lane) as u32));
+            spec.shared
+                .push(SharedPattern::new(words, VecWidth::V1, AccessDir::Read));
+            match self.reduction {
+                Reduction::Atomic => spec.global.push(
+                    GlobalPattern::new(
+                        self.v,
+                        "v",
+                        AccessDir::Atomic,
+                        VecWidth::V1,
+                        affine_lanes(|lane| (wp * 32 + lane) as i64),
+                    )
+                    .with_by(BLOCK_TILE as i64),
+                ),
+                Reduction::TwoPass { partials } => spec.global.push(
+                    GlobalPattern::new(
+                        partials,
+                        "partials",
+                        AccessDir::Write,
+                        VecWidth::V1,
+                        affine_lanes(|lane| (wp * 32 + lane) as i64),
+                    )
+                    .with_bx(self.shape.m as i64)
+                    .with_by(BLOCK_TILE as i64),
+                ),
+            }
+        }
+        // ABFT epilogue: lane-0 checksum and flag atomics.
+        if let Some(vb) = self.verify {
+            spec.global.push(
+                GlobalPattern::new(
+                    vb.checksum,
+                    "chk",
+                    AccessDir::Atomic,
+                    VecWidth::V1,
+                    masked_lanes(|lane| (lane == 0).then_some(0)),
+                )
+                .with_by(CHECKSUM_SLOT_WORDS as i64),
+            );
+            spec.global.push(GlobalPattern::new(
+                vb.flag,
+                "flag",
+                AccessDir::Atomic,
+                VecWidth::V1,
+                masked_lanes(|lane| (lane == 0).then_some(0)),
+            ));
+        }
+        spec.barriers = Some(BarrierSpec {
+            count: syncs_per_block(self.shape.k, self.double_buffer) + 1,
+            warps: WARPS_PER_BLOCK as u64,
+        });
+        Some(spec)
+    }
+
     fn block_class(&self, block: Dim3) -> Option<BlockClass> {
         // Every block runs the identical tile schedule; only the tile
         // origin moves. All global accesses are affine in (bx, by):
@@ -714,6 +825,34 @@ impl Kernel for ReducePartialsKernel {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let mut spec = AccessSpec::default();
+        for wp in 0..8usize {
+            spec.global.push(
+                GlobalPattern::new(
+                    self.partials,
+                    "partials",
+                    AccessDir::Read,
+                    VecWidth::V1,
+                    affine_lanes(|lane| (wp * 32 + lane) as i64),
+                )
+                .with_bx(256)
+                .with_loop(self.n_blocks_x as u64, self.m as i64),
+            );
+            spec.global.push(
+                GlobalPattern::new(
+                    self.v,
+                    "v",
+                    AccessDir::Write,
+                    VecWidth::V1,
+                    affine_lanes(|lane| (wp * 32 + lane) as i64),
+                )
+                .with_bx(256),
+            );
+        }
+        Some(spec)
     }
 
     fn block_class(&self, block: Dim3) -> Option<BlockClass> {

@@ -19,6 +19,9 @@
 //! contiguous), `V` is `M×R` column-major (each output column receives
 //! coalesced atomics).
 
+use ks_gpu_sim::access::{
+    affine_lanes, masked_lanes, AccessSpec, BarrierSpec, GlobalPattern, SharedPattern,
+};
 use ks_gpu_sim::buffer::BufId;
 use ks_gpu_sim::device::GpuDevice;
 use ks_gpu_sim::dim::{Dim3, LaunchConfig};
@@ -30,6 +33,7 @@ use ks_gpu_sim::kernel::{
 };
 use ks_gpu_sim::occupancy::OccupancyLimiter;
 use ks_gpu_sim::profiler::PipelineProfile;
+use ks_gpu_sim::trace::AccessDir;
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
 use ks_gpu_sim::smem::flip_bit;
@@ -37,7 +41,8 @@ use ks_gpu_sim::smem::flip_bit;
 use crate::aux_kernels::{gaussian, Bandwidth, NormsKernel};
 use crate::fused::{VerifyBufs, VerifyReport, CHECKSUM_SLOT_WORDS};
 use crate::gemm_engine::{
-    fresh_acc, gemm_block, gemm_block_verified, GemmOperands, GemmShape, Microtile, SmemMap,
+    fresh_acc, gemm_access_spec, gemm_block, gemm_block_verified, syncs_per_block, GemmOperands,
+    GemmShape, Microtile, SmemMap,
 };
 use crate::layout::SmemLayout;
 use crate::machine::{FunctionalMachine, TrafficMachine, WarpMachine};
@@ -401,6 +406,117 @@ impl Kernel for FusedMultiWeight {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let mut spec = AccessSpec::default();
+        gemm_access_spec(
+            &mut spec,
+            &self.ops,
+            &self.shape,
+            SmemLayout::Swizzled,
+            true,
+            self.verify.is_some(),
+        );
+        let (n, m, r) = (self.shape.n, self.shape.m, self.r);
+        let tiles = self.shape.k / K_TILE;
+        let t_off = SmemMap::new(true).a[tiles % 2];
+        for wp in 0..WARPS_PER_BLOCK {
+            let row = |lane: usize| ((2 * wp + lane / THREADS_XY) * MICRO_TILE) as i64;
+            let col = |lane: usize| ((lane % THREADS_XY) * MICRO_TILE) as i64;
+            for half in 0..2i64 {
+                spec.global.push(
+                    GlobalPattern::new(
+                        self.a2,
+                        "a2",
+                        AccessDir::Read,
+                        VecWidth::V4,
+                        affine_lanes(|lane| row(lane) + 4 * half),
+                    )
+                    .with_by(BLOCK_TILE as i64),
+                );
+                spec.global.push(
+                    GlobalPattern::new(
+                        self.b2,
+                        "b2",
+                        AccessDir::Read,
+                        VecWidth::V4,
+                        affine_lanes(|lane| col(lane) + 4 * half),
+                    )
+                    .with_bx(BLOCK_TILE as i64),
+                );
+                // Column-major weight slices: column c at offset c·N.
+                for c in 0..r {
+                    spec.global.push(
+                        GlobalPattern::new(
+                            self.w,
+                            "w",
+                            AccessDir::Read,
+                            VecWidth::V4,
+                            affine_lanes(|lane| (c * n) as i64 + col(lane) + 4 * half),
+                        )
+                        .with_bx(BLOCK_TILE as i64),
+                    );
+                }
+            }
+            for c in 0..r {
+                for row_w in 0..MICRO_TILE {
+                    let words: [Option<u32>; 32] = std::array::from_fn(|lane| {
+                        (lane % THREADS_XY == 0).then_some(
+                            t_off + (c * BLOCK_TILE) as u32 + row(lane) as u32 + row_w as u32,
+                        )
+                    });
+                    spec.shared
+                        .push(SharedPattern::new(words, VecWidth::V1, AccessDir::Write));
+                }
+            }
+        }
+        for wp in 0..WARPS_PER_BLOCK / 2 {
+            for c in 0..r {
+                let words: [Option<u32>; 32] = std::array::from_fn(|lane| {
+                    Some(t_off + (c * BLOCK_TILE + wp * 32 + lane) as u32)
+                });
+                spec.shared
+                    .push(SharedPattern::new(words, VecWidth::V1, AccessDir::Read));
+                spec.global.push(
+                    GlobalPattern::new(
+                        self.v,
+                        "v",
+                        AccessDir::Atomic,
+                        VecWidth::V1,
+                        affine_lanes(|lane| (c * m + wp * 32 + lane) as i64),
+                    )
+                    .with_by(BLOCK_TILE as i64),
+                );
+            }
+        }
+        if let Some(vb) = self.verify {
+            let gy = m / BLOCK_TILE;
+            spec.global.push(
+                GlobalPattern::new(
+                    vb.checksum,
+                    "chk",
+                    AccessDir::Atomic,
+                    VecWidth::V1,
+                    masked_lanes(|lane| {
+                        (lane < r).then_some((lane * gy * CHECKSUM_SLOT_WORDS) as i64)
+                    }),
+                )
+                .with_by(CHECKSUM_SLOT_WORDS as i64),
+            );
+            spec.global.push(GlobalPattern::new(
+                vb.flag,
+                "flag",
+                AccessDir::Atomic,
+                VecWidth::V1,
+                masked_lanes(|lane| (lane == 0).then_some(0)),
+            ));
+        }
+        spec.barriers = Some(BarrierSpec {
+            count: syncs_per_block(self.shape.k, true) + 1,
+            warps: WARPS_PER_BLOCK as u64,
+        });
+        Some(spec)
     }
 
     fn block_class(&self, block: Dim3) -> Option<BlockClass> {

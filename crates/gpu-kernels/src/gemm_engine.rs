@@ -12,8 +12,10 @@
 //! produces numerics (functional mode) and transaction counts
 //! (traffic mode).
 
+use ks_gpu_sim::access::{affine_lanes, AccessSpec, GlobalPattern, SharedPattern};
 use ks_gpu_sim::buffer::BufId;
 use ks_gpu_sim::kernel::VecWidth;
+use ks_gpu_sim::trace::AccessDir;
 use ks_gpu_sim::traffic::WarpIdx;
 
 use crate::layout::{compute_read_pairs, loader_assignment, tile_word, SmemLayout};
@@ -388,6 +390,99 @@ pub fn syncs_per_block(k: usize, double_buffer: bool) -> u64 {
         tiles // one barrier per tile (the paper's pipelined loop)
     } else {
         2 * tiles // load barrier + compute barrier
+    }
+}
+
+/// Appends the GEMM phase's declared access patterns to `spec`
+/// (see `ks_gpu_sim::access`): the per-warp tile-track global loads,
+/// the swizzled (or naive) shared stores and compute-phase loads, and
+/// — when `verified` — the ABFT audit re-reads. Mirrors exactly what
+/// [`gemm_block`] / [`gemm_block_verified`] issue per block.
+///
+/// Shared patterns use the parity-0 buffer bases: the double-buffer
+/// toggle shifts every address by a multiple of 1024 words, which is
+/// bank-invariant on 32 banks, so one canonical pattern carries the
+/// combined `tiles` issue count. Barrier counts are *not* set here
+/// ([`syncs_per_block`] gives them); callers own `spec.barriers`.
+pub fn gemm_access_spec(
+    spec: &mut AccessSpec,
+    ops: &GemmOperands,
+    shape: &GemmShape,
+    layout: SmemLayout,
+    double_buffer: bool,
+    verified: bool,
+) {
+    let k = shape.k;
+    let tiles = (k / K_TILE) as u64;
+    let smem = SmemMap::new(double_buffer);
+    // Tile loads + shared stores (load_tiles, once per k-tile).
+    for w in 0..WARPS_PER_BLOCK {
+        let (buf, label, wl, dst) = if w < 4 {
+            (ops.a, "a", w, smem.a[0])
+        } else {
+            (ops.b, "b", w - 4, smem.b[0])
+        };
+        let track = |u: usize| loader_assignment(wl, u);
+        for half in 0..2usize {
+            let mut p = GlobalPattern::new(
+                buf,
+                label,
+                AccessDir::Read,
+                VecWidth::V4,
+                affine_lanes(|u| {
+                    let (m, c) = track(u);
+                    ((m * MICRO_TILE + c) * k + half * 4) as i64
+                }),
+            )
+            .with_loop(tiles, K_TILE as i64);
+            if w < 4 {
+                p = p.with_by((BLOCK_TILE * k) as i64);
+            } else {
+                p = p.with_bx((BLOCK_TILE * k) as i64);
+            }
+            spec.global.push(p);
+        }
+        for kk in 0..K_TILE {
+            let words: [Option<u32>; 32] = std::array::from_fn(|u| {
+                let (m, c) = track(u);
+                Some(dst + tile_word(layout, m, c, kk))
+            });
+            spec.shared
+                .push(SharedPattern::new(words, VecWidth::V1, AccessDir::Write).times(tiles));
+        }
+    }
+    // Compute-phase operand loads (compute_ktile, once per k-tile).
+    for w in 0..WARPS_PER_BLOCK {
+        for kk in 0..K_TILE {
+            for j in 0..4 {
+                let a_words: [Option<u32>; 32] = std::array::from_fn(|lane| {
+                    let ty = 2 * w + lane / 16;
+                    Some(smem.a[0] + compute_read_pairs(layout, ty, kk)[j])
+                });
+                spec.shared
+                    .push(SharedPattern::new(a_words, VecWidth::V2, AccessDir::Read).times(tiles));
+                let b_words: [Option<u32>; 32] = std::array::from_fn(|lane| {
+                    let tx = lane % 16;
+                    Some(smem.b[0] + compute_read_pairs(layout, tx, kk)[j])
+                });
+                spec.shared
+                    .push(SharedPattern::new(b_words, VecWidth::V2, AccessDir::Read).times(tiles));
+            }
+        }
+    }
+    // ABFT audit re-reads (audit_pair, once per k-tile).
+    if verified {
+        for base in [smem.a[0], smem.b[0]] {
+            for w in 0..WARPS_PER_BLOCK as u32 {
+                for phase in 0..4u32 {
+                    let words: [Option<u32>; 32] =
+                        std::array::from_fn(|lane| Some(base + w * 128 + phase * 32 + lane as u32));
+                    spec.shared.push(
+                        SharedPattern::new(words, VecWidth::V1, AccessDir::Read).times(tiles),
+                    );
+                }
+            }
+        }
     }
 }
 

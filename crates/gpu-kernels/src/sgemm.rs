@@ -8,6 +8,7 @@
 //! between the two is exactly the §V-A penalty list (register-bank
 //! replays, no dual issue, heavyweight barriers). Fig 7 compares them.
 
+use ks_gpu_sim::access::{affine_lanes, AccessSpec, BarrierSpec, GlobalPattern};
 use ks_gpu_sim::buffer::BufId;
 use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
@@ -16,9 +17,13 @@ use ks_gpu_sim::kernel::{
     AnalysisBudget, BlockClass, BufferUse, ExecModel, Kernel, KernelResources, TimingHints,
 };
 use ks_gpu_sim::occupancy::OccupancyLimiter;
+use ks_gpu_sim::trace::AccessDir;
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
-use crate::gemm_engine::{fresh_acc, gemm_block, GemmOperands, GemmShape, Microtile, SmemMap};
+use crate::gemm_engine::{
+    fresh_acc, gemm_access_spec, gemm_block, syncs_per_block, GemmOperands, GemmShape, Microtile,
+    SmemMap,
+};
 use crate::layout::SmemLayout;
 use crate::machine::{FunctionalMachine, TrafficMachine, WarpMachine};
 use crate::{BLOCK_TILE, MICRO_TILE, THREADS_XY, WARPS_PER_BLOCK};
@@ -167,6 +172,46 @@ impl Kernel for CudaSgemm {
         true
     }
 
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let mut spec = AccessSpec::default();
+        gemm_access_spec(
+            &mut spec,
+            &self.ops,
+            &self.shape,
+            self.layout,
+            self.double_buffer,
+            false,
+        );
+        // Write-back: warp w stores microtile row r in two STG.128.
+        let n = self.shape.n;
+        for w in 0..WARPS_PER_BLOCK {
+            for r in 0..MICRO_TILE {
+                for half in 0..2usize {
+                    spec.global.push(
+                        GlobalPattern::new(
+                            self.c,
+                            "c",
+                            AccessDir::Write,
+                            VecWidth::V4,
+                            affine_lanes(|lane| {
+                                let tx = lane % THREADS_XY;
+                                let ty = 2 * w + lane / THREADS_XY;
+                                ((ty * MICRO_TILE + r) * n + tx * MICRO_TILE + 4 * half) as i64
+                            }),
+                        )
+                        .with_by((BLOCK_TILE * n) as i64)
+                        .with_bx(BLOCK_TILE as i64),
+                    );
+                }
+            }
+        }
+        spec.barriers = Some(BarrierSpec {
+            count: syncs_per_block(self.shape.k, self.double_buffer),
+            warps: WARPS_PER_BLOCK as u64,
+        });
+        Some(spec)
+    }
+
     fn block_class(&self, block: Dim3) -> Option<BlockClass> {
         // A rows anchor at by·128·k, B columns at bx·128·k, and the C
         // write-back tile at by·128·n + bx·128 — all affine in the
@@ -269,6 +314,10 @@ impl Kernel for VendorSgemm {
 
     fn block_class(&self, block: Dim3) -> Option<BlockClass> {
         self.inner.block_class(block)
+    }
+
+    fn access_spec(&self) -> Option<AccessSpec> {
+        self.inner.access_spec()
     }
 
     fn analysis_budget(&self) -> AnalysisBudget {

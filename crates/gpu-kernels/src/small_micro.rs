@@ -25,6 +25,7 @@
 //!   LDG.64 — twice the global-load instruction count of the 8×8
 //!   loader's LDG.128s.
 
+use ks_gpu_sim::access::{affine_lanes, AccessSpec, BarrierSpec, GlobalPattern, SharedPattern};
 use ks_gpu_sim::buffer::BufId;
 use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
@@ -33,6 +34,7 @@ use ks_gpu_sim::kernel::{
     AnalysisBudget, BufferUse, ExecModel, Kernel, KernelResources, TimingHints,
 };
 use ks_gpu_sim::occupancy::OccupancyLimiter;
+use ks_gpu_sim::trace::AccessDir;
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
 use crate::gemm_engine::{GemmOperands, GemmShape};
@@ -256,6 +258,89 @@ impl Kernel for Sgemm4x4 {
 
     fn traffic_homogeneous(&self) -> bool {
         true
+    }
+
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let mut spec = AccessSpec::default();
+        let (n, k) = (self.shape.n, self.shape.k);
+        let tiles = (k / K_TILE) as u64;
+        // Tile loaders: 16 warps per operand, one LDG.64 + two
+        // single-word shared stores each, once per k-tile. Canonical
+        // parity-0 bases (the toggle is a 1024-word, bank-invariant
+        // shift).
+        for half in 0..2usize {
+            let (buf, label, dst, step_is_by) = if half == 0 {
+                (self.ops.a, "a", 0u32, true)
+            } else {
+                (self.ops.b, "b", 2 * TILE_WORDS as u32, false)
+            };
+            for wa in 0..16usize {
+                let c_off = wa % 4;
+                let q = wa / 4;
+                let mut p = GlobalPattern::new(
+                    buf,
+                    label,
+                    AccessDir::Read,
+                    VecWidth::V2,
+                    affine_lanes(|l| ((4 * l + c_off) * k + 2 * q) as i64),
+                )
+                .with_loop(tiles, K_TILE as i64);
+                p = if step_is_by {
+                    p.with_by((BLOCK_TILE * k) as i64)
+                } else {
+                    p.with_bx((BLOCK_TILE * k) as i64)
+                };
+                spec.global.push(p);
+                for e in 0..2 {
+                    let kk = 2 * q + e;
+                    let words: [Option<u32>; 32] =
+                        std::array::from_fn(|l| Some(dst + small_tile_word(kk, 4 * l + c_off)));
+                    spec.shared.push(
+                        SharedPattern::new(words, VecWidth::V1, AccessDir::Write).times(tiles),
+                    );
+                }
+            }
+        }
+        // Compute loads: per warp (= ty row), per k-step, 4 broadcast
+        // A words and 4 bank-strided B words, once per k-tile.
+        for ty in 0..SMALL_WARPS {
+            for kk in 0..K_TILE {
+                for j in 0..4 {
+                    let a_words: [Option<u32>; 32] =
+                        std::array::from_fn(|_| Some(small_tile_word(kk, 4 * ty + j)));
+                    spec.shared.push(
+                        SharedPattern::new(a_words, VecWidth::V1, AccessDir::Read).times(tiles),
+                    );
+                    let b_words: [Option<u32>; 32] = std::array::from_fn(|tx| {
+                        Some(2 * TILE_WORDS as u32 + small_tile_word(kk, 4 * tx + j))
+                    });
+                    spec.shared.push(
+                        SharedPattern::new(b_words, VecWidth::V1, AccessDir::Read).times(tiles),
+                    );
+                }
+            }
+        }
+        // Write-back: 4 STG.128 rows per warp.
+        for ty in 0..SMALL_WARPS {
+            for r in 0..SMALL_MICRO {
+                spec.global.push(
+                    GlobalPattern::new(
+                        self.c,
+                        "c",
+                        AccessDir::Write,
+                        VecWidth::V4,
+                        affine_lanes(|tx| ((ty * SMALL_MICRO + r) * n + tx * SMALL_MICRO) as i64),
+                    )
+                    .with_by((BLOCK_TILE * n) as i64)
+                    .with_bx(BLOCK_TILE as i64),
+                );
+            }
+        }
+        spec.barriers = Some(BarrierSpec {
+            count: tiles,
+            warps: SMALL_WARPS as u64,
+        });
+        Some(spec)
     }
 
     fn analysis_budget(&self) -> AnalysisBudget {

@@ -1,0 +1,387 @@
+//! Symbolic access-pattern IR for zero-execution ("static") analysis.
+//!
+//! A kernel can declare its memory behaviour as a set of *affine
+//! warp-level patterns* via [`crate::kernel::Kernel::access_spec`].
+//! Each pattern fixes the 32 per-lane base indices of one static warp
+//! instruction and says how that base shifts with the block
+//! coordinates and any surrounding loops with known trip counts:
+//!
+//! ```text
+//! idx(lane) = lanes[lane] + bx·bx_step + by·by_step + Σ_j i_j·loops[j].step
+//! ```
+//!
+//! Warps and fixed-trip phases are enumerated *concretely* when a
+//! spec is built (kernels here know their warp count statically), so
+//! only the grid dimensions and problem-size loops stay symbolic.
+//! Shared-memory patterns carry no block terms at all — every shipped
+//! kernel addresses shared memory identically in all blocks — just an
+//! `issues` multiplier for how often the instruction repeats per
+//! block. (Double-buffer parity shifts the tile base by multiples of
+//! 1024 words; with 32 banks that is bank-invariant, so one canonical
+//! pattern stands for both parities.)
+//!
+//! The IR deliberately models *memory and barrier* behaviour only:
+//! arithmetic instruction counts remain the trace replay's job. A
+//! pattern whose index is not affine in the symbols above (e.g. a
+//! data-dependent or modular gather) sets [`GlobalPattern::indirect`];
+//! the analyzer then downgrades the kernel to the dynamic
+//! (trace-based) lint instead of guessing — it never silently passes.
+
+use crate::buffer::BufId;
+use crate::kernel::VecWidth;
+use crate::trace::AccessDir;
+
+/// One symbolic loop dimension surrounding an access: `trip`
+/// iterations advancing the per-lane index by `step` words each.
+///
+/// A pure repetition (same addresses every iteration) is `step: 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopDim {
+    /// Number of iterations (≥ 1).
+    pub trip: u64,
+    /// Index advance per iteration, in buffer words.
+    pub step: i64,
+}
+
+/// Affine pattern of one static warp-level global-memory instruction.
+#[derive(Debug, Clone)]
+pub struct GlobalPattern {
+    /// Buffer the instruction touches.
+    pub buf: BufId,
+    /// Human-readable operand label (matches `BufferUse::label`).
+    pub label: &'static str,
+    /// Read, write, or atomic read-modify-write.
+    pub dir: AccessDir,
+    /// Words accessed per lane. Atomics are always V1.
+    pub vlen: VecWidth,
+    /// Per-lane base index (words) at `bx = by = i_j = 0`; `None`
+    /// lanes are predicated off.
+    pub lanes: [Option<i64>; 32],
+    /// Index shift per block-x increment, in words.
+    pub bx_step: i64,
+    /// Index shift per block-y increment, in words.
+    pub by_step: i64,
+    /// Surrounding loops with known trip counts.
+    pub loops: Vec<LoopDim>,
+    /// True when the real index is *not* affine in the declared
+    /// symbols; the analyzer must not trust `lanes`/steps and falls
+    /// back to the dynamic lint for this kernel.
+    pub indirect: bool,
+}
+
+impl GlobalPattern {
+    /// New pattern with no block or loop terms.
+    #[must_use]
+    pub fn new(
+        buf: BufId,
+        label: &'static str,
+        dir: AccessDir,
+        vlen: VecWidth,
+        lanes: [Option<i64>; 32],
+    ) -> Self {
+        Self {
+            buf,
+            label,
+            dir,
+            vlen,
+            lanes,
+            bx_step: 0,
+            by_step: 0,
+            loops: Vec::new(),
+            indirect: false,
+        }
+    }
+
+    /// Sets the per-`bx` index shift.
+    #[must_use]
+    pub fn with_bx(mut self, step: i64) -> Self {
+        self.bx_step = step;
+        self
+    }
+
+    /// Sets the per-`by` index shift.
+    #[must_use]
+    pub fn with_by(mut self, step: i64) -> Self {
+        self.by_step = step;
+        self
+    }
+
+    /// Appends a surrounding loop dimension.
+    ///
+    /// # Panics
+    /// Panics if `trip` is zero — a zero-trip loop means the access
+    /// never issues and must simply be omitted from the spec.
+    #[must_use]
+    pub fn with_loop(mut self, trip: u64, step: i64) -> Self {
+        assert!(trip > 0, "zero-trip loop on {}", self.label);
+        self.loops.push(LoopDim { trip, step });
+        self
+    }
+
+    /// Marks the pattern as non-affine (see [`Self::indirect`]).
+    #[must_use]
+    pub fn into_indirect(mut self) -> Self {
+        self.indirect = true;
+        self
+    }
+
+    /// Warp instructions this pattern issues per block (product of
+    /// loop trips).
+    #[must_use]
+    pub fn issues_per_block(&self) -> u64 {
+        self.loops.iter().map(|l| l.trip).product()
+    }
+
+    /// Warp instructions this pattern issues over the whole launch.
+    #[must_use]
+    pub fn issues_per_launch(&self, grid_x: u64, grid_y: u64) -> u64 {
+        self.issues_per_block() * grid_x * grid_y
+    }
+
+    /// Inclusive range of the per-lane *base* index over every lane,
+    /// block, and loop iteration — `None` when all lanes are
+    /// predicated off. The last word touched is `max + vlen.words() - 1`.
+    #[must_use]
+    pub fn index_range(&self, grid_x: u64, grid_y: u64) -> Option<(i64, i64)> {
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for idx in self.lanes.iter().flatten() {
+            lo = lo.min(*idx);
+            hi = hi.max(*idx);
+        }
+        if lo > hi {
+            return None;
+        }
+        let dims = [
+            LoopDim {
+                trip: grid_x,
+                step: self.bx_step,
+            },
+            LoopDim {
+                trip: grid_y,
+                step: self.by_step,
+            },
+        ];
+        for d in dims.iter().chain(self.loops.iter()) {
+            let span = d.step * (d.trip.max(1) as i64 - 1);
+            lo += span.min(0);
+            hi += span.max(0);
+        }
+        Some((lo, hi))
+    }
+}
+
+/// Pattern of one static warp-level shared-memory instruction.
+///
+/// Shared addressing in every shipped kernel is block-invariant, so
+/// the pattern is just the 32 lane word addresses plus a repetition
+/// count. Bank behaviour is shift-invariant modulo the bank count, so
+/// patterns whose base toggles by a multiple of the bank count (e.g.
+/// double-buffer parity, 1024-word tiles on 32 banks) collapse into
+/// one canonical pattern with a larger `issues`.
+#[derive(Debug, Clone)]
+pub struct SharedPattern {
+    /// Per-lane word address; `None` lanes are predicated off.
+    pub lanes: [Option<u32>; 32],
+    /// Words accessed per lane.
+    pub vlen: VecWidth,
+    /// Read or write.
+    pub dir: AccessDir,
+    /// Times this instruction issues per block.
+    pub issues: u64,
+}
+
+impl SharedPattern {
+    /// New single-issue pattern.
+    #[must_use]
+    pub fn new(lanes: [Option<u32>; 32], vlen: VecWidth, dir: AccessDir) -> Self {
+        Self {
+            lanes,
+            vlen,
+            dir,
+            issues: 1,
+        }
+    }
+
+    /// Sets the per-block issue count.
+    #[must_use]
+    pub fn times(mut self, issues: u64) -> Self {
+        self.issues = issues;
+        self
+    }
+}
+
+/// Barrier behaviour of one block: `count` barriers, each executed by
+/// all `warps` warps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierSpec {
+    /// `__syncthreads()` executions per block.
+    pub count: u64,
+    /// Warps arriving at every barrier.
+    pub warps: u64,
+}
+
+/// The full declared memory behaviour of a kernel launch.
+#[derive(Debug, Clone, Default)]
+pub struct AccessSpec {
+    /// Global-memory patterns (one per static warp instruction,
+    /// warps and fixed phases enumerated concretely).
+    pub global: Vec<GlobalPattern>,
+    /// Shared-memory patterns.
+    pub shared: Vec<SharedPattern>,
+    /// Barrier behaviour; `None` declares a barrier-free kernel.
+    pub barriers: Option<BarrierSpec>,
+}
+
+impl AccessSpec {
+    /// True when every global pattern is affine — the precondition
+    /// for trusting any static verdict about this kernel.
+    #[must_use]
+    pub fn is_affine(&self) -> bool {
+        !self.global.iter().any(|g| g.indirect)
+    }
+}
+
+/// Builds a full-warp lane array from a per-lane index function.
+#[must_use]
+pub fn affine_lanes(f: impl Fn(usize) -> i64) -> [Option<i64>; 32] {
+    std::array::from_fn(|l| Some(f(l)))
+}
+
+/// Builds a lane array with predication from a per-lane function.
+#[must_use]
+pub fn masked_lanes(f: impl Fn(usize) -> Option<i64>) -> [Option<i64>; 32] {
+    std::array::from_fn(f)
+}
+
+/// Distribution of `i·step mod modulus` over `i ∈ 0..trip`, as a
+/// count per residue class. This is the kernel of the static DRAM
+/// sector prediction: sector footprints are invariant under shifts by
+/// whole sectors, so a loop's contribution to a warp's footprint is
+/// fully described by how its index lands in `Z/modulus`.
+///
+/// # Panics
+/// Panics if `modulus` is zero.
+#[must_use]
+pub fn residue_histogram(trip: u64, step: i64, modulus: usize) -> Vec<u64> {
+    assert!(modulus > 0, "modulus must be positive");
+    let m = modulus as i64;
+    let s = ((step % m) + m) % m; // canonical non-negative residue
+    let mut hist = vec![0u64; modulus];
+    // i·s mod m cycles with period m / gcd(s, m); each residue in the
+    // cycle appears ⌊trip/period⌋ times, the first (trip mod period)
+    // cycle entries once more.
+    let period = {
+        let mut a = s as u64;
+        let mut b = modulus as u64;
+        while a != 0 {
+            let t = b % a;
+            b = a;
+            a = t;
+        }
+        modulus as u64 / b // m / gcd(s, m)
+    };
+    let (full, extra) = (trip / period, trip % period);
+    for i in 0..period {
+        let r = ((i as i64 * s) % m) as usize;
+        hist[r] += full + u64::from(i < extra);
+    }
+    hist
+}
+
+/// Convolution of two residue histograms over `Z/modulus`: the
+/// distribution of the *sum* of two independent index contributions.
+#[must_use]
+pub fn convolve_residues(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let m = a.len();
+    assert_eq!(m, b.len(), "mismatched moduli");
+    let mut out = vec![0u64; m];
+    for (i, &ca) in a.iter().enumerate() {
+        if ca == 0 {
+            continue;
+        }
+        for (j, &cb) in b.iter().enumerate() {
+            out[(i + j) % m] += ca * cb;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::GlobalMem;
+
+    #[test]
+    fn residue_histogram_unit_step() {
+        assert_eq!(residue_histogram(8, 1, 8), vec![1; 8]);
+        assert_eq!(residue_histogram(10, 1, 8), vec![2, 2, 1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn residue_histogram_stride_and_zero() {
+        // step 4 on Z/8 alternates 0,4.
+        assert_eq!(residue_histogram(5, 4, 8), vec![3, 0, 0, 0, 2, 0, 0, 0]);
+        // step 0 concentrates at 0 (pure repetition).
+        assert_eq!(residue_histogram(7, 0, 8), vec![7, 0, 0, 0, 0, 0, 0, 0]);
+        // negative steps wrap.
+        assert_eq!(residue_histogram(2, -1, 8), vec![1, 0, 0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn convolution_counts_all_pairs() {
+        let a = residue_histogram(3, 2, 8);
+        let b = residue_histogram(5, 3, 8);
+        let c = convolve_residues(&a, &b);
+        assert_eq!(c.iter().sum::<u64>(), 15);
+        // brute force
+        let mut want = vec![0u64; 8];
+        for i in 0..3i64 {
+            for j in 0..5i64 {
+                want[((i * 2 + j * 3) % 8) as usize] += 1;
+            }
+        }
+        assert_eq!(c, want);
+    }
+
+    #[test]
+    fn index_range_covers_lanes_blocks_and_loops() {
+        let mut mem = GlobalMem::new();
+        let buf = mem.upload(&[0.0f32; 4]);
+        let p = GlobalPattern::new(
+            buf,
+            "t",
+            AccessDir::Read,
+            VecWidth::V1,
+            affine_lanes(|l| l as i64),
+        )
+        .with_bx(128)
+        .with_loop(4, -8);
+        // grid 3×1: bx ∈ {0,1,2}, loop ∈ {0,-8,-16,-24}.
+        assert_eq!(p.index_range(3, 1), Some((-24, 31 + 2 * 128)));
+        assert_eq!(p.issues_per_block(), 4);
+        assert_eq!(p.issues_per_launch(3, 1), 12);
+    }
+
+    #[test]
+    fn masked_range_and_empty() {
+        let mut mem = GlobalMem::new();
+        let buf = mem.upload(&[0.0f32; 4]);
+        let lane0 = GlobalPattern::new(
+            buf,
+            "t",
+            AccessDir::Atomic,
+            VecWidth::V1,
+            masked_lanes(|l| (l == 0).then_some(7)),
+        );
+        assert_eq!(lane0.index_range(1, 1), Some((7, 7)));
+        let none = GlobalPattern::new(
+            buf,
+            "t",
+            AccessDir::Read,
+            VecWidth::V1,
+            masked_lanes(|_| None),
+        );
+        assert_eq!(none.index_range(4, 4), None);
+    }
+}

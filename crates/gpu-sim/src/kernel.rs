@@ -164,6 +164,16 @@ pub trait Kernel: Sync {
         AnalysisBudget::default()
     }
 
+    /// The kernel's declared symbolic access pattern for the static
+    /// (zero-execution) lint, or `None` (the default) when the kernel
+    /// makes no declaration — the analyzer then falls back to the
+    /// dynamic trace-based lint. Specs are *claims*: the differential
+    /// validator in `ks-analyze` cross-checks every declared pattern
+    /// against recorded traces and simulator counters.
+    fn access_spec(&self) -> Option<crate::access::AccessSpec> {
+        None
+    }
+
     /// The block's translation class for memoized replay, or `None`
     /// (the default) when the block's traffic is not known to be a
     /// pure translation of some class representative — every block is

@@ -57,6 +57,7 @@
 // mirrors per-lane hardware behaviour.
 #![allow(clippy::needless_range_loop)]
 
+pub mod access;
 pub mod buffer;
 pub mod cache;
 pub mod coalesce;
@@ -75,6 +76,7 @@ pub mod timing;
 pub mod trace;
 pub mod traffic;
 
+pub use access::{AccessSpec, BarrierSpec, GlobalPattern, LoopDim, SharedPattern};
 pub use buffer::{BufId, GlobalMem};
 pub use config::{DeviceConfig, Interconnect};
 pub use device::GpuDevice;

@@ -11,6 +11,8 @@ use std::sync::Arc;
 
 use ks_core::plan::{SourcePlan, SourceSet, SourceSetId};
 
+use crate::admission::{AdmissionKey, AdmissionStats, AdmissionVerdict};
+
 /// Cache key: the corpus identity plus every parameter the plan
 /// depends on (dimensions pin the id against corpus reuse across
 /// rebuilds; `h` is carried bit-exactly so distinct bandwidths never
@@ -100,7 +102,18 @@ pub struct PlanCache {
     /// Most-recently-used slot.
     tail: usize,
     stats: PlanCacheStats,
+    /// Static-admission verdict memo. A verdict depends only on the
+    /// padded launch geometry (and the device model, fixed per
+    /// server), so unlike plans there is no LRU pressure: distinct
+    /// padded shapes number in the handfuls. [`ADMISSION_MEMO_CAP`]
+    /// bounds the degenerate many-shapes case.
+    admission: HashMap<AdmissionKey, Arc<AdmissionVerdict>>,
+    admission_stats: AdmissionStats,
 }
+
+/// Verdict-memo bound; reaching it clears the memo (verdicts are
+/// cheap to recompute, so wholesale reset beats LRU bookkeeping).
+const ADMISSION_MEMO_CAP: usize = 256;
 
 impl PlanCache {
     /// Creates a cache holding at most `capacity` plans.
@@ -118,7 +131,42 @@ impl PlanCache {
             head: NIL,
             tail: NIL,
             stats: PlanCacheStats::default(),
+            admission: HashMap::new(),
+            admission_stats: AdmissionStats::default(),
         }
+    }
+
+    /// Looks up the static-admission verdict for `key`, computing and
+    /// memoizing it on a miss. Returns the verdict and whether it was
+    /// served from the memo — a warm shape pays one hash lookup and
+    /// runs no analysis.
+    pub fn admission(
+        &mut self,
+        key: AdmissionKey,
+        check: impl FnOnce() -> AdmissionVerdict,
+    ) -> (Arc<AdmissionVerdict>, bool) {
+        if let Some(v) = self.admission.get(&key) {
+            self.admission_stats.hits += 1;
+            return (Arc::clone(v), true);
+        }
+        if self.admission.len() >= ADMISSION_MEMO_CAP {
+            self.admission.clear();
+        }
+        self.admission_stats.checks += 1;
+        let v = Arc::new(check());
+        self.admission.insert(key, Arc::clone(&v));
+        (v, false)
+    }
+
+    /// Records one batch denied the GPU by a static-admission reject.
+    pub fn note_admission_reject(&mut self) {
+        self.admission_stats.rejects += 1;
+    }
+
+    /// Admission-memo counter snapshot.
+    #[must_use]
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission_stats
     }
 
     /// Detaches slot `idx` from the recency list.

@@ -19,6 +19,11 @@
 //! * [`cache`] — the LRU plan cache keyed by `(corpus id, M, K, h)`;
 //!   a hit skips the host-side pack/norms pass and the `norms(A)`
 //!   kernel launch.
+//! * [`admission`] — plan-time static admission: the exact kernel a
+//!   GPU batch would launch is proved clean (conflicts, bounds,
+//!   occupancy) from its declared access spec before the first
+//!   attempt; verdicts are memoized beside the plan cache and a
+//!   reject serves the batch on the bit-exact CPU path.
 //! * [`executor`] — one coalesced batch on either backend. The CPU
 //!   path is bit-deterministic and column-wise identical to the
 //!   single-shot solver; the GPU path pads to the tiling constraints.
@@ -33,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 pub mod executor;
 pub mod pool;
@@ -41,6 +47,7 @@ pub mod router;
 pub mod server;
 pub mod workload;
 
+pub use admission::{AdmissionKey, AdmissionStats, AdmissionVerdict};
 pub use cache::{PlanCache, PlanCacheStats, PlanKey};
 pub use executor::MAX_GPU_BATCH;
 pub use pool::{DeviceReport, PoolConfig, PoolDevice, PoolReport, SHARD_ALIGN};

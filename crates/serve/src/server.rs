@@ -35,6 +35,7 @@ use ks_gpu_sim::device::GpuDevice;
 use ks_gpu_sim::kernel::LaunchError;
 use ks_gpu_sim::profiler::PipelineProfile;
 
+use crate::admission::{self, AdmissionKey, AdmissionStats};
 use crate::cache::{PlanCache, PlanCacheStats, PlanKey};
 use crate::executor::{self, MAX_GPU_BATCH};
 use crate::pool::{DevicePool, PoolConfig, PoolReport};
@@ -280,6 +281,12 @@ pub struct ServeConfig {
     pub device: DeviceConfig,
     /// CPU fused-solver blocking.
     pub cpu: FusedCpuConfig,
+    /// Statically lint the exact kernel a GPU batch would launch
+    /// before its first attempt (see [`crate::admission`]); a proof
+    /// failure serves the batch on the bit-exact CPU path instead.
+    /// Verdicts are memoized by launch geometry alongside the plan
+    /// cache, so warm shapes pay one hash lookup.
+    pub static_lint: bool,
     /// Injected launch faults (tests only).
     pub fault_injection: FaultInjection,
     /// Retry/backoff/breaker policy of the resilient backend.
@@ -308,6 +315,7 @@ impl Default for ServeConfig {
             backend: ServeBackend::GpuFused { cpu_fallback: true },
             device: DeviceConfig::gtx970(),
             cpu: FusedCpuConfig::default(),
+            static_lint: true,
             fault_injection: FaultInjection::None,
             resilience: ResilienceConfig::default(),
             batch_delay: None,
@@ -376,6 +384,10 @@ pub struct ServeReport {
     pub internal_errors: u64,
     /// Plan-cache counters.
     pub plan_cache: PlanCacheStats,
+    /// Static-admission counters (checks computed, memo hits, batches
+    /// denied the GPU); all zero when `static_lint` is off or the
+    /// backend is CPU-only.
+    pub static_admission: AdmissionStats,
     /// Deepest queue occupancy observed (≤ configured capacity).
     pub queue_high_water: usize,
     /// One pipeline profile per GPU batch, in execution order (per
@@ -489,6 +501,7 @@ struct WorkerStats {
     breaker_resets: u64,
     internal_errors: u64,
     plan_cache: PlanCacheStats,
+    static_admission: AdmissionStats,
     profiles: Vec<PipelineProfile>,
     pool: Option<PoolReport>,
 }
@@ -710,6 +723,7 @@ impl Server {
             breaker_resets: w.breaker_resets,
             internal_errors: w.internal_errors,
             plan_cache: w.plan_cache,
+            static_admission: w.static_admission,
             queue_high_water: self.queue.high_water(),
             profiles: w.profiles,
             pool: w.pool,
@@ -804,10 +818,18 @@ fn worker_loop(
         }
     }
     stats.plan_cache = cache.stats();
+    stats.static_admission = cache.admission_stats();
     stats.breaker_trips = breaker.trips;
     stats.breaker_resets = breaker.resets;
     stats.pool = pool.map(DevicePool::shutdown);
     stats
+}
+
+/// True when this batch could reach a simulated device (pooled
+/// serving or any GPU backend) — the static-admission gate only
+/// applies then.
+fn uses_gpu(cfg: &ServeConfig, pool: &Option<DevicePool>) -> bool {
+    pool.is_some() || !matches!(cfg.backend, ServeBackend::CpuFused)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -844,9 +866,35 @@ fn execute_chunk(
         (Arc::new(SourcePlan::build(proto.sources.points())), false)
     };
     let weights: Vec<Vec<f32>> = live.iter().map(|(q, _)| q.weights.clone()).collect();
-    let outcome = run_batch(
-        cfg, &plan, proto, &weights, hit, pool, breaker, injected, stats,
-    );
+    // Plan-time static admission: prove the exact kernel this batch
+    // would launch clean before spending any GPU attempt. Verdicts
+    // are memoized by padded launch geometry next to the plan cache,
+    // so repeat shapes run no analysis.
+    let admitted = if cfg.static_lint && uses_gpu(cfg, pool) {
+        let (m, k) = plan.dims();
+        let key = AdmissionKey::for_batch(m, proto.targets.len(), k, weights.len());
+        let (verdict, _) = cache.admission(key, || admission::check_shape(&cfg.device, key));
+        if !verdict.admitted {
+            cache.note_admission_reject();
+        }
+        verdict.admitted
+    } else {
+        true
+    };
+    let outcome = if admitted {
+        run_batch(
+            cfg, &plan, proto, &weights, hit, pool, breaker, injected, stats,
+        )
+    } else {
+        // Denied the GPU: the bit-exact CPU path serves the batch.
+        // One attempt, no retry, not a degradation (the rung was
+        // chosen at plan time, not reached by failing down to it).
+        stats.attempts += 1;
+        Ok((
+            executor::execute_cpu(&plan, &proto.targets, proto.h, &weights, &cfg.cpu),
+            false,
+        ))
+    };
     if let Some(delay) = cfg.batch_delay {
         std::thread::sleep(delay);
     }
@@ -1559,5 +1607,102 @@ mod tests {
         q.weights.pop();
         let mut srv = Server::start(cpu_config());
         let _ = srv.submit(q);
+    }
+
+    /// Warm shapes never re-run the static analysis: one check for
+    /// the first batch, memo hits for every repeat of the geometry.
+    #[test]
+    fn static_admission_is_checked_once_per_shape() {
+        let sources = SourceSet::new(PointSet::uniform_cube(100, 5, 101));
+        let targets = Arc::new(PointSet::uniform_cube(70, 5, 102));
+        let cfg = ServeConfig {
+            backend: ServeBackend::GpuFused {
+                cpu_fallback: false,
+            },
+            max_batch: 1, // one query per batch → repeat geometry
+            start_paused: true,
+            ..ServeConfig::default()
+        };
+        let mut srv = Server::start(cfg);
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|i| match srv.submit(query(&sources, &targets, 110 + i)) {
+                Submit::Accepted(t) => t,
+                Submit::Rejected(_) => panic!("must accept"),
+            })
+            .collect();
+        srv.resume();
+        for t in &tickets {
+            assert!(t.wait().is_ok());
+        }
+        let report = srv.shutdown();
+        assert_eq!(report.batches, 3);
+        let adm = report.static_admission;
+        assert_eq!(adm.checks, 1, "one fresh verdict for the shape");
+        assert_eq!(adm.hits, 2, "repeat batches hit the memo");
+        assert_eq!(adm.rejects, 0);
+        assert_eq!(report.profiles.len(), 3, "all batches ran on the GPU");
+    }
+
+    /// A device the static analyzer can prove the kernel unfit for
+    /// never sees a launch: every batch serves on the bit-exact CPU
+    /// path, without consuming the fallback/retry machinery.
+    #[test]
+    fn static_admission_reject_serves_on_cpu() {
+        let sources = SourceSet::new(PointSet::uniform_cube(100, 5, 121));
+        let targets = Arc::new(PointSet::uniform_cube(70, 5, 122));
+        let mut starved = DeviceConfig::gtx970();
+        starved.regs_per_sm /= 2;
+        let cfg = ServeConfig {
+            backend: ServeBackend::GpuFused {
+                cpu_fallback: false,
+            },
+            device: starved,
+            start_paused: true,
+            ..ServeConfig::default()
+        };
+        let mut srv = Server::start(cfg);
+        let q = query(&sources, &targets, 123);
+        let Submit::Accepted(t) = srv.submit(q.clone()) else {
+            panic!("must accept");
+        };
+        srv.resume();
+        let got = t.wait().expect("served on the CPU path");
+        let report = srv.shutdown();
+        assert_eq!(report.static_admission.rejects, 1);
+        assert!(report.profiles.is_empty(), "no GPU launch happened");
+        assert_eq!(report.fallbacks, 0, "a reject is not a failure fallback");
+        assert_eq!(report.completed, 1);
+        // The answer is the bit-exact CPU result.
+        let plan = SourcePlan::build(q.sources.points());
+        let want = executor::execute_cpu(
+            &plan,
+            &q.targets,
+            q.h,
+            std::slice::from_ref(&q.weights),
+            &FusedCpuConfig::default(),
+        );
+        for (a, b) in got.iter().zip(want[0].iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Turning the gate off restores unconditional GPU dispatch.
+    #[test]
+    fn static_lint_off_skips_admission() {
+        let sources = SourceSet::new(PointSet::uniform_cube(100, 5, 131));
+        let targets = Arc::new(PointSet::uniform_cube(70, 5, 132));
+        let cfg = ServeConfig {
+            backend: ServeBackend::GpuFused { cpu_fallback: true },
+            static_lint: false,
+            ..ServeConfig::default()
+        };
+        let mut srv = Server::start(cfg);
+        let Submit::Accepted(t) = srv.submit(query(&sources, &targets, 133)) else {
+            panic!("must accept");
+        };
+        assert!(t.wait().is_ok());
+        let report = srv.shutdown();
+        assert_eq!(report.static_admission, AdmissionStats::default());
+        assert_eq!(report.profiles.len(), 1);
     }
 }

@@ -4,7 +4,8 @@
 //! ksum solve       --m 4096 --n 1024 --k 32 --h 1.0 --backend cpu-fused
 //! ksum profile     --m 16384 --n 1024 --k 32 --variant fused
 //! ksum compare     --m 8192 --n 1024 --k 64
-//! ksum lint        [--out findings.txt]
+//! ksum lint        [--static] [--kernel NAME] [--out findings.txt]
+//!                  [--json findings.json] [--agreement agreement.json]
 //! ksum serve-bench [--smoke] [--clients C] [--queries Q] [--devices N] [--json PATH]
 //! ```
 //!
@@ -41,7 +42,13 @@ const USAGE: &str = "usage: ksum [--threads N] [--faults SPEC] <command> [flags]
   profile      --m M --n N --k K --h H --variant V
                (variants: fused, cuda-unfused, cublas-unfused)
   compare      --m M --n N --k K --h H
-  lint         [--out PATH]
+  lint         [--static] [--kernel NAME] [--out PATH] [--json PATH]
+               [--agreement PATH]
+               (--static proves coalescing, bank conflicts, bounds and
+                occupancy from declared access specs, zero replay;
+                --kernel filters to one probe; --json exports findings
+                as JSON; --agreement cross-checks every static verdict
+                against trace replay and writes the matrix as JSON)
   serve-bench  [--smoke] [--clients C] [--queries Q] [--corpora R]
                [--shared-ratio F] [--large-ratio F] [--m M] [--n N]
                [--k K] [--h H] [--seed S] [--queue DEPTH] [--wave W]
@@ -258,38 +265,115 @@ fn cmd_compare(a: &Args, fault: Option<FaultSpec>) -> Result<ExitCode, UsageErro
     Ok(ExitCode::SUCCESS)
 }
 
+/// Writes `content` to `path`, mapping I/O failure to exit 1.
+fn write_artifact(path: &str, content: &str, what: &str) -> Result<(), ExitCode> {
+    match std::fs::write(path, content) {
+        Ok(()) => {
+            println!("{what} written to {path}");
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
 fn cmd_lint(rest: &[String]) -> Result<ExitCode, UsageError> {
     let mut out: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut agreement: Option<String> = None;
+    let mut kernel: Option<String> = None;
+    let mut static_mode = false;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
+        if flag == "--static" {
+            static_mode = true;
+            continue;
+        }
+        let val = it
+            .next()
+            .ok_or_else(|| UsageError(format!("missing value for {flag}")))?
+            .clone();
         match flag.as_str() {
-            "--out" => {
-                out = Some(
-                    it.next()
-                        .ok_or_else(|| UsageError("missing value for --out".into()))?
-                        .clone(),
-                );
-            }
+            "--out" => out = Some(val),
+            "--json" => json = Some(val),
+            "--agreement" => agreement = Some(val),
+            "--kernel" => kernel = Some(val),
             other => {
                 return Err(UsageError(format!(
-                    "unknown flag {other} (lint takes only --out PATH)"
+                    "unknown flag {other} (lint takes --static, --kernel NAME, \
+                     --out PATH, --json PATH, --agreement PATH)"
                 )))
             }
         }
     }
     let dev = DeviceConfig::gtx970();
-    println!("linting recorded warp traces on a simulated {}", dev.name);
-    let report = kernel_summation::analyze::lint_report(&dev);
-    let table = report.table();
-    println!("{table}");
-    if let Some(path) = out {
-        if let Err(e) = std::fs::write(&path, &table) {
-            eprintln!("failed to write {path}: {e}");
-            return Ok(ExitCode::FAILURE);
+
+    // Differential artifact: every static verdict cross-checked
+    // against trace replay; disagreement is a failure in itself.
+    let mut agreement_ok = true;
+    if let Some(path) = agreement {
+        let diff = kernel_summation::analyze::differential::differential_report(&dev);
+        agreement_ok = diff.all_agree();
+        println!("static/dynamic agreement over the probe registry:");
+        println!("{}", diff.table());
+        if let Err(code) = write_artifact(&path, &diff.to_json(), "agreement report") {
+            return Ok(code);
         }
-        println!("findings table written to {path}");
     }
-    Ok(if report.is_clean() {
+
+    let (report, text) = if static_mode {
+        println!(
+            "statically linting declared access specs against a simulated {}",
+            dev.name
+        );
+        let mut outcome = kernel_summation::analyze::lint_report_static(&dev);
+        if let Some(name) = &kernel {
+            outcome.kernels.retain(|k| &k.kernel == name);
+            outcome.report.retain_kernel(name);
+        }
+        println!("{}", outcome.summary_table());
+        let table = outcome.report.table();
+        println!("{table}");
+        if let Some(path) = json {
+            if let Err(code) = write_artifact(&path, &outcome.to_json(), "static lint report") {
+                return Ok(code);
+            }
+        }
+        let text = format!("{}\n{table}", outcome.summary_table());
+        (outcome.report, text)
+    } else {
+        println!("linting recorded warp traces on a simulated {}", dev.name);
+        let mut report = kernel_summation::analyze::lint_report(&dev);
+        if let Some(name) = &kernel {
+            report.retain_kernel(name);
+        }
+        let table = report.table();
+        println!("{table}");
+        if let Some(path) = json {
+            if let Err(code) = write_artifact(&path, &report.to_json(), "lint report") {
+                return Ok(code);
+            }
+        }
+        (report, String::new())
+    };
+    let table = if text.is_empty() {
+        report.table()
+    } else {
+        text
+    };
+    if let Some(path) = out {
+        if let Err(code) = write_artifact(&path, &table, "findings table") {
+            return Ok(code);
+        }
+    }
+    if let Some(name) = &kernel {
+        if report.checked.is_empty() && report.findings.is_empty() {
+            eprintln!("warning: no probe named {name} in the registry");
+        }
+    }
+    Ok(if report.is_clean() && agreement_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

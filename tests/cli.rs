@@ -220,6 +220,71 @@ fn solve_succeeds_on_a_tiny_problem() {
 }
 
 #[test]
+fn lint_unknown_flag_keeps_the_exit_2_convention() {
+    assert_usage_error(&ksum(&["lint", "--bogus", "x"]), "unknown flag --bogus");
+    assert_usage_error(&ksum(&["lint", "--kernel"]), "missing value for --kernel");
+}
+
+#[test]
+fn lint_static_is_clean_and_exports_parseable_json() {
+    let dir = std::env::temp_dir().join("ksum_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json = dir.join("lint_static.json");
+    let agree = dir.join("agreement.json");
+    let out = ksum(&[
+        "lint",
+        "--static",
+        "--json",
+        json.to_str().expect("utf-8 temp path"),
+        "--agreement",
+        agree.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "shipped kernels must lint clean statically; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fused_naive_layout"), "stdout: {stdout}");
+
+    let doc = std::fs::read_to_string(&json).expect("json written");
+    let v: serde_json::Value = serde_json::from_str(&doc).expect("valid JSON document");
+    let kernels = v.get("kernels").expect("kernels array");
+    if let serde_json::Value::Array(ks) = kernels {
+        assert!(ks.len() >= 16, "per-kernel summaries exported");
+    } else {
+        panic!("kernels must be an array");
+    }
+
+    let doc = std::fs::read_to_string(&agree).expect("agreement written");
+    let v: serde_json::Value = serde_json::from_str(&doc).expect("valid JSON document");
+    let serde_json::Value::Array(probes) = v.get("probes").expect("probes array") else {
+        panic!("probes must be an array");
+    };
+    assert!(probes.len() >= 16, "agreement covers the registry");
+    std::fs::remove_file(&json).ok();
+    std::fs::remove_file(&agree).ok();
+}
+
+#[test]
+fn lint_kernel_filter_narrows_the_report() {
+    let out = ksum(&["lint", "--static", "--kernel", "fused"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 kernel(s)"), "stdout: {stdout}");
+    assert!(
+        !stdout.contains("fused_naive_layout"),
+        "other probes filtered out; stdout: {stdout}"
+    );
+}
+
+#[test]
 fn serve_bench_json_export_parses() {
     let dir = std::env::temp_dir().join("ksum_cli_test");
     std::fs::create_dir_all(&dir).expect("temp dir");
