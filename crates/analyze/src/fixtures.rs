@@ -21,10 +21,11 @@ use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
 use crate::runner::Probe;
 
-use ks_gpu_kernels::gemm_engine::{self, GemmOperands, GemmShape, Microtile, SmemMap};
+use ks_gpu_kernels::gemm_engine::{self, AccGrid, GemmOperands, GemmShape, SmemMap};
 use ks_gpu_kernels::layout::SmemLayout;
 use ks_gpu_kernels::machine::{FunctionalMachine, TrafficMachine, WarpMachine};
 use ks_gpu_kernels::sgemm::GEMM_REGS_PER_THREAD;
+use ks_gpu_kernels::TileGeometry;
 
 /// Warp-machine wrapper that forwards everything except the `nth`
 /// `syncthreads` (0-based), which it silently swallows — the
@@ -113,14 +114,14 @@ impl BrokenFusedGemm {
         }
     }
 
-    fn body<M: WarpMachine>(&self, block: Dim3, mach: M, acc: &mut [Microtile]) {
+    fn body<M: WarpMachine>(&self, block: Dim3, mach: M, acc: &mut AccGrid) {
         let mut broken = DropNthSync::new(mach, self.drop_sync);
         gemm_engine::gemm_block(
             &mut broken,
+            &TileGeometry::paper_default(),
             &self.ops,
             &self.shape,
             SmemLayout::Swizzled,
-            true,
             block.x as usize,
             block.y as usize,
             acc,
@@ -146,12 +147,13 @@ impl Kernel for BrokenFusedGemm {
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockCtx) {
-        let mut acc = gemm_engine::fresh_acc();
+        let mut acc = AccGrid::for_geometry(&TileGeometry::paper_default());
         self.body(block, FunctionalMachine::new(ctx), &mut acc);
     }
 
     fn block_traffic(&self, block: Dim3, sink: &mut TrafficSink) {
-        self.body(block, TrafficMachine::new(sink), &mut []);
+        let mut acc = AccGrid::empty(&TileGeometry::paper_default());
+        self.body(block, TrafficMachine::new(sink), &mut acc);
     }
 }
 

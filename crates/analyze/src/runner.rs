@@ -19,8 +19,8 @@ use ks_gpu_kernels::aux_kernels::{
 use ks_gpu_kernels::fused::{ReducePartialsKernel, Reduction};
 use ks_gpu_kernels::gemm_engine::{GemmOperands, GemmShape};
 use ks_gpu_kernels::{
-    CudaSgemm, FusedKernelSummation, FusedMultiWeight, Sgemm4x4, SmemLayout, VendorSgemm,
-    BLOCK_TILE,
+    CudaSgemm, FusedKernelSummation, FusedMultiWeight, Sgemm4x4, SmemLayout, TileGeometry,
+    VendorSgemm,
 };
 
 use crate::checks;
@@ -91,8 +91,9 @@ pub struct Probe {
 }
 
 /// Probe problem edge: small enough to trace in milliseconds, large
-/// enough for a multi-block grid.
-const PROBE_MN: usize = 2 * BLOCK_TILE;
+/// enough for a multi-block grid. Derived from the probes' (default)
+/// tile geometry, not a hardcoded 128.
+const PROBE_MN: usize = 2 * TileGeometry::paper_default().block_n;
 
 struct FusedBufs {
     ops: GemmOperands,
@@ -171,7 +172,7 @@ pub fn shipped_probes() -> Vec<Probe> {
     {
         let mut mem = GlobalMem::new();
         let b = fused_bufs(&mut mem, shape16);
-        let n_blocks_x = shape16.n / BLOCK_TILE;
+        let n_blocks_x = shape16.n / TileGeometry::paper_default().block_n;
         let partials = mem.alloc_virtual(n_blocks_x * shape16.m);
         let kernel = FusedKernelSummation::new(b.ops, b.a2, b.b2, b.w, b.v, shape16, bw)
             .with_reduction(Reduction::TwoPass { partials });

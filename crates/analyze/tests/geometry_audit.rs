@@ -1,0 +1,48 @@
+//! Lint-style guard (the geometry-literal audit satellite): the
+//! analyzer must stay geometry-agnostic. Everything it knows about a
+//! kernel's tiling comes from the kernel's declared access spec and
+//! launch config — never from the paper-point constants, whose
+//! reappearance here would mean a hardcoded 128/16/8 assumption crept
+//! back in. Probe fixtures size themselves off
+//! `TileGeometry::paper_default()` fields, which is explicit and
+//! follows the geometry if the default ever moves.
+
+#[test]
+fn analyzer_sources_do_not_use_paper_point_constants() {
+    let banned = [
+        "BLOCK_TILE",
+        "K_TILE",
+        "MICRO_TILE",
+        "THREADS_XY",
+        "THREADS_PER_BLOCK",
+        "WARPS_PER_BLOCK",
+        "TILE_WORDS",
+    ];
+    for (name, src) in [
+        ("checks.rs", include_str!("../src/checks.rs")),
+        ("differential.rs", include_str!("../src/differential.rs")),
+        ("fixtures.rs", include_str!("../src/fixtures.rs")),
+        ("lib.rs", include_str!("../src/lib.rs")),
+        ("report.rs", include_str!("../src/report.rs")),
+        ("runner.rs", include_str!("../src/runner.rs")),
+        ("static_.rs", include_str!("../src/static_.rs")),
+    ] {
+        for b in banned {
+            assert!(
+                !src.contains(b),
+                "{name} references paper-point constant {b}; derive from \
+                 TileGeometry or the kernel's access spec instead"
+            );
+        }
+    }
+}
+
+/// The probes' geometry-derived sizing must still equal the paper
+/// point (the goldens pin 128-row blocks); this fails loudly if the
+/// default geometry drifts out from under the probe registry.
+#[test]
+fn probe_sizing_tracks_the_default_geometry() {
+    let g = ks_gpu_kernels::TileGeometry::paper_default();
+    assert_eq!(g.block_n, 128);
+    assert_eq!(g.block_m, 128);
+}

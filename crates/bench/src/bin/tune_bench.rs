@@ -1,0 +1,176 @@
+//! Autotuner benchmark and gate (`BENCH_tune.json`).
+//!
+//! Runs the full [`ks_tune`] sweep — legal-lattice enumeration,
+//! static-analyzer pruning, differential admission against the CPU
+//! fused oracle, exact-counter profiling — fits the log-linear cost
+//! model, takes the model's picks, and only *then* replays each pick
+//! and the paper default once to validate the decisions the model
+//! made blind. Gates:
+//!
+//! 1. **fit quality** — the holdout's worst relative time error stays
+//!    under [`HOLDOUT_ERR_CEILING`];
+//! 2. **never worse** — every pick's replayed simulated time is at
+//!    most the default's × (1 + [`REPLAY_TOL`]);
+//! 3. **a real win** — at least one non-paper shape's pick strictly
+//!    beats the default in replay;
+//! 4. **model-only selection** — structural: picks come out of
+//!    [`ks_tune::tune`] before any validation replay runs.
+//!
+//! ```text
+//! tune_bench [--smoke] [--seed S] [--json PATH]
+//! ```
+//!
+//! * default: the smoke grid (7 training shapes, 6 pick shapes, full
+//!   150-geometry lattice);
+//! * `--smoke`: a compact 4-train/3-pick grid, CI-sized;
+//! * `--json PATH`: write the [`TuneMetrics`] document.
+
+use std::time::Instant;
+
+use ks_bench::metrics::{path_arg, TuneMetrics, TunePickMetrics, SCHEMA_VERSION};
+use ks_gpu_kernels::TileGeometry;
+use ks_gpu_sim::config::DeviceConfig;
+use ks_tune::{profile_geometry, tune, ProblemShape, TuneConfig};
+
+/// Ceiling on the holdout's worst relative time error.
+const HOLDOUT_ERR_CEILING: f64 = 0.25;
+
+/// Replay tolerance for the "never worse than default" gate.
+const REPLAY_TOL: f64 = 1e-9;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = path_arg(&args, "--seed").map_or(0x5EED, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid --seed value {v}");
+            std::process::exit(2);
+        })
+    });
+
+    let mut cfg = TuneConfig::smoke(DeviceConfig::gtx970());
+    cfg.seed = seed;
+    if smoke {
+        cfg.train_shapes = vec![
+            ProblemShape::new(1024, 1024, 32),
+            ProblemShape::new(512, 512, 32),
+            ProblemShape::new(256, 256, 64),
+            ProblemShape::new(2048, 512, 128),
+        ];
+        cfg.pick_shapes = vec![
+            ProblemShape::new(1024, 1024, 32),
+            ProblemShape::new(256, 256, 64),
+            ProblemShape::new(384, 256, 96),
+        ];
+    }
+
+    let wall = Instant::now();
+    eprintln!(
+        "tune_bench: sweeping {} geometries x {} shapes on {}",
+        TileGeometry::lattice(&cfg.device).len(),
+        cfg.train_shapes.len(),
+        cfg.device.name
+    );
+    let out = tune(&cfg);
+    eprintln!(
+        "tune_bench: {} admitted, {} rejected, {} samples; holdout mape {:.4}, max {:.4}",
+        out.admitted.len(),
+        out.rejected.len(),
+        out.samples.len(),
+        out.fit.holdout_mape_time,
+        out.fit.holdout_max_rel_time
+    );
+
+    // Validation replay — strictly after the picks were made.
+    let default = TileGeometry::paper_default();
+    let mut picks = Vec::new();
+    let mut wins = 0u64;
+    let mut never_worse = true;
+    for p in &out.picks {
+        let shape = ProblemShape::new(p.m, p.n, p.k);
+        let picked = profile_geometry(&cfg.device, &p.choice.geometry, &shape)
+            .unwrap_or_else(|e| panic!("replaying pick at {shape}: {e}"));
+        let base = profile_geometry(&cfg.device, &default, &shape)
+            .unwrap_or_else(|e| panic!("replaying default at {shape}: {e}"));
+        let speedup = base.time_s / picked.time_s;
+        if picked.time_s > base.time_s * (1.0 + REPLAY_TOL) {
+            never_worse = false;
+            eprintln!(
+                "tune_bench: GATE FAIL at {shape}: pick {} replays {:.3e}s vs default {:.3e}s",
+                p.choice.geometry, picked.time_s, base.time_s
+            );
+        }
+        let non_paper = (p.m, p.n, p.k) != (128, 128, 8);
+        if non_paper && speedup > 1.0 && p.choice.geometry != default {
+            wins += 1;
+        }
+        eprintln!(
+            "tune_bench: {shape}: pick {} ({:.3e}s pred) replays {:.2}x vs default",
+            p.choice.geometry, p.choice.pred_time_s, speedup
+        );
+        picks.push(TunePickMetrics {
+            m: p.m as u64,
+            n: p.n as u64,
+            k: p.k as u64,
+            geometry: p.choice.geometry.to_string(),
+            pred_time_s: p.choice.pred_time_s,
+            pred_energy_j: p.choice.pred_energy_j,
+            picked_time_s: picked.time_s,
+            default_time_s: base.time_s,
+            speedup,
+            low_power: p.choice.low_power.map(|g| g.to_string()),
+            low_power_energy_j: p.choice.low_power_energy_j,
+        });
+    }
+
+    let fit_ok = out.fit.holdout_max_rel_time <= HOLDOUT_ERR_CEILING;
+    if !fit_ok {
+        eprintln!(
+            "tune_bench: GATE FAIL: holdout max rel time error {:.4} > {HOLDOUT_ERR_CEILING}",
+            out.fit.holdout_max_rel_time
+        );
+    }
+    if wins == 0 {
+        eprintln!("tune_bench: GATE FAIL: no non-paper shape strictly beat the default");
+    }
+    let gates_passed = fit_ok && never_worse && wins > 0;
+
+    let metrics = TuneMetrics {
+        schema_version: SCHEMA_VERSION,
+        seed,
+        device: cfg.device.name.clone(),
+        lattice: TileGeometry::lattice(&cfg.device).len() as u64,
+        admitted: out.admitted.len() as u64,
+        rejected: out.rejected.len() as u64,
+        samples: out.samples.len() as u64,
+        train_count: out.fit.train_count as u64,
+        holdout_count: out.fit.holdout_count as u64,
+        holdout_mape_time: out.fit.holdout_mape_time,
+        holdout_max_rel_time: out.fit.holdout_max_rel_time,
+        holdout_mape_energy: out.fit.holdout_mape_energy,
+        holdout_max_rel_energy: out.fit.holdout_max_rel_energy,
+        advertised_rel_err: out.fit.advertised_rel_err(),
+        picks,
+        wins,
+        gates_passed,
+        host_wall_s: wall.elapsed().as_secs_f64(),
+    };
+
+    if let Some(path) = path_arg(&args, "--json") {
+        metrics.write_json(&path).unwrap_or_else(|e| {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("tune_bench: wrote {path}");
+    }
+    println!("{}", metrics.to_json());
+    if !gates_passed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "tune_bench: all gates passed ({} picks, {} strict wins, {:.1}s)",
+        metrics.picks.len(),
+        wins,
+        metrics.host_wall_s
+    );
+}

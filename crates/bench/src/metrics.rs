@@ -236,6 +236,17 @@ pub struct ServeMetrics {
     pub static_admission_rejects: u64,
     /// Deepest queue occupancy observed.
     pub queue_high_water: u64,
+    /// Modelled GPU energy across all batches, joules.
+    pub energy_j: f64,
+    /// `energy_j / completed` — the serving energy figure of merit.
+    pub j_per_query: f64,
+    /// Batches routed to a pick's bit-compatible low-power geometry
+    /// by the energy budget.
+    pub energy_downshifts: u64,
+    /// Distinct raw batch shapes whose tile geometry was resolved.
+    pub geometry_resolves: u64,
+    /// Batches whose geometry came from the per-shape memo.
+    pub geometry_hits: u64,
     /// Merged GPU pipeline metrics (all batches' kernels in execution
     /// order); `None` when no GPU batch completed.
     pub gpu: Option<PipelineMetrics>,
@@ -271,6 +282,11 @@ impl ServeMetrics {
             static_admission_hits: report.static_admission.hits,
             static_admission_rejects: report.static_admission.rejects,
             queue_high_water: report.queue_high_water as u64,
+            energy_j: report.energy_j,
+            j_per_query: report.j_per_query(),
+            energy_downshifts: report.energy_downshifts,
+            geometry_resolves: report.geometry.resolves,
+            geometry_hits: report.geometry.hits,
             gpu,
         }
     }
@@ -548,6 +564,102 @@ impl PoolMetrics {
     }
 
     /// Writes [`PoolMetrics::to_json`] to `path`.
+    ///
+    /// # Errors
+    /// Propagates the I/O error.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// One tuned pick in the `BENCH_tune.json` export, with its
+/// independent replay validation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TunePickMetrics {
+    /// Raw problem rows.
+    pub m: u64,
+    /// Raw problem targets.
+    pub n: u64,
+    /// Raw point dimension.
+    pub k: u64,
+    /// The model's chosen geometry, `Display`-formatted.
+    pub geometry: String,
+    /// Model-predicted simulated time for the pick.
+    pub pred_time_s: f64,
+    /// Model-predicted energy for the pick.
+    pub pred_energy_j: f64,
+    /// Replay-measured simulated time of the pick (validation only —
+    /// the pick itself was made without this number).
+    pub picked_time_s: f64,
+    /// Replay-measured simulated time of the paper default.
+    pub default_time_s: f64,
+    /// `default_time_s / picked_time_s`.
+    pub speedup: f64,
+    /// Bit-compatible lower-energy variant, when one exists.
+    pub low_power: Option<String>,
+    /// Predicted energy of the low-power variant.
+    pub low_power_energy_j: f64,
+}
+
+/// The `BENCH_tune.json` document: one autotuner sweep — lattice,
+/// gates, fit quality — plus the replay validation of every pick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneMetrics {
+    /// Export schema version (see [`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Seed of the train/holdout split.
+    pub seed: u64,
+    /// Device the sweep ran on.
+    pub device: String,
+    /// Legal geometries enumerated.
+    pub lattice: u64,
+    /// Geometries surviving the static + differential gates.
+    pub admitted: u64,
+    /// Geometries rejected, with stage and reason recorded upstream.
+    pub rejected: u64,
+    /// Profiled (geometry, shape) samples the model was fitted on.
+    pub samples: u64,
+    /// Training-split size.
+    pub train_count: u64,
+    /// Holdout-split size.
+    pub holdout_count: u64,
+    /// Mean absolute relative holdout error, time head.
+    pub holdout_mape_time: f64,
+    /// Worst holdout relative error, time head.
+    pub holdout_max_rel_time: f64,
+    /// Mean absolute relative holdout error, energy head.
+    pub holdout_mape_energy: f64,
+    /// Worst holdout relative error, energy head.
+    pub holdout_max_rel_energy: f64,
+    /// The error band the fit advertises for downstream consumers.
+    pub advertised_rel_err: f64,
+    /// Every pick with its replay validation.
+    pub picks: Vec<TunePickMetrics>,
+    /// Picks strictly faster than the default in replay.
+    pub wins: u64,
+    /// All gates held (fit quality, no pick worse than default, at
+    /// least one strict win on a non-paper shape).
+    pub gates_passed: bool,
+    /// Host wall time of the sweep, seconds.
+    pub host_wall_s: f64,
+}
+
+impl TuneMetrics {
+    /// Pretty-printed JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics serialise")
+    }
+
+    /// Parses a document produced by [`TuneMetrics::to_json`].
+    ///
+    /// # Errors
+    /// Returns the underlying parse/shape error message.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes [`TuneMetrics::to_json`] to `path`.
     ///
     /// # Errors
     /// Propagates the I/O error.

@@ -3,13 +3,14 @@
 //! Kernel regression evaluates `V = K·W` for several weight columns at
 //! once. The fused structure extends naturally: each Gaussian value is
 //! computed **once** in registers and folded into `R` per-column
-//! accumulators — the incremental cost is `64·(R−1)` FFMAs per thread
-//! against the `64·K` FFMAs of the GEMM itself.
+//! accumulators — the incremental cost is `micro_m·micro_n·(R−1)`
+//! FFMAs per thread against the GEMM's own FFMA stream.
 //!
 //! The catch is the paper's §III-A register economy: each extra column
-//! costs ~16 registers per thread (8 accumulator partials + 8 staged
-//! weights), so `R = 2` pushes the kernel past the 128-register line
-//! where occupancy halves to **one block per SM**. Whether reuse beats
+//! costs ~`2·micro_n` registers per thread (`micro_n` accumulator
+//! partials + `micro_n` staged weights), so at the paper geometry
+//! `R = 2` pushes the kernel past the 128-register line where
+//! occupancy halves to **one block per SM**. Whether reuse beats
 //! occupancy is exactly the kind of question the simulator answers —
 //! the alternative (running the single-weight kernel `R` times) redoes
 //! the entire GEMM per column. See the `multi_weight` rows of the
@@ -23,6 +24,7 @@ use ks_gpu_sim::access::{
     affine_lanes, masked_lanes, AccessSpec, BarrierSpec, GlobalPattern, SharedPattern,
 };
 use ks_gpu_sim::buffer::BufId;
+use ks_gpu_sim::config::DeviceConfig;
 use ks_gpu_sim::device::GpuDevice;
 use ks_gpu_sim::dim::{Dim3, LaunchConfig};
 use ks_gpu_sim::exec::BlockCtx;
@@ -31,7 +33,6 @@ use ks_gpu_sim::kernel::{
     AnalysisBudget, BlockClass, BufferUse, ExecModel, Kernel, KernelResources, LaunchError,
     TimingHints,
 };
-use ks_gpu_sim::occupancy::OccupancyLimiter;
 use ks_gpu_sim::profiler::PipelineProfile;
 use ks_gpu_sim::trace::AccessDir;
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
@@ -41,15 +42,17 @@ use ks_gpu_sim::smem::flip_bit;
 use crate::aux_kernels::{gaussian, Bandwidth, NormsKernel};
 use crate::fused::{VerifyBufs, VerifyReport, CHECKSUM_SLOT_WORDS};
 use crate::gemm_engine::{
-    fresh_acc, gemm_access_spec, gemm_block, gemm_block_verified, syncs_per_block, GemmOperands,
-    GemmShape, Microtile, SmemMap,
+    gemm_access_spec, gemm_block, gemm_block_verified, syncs_per_block, AccGrid, GemmOperands,
+    GemmShape, SmemMap, MAX_MICRO,
 };
+use crate::geometry::TileGeometry;
 use crate::layout::SmemLayout;
 use crate::machine::{FunctionalMachine, TrafficMachine, WarpMachine};
-use crate::{BLOCK_TILE, K_TILE, MICRO_TILE, THREADS_XY, WARPS_PER_BLOCK};
 
-/// Maximum weight columns: the `T` scratch (1024 words, reusing an
-/// idle GEMM tile buffer) holds `128·R` partials.
+/// Maximum weight columns: the `T` scratch (which reuses an idle GEMM
+/// A-tile buffer of `block_m·tile_k` words) holds `block_m·R`
+/// partials, so `R ≤ tile_k`; the paper geometry's rank-8 tiles give
+/// this serving-batch ceiling.
 pub const MAX_WEIGHT_COLUMNS: usize = 8;
 
 /// The multi-weight fused kernel (see module docs).
@@ -63,12 +66,14 @@ pub struct FusedMultiWeight {
     v: BufId,
     shape: GemmShape,
     bw: Bandwidth,
+    geometry: TileGeometry,
     r: usize,
     verify: Option<VerifyBufs>,
 }
 
 impl FusedMultiWeight {
-    /// Creates the kernel with `r` weight columns.
+    /// Creates the kernel with `r` weight columns at the paper-default
+    /// geometry.
     ///
     /// # Panics
     /// Panics if the shape violates the tiling constraints or
@@ -98,49 +103,81 @@ impl FusedMultiWeight {
             v,
             shape,
             bw,
+            geometry: TileGeometry::paper_default(),
             r,
             verify: None,
         }
     }
 
+    /// Selects the tile geometry. The shape must divide it, and the
+    /// column count must fit its `T` scratch (`r ≤ tile_k`).
+    ///
+    /// # Panics
+    /// Panics if the shape violates the geometry's tiling constraints
+    /// or `r > geometry.tile_k`.
+    #[must_use]
+    pub fn with_geometry(mut self, geometry: TileGeometry) -> Self {
+        self.shape.validate_for(&geometry);
+        assert!(
+            self.r <= geometry.tile_k,
+            "{} weight columns exceed the T scratch of {geometry} (tile_k {})",
+            self.r,
+            geometry.tile_k
+        );
+        self.geometry = geometry;
+        self
+    }
+
+    /// The kernel's tile geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &TileGeometry {
+        &self.geometry
+    }
+
     /// Enables ABFT verification (see [`crate::fused`]). The checksum
-    /// buffer must hold `R·(M/128)·CHECKSUM_SLOT_WORDS` zeroed words
-    /// (slot `(c·(M/128) + by)·CHECKSUM_SLOT_WORDS` for column `c`,
-    /// row group `by`) and the flag buffer `CHECKSUM_SLOT_WORDS`
-    /// zeroed words.
+    /// buffer must hold `R·(M/block_m)·CHECKSUM_SLOT_WORDS` zeroed
+    /// words (slot `(c·(M/block_m) + by)·CHECKSUM_SLOT_WORDS` for
+    /// column `c`, row group `by`) and the flag buffer
+    /// `CHECKSUM_SLOT_WORDS` zeroed words.
     #[must_use]
     pub fn with_verify(mut self, bufs: VerifyBufs) -> Self {
         self.verify = Some(bufs);
         self
     }
 
-    /// Registers per thread as a function of the column count:
-    /// the single-weight kernel's 128 plus ~16 per extra column.
+    /// Registers per thread as a function of the column count at the
+    /// paper geometry: the single-weight kernel's 128 plus ~16 per
+    /// extra column.
     #[must_use]
     pub fn regs_per_thread(r: usize) -> u32 {
-        (128 + 16 * (r - 1)) as u32
+        TileGeometry::paper_default().regs_per_thread_multi(r)
     }
 
     fn body<M: WarpMachine>(&self, block: Dim3, mach: &mut M) {
         let (bx, by) = (block.x as usize, block.y as usize);
         let s = self.bw.inv_2h2();
-        let warps = WARPS_PER_BLOCK as u64;
+        let geo = &self.geometry;
+        let warps = geo.warps_per_block();
+        let (mm, mn) = (geo.micro_m, geo.micro_n);
+        let txn = geo.threads_x();
+        let rpw = geo.rows_per_warp();
+        let threads = geo.threads_per_block();
         let r = self.r;
         let (n, m) = (self.shape.n, self.shape.m);
 
         // --- GEMM phase -------------------------------------------------
-        let mut acc: Vec<Microtile> = if M::FUNCTIONAL {
-            fresh_acc()
+        let mut acc = if M::FUNCTIONAL {
+            AccGrid::for_geometry(geo)
         } else {
-            Vec::new()
+            AccGrid::empty(geo)
         };
         let mut corrupt = if self.verify.is_some() {
             gemm_block_verified(
                 mach,
+                geo,
                 &self.ops,
                 &self.shape,
                 SmemLayout::Swizzled,
-                true,
                 bx,
                 by,
                 &mut acc,
@@ -148,10 +185,10 @@ impl FusedMultiWeight {
         } else {
             gemm_block(
                 mach,
+                geo,
                 &self.ops,
                 &self.shape,
                 SmemLayout::Swizzled,
-                true,
                 bx,
                 by,
                 &mut acc,
@@ -163,12 +200,12 @@ impl FusedMultiWeight {
         // single-weight kernel).
         let mut reg_flips: Vec<(usize, usize, usize, u8)> = Vec::new();
         if M::FUNCTIONAL {
-            let span = (256 * MICRO_TILE * r) as u64;
+            let span = (threads * mm * r) as u64;
             for (pick, bit) in mach.accumulator_faults() {
                 let elem = (pick % span) as usize;
-                let tid = elem / (MICRO_TILE * r);
-                let rest = elem % (MICRO_TILE * r);
-                reg_flips.push((tid, rest / MICRO_TILE, rest % MICRO_TILE, bit));
+                let tid = elem / (mm * r);
+                let rest = elem % (mm * r);
+                reg_flips.push((tid, rest / mm, rest % mm, bit));
             }
         }
 
@@ -176,79 +213,82 @@ impl FusedMultiWeight {
         // T reuses the A tile buffer the final `compute_ktile` is NOT
         // still reading in this epoch (see `fused.rs`): that compute
         // reads `a[(tiles−1) % 2]`, so T parks in `a[tiles % 2]`.
-        let tiles = self.shape.k / K_TILE;
-        let t_off = SmemMap::new(true).a[tiles % 2];
-        // gamma[tid][col][row partial]
-        let mut gamma =
-            vec![[[0.0f32; MICRO_TILE]; MAX_WEIGHT_COLUMNS]; if M::FUNCTIONAL { 256 } else { 0 }];
+        let tiles = geo.tiles(self.shape.k);
+        let t_off = SmemMap::for_geometry(geo).a[tiles % 2];
+        // gamma[(tid·r + col)·micro_m + row]
+        let mut gamma = vec![0.0f32; if M::FUNCTIONAL { threads * mm * r } else { 0 }];
         let mut gamma_clean_xor = 0u32;
         let mut gamma_parked_xor = 0u32;
         let mut t_store_xor = 0u32;
-        for wp in 0..WARPS_PER_BLOCK {
+        let (cm, cn) = (mm / 4, mn / 4);
+        for wp in 0..warps {
             mach.begin_warp(wp as u32);
             mach.alu(2);
-            let idx_lo: WarpIdx = std::array::from_fn(|lane| {
-                let ty = 2 * wp + lane / THREADS_XY;
-                Some(by * BLOCK_TILE + ty * MICRO_TILE)
-            });
-            let idx_hi: WarpIdx = std::array::from_fn(|lane| idx_lo[lane].map(|i| i + 4));
-            let a2_lo = mach.ld_global(self.a2, &idx_lo, VecWidth::V4);
-            let a2_hi = mach.ld_global(self.a2, &idx_hi, VecWidth::V4);
-            let col_idx_lo: WarpIdx = std::array::from_fn(|lane| {
-                let tx = lane % THREADS_XY;
-                Some(bx * BLOCK_TILE + tx * MICRO_TILE)
-            });
-            let col_idx_hi: WarpIdx = std::array::from_fn(|lane| col_idx_lo[lane].map(|i| i + 4));
-            let b2_lo = mach.ld_global(self.b2, &col_idx_lo, VecWidth::V4);
-            let b2_hi = mach.ld_global(self.b2, &col_idx_hi, VecWidth::V4);
+            let row0 = |lane: usize| (rpw * wp + lane / txn) * mm;
+            let col0 = |lane: usize| (lane % txn) * mn;
+            let mut a2_chunks = vec![[[0.0f32; 4]; 32]; cm];
+            for (chunk, dst) in a2_chunks.iter_mut().enumerate() {
+                let idx: WarpIdx =
+                    std::array::from_fn(|lane| Some(by * geo.block_m + row0(lane) + 4 * chunk));
+                let v = mach.ld_global(self.a2, &idx, VecWidth::V4);
+                if M::FUNCTIONAL {
+                    *dst = v;
+                }
+            }
+            let mut b2_chunks = vec![[[0.0f32; 4]; 32]; cn];
+            for (chunk, dst) in b2_chunks.iter_mut().enumerate() {
+                let idx: WarpIdx =
+                    std::array::from_fn(|lane| Some(bx * geo.block_n + col0(lane) + 4 * chunk));
+                let v = mach.ld_global(self.b2, &idx, VecWidth::V4);
+                if M::FUNCTIONAL {
+                    *dst = v;
+                }
+            }
             // Stage all R weight slices (column-major: column c at
             // offset c·N).
-            let mut w_lo = [[[0.0f32; 4]; 32]; MAX_WEIGHT_COLUMNS];
-            let mut w_hi = [[[0.0f32; 4]; 32]; MAX_WEIGHT_COLUMNS];
-            for c in 0..r {
-                let wl: WarpIdx = std::array::from_fn(|lane| col_idx_lo[lane].map(|i| c * n + i));
-                let wh: WarpIdx = std::array::from_fn(|lane| col_idx_hi[lane].map(|i| c * n + i));
-                let lo = mach.ld_global(self.w, &wl, VecWidth::V4);
-                let hi = mach.ld_global(self.w, &wh, VecWidth::V4);
-                if M::FUNCTIONAL {
-                    w_lo[c] = lo;
-                    w_hi[c] = hi;
+            let mut w_chunks = vec![vec![[[0.0f32; 4]; 32]; cn]; r];
+            for (c, col_chunks) in w_chunks.iter_mut().enumerate() {
+                for (chunk, dst) in col_chunks.iter_mut().enumerate() {
+                    let idx: WarpIdx = std::array::from_fn(|lane| {
+                        Some(c * n + bx * geo.block_n + col0(lane) + 4 * chunk)
+                    });
+                    let v = mach.ld_global(self.w, &idx, VecWidth::V4);
+                    if M::FUNCTIONAL {
+                        *dst = v;
+                    }
                 }
             }
 
             // Evaluation once; fold R times.
-            mach.falu(64);
-            mach.ffma(128);
-            mach.sfu(64);
-            mach.ffma(64 * r as u64);
+            let elems = (mm * mn) as u64;
+            mach.falu(elems);
+            mach.ffma(2 * elems);
+            mach.sfu(elems);
+            mach.ffma(elems * r as u64);
             if M::FUNCTIONAL {
                 for lane in 0..32 {
                     let tid = wp * 32 + lane;
-                    let a2row: [f32; 8] = std::array::from_fn(|i| {
-                        if i < 4 {
-                            a2_lo[lane][i]
+                    let a2row: [f32; MAX_MICRO] = std::array::from_fn(|i| {
+                        if i < mm {
+                            a2_chunks[i / 4][lane][i % 4]
                         } else {
-                            a2_hi[lane][i - 4]
+                            0.0
                         }
                     });
-                    let b2col: [f32; 8] = std::array::from_fn(|c| {
-                        if c < 4 {
-                            b2_lo[lane][c]
+                    let b2col: [f32; MAX_MICRO] = std::array::from_fn(|c| {
+                        if c < mn {
+                            b2_chunks[c / 4][lane][c % 4]
                         } else {
-                            b2_hi[lane][c - 4]
+                            0.0
                         }
                     });
-                    for row in 0..MICRO_TILE {
-                        for cc in 0..MICRO_TILE {
-                            let d = a2row[row] + b2col[cc] - 2.0 * acc[tid][row][cc];
+                    for row in 0..mm {
+                        for cc in 0..mn {
+                            let d = a2row[row] + b2col[cc] - 2.0 * acc.at(tid, row, cc);
                             let kv = gaussian(d, s);
                             for c in 0..r {
-                                let wv = if cc < 4 {
-                                    w_lo[c][lane][cc]
-                                } else {
-                                    w_hi[c][lane][cc - 4]
-                                };
-                                gamma[tid][c][row] += kv * wv;
+                                let wv = w_chunks[c][cc / 4][lane][cc % 4];
+                                gamma[(tid * r + c) * mm + row] += kv * wv;
                             }
                         }
                     }
@@ -257,56 +297,53 @@ impl FusedMultiWeight {
 
             if self.verify.is_some() {
                 // DMR on the R folds (see the single-weight kernel).
-                mach.ffma(64 * r as u64);
-                mach.falu(8);
+                mach.ffma(elems * r as u64);
+                mach.falu(mm as u64);
                 if M::FUNCTIONAL {
                     for lane in 0..32 {
                         let tid = wp * 32 + lane;
-                        for c in 0..r {
-                            for g in &gamma[tid][c] {
-                                gamma_clean_xor ^= g.to_bits();
-                            }
+                        for g in &gamma[tid * r * mm..(tid + 1) * r * mm] {
+                            gamma_clean_xor ^= g.to_bits();
                         }
                     }
                 }
             }
             if M::FUNCTIONAL {
                 for &(tid, col, row, bit) in reg_flips.iter().filter(|f| f.0 / 32 == wp) {
-                    gamma[tid][col][row] = flip_bit(gamma[tid][col][row], bit);
+                    let idx = (tid * r + col) * mm + row;
+                    gamma[idx] = flip_bit(gamma[idx], bit);
                 }
                 if self.verify.is_some() {
                     for lane in 0..32 {
                         let tid = wp * 32 + lane;
-                        for c in 0..r {
-                            for g in &gamma[tid][c] {
-                                gamma_parked_xor ^= g.to_bits();
-                            }
+                        for g in &gamma[tid * r * mm..(tid + 1) * r * mm] {
+                            gamma_parked_xor ^= g.to_bits();
                         }
                     }
                 }
             }
 
             // Intra-block shuffle reduction per column.
-            mach.alu(32 * r as u64);
-            mach.falu(32 * r as u64);
-            // T scratch: column c parks at word offset t_off + 128·c.
+            let shuffle_ops = (txn.trailing_zeros() as u64) * (mm * r) as u64;
+            mach.alu(shuffle_ops);
+            mach.falu(shuffle_ops);
+            // T scratch: column c parks at word offset t_off + c·block_m.
             for c in 0..r {
                 let t_base: [Option<u32>; 32] = std::array::from_fn(|lane| {
-                    let tx = lane % THREADS_XY;
-                    let ty = 2 * wp + lane / THREADS_XY;
-                    (tx == 0).then_some(t_off + (c * BLOCK_TILE + ty * MICRO_TILE) as u32)
+                    (lane % txn == 0).then_some(t_off + (c * geo.block_m + row0(lane)) as u32)
                 });
-                for row in 0..MICRO_TILE {
+                for row in 0..mm {
                     let words: [Option<u32>; 32] =
                         std::array::from_fn(|lane| t_base[lane].map(|b| b + row as u32));
                     let mut vals = [[0.0f32; 4]; 32];
                     if M::FUNCTIONAL {
-                        for half in 0..2 {
+                        for h in 0..rpw {
                             let mut sum = 0.0f32;
-                            for tx in 0..THREADS_XY {
-                                sum += gamma[wp * 32 + half * THREADS_XY + tx][c][row];
+                            for tx in 0..txn {
+                                let tid = wp * 32 + h * txn + tx;
+                                sum += gamma[(tid * r + c) * mm + row];
                             }
-                            vals[half * THREADS_XY][0] = sum;
+                            vals[h * txn][0] = sum;
                             if self.verify.is_some() {
                                 t_store_xor ^= sum.to_bits();
                             }
@@ -316,20 +353,20 @@ impl FusedMultiWeight {
                 }
             }
         }
-        mach.syncthreads(warps);
+        mach.syncthreads(warps as u64);
 
         // --- Atomic drain, one coalesced pass per column -----------------
         let mut t_drain_xor = 0u32;
         let mut sigma = [0.0f32; MAX_WEIGHT_COLUMNS];
-        for wp in 0..WARPS_PER_BLOCK / 2 {
-            mach.begin_warp(wp as u32);
+        for p in 0..geo.drain_phases() {
+            mach.begin_warp((p % warps) as u32);
             for c in 0..r {
                 let words: [Option<u32>; 32] = std::array::from_fn(|lane| {
-                    Some(t_off + (c * BLOCK_TILE + wp * 32 + lane) as u32)
+                    Some(t_off + (c * geo.block_m + p * 32 + lane) as u32)
                 });
                 let t_vals = mach.ld_shared(&words, VecWidth::V1);
                 let vidx: WarpIdx =
-                    std::array::from_fn(|lane| Some(c * m + by * BLOCK_TILE + wp * 32 + lane));
+                    std::array::from_fn(|lane| Some(c * m + by * geo.block_m + p * 32 + lane));
                 let lane_vals: [f32; 32] = std::array::from_fn(|lane| t_vals[lane][0]);
                 if M::FUNCTIONAL && self.verify.is_some() {
                     for v in &lane_vals {
@@ -345,7 +382,7 @@ impl FusedMultiWeight {
         if let Some(vb) = self.verify {
             corrupt |= gamma_clean_xor != gamma_parked_xor;
             corrupt |= t_store_xor != t_drain_xor;
-            let gy = m / BLOCK_TILE;
+            let gy = m / geo.block_m;
             mach.begin_warp(0);
             mach.falu(2);
             // One atomic with R active lanes: lane c updates the slot
@@ -367,32 +404,48 @@ impl FusedMultiWeight {
 impl Kernel for FusedMultiWeight {
     fn name(&self) -> String {
         let tag = if self.verify.is_some() { "_abft" } else { "" };
+        let gtag = if self.geometry == TileGeometry::paper_default() {
+            String::new()
+        } else {
+            let g = &self.geometry;
+            format!(
+                "_g{}x{}u{}x{}k{}d{}",
+                g.block_m, g.block_n, g.micro_m, g.micro_n, g.tile_k, g.double_buffer_depth
+            )
+        };
         format!(
-            "fused_multiw{}{tag}_{}x{}x{}",
+            "fused_multiw{}{tag}{gtag}_{}x{}x{}",
             self.r, self.shape.m, self.shape.n, self.shape.k
         )
     }
 
     fn launch_config(&self) -> LaunchConfig {
-        let (gx, gy) = self.shape.grid();
+        let (gx, gy) = self.shape.grid_for(&self.geometry);
         LaunchConfig::new(
             Dim3::new_2d(gx, gy),
-            Dim3::new_2d(THREADS_XY as u32, THREADS_XY as u32),
+            Dim3::new_2d(
+                self.geometry.threads_x() as u32,
+                self.geometry.threads_y() as u32,
+            ),
         )
     }
 
     fn resources(&self) -> KernelResources {
         KernelResources {
-            threads_per_block: (THREADS_XY * THREADS_XY) as u32,
-            regs_per_thread: Self::regs_per_thread(self.r).min(255),
-            smem_bytes_per_block: SmemMap::new(true).bytes(),
+            threads_per_block: self.geometry.threads_per_block() as u32,
+            regs_per_thread: self.geometry.regs_per_thread_multi(self.r).min(255),
+            smem_bytes_per_block: SmemMap::for_geometry(&self.geometry).bytes(),
         }
     }
 
     fn timing_hints(&self) -> TimingHints {
         TimingHints {
             exec_model: ExecModel::CudaC,
-            mlp: 8.0,
+            mlp: if self.geometry.double_buffer_depth == 2 {
+                8.0
+            } else {
+                3.0
+            },
         }
     }
 
@@ -409,61 +462,71 @@ impl Kernel for FusedMultiWeight {
     }
 
     fn access_spec(&self) -> Option<AccessSpec> {
+        let geo = &self.geometry;
+        let (mm, mn) = (geo.micro_m, geo.micro_n);
+        let txn = geo.threads_x();
+        let rpw = geo.rows_per_warp();
+        let warps = geo.warps_per_block();
         let mut spec = AccessSpec::default();
         gemm_access_spec(
             &mut spec,
+            geo,
             &self.ops,
             &self.shape,
             SmemLayout::Swizzled,
-            true,
             self.verify.is_some(),
         );
         let (n, m, r) = (self.shape.n, self.shape.m, self.r);
-        let tiles = self.shape.k / K_TILE;
-        let t_off = SmemMap::new(true).a[tiles % 2];
-        for wp in 0..WARPS_PER_BLOCK {
-            let row = |lane: usize| ((2 * wp + lane / THREADS_XY) * MICRO_TILE) as i64;
-            let col = |lane: usize| ((lane % THREADS_XY) * MICRO_TILE) as i64;
-            for half in 0..2i64 {
+        let tiles = geo.tiles(self.shape.k);
+        let t_off = SmemMap::for_geometry(geo).a[tiles % 2];
+        let (cm, cn) = (mm / 4, mn / 4);
+        for wp in 0..warps {
+            let row = |lane: usize| ((rpw * wp + lane / txn) * mm) as i64;
+            let col = |lane: usize| ((lane % txn) * mn) as i64;
+            for chunk in 0..cm {
                 spec.global.push(
                     GlobalPattern::new(
                         self.a2,
                         "a2",
                         AccessDir::Read,
                         VecWidth::V4,
-                        affine_lanes(|lane| row(lane) + 4 * half),
+                        affine_lanes(|lane| row(lane) + 4 * chunk as i64),
                     )
-                    .with_by(BLOCK_TILE as i64),
+                    .with_by(geo.block_m as i64),
                 );
+            }
+            for chunk in 0..cn {
                 spec.global.push(
                     GlobalPattern::new(
                         self.b2,
                         "b2",
                         AccessDir::Read,
                         VecWidth::V4,
-                        affine_lanes(|lane| col(lane) + 4 * half),
+                        affine_lanes(|lane| col(lane) + 4 * chunk as i64),
                     )
-                    .with_bx(BLOCK_TILE as i64),
+                    .with_bx(geo.block_n as i64),
                 );
-                // Column-major weight slices: column c at offset c·N.
-                for c in 0..r {
+            }
+            // Column-major weight slices: column c at offset c·N.
+            for c in 0..r {
+                for chunk in 0..cn {
                     spec.global.push(
                         GlobalPattern::new(
                             self.w,
                             "w",
                             AccessDir::Read,
                             VecWidth::V4,
-                            affine_lanes(|lane| (c * n) as i64 + col(lane) + 4 * half),
+                            affine_lanes(|lane| (c * n) as i64 + col(lane) + 4 * chunk as i64),
                         )
-                        .with_bx(BLOCK_TILE as i64),
+                        .with_bx(geo.block_n as i64),
                     );
                 }
             }
             for c in 0..r {
-                for row_w in 0..MICRO_TILE {
+                for row_w in 0..mm {
                     let words: [Option<u32>; 32] = std::array::from_fn(|lane| {
-                        (lane % THREADS_XY == 0).then_some(
-                            t_off + (c * BLOCK_TILE) as u32 + row(lane) as u32 + row_w as u32,
+                        (lane % txn == 0).then_some(
+                            t_off + (c * geo.block_m) as u32 + row(lane) as u32 + row_w as u32,
                         )
                     });
                     spec.shared
@@ -471,10 +534,10 @@ impl Kernel for FusedMultiWeight {
                 }
             }
         }
-        for wp in 0..WARPS_PER_BLOCK / 2 {
+        for p in 0..geo.drain_phases() {
             for c in 0..r {
                 let words: [Option<u32>; 32] = std::array::from_fn(|lane| {
-                    Some(t_off + (c * BLOCK_TILE + wp * 32 + lane) as u32)
+                    Some(t_off + (c * geo.block_m + p * 32 + lane) as u32)
                 });
                 spec.shared
                     .push(SharedPattern::new(words, VecWidth::V1, AccessDir::Read));
@@ -484,14 +547,14 @@ impl Kernel for FusedMultiWeight {
                         "v",
                         AccessDir::Atomic,
                         VecWidth::V1,
-                        affine_lanes(|lane| (c * m + wp * 32 + lane) as i64),
+                        affine_lanes(|lane| (c * m + p * 32 + lane) as i64),
                     )
-                    .with_by(BLOCK_TILE as i64),
+                    .with_by(geo.block_m as i64),
                 );
             }
         }
         if let Some(vb) = self.verify {
-            let gy = m / BLOCK_TILE;
+            let gy = m / geo.block_m;
             spec.global.push(
                 GlobalPattern::new(
                     vb.checksum,
@@ -513,25 +576,27 @@ impl Kernel for FusedMultiWeight {
             ));
         }
         spec.barriers = Some(BarrierSpec {
-            count: syncs_per_block(self.shape.k, true) + 1,
-            warps: WARPS_PER_BLOCK as u64,
+            count: syncs_per_block(geo, self.shape.k) + 1,
+            warps: warps as u64,
         });
         Some(spec)
     }
 
     fn block_class(&self, block: Dim3) -> Option<BlockClass> {
         // Same affine structure as the single-weight kernel: the
-        // column-major weight reads (c·n + bx·128 + …) and atomic
-        // drains (c·m + by·128 + …) shift with bx·128 / by·128; the
-        // c·n / c·m column offsets are block-independent.
+        // column-major weight reads (c·n + bx·block_n + …) and atomic
+        // drains (c·m + by·block_m + …) shift with bx·block_n /
+        // by·block_m; the c·n / c·m column offsets are
+        // block-independent.
         let (bx, by) = (block.x as usize, block.y as usize);
+        let geo = &self.geometry;
         let mut anchors = vec![
-            (self.ops.a, by * BLOCK_TILE * self.shape.k),
-            (self.ops.b, bx * BLOCK_TILE * self.shape.k),
-            (self.a2, by * BLOCK_TILE),
-            (self.b2, bx * BLOCK_TILE),
-            (self.w, bx * BLOCK_TILE),
-            (self.v, by * BLOCK_TILE),
+            (self.ops.a, by * geo.block_m * self.shape.k),
+            (self.ops.b, bx * geo.block_n * self.shape.k),
+            (self.a2, by * geo.block_m),
+            (self.b2, bx * geo.block_n),
+            (self.w, bx * geo.block_n),
+            (self.v, by * geo.block_m),
         ];
         if let Some(vb) = self.verify {
             // Checksum slots shift by one sector-aligned slot per row
@@ -549,7 +614,7 @@ impl Kernel for FusedMultiWeight {
         if let Some(vb) = self.verify {
             extra.push(BufferUse {
                 buf: vb.checksum,
-                len: self.r * (m / BLOCK_TILE) * CHECKSUM_SLOT_WORDS,
+                len: self.r * (m / self.geometry.block_m) * CHECKSUM_SLOT_WORDS,
                 writes: true,
                 label: "chk",
             });
@@ -560,12 +625,14 @@ impl Kernel for FusedMultiWeight {
                 label: "flag",
             });
         }
+        // §III-A register economy, computed from the geometry: at the
+        // paper point R ≥ 2 exceeds 128 regs/thread and halves
+        // occupancy to one block per SM.
+        let occ = ks_gpu_sim::occupancy::occupancy(&DeviceConfig::gtx970(), &self.resources());
         AnalysisBudget {
             smem_conflict_budget: 0,
-            // §III-A register economy: R ≥ 2 exceeds 128 regs/thread
-            // and halves occupancy to one block per SM.
-            expected_blocks_per_sm: Some(if self.r >= 2 { 1 } else { 2 }),
-            expected_limiter: Some(OccupancyLimiter::Registers),
+            expected_blocks_per_sm: Some(occ.blocks_per_sm),
+            expected_limiter: Some(occ.limiter),
             buffers: vec![
                 BufferUse {
                     buf: self.ops.a,
@@ -642,7 +709,39 @@ pub fn execute_fused_multi(
     w_cols: &[f32],
     a2: Option<&[f32]>,
 ) -> Result<(Vec<f32>, PipelineProfile), LaunchError> {
-    let (v, prof, _) = execute_fused_multi_inner(dev, shape, h, a, b, w_cols, a2, false)?;
+    execute_fused_multi_with(
+        dev,
+        &TileGeometry::paper_default(),
+        shape,
+        h,
+        a,
+        b,
+        w_cols,
+        a2,
+    )
+}
+
+/// [`execute_fused_multi`] at an explicit tile geometry (the tuned
+/// serving path).
+///
+/// # Errors
+/// Propagates launch-validation failures from any kernel.
+///
+/// # Panics
+/// As [`execute_fused_multi`]; additionally if the shape does not
+/// divide `geometry` or the column count exceeds its `tile_k`.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_fused_multi_with(
+    dev: &mut GpuDevice,
+    geometry: &TileGeometry,
+    shape: GemmShape,
+    h: f32,
+    a: &[f32],
+    b: &[f32],
+    w_cols: &[f32],
+    a2: Option<&[f32]>,
+) -> Result<(Vec<f32>, PipelineProfile), LaunchError> {
+    let (v, prof, _) = execute_fused_multi_inner(dev, geometry, shape, h, a, b, w_cols, a2, false)?;
     Ok((v, prof))
 }
 
@@ -667,7 +766,39 @@ pub fn execute_fused_multi_verified(
     w_cols: &[f32],
     a2: Option<&[f32]>,
 ) -> Result<(Vec<f32>, PipelineProfile, VerifyReport), LaunchError> {
-    let (v, prof, report) = execute_fused_multi_inner(dev, shape, h, a, b, w_cols, a2, true)?;
+    execute_fused_multi_verified_with(
+        dev,
+        &TileGeometry::paper_default(),
+        shape,
+        h,
+        a,
+        b,
+        w_cols,
+        a2,
+    )
+}
+
+/// [`execute_fused_multi_verified`] at an explicit tile geometry.
+///
+/// # Errors
+/// Propagates launch-validation failures and injected launch-level
+/// faults from any kernel.
+///
+/// # Panics
+/// As [`execute_fused_multi_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_fused_multi_verified_with(
+    dev: &mut GpuDevice,
+    geometry: &TileGeometry,
+    shape: GemmShape,
+    h: f32,
+    a: &[f32],
+    b: &[f32],
+    w_cols: &[f32],
+    a2: Option<&[f32]>,
+) -> Result<(Vec<f32>, PipelineProfile, VerifyReport), LaunchError> {
+    let (v, prof, report) =
+        execute_fused_multi_inner(dev, geometry, shape, h, a, b, w_cols, a2, true)?;
     Ok((
         v,
         prof,
@@ -678,6 +809,7 @@ pub fn execute_fused_multi_verified(
 #[allow(clippy::too_many_arguments)]
 fn execute_fused_multi_inner(
     dev: &mut GpuDevice,
+    geometry: &TileGeometry,
     shape: GemmShape,
     h: f32,
     a: &[f32],
@@ -686,7 +818,7 @@ fn execute_fused_multi_inner(
     a2: Option<&[f32]>,
     verify: bool,
 ) -> Result<(Vec<f32>, PipelineProfile, Option<VerifyReport>), LaunchError> {
-    shape.validate();
+    shape.validate_for(geometry);
     let (m, n, k) = (shape.m, shape.n, shape.k);
     assert_eq!(a.len(), m * k, "A must be M·K elements");
     assert_eq!(b.len(), k * n, "B must be K·N elements");
@@ -710,7 +842,7 @@ fn execute_fused_multi_inner(
     let w_buf = dev.upload(w_cols);
     let v_buf = dev.alloc(m * r);
     let verify_bufs = verify.then(|| {
-        let checksum = dev.alloc(r * (m / BLOCK_TILE) * CHECKSUM_SLOT_WORDS);
+        let checksum = dev.alloc(r * (m / geometry.block_m) * CHECKSUM_SLOT_WORDS);
         let flag = dev.alloc(CHECKSUM_SLOT_WORDS);
         VerifyBufs { checksum, flag }
     });
@@ -726,7 +858,8 @@ fn execute_fused_multi_inner(
         kernels.push(Box::new(NormsKernel::new(ops.a, a2_buf, m, k, "a")));
     }
     kernels.push(Box::new(NormsKernel::new(ops.b, b2_buf, n, k, "b")));
-    let mut fused = FusedMultiWeight::new(ops, a2_buf, b2_buf, w_buf, v_buf, shape, bw, r);
+    let mut fused = FusedMultiWeight::new(ops, a2_buf, b2_buf, w_buf, v_buf, shape, bw, r)
+        .with_geometry(*geometry);
     if let Some(vb) = verify_bufs {
         fused = fused.with_verify(vb);
     }
@@ -747,7 +880,14 @@ fn execute_fused_multi_inner(
     }
     let v = dev.download(v_buf);
     let report = verify_bufs.map(|vb| {
-        VerifyReport::from_outputs(&v, &dev.download(vb.checksum), &dev.download(vb.flag), m, r)
+        VerifyReport::from_outputs(
+            &v,
+            &dev.download(vb.checksum),
+            &dev.download(vb.flag),
+            m,
+            r,
+            geometry.block_m,
+        )
     });
     Ok((v, prof, report))
 }
@@ -889,6 +1029,47 @@ mod tests {
         let single = s.dev.download(v2);
         for (a, b) in multi.iter().zip(single.iter()) {
             assert!((a - b).abs() < 1e-4 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn non_default_geometry_matches_the_multi_oracle_bit_for_bit() {
+        let (mr, nr, kr, r) = (128usize, 128usize, 16usize, 2usize);
+        let shape = GemmShape {
+            m: mr,
+            n: nr,
+            k: kr,
+        };
+        let s = setup(shape, r, 77);
+        let a2: Vec<f32> = (0..mr)
+            .map(|i| s.a[i * kr..(i + 1) * kr].iter().map(|v| v * v).sum())
+            .collect();
+        let b2: Vec<f32> = (0..nr)
+            .map(|j| s.b[j * kr..(j + 1) * kr].iter().map(|v| v * v).sum())
+            .collect();
+        let geo = TileGeometry {
+            block_m: 64,
+            block_n: 64,
+            ..TileGeometry::paper_default()
+        };
+        let mut dev = GpuDevice::gtx970();
+        let ops = GemmOperands {
+            a: dev.upload(&s.a),
+            b: dev.upload(&s.b),
+        };
+        let (ba2, bb2) = (dev.upload(&a2), dev.upload(&b2));
+        let bw_buf = dev.upload(&s.w);
+        let bv = dev.alloc(mr * r);
+        dev.run_counted(
+            &FusedMultiWeight::new(ops, ba2, bb2, bw_buf, bv, shape, s.bw, r).with_geometry(geo),
+        )
+        .unwrap();
+        let got = dev.download(bv);
+        let want = crate::oracle::fused_multi_oracle(
+            &geo, &s.a, &s.b, &a2, &b2, &s.w, mr, nr, kr, s.bw.h, r,
+        );
+        for (i, (g, x)) in got.iter().zip(want.iter()).enumerate() {
+            assert_eq!(g.to_bits(), x.to_bits(), "idx {i}: {g} vs {x}");
         }
     }
 
@@ -1077,7 +1258,7 @@ mod tests {
             prof.kernels[2].name
         );
         assert!(!report.corruption_detected(), "{report:?}");
-        assert_eq!(report.checksum_groups, 3 * (shape.m / crate::BLOCK_TILE));
+        assert_eq!(report.checksum_groups, 3 * (shape.m / 128));
         for (g, p) in got.iter().zip(plain.iter()) {
             assert!((g - p).abs() < 1e-4 * p.abs().max(1.0), "{g} vs {p}");
         }
@@ -1148,8 +1329,7 @@ mod tests {
             let mut kern = FusedMultiWeight::new(ops, a2, b2, w, v, shape, Bandwidth { h: 1.0 }, r);
             if verify {
                 kern = kern.with_verify(crate::fused::VerifyBufs {
-                    checksum: dev
-                        .alloc_virtual(r * (shape.m / crate::BLOCK_TILE) * CHECKSUM_SLOT_WORDS),
+                    checksum: dev.alloc_virtual(r * (shape.m / 128) * CHECKSUM_SLOT_WORDS),
                     flag: dev.alloc_virtual(CHECKSUM_SLOT_WORDS),
                 });
             }
@@ -1184,5 +1364,32 @@ mod tests {
             dev.alloc_virtual(128 * 9),
         );
         let _ = FusedMultiWeight::new(ops, a2, b2, w, v, shape, Bandwidth { h: 1.0 }, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the T scratch")]
+    fn rejects_columns_beyond_the_geometry_scratch() {
+        let mut dev = GpuDevice::gtx970();
+        let shape = GemmShape {
+            m: 128,
+            n: 128,
+            k: 8,
+        };
+        let ops = GemmOperands {
+            a: dev.alloc_virtual(128 * 8),
+            b: dev.alloc_virtual(8 * 128),
+        };
+        let (a2, b2, w, v) = (
+            dev.alloc_virtual(128),
+            dev.alloc_virtual(128),
+            dev.alloc_virtual(128 * 6),
+            dev.alloc_virtual(128 * 6),
+        );
+        let geo = TileGeometry {
+            tile_k: 4,
+            ..TileGeometry::paper_default()
+        };
+        let _ = FusedMultiWeight::new(ops, a2, b2, w, v, shape, Bandwidth { h: 1.0 }, 6)
+            .with_geometry(geo);
     }
 }

@@ -1,0 +1,746 @@
+//! Tile geometry: the paper's 128×128/16×16/8×8/rank-8 configuration
+//! as *one point* in a parameterized space.
+//!
+//! [`TileGeometry`] captures every tiling degree of freedom of the
+//! fused kernel family: block tile extents, microtile extents, the
+//! rank of the k-tile update, and the buffering depth. All derived
+//! quantities — thread-block shape, loader schedule, shared-memory
+//! swizzle, register/SMEM footprints — are functions of the geometry,
+//! so the static access-pattern lint and the trace lint keep proving
+//! each variant race- and conflict-free (see DESIGN.md §14).
+//!
+//! The swizzle generalizes Fig 5 of the paper. A tile of `block`
+//! points × `tile_k` k-values is viewed as `MT = block/micro`
+//! microtiles; each microtile is reshaped onto a *bank group* of
+//! `g = 32/MT` banks: track `c` of microtile `m` lives in bank
+//! `g·m + (c mod g)`, row `(c div g)·tile_k + k`. At the paper point
+//! (`MT = 16`, `g = 2`) this is exactly Fig 5 (`bank = 2m + c mod 2`,
+//! `row = 8·(c div 2) + k`).
+//!
+//! Loader schedule: the block's warps split in half (A-half, B-half);
+//! a half of `L` warps covers the tile's `block` tracks in
+//! `P = block/(32·L)` passes. In pass `p`, lane `u` of warp `w`
+//! (effective slot `s = p·L + w`) fetches track `c = g·s + (u mod g)`
+//! of microtile `m = u div g` and stores each element `k` to bank `u`
+//! of row `s·tile_k + k` — all 32 lanes hit 32 distinct banks in
+//! every phase for *every* feasible geometry, which is the invariant
+//! the conflict-free-store proof rests on.
+
+use ks_gpu_sim::config::DeviceConfig;
+use ks_gpu_sim::kernel::KernelResources;
+use ks_gpu_sim::occupancy::{occupancy, Occupancy};
+use serde::{Deserialize, Serialize};
+
+use crate::layout::SmemLayout;
+
+/// One point of the fused-kernel tiling space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileGeometry {
+    /// Rows of A (and C) covered by one block tile.
+    pub block_m: usize,
+    /// Columns of B (and C) covered by one block tile.
+    pub block_n: usize,
+    /// Rank of one k-tile update (the paper's 8).
+    pub tile_k: usize,
+    /// Rows of the per-thread register microtile.
+    pub micro_m: usize,
+    /// Columns of the per-thread register microtile.
+    pub micro_n: usize,
+    /// Shared-memory buffering depth: 2 = double-buffered (Algorithm
+    /// 2's pipelined loop), 1 = single-buffered.
+    pub double_buffer_depth: usize,
+}
+
+impl std::fmt::Display for TileGeometry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{}/{}x{}/k{}/d{}",
+            self.block_m,
+            self.block_n,
+            self.micro_m,
+            self.micro_n,
+            self.tile_k,
+            self.double_buffer_depth
+        )
+    }
+}
+
+impl Default for TileGeometry {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Register model: microtile accumulators + two operand fragments +
+/// address/loop bookkeeping. Calibrated so the paper point lands on
+/// its measured 128 registers/thread.
+fn regs_model(micro_m: usize, micro_n: usize) -> u32 {
+    (micro_m * micro_n + 2 * (micro_m + micro_n) + 32) as u32
+}
+
+impl TileGeometry {
+    /// The paper's configuration: 128×128 block, 8×8 microtile,
+    /// rank-8 k-tiles, double-buffered (§III, Fig 4/5).
+    #[must_use]
+    pub const fn paper_default() -> Self {
+        Self {
+            block_m: 128,
+            block_n: 128,
+            tile_k: 8,
+            micro_m: 8,
+            micro_n: 8,
+            double_buffer_depth: 2,
+        }
+    }
+
+    /// Threads along x: one per microtile column group (`block_n /
+    /// micro_n`).
+    #[must_use]
+    pub fn threads_x(&self) -> usize {
+        self.block_n / self.micro_n
+    }
+
+    /// Threads along y (`block_m / micro_m`).
+    #[must_use]
+    pub fn threads_y(&self) -> usize {
+        self.block_m / self.micro_m
+    }
+
+    /// Threads per block.
+    #[must_use]
+    pub fn threads_per_block(&self) -> usize {
+        self.threads_x() * self.threads_y()
+    }
+
+    /// Warps per block.
+    #[must_use]
+    pub fn warps_per_block(&self) -> usize {
+        self.threads_per_block() / 32
+    }
+
+    /// Loader warps per operand half.
+    #[must_use]
+    pub fn loader_warps(&self) -> usize {
+        self.warps_per_block() / 2
+    }
+
+    /// `ty` rows covered by one compute warp (`32 / threads_x`).
+    #[must_use]
+    pub fn rows_per_warp(&self) -> usize {
+        32 / self.threads_x()
+    }
+
+    /// The A-side tile mapping.
+    #[must_use]
+    pub fn side_a(&self) -> TileSide {
+        TileSide {
+            block: self.block_m,
+            micro: self.micro_m,
+            tile_k: self.tile_k,
+        }
+    }
+
+    /// The B-side tile mapping.
+    #[must_use]
+    pub fn side_b(&self) -> TileSide {
+        TileSide {
+            block: self.block_n,
+            micro: self.micro_n,
+            tile_k: self.tile_k,
+        }
+    }
+
+    /// Shared words of one A tile.
+    #[must_use]
+    pub fn a_tile_words(&self) -> usize {
+        self.block_m * self.tile_k
+    }
+
+    /// Shared words of one B tile.
+    #[must_use]
+    pub fn b_tile_words(&self) -> usize {
+        self.block_n * self.tile_k
+    }
+
+    /// Total shared words of the block (all buffered tiles).
+    #[must_use]
+    pub fn smem_words(&self) -> usize {
+        self.double_buffer_depth * (self.a_tile_words() + self.b_tile_words())
+    }
+
+    /// Shared bytes per block.
+    #[must_use]
+    pub fn smem_bytes(&self) -> u32 {
+        (self.smem_words() * 4) as u32
+    }
+
+    /// Registers per thread of the single-weight fused kernel.
+    #[must_use]
+    pub fn regs_per_thread(&self) -> u32 {
+        regs_model(self.micro_m, self.micro_n)
+    }
+
+    /// Registers per thread of the rank-`r` multi-weight variant
+    /// (each extra weight column pins one γ row + one weight
+    /// fragment per microtile column).
+    #[must_use]
+    pub fn regs_per_thread_multi(&self, r: usize) -> u32 {
+        self.regs_per_thread() + (2 * self.micro_n * (r.max(1) - 1)) as u32
+    }
+
+    /// Launch resources of the fused kernel at this geometry.
+    #[must_use]
+    pub fn resources(&self) -> KernelResources {
+        KernelResources {
+            threads_per_block: self.threads_per_block() as u32,
+            regs_per_thread: self.regs_per_thread(),
+            smem_bytes_per_block: self.smem_bytes(),
+        }
+    }
+
+    /// Occupancy of the fused kernel at this geometry on `dev`.
+    #[must_use]
+    pub fn occupancy(&self, dev: &DeviceConfig) -> Occupancy {
+        occupancy(dev, &self.resources())
+    }
+
+    /// Grid extent `(N/block_n, M/block_m)` for a problem shape.
+    #[must_use]
+    pub fn grid_for(&self, m: usize, n: usize) -> (u32, u32) {
+        ((n / self.block_n) as u32, (m / self.block_m) as u32)
+    }
+
+    /// K-tiles per block for inner dimension `k`.
+    #[must_use]
+    pub fn tiles(&self, k: usize) -> usize {
+        k / self.tile_k
+    }
+
+    /// True when the problem shape divides this geometry exactly
+    /// (fringe tiles are out of scope, as in the seed engine).
+    #[must_use]
+    pub fn divides(&self, m: usize, n: usize, k: usize) -> bool {
+        m > 0
+            && n > 0
+            && k > 0
+            && m.is_multiple_of(self.block_m)
+            && n.is_multiple_of(self.block_n)
+            && k.is_multiple_of(self.tile_k)
+    }
+
+    /// Shared-memory audit phases per warp for a tile of `words`
+    /// words (ABFT re-read schedule; see `gemm_engine::audit_tile`).
+    #[must_use]
+    pub fn audit_phases(&self, words: usize) -> usize {
+        words / (32 * self.warps_per_block())
+    }
+
+    /// Drain phases of the three-level reduction: the `block_m`-word
+    /// `T` scratch is drained 32 words at a time, phase `p` by warp
+    /// `p mod warps`.
+    #[must_use]
+    pub fn drain_phases(&self) -> usize {
+        self.block_m / 32
+    }
+
+    /// Structural + device feasibility. `Ok(())` means the geometry's
+    /// loader schedule, swizzle, reduction tree and ABFT audit are all
+    /// well-formed and the block fits the device's register/SMEM/
+    /// thread budgets with at least one resident block per SM.
+    ///
+    /// # Errors
+    /// Returns a human-readable reason for the first violated
+    /// constraint.
+    pub fn feasibility(&self, dev: &DeviceConfig) -> Result<(), String> {
+        let pow2 = |v: usize| v.is_power_of_two();
+        if !(pow2(self.block_m)
+            && pow2(self.block_n)
+            && pow2(self.tile_k)
+            && pow2(self.micro_m)
+            && pow2(self.micro_n))
+        {
+            return Err("tile extents must be powers of two".into());
+        }
+        if !(1..=2).contains(&self.double_buffer_depth) {
+            return Err("double_buffer_depth must be 1 or 2".into());
+        }
+        if self.micro_m < 4 || self.micro_n < 4 {
+            return Err("microtile extents must be >= 4 (V4 epilogue loads)".into());
+        }
+        if self.tile_k < 4 {
+            return Err("tile_k must be >= 4 (V4 track loads)".into());
+        }
+        if self.micro_m > self.block_m || self.micro_n > self.block_n {
+            return Err("microtile larger than block tile".into());
+        }
+        let (tx, ty) = (self.threads_x(), self.threads_y());
+        // g = 32/MT >= 2 on both sides: bank groups must hold the V2
+        // compute pairs.
+        if ty > 16 {
+            return Err(format!("threads_y = {ty} > 16 (A-side bank group < 2)"));
+        }
+        if tx > 16 {
+            return Err(format!("threads_x = {tx} > 16 (B-side bank group < 2)"));
+        }
+        let threads = tx * ty;
+        if threads % 32 != 0 || threads < 64 {
+            return Err(format!("{threads} threads: need a multiple of 32, >= 64"));
+        }
+        if threads as u32 > dev.max_threads_per_block {
+            return Err(format!("{threads} threads exceed the device block limit"));
+        }
+        let warps = threads / 32;
+        if warps % 2 != 0 {
+            return Err(format!("{warps} warps: loader halves need an even count"));
+        }
+        // Loader passes must tile the tracks exactly.
+        let l = warps / 2;
+        if !self.block_m.is_multiple_of(32 * l) {
+            return Err(format!(
+                "A loader: {} tracks not a multiple of {} lanes",
+                self.block_m,
+                32 * l
+            ));
+        }
+        if !self.block_n.is_multiple_of(32 * l) {
+            return Err(format!(
+                "B loader: {} tracks not a multiple of {} lanes",
+                self.block_n,
+                32 * l
+            ));
+        }
+        // T-park conflict freedom: the tx==0 lanes of one warp write
+        // `rows_per_warp` rows of stride micro_m into 32 banks.
+        if self.micro_m > tx {
+            return Err(format!(
+                "micro_m = {} > threads_x = {tx}: T-park stores would conflict",
+                self.micro_m
+            ));
+        }
+        if !self.block_m.is_multiple_of(32) {
+            return Err("block_m must be a multiple of 32 (drain phases)".into());
+        }
+        // ABFT audit: each tile must split into whole 32-lane phases
+        // across the block's warps.
+        for (label, words) in [("A", self.a_tile_words()), ("B", self.b_tile_words())] {
+            if words % (32 * warps) != 0 {
+                return Err(format!(
+                    "{label} tile ({words} words) not auditable by {warps} warps"
+                ));
+            }
+        }
+        if self.regs_per_thread() > dev.max_regs_per_thread {
+            return Err(format!(
+                "{} regs/thread exceed the device limit",
+                self.regs_per_thread()
+            ));
+        }
+        if self.smem_bytes() > dev.max_smem_per_block {
+            return Err(format!(
+                "{} SMEM bytes exceed the per-block limit",
+                self.smem_bytes()
+            ));
+        }
+        let occ = self.occupancy(dev);
+        if occ.blocks_per_sm == 0 {
+            return Err("zero resident blocks per SM".into());
+        }
+        Ok(())
+    }
+
+    /// True when `other` is *bit-compatible* with `self`: same
+    /// N-side geometry, hence the same target-association tree and
+    /// the same per-element floating-point reduction order. The
+    /// GEMM accumulation over K is sequential in global k order for
+    /// every `tile_k`/depth, and the M-side tiling only re-partitions
+    /// rows across blocks, so two bit-compatible geometries produce
+    /// bit-identical results on the same inputs — the contract the
+    /// energy-budgeted serve router relies on.
+    #[must_use]
+    pub fn bit_compatible(&self, other: &TileGeometry) -> bool {
+        self.block_n == other.block_n && self.micro_n == other.micro_n
+    }
+
+    /// Enumerates the legal geometry lattice for `dev`: every
+    /// structurally sound, device-feasible point over the candidate
+    /// ranges (block ∈ {32..256}, micro ∈ {4..16}, tile_k ∈ {4..16},
+    /// depth ∈ {1, 2}). The paper default is always a member.
+    #[must_use]
+    pub fn lattice(dev: &DeviceConfig) -> Vec<TileGeometry> {
+        let mut out = Vec::new();
+        for block_m in [32, 64, 128, 256] {
+            for block_n in [32, 64, 128, 256] {
+                for micro_m in [4, 8, 16] {
+                    for micro_n in [4, 8, 16] {
+                        for tile_k in [4, 8, 16] {
+                            for double_buffer_depth in [1, 2] {
+                                let g = TileGeometry {
+                                    block_m,
+                                    block_n,
+                                    tile_k,
+                                    micro_m,
+                                    micro_n,
+                                    double_buffer_depth,
+                                };
+                                if g.feasibility(dev).is_ok() {
+                                    out.push(g);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One operand side (A or B) of a [`TileGeometry`]: the tile mapping
+/// onto shared memory and the loader-track schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileSide {
+    /// Points per tile (block_m or block_n).
+    pub block: usize,
+    /// Points per microtile (micro_m or micro_n).
+    pub micro: usize,
+    /// K-values per tile.
+    pub tile_k: usize,
+}
+
+impl TileSide {
+    /// Microtiles per tile.
+    #[must_use]
+    pub fn microtiles(&self) -> usize {
+        self.block / self.micro
+    }
+
+    /// Bank-group width `g = 32 / microtiles`.
+    #[must_use]
+    pub fn group(&self) -> usize {
+        32 / self.microtiles()
+    }
+
+    /// Words per tile.
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.block * self.tile_k
+    }
+
+    /// Loader slots (`(warp, pass)` combinations) per tile.
+    #[must_use]
+    pub fn loader_slots(&self) -> usize {
+        self.block / 32
+    }
+
+    /// Word offset (within the tile's shared array) of element `k` of
+    /// track `c` of microtile `m`.
+    #[inline]
+    #[must_use]
+    pub fn word(&self, layout: SmemLayout, m: usize, c: usize, k: usize) -> u32 {
+        debug_assert!(m < self.microtiles() && c < self.micro && k < self.tile_k);
+        match layout {
+            SmemLayout::Swizzled => {
+                let g = self.group();
+                let row = (c / g) * self.tile_k + k;
+                let bank = g * m + (c % g);
+                (row * 32 + bank) as u32
+            }
+            SmemLayout::NaiveRowMajor => {
+                let point = m * self.micro + c;
+                (k * self.block + point) as u32
+            }
+        }
+    }
+
+    /// Loader-track assignment: which `(microtile, track)` lane `u`
+    /// of effective slot `s` (= `pass·L + warp`) fetches and stores.
+    #[inline]
+    #[must_use]
+    pub fn loader_track(&self, s: usize, u: usize) -> (usize, usize) {
+        debug_assert!(s < self.loader_slots() && u < 32);
+        let g = self.group();
+        (u / g, g * s + (u % g))
+    }
+
+    /// Global element index (within the tile's source region) of
+    /// track `(m, c)` with `k_stride` elements between points.
+    #[inline]
+    #[must_use]
+    pub fn track_global_offset(&self, m: usize, c: usize, k_stride: usize) -> usize {
+        (m * self.micro + c) * k_stride
+    }
+
+    /// Compute-phase word pairs: the `micro` values of microtile `m`
+    /// at k-step `k` are read as `micro/2` aligned LDS.64 pairs; pair
+    /// `j` holds tracks `(2j, 2j+1)` and starts at the returned word.
+    #[inline]
+    #[must_use]
+    pub fn pair_base(&self, layout: SmemLayout, m: usize, k: usize, j: usize) -> u32 {
+        debug_assert!(j < self.micro / 2);
+        match layout {
+            SmemLayout::Swizzled => {
+                let g = self.group();
+                let c = 2 * j;
+                (((c / g) * self.tile_k + k) * 32 + g * m + (c % g)) as u32
+            }
+            SmemLayout::NaiveRowMajor => (k * self.block + m * self.micro + 2 * j) as u32,
+        }
+    }
+
+    /// Number of LDS.64 pairs per microtile read.
+    #[must_use]
+    pub fn pairs(&self) -> usize {
+        self.micro / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_gpu_sim::smem::warp_transactions;
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::gtx970()
+    }
+
+    #[test]
+    fn paper_default_matches_legacy_constants() {
+        let g = TileGeometry::paper_default();
+        assert_eq!(g.threads_x(), 16);
+        assert_eq!(g.threads_y(), 16);
+        assert_eq!(g.threads_per_block(), 256);
+        assert_eq!(g.warps_per_block(), 8);
+        assert_eq!(g.loader_warps(), 4);
+        assert_eq!(g.rows_per_warp(), 2);
+        assert_eq!(g.a_tile_words(), 1024);
+        assert_eq!(g.smem_words(), 4096);
+        assert_eq!(g.smem_bytes(), 16 * 1024);
+        assert_eq!(g.regs_per_thread(), 128);
+        assert_eq!(g.regs_per_thread_multi(1), 128);
+        assert_eq!(g.regs_per_thread_multi(4), 128 + 16 * 3);
+        assert_eq!(g.drain_phases(), 4);
+        assert_eq!(g.audit_phases(g.a_tile_words()), 4);
+        assert_eq!(g.grid_for(1024, 1024), (8, 8));
+        assert!(g.feasibility(&dev()).is_ok());
+    }
+
+    #[test]
+    fn paper_default_side_maps_match_fig5() {
+        let g = TileGeometry::paper_default();
+        let side = g.side_a();
+        assert_eq!(side.group(), 2);
+        for m in 0..16 {
+            for c in 0..8 {
+                for k in 0..8 {
+                    let want = ((8 * (c / 2) + k) * 32 + 2 * m + c % 2) as u32;
+                    assert_eq!(side.word(SmemLayout::Swizzled, m, c, k), want);
+                }
+            }
+        }
+        for w in 0..4 {
+            for u in 0..32 {
+                assert_eq!(side.loader_track(w, u), (u / 2, 2 * w + u % 2));
+            }
+        }
+        for m in 0..16 {
+            for k in 0..8 {
+                for j in 0..4 {
+                    assert_eq!(
+                        side.pair_base(SmemLayout::Swizzled, m, k, j),
+                        ((8 * j + k) * 32 + 2 * m) as u32
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_contains_default_and_only_feasible_points() {
+        let lattice = TileGeometry::lattice(&dev());
+        assert!(lattice.contains(&TileGeometry::paper_default()));
+        assert!(lattice.len() >= 8, "lattice too sparse: {}", lattice.len());
+        for g in &lattice {
+            g.feasibility(&dev()).unwrap();
+        }
+    }
+
+    #[test]
+    fn every_lattice_word_map_is_a_conflict_free_bijection() {
+        // The generalized Fig 5 invariants, for every feasible
+        // geometry and both operand sides: (1) (m, c, k) ↦ word is a
+        // bijection onto the tile; (2) every loader store phase hits
+        // 32 distinct banks; (3) loader slots cover every track once;
+        // (4) compute pairs agree with the word map.
+        for g in TileGeometry::lattice(&dev()) {
+            for side in [g.side_a(), g.side_b()] {
+                for layout in [SmemLayout::Swizzled, SmemLayout::NaiveRowMajor] {
+                    let mut seen = vec![false; side.words()];
+                    for m in 0..side.microtiles() {
+                        for c in 0..side.micro {
+                            for k in 0..side.tile_k {
+                                let w = side.word(layout, m, c, k) as usize;
+                                assert!(!seen[w], "{g} {layout:?}: word {w} twice");
+                                seen[w] = true;
+                            }
+                        }
+                    }
+                    assert!(seen.iter().all(|&s| s), "{g} {layout:?}: uncovered");
+                }
+                let mut tracks = vec![false; side.block];
+                for s in 0..side.loader_slots() {
+                    for u in 0..32 {
+                        let (m, c) = side.loader_track(s, u);
+                        let t = m * side.micro + c;
+                        assert!(!tracks[t], "{g}: track {t} loaded twice");
+                        tracks[t] = true;
+                        for k in 0..side.tile_k {
+                            let word = side.word(SmemLayout::Swizzled, m, c, k);
+                            assert_eq!(word % 32, u as u32, "{g}: store bank != lane");
+                            assert_eq!(word / 32, (s * side.tile_k + k) as u32);
+                        }
+                    }
+                    for k in 0..side.tile_k {
+                        let addrs: [Option<u32>; 32] = std::array::from_fn(|u| {
+                            let (m, c) = side.loader_track(s, u);
+                            Some(side.word(SmemLayout::Swizzled, m, c, k))
+                        });
+                        assert_eq!(warp_transactions(&addrs, 32), 1, "{g}: store conflict");
+                    }
+                }
+                assert!(tracks.iter().all(|&t| t), "{g}: uncovered tracks");
+                for m in 0..side.microtiles() {
+                    for k in 0..side.tile_k {
+                        for j in 0..side.pairs() {
+                            let base = side.pair_base(SmemLayout::Swizzled, m, k, j);
+                            assert_eq!(base, side.word(SmemLayout::Swizzled, m, 2 * j, k));
+                            assert_eq!(base + 1, side.word(SmemLayout::Swizzled, m, 2 * j + 1, k));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_compute_loads_are_conflict_free() {
+        // B-operand reads: the tx lanes of one warp touch distinct
+        // bank groups; A-operand reads broadcast over tx. One
+        // transaction per LDS.64 phase either way.
+        for g in TileGeometry::lattice(&dev()) {
+            let (a, b) = (g.side_a(), g.side_b());
+            let tx_n = g.threads_x();
+            for w in 0..g.warps_per_block() {
+                for k in 0..g.tile_k {
+                    for j in 0..b.pairs() {
+                        for phase in 0..2u32 {
+                            let addrs: [Option<u32>; 32] = std::array::from_fn(|lane| {
+                                let tx = lane % tx_n;
+                                Some(b.pair_base(SmemLayout::Swizzled, tx, k, j) + phase)
+                            });
+                            assert_eq!(warp_transactions(&addrs, 32), 1, "{g}: B load");
+                        }
+                    }
+                    for j in 0..a.pairs() {
+                        for phase in 0..2u32 {
+                            let addrs: [Option<u32>; 32] = std::array::from_fn(|lane| {
+                                let ty = g.rows_per_warp() * w + lane / tx_n;
+                                Some(a.pair_base(SmemLayout::Swizzled, ty, k, j) + phase)
+                            });
+                            assert_eq!(warp_transactions(&addrs, 32), 1, "{g}: A load");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn t_park_stores_are_conflict_free_on_the_lattice() {
+        // The intra-block reduction parks one word per block row:
+        // lane (tx == 0, ty) of warp w writes word ty·micro_m + r.
+        for g in TileGeometry::lattice(&dev()) {
+            for w in 0..g.warps_per_block() {
+                for r in 0..g.micro_m {
+                    let addrs: [Option<u32>; 32] = std::array::from_fn(|lane| {
+                        let tx = lane % g.threads_x();
+                        let ty = g.rows_per_warp() * w + lane / g.threads_x();
+                        (tx == 0).then(|| (ty * g.micro_m + r) as u32)
+                    });
+                    assert_eq!(warp_transactions(&addrs, 32), 1, "{g}: T park conflict");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_points_are_rejected_with_reasons() {
+        let d = dev();
+        let cases = [
+            (
+                TileGeometry {
+                    block_m: 96,
+                    ..TileGeometry::paper_default()
+                },
+                "powers of two",
+            ),
+            (
+                TileGeometry {
+                    micro_m: 2,
+                    ..TileGeometry::paper_default()
+                },
+                ">= 4",
+            ),
+            (
+                TileGeometry {
+                    block_m: 256,
+                    micro_m: 8,
+                    ..TileGeometry::paper_default()
+                },
+                "threads_y",
+            ),
+            (
+                TileGeometry {
+                    double_buffer_depth: 3,
+                    ..TileGeometry::paper_default()
+                },
+                "depth",
+            ),
+            (
+                TileGeometry {
+                    micro_m: 16,
+                    micro_n: 16,
+                    block_m: 256,
+                    block_n: 256,
+                    ..TileGeometry::paper_default()
+                },
+                "regs",
+            ),
+        ];
+        for (g, needle) in cases {
+            let err = g.feasibility(&d).unwrap_err();
+            assert!(err.contains(needle), "{g}: expected '{needle}' in '{err}'");
+        }
+    }
+
+    #[test]
+    fn bit_compatibility_is_n_side_only() {
+        let d = TileGeometry::paper_default();
+        let m_side = TileGeometry {
+            block_m: 64,
+            tile_k: 4,
+            double_buffer_depth: 1,
+            ..d
+        };
+        assert!(d.bit_compatible(&m_side));
+        let n_side = TileGeometry { block_n: 64, ..d };
+        assert!(!d.bit_compatible(&n_side));
+    }
+
+    #[test]
+    fn geometry_serde_round_trip() {
+        let g = TileGeometry::paper_default();
+        let s = serde_json::to_string(&g).unwrap();
+        assert_eq!(serde_json::from_str::<TileGeometry>(&s).unwrap(), g);
+    }
+}

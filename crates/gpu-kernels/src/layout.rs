@@ -1,4 +1,5 @@
-//! Shared-memory data mapping (paper §III-B, Fig 5).
+//! Shared-memory data mapping (paper §III-B, Fig 5) — the *paper
+//! point* of the generalized mapping in [`crate::geometry`].
 //!
 //! A `tile` is 128 points × 8 k-values (tileA: 128 rows of A; tileB:
 //! 128 columns of B — both are stored point-contiguous in global
@@ -11,23 +12,14 @@
 //! in bank `2m + (c mod 2)`, rows `8·(c div 2) + k` (Fig 5). The 16
 //! microtiles then tile the 32 banks exactly.
 //!
-//! * **Stores** (tile load from global): thread `u` of warp `w`
-//!   fetches track `c = 2w + (u mod 2)` of microtile `⌊u/2⌋` and writes
-//!   its 8 elements to bank `u`, rows `8w..8w+8` — all 32 lanes of the
-//!   warp write 32 distinct banks in every phase: conflict-free.
-//! * **Loads** (compute): at k-step `k`, the 8 values of microtile `m`
-//!   live at word `(8j + k)·32 + 2m + p` for `j = c div 2 ∈ 0..4`,
-//!   `p = c mod 2 ∈ 0..2` — adjacent pairs, read as 4 LDS.64. Within a
-//!   warp the 16 `tx` lanes touch 16 distinct banks (`2tx + p`) and the
-//!   two `ty` groups broadcast: conflict-free.
-//!
-//! The [`SmemLayout::NaiveRowMajor`] placement (tile stored as
-//! `[k][point]`) is kept for the ablation benchmark; its compute loads
-//! suffer 4-way conflicts, reproducing the problem Fig 5 solves.
+//! These free functions are retained for the paper-default call sites
+//! and the ablation tests; the geometry-parameterized engine uses
+//! [`crate::geometry::TileSide`] directly, of which this module is the
+//! `128/8/8` specialization (a property the tests below pin).
 
-use crate::{BLOCK_TILE, K_TILE, MICRO_TILE};
+use crate::geometry::{TileGeometry, TileSide};
 
-/// How a 128×8 tile is placed in shared memory.
+/// How a tile is placed in shared memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SmemLayout {
     /// Fig 5 swizzle: store and load conflict-free.
@@ -37,26 +29,22 @@ pub enum SmemLayout {
     NaiveRowMajor,
 }
 
-/// Number of microtiles in a tile.
-pub const MICROTILES: usize = BLOCK_TILE / MICRO_TILE;
+/// The paper-default operand side (both sides coincide at the paper
+/// point: 128-point tiles of 8×8 microtiles).
+#[must_use]
+fn paper_side() -> TileSide {
+    TileGeometry::paper_default().side_a()
+}
+
+/// Number of microtiles in a paper-default tile.
+pub const MICROTILES: usize = 16;
 
 /// Word offset (within a tile's 1024-word shared array) of element
 /// `k` of track `c` of microtile `m` (see module docs).
 #[inline]
 #[must_use]
 pub fn tile_word(layout: SmemLayout, m: usize, c: usize, k: usize) -> u32 {
-    debug_assert!(m < MICROTILES && c < MICRO_TILE && k < K_TILE);
-    match layout {
-        SmemLayout::Swizzled => {
-            let row = 8 * (c / 2) + k;
-            let bank = 2 * m + (c % 2);
-            (row * 32 + bank) as u32
-        }
-        SmemLayout::NaiveRowMajor => {
-            let point = m * MICRO_TILE + c;
-            (k * BLOCK_TILE + point) as u32
-        }
-    }
+    paper_side().word(layout, m, c, k)
 }
 
 /// Store-side mapping: which (microtile, track) thread `u` (0..32) of
@@ -65,10 +53,7 @@ pub fn tile_word(layout: SmemLayout, m: usize, c: usize, k: usize) -> u32 {
 #[inline]
 #[must_use]
 pub fn loader_assignment(w: usize, u: usize) -> (usize, usize) {
-    debug_assert!(w < 4 && u < 32);
-    let m = u / 2;
-    let c = 2 * w + (u % 2);
-    (m, c)
+    paper_side().loader_track(w, u)
 }
 
 /// Global element index (within the tile's source region) of track
@@ -78,7 +63,7 @@ pub fn loader_assignment(w: usize, u: usize) -> (usize, usize) {
 #[inline]
 #[must_use]
 pub fn track_global_offset(m: usize, c: usize, k_stride: usize) -> usize {
-    (m * MICRO_TILE + c) * k_stride
+    paper_side().track_global_offset(m, c, k_stride)
 }
 
 /// Word indices (pairs) read at compute time: the 8 values of
@@ -87,13 +72,8 @@ pub fn track_global_offset(m: usize, c: usize, k_stride: usize) -> usize {
 #[inline]
 #[must_use]
 pub fn compute_read_pairs(layout: SmemLayout, m: usize, k: usize) -> [u32; 4] {
-    match layout {
-        SmemLayout::Swizzled => std::array::from_fn(|j| ((8 * j + k) * 32 + 2 * m) as u32),
-        // Naive: the 8 values are contiguous; 4 pairs within the row.
-        SmemLayout::NaiveRowMajor => {
-            std::array::from_fn(|j| (k * BLOCK_TILE + m * MICRO_TILE + 2 * j) as u32)
-        }
-    }
+    let side = paper_side();
+    std::array::from_fn(|j| side.pair_base(layout, m, k, j))
 }
 
 /// The track value order produced by [`compute_read_pairs`]: pair `j`
@@ -109,8 +89,31 @@ pub fn pair_tracks(j: usize) -> (usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::TILE_WORDS;
     use ks_gpu_sim::smem::warp_transactions;
+
+    const MICRO_TILE: usize = 8;
+    const K_TILE: usize = 8;
+    const TILE_WORDS: usize = 1024;
+
+    #[test]
+    fn legacy_formulas_are_the_paper_point_of_the_general_map() {
+        // The hand-derived Fig 5 formulas, pinned against TileSide.
+        for m in 0..MICROTILES {
+            for c in 0..MICRO_TILE {
+                for k in 0..K_TILE {
+                    let want = ((8 * (c / 2) + k) * 32 + 2 * m + c % 2) as u32;
+                    assert_eq!(tile_word(SmemLayout::Swizzled, m, c, k), want);
+                    let naive = (k * 128 + m * MICRO_TILE + c) as u32;
+                    assert_eq!(tile_word(SmemLayout::NaiveRowMajor, m, c, k), naive);
+                }
+            }
+        }
+        for w in 0..4 {
+            for u in 0..32 {
+                assert_eq!(loader_assignment(w, u), (u / 2, 2 * w + u % 2));
+            }
+        }
+    }
 
     #[test]
     fn every_tile_word_is_covered_exactly_once() {

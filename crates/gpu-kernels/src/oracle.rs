@@ -1,0 +1,233 @@
+//! The bit-exact CPU replay of the fused kernel (the differential-
+//! test oracle).
+//!
+//! [`fused_oracle`] recomputes `V = Σ_j exp(−‖αᵢ−βⱼ‖²/2h²)·wⱼ` in
+//! **exactly** the floating-point association order the simulated
+//! fused kernel uses on the deterministic sequential schedule
+//! (`GpuDevice::run_counted`, blocks in launch order — `bx` fastest):
+//!
+//! 1. the GEMM dot product folds over `k` sequentially (one FMUL +
+//!    FADD rounding per step, as `compute_ktile` accumulates);
+//! 2. each thread's γ row partial folds its `micro_n` weighted
+//!    Gaussian terms in ascending column order (line 16 of
+//!    Algorithm 2);
+//! 3. the intra-block reduction sums the `threads_x` thread partials
+//!    in ascending `tx` order (the shuffle-tree model);
+//! 4. the inter-block atomics land in ascending `bx` order.
+//!
+//! Steps 2–4 depend only on the **N-side** of the tile geometry
+//! (`block_n`, `micro_n`) — the M-side merely re-partitions rows and
+//! step 1 is the same sequential k-fold for every `tile_k` and
+//! buffering depth. That is the [`TileGeometry::bit_compatible`]
+//! contract: the oracle takes the geometry and the differential suite
+//! checks every feasible lattice point against it bit for bit.
+
+use crate::aux_kernels::{gaussian, Bandwidth};
+use crate::geometry::TileGeometry;
+
+/// Bit-exact replay of the single-weight fused kernel at `geo`.
+///
+/// `a` is `M×K` row-major, `b` is `K×N` column-major (point-
+/// contiguous), `a2`/`b2` are the squared norms the kernel loaded
+/// (bit-exact — pass the same values the device saw), `w` has `N`
+/// weights. Returns `V` of length `M`.
+///
+/// # Panics
+/// Panics if the shape does not divide `geo` or a slice length is
+/// inconsistent.
+#[allow(clippy::too_many_arguments)] // mirrors the kernel's operand list
+#[must_use]
+pub fn fused_oracle(
+    geo: &TileGeometry,
+    a: &[f32],
+    b: &[f32],
+    a2: &[f32],
+    b2: &[f32],
+    w: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    h: f32,
+) -> Vec<f32> {
+    fused_multi_oracle(geo, a, b, a2, b2, w, m, n, k, h, 1)
+}
+
+/// Bit-exact replay of the multi-weight fused kernel: `w_cols` is
+/// `N×R` column-major, the result is `M×R` column-major. Each column
+/// folds independently in the same order as [`fused_oracle`], which
+/// is why a served batch is bit-identical to `R` single-shot runs.
+///
+/// # Panics
+/// Panics if the shape does not divide `geo` or a slice length is
+/// inconsistent.
+#[allow(clippy::too_many_arguments)] // mirrors the kernel's operand list
+#[must_use]
+pub fn fused_multi_oracle(
+    geo: &TileGeometry,
+    a: &[f32],
+    b: &[f32],
+    a2: &[f32],
+    b2: &[f32],
+    w_cols: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    h: f32,
+    r: usize,
+) -> Vec<f32> {
+    assert!(geo.divides(m, n, k), "shape {m}x{n}x{k} must divide {geo}");
+    assert_eq!(a.len(), m * k, "A must be M*K elements");
+    assert_eq!(b.len(), k * n, "B must be K*N elements");
+    assert_eq!(a2.len(), m, "a2 must be M elements");
+    assert_eq!(b2.len(), n, "b2 must be N elements");
+    assert_eq!(w_cols.len(), n * r, "W must be N*R elements");
+    let s = Bandwidth { h }.inv_2h2();
+    let blocks_x = n / geo.block_n;
+    let txn = geo.threads_x();
+    let mut v = vec![0.0f32; m * r];
+    for c in 0..r {
+        let w = &w_cols[c * n..(c + 1) * n];
+        for i in 0..m {
+            let ai = &a[i * k..(i + 1) * k];
+            let mut vi = 0.0f32;
+            // Ascending bx: the sequential schedule's atomic order.
+            for bxi in 0..blocks_x {
+                // Intra-block: thread partials in ascending tx.
+                let mut part = 0.0f32;
+                for tx in 0..txn {
+                    // Intra-thread: the thread's micro_n columns in
+                    // ascending order, one FFMA-shaped fold per term.
+                    let mut g = 0.0f32;
+                    for cc in 0..geo.micro_n {
+                        let j = bxi * geo.block_n + tx * geo.micro_n + cc;
+                        let bj = &b[j * k..(j + 1) * k];
+                        // The GEMM k-fold: sequential in global k
+                        // order regardless of tile_k / buffering.
+                        let mut dot = 0.0f32;
+                        for t in 0..k {
+                            dot += ai[t] * bj[t];
+                        }
+                        let d = a2[i] + b2[j] - 2.0 * dot;
+                        g += gaussian(d, s) * w[j];
+                    }
+                    part += g;
+                }
+                vi += part;
+            }
+            v[c * m + i] = vi;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f32 {
+        let mut state = seed | 1;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) * 0.5
+        }
+    }
+
+    #[test]
+    fn oracle_is_close_to_the_f64_reference() {
+        // Sanity: the replay is a correct summation, not just *some*
+        // deterministic fold. (Bit-identity to the device is covered
+        // by the differential lattice suite.)
+        let (m, n, k) = (128, 128, 16);
+        let mut next = lcg(3);
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let w: Vec<f32> = (0..n).map(|_| next()).collect();
+        let a2: Vec<f32> = (0..m)
+            .map(|i| a[i * k..(i + 1) * k].iter().map(|x| x * x).sum())
+            .collect();
+        let b2: Vec<f32> = (0..n)
+            .map(|j| b[j * k..(j + 1) * k].iter().map(|x| x * x).sum())
+            .collect();
+        let geo = TileGeometry::paper_default();
+        let got = fused_oracle(&geo, &a, &b, &a2, &b2, &w, m, n, k, 1.0);
+        for i in 0..m {
+            let mut want = 0.0f64;
+            for j in 0..n {
+                let d: f64 = (0..k)
+                    .map(|t| (a[i * k + t] as f64 - b[j * k + t] as f64).powi(2))
+                    .sum();
+                want += (-d * 0.5).exp() * w[j] as f64;
+            }
+            let g = got[i] as f64;
+            assert!(
+                (g - want).abs() < 2e-3 * want.abs().max(1.0),
+                "row {i}: {g} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_columns_are_bit_identical_to_single_runs() {
+        let (m, n, k, r) = (128, 256, 8, 3);
+        let mut next = lcg(9);
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let w: Vec<f32> = (0..n * r).map(|_| next()).collect();
+        let a2: Vec<f32> = (0..m)
+            .map(|i| a[i * k..(i + 1) * k].iter().map(|x| x * x).sum())
+            .collect();
+        let b2: Vec<f32> = (0..n)
+            .map(|j| b[j * k..(j + 1) * k].iter().map(|x| x * x).sum())
+            .collect();
+        let geo = TileGeometry::paper_default();
+        let multi = fused_multi_oracle(&geo, &a, &b, &a2, &b2, &w, m, n, k, 1.0, r);
+        for c in 0..r {
+            let single = fused_oracle(&geo, &a, &b, &a2, &b2, &w[c * n..(c + 1) * n], m, n, k, 1.0);
+            for i in 0..m {
+                assert_eq!(multi[c * m + i].to_bits(), single[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bit_compatible_geometries_agree_bit_for_bit() {
+        let (m, n, k) = (256, 128, 16);
+        let mut next = lcg(17);
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let w: Vec<f32> = (0..n).map(|_| next()).collect();
+        let a2: Vec<f32> = (0..m)
+            .map(|i| a[i * k..(i + 1) * k].iter().map(|x| x * x).sum())
+            .collect();
+        let b2: Vec<f32> = (0..n)
+            .map(|j| b[j * k..(j + 1) * k].iter().map(|x| x * x).sum())
+            .collect();
+        let base = TileGeometry::paper_default();
+        let alt = TileGeometry {
+            block_m: 64,
+            tile_k: 4,
+            double_buffer_depth: 1,
+            ..base
+        };
+        assert!(base.bit_compatible(&alt));
+        let x = fused_oracle(&base, &a, &b, &a2, &b2, &w, m, n, k, 0.8);
+        let y = fused_oracle(&alt, &a, &b, &a2, &b2, &w, m, n, k, 0.8);
+        for i in 0..m {
+            assert_eq!(x[i].to_bits(), y[i].to_bits(), "row {i}");
+        }
+        let n_side = TileGeometry {
+            block_n: 64,
+            ..base
+        };
+        assert!(!base.bit_compatible(&n_side));
+        let z = fused_oracle(&n_side, &a, &b, &a2, &b2, &w, m, n, k, 0.8);
+        assert!(
+            x.iter()
+                .zip(z.iter())
+                .any(|(p, q)| p.to_bits() != q.to_bits()),
+            "different N-side geometry should change at least one bit"
+        );
+    }
+}

@@ -19,9 +19,9 @@ use ks_gpu_sim::profiler::PipelineProfile;
 use crate::aux_kernels::{Bandwidth, EvalSumKernel, NormsKernel};
 use crate::fused::{FusedKernelSummation, VerifyBufs, VerifyReport, CHECKSUM_SLOT_WORDS};
 use crate::gemm_engine::{GemmOperands, GemmShape};
+use crate::geometry::TileGeometry;
 use crate::layout::SmemLayout;
 use crate::sgemm::{CudaSgemm, VendorSgemm};
-use crate::BLOCK_TILE;
 
 /// Pipeline label of the ABFT-verified fused variant.
 pub const FUSED_VERIFIED_PIPELINE: &str = "Fused-ABFT";
@@ -105,6 +105,9 @@ pub struct GpuKernelSummation {
     pub layout: SmemLayout,
     /// Double buffering for the GEMM-structured kernels.
     pub double_buffer: bool,
+    /// Tile geometry of the fused kernel (the autotuner's knob; the
+    /// SGEMM-structured kernels stay at the paper point).
+    pub geometry: TileGeometry,
 }
 
 struct DeviceBufs {
@@ -133,6 +136,7 @@ impl GpuKernelSummation {
             bw,
             layout: SmemLayout::default(),
             double_buffer: true,
+            geometry: TileGeometry::paper_default(),
         }
     }
 
@@ -147,6 +151,17 @@ impl GpuKernelSummation {
     #[must_use]
     pub fn with_double_buffer(mut self, on: bool) -> Self {
         self.double_buffer = on;
+        self
+    }
+
+    /// Overrides the fused kernel's tile geometry (the tuned path).
+    ///
+    /// # Panics
+    /// Panics if the dimensions violate the geometry's constraints.
+    #[must_use]
+    pub fn with_geometry(mut self, geometry: TileGeometry) -> Self {
+        self.dims.shape().validate_for(&geometry);
+        self.geometry = geometry;
         self
     }
 
@@ -168,6 +183,7 @@ impl GpuKernelSummation {
                         d.shape(),
                         self.bw,
                     )
+                    .with_geometry(self.geometry)
                     .with_layout(self.layout)
                     .with_double_buffer(self.double_buffer),
                 ));
@@ -290,6 +306,7 @@ impl GpuKernelSummation {
                     d.shape(),
                     self.bw,
                 )
+                .with_geometry(self.geometry)
                 .with_layout(self.layout)
                 .with_double_buffer(self.double_buffer)
                 .with_verify(vb),
@@ -306,7 +323,8 @@ impl GpuKernelSummation {
     pub fn profile_verified(&self, dev: &mut GpuDevice) -> Result<PipelineProfile, LaunchError> {
         let bufs = self.alloc_bufs(dev, GpuVariant::Fused, None);
         let vb = VerifyBufs {
-            checksum: dev.alloc_virtual((self.dims.m / BLOCK_TILE) * CHECKSUM_SLOT_WORDS),
+            checksum: dev
+                .alloc_virtual((self.dims.m / self.geometry.block_m) * CHECKSUM_SLOT_WORDS),
             flag: dev.alloc_virtual(CHECKSUM_SLOT_WORDS),
         };
         dev.invalidate_l2();
@@ -336,7 +354,7 @@ impl GpuKernelSummation {
     ) -> Result<(Vec<f32>, PipelineProfile, VerifyReport), LaunchError> {
         let bufs = self.alloc_bufs(dev, GpuVariant::Fused, Some((a, b, w)));
         let vb = VerifyBufs {
-            checksum: dev.alloc((self.dims.m / BLOCK_TILE) * CHECKSUM_SLOT_WORDS),
+            checksum: dev.alloc((self.dims.m / self.geometry.block_m) * CHECKSUM_SLOT_WORDS),
             flag: dev.alloc(CHECKSUM_SLOT_WORDS),
         };
         dev.invalidate_l2();
@@ -357,6 +375,7 @@ impl GpuKernelSummation {
             &dev.download(vb.flag),
             self.dims.m,
             1,
+            self.geometry.block_m,
         );
         Ok((v, prof, report))
     }

@@ -21,9 +21,9 @@ use ks_gpu_sim::trace::AccessDir;
 use ks_gpu_sim::traffic::{TrafficSink, WarpIdx};
 
 use crate::gemm_engine::{
-    fresh_acc, gemm_access_spec, gemm_block, syncs_per_block, GemmOperands, GemmShape, Microtile,
-    SmemMap,
+    gemm_access_spec, gemm_block, syncs_per_block, AccGrid, GemmOperands, GemmShape, SmemMap,
 };
+use crate::geometry::TileGeometry;
 use crate::layout::SmemLayout;
 use crate::machine::{FunctionalMachine, TrafficMachine, WarpMachine};
 use crate::{BLOCK_TILE, MICRO_TILE, THREADS_XY, WARPS_PER_BLOCK};
@@ -74,20 +74,29 @@ impl CudaSgemm {
         self
     }
 
+    /// The paper-point geometry at this kernel's buffering depth.
+    fn geometry(&self) -> TileGeometry {
+        TileGeometry {
+            double_buffer_depth: if self.double_buffer { 2 } else { 1 },
+            ..TileGeometry::paper_default()
+        }
+    }
+
     /// Shared body: GEMM then the C write-back.
     fn body<M: WarpMachine>(&self, block: Dim3, mach: &mut M) {
         let (bx, by) = (block.x as usize, block.y as usize);
-        let mut acc: Vec<Microtile> = if M::FUNCTIONAL {
-            fresh_acc()
+        let geo = self.geometry();
+        let mut acc = if M::FUNCTIONAL {
+            AccGrid::for_geometry(&geo)
         } else {
-            Vec::new()
+            AccGrid::empty(&geo)
         };
         gemm_block(
             mach,
+            &geo,
             &self.ops,
             &self.shape,
             self.layout,
-            self.double_buffer,
             bx,
             by,
             &mut acc,
@@ -112,7 +121,7 @@ impl CudaSgemm {
                     let vals: [[f32; 4]; 32] = if M::FUNCTIONAL {
                         std::array::from_fn(|lane| {
                             let tid = w * 32 + lane;
-                            std::array::from_fn(|j| acc[tid][r][4 * half + j])
+                            std::array::from_fn(|j| acc.at(tid, r, 4 * half + j))
                         })
                     } else {
                         [[0.0; 4]; 32]
@@ -173,15 +182,9 @@ impl Kernel for CudaSgemm {
     }
 
     fn access_spec(&self) -> Option<AccessSpec> {
+        let geo = self.geometry();
         let mut spec = AccessSpec::default();
-        gemm_access_spec(
-            &mut spec,
-            &self.ops,
-            &self.shape,
-            self.layout,
-            self.double_buffer,
-            false,
-        );
+        gemm_access_spec(&mut spec, &geo, &self.ops, &self.shape, self.layout, false);
         // Write-back: warp w stores microtile row r in two STG.128.
         let n = self.shape.n;
         for w in 0..WARPS_PER_BLOCK {
@@ -206,7 +209,7 @@ impl Kernel for CudaSgemm {
             }
         }
         spec.barriers = Some(BarrierSpec {
-            count: syncs_per_block(self.shape.k, self.double_buffer),
+            count: syncs_per_block(&geo, self.shape.k),
             warps: WARPS_PER_BLOCK as u64,
         });
         Some(spec)

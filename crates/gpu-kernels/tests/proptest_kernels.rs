@@ -5,7 +5,7 @@
 use ks_gpu_kernels::aux_kernels::{Bandwidth, EvalSumKernel, NormsKernel};
 use ks_gpu_kernels::fused::FusedKernelSummation;
 use ks_gpu_kernels::gemm_engine::{syncs_per_block, GemmOperands, GemmShape};
-use ks_gpu_kernels::CudaSgemm;
+use ks_gpu_kernels::{CudaSgemm, TileGeometry};
 use ks_gpu_sim::GpuDevice;
 use proptest::prelude::*;
 
@@ -76,7 +76,11 @@ proptest! {
         // Stores: 8 warps × 8 rows × 2 per block.
         prop_assert_eq!(p.counters.global_store_insts, blocks * 128);
         // Barriers.
-        prop_assert_eq!(p.counters.sync_insts, blocks * 8 * syncs_per_block(shape.k, double_buffer));
+        let geo = TileGeometry {
+            double_buffer_depth: if double_buffer { 2 } else { 1 },
+            ..TileGeometry::paper_default()
+        };
+        prop_assert_eq!(p.counters.sync_insts, blocks * 8 * syncs_per_block(&geo, shape.k));
         // Swizzled layout ⇒ conflict-free: store transactions equal
         // instructions, load transactions exactly two phases each.
         prop_assert_eq!(p.counters.smem.store_transactions, p.counters.smem.store_instructions);

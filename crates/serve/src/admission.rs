@@ -16,37 +16,44 @@
 use ks_analyze::static_::analyze_spec;
 use ks_gpu_kernels::aux_kernels::Bandwidth;
 use ks_gpu_kernels::gemm_engine::{GemmOperands, GemmShape};
-use ks_gpu_kernels::FusedMultiWeight;
+use ks_gpu_kernels::{FusedMultiWeight, TileGeometry};
 use ks_gpu_sim::buffer::GlobalMem;
 use ks_gpu_sim::config::DeviceConfig;
 use ks_gpu_sim::kernel::Kernel;
 
 /// Everything a static admission verdict depends on besides the
 /// device model: the GEMM shape *after* padding to the tiling
-/// constraints, plus the weight-column count (which sets the register
-/// footprint and the epilogue's access pattern).
+/// constraints, the weight-column count (which sets the register
+/// footprint and the epilogue's access pattern), and the tile
+/// geometry the kernel would launch with (which sets everything
+/// else — occupancy, staging layout, coalescing width).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AdmissionKey {
-    /// Padded source count (`M`, multiple of 128).
+    /// Padded source count (`M`, multiple of the geometry's block_m).
     pub m: usize,
-    /// Padded target count (`N`, multiple of 128).
+    /// Padded target count (`N`, multiple of the geometry's block_n).
     pub n: usize,
-    /// Padded point dimension (`K`, multiple of 8).
+    /// Padded point dimension (`K`, multiple of the geometry's
+    /// tile_k).
     pub k: usize,
     /// Weight columns in the batch.
     pub r: usize,
+    /// The tile geometry of the launch being proved.
+    pub geometry: TileGeometry,
 }
 
 impl AdmissionKey {
     /// Key for a batch of `r` queries over an `m × k` corpus and `n`
-    /// targets, applying the same padding `executor::pad_batch` does.
+    /// targets at `geometry`, applying the same padding
+    /// `executor::pad_batch` does.
     #[must_use]
-    pub fn for_batch(m: usize, n: usize, k: usize, r: usize) -> Self {
+    pub fn for_batch(m: usize, n: usize, k: usize, r: usize, geometry: &TileGeometry) -> Self {
         Self {
-            m: m.next_multiple_of(128),
-            n: n.next_multiple_of(128),
-            k: k.next_multiple_of(8),
+            m: m.next_multiple_of(geometry.block_m),
+            n: n.next_multiple_of(geometry.block_n),
+            k: k.next_multiple_of(geometry.tile_k),
             r,
+            geometry: *geometry,
         }
     }
 }
@@ -98,7 +105,8 @@ pub fn check_shape(dev: &DeviceConfig, key: AdmissionKey) -> AdmissionVerdict {
     let b2 = mem.alloc_virtual(shape.n);
     let w = mem.alloc_virtual(shape.n * key.r);
     let v = mem.alloc_virtual(shape.m * key.r);
-    let kernel = FusedMultiWeight::new(ops, a2, b2, w, v, shape, Bandwidth { h: 1.0 }, key.r);
+    let kernel = FusedMultiWeight::new(ops, a2, b2, w, v, shape, Bandwidth { h: 1.0 }, key.r)
+        .with_geometry(key.geometry);
     match kernel.access_spec() {
         Some(spec) if spec.is_affine() => {
             let (report, _) = analyze_spec(dev, &kernel, &spec);
@@ -121,8 +129,9 @@ mod tests {
     #[test]
     fn padded_shapes_admit_on_the_reference_device() {
         let dev = DeviceConfig::gtx970();
+        let geo = TileGeometry::paper_default();
         for r in [1, 2, 8] {
-            let key = AdmissionKey::for_batch(100, 70, 5, r);
+            let key = AdmissionKey::for_batch(100, 70, 5, r, &geo);
             assert_eq!((key.m, key.n, key.k), (128, 128, 8));
             let verdict = check_shape(&dev, key);
             assert!(verdict.admitted, "r={r}: {:?}", verdict.findings);
@@ -135,7 +144,10 @@ mod tests {
         // Halving the register file breaks the kernel's declared
         // occupancy expectation — a provable mismatch.
         dev.regs_per_sm /= 2;
-        let verdict = check_shape(&dev, AdmissionKey::for_batch(256, 256, 16, 2));
+        let verdict = check_shape(
+            &dev,
+            AdmissionKey::for_batch(256, 256, 16, 2, &TileGeometry::paper_default()),
+        );
         assert!(!verdict.admitted);
         assert!(!verdict.findings.is_empty());
     }

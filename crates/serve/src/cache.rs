@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ks_core::plan::{SourcePlan, SourceSet, SourceSetId};
+use ks_gpu_kernels::TileGeometry;
 
 use crate::admission::{AdmissionKey, AdmissionStats, AdmissionVerdict};
 
@@ -109,6 +110,21 @@ pub struct PlanCache {
     /// bounds the degenerate many-shapes case.
     admission: HashMap<AdmissionKey, Arc<AdmissionVerdict>>,
     admission_stats: AdmissionStats,
+    /// Winning-geometry memo: the tile geometry the server resolved
+    /// for a raw batch shape `(M, N, K)` on this server's device. Like
+    /// the admission memo, there is no LRU pressure — distinct shapes
+    /// number in the handfuls — but the same cap bounds degeneracy.
+    geometry: HashMap<(usize, usize, usize), (TileGeometry, Option<TileGeometry>)>,
+    geometry_stats: GeometryStats,
+}
+
+/// Counters of the winning-geometry memo.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GeometryStats {
+    /// Fresh resolutions (pick-table consultations).
+    pub resolves: u64,
+    /// Resolutions served from the memo.
+    pub hits: u64,
 }
 
 /// Verdict-memo bound; reaching it clears the memo (verdicts are
@@ -133,7 +149,37 @@ impl PlanCache {
             stats: PlanCacheStats::default(),
             admission: HashMap::new(),
             admission_stats: AdmissionStats::default(),
+            geometry: HashMap::new(),
+            geometry_stats: GeometryStats::default(),
         }
+    }
+
+    /// Looks up the winning tile geometry (and its bit-compatible
+    /// low-power alternative) for a raw batch shape, resolving and
+    /// memoizing on a miss — warm shapes pay one hash lookup and never
+    /// re-consult the pick table.
+    pub fn geometry_for(
+        &mut self,
+        shape: (usize, usize, usize),
+        resolve: impl FnOnce() -> (TileGeometry, Option<TileGeometry>),
+    ) -> (TileGeometry, Option<TileGeometry>) {
+        if let Some(&g) = self.geometry.get(&shape) {
+            self.geometry_stats.hits += 1;
+            return g;
+        }
+        if self.geometry.len() >= ADMISSION_MEMO_CAP {
+            self.geometry.clear();
+        }
+        self.geometry_stats.resolves += 1;
+        let g = resolve();
+        self.geometry.insert(shape, g);
+        g
+    }
+
+    /// Geometry-memo counter snapshot.
+    #[must_use]
+    pub fn geometry_stats(&self) -> GeometryStats {
+        self.geometry_stats
     }
 
     /// Looks up the static-admission verdict for `key`, computing and

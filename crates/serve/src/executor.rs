@@ -5,9 +5,10 @@
 //! [`solve_multi_planned`], so each served column is **bit-identical**
 //! to the single-shot `solve_multi_fused` answer for that query alone
 //! (per-column accumulation is independent of `R`). The GPU path runs
-//! the simulated [`execute_fused_multi`] pipeline, padding to the
-//! tiling constraints the way `ks_core::gpu` does; on a plan-cache hit
-//! it ships the precomputed row norms and skips the `norms(A)` kernel.
+//! the simulated fused-multi pipeline at the server's resolved
+//! [`TileGeometry`], padding to that geometry's tiling constraints; on
+//! a plan-cache hit it ships the precomputed row norms and skips the
+//! `norms(A)` kernel.
 
 use ks_blas::{Layout, Matrix};
 use ks_core::plan::SourcePlan;
@@ -15,7 +16,8 @@ use ks_core::problem::PointSet;
 use ks_core::{FusedCpuConfig, GaussianKernel};
 use ks_gpu_kernels::gemm_engine::GemmShape;
 use ks_gpu_kernels::{
-    execute_fused_multi, execute_fused_multi_verified, VerifyReport, MAX_WEIGHT_COLUMNS,
+    execute_fused_multi_verified_with, execute_fused_multi_with, TileGeometry, VerifyReport,
+    MAX_WEIGHT_COLUMNS,
 };
 use ks_gpu_sim::device::GpuDevice;
 use ks_gpu_sim::kernel::LaunchError;
@@ -76,6 +78,7 @@ fn pad_batch(
     targets: &PointSet,
     weights: &[Vec<f32>],
     plan_hit: bool,
+    geo: &TileGeometry,
 ) -> PaddedBatch {
     let (m, k) = plan.dims();
     let n = targets.len();
@@ -84,9 +87,15 @@ fn pad_batch(
         (1..=MAX_GPU_BATCH).contains(&r),
         "GPU batch width {r} out of range 1..={MAX_GPU_BATCH}"
     );
-    let m_pad = m.next_multiple_of(128);
-    let n_pad = n.next_multiple_of(128);
-    let k_pad = k.next_multiple_of(8);
+    let m_pad = m.next_multiple_of(geo.block_m);
+    let n_pad = n.next_multiple_of(geo.block_n);
+    assert!(
+        r <= geo.tile_k,
+        "batch width {r} exceeds the geometry's tile_k {}; the server \
+         must resolve a geometry wide enough for the batch",
+        geo.tile_k
+    );
+    let k_pad = k.next_multiple_of(geo.tile_k);
     let a = pad_coords(plan.pack_words(), m, k, m_pad, k_pad);
     let b = pad_coords(targets.coords(), n, k, n_pad, k_pad);
     // N×R column-major; padded targets carry zero weight.
@@ -139,10 +148,12 @@ pub(crate) fn execute_gpu(
     h: f32,
     weights: &[Vec<f32>],
     plan_hit: bool,
+    geo: &TileGeometry,
 ) -> Result<(Vec<Vec<f32>>, PipelineProfile), LaunchError> {
-    let batch = pad_batch(plan, targets, weights, plan_hit);
-    let (v, prof) = execute_fused_multi(
+    let batch = pad_batch(plan, targets, weights, plan_hit, geo);
+    let (v, prof) = execute_fused_multi_with(
         dev,
+        geo,
         batch.shape,
         h,
         &batch.a,
@@ -168,10 +179,12 @@ pub(crate) fn execute_gpu_verified(
     h: f32,
     weights: &[Vec<f32>],
     plan_hit: bool,
+    geo: &TileGeometry,
 ) -> Result<(Vec<Vec<f32>>, PipelineProfile, VerifyReport), LaunchError> {
-    let batch = pad_batch(plan, targets, weights, plan_hit);
-    let (v, prof, report) = execute_fused_multi_verified(
+    let batch = pad_batch(plan, targets, weights, plan_hit, geo);
+    let (v, prof, report) = execute_fused_multi_verified_with(
         dev,
+        geo,
         batch.shape,
         h,
         &batch.a,
@@ -224,7 +237,8 @@ mod tests {
         let ws = weights(70, 2, 13);
         let plan = SourcePlan::build(sources.points());
         let mut dev = GpuDevice::gtx970();
-        let (got, prof) = execute_gpu(&mut dev, &plan, &targets, 0.9, &ws, false).unwrap();
+        let geo = TileGeometry::paper_default();
+        let (got, prof) = execute_gpu(&mut dev, &plan, &targets, 0.9, &ws, false, &geo).unwrap();
         assert_eq!(prof.kernels.len(), 3);
         for (c, w) in ws.iter().enumerate() {
             let p = KernelSumProblem::builder()
@@ -249,11 +263,27 @@ mod tests {
         let targets = PointSet::uniform_cube(64, 5, 32);
         let ws = weights(64, 3, 33);
         let plan = SourcePlan::build(sources.points());
-        let (plain, _) =
-            execute_gpu(&mut GpuDevice::gtx970(), &plan, &targets, 0.9, &ws, false).unwrap();
-        let (verified, prof, report) =
-            execute_gpu_verified(&mut GpuDevice::gtx970(), &plan, &targets, 0.9, &ws, false)
-                .unwrap();
+        let geo = TileGeometry::paper_default();
+        let (plain, _) = execute_gpu(
+            &mut GpuDevice::gtx970(),
+            &plan,
+            &targets,
+            0.9,
+            &ws,
+            false,
+            &geo,
+        )
+        .unwrap();
+        let (verified, prof, report) = execute_gpu_verified(
+            &mut GpuDevice::gtx970(),
+            &plan,
+            &targets,
+            0.9,
+            &ws,
+            false,
+            &geo,
+        )
+        .unwrap();
         assert!(!report.corruption_detected(), "fault-free run is clean");
         assert!(report.checksum_groups > 0);
         assert_eq!(prof.kernels.len(), 3);
@@ -271,7 +301,8 @@ mod tests {
         let ws = weights(128, 1, 23);
         let plan = SourcePlan::build(sources.points());
         let mut dev = GpuDevice::gtx970();
-        let (_, prof) = execute_gpu(&mut dev, &plan, &targets, 1.0, &ws, true).unwrap();
+        let geo = TileGeometry::paper_default();
+        let (_, prof) = execute_gpu(&mut dev, &plan, &targets, 1.0, &ws, true, &geo).unwrap();
         assert_eq!(prof.kernels.len(), 2, "norms(A) skipped on a plan hit");
     }
 }

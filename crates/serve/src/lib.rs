@@ -48,12 +48,12 @@ pub mod server;
 pub mod workload;
 
 pub use admission::{AdmissionKey, AdmissionStats, AdmissionVerdict};
-pub use cache::{PlanCache, PlanCacheStats, PlanKey};
+pub use cache::{GeometryStats, PlanCache, PlanCacheStats, PlanKey};
 pub use executor::MAX_GPU_BATCH;
 pub use pool::{DeviceReport, PoolConfig, PoolDevice, PoolReport, SHARD_ALIGN};
 pub use queue::BoundedQueue;
 pub use server::{
-    backoff_delay, FaultInjection, Query, ResilienceConfig, ServeBackend, ServeConfig, ServeError,
-    ServeReport, Server, Submit, Ticket,
+    backoff_delay, FaultInjection, GeometryPick, Query, ResilienceConfig, ServeBackend,
+    ServeConfig, ServeError, ServeReport, Server, Submit, Ticket,
 };
 pub use workload::{generate_queries, run_workload, smoke_workload, WorkloadConfig};

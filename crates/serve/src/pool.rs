@@ -50,7 +50,7 @@ use std::thread::JoinHandle;
 use ks_core::plan::{shard_ranges, SourcePlan};
 use ks_core::problem::PointSet;
 use ks_core::FusedCpuConfig;
-use ks_gpu_kernels::VerifyReport;
+use ks_gpu_kernels::{TileGeometry, VerifyReport};
 use ks_gpu_sim::config::{DeviceConfig, Interconnect};
 use ks_gpu_sim::device::GpuDevice;
 use ks_gpu_sim::profiler::PipelineProfile;
@@ -273,6 +273,8 @@ struct PoolPolicy {
     /// Run GPU shard attempts through the ABFT-verified pipeline.
     verify: bool,
     cpu: FusedCpuConfig,
+    /// Tile geometry every GPU shard launches with.
+    geometry: TileGeometry,
 }
 
 /// State shared between the coordinator and the device threads.
@@ -418,6 +420,7 @@ impl DevicePool {
         backend: ServeBackend,
         resilience: &ResilienceConfig,
         cpu: FusedCpuConfig,
+        geometry: TileGeometry,
     ) -> Self {
         assert!(!pool.devices.is_empty(), "pool needs at least one device");
         assert!(
@@ -430,6 +433,7 @@ impl DevicePool {
             cpu_only: matches!(backend, ServeBackend::CpuFused),
             verify: matches!(backend, ServeBackend::GpuResilient) && resilience.verify,
             cpu,
+            geometry,
         };
         let shared = Arc::new(Shared {
             queues: (0..n)
@@ -765,6 +769,7 @@ fn run_gpu_shard(task: &ShardTask, shared: &Shared) -> ShardOutcome {
             task.h,
             &task.weights,
             task.warm,
+            &policy.geometry,
         )
         .map(|(r, p, v)| (r, p, Some(v)))
     } else {
@@ -775,6 +780,7 @@ fn run_gpu_shard(task: &ShardTask, shared: &Shared) -> ShardOutcome {
             task.h,
             &task.weights,
             task.warm,
+            &policy.geometry,
         )
         .map(|(r, p)| (r, p, None))
     };

@@ -29,14 +29,15 @@ use std::time::{Duration, Instant};
 use ks_core::plan::{SourcePlan, SourceSet};
 use ks_core::problem::PointSet;
 use ks_core::FusedCpuConfig;
-use ks_gpu_kernels::{VerifyReport, FUSED_MULTI_PIPELINE};
+use ks_energy::{pipeline_energy, EnergyParams};
+use ks_gpu_kernels::{TileGeometry, VerifyReport, FUSED_MULTI_PIPELINE};
 use ks_gpu_sim::config::DeviceConfig;
 use ks_gpu_sim::device::GpuDevice;
 use ks_gpu_sim::kernel::LaunchError;
 use ks_gpu_sim::profiler::PipelineProfile;
 
 use crate::admission::{self, AdmissionKey, AdmissionStats};
-use crate::cache::{PlanCache, PlanCacheStats, PlanKey};
+use crate::cache::{GeometryStats, PlanCache, PlanCacheStats, PlanKey};
 use crate::executor::{self, MAX_GPU_BATCH};
 use crate::pool::{DevicePool, PoolConfig, PoolReport};
 use crate::queue::BoundedQueue;
@@ -260,6 +261,26 @@ pub fn backoff_delay(rc: &ResilienceConfig, batch: u64, attempt: u32) -> Duratio
     rc.backoff_base * exp + rc.backoff_base * jitter / 256
 }
 
+/// One tuned geometry decision the server may apply: batches whose
+/// raw `(M, N, K)` shape matches use `geometry` instead of the
+/// config-wide default, and — under an energy budget — may downshift
+/// to `low_power`, which must be bit-compatible with `geometry` so
+/// routing never changes a result bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeometryPick {
+    /// Raw (unpadded) source count this pick applies to.
+    pub m: usize,
+    /// Raw target count.
+    pub n: usize,
+    /// Raw point dimension.
+    pub k: usize,
+    /// The winning geometry for this shape.
+    pub geometry: TileGeometry,
+    /// Optional lower-energy variant from the same bit-compatibility
+    /// class (validated at [`Server::start`]).
+    pub low_power: Option<TileGeometry>,
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -302,6 +323,24 @@ pub struct ServeConfig {
     /// bit-identical to single-device serving (row-wise sharding is an
     /// exact partition); `None` serves unpooled.
     pub pool: Option<PoolConfig>,
+    /// Tile geometry GPU batches launch with when no tuned pick
+    /// matches their shape.
+    pub geometry: TileGeometry,
+    /// Bit-compatible lower-energy fallback for shapes without a
+    /// tuned pick: the variant energy-budgeted serving downshifts to
+    /// when no [`GeometryPick`] matches the batch. Validated at
+    /// [`Server::start`] like a pick's `low_power`.
+    pub low_power: Option<TileGeometry>,
+    /// Tuned per-shape geometry decisions (typically the `ks-tune`
+    /// picks). The resolved winner is memoized per raw batch shape
+    /// next to the plan cache.
+    pub geometry_picks: Vec<GeometryPick>,
+    /// Energy budget in joules per query. When the modelled GPU
+    /// energy spent per served query exceeds this, subsequent batches
+    /// route to their pick's bit-compatible `low_power` variant —
+    /// results stay bit-identical to unbudgeted serving by the
+    /// bit-compatibility contract. `None` never downshifts.
+    pub energy_budget_j: Option<f64>,
 }
 
 impl Default for ServeConfig {
@@ -321,6 +360,10 @@ impl Default for ServeConfig {
             batch_delay: None,
             start_paused: false,
             pool: None,
+            geometry: TileGeometry::paper_default(),
+            low_power: None,
+            geometry_picks: Vec::new(),
+            energy_budget_j: None,
         }
     }
 }
@@ -388,6 +431,14 @@ pub struct ServeReport {
     /// denied the GPU); all zero when `static_lint` is off or the
     /// backend is CPU-only.
     pub static_admission: AdmissionStats,
+    /// Winning-geometry memo counters.
+    pub geometry: GeometryStats,
+    /// Modelled GPU energy across all completed batch profiles,
+    /// joules (the energy model over the exact simulated counters).
+    pub energy_j: f64,
+    /// Batches routed to the low-power bit-compatible variant by the
+    /// energy budget.
+    pub energy_downshifts: u64,
     /// Deepest queue occupancy observed (≤ configured capacity).
     pub queue_high_water: usize,
     /// One pipeline profile per GPU batch, in execution order (per
@@ -411,6 +462,16 @@ impl ServeReport {
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
         self.plan_cache.hit_rate()
+    }
+
+    /// Modelled GPU joules per completed query (0 when nothing
+    /// completed or no GPU batch ran).
+    #[must_use]
+    pub fn j_per_query(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.energy_j / self.completed as f64
     }
 
     /// All per-batch profiles merged into one pipeline (for metrics
@@ -502,6 +563,9 @@ struct WorkerStats {
     internal_errors: u64,
     plan_cache: PlanCacheStats,
     static_admission: AdmissionStats,
+    geometry: GeometryStats,
+    energy_j: f64,
+    energy_downshifts: u64,
     profiles: Vec<PipelineProfile>,
     pool: Option<PoolReport>,
 }
@@ -604,6 +668,45 @@ impl Server {
     pub fn start(cfg: ServeConfig) -> Self {
         assert!(cfg.wave > 0, "wave size must be positive");
         assert!(cfg.max_batch > 0, "batch size must be positive");
+        assert!(
+            cfg.geometry.feasibility(&cfg.device).is_ok(),
+            "configured tile geometry is infeasible on the configured device"
+        );
+        if let Some(low) = &cfg.low_power {
+            assert!(
+                low.bit_compatible(&cfg.geometry),
+                "configured low-power variant is not bit-compatible with the                  configured geometry — energy routing would change result bits"
+            );
+            assert!(
+                low.feasibility(&cfg.device).is_ok(),
+                "configured low-power variant is infeasible on the configured device"
+            );
+        }
+        for p in &cfg.geometry_picks {
+            assert!(
+                p.geometry.feasibility(&cfg.device).is_ok(),
+                "pick for {}x{}x{} is infeasible on the configured device",
+                p.m,
+                p.n,
+                p.k
+            );
+            if let Some(low) = &p.low_power {
+                assert!(
+                    low.bit_compatible(&p.geometry),
+                    "low-power variant for {}x{}x{} is not bit-compatible with its pick                      — energy routing would change result bits",
+                    p.m,
+                    p.n,
+                    p.k
+                );
+                assert!(
+                    low.feasibility(&cfg.device).is_ok(),
+                    "low-power variant for {}x{}x{} is infeasible on the configured device",
+                    p.m,
+                    p.n,
+                    p.k
+                );
+            }
+        }
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
         let gate = Arc::new(Gate {
             paused: Mutex::new(cfg.start_paused),
@@ -724,6 +827,9 @@ impl Server {
             internal_errors: w.internal_errors,
             plan_cache: w.plan_cache,
             static_admission: w.static_admission,
+            geometry: w.geometry,
+            energy_j: w.energy_j,
+            energy_downshifts: w.energy_downshifts,
             queue_high_water: self.queue.high_water(),
             profiles: w.profiles,
             pool: w.pool,
@@ -759,7 +865,7 @@ fn worker_loop(
     let mut pool = cfg
         .pool
         .as_ref()
-        .map(|p| DevicePool::start(p, cfg.backend, &cfg.resilience, cfg.cpu));
+        .map(|p| DevicePool::start(p, cfg.backend, &cfg.resilience, cfg.cpu, cfg.geometry));
     loop {
         {
             let mut paused = gate.paused.lock().unwrap_or_else(PoisonError::into_inner);
@@ -819,6 +925,7 @@ fn worker_loop(
     }
     stats.plan_cache = cache.stats();
     stats.static_admission = cache.admission_stats();
+    stats.geometry = cache.geometry_stats();
     stats.breaker_trips = breaker.trips;
     stats.breaker_resets = breaker.resets;
     stats.pool = pool.map(DevicePool::shutdown);
@@ -866,13 +973,14 @@ fn execute_chunk(
         (Arc::new(SourcePlan::build(proto.sources.points())), false)
     };
     let weights: Vec<Vec<f32>> = live.iter().map(|(q, _)| q.weights.clone()).collect();
+    let geo = resolve_geometry(cfg, cache, &plan, proto, weights.len(), stats);
     // Plan-time static admission: prove the exact kernel this batch
     // would launch clean before spending any GPU attempt. Verdicts
     // are memoized by padded launch geometry next to the plan cache,
     // so repeat shapes run no analysis.
     let admitted = if cfg.static_lint && uses_gpu(cfg, pool) {
         let (m, k) = plan.dims();
-        let key = AdmissionKey::for_batch(m, proto.targets.len(), k, weights.len());
+        let key = AdmissionKey::for_batch(m, proto.targets.len(), k, weights.len(), &geo);
         let (verdict, _) = cache.admission(key, || admission::check_shape(&cfg.device, key));
         if !verdict.admitted {
             cache.note_admission_reject();
@@ -881,9 +989,10 @@ fn execute_chunk(
     } else {
         true
     };
+    let profiles_before = stats.profiles.len();
     let outcome = if admitted {
         run_batch(
-            cfg, &plan, proto, &weights, hit, pool, breaker, injected, stats,
+            cfg, &plan, proto, &weights, hit, &geo, pool, breaker, injected, stats,
         )
     } else {
         // Denied the GPU: the bit-exact CPU path serves the batch.
@@ -895,6 +1004,12 @@ fn execute_chunk(
             false,
         ))
     };
+    // Energy accounting: every profile this batch added (all rungs,
+    // all shards) through the energy model over exact counters.
+    let params = EnergyParams::default();
+    for p in &stats.profiles[profiles_before..] {
+        stats.energy_j += pipeline_energy(&params, p).total_j();
+    }
     if let Some(delay) = cfg.batch_delay {
         std::thread::sleep(delay);
     }
@@ -960,6 +1075,48 @@ fn consume_injection(cfg: &ServeConfig, injected: &mut u64) -> bool {
     }
 }
 
+/// Resolves the tile geometry for one batch: the memoized winning
+/// pick for its raw shape (or the config default), downshifted to the
+/// pick's bit-compatible low-power variant once the energy budget is
+/// exhausted. A geometry whose `tile_k` is narrower than the batch
+/// width cannot launch the batch and falls back to the config
+/// default, then to the paper default (whose `tile_k` equals the
+/// maximum batch width).
+fn resolve_geometry(
+    cfg: &ServeConfig,
+    cache: &mut PlanCache,
+    plan: &SourcePlan,
+    proto: &Query,
+    r: usize,
+    stats: &mut WorkerStats,
+) -> TileGeometry {
+    let (m, k) = plan.dims();
+    let n = proto.targets.len();
+    let (base, low_power) = cache.geometry_for((m, n, k), || {
+        cfg.geometry_picks
+            .iter()
+            .find(|p| (p.m, p.n, p.k) == (m, n, k))
+            .map_or((cfg.geometry, cfg.low_power), |p| (p.geometry, p.low_power))
+    });
+    let fits = |g: &TileGeometry| r <= g.tile_k;
+    let mut geo = if fits(&base) {
+        base
+    } else if fits(&cfg.geometry) {
+        cfg.geometry
+    } else {
+        TileGeometry::paper_default()
+    };
+    if let (Some(budget), Some(low)) = (cfg.energy_budget_j, low_power) {
+        let over_budget = stats.completed > 0 && stats.energy_j / stats.completed as f64 > budget;
+        if over_budget && fits(&low) && low != geo {
+            debug_assert!(low.bit_compatible(&geo));
+            stats.energy_downshifts += 1;
+            geo = low;
+        }
+    }
+    geo
+}
+
 /// Runs one batch; `Ok((results, degraded))` flags completions below
 /// the configured top rung.
 #[allow(clippy::too_many_arguments)]
@@ -969,6 +1126,7 @@ fn run_batch(
     proto: &Query,
     weights: &[Vec<f32>],
     hit: bool,
+    geo: &TileGeometry,
     pool: &mut Option<DevicePool>,
     breaker: &mut Breaker,
     injected: &mut u64,
@@ -1006,7 +1164,7 @@ fn run_batch(
                 Err(LaunchError::EmptyLaunch)
             } else {
                 let mut dev = GpuDevice::new(cfg.device.clone());
-                executor::execute_gpu(&mut dev, plan, &proto.targets, proto.h, weights, hit)
+                executor::execute_gpu(&mut dev, plan, &proto.targets, proto.h, weights, hit, geo)
             };
             match launch {
                 Ok((results, prof)) => {
@@ -1027,9 +1185,9 @@ fn run_batch(
                 Err(e) => Err(ServeError::Launch(e)),
             }
         }
-        ServeBackend::GpuResilient => {
-            run_batch_resilient(cfg, plan, proto, weights, hit, breaker, injected, stats)
-        }
+        ServeBackend::GpuResilient => run_batch_resilient(
+            cfg, plan, proto, weights, hit, geo, breaker, injected, stats,
+        ),
     }
 }
 
@@ -1054,6 +1212,7 @@ fn resilient_attempt(
     proto: &Query,
     weights: &[Vec<f32>],
     hit: bool,
+    geo: &TileGeometry,
     verify: bool,
     batch: u64,
     attempt: u32,
@@ -1068,11 +1227,19 @@ fn resilient_attempt(
     }
     let mut dev = GpuDevice::new(dev_cfg);
     if verify {
-        let (r, p, v) =
-            executor::execute_gpu_verified(&mut dev, plan, &proto.targets, proto.h, weights, hit)?;
+        let (r, p, v) = executor::execute_gpu_verified(
+            &mut dev,
+            plan,
+            &proto.targets,
+            proto.h,
+            weights,
+            hit,
+            geo,
+        )?;
         Ok((r, p, Some(v)))
     } else {
-        let (r, p) = executor::execute_gpu(&mut dev, plan, &proto.targets, proto.h, weights, hit)?;
+        let (r, p) =
+            executor::execute_gpu(&mut dev, plan, &proto.targets, proto.h, weights, hit, geo)?;
         Ok((r, p, None))
     }
 }
@@ -1090,6 +1257,7 @@ fn run_batch_resilient(
     proto: &Query,
     weights: &[Vec<f32>],
     hit: bool,
+    geo: &TileGeometry,
     breaker: &mut Breaker,
     injected: &mut u64,
     stats: &mut WorkerStats,
@@ -1116,7 +1284,7 @@ fn run_batch_resilient(
         }
         note_attempt(stats, &mut attempt_no);
         match resilient_attempt(
-            cfg, plan, proto, weights, hit, rc.verify, batch_idx, attempt_no, injected,
+            cfg, plan, proto, weights, hit, geo, rc.verify, batch_idx, attempt_no, injected,
         ) {
             Ok((results, prof, verify)) => {
                 let inj = injected_data_faults(&prof);
@@ -1149,7 +1317,7 @@ fn run_batch_resilient(
         std::thread::sleep(backoff_delay(rc, batch_idx, attempt_no));
         note_attempt(stats, &mut attempt_no);
         match resilient_attempt(
-            cfg, plan, proto, weights, hit, false, batch_idx, attempt_no, injected,
+            cfg, plan, proto, weights, hit, geo, false, batch_idx, attempt_no, injected,
         ) {
             Ok((results, prof, _)) => {
                 let inj = injected_data_faults(&prof);

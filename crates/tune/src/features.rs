@@ -1,0 +1,158 @@
+//! Feature extraction: geometry × problem shape → the regressor
+//! inputs of the learned cost model.
+//!
+//! The simulator's timing model is a max over per-resource cycle
+//! terms (issue/core, LSU, DRAM, exposed latency) plus barrier and
+//! launch overhead, scaled by the partial-wave tail effect. The
+//! features below are closed-form proxies for exactly those terms —
+//! all computable from the geometry and the padded shape alone, with
+//! **zero replay** — so a log-linear model over them can recover the
+//! measured time to within a few percent and, more importantly,
+//! preserve the *ordering* of candidate geometries.
+
+use ks_gpu_kernels::gemm_engine::syncs_per_block;
+use ks_gpu_kernels::TileGeometry;
+use ks_gpu_sim::config::DeviceConfig;
+
+/// Number of regressor inputs (including the intercept).
+pub const N_FEATURES: usize = 11;
+
+/// A problem shape as the tuner sees it: raw (unpadded) dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProblemShape {
+    /// Source count.
+    pub m: usize,
+    /// Target count.
+    pub n: usize,
+    /// Point-space dimension.
+    pub k: usize,
+}
+
+impl ProblemShape {
+    /// Creates a shape; all dimensions must be positive.
+    #[must_use]
+    pub fn new(m: usize, n: usize, k: usize) -> Self {
+        assert!(m > 0 && n > 0 && k > 0, "shape dimensions must be positive");
+        Self { m, n, k }
+    }
+
+    /// The shape after padding to `geo`'s tiling constraints, the way
+    /// the serve executor pads batches.
+    #[must_use]
+    pub fn padded_for(&self, geo: &TileGeometry) -> ProblemShape {
+        ProblemShape {
+            m: self.m.next_multiple_of(geo.block_m),
+            n: self.n.next_multiple_of(geo.block_n),
+            k: self.k.next_multiple_of(geo.tile_k.max(4)),
+        }
+    }
+}
+
+impl std::fmt::Display for ProblemShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.n, self.k)
+    }
+}
+
+/// The feature vector of one (geometry, shape) pair on `dev`. Every
+/// entry is finite for any feasible geometry and positive shape:
+/// logarithms are only taken of quantities that are provably ≥ 1.
+#[must_use]
+pub fn features(geo: &TileGeometry, shape: &ProblemShape, dev: &DeviceConfig) -> [f64; N_FEATURES] {
+    let p = shape.padded_for(geo);
+    let (m, n, k) = (p.m as f64, p.n as f64, p.k as f64);
+    let blocks = (p.m / geo.block_m) as f64 * (p.n / geo.block_n) as f64;
+    let tiles = (p.k / geo.tile_k) as f64;
+    let warps = geo.warps_per_block() as f64;
+    let (mm, mn) = (geo.micro_m as f64, geo.micro_n as f64);
+    let (bm, bn) = (geo.block_m as f64, geo.block_n as f64);
+    let tk = geo.tile_k as f64;
+
+    // Core/issue proxy: warp-level FFMAs of the GEMM inner loop
+    // (exact closed form — blocks · tiles · tk steps · warps · mm·mn
+    // per warp-step).
+    let ffma = blocks * tiles * tk * warps * mm * mn;
+    // LSU proxy: staging stores (one scalar word per tile element)
+    // plus compute fragment loads per k-step.
+    let sts = blocks * tiles * (bm + bn) * tk / 32.0;
+    let lds = blocks * tiles * tk * warps * (mm + mn) / 2.0;
+    // Global-load instructions: V4 tile fetches.
+    let ldg = blocks * tiles * (bm + bn) * tk / 128.0;
+    // DRAM traffic brackets in bytes: compulsory (every operand byte
+    // once) vs no-reuse-across-blocks (each tile refetched per block
+    // row/column).
+    let dram_lb = 4.0 * (m * k + n * k + m);
+    let dram_ub = 4.0 * k * (m * (n / bn) + n * (m / bm));
+    // Barrier executions (exact closed form from the engine).
+    let syncs = blocks * warps * syncs_per_block(geo, p.k) as f64;
+
+    let occ = geo.occupancy(dev);
+    let blocks_per_wave = (occ.blocks_per_sm as f64 * f64::from(dev.num_sms)).max(1.0);
+    let exact_waves = blocks / blocks_per_wave;
+    // Tail effect ≥ 1: partial last wave leaves SMs idle.
+    let sm_scale = (exact_waves.ceil() / exact_waves).max(1.0);
+
+    [
+        1.0,
+        ffma.ln(),
+        (sts + lds).ln(),
+        ldg.max(1.0).ln(),
+        dram_lb.ln(),
+        dram_ub.ln(),
+        syncs.max(1.0).ln(),
+        sm_scale.ln(),
+        occ.fraction,
+        f64::from(occ.warps_per_sm.max(1)).ln(),
+        (geo.double_buffer_depth - 1) as f64,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_are_finite_over_the_lattice() {
+        let dev = DeviceConfig::gtx970();
+        let shapes = [
+            ProblemShape::new(1, 1, 1),
+            ProblemShape::new(1024, 1024, 32),
+            ProblemShape::new(524_288, 1024, 256),
+        ];
+        for geo in TileGeometry::lattice(&dev) {
+            for s in &shapes {
+                for (i, f) in features(&geo, s, &dev).iter().enumerate() {
+                    assert!(f.is_finite(), "{geo} {s} feature {i} = {f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padding_rounds_up_to_the_geometry() {
+        let geo = TileGeometry::paper_default();
+        let p = ProblemShape::new(100, 70, 5).padded_for(&geo);
+        assert_eq!((p.m, p.n, p.k), (128, 128, 8));
+        let small = TileGeometry {
+            block_m: 32,
+            block_n: 32,
+            tile_k: 4,
+            micro_m: 4,
+            micro_n: 4,
+            ..geo
+        };
+        let q = ProblemShape::new(100, 70, 5).padded_for(&small);
+        assert_eq!((q.m, q.n, q.k), (128, 96, 8));
+    }
+
+    #[test]
+    fn tail_heavy_small_grids_raise_the_wave_feature() {
+        let dev = DeviceConfig::gtx970();
+        let geo = TileGeometry::paper_default();
+        let tiny = features(&geo, &ProblemShape::new(256, 256, 32), &dev);
+        let big = features(&geo, &ProblemShape::new(8192, 1024, 32), &dev);
+        // Feature 7 is ln(sm_scale): 4 blocks on 13 SMs is heavily
+        // tail-bound, 512 blocks barely.
+        assert!(tiny[7] > big[7]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Tile-geometry autotuner for the fused kernel-summation pipeline.
+//!
+//! The paper fixes one geometry — 128×128 blocks, 8×8 microtiles,
+//! rank-8 K-tiles — chosen by hand for the GTX 970 at large shapes.
+//! This crate searches the whole legal geometry lattice instead, and
+//! ships only candidates that survive three gates:
+//!
+//! 1. **Static gate** ([`static_gate`]): the symbolic analyzer proves
+//!    the kernel free of bank conflicts, uncoalesced access, bounds
+//!    and occupancy hazards from its declared access spec — zero
+//!    replay.
+//! 2. **Differential gate** ([`admit_geometry`]): the kernel's output
+//!    under the sequential schedule must be bit-identical to the
+//!    geometry-aware CPU fused oracle. A geometry that cannot meet
+//!    the serve ladder's reduction-order contract is rejected, not
+//!    shipped.
+//! 3. **Profiling** ([`profile_geometry`]): one exact-counter traffic
+//!    replay per training shape, feeding the energy model.
+//!
+//! The profiled evidence fits a log-linear ridge [`CostModel`]
+//! (closed-form features, seeded train/holdout split, reported
+//! holdout error). After the fit, picks for *any* shape come from the
+//! model alone ([`select`]) — no candidate replay — with a safety
+//! margin that lets the paper default win near-ties, and an
+//! energy-aware alternative restricted to the pick's
+//! bit-compatibility class so an energy-budgeted server can downshift
+//! without changing a single result bit.
+
+pub mod features;
+pub mod model;
+pub mod tuner;
+
+pub use features::{features, ProblemShape, N_FEATURES};
+pub use model::{fit, CostModel, FitReport, LinearHead, Sample};
+pub use tuner::{
+    admit_geometry, profile_geometry, select, static_gate, tune, RejectStage, Rejection,
+    TuneConfig, TuneOutcome, TunedChoice, TunedPick,
+};

@@ -1,0 +1,609 @@
+//! The sweep driver: lattice → static prune → differential admission
+//! → profiling → cost-model fit → per-shape picks.
+//!
+//! Every stage is deterministic for a fixed [`TuneConfig`]: the
+//! lattice is enumerated in a fixed order, the train/holdout split is
+//! seeded, the simulator's counters are exact, and picks break ties
+//! by the lattice order. Running the tuner twice with the same config
+//! yields byte-identical [`TuneOutcome`]s.
+//!
+//! Picks are made **from the model alone** — no candidate is replayed
+//! at pick time. The profiling replays happen once, on the training
+//! shapes, to fit the model; after that, any shape (trained or not)
+//! gets its geometry from `exp(x·β)` comparisons. The CI `tune-bench`
+//! job independently replays the picks to prove they beat or match
+//! the paper default.
+
+use serde::{Deserialize, Serialize};
+
+use ks_analyze::static_::analyze_spec;
+use ks_energy::{kernel_energy, EnergyParams};
+use ks_gpu_kernels::aux_kernels::Bandwidth;
+use ks_gpu_kernels::fused::FusedKernelSummation;
+use ks_gpu_kernels::gemm_engine::{GemmOperands, GemmShape};
+use ks_gpu_kernels::TileGeometry;
+use ks_gpu_sim::config::DeviceConfig;
+use ks_gpu_sim::kernel::Kernel;
+use ks_gpu_sim::GpuDevice;
+
+use crate::features::ProblemShape;
+use crate::model::{fit, CostModel, FitReport, Sample};
+
+/// Which gate refused a candidate geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectStage {
+    /// The static analyzer proved a hazard (bank conflicts,
+    /// coalescing, bounds, occupancy) from the access spec alone.
+    Static,
+    /// The differential harness found a result that is not
+    /// bit-identical to the CPU fused oracle, or the kernel failed to
+    /// launch at all.
+    Differential,
+    /// Profiling the candidate on a training shape failed.
+    Profile,
+}
+
+impl std::fmt::Display for RejectStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RejectStage::Static => "static",
+            RejectStage::Differential => "differential",
+            RejectStage::Profile => "profile",
+        })
+    }
+}
+
+/// A geometry the tuner refused to ship, and why.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rejection {
+    /// The candidate.
+    pub geometry: TileGeometry,
+    /// The gate that refused it.
+    pub stage: RejectStage,
+    /// Human-readable cause.
+    pub reason: String,
+}
+
+/// One tuned decision for one shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TunedChoice {
+    /// The geometry predicted fastest (with the default-bias margin).
+    pub geometry: TileGeometry,
+    /// Model-predicted kernel time at this shape, seconds.
+    pub pred_time_s: f64,
+    /// Model-predicted kernel energy at this shape, joules.
+    pub pred_energy_j: f64,
+    /// The lowest-predicted-energy admitted geometry that is
+    /// [`TileGeometry::bit_compatible`] with `geometry` — the variant
+    /// an energy-budgeted server may route to without changing a
+    /// single result bit. `None` when `geometry` is already the
+    /// cheapest in its bit-compatibility class.
+    pub low_power: Option<TileGeometry>,
+    /// Predicted energy of `low_power` (equals `pred_energy_j` when
+    /// `low_power` is `None`).
+    pub low_power_energy_j: f64,
+}
+
+/// A [`TunedChoice`] tagged with the shape it was made for.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TunedPick {
+    /// Source count.
+    pub m: usize,
+    /// Target count.
+    pub n: usize,
+    /// Point dimension.
+    pub k: usize,
+    /// The decision.
+    pub choice: TunedChoice,
+}
+
+/// Everything the tuner needs to run.
+#[derive(Debug, Clone)]
+pub struct TuneConfig {
+    /// The device model to tune for.
+    pub device: DeviceConfig,
+    /// Shapes profiled to fit the cost model.
+    pub train_shapes: Vec<ProblemShape>,
+    /// Shapes to emit picks for (model-only; need not be trained).
+    pub pick_shapes: Vec<ProblemShape>,
+    /// Shape of the differential admission run (padded per geometry).
+    pub admission_shape: ProblemShape,
+    /// Seed of the train/holdout split.
+    pub seed: u64,
+    /// Fraction of samples held out for error reporting.
+    pub holdout_frac: f64,
+    /// The paper default wins any comparison it loses by less than
+    /// this relative margin — mispredictions inside the band can only
+    /// ever fall back to the known-good geometry, never away from it.
+    pub default_margin: f64,
+    /// Candidate override for targeted runs; `None` sweeps the full
+    /// legal lattice.
+    pub candidates: Option<Vec<TileGeometry>>,
+}
+
+impl TuneConfig {
+    /// A config with the standard knobs and no shapes yet.
+    #[must_use]
+    pub fn new(device: DeviceConfig) -> Self {
+        Self {
+            device,
+            train_shapes: Vec::new(),
+            pick_shapes: Vec::new(),
+            admission_shape: ProblemShape::new(256, 256, 16),
+            seed: 0x5EED,
+            holdout_frac: 0.2,
+            default_margin: 0.03,
+            candidates: None,
+        }
+    }
+
+    /// The smoke-grid config the CI `tune-bench` job runs: trains on
+    /// the bench smoke sweep plus tail-bound small shapes, picks for
+    /// the same grid plus non-paper shapes where the default geometry
+    /// wastes most of the device.
+    #[must_use]
+    pub fn smoke(device: DeviceConfig) -> Self {
+        let mut cfg = Self::new(device);
+        cfg.train_shapes = vec![
+            ProblemShape::new(1024, 1024, 32),
+            ProblemShape::new(1024, 1024, 256),
+            ProblemShape::new(4096, 1024, 32),
+            ProblemShape::new(4096, 1024, 256),
+            ProblemShape::new(256, 256, 64),
+            ProblemShape::new(512, 512, 32),
+            ProblemShape::new(2048, 512, 128),
+        ];
+        cfg.pick_shapes = vec![
+            ProblemShape::new(1024, 1024, 32),
+            ProblemShape::new(1024, 1024, 256),
+            ProblemShape::new(4096, 1024, 32),
+            ProblemShape::new(4096, 1024, 256),
+            ProblemShape::new(256, 256, 64),
+            ProblemShape::new(384, 256, 96),
+        ];
+        cfg
+    }
+}
+
+/// The tuner's full output: what survived, what was refused, the
+/// evidence, the fitted model, and the decisions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneOutcome {
+    /// Geometries that passed every gate, in lattice order.
+    pub admitted: Vec<TileGeometry>,
+    /// Geometries refused, with the stage and reason.
+    pub rejected: Vec<Rejection>,
+    /// The profiled evidence the model was fitted on.
+    pub samples: Vec<Sample>,
+    /// The fitted two-headed cost model.
+    pub model: CostModel,
+    /// Holdout error of the fit.
+    pub fit: FitReport,
+    /// Per-shape decisions for [`TuneConfig::pick_shapes`].
+    pub picks: Vec<TunedPick>,
+}
+
+impl TuneOutcome {
+    /// The decision for a shape: the stored pick when one exists,
+    /// otherwise a fresh model-only selection (no replay either way).
+    #[must_use]
+    pub fn choice_for(&self, shape: &ProblemShape, dev: &DeviceConfig, margin: f64) -> TunedChoice {
+        for p in &self.picks {
+            if (p.m, p.n, p.k) == (shape.m, shape.n, shape.k) {
+                return p.choice;
+            }
+        }
+        select(&self.model, &self.admitted, shape, dev, margin)
+    }
+}
+
+/// Deterministic pseudo-random operand data for the differential run.
+fn lcg_vec(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) * 0.5
+        })
+        .collect()
+}
+
+fn host_norms(pts: &[f32], rows: usize, k: usize) -> Vec<f32> {
+    (0..rows)
+        .map(|i| pts[i * k..(i + 1) * k].iter().map(|v| v * v).sum())
+        .collect()
+}
+
+/// The differential admission gate: runs the fused kernel at `geo`
+/// on `shape` (padded to the geometry) under the sequential
+/// (`run_counted`) schedule and demands bit-identity with the
+/// geometry-aware CPU fused oracle — the same reduction-order
+/// contract the serve ladder's CPU/GPU cross-checks rely on.
+///
+/// # Errors
+/// Returns a description of the first divergence: a launch failure,
+/// or the first row whose bits differ from the oracle's. A geometry
+/// that errors here is rejected by the tuner, not shipped.
+pub fn admit_geometry(
+    dev_cfg: &DeviceConfig,
+    geo: &TileGeometry,
+    shape: &ProblemShape,
+) -> Result<(), String> {
+    let p = shape.padded_for(geo);
+    let shape = GemmShape {
+        m: p.m,
+        n: p.n,
+        k: p.k,
+    };
+    let bw = Bandwidth { h: 1.0 };
+    let a = lcg_vec(shape.m * shape.k, 0xAD417 ^ geo.block_m as u64);
+    let b = lcg_vec(shape.k * shape.n, 0xAD418 ^ geo.block_n as u64);
+    let w = lcg_vec(shape.n, 0xAD419);
+    let a2 = host_norms(&a, shape.m, shape.k);
+    let b2 = host_norms(&b, shape.n, shape.k);
+
+    let mut dev = GpuDevice::new(dev_cfg.clone());
+    let ops = GemmOperands {
+        a: dev.upload(&a),
+        b: dev.upload(&b),
+    };
+    let (ba2, bb2, bw_buf, bv) = (
+        dev.upload(&a2),
+        dev.upload(&b2),
+        dev.upload(&w),
+        dev.alloc(shape.m),
+    );
+    let kernel =
+        FusedKernelSummation::new(ops, ba2, bb2, bw_buf, bv, shape, bw).with_geometry(*geo);
+    dev.run_counted(&kernel)
+        .map_err(|e| format!("launch failed: {e}"))?;
+    let got = dev.download(bv);
+    let want =
+        ks_gpu_kernels::fused_oracle(geo, &a, &b, &a2, &b2, &w, shape.m, shape.n, shape.k, bw.h);
+    for (i, (g, x)) in got.iter().zip(want.iter()).enumerate() {
+        if g.to_bits() != x.to_bits() {
+            return Err(format!(
+                "row {i} diverges from the fused oracle at {}x{}x{}: {g} vs {x}",
+                shape.m, shape.n, shape.k
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The static gate: proves the fused kernel at `geo` clean from its
+/// declared access spec alone (zero replay). Follows the serve
+/// admission policy — only a *positive* proof of a violation rejects;
+/// an unprovable spec passes through to the differential gate.
+///
+/// # Errors
+/// Returns the analyzer's findings when the proof fails.
+pub fn static_gate(
+    dev_cfg: &DeviceConfig,
+    geo: &TileGeometry,
+    shape: &ProblemShape,
+) -> Result<(), String> {
+    let (kernel, _dev) = shadow_kernel(dev_cfg, geo, shape);
+    match kernel.access_spec() {
+        Some(spec) if spec.is_affine() => {
+            let (report, _) = analyze_spec(dev_cfg, &kernel, &spec);
+            if report.is_clean() {
+                Ok(())
+            } else {
+                Err(report
+                    .findings
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; "))
+            }
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Builds the fused kernel at `geo` over virtual buffers sized for
+/// the padded shape. The device is returned alongside so profiling
+/// can launch the exact kernel the gates inspected.
+fn shadow_kernel(
+    dev_cfg: &DeviceConfig,
+    geo: &TileGeometry,
+    shape: &ProblemShape,
+) -> (FusedKernelSummation, GpuDevice) {
+    let p = shape.padded_for(geo);
+    let shape = GemmShape {
+        m: p.m,
+        n: p.n,
+        k: p.k,
+    };
+    let mut dev = GpuDevice::new(dev_cfg.clone());
+    let ops = GemmOperands {
+        a: dev.alloc_virtual(shape.m * shape.k),
+        b: dev.alloc_virtual(shape.k * shape.n),
+    };
+    let a2 = dev.alloc_virtual(shape.m);
+    let b2 = dev.alloc_virtual(shape.n);
+    let w = dev.alloc_virtual(shape.n);
+    let v = dev.alloc_virtual(shape.m);
+    let kernel = FusedKernelSummation::new(ops, a2, b2, w, v, shape, Bandwidth { h: 1.0 })
+        .with_geometry(*geo);
+    (kernel, dev)
+}
+
+/// Profiles `geo` at `shape`: one traffic replay through the memory
+/// system and timing model, plus the energy model over the exact
+/// counters.
+///
+/// # Errors
+/// Returns the launch error message when the device refuses the
+/// kernel.
+pub fn profile_geometry(
+    dev_cfg: &DeviceConfig,
+    geo: &TileGeometry,
+    shape: &ProblemShape,
+) -> Result<Sample, String> {
+    let (kernel, mut dev) = shadow_kernel(dev_cfg, geo, shape);
+    let kp = dev.launch(&kernel).map_err(|e| format!("{e}"))?;
+    let energy = kernel_energy(&EnergyParams::default(), &kp).total_j();
+    let time = kp.timing.time_s;
+    if !(time > 0.0 && energy > 0.0) {
+        return Err(format!("degenerate profile: time {time}, energy {energy}"));
+    }
+    Ok(Sample {
+        geometry: *geo,
+        m: shape.m,
+        n: shape.n,
+        k: shape.k,
+        time_s: time,
+        energy_j: energy,
+    })
+}
+
+/// Model-only selection for one shape over the admitted candidates.
+/// The argmin of predicted time wins unless the paper default is
+/// within `margin` of it, in which case the default wins — a
+/// misprediction inside the band can only fall back to the known-good
+/// geometry. Also derives the bit-compatible low-power alternative.
+#[must_use]
+pub fn select(
+    model: &CostModel,
+    admitted: &[TileGeometry],
+    shape: &ProblemShape,
+    dev: &DeviceConfig,
+    margin: f64,
+) -> TunedChoice {
+    assert!(
+        !admitted.is_empty(),
+        "no admitted geometries to select from"
+    );
+    let default = TileGeometry::paper_default();
+    let mut best = admitted[0];
+    let mut best_t = model.predict_time_s(&best, shape, dev);
+    for geo in &admitted[1..] {
+        let t = model.predict_time_s(geo, shape, dev);
+        if t < best_t {
+            best = *geo;
+            best_t = t;
+        }
+    }
+    if admitted.contains(&default) && best != default {
+        let t_default = model.predict_time_s(&default, shape, dev);
+        if t_default <= best_t * (1.0 + margin) {
+            best = default;
+            best_t = t_default;
+        }
+    }
+    let best_e = model.predict_energy_j(&best, shape, dev);
+
+    // Energy-aware alternative: cheapest predicted energy inside the
+    // bit-compatibility class of the pick.
+    let mut low = best;
+    let mut low_e = best_e;
+    for geo in admitted {
+        if !geo.bit_compatible(&best) {
+            continue;
+        }
+        let e = model.predict_energy_j(geo, shape, dev);
+        if e < low_e {
+            low = *geo;
+            low_e = e;
+        }
+    }
+    TunedChoice {
+        geometry: best,
+        pred_time_s: best_t,
+        pred_energy_j: best_e,
+        low_power: (low != best).then_some(low),
+        low_power_energy_j: low_e,
+    }
+}
+
+/// Runs the full tuner: gates, profiling, fit, picks.
+///
+/// # Panics
+/// Panics when no geometry survives the gates or the config has no
+/// training shapes — both indicate a broken config, not a tunable
+/// condition.
+#[must_use]
+pub fn tune(cfg: &TuneConfig) -> TuneOutcome {
+    assert!(
+        !cfg.train_shapes.is_empty(),
+        "tuner needs at least one training shape"
+    );
+    let candidates = cfg
+        .candidates
+        .clone()
+        .unwrap_or_else(|| TileGeometry::lattice(&cfg.device));
+
+    let mut admitted = Vec::new();
+    let mut rejected = Vec::new();
+    for geo in candidates {
+        if let Err(reason) = static_gate(&cfg.device, &geo, &cfg.admission_shape) {
+            rejected.push(Rejection {
+                geometry: geo,
+                stage: RejectStage::Static,
+                reason,
+            });
+            continue;
+        }
+        if let Err(reason) = admit_geometry(&cfg.device, &geo, &cfg.admission_shape) {
+            rejected.push(Rejection {
+                geometry: geo,
+                stage: RejectStage::Differential,
+                reason,
+            });
+            continue;
+        }
+        admitted.push(geo);
+    }
+    assert!(
+        !admitted.is_empty(),
+        "every candidate geometry was rejected; device model or gates are broken"
+    );
+
+    let mut samples = Vec::new();
+    let mut profiled = Vec::new();
+    'geo: for geo in admitted {
+        let mut geo_samples = Vec::new();
+        for shape in &cfg.train_shapes {
+            match profile_geometry(&cfg.device, &geo, shape) {
+                Ok(s) => geo_samples.push(s),
+                Err(reason) => {
+                    rejected.push(Rejection {
+                        geometry: geo,
+                        stage: RejectStage::Profile,
+                        reason: format!("at {shape}: {reason}"),
+                    });
+                    continue 'geo;
+                }
+            }
+        }
+        samples.extend(geo_samples);
+        profiled.push(geo);
+    }
+    let admitted = profiled;
+
+    let (model, fit_report) = fit(&samples, &cfg.device, cfg.seed, cfg.holdout_frac);
+    let picks = cfg
+        .pick_shapes
+        .iter()
+        .map(|shape| {
+            let choice = select(&model, &admitted, shape, &cfg.device, cfg.default_margin);
+            TunedPick {
+                m: shape.m,
+                n: shape.n,
+                k: shape.k,
+                choice,
+            }
+        })
+        .collect();
+
+    TuneOutcome {
+        admitted,
+        rejected,
+        samples,
+        model,
+        fit: fit_report,
+        picks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_gpu_sim::fault::FaultSpec;
+
+    /// A handful of lattice points spanning block sizes, kept small so
+    /// debug-build tests stay quick; the full lattice runs in release
+    /// through the integration tests and CI.
+    fn small_candidates(dev: &DeviceConfig) -> Vec<TileGeometry> {
+        let lattice = TileGeometry::lattice(dev);
+        let default = TileGeometry::paper_default();
+        let mut picked: Vec<TileGeometry> = lattice
+            .iter()
+            .copied()
+            .filter(|g| {
+                (g.block_m, g.block_n) != (default.block_m, default.block_n)
+                    && g.double_buffer_depth == 2
+            })
+            .step_by(7)
+            .take(6)
+            .collect();
+        picked.push(default);
+        picked
+    }
+
+    fn tiny_config(dev: DeviceConfig) -> TuneConfig {
+        let mut cfg = TuneConfig::new(dev.clone());
+        cfg.candidates = Some(small_candidates(&dev));
+        cfg.train_shapes = vec![
+            ProblemShape::new(256, 256, 16),
+            ProblemShape::new(512, 256, 32),
+            ProblemShape::new(256, 512, 16),
+        ];
+        cfg.pick_shapes = vec![
+            ProblemShape::new(256, 256, 16),
+            ProblemShape::new(320, 320, 24),
+        ];
+        cfg.holdout_frac = 0.25;
+        cfg
+    }
+
+    #[test]
+    fn tune_is_deterministic_and_produces_picks() {
+        let cfg = tiny_config(DeviceConfig::gtx970());
+        let a = tune(&cfg);
+        let b = tune(&cfg);
+        assert_eq!(a, b, "tuner must be deterministic for a fixed config");
+        assert_eq!(a.picks.len(), cfg.pick_shapes.len());
+        assert!(!a.admitted.is_empty());
+        for p in &a.picks {
+            assert!(p.choice.pred_time_s > 0.0 && p.choice.pred_time_s.is_finite());
+            assert!(p.choice.pred_energy_j > 0.0 && p.choice.pred_energy_j.is_finite());
+            if let Some(low) = p.choice.low_power {
+                assert!(low.bit_compatible(&p.choice.geometry));
+                assert!(p.choice.low_power_energy_j <= p.choice.pred_energy_j);
+            }
+        }
+    }
+
+    #[test]
+    fn gates_admit_the_paper_default_on_the_reference_device() {
+        let dev = DeviceConfig::gtx970();
+        let geo = TileGeometry::paper_default();
+        let shape = ProblemShape::new(256, 256, 16);
+        static_gate(&dev, &geo, &shape).expect("default must pass the static gate");
+        admit_geometry(&dev, &geo, &shape).expect("default must pass the differential gate");
+    }
+
+    #[test]
+    fn faulty_device_fails_the_differential_gate() {
+        let mut dev = DeviceConfig::gtx970();
+        // A deterministic register-flip fault: the kernel computes,
+        // but not the oracle's bits — exactly what the gate exists to
+        // refuse.
+        dev.fault = Some(FaultSpec::parse("seed=9,reg=64").expect("valid spec"));
+        let geo = TileGeometry::paper_default();
+        let err = admit_geometry(&dev, &geo, &ProblemShape::new(256, 256, 16))
+            .expect_err("bit divergence must be refused");
+        assert!(
+            err.contains("diverges") || err.contains("launch failed"),
+            "unexpected rejection: {err}"
+        );
+    }
+
+    #[test]
+    fn choice_for_falls_back_to_model_selection_on_unknown_shapes() {
+        let cfg = tiny_config(DeviceConfig::gtx970());
+        let out = tune(&cfg);
+        let unknown = ProblemShape::new(640, 256, 40);
+        let c = out.choice_for(&unknown, &cfg.device, cfg.default_margin);
+        assert!(out.admitted.contains(&c.geometry));
+        // And the stored pick is returned verbatim for known shapes.
+        let known = cfg.pick_shapes[0];
+        let stored = out.choice_for(&known, &cfg.device, cfg.default_margin);
+        assert_eq!(stored, out.picks[0].choice);
+    }
+}

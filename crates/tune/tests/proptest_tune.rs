@@ -1,0 +1,142 @@
+//! Property suite for the autotuner (ISSUE 8 satellites):
+//!
+//! * cost-model predictions are finite and strictly positive over the
+//!   entire legal geometry lattice, for arbitrary shapes;
+//! * the paper's default geometry is never mispredicted outside the
+//!   fit's advertised error band on the golden sweep;
+//! * tuner output is deterministic for a fixed seed.
+//!
+//! One full-lattice tune over compact shapes is computed once and
+//! shared — the sweep itself (static gate, differential admission,
+//! exact-counter profiling) is the expensive part; every property
+//! reads the same evidence.
+
+use std::sync::OnceLock;
+
+use ks_gpu_kernels::TileGeometry;
+use ks_gpu_sim::config::DeviceConfig;
+use ks_tune::{fit, tune, ProblemShape, TuneConfig, TuneOutcome};
+use proptest::prelude::*;
+
+fn golden_sweep() -> &'static (TuneConfig, TuneOutcome) {
+    static SWEEP: OnceLock<(TuneConfig, TuneOutcome)> = OnceLock::new();
+    SWEEP.get_or_init(|| {
+        let mut cfg = TuneConfig::new(DeviceConfig::gtx970());
+        // Compact shapes keep the debug-build sweep quick; the CI
+        // tune-bench job runs the real smoke grid in release.
+        cfg.train_shapes = vec![
+            ProblemShape::new(256, 256, 16),
+            ProblemShape::new(512, 256, 32),
+            ProblemShape::new(256, 512, 16),
+        ];
+        cfg.pick_shapes = vec![
+            ProblemShape::new(256, 256, 16),
+            ProblemShape::new(384, 256, 96),
+        ];
+        let out = tune(&cfg);
+        (cfg, out)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn predictions_are_finite_and_positive_over_the_lattice(
+        m in 1usize..20_000,
+        n in 1usize..4_096,
+        k in 1usize..2_048,
+    ) {
+        let (cfg, out) = golden_sweep();
+        let shape = ProblemShape::new(m, n, k);
+        for geo in TileGeometry::lattice(&cfg.device) {
+            let t = out.model.predict_time_s(&geo, &shape, &cfg.device);
+            let e = out.model.predict_energy_j(&geo, &shape, &cfg.device);
+            prop_assert!(t.is_finite() && t > 0.0, "{geo} at {shape}: time {t}");
+            prop_assert!(e.is_finite() && e > 0.0, "{geo} at {shape}: energy {e}");
+        }
+    }
+
+    #[test]
+    fn fit_is_deterministic_for_any_seed(seed in 0u64..10_000) {
+        let (cfg, out) = golden_sweep();
+        let (m1, r1) = fit(&out.samples, &cfg.device, seed, cfg.holdout_frac);
+        let (m2, r2) = fit(&out.samples, &cfg.device, seed, cfg.holdout_frac);
+        prop_assert_eq!(m1, m2);
+        prop_assert_eq!(r1, r2);
+    }
+}
+
+#[test]
+fn default_geometry_is_never_mispredicted_outside_the_advertised_band() {
+    let (cfg, out) = golden_sweep();
+    let band = out.fit.advertised_rel_err();
+    assert!(band > 0.0 && band < 0.5, "implausible error band {band}");
+    let default = TileGeometry::paper_default();
+    let mut checked = 0;
+    for s in out.samples.iter().filter(|s| s.geometry == default) {
+        let pred = out.model.predict_time_s(&default, &s.shape(), &cfg.device);
+        let rel = (pred / s.time_s - 1.0).abs();
+        assert!(
+            rel <= band,
+            "default geometry mispredicted at {}: rel err {rel:.4} > band {band:.4}",
+            s.shape()
+        );
+        checked += 1;
+    }
+    assert_eq!(
+        checked,
+        cfg.train_shapes.len(),
+        "the default geometry must appear in the golden sweep"
+    );
+}
+
+#[test]
+fn tune_outcome_is_deterministic_for_a_fixed_seed() {
+    let (cfg, out) = golden_sweep();
+    let again = tune(cfg);
+    assert_eq!(
+        *out, again,
+        "same config + seed must reproduce byte-identically"
+    );
+}
+
+#[test]
+fn picks_never_predict_worse_than_the_paper_default() {
+    let (cfg, out) = golden_sweep();
+    let default = TileGeometry::paper_default();
+    assert!(out.admitted.contains(&default));
+    for p in &out.picks {
+        let shape = ProblemShape::new(p.m, p.n, p.k);
+        let t_default = out.model.predict_time_s(&default, &shape, &cfg.device);
+        assert!(
+            p.choice.pred_time_s <= t_default * (1.0 + 1e-12),
+            "{shape}: pick {} predicted {} vs default {}",
+            p.choice.geometry,
+            p.choice.pred_time_s,
+            t_default
+        );
+    }
+}
+
+#[test]
+fn rejection_reasons_are_recorded_not_silently_dropped() {
+    // A fault-injected device must reject geometries at the
+    // differential gate and say why.
+    let mut dev = DeviceConfig::gtx970();
+    dev.fault = Some(ks_gpu_sim::fault::FaultSpec::parse("seed=3,reg=64").expect("valid spec"));
+    let mut cfg = TuneConfig::new(dev);
+    cfg.candidates = Some(vec![TileGeometry::paper_default()]);
+    cfg.train_shapes = vec![ProblemShape::new(256, 256, 16)];
+    let err = std::panic::catch_unwind(|| tune(&cfg))
+        .expect_err("an all-rejected lattice must panic loudly");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(ToString::to_string))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("rejected"),
+        "panic must name the rejection: {msg}"
+    );
+}

@@ -6,7 +6,9 @@
 //! ksum compare     --m 8192 --n 1024 --k 64
 //! ksum lint        [--static] [--kernel NAME] [--out findings.txt]
 //!                  [--json findings.json] [--agreement agreement.json]
-//! ksum serve-bench [--smoke] [--clients C] [--queries Q] [--devices N] [--json PATH]
+//! ksum serve-bench [--smoke] [--clients C] [--queries Q] [--devices N]
+//!                  [--energy-budget J] [--json PATH]
+//! ksum tune        [--smoke] [--seed S] [--json PATH]
 //! ```
 //!
 //! Argument errors (unknown command, flag, backend or variant, or a
@@ -19,6 +21,7 @@ use std::time::Instant;
 use kernel_summation::bench::ServeMetrics;
 use kernel_summation::core::gpu::{profile_gpu, try_profile_gpu_on, try_solve_gpu_on, GpuReport};
 use kernel_summation::core::Backend;
+use kernel_summation::gpu_kernels::TileGeometry;
 use kernel_summation::gpu_sim::config::DeviceConfig;
 use kernel_summation::gpu_sim::report::summary;
 use kernel_summation::gpu_sim::Interconnect;
@@ -27,6 +30,7 @@ use kernel_summation::prelude::*;
 use kernel_summation::serve::{
     run_workload, smoke_workload, PoolConfig, ServeBackend, ServeConfig, WorkloadConfig,
 };
+use kernel_summation::tune::{tune, ProblemShape, TuneConfig};
 
 const USAGE: &str = "usage: ksum [--threads N] [--faults SPEC] <command> [flags]
   --threads N  global: size of the worker pool used for parallel
@@ -52,12 +56,22 @@ const USAGE: &str = "usage: ksum [--threads N] [--faults SPEC] <command> [flags]
   serve-bench  [--smoke] [--clients C] [--queries Q] [--corpora R]
                [--shared-ratio F] [--large-ratio F] [--m M] [--n N]
                [--k K] [--h H] [--seed S] [--queue DEPTH] [--wave W]
-               [--no-cache] [--devices N]
+               [--no-cache] [--devices N] [--energy-budget J]
                [--backend cpu-fused|gpu-fused|gpu-resilient]
                [--json PATH]
                (--devices N shards every batch row-wise over a pool of
                 N simulated devices on PCIe 3.0 x16 links; results stay
-                bit-identical to single-device serving)";
+                bit-identical to single-device serving;
+                --energy-budget J downshifts batches to a
+                bit-compatible low-power tile geometry once the
+                modelled J/query exceeds the budget — result bits
+                never change)
+  tune         [--smoke] [--seed S] [--json PATH]
+               (sweeps the legal tile-geometry lattice through the
+                static analyzer, the bit-exact differential gate and
+                exact-counter profiling, fits the log-linear cost
+                model and prints its per-shape picks; --smoke shrinks
+                the training grid; --json exports the picks)";
 
 /// A usage error: printed to stderr with the usage text, exit code 2.
 struct UsageError(String);
@@ -449,6 +463,21 @@ fn cmd_serve_bench(rest: &[String], fault: Option<FaultSpec>) -> Result<ExitCode
                     }
                 };
             }
+            "--energy-budget" => {
+                let budget: f64 = parse_value(flag, val)?;
+                if budget <= 0.0 || budget.is_nan() {
+                    return Err(UsageError("--energy-budget must be positive".into()));
+                }
+                cfg.energy_budget_j = Some(budget);
+                // The downshift target for shapes without a tuned
+                // pick: the default's bit-compatibility class with
+                // taller microtile rows (fewer threads, more register
+                // reuse), so routing never changes result bits.
+                cfg.low_power = Some(TileGeometry {
+                    micro_m: 16,
+                    ..TileGeometry::paper_default()
+                });
+            }
             "--json" => json = Some(val.clone()),
             other => return Err(UsageError(format!("unknown flag {other}"))),
         }
@@ -506,6 +535,12 @@ fn cmd_serve_bench(rest: &[String], fault: Option<FaultSpec>) -> Result<ExitCode
     println!(
         "queue high water {} | fallbacks {} | wall {wall:?}",
         report.queue_high_water, report.fallbacks
+    );
+    println!(
+        "energy {:.3} mJ | {:.3} uJ/query | {} budget downshifts",
+        report.energy_j * 1e3,
+        report.j_per_query() * 1e6,
+        report.energy_downshifts
     );
     if report.attempts > report.batches
         || report.corruption_detected > 0
@@ -570,6 +605,83 @@ fn cmd_serve_bench(rest: &[String], fault: Option<FaultSpec>) -> Result<ExitCode
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_tune(rest: &[String]) -> Result<ExitCode, UsageError> {
+    let mut cfg = TuneConfig::smoke(DeviceConfig::gtx970());
+    let mut json: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--smoke" {
+            cfg.train_shapes = vec![
+                ProblemShape::new(1024, 1024, 32),
+                ProblemShape::new(512, 512, 32),
+                ProblemShape::new(256, 256, 64),
+            ];
+            cfg.pick_shapes = vec![
+                ProblemShape::new(1024, 1024, 32),
+                ProblemShape::new(256, 256, 64),
+            ];
+            continue;
+        }
+        let val = it
+            .next()
+            .ok_or_else(|| UsageError(format!("missing value for {flag}")))?;
+        match flag.as_str() {
+            "--seed" => cfg.seed = parse_value(flag, val)?,
+            "--json" => json = Some(val.clone()),
+            other => {
+                return Err(UsageError(format!(
+                    "unknown flag {other} (tune takes --smoke, --seed S, --json PATH)"
+                )))
+            }
+        }
+    }
+    println!(
+        "tuning {} geometries x {} training shapes on a simulated {}",
+        TileGeometry::lattice(&cfg.device).len(),
+        cfg.train_shapes.len(),
+        cfg.device.name
+    );
+    let t = Instant::now();
+    let out = tune(&cfg);
+    println!(
+        "{} admitted, {} rejected, {} profiled samples in {:?}",
+        out.admitted.len(),
+        out.rejected.len(),
+        out.samples.len(),
+        t.elapsed()
+    );
+    println!(
+        "fit: {} train / {} holdout, time err mape {:.4} max {:.4},          energy err mape {:.4} max {:.4}",
+        out.fit.train_count,
+        out.fit.holdout_count,
+        out.fit.holdout_mape_time,
+        out.fit.holdout_max_rel_time,
+        out.fit.holdout_mape_energy,
+        out.fit.holdout_max_rel_energy
+    );
+    for r in &out.rejected {
+        println!("  rejected {} at {}: {}", r.geometry, r.stage, r.reason);
+    }
+    println!("picks (model-only, paper default wins near-ties):");
+    for p in &out.picks {
+        let low = p
+            .choice
+            .low_power
+            .map_or(String::new(), |g| format!(" (low-power {g})"));
+        println!(
+            "  {}x{}x{}: {} pred {:.3e} s / {:.3e} J{low}",
+            p.m, p.n, p.k, p.choice.geometry, p.choice.pred_time_s, p.choice.pred_energy_j
+        );
+    }
+    if let Some(path) = json {
+        let doc = serde_json::to_string_pretty(&out.picks).expect("picks serialise");
+        if let Err(code) = write_artifact(&path, &doc, "tuned picks") {
+            return Ok(code);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 /// Global flags, valid anywhere on the command line.
 struct Globals {
     /// Worker-pool size for parallel traffic replay.
@@ -630,6 +742,7 @@ fn main() -> ExitCode {
         match cmd.as_str() {
             "lint" => cmd_lint(&args[2..]),
             "serve-bench" => cmd_serve_bench(&args[2..], fault),
+            "tune" => cmd_tune(&args[2..]),
             "solve" => parse(&args[2..]).and_then(|a| cmd_solve(&a, fault)),
             "profile" => parse(&args[2..]).and_then(|a| cmd_profile(&a, fault)),
             "compare" => parse(&args[2..]).and_then(|a| cmd_compare(&a, fault)),

@@ -4,8 +4,8 @@
 //! ([`ks_core`]), the CPU BLAS substrate ([`ks_blas`]), the
 //! Maxwell-class GPU simulator ([`ks_gpu_sim`]), the GPU kernels
 //! ([`ks_gpu_kernels`]), the energy model ([`ks_energy`]), the batched
-//! serving stack ([`ks_serve`]) and the experiment harness
-//! ([`ks_bench`]).
+//! serving stack ([`ks_serve`]), the tile-geometry autotuner
+//! ([`ks_tune`]) and the experiment harness ([`ks_bench`]).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory; `EXPERIMENTS.md` records the paper-vs-measured numbers.
@@ -18,5 +18,6 @@ pub use ks_energy as energy;
 pub use ks_gpu_kernels as gpu_kernels;
 pub use ks_gpu_sim as gpu_sim;
 pub use ks_serve as serve;
+pub use ks_tune as tune;
 
 pub use ks_core::prelude;

@@ -319,3 +319,44 @@ fn serve_bench_json_export_parses() {
     assert!(metrics.gpu.is_none(), "cpu-fused backend runs no GPU batch");
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn tune_rejects_unknown_flags() {
+    assert_usage_error(&ksum(&["tune", "--bogus", "1"]), "unknown flag --bogus");
+}
+
+#[test]
+fn serve_bench_rejects_a_non_positive_energy_budget() {
+    assert_usage_error(
+        &ksum(&["serve-bench", "--energy-budget", "-1"]),
+        "--energy-budget must be positive",
+    );
+}
+
+#[test]
+fn serve_bench_reports_energy_per_query() {
+    let out = ksum(&[
+        "serve-bench",
+        "--clients",
+        "2",
+        "--queries",
+        "4",
+        "--m",
+        "256",
+        "--n",
+        "64",
+        "--k",
+        "8",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("uJ/query"),
+        "serve-bench must report energy per query; stdout: {stdout}"
+    );
+}
