@@ -218,6 +218,13 @@ pub struct ServeMetrics {
     pub batches: u64,
     /// Queries served through those solves.
     pub batched_queries: u64,
+    /// Simulated kernel launches across all completed GPU batches.
+    pub launches: u64,
+    /// Horizontally-fused packed launches (one per packed wave per
+    /// device; zero when packing is off).
+    pub packed_launches: u64,
+    /// Batches served as segments of those packed launches.
+    pub packed_segments: u64,
     /// Plan-cache hits.
     pub plan_cache_hits: u64,
     /// Plan-cache misses.
@@ -274,6 +281,9 @@ impl ServeMetrics {
             fallbacks: report.fallbacks,
             batches: report.batches,
             batched_queries: report.batched_queries,
+            launches: report.launches,
+            packed_launches: report.packed_launches,
+            packed_segments: report.packed_segments,
             plan_cache_hits: report.plan_cache.hits,
             plan_cache_misses: report.plan_cache.misses,
             plan_cache_evictions: report.plan_cache.evictions,
@@ -564,6 +574,99 @@ impl PoolMetrics {
     }
 
     /// Writes [`PoolMetrics::to_json`] to `path`.
+    ///
+    /// # Errors
+    /// Propagates the I/O error.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// One serving pass of the packing benchmark at a fixed pack setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackRunMetrics {
+    /// Queries that produced a result.
+    pub completed: u64,
+    /// Queries failed with a surfaced error.
+    pub failed: u64,
+    /// Coalesced solves executed.
+    pub batches: u64,
+    /// Simulated kernel launches across all completed GPU batches.
+    pub launches: u64,
+    /// Horizontally-fused packed launches (zero with packing off).
+    pub packed_launches: u64,
+    /// Batches served as segments of those packed launches.
+    pub packed_segments: u64,
+    /// DRAM transactions summed over every completed GPU profile.
+    pub dram_transactions: u64,
+    /// Mean utilized fraction of a full resident wave across the
+    /// fused kernels: `grid_blocks / (num_sms · blocks_per_sm)`
+    /// capped at 1. Back-to-back small launches sit far below 1;
+    /// packing exists to push this up.
+    pub fused_wave_fill: f64,
+    /// Simulated serving time summed over every completed profile.
+    pub sim_time_s: f64,
+    /// Host wall time of the pass, in milliseconds (nondeterministic —
+    /// informational only).
+    pub wall_time_ms: f64,
+}
+
+/// The `pack_bench` export (the `BENCH_pack.json` schema): one
+/// heterogeneous small-query stream served with horizontal fusion off
+/// (back-to-back launches, the bit-exactness golden) and on. The
+/// headline fields are `speedup` (simulated-time ratio, gated at
+/// ≥ 1.5× in the smoke profile with a 2× target), `dram_saved` and
+/// the `bit_identical` flag — packing must never move bits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackMetrics {
+    /// Export schema version (see [`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Master seed of the workload.
+    pub seed: u64,
+    /// Queries in the stream.
+    pub queries: u64,
+    /// Sources per corpus.
+    pub m: u64,
+    /// Targets per target set.
+    pub n: u64,
+    /// Point dimensionality.
+    pub k: u64,
+    /// Distinct corpora cycled through the stream.
+    pub corpora: u64,
+    /// Distinct target sets cycled through the stream.
+    pub target_sets: u64,
+    /// The pack-off (back-to-back) pass.
+    pub unpacked: PackRunMetrics,
+    /// The pack-on pass.
+    pub packed: PackRunMetrics,
+    /// `unpacked.sim_time_s / packed.sim_time_s`.
+    pub speedup: f64,
+    /// `unpacked.dram_transactions - packed.dram_transactions`
+    /// (upload dedup; must be positive).
+    pub dram_saved: i64,
+    /// Every packed result matched unpacked serving bit for bit.
+    pub bit_identical: bool,
+    /// All gates held (bit identity, speedup floor, DRAM saving,
+    /// packing actually fired).
+    pub gates_passed: bool,
+}
+
+impl PackMetrics {
+    /// Pretty-printed JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics serialise")
+    }
+
+    /// Parses a document produced by [`PackMetrics::to_json`].
+    ///
+    /// # Errors
+    /// Returns the underlying parse/shape error message.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes [`PackMetrics::to_json`] to `path`.
     ///
     /// # Errors
     /// Propagates the I/O error.

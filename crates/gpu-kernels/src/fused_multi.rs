@@ -56,19 +56,23 @@ use crate::machine::{FunctionalMachine, TrafficMachine, WarpMachine};
 pub const MAX_WEIGHT_COLUMNS: usize = 8;
 
 /// The multi-weight fused kernel (see module docs).
+///
+/// Fields are `pub(crate)` so the horizontally-fused packed kernel
+/// ([`crate::fused_multi_packed`]) can reuse this kernel's block body
+/// and per-block metadata as its segment descriptor.
 pub struct FusedMultiWeight {
-    ops: GemmOperands,
-    a2: BufId,
-    b2: BufId,
+    pub(crate) ops: GemmOperands,
+    pub(crate) a2: BufId,
+    pub(crate) b2: BufId,
     /// `N×R` column-major weights.
-    w: BufId,
+    pub(crate) w: BufId,
     /// `M×R` column-major output (must be zeroed before launch).
-    v: BufId,
-    shape: GemmShape,
-    bw: Bandwidth,
-    geometry: TileGeometry,
-    r: usize,
-    verify: Option<VerifyBufs>,
+    pub(crate) v: BufId,
+    pub(crate) shape: GemmShape,
+    pub(crate) bw: Bandwidth,
+    pub(crate) geometry: TileGeometry,
+    pub(crate) r: usize,
+    pub(crate) verify: Option<VerifyBufs>,
 }
 
 impl FusedMultiWeight {
@@ -153,7 +157,7 @@ impl FusedMultiWeight {
         TileGeometry::paper_default().regs_per_thread_multi(r)
     }
 
-    fn body<M: WarpMachine>(&self, block: Dim3, mach: &mut M) {
+    pub(crate) fn body<M: WarpMachine>(&self, block: Dim3, mach: &mut M) {
         let (bx, by) = (block.x as usize, block.y as usize);
         let s = self.bw.inv_2h2();
         let geo = &self.geometry;

@@ -29,6 +29,10 @@
 //!   shared-memory audit, γ re-fold; DESIGN.md §11).
 //! * [`fused_multi`] — the multi-weight serving kernel and the
 //!   `execute_fused_multi[_verified]` batched entries.
+//! * [`fused_multi_packed`] — horizontal fusion: many unrelated small
+//!   queries packed into one launch behind a per-block routing table
+//!   (block index → segment descriptor), with plan-cache-aware upload
+//!   deduplication and per-segment ABFT reports.
 //! * [`oracle`] — the geometry-aware bit-exact CPU replay of the fused
 //!   kernel's reduction order (the differential-test contract).
 //! * [`pipelines`] — the three end-to-end implementations of §IV:
@@ -43,6 +47,7 @@
 pub mod aux_kernels;
 pub mod fused;
 pub mod fused_multi;
+pub mod fused_multi_packed;
 pub mod gemm_engine;
 pub mod geometry;
 pub mod layout;
@@ -57,6 +62,10 @@ pub use fused_multi::{
     execute_fused_multi, execute_fused_multi_verified, execute_fused_multi_verified_with,
     execute_fused_multi_with, FusedMultiWeight, FUSED_MULTI_PIPELINE,
     FUSED_MULTI_VERIFIED_PIPELINE, MAX_WEIGHT_COLUMNS,
+};
+pub use fused_multi_packed::{
+    execute_fused_multi_packed_with, FusedMultiPacked, PackedSegmentSpec, RoutingTable,
+    FUSED_MULTI_PACKED_PIPELINE, FUSED_MULTI_PACKED_VERIFIED_PIPELINE,
 };
 pub use geometry::{TileGeometry, TileSide};
 pub use layout::SmemLayout;

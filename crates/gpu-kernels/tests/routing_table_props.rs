@@ -1,0 +1,75 @@
+//! Property tests for the packed launch's block routing.
+//!
+//! The [`RoutingTable`] is the load-bearing piece of horizontal
+//! fusion: if any linear block routed to the wrong segment, to
+//! out-of-range local coordinates, or to two segments at once, the
+//! packed kernel would read or write another segment's buffers and
+//! the bit-identity contract would fall. These properties pin that
+//! the table is an **exact partition** of the packed grid.
+
+use ks_gpu_kernels::RoutingTable;
+use proptest::prelude::*;
+
+/// Random per-segment grids, sized like real packed waves (the serve
+/// planner caps segments at 16 blocks, but the table itself must hold
+/// for any non-empty grid list).
+fn grids() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((1u32..=8, 1u32..=8), 1..25)
+}
+
+proptest! {
+    /// Every linear block routes to exactly one `(segment, local)`
+    /// pair with in-range local coordinates — no block unassigned, no
+    /// segment overlap, extents within the segment's grid.
+    #[test]
+    fn every_block_routes_to_exactly_one_in_range_slot(grids in grids()) {
+        let table = RoutingTable::new(&grids);
+        let total: u32 = grids.iter().map(|&(gx, gy)| gx * gy).sum();
+        prop_assert_eq!(table.total_blocks(), total);
+        prop_assert_eq!(table.segments(), grids.len());
+        let mut seen = vec![vec![false; 0]; grids.len()];
+        for (s, &(gx, gy)) in grids.iter().enumerate() {
+            seen[s] = vec![false; (gx * gy) as usize];
+        }
+        for linear in 0..total {
+            let (seg, local) = table.route(linear);
+            let (gx, gy) = grids[seg];
+            prop_assert!(local.x < gx, "block {}: x {} ≥ gx {}", linear, local.x, gx);
+            prop_assert!(local.y < gy, "block {}: y {} ≥ gy {}", linear, local.y, gy);
+            prop_assert_eq!(local.z, 1, "packed grids are 2-D");
+            let slot = (local.y * gx + local.x) as usize;
+            prop_assert!(!seen[seg][slot], "block {} double-covers segment {}", linear, seg);
+            seen[seg][slot] = true;
+        }
+        // No slot unassigned: every (segment, local) pair was hit.
+        for (s, slots) in seen.iter().enumerate() {
+            prop_assert!(slots.iter().all(|&v| v), "segment {} has unrouted blocks", s);
+        }
+    }
+
+    /// Segments own contiguous linear ranges in declaration order:
+    /// `segment_start` is the prefix sum of grid sizes, and routing is
+    /// the inverse of local linearization within each range.
+    #[test]
+    fn segment_ranges_are_contiguous_and_routing_inverts_linearization(grids in grids()) {
+        let table = RoutingTable::new(&grids);
+        let mut start = 0u32;
+        for (s, &(gx, gy)) in grids.iter().enumerate() {
+            prop_assert_eq!(table.segment_start(s), start);
+            prop_assert_eq!(table.grid(s), (gx, gy));
+            for local in 0..gx * gy {
+                let (seg, d) = table.route(start + local);
+                prop_assert_eq!(seg, s);
+                prop_assert_eq!(d.y * gx + d.x, local);
+            }
+            start += gx * gy;
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "outside packed grid")]
+fn routing_past_the_grid_panics() {
+    let table = RoutingTable::new(&[(2, 2)]);
+    let _ = table.route(4);
+}

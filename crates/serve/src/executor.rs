@@ -63,17 +63,19 @@ fn pad_coords(
 }
 
 /// A batch padded to the GPU tiling constraints, ready to launch.
-struct PaddedBatch {
-    a: Vec<f32>,
-    b: Vec<f32>,
-    w_cols: Vec<f32>,
-    a2: Option<Vec<f32>>,
-    shape: GemmShape,
-    m: usize,
-    r: usize,
+/// `pub(crate)` so the horizontal-fusion planner ([`crate::packed`])
+/// can pad each segment exactly as the unpacked path would.
+pub(crate) struct PaddedBatch {
+    pub(crate) a: Vec<f32>,
+    pub(crate) b: Vec<f32>,
+    pub(crate) w_cols: Vec<f32>,
+    pub(crate) a2: Option<Vec<f32>>,
+    pub(crate) shape: GemmShape,
+    pub(crate) m: usize,
+    pub(crate) r: usize,
 }
 
-fn pad_batch(
+pub(crate) fn pad_batch(
     plan: &SourcePlan,
     targets: &PointSet,
     weights: &[Vec<f32>],
@@ -127,7 +129,7 @@ fn pad_batch(
 
 impl PaddedBatch {
     /// Slices the padded `M_pad×R` result back to `R` vectors of `M`.
-    fn unpad(&self, v: &[f32]) -> Vec<Vec<f32>> {
+    pub(crate) fn unpad(&self, v: &[f32]) -> Vec<Vec<f32>> {
         (0..self.r)
             .map(|c| v[c * self.shape.m..c * self.shape.m + self.m].to_vec())
             .collect()

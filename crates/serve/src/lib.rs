@@ -29,6 +29,10 @@
 //!   single-shot solver; the GPU path pads to the tiling constraints.
 //! * [`workload`] — deterministic synthetic arrival streams and the
 //!   multi-client driver behind `ksum serve-bench`.
+//! * [`packed`] — horizontal fusion: the `PackedBatch` planner groups
+//!   mutually-unrelated small GPU batches from one scheduling wave
+//!   into a single routed launch ([`ks_gpu_kernels::FusedMultiPacked`])
+//!   with results bit-identical to unpacked serving.
 //! * [`pool`] — multi-device sharded serving: each batch is
 //!   partitioned row-wise over `N` simulated devices (own plan cache,
 //!   fault spec, breaker, interconnect) and the partial results merge
@@ -41,6 +45,7 @@
 pub mod admission;
 pub mod cache;
 pub mod executor;
+pub mod packed;
 pub mod pool;
 pub mod queue;
 pub mod router;
@@ -50,10 +55,14 @@ pub mod workload;
 pub use admission::{AdmissionKey, AdmissionStats, AdmissionVerdict};
 pub use cache::{GeometryStats, PlanCache, PlanCacheStats, PlanKey};
 pub use executor::MAX_GPU_BATCH;
+pub use packed::{packable, PACK_MAX_COL_BLOCKS, PACK_MAX_SEGMENT_BLOCKS};
 pub use pool::{DeviceReport, PoolConfig, PoolDevice, PoolReport, SHARD_ALIGN};
 pub use queue::BoundedQueue;
 pub use server::{
     backoff_delay, FaultInjection, GeometryPick, Query, ResilienceConfig, ServeBackend,
     ServeConfig, ServeError, ServeReport, Server, Submit, Ticket,
 };
-pub use workload::{generate_queries, run_workload, smoke_workload, WorkloadConfig};
+pub use workload::{
+    generate_queries, generate_small_queries, packed_smoke_workload, run_workload, smoke_workload,
+    SmallQueryWorkloadConfig, WorkloadConfig,
+};

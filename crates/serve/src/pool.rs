@@ -42,7 +42,7 @@
 //! per-batch max — the quantity `pool_bench` compares across pool
 //! sizes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -58,6 +58,7 @@ use ks_gpu_sim::timing::estimate_transfer;
 
 use crate::cache::{PlanCacheStats, PlanKey};
 use crate::executor;
+use crate::packed::{self, PackedSegment};
 use crate::queue::BoundedQueue;
 use crate::server::{
     injected_data_faults, splitmix64, Breaker, Query, ResilienceConfig, ServeBackend,
@@ -210,31 +211,32 @@ struct ShardOutcome {
     injected: u64,
 }
 
-/// Rendezvous for one batch's shards.
-struct BatchMerge {
-    slots: Mutex<Vec<Option<ShardOutcome>>>,
+/// Rendezvous for one batch's tasks (row shards or packed
+/// sub-launches).
+struct BatchMerge<T> {
+    slots: Mutex<Vec<Option<T>>>,
     done: Condvar,
 }
 
-impl BatchMerge {
-    fn new(shards: usize) -> Self {
+impl<T> BatchMerge<T> {
+    fn new(slots: usize) -> Self {
         Self {
-            slots: Mutex::new((0..shards).map(|_| None).collect()),
+            slots: Mutex::new((0..slots).map(|_| None).collect()),
             done: Condvar::new(),
         }
     }
 
-    fn complete(&self, slot: usize, outcome: ShardOutcome) {
+    fn complete(&self, slot: usize, outcome: T) {
         let mut g = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
-        debug_assert!(g[slot].is_none(), "shard slot filled twice");
+        debug_assert!(g[slot].is_none(), "merge slot filled twice");
         g[slot] = Some(outcome);
         drop(g);
         self.done.notify_all();
     }
 
-    /// Blocks until every slot is filled; returns outcomes in shard
+    /// Blocks until every slot is filled; returns outcomes in slot
     /// order.
-    fn wait(&self) -> Vec<ShardOutcome> {
+    fn wait(&self) -> Vec<T> {
         let mut g = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if g.iter().all(Option::is_some) {
@@ -263,7 +265,47 @@ struct ShardTask {
     interconnect: Interconnect,
     batch_idx: u64,
     slot: usize,
-    merge: Arc<BatchMerge>,
+    merge: Arc<BatchMerge<ShardOutcome>>,
+}
+
+/// One device's slice of a horizontally-fused wave: the segments
+/// placed on `owner`, executed as a single packed launch on its
+/// device model (see [`crate::packed`]). Like [`ShardTask`], bound at
+/// placement time so a steal never changes what is simulated.
+struct PackedTask {
+    /// The owner's segments, warm flags resolved against its history.
+    segments: Vec<PackedSegment>,
+    /// Wave-level index of each segment (for the merge).
+    seg_indices: Vec<usize>,
+    owner: usize,
+    device: DeviceConfig,
+    interconnect: Interconnect,
+    batch_idx: u64,
+    slot: usize,
+    merge: Arc<BatchMerge<PackedTaskOutcome>>,
+}
+
+/// Result of one packed sub-launch.
+struct PackedTaskOutcome {
+    /// Wave-level index of each segment, matching `results`/`fallback`.
+    seg_indices: Vec<usize>,
+    /// Per-segment per-query result columns.
+    results: Vec<Vec<Vec<f32>>>,
+    /// Per-segment CPU-recovery flags (launch failure, detected
+    /// corruption, or an open breaker).
+    fallback: Vec<bool>,
+    profile: Option<PipelineProfile>,
+    corruption: u64,
+    injected: u64,
+    /// Whether a fused GPU launch completed on the owner's device.
+    gpu_launch: bool,
+}
+
+/// A unit of device work: a row shard of one coalesced batch, or one
+/// device's packed sub-launch of a horizontally-fused wave.
+enum PoolTask {
+    Shard(ShardTask),
+    Packed(PackedTask),
 }
 
 /// Execution policy shared by every device thread.
@@ -279,7 +321,7 @@ struct PoolPolicy {
 
 /// State shared between the coordinator and the device threads.
 struct Shared {
-    queues: Vec<Arc<BoundedQueue<ShardTask>>>,
+    queues: Vec<Arc<BoundedQueue<PoolTask>>>,
     breakers: Vec<Mutex<Breaker>>,
     stats: Vec<Mutex<DeviceReport>>,
     policy: PoolPolicy,
@@ -406,8 +448,34 @@ pub(crate) struct DevicePool {
     devices: Vec<PoolDevice>,
     /// Coordinator-owned per-device shard-plan caches.
     caches: Vec<ShardPlanCache>,
+    /// Per-device corpus warmth for packed placement: plan identities
+    /// this device has already uploaded (so a repeat segment routes
+    /// warm and skips the `A`+norms transfer, mirroring the shard
+    /// caches).
+    packed_warm: Vec<HashSet<u64>>,
     shard_align: usize,
     report: PoolReport,
+}
+
+/// What one horizontally-fused wave hands back to the server loop.
+pub(crate) struct PackedPoolBatch {
+    /// Per-segment per-query result columns, in segment order.
+    pub results: Vec<Vec<Vec<f32>>>,
+    /// Per-segment CPU-recovery flags.
+    pub fallback_segments: Vec<bool>,
+    /// Sub-launch pipeline profiles (CPU-recovered sub-waves have
+    /// none).
+    pub profiles: Vec<PipelineProfile>,
+    /// ABFT verification failures across the wave's segments.
+    pub corruption_detected: u64,
+    /// Injected data faults observed across the wave's sub-launches.
+    pub injected_faults: u64,
+    /// Completed fused sub-launches whose faults went undetected.
+    pub undetected: u64,
+    /// Fused GPU launches that completed (≤ devices touched).
+    pub packed_launches: u64,
+    /// Segments served through those launches.
+    pub packed_segments: u64,
 }
 
 impl DevicePool {
@@ -470,6 +538,7 @@ impl DevicePool {
             caches: (0..n)
                 .map(|_| ShardPlanCache::new(pool.plan_cache_capacity.max(1)))
                 .collect(),
+            packed_warm: (0..n).map(|_| HashSet::new()).collect(),
             shard_align: pool.shard_align,
             report: PoolReport::default(),
         }
@@ -519,7 +588,7 @@ impl DevicePool {
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .shard_tasks += 1;
-            let mut item = ShardTask {
+            let item = PoolTask::Shard(ShardTask {
                 plan: shard_plan,
                 targets: Arc::clone(&proto.targets),
                 h: proto.h,
@@ -531,26 +600,8 @@ impl DevicePool {
                 batch_idx,
                 slot,
                 merge: Arc::clone(&merge),
-            };
-            loop {
-                match self.shared.queues[owner].try_push(item) {
-                    Ok(()) => break,
-                    Err(back) => {
-                        // Backpressure: the device threads are
-                        // draining; give them the timeslice.
-                        item = back;
-                        std::thread::yield_now();
-                    }
-                }
-            }
-            let mut seq = self
-                .shared
-                .work_seq
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            *seq += 1;
-            drop(seq);
-            self.shared.work.notify_all();
+            });
+            self.enqueue(owner, item);
         }
         let outcomes = merge.wait();
 
@@ -587,6 +638,154 @@ impl DevicePool {
             injected_faults: injected,
             fallback_shards,
             undetected_shards,
+        }
+    }
+
+    /// Pushes one task to `owner`'s queue (spinning through
+    /// backpressure — the device threads are draining) and wakes the
+    /// pool.
+    fn enqueue(&self, owner: usize, item: PoolTask) {
+        let mut item = item;
+        loop {
+            match self.shared.queues[owner].try_push(item) {
+                Ok(()) => break,
+                Err(back) => {
+                    item = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        let mut seq = self
+            .shared
+            .work_seq
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *seq += 1;
+        drop(seq);
+        self.shared.work.notify_all();
+    }
+
+    /// Executes one horizontally-fused wave across the pool: each
+    /// segment is placed whole on one device (cache-first on corpus
+    /// warmth, then load-aware — the same policy as row shards), and
+    /// every device owning segments runs them as **one** packed
+    /// launch. Blocks until all sub-launches complete; never fails (a
+    /// sick sub-launch recovers its own segments on the bit-exact CPU
+    /// path, leaving the rest of the wave intact).
+    pub(crate) fn run_packed(&mut self, segs: &[PackedSegment], batch_idx: u64) -> PackedPoolBatch {
+        // Place each segment; a segment is "warm" on a device that
+        // has already uploaded its corpus — including earlier in this
+        // wave, so wave-mates sharing a corpus cluster on one device
+        // and dedup its upload inside one fused launch.
+        let mut placed = vec![0usize; self.len()];
+        let mut owner_of = Vec::with_capacity(segs.len());
+        let mut wave_seen: Vec<HashSet<u64>> = (0..self.len()).map(|_| HashSet::new()).collect();
+        for seg in segs {
+            let ptr = Arc::as_ptr(&seg.plan) as u64;
+            let warm: Vec<bool> = self
+                .packed_warm
+                .iter()
+                .zip(&wave_seen)
+                .map(|(seen, wave)| seen.contains(&ptr) || wave.contains(&ptr))
+                .collect();
+            let depth: Vec<usize> = self
+                .shared
+                .queues
+                .iter()
+                .zip(&placed)
+                .map(|(q, p)| q.len() + p)
+                .collect();
+            let owner = crate::router::place(&warm, &depth);
+            placed[owner] += 1;
+            wave_seen[owner].insert(ptr);
+            owner_of.push(owner);
+        }
+        // One sub-wave per owning device, segment order preserved.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, &owner) in owner_of.iter().enumerate() {
+            match groups.iter_mut().find(|(d, _)| *d == owner) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((owner, vec![i])),
+            }
+        }
+        let merge = Arc::new(BatchMerge::new(groups.len()));
+        for (slot, (owner, members)) in groups.iter().enumerate() {
+            let owner = *owner;
+            let mut segments = Vec::with_capacity(members.len());
+            for &i in members {
+                let s = &segs[i];
+                let ptr = Arc::as_ptr(&s.plan) as u64;
+                // Warm if the server's plan cache hit *or* this device
+                // saw the corpus before (cold ≡ warm bitwise, so the
+                // upgrade only changes modelled traffic).
+                let warm = s.warm || self.packed_warm[owner].contains(&ptr);
+                self.packed_warm[owner].insert(ptr);
+                segments.push(PackedSegment {
+                    plan: Arc::clone(&s.plan),
+                    targets: Arc::clone(&s.targets),
+                    h: s.h,
+                    weights: s.weights.clone(),
+                    warm,
+                });
+            }
+            self.shared.stats[owner]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .shard_tasks += members.len() as u64;
+            let item = PoolTask::Packed(PackedTask {
+                segments,
+                seg_indices: members.clone(),
+                owner,
+                device: self.devices[owner].device.clone(),
+                interconnect: self.devices[owner].interconnect.clone(),
+                batch_idx,
+                slot,
+                merge: Arc::clone(&merge),
+            });
+            self.enqueue(owner, item);
+        }
+        let outcomes = merge.wait();
+
+        let mut results: Vec<Vec<Vec<f32>>> = (0..segs.len()).map(|_| Vec::new()).collect();
+        let mut fallback_segments = vec![false; segs.len()];
+        let mut profiles = Vec::new();
+        let mut corruption = 0u64;
+        let mut injected = 0u64;
+        let mut undetected = 0u64;
+        let mut packed_launches = 0u64;
+        let mut packed_segments = 0u64;
+        let mut batch_sim = 0.0f64;
+        for o in outcomes {
+            if o.gpu_launch {
+                packed_launches += 1;
+                packed_segments += o.seg_indices.len() as u64;
+            }
+            if o.injected > 0 && o.corruption == 0 && o.gpu_launch {
+                undetected += 1;
+            }
+            corruption += o.corruption;
+            injected += o.injected;
+            if let Some(p) = o.profile {
+                batch_sim = batch_sim.max(p.total_time_s());
+                profiles.push(p);
+            }
+            for ((i, r), fb) in o.seg_indices.into_iter().zip(o.results).zip(o.fallback) {
+                results[i] = r;
+                fallback_segments[i] = fb;
+            }
+        }
+        self.report.batches += 1;
+        self.report.shard_tasks += segs.len() as u64;
+        self.report.sim_time_s += batch_sim;
+        PackedPoolBatch {
+            results,
+            fallback_segments,
+            profiles,
+            corruption_detected: corruption,
+            injected_faults: injected,
+            undetected,
+            packed_launches,
+            packed_segments,
         }
     }
 
@@ -672,10 +871,19 @@ fn device_loop(me: usize, shared: &Arc<Shared>) {
     }
 }
 
+/// Executes one pool task on the executing thread `me` (`stolen` says
+/// it differs from the owner).
+fn run_task(task: PoolTask, me: usize, stolen: bool, shared: &Shared) {
+    match task {
+        PoolTask::Shard(t) => run_shard_task(t, me, stolen, shared),
+        PoolTask::Packed(t) => run_packed_task(t, me, stolen, shared),
+    }
+}
+
 /// Executes one shard task on behalf of its owner device and posts the
 /// outcome to the batch merge. `me` is the executing thread's device
 /// index; `stolen` says it differs from the owner.
-fn run_task(task: ShardTask, me: usize, stolen: bool, shared: &Shared) {
+fn run_shard_task(task: ShardTask, me: usize, stolen: bool, shared: &Shared) {
     let policy = &shared.policy;
     let outcome = if policy.cpu_only {
         ShardOutcome {
@@ -847,6 +1055,152 @@ fn attach_transfers(prof: &mut PipelineProfile, task: &ShardTask) {
         .push(estimate_transfer(ic, "weights W", (n * r) as u64 * F32));
     prof.transfers
         .push(estimate_transfer(ic, "result V", (rows * r) as u64 * F32));
+}
+
+/// Seed salt decorrelating a packed sub-launch's fault schedule from
+/// the row-shard schedules of the same `(batch, slot)`.
+const PACKED_POOL_SALT: u64 = 0x9a0c_4ed5 << 16;
+
+/// Executes one packed sub-launch on behalf of its owner device: the
+/// owner's breaker gates the fused attempt; a launch failure recovers
+/// **all** of the task's segments on the bit-exact CPU path, detected
+/// corruption recovers **only** the flagged segments (the rest of the
+/// launch's results are kept — segments write disjoint outputs).
+fn run_packed_task(task: PackedTask, me: usize, stolen: bool, shared: &Shared) {
+    let policy = &shared.policy;
+    let n_segs = task.segments.len();
+    let cpu_seg = |seg: &PackedSegment| {
+        executor::execute_cpu(&seg.plan, &seg.targets, seg.h, &seg.weights, &policy.cpu)
+    };
+    let all_cpu = |outcome_profile: Option<PipelineProfile>| PackedTaskOutcome {
+        seg_indices: task.seg_indices.clone(),
+        results: task.segments.iter().map(cpu_seg).collect(),
+        fallback: vec![true; n_segs],
+        profile: outcome_profile,
+        corruption: 0,
+        injected: 0,
+        gpu_launch: false,
+    };
+    let allowed = !policy.cpu_only
+        && shared.breakers[task.owner]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .allow(task.batch_idx);
+    let outcome = if !allowed {
+        all_cpu(None)
+    } else {
+        let mut dev_cfg = task.device.clone();
+        if let Some(f) = &mut dev_cfg.fault {
+            f.seed ^= splitmix64(task.batch_idx ^ ((task.slot as u64) << 48) ^ PACKED_POOL_SALT);
+        }
+        let mut dev = GpuDevice::new(dev_cfg);
+        match packed::execute_gpu_packed(&mut dev, &task.segments, &policy.geometry, policy.verify)
+        {
+            Ok(out) => {
+                let injected = injected_data_faults(&out.profile);
+                let mut prof = out.profile;
+                attach_packed_transfers(&mut prof, &task);
+                let corrupt: Vec<bool> = match &out.verify {
+                    Some(reports) => reports
+                        .iter()
+                        .map(VerifyReport::corruption_detected)
+                        .collect(),
+                    None => vec![false; n_segs],
+                };
+                let corruption = corrupt.iter().filter(|&&c| c).count() as u64;
+                {
+                    let mut b = shared.breakers[task.owner]
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    if corruption > 0 {
+                        b.record_failure(task.batch_idx);
+                    } else {
+                        b.record_success();
+                    }
+                }
+                let mut results = out.results;
+                for (i, flagged) in corrupt.iter().enumerate() {
+                    if *flagged {
+                        results[i] = cpu_seg(&task.segments[i]);
+                    }
+                }
+                PackedTaskOutcome {
+                    seg_indices: task.seg_indices.clone(),
+                    results,
+                    fallback: corrupt,
+                    profile: Some(prof),
+                    corruption,
+                    injected,
+                    gpu_launch: true,
+                }
+            }
+            Err(_) => {
+                shared.breakers[task.owner]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .record_failure(task.batch_idx);
+                all_cpu(None)
+            }
+        }
+    };
+    {
+        let mut mine = shared.stats[me]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        mine.executed += 1;
+        if stolen {
+            mine.stolen += 1;
+        }
+    }
+    {
+        let mut owner = shared.stats[task.owner]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let fallbacks = outcome.fallback.iter().filter(|&&f| f).count() as u64;
+        owner.cpu_fallbacks += fallbacks;
+        if outcome.gpu_launch {
+            owner.gpu_shards += n_segs as u64 - fallbacks;
+        }
+        owner.corruption_detected += outcome.corruption;
+        owner.injected_faults += outcome.injected;
+        if let Some(p) = &outcome.profile {
+            owner.transfer_bytes += p.transfer_bytes();
+            owner.transfer_time_s += p.transfer_time_s();
+            owner.busy_time_s += p.total_time_s();
+        }
+    }
+    task.merge.complete(task.slot, outcome);
+}
+
+/// Charges a packed sub-launch's host↔device traffic: `A`-pack +
+/// norms once per **unique cold** corpus (device-side upload dedup is
+/// mirrored on the link), `B` once per unique target set, `W` and `V`
+/// per segment.
+fn attach_packed_transfers(prof: &mut PipelineProfile, task: &PackedTask) {
+    const F32: u64 = 4;
+    let ic = &task.interconnect;
+    let mut a_seen = HashSet::new();
+    let mut b_seen = HashSet::new();
+    for seg in &task.segments {
+        let (rows, k) = seg.plan.dims();
+        let n = seg.targets.len();
+        let r = seg.weights.len();
+        if a_seen.insert(Arc::as_ptr(&seg.plan) as u64) && !seg.warm {
+            prof.transfers.push(estimate_transfer(
+                ic,
+                "segment A+norms",
+                (rows * k + rows) as u64 * F32,
+            ));
+        }
+        if b_seen.insert(Arc::as_ptr(&seg.targets) as u64) {
+            prof.transfers
+                .push(estimate_transfer(ic, "segment B", (n * k) as u64 * F32));
+        }
+        prof.transfers
+            .push(estimate_transfer(ic, "weights W", (n * r) as u64 * F32));
+        prof.transfers
+            .push(estimate_transfer(ic, "result V", (rows * r) as u64 * F32));
+    }
 }
 
 #[cfg(test)]

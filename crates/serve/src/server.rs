@@ -39,6 +39,7 @@ use ks_gpu_sim::profiler::PipelineProfile;
 use crate::admission::{self, AdmissionKey, AdmissionStats};
 use crate::cache::{GeometryStats, PlanCache, PlanCacheStats, PlanKey};
 use crate::executor::{self, MAX_GPU_BATCH};
+use crate::packed;
 use crate::pool::{DevicePool, PoolConfig, PoolReport};
 use crate::queue::BoundedQueue;
 
@@ -341,6 +342,12 @@ pub struct ServeConfig {
     /// results stay bit-identical to unbudgeted serving by the
     /// bit-compatibility contract. `None` never downshifts.
     pub energy_budget_j: Option<f64>,
+    /// Horizontal fusion: pack mutually-unrelated small GPU batches
+    /// from one scheduling wave into a single routed launch (see
+    /// [`crate::packed`]). Results stay bit-identical to unpacked
+    /// serving; only launch count, occupancy and DRAM traffic change.
+    /// Ignored on the CPU backend. Off by default.
+    pub pack: bool,
 }
 
 impl Default for ServeConfig {
@@ -364,6 +371,7 @@ impl Default for ServeConfig {
             low_power: None,
             geometry_picks: Vec::new(),
             energy_budget_j: None,
+            pack: false,
         }
     }
 }
@@ -405,6 +413,15 @@ pub struct ServeReport {
     pub attempts: u64,
     /// Attempts beyond each batch's first (`attempts - batches`).
     pub retries: u64,
+    /// Simulated kernel launches across all completed GPU profiles —
+    /// the launch-granularity view `batches` lacks (a cold batch is 3
+    /// launches, a warm one 2, a packed wave amortises further).
+    pub launches: u64,
+    /// Horizontally-fused launches executed (one per packed wave per
+    /// device; see [`ServeConfig::pack`]).
+    pub packed_launches: u64,
+    /// Batches served as segments of those packed launches.
+    pub packed_segments: u64,
     /// Queries completed below the configured top rung (unverified
     /// GPU or CPU on the resilient backend).
     pub degraded_completions: u64,
@@ -554,6 +571,9 @@ struct WorkerStats {
     batched_queries: u64,
     attempts: u64,
     retries: u64,
+    launches: u64,
+    packed_launches: u64,
+    packed_segments: u64,
     degraded_completions: u64,
     corruption_detected: u64,
     injected_faults: u64,
@@ -818,6 +838,9 @@ impl Server {
             batched_queries: w.batched_queries,
             attempts: w.attempts,
             retries: w.retries,
+            launches: w.launches,
+            packed_launches: w.packed_launches,
+            packed_segments: w.packed_segments,
             degraded_completions: w.degraded_completions,
             corruption_detected: w.corruption_detected,
             injected_faults: w.injected_faults,
@@ -909,19 +932,26 @@ fn worker_loop(
                 cfg.max_batch.min(MAX_GPU_BATCH)
             }
         };
+        // Split each group into owned max_batch-sized chunks — the
+        // wave's unit of execution (and of packing, when enabled).
+        let mut chunks: Vec<Vec<(Query, Ticket)>> = Vec::new();
         for (_, group) in groups {
-            for chunk in group.chunks(max_batch) {
-                execute_chunk(
-                    cfg,
-                    chunk,
-                    &mut cache,
-                    &mut pool,
-                    &mut breaker,
-                    &mut injected,
-                    &mut stats,
-                );
+            let mut rest = group;
+            while rest.len() > max_batch {
+                let tail = rest.split_off(max_batch);
+                chunks.push(std::mem::replace(&mut rest, tail));
             }
+            chunks.push(rest);
         }
+        serve_wave(
+            cfg,
+            chunks,
+            &mut cache,
+            &mut pool,
+            &mut breaker,
+            &mut injected,
+            &mut stats,
+        );
     }
     stats.plan_cache = cache.stats();
     stats.static_admission = cache.admission_stats();
@@ -939,31 +969,95 @@ fn uses_gpu(cfg: &ServeConfig, pool: &Option<DevicePool>) -> bool {
     pool.is_some() || !matches!(cfg.backend, ServeBackend::CpuFused)
 }
 
+/// Executes one scheduling wave. Without packing (or on the pure CPU
+/// path) every chunk runs exactly as before: prepare then execute, in
+/// wave order. With [`ServeConfig::pack`] on a GPU-capable path, all
+/// chunks are prepared first (identical plan-cache/admission/geometry
+/// side effects, in the identical order), the [`packed::PackedBatch`]
+/// planner groups the pack-eligible ones by resolved geometry, packed
+/// groups launch horizontally fused, and the leftovers serve unpacked
+/// in wave order.
 #[allow(clippy::too_many_arguments)]
-fn execute_chunk(
+fn serve_wave(
     cfg: &ServeConfig,
-    chunk: &[(Query, Ticket)],
+    chunks: Vec<Vec<(Query, Ticket)>>,
     cache: &mut PlanCache,
     pool: &mut Option<DevicePool>,
     breaker: &mut Breaker,
     injected: &mut u64,
     stats: &mut WorkerStats,
 ) {
+    if !cfg.pack || !uses_gpu(cfg, pool) {
+        for chunk in chunks {
+            if let Some(prep) = prepare_chunk(cfg, chunk, cache, pool, stats) {
+                run_prepared(cfg, prep, pool, breaker, injected, stats, false);
+            }
+        }
+        return;
+    }
+    let mut prepared: Vec<Option<PreparedChunk>> = chunks
+        .into_iter()
+        .map(|chunk| prepare_chunk(cfg, chunk, cache, pool, stats))
+        .collect();
+    let classes: Vec<Option<TileGeometry>> = prepared
+        .iter()
+        .map(|p| {
+            p.as_ref().and_then(|p| {
+                let (m, _) = p.plan.dims();
+                let n = p.live[0].0.targets.len();
+                (p.admitted && packed::packable(m, n, &p.geo)).then_some(p.geo)
+            })
+        })
+        .collect();
+    for group in packed::PackedBatch::plan(&classes).groups {
+        let preps: Vec<PreparedChunk> = group
+            .into_iter()
+            .map(|i| prepared[i].take().expect("planner indices are distinct"))
+            .collect();
+        run_packed_group(cfg, preps, pool, breaker, injected, stats);
+    }
+    for prep in prepared.into_iter().flatten() {
+        run_prepared(cfg, prep, pool, breaker, injected, stats, false);
+    }
+}
+
+/// One chunk after plan resolution and admission, ready to execute
+/// (unpacked or as a packed segment). Expired queries were already
+/// fulfilled during preparation.
+struct PreparedChunk {
+    live: Vec<(Query, Ticket)>,
+    plan: Arc<SourcePlan>,
+    hit: bool,
+    weights: Vec<Vec<f32>>,
+    geo: TileGeometry,
+    admitted: bool,
+}
+
+/// The front half of chunk execution: deadline filtering, plan-cache
+/// lookup, weight collection, geometry resolution and static
+/// admission. `None` when every query had already expired.
+fn prepare_chunk(
+    cfg: &ServeConfig,
+    chunk: Vec<(Query, Ticket)>,
+    cache: &mut PlanCache,
+    pool: &Option<DevicePool>,
+    stats: &mut WorkerStats,
+) -> Option<PreparedChunk> {
     // Deadline check at dequeue time: expired queries never reach the
     // solver (and never count as a batch column).
     let now = Instant::now();
-    let mut live: Vec<&(Query, Ticket)> = Vec::with_capacity(chunk.len());
-    for qt in chunk {
-        match qt.0.deadline {
+    let mut live: Vec<(Query, Ticket)> = Vec::with_capacity(chunk.len());
+    for (q, t) in chunk {
+        match q.deadline {
             Some(d) if d < now => {
-                qt.1.fulfil(Err(ServeError::DeadlineExpired));
+                t.fulfil(Err(ServeError::DeadlineExpired));
                 stats.expired += 1;
             }
-            _ => live.push(qt),
+            _ => live.push((q, t)),
         }
     }
     if live.is_empty() {
-        return;
+        return None;
     }
     let proto = &live[0].0;
     let key = PlanKey::new(&proto.sources, proto.h);
@@ -989,27 +1083,82 @@ fn execute_chunk(
     } else {
         true
     };
+    Some(PreparedChunk {
+        live,
+        plan,
+        hit,
+        weights,
+        geo,
+        admitted,
+    })
+}
+
+/// The back half of chunk execution: the solve, energy accounting and
+/// fulfilment. `tainted` marks a resilient re-run of a segment whose
+/// packed launch detected corruption — the ladder then never drops to
+/// its unverified rung.
+fn run_prepared(
+    cfg: &ServeConfig,
+    prep: PreparedChunk,
+    pool: &mut Option<DevicePool>,
+    breaker: &mut Breaker,
+    injected: &mut u64,
+    stats: &mut WorkerStats,
+    tainted: bool,
+) {
+    let PreparedChunk {
+        live,
+        plan,
+        hit,
+        weights,
+        geo,
+        admitted,
+    } = prep;
     let profiles_before = stats.profiles.len();
     let outcome = if admitted {
+        let proto = &live[0].0;
         run_batch(
-            cfg, &plan, proto, &weights, hit, &geo, pool, breaker, injected, stats,
+            cfg, &plan, proto, &weights, hit, &geo, pool, breaker, injected, stats, tainted,
         )
     } else {
         // Denied the GPU: the bit-exact CPU path serves the batch.
         // One attempt, no retry, not a degradation (the rung was
         // chosen at plan time, not reached by failing down to it).
         stats.attempts += 1;
+        let proto = &live[0].0;
         Ok((
             executor::execute_cpu(&plan, &proto.targets, proto.h, &weights, &cfg.cpu),
             false,
         ))
     };
-    // Energy accounting: every profile this batch added (all rungs,
-    // all shards) through the energy model over exact counters.
+    charge_energy(stats, profiles_before);
+    finish_chunk(cfg, &live, outcome, stats);
+}
+
+/// Energy accounting: every profile added since `profiles_before`
+/// (all rungs, all shards) through the energy model over exact
+/// counters.
+fn charge_energy(stats: &mut WorkerStats, profiles_before: usize) {
     let params = EnergyParams::default();
     for p in &stats.profiles[profiles_before..] {
         stats.energy_j += pipeline_energy(&params, p).total_j();
     }
+}
+
+/// Appends a completed GPU profile, counting its kernel launches.
+fn note_profile(stats: &mut WorkerStats, prof: PipelineProfile) {
+    stats.launches += prof.kernels.len() as u64;
+    stats.profiles.push(prof);
+}
+
+/// Batch bookkeeping and fulfilment: the artificial consumer delay,
+/// the batch counters, the per-query deadline re-check.
+fn finish_chunk(
+    cfg: &ServeConfig,
+    live: &[(Query, Ticket)],
+    outcome: Result<(Vec<Vec<f32>>, bool), ServeError>,
+    stats: &mut WorkerStats,
+) {
     if let Some(delay) = cfg.batch_delay {
         std::thread::sleep(delay);
     }
@@ -1040,9 +1189,148 @@ fn execute_chunk(
             }
         }
         Err(e) => {
-            for (_, t) in &live {
+            for (_, t) in live {
                 t.fulfil(Err(e.clone()));
                 stats.failed += 1;
+            }
+        }
+    }
+}
+
+/// Seed salt decorrelating an unpooled packed launch's fault schedule
+/// from the per-batch schedules of the unpacked attempts.
+const PACKED_SEED_SALT: u64 = 0x70ac_4ed0 << 24;
+
+/// Executes one packed group (≥ 2 prepared chunks sharing a resolved
+/// geometry) as a single horizontally-fused launch — or, pooled, as
+/// one fused launch per owning device. Each segment counts one
+/// attempt; a failed or corrupted packed launch re-runs only the
+/// affected segments through the normal unpacked path (each such
+/// re-run is that segment's retry, so `attempts == batches + retries`
+/// holds unchanged).
+fn run_packed_group(
+    cfg: &ServeConfig,
+    preps: Vec<PreparedChunk>,
+    pool: &mut Option<DevicePool>,
+    breaker: &mut Breaker,
+    injected: &mut u64,
+    stats: &mut WorkerStats,
+) {
+    debug_assert!(preps.len() >= 2, "planner never packs singletons");
+    let geo = preps[0].geo;
+    let segs: Vec<packed::PackedSegment> = preps
+        .iter()
+        .map(|p| packed::PackedSegment {
+            plan: Arc::clone(&p.plan),
+            targets: Arc::clone(&p.live[0].0.targets),
+            h: p.live[0].0.h,
+            weights: p.weights.clone(),
+            warm: p.hit,
+        })
+        .collect();
+
+    // Pooled: the pool shards the wave by segment across its devices
+    // (one fused sub-launch per owning device) and never fails — sick
+    // sub-launches degrade their own segments to the CPU inside the
+    // pool, so each segment is exactly one attempt.
+    if let Some(pool) = pool.as_mut() {
+        stats.attempts += preps.len() as u64;
+        let profiles_before = stats.profiles.len();
+        let out = pool.run_packed(&segs, stats.batches);
+        stats.packed_launches += out.packed_launches;
+        stats.packed_segments += out.packed_segments;
+        stats.corruption_detected += out.corruption_detected;
+        stats.injected_faults += out.injected_faults;
+        stats.undetected_injected += out.undetected;
+        for prof in out.profiles {
+            note_profile(stats, prof);
+        }
+        charge_energy(stats, profiles_before);
+        for (prep, (results, degraded)) in preps
+            .into_iter()
+            .zip(out.results.into_iter().zip(out.fallback_segments))
+        {
+            if degraded {
+                stats.fallbacks += 1;
+            }
+            finish_chunk(cfg, &prep.live, Ok((results, degraded)), stats);
+        }
+        return;
+    }
+
+    let batch_idx = stats.batches;
+    let resilient = matches!(cfg.backend, ServeBackend::GpuResilient);
+    let verify = resilient && cfg.resilience.verify;
+    if resilient && !breaker.allow(batch_idx) {
+        // Breaker open: no packed attempt is spent; every segment
+        // takes the normal ladder (straight to the safe harbor).
+        for prep in preps {
+            run_prepared(cfg, prep, pool, breaker, injected, stats, false);
+        }
+        return;
+    }
+    stats.attempts += preps.len() as u64;
+    let launch = if consume_injection(cfg, injected) {
+        Err(LaunchError::EmptyLaunch)
+    } else {
+        let mut dev_cfg = cfg.device.clone();
+        if let Some(f) = &mut dev_cfg.fault {
+            f.seed ^= splitmix64(batch_idx ^ PACKED_SEED_SALT);
+        }
+        let mut dev = GpuDevice::new(dev_cfg);
+        packed::execute_gpu_packed(&mut dev, &segs, &geo, verify)
+    };
+    match launch {
+        Ok(out) => {
+            let inj = injected_data_faults(&out.profile);
+            stats.injected_faults += inj;
+            stats.packed_launches += 1;
+            stats.packed_segments += segs.len() as u64;
+            let profiles_before = stats.profiles.len();
+            note_profile(stats, out.profile);
+            charge_energy(stats, profiles_before);
+            let corrupt: Vec<bool> = match &out.verify {
+                Some(reports) => reports
+                    .iter()
+                    .map(VerifyReport::corruption_detected)
+                    .collect(),
+                None => vec![false; preps.len()],
+            };
+            let any_corrupt = corrupt.iter().any(|&c| c);
+            if resilient {
+                if any_corrupt {
+                    breaker.record_failure(batch_idx);
+                } else {
+                    breaker.record_success();
+                }
+            }
+            if inj > 0 && !any_corrupt {
+                stats.undetected_injected += 1;
+            }
+            for (prep, (results, corrupt)) in
+                preps.into_iter().zip(out.results.into_iter().zip(corrupt))
+            {
+                if corrupt {
+                    // Only this segment's result is discarded; its
+                    // re-run is its retry, and the ladder it re-enters
+                    // is tainted (never drops verification).
+                    stats.corruption_detected += 1;
+                    stats.retries += 1;
+                    run_prepared(cfg, prep, pool, breaker, injected, stats, true);
+                } else {
+                    finish_chunk(cfg, &prep.live, Ok((results, false)), stats);
+                }
+            }
+        }
+        Err(_) => {
+            // The whole packed attempt failed to launch: every segment
+            // re-runs unpacked, each charged one retry.
+            if resilient {
+                breaker.record_failure(batch_idx);
+            }
+            for prep in preps {
+                stats.retries += 1;
+                run_prepared(cfg, prep, pool, breaker, injected, stats, false);
             }
         }
     }
@@ -1131,6 +1419,7 @@ fn run_batch(
     breaker: &mut Breaker,
     injected: &mut u64,
     stats: &mut WorkerStats,
+    tainted: bool,
 ) -> Result<(Vec<Vec<f32>>, bool), ServeError> {
     // Pooled serving: shard the batch across the devices. The pool
     // ladder never fails a batch (sick shards recover on the CPU), so
@@ -1143,7 +1432,9 @@ fn run_batch(
         stats.corruption_detected += out.corruption_detected;
         stats.injected_faults += out.injected_faults;
         stats.undetected_injected += out.undetected_shards;
-        stats.profiles.extend(out.profiles);
+        for prof in out.profiles {
+            note_profile(stats, prof);
+        }
         let degraded = out.fallback_shards > 0;
         if degraded {
             stats.fallbacks += 1;
@@ -1169,7 +1460,7 @@ fn run_batch(
             match launch {
                 Ok((results, prof)) => {
                     stats.injected_faults += injected_data_faults(&prof);
-                    stats.profiles.push(prof);
+                    note_profile(stats, prof);
                     Ok((results, false))
                 }
                 Err(e) if cpu_fallback => {
@@ -1186,7 +1477,7 @@ fn run_batch(
             }
         }
         ServeBackend::GpuResilient => run_batch_resilient(
-            cfg, plan, proto, weights, hit, geo, breaker, injected, stats,
+            cfg, plan, proto, weights, hit, geo, breaker, injected, stats, tainted,
         ),
     }
 }
@@ -1261,11 +1552,15 @@ fn run_batch_resilient(
     breaker: &mut Breaker,
     injected: &mut u64,
     stats: &mut WorkerStats,
+    tainted: bool,
 ) -> Result<(Vec<Vec<f32>>, bool), ServeError> {
     let rc = &cfg.resilience;
     let batch_idx = stats.batches;
     let mut attempt_no: u32 = 0;
-    let mut corruption_seen = false;
+    // A tainted batch (its packed launch flagged corruption) enters
+    // the ladder as if corruption was already seen: the unverified
+    // middle rung stays off the table.
+    let mut corruption_seen = tainted;
     let note_attempt = |stats: &mut WorkerStats, attempt_no: &mut u32| {
         stats.attempts += 1;
         if *attempt_no > 0 {
@@ -1292,7 +1587,7 @@ fn run_batch_resilient(
                 let corrupt = verify
                     .as_ref()
                     .is_some_and(VerifyReport::corruption_detected);
-                stats.profiles.push(prof);
+                note_profile(stats, prof);
                 if corrupt {
                     stats.corruption_detected += 1;
                     corruption_seen = true;
@@ -1325,7 +1620,7 @@ fn run_batch_resilient(
                 if inj > 0 {
                     stats.undetected_injected += 1;
                 }
-                stats.profiles.push(prof);
+                note_profile(stats, prof);
                 breaker.record_success();
                 return Ok((results, true));
             }

@@ -85,6 +85,123 @@ pub fn smoke_workload() -> WorkloadConfig {
     }
 }
 
+/// Heterogeneous small-query mix: many **distinct** small
+/// `(source, target, h)` combinations, the traffic shape horizontal
+/// fusion exists for. Unlike [`WorkloadConfig`] — whose queries
+/// mostly share one `(corpus, h, targets)` key and coalesce into wide
+/// batches — this stream cycles corpora, target sets and bandwidths
+/// independently, so a scheduling wave is dominated by mutually
+/// unrelated single-column batches that underfill the grid.
+#[derive(Debug, Clone)]
+pub struct SmallQueryWorkloadConfig {
+    /// Total queries in the stream.
+    pub queries: usize,
+    /// Distinct long-lived small corpora.
+    pub corpora: usize,
+    /// Distinct shared target sets.
+    pub target_sets: usize,
+    /// Sources per corpus.
+    pub m: usize,
+    /// Targets per target set.
+    pub n: usize,
+    /// Point dimension.
+    pub k: usize,
+    /// Bandwidths cycled through the stream (each makes its
+    /// `(corpus, h)` pair a distinct plan).
+    pub h_values: Vec<f32>,
+    /// Popularity skew over corpora and target sets: `0.0` visits
+    /// combinations round-robin (every wave maximally heterogeneous);
+    /// larger values bias draws toward low indices (a hot-corpus
+    /// mix), at the cost of occasional repeats within a wave.
+    pub skew: f64,
+    /// Master seed; the stream is deterministic in it.
+    pub seed: u64,
+}
+
+impl Default for SmallQueryWorkloadConfig {
+    fn default() -> Self {
+        Self {
+            queries: 64,
+            corpora: 4,
+            target_sets: 4,
+            m: 256,
+            n: 256,
+            k: 32,
+            h_values: vec![1.0, 0.8, 1.2, 0.6],
+            skew: 0.0,
+            seed: 11,
+        }
+    }
+}
+
+/// The packing smoke preset: waves of 16 mutually-unrelated
+/// `(M, N, K) = (256, 256, 32)` queries — 16 distinct
+/// `(corpus, target, h)` combinations per wave of 16, with corpora
+/// and target sets shared *across* queries so a packed wave dedups
+/// uploads. `pack_bench` gates its throughput target on this stream.
+#[must_use]
+pub fn packed_smoke_workload() -> SmallQueryWorkloadConfig {
+    SmallQueryWorkloadConfig::default()
+}
+
+/// Generates the heterogeneous small-query stream, deterministic in
+/// `cfg.seed`.
+///
+/// # Panics
+/// Panics on a zero-sized workload, an empty bandwidth list, or a
+/// negative skew.
+#[must_use]
+pub fn generate_small_queries(cfg: &SmallQueryWorkloadConfig) -> Vec<Query> {
+    assert!(cfg.queries > 0, "empty workload");
+    assert!(
+        cfg.corpora > 0 && cfg.target_sets > 0,
+        "need at least one corpus and one target set"
+    );
+    assert!(!cfg.h_values.is_empty(), "need at least one bandwidth");
+    assert!(cfg.skew >= 0.0, "skew must be non-negative");
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let unit = Uniform::new(0.0f64, 1.0f64);
+    let weight = Uniform::new(-0.5f32, 0.5f32);
+    let corpora: Vec<SourceSet> = (0..cfg.corpora)
+        .map(|c| {
+            let seed = cfg.seed.wrapping_mul(3000).wrapping_add(c as u64);
+            SourceSet::new(PointSet::uniform_cube(cfg.m, cfg.k, seed))
+        })
+        .collect();
+    let targets: Vec<Arc<PointSet>> = (0..cfg.target_sets)
+        .map(|t| {
+            let seed = cfg.seed.wrapping_mul(4000).wrapping_add(t as u64);
+            Arc::new(PointSet::uniform_cube(cfg.n, cfg.k, seed ^ 0x5EED))
+        })
+        .collect();
+    // Skewed index draw: u^(1+skew) biases toward low indices; skew 0
+    // is handled round-robin below for exact per-wave heterogeneity.
+    let skewed = |rng: &mut ChaCha8Rng, len: usize| -> usize {
+        let u = unit.sample(rng);
+        ((len as f64) * u.powf(1.0 + cfg.skew)).min(len as f64 - 1.0) as usize
+    };
+    (0..cfg.queries)
+        .map(|i| {
+            let (ci, ti) = if cfg.skew == 0.0 {
+                (i % cfg.corpora, (i / cfg.corpora) % cfg.target_sets)
+            } else {
+                (
+                    skewed(&mut rng, cfg.corpora),
+                    skewed(&mut rng, cfg.target_sets),
+                )
+            };
+            let weights = (0..cfg.n).map(|_| weight.sample(&mut rng)).collect();
+            Query {
+                sources: corpora[ci].clone(),
+                targets: Arc::clone(&targets[ti]),
+                weights,
+                h: cfg.h_values[i % cfg.h_values.len()],
+                deadline: None,
+            }
+        })
+        .collect()
+}
+
 /// Generates the full query stream, deterministic in `wl.seed`.
 /// Queries are listed client-major: client `c`'s stream is the slice
 /// `[c·queries_per_client, (c+1)·queries_per_client)`.
@@ -244,6 +361,59 @@ mod tests {
                 > 1
         });
         assert!(shared, "workload must exercise corpus sharing");
+    }
+
+    #[test]
+    fn small_query_stream_is_deterministic_and_wave_heterogeneous() {
+        let cfg = packed_smoke_workload();
+        let a = generate_small_queries(&cfg);
+        let b = generate_small_queries(&cfg);
+        assert_eq!(a.len(), cfg.queries);
+        for (qa, qb) in a.iter().zip(b.iter()) {
+            assert_eq!(qa.weights, qb.weights);
+            assert_eq!(qa.sources.points(), qb.sources.points());
+            assert_eq!(qa.h, qb.h);
+        }
+        // Round-robin (skew 0): one wave of 16 holds 16 distinct
+        // (corpus, targets, h) combinations — nothing coalesces.
+        let wave = cfg.corpora * cfg.target_sets;
+        let combos: std::collections::HashSet<_> = a[..wave]
+            .iter()
+            .map(|q| (q.sources.id(), Arc::as_ptr(&q.targets), q.h.to_bits()))
+            .collect();
+        assert_eq!(combos.len(), wave, "a wave must be fully heterogeneous");
+        // ...while the *next* wave revisits the same combinations, so
+        // corpora and target sets are genuinely shared across waves.
+        for (early, late) in a[..wave].iter().zip(&a[wave..2 * wave]) {
+            assert_eq!(early.sources.id(), late.sources.id());
+            assert!(Arc::ptr_eq(&early.targets, &late.targets));
+        }
+    }
+
+    #[test]
+    fn small_query_skew_biases_toward_hot_corpora() {
+        let cfg = SmallQueryWorkloadConfig {
+            queries: 256,
+            corpora: 8,
+            m: 16,
+            n: 8,
+            k: 4,
+            skew: 4.0,
+            ..SmallQueryWorkloadConfig::default()
+        };
+        let qs = generate_small_queries(&cfg);
+        assert_eq!(qs.len(), 256);
+        // u^5 sends ~66% of draws to index 0; well over a uniform
+        // 1/8 share lands on the hottest corpus.
+        let mut counts = std::collections::HashMap::new();
+        for q in &qs {
+            *counts.entry(q.sources.id()).or_insert(0usize) += 1;
+        }
+        let hot_hits = *counts.values().max().unwrap();
+        assert!(
+            hot_hits > qs.len() / 4,
+            "skew 4.0 must concentrate load (got {hot_hits}/256)"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! ksum lint        [--static] [--kernel NAME] [--out findings.txt]
 //!                  [--json findings.json] [--agreement agreement.json]
 //! ksum serve-bench [--smoke] [--clients C] [--queries Q] [--devices N]
-//!                  [--energy-budget J] [--json PATH]
+//!                  [--energy-budget J] [--pack|--no-pack] [--json PATH]
 //! ksum tune        [--smoke] [--seed S] [--json PATH]
 //! ```
 //!
@@ -57,9 +57,13 @@ const USAGE: &str = "usage: ksum [--threads N] [--faults SPEC] <command> [flags]
                [--shared-ratio F] [--large-ratio F] [--m M] [--n N]
                [--k K] [--h H] [--seed S] [--queue DEPTH] [--wave W]
                [--no-cache] [--devices N] [--energy-budget J]
+               [--pack | --no-pack]
                [--backend cpu-fused|gpu-fused|gpu-resilient]
                [--json PATH]
-               (--devices N shards every batch row-wise over a pool of
+               (--pack fuses mutually-unrelated small batches from one
+                scheduling wave into a single routed launch; results
+                stay bit-identical to unpacked serving;
+                --devices N shards every batch row-wise over a pool of
                 N simulated devices on PCIe 3.0 x16 links; results stay
                 bit-identical to single-device serving;
                 --energy-budget J downshifts batches to a
@@ -427,6 +431,14 @@ fn cmd_serve_bench(rest: &[String], fault: Option<FaultSpec>) -> Result<ExitCode
                 cfg.enable_plan_cache = false;
                 continue;
             }
+            "--pack" => {
+                cfg.pack = true;
+                continue;
+            }
+            "--no-pack" => {
+                cfg.pack = false;
+                continue;
+            }
             _ => {}
         }
         let val = it
@@ -535,6 +547,10 @@ fn cmd_serve_bench(rest: &[String], fault: Option<FaultSpec>) -> Result<ExitCode
     println!(
         "queue high water {} | fallbacks {} | wall {wall:?}",
         report.queue_high_water, report.fallbacks
+    );
+    println!(
+        "launches {} | packed launches {} carrying {} segments",
+        report.launches, report.packed_launches, report.packed_segments
     );
     println!(
         "energy {:.3} mJ | {:.3} uJ/query | {} budget downshifts",

@@ -333,6 +333,70 @@ fn serve_bench_rejects_a_non_positive_energy_budget() {
     );
 }
 
+/// Extracts `packed launches N` from the serve-bench counter line.
+fn packed_launches(stdout: &str) -> u64 {
+    let line = stdout
+        .lines()
+        .find(|l| l.contains("packed launches"))
+        .unwrap_or_else(|| panic!("serve-bench must report packed launches; stdout: {stdout}"));
+    line.split("packed launches")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("malformed counter line: {line}"))
+}
+
+#[test]
+fn serve_bench_pack_fuses_waves_and_no_pack_reports_zero() {
+    let base = [
+        "serve-bench",
+        "--clients",
+        "2",
+        "--queries",
+        "8",
+        "--m",
+        "256",
+        "--n",
+        "256",
+        "--k",
+        "32",
+        "--large-ratio",
+        "0",
+        "--backend",
+        "gpu-fused",
+    ];
+    let mut packed_args: Vec<&str> = base.to_vec();
+    packed_args.push("--pack");
+    let out = ksum(&packed_args);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        packed_launches(&String::from_utf8_lossy(&out.stdout)) > 0,
+        "--pack must fuse at least one wave of this stream"
+    );
+
+    // --no-pack (and the default) serve back-to-back: zero packed
+    // launches, and a later --no-pack overrides an earlier --pack.
+    let mut unpacked_args: Vec<&str> = base.to_vec();
+    unpacked_args.extend(["--pack", "--no-pack"]);
+    let out = ksum(&unpacked_args);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        packed_launches(&String::from_utf8_lossy(&out.stdout)),
+        0,
+        "--no-pack must win over an earlier --pack"
+    );
+}
+
 #[test]
 fn serve_bench_reports_energy_per_query() {
     let out = ksum(&[
