@@ -162,9 +162,9 @@ fn main() {
 
     let counters_consistent = report.attempts == report.batches + report.retries
         && report.submitted == report.accepted + report.rejected
-        && report.accepted == report.completed + report.expired + report.failed
+        && report.accepted == report.completed + report.expired + report.shed + report.failed
         && report.completed == bit_exact + tolerant + silent_wrong
-        && report.expired + report.failed == errors
+        && report.expired + report.shed + report.failed == errors
         && report.internal_errors == 0;
 
     let metrics = ChaosMetrics {

@@ -771,6 +771,102 @@ impl TuneMetrics {
     }
 }
 
+/// The `chaos_pool_bench` export (the `BENCH_chaos_pool.json`
+/// schema): a seeded lifecycle + link-fault soak over the sharded
+/// device pool. Three passes share one stream: a **chaos** pass with
+/// a flapping device and a faulted link (the headline gates are
+/// `silent_wrong == 0`, no dropped shards, and the evict/readmit loop
+/// actually cycling), a **degraded throughput** pass with one device
+/// permanently lost (gated at ≥ 2× the single-device simulated
+/// throughput), and a **quiet** pass proving that all-zero fault
+/// specs leave serving bit-identical to spec-free serving.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosPoolMetrics {
+    /// Export schema version (see [`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Master seed of the workload and both fault schedules.
+    pub seed: u64,
+    /// Devices in the pool.
+    pub devices: u64,
+    /// Queries in the stream (each pass serves the same stream).
+    pub queries: u64,
+    /// Chaos pass: queries that produced a result.
+    pub completed: u64,
+    /// Chaos pass: queries shed by the deadline-aware brownout.
+    pub shed: u64,
+    /// Chaos pass: queries that missed their deadline.
+    pub expired: u64,
+    /// Chaos pass: queries failed with a surfaced error.
+    pub failed: u64,
+    /// Completions outside the GPU tolerance of the CPU reference
+    /// with no surfaced error. The soak fails unless this is zero.
+    pub silent_wrong: u64,
+    /// Chaos pass: health-driven device evictions (must be > 0).
+    pub evictions: u64,
+    /// Chaos pass: probe-success readmissions (must be > 0).
+    pub readmissions: u64,
+    /// Chaos pass: lifecycle hang epochs observed at launch time.
+    pub lifecycle_hangs: u64,
+    /// Chaos pass: lifecycle loss epochs observed at launch time.
+    pub lifecycle_losses: u64,
+    /// Chaos pass: link transfers whose CRC caught a corruption.
+    pub link_crc_detected: u64,
+    /// Chaos pass: link retransmits charged for those corruptions.
+    pub link_retransmits: u64,
+    /// Chaos pass: link transfers that timed out (shard fails over).
+    pub link_timeouts: u64,
+    /// Chaos pass: shard tasks dispatched by the coordinator.
+    pub shards_dispatched: u64,
+    /// Chaos pass: shard tasks executed across all device threads.
+    /// Equal to `shards_dispatched` — a drained shard is re-served,
+    /// never dropped.
+    pub shards_executed: u64,
+    /// Chaos pass: shards recovered on the bit-exact CPU path.
+    pub cpu_fallbacks: u64,
+    /// `submitted == accepted + rejected` and
+    /// `accepted == completed + expired + shed + failed` both held.
+    pub accounting_consistent: bool,
+    /// Throughput pass: simulated serving time of the 1-device pool.
+    pub single_sim_time_s: f64,
+    /// Throughput pass: simulated serving time of the `devices`-sized
+    /// pool with one member permanently lost (and evicted).
+    pub degraded_sim_time_s: f64,
+    /// `single_sim_time_s / degraded_sim_time_s` (gated at ≥ 2).
+    pub degraded_speedup: f64,
+    /// Quiet pass: all-zero lifecycle + link specs produced results
+    /// bit-identical to spec-free serving with untouched counters.
+    pub quiet_bit_identical: bool,
+    /// All gates held.
+    pub gates_passed: bool,
+    /// Host wall time of all passes, in milliseconds
+    /// (nondeterministic — informational only).
+    pub wall_time_ms: f64,
+}
+
+impl ChaosPoolMetrics {
+    /// Pretty-printed JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics serialise")
+    }
+
+    /// Parses a document produced by [`ChaosPoolMetrics::to_json`].
+    ///
+    /// # Errors
+    /// Returns the underlying parse/shape error message.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes [`ChaosPoolMetrics::to_json`] to `path`.
+    ///
+    /// # Errors
+    /// Propagates the I/O error.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
 /// Parses `--<flag> <path>` from argv. Returns `Some(path)` only when
 /// a value follows the flag and is not itself a `--` option, so bare
 /// boolean flags (e.g. `run_all --csv` table mode) keep working.

@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::fault::FaultSpec;
+use crate::fault::{FaultSpec, LinkFaultSpec};
 
 /// Static description of the simulated GPU.
 ///
@@ -187,7 +187,7 @@ impl Default for DeviceConfig {
 /// a property of the *slot* a device sits in (PCIe lane allocation,
 /// NVLink bridge), not of the die, and `DeviceConfig`'s serialized
 /// schema stays untouched for existing golden documents.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Interconnect {
     /// Human-readable link name.
     pub name: String,
@@ -195,6 +195,42 @@ pub struct Interconnect {
     pub bandwidth_gbps: f64,
     /// Fixed per-transfer latency in microseconds (DMA setup, driver).
     pub latency_us: f64,
+    /// Link-fault injection (per-transfer corruption/timeout), or
+    /// `None` (the default constructors) for a fault-free link. See
+    /// [`crate::fault::LinkFaultSpec`].
+    pub fault: Option<LinkFaultSpec>,
+}
+
+// Hand-written serde, same contract as the profiler schemas: `fault`
+// is omitted when `None` and defaulted when absent, so fault-free
+// links serialize byte-identically to the pre-link-fault schema and
+// old golden documents still deserialize.
+impl Serialize for Interconnect {
+    fn to_value(&self) -> serde::value::Value {
+        let mut obj: Vec<(String, serde::value::Value)> = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("bandwidth_gbps".to_string(), self.bandwidth_gbps.to_value()),
+            ("latency_us".to_string(), self.latency_us.to_value()),
+        ];
+        if let Some(f) = &self.fault {
+            obj.push(("fault".to_string(), f.to_value()));
+        }
+        serde::value::Value::Object(obj)
+    }
+}
+
+impl Deserialize for Interconnect {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::de::Error> {
+        Ok(Self {
+            name: serde::de::field(v, "name")?,
+            bandwidth_gbps: serde::de::field(v, "bandwidth_gbps")?,
+            latency_us: serde::de::field(v, "latency_us")?,
+            fault: match v.get("fault") {
+                Some(f) => Some(LinkFaultSpec::from_value(f).map_err(|e| e.context("fault"))?),
+                None => None,
+            },
+        })
+    }
 }
 
 impl Interconnect {
@@ -206,6 +242,7 @@ impl Interconnect {
             name: "PCIe 3.0 x16".to_string(),
             bandwidth_gbps: 12.0,
             latency_us: 5.0,
+            fault: None,
         }
     }
 
@@ -217,6 +254,7 @@ impl Interconnect {
             name: "NVLink".to_string(),
             bandwidth_gbps: 45.0,
             latency_us: 2.0,
+            fault: None,
         }
     }
 
@@ -296,5 +334,23 @@ mod tests {
         let ic = Interconnect::nvlink();
         let back = Interconnect::from_value(&ic.to_value()).unwrap();
         assert_eq!(ic, back);
+    }
+
+    #[test]
+    fn fault_free_interconnect_serializes_without_fault_key() {
+        use serde::value::Value;
+        let ic = Interconnect::pcie3_x16();
+        let Value::Object(fields) = ic.to_value() else {
+            panic!("interconnect must serialize to an object");
+        };
+        assert!(
+            fields.iter().all(|(k, _)| k != "fault"),
+            "fault-free links must omit the fault key for golden stability"
+        );
+        // A faulted link round-trips its spec.
+        let mut faulted = Interconnect::nvlink();
+        faulted.fault = Some(LinkFaultSpec::parse("seed=3,corrupt=0.1").unwrap());
+        let back = Interconnect::from_value(&faulted.to_value()).unwrap();
+        assert_eq!(faulted, back);
     }
 }

@@ -402,6 +402,316 @@ impl FaultState {
     }
 }
 
+/// Phase of a device's lifecycle, drawn per pool batch by
+/// [`LifecycleState::advance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DevicePhase {
+    /// Fully operational: launches run normally.
+    Healthy,
+    /// Transiently hung (driver stall, thermal throttle-to-zero):
+    /// every launch fails until a recovery is drawn.
+    Hung,
+    /// Permanently lost (fell off the bus): never serves again.
+    Lost,
+}
+
+impl DevicePhase {
+    /// True when the device can execute launches.
+    #[must_use]
+    pub fn is_healthy(self) -> bool {
+        matches!(self, DevicePhase::Healthy)
+    }
+}
+
+/// Seeded device-lifecycle fault rates: per-epoch probabilities of a
+/// transient hang, a permanent loss, and — while hung — a recovery.
+/// All three are probabilities in `[0, 1]`; an epoch corresponds to
+/// one pool batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleSpec {
+    /// Base seed of the lifecycle stream.
+    pub seed: u64,
+    /// Probability a healthy device hangs this epoch.
+    pub hang_rate: f64,
+    /// Probability a healthy device is permanently lost this epoch.
+    pub loss_rate: f64,
+    /// Probability a hung device recovers this epoch (flapping).
+    pub recover_rate: f64,
+}
+
+impl Default for LifecycleSpec {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            hang_rate: 0.0,
+            loss_rate: 0.0,
+            recover_rate: 0.0,
+        }
+    }
+}
+
+impl LifecycleSpec {
+    /// Parses a `key=value` comma list, e.g.
+    /// `"seed=7,hang=0.1,loss=0.01,recover=0.5"`. Unknown keys,
+    /// malformed values, and probabilities outside `[0, 1]` are
+    /// rejected.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first problem.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut out = Self::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("lifecycle spec entry `{part}` is not key=value"))?;
+            let key = key.trim();
+            let value = value.trim();
+            let prob = |what: &str| -> Result<f64, String> {
+                let r: f64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid {what} value `{value}`"))?;
+                if !r.is_finite() || r < 0.0 {
+                    return Err(format!("{what} must be a finite non-negative number"));
+                }
+                if r > 1.0 {
+                    return Err(format!("{what} must be <= 1"));
+                }
+                Ok(r)
+            };
+            match key {
+                "seed" => {
+                    out.seed = value
+                        .parse()
+                        .map_err(|_| format!("invalid seed value `{value}`"))?;
+                }
+                "hang" => out.hang_rate = prob("hang probability")?,
+                "loss" => out.loss_rate = prob("loss probability")?,
+                "recover" => out.recover_rate = prob("recover probability")?,
+                other => return Err(format!("unknown lifecycle spec key `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// True if the device can never leave [`DevicePhase::Healthy`]
+    /// under this spec.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.hang_rate == 0.0 && self.loss_rate == 0.0
+    }
+}
+
+/// Device-resident lifecycle generator: the spec, an epoch counter,
+/// and the current [`DevicePhase`]. Like [`FaultState`], every epoch
+/// derives an independent ChaCha8 stream from `seed ⊕ f(epoch)` and
+/// the draw order is fixed and always fully consumed, so the phase
+/// trajectory is a pure function of `(spec, epoch)`.
+#[derive(Debug, Clone)]
+pub struct LifecycleState {
+    spec: LifecycleSpec,
+    epoch: u64,
+    phase: DevicePhase,
+}
+
+impl LifecycleState {
+    /// New state: healthy at epoch 0.
+    #[must_use]
+    pub fn new(spec: LifecycleSpec) -> Self {
+        Self {
+            spec,
+            epoch: 0,
+            phase: DevicePhase::Healthy,
+        }
+    }
+
+    /// The configured spec.
+    #[must_use]
+    pub fn spec(&self) -> &LifecycleSpec {
+        &self.spec
+    }
+
+    /// Current phase (after the last [`advance`](Self::advance)).
+    #[must_use]
+    pub fn phase(&self) -> DevicePhase {
+        self.phase
+    }
+
+    /// Epochs drawn so far.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances one epoch and returns the new phase. Loss, hang and
+    /// recovery are drawn in that fixed order (all three always
+    /// consumed); `Lost` is absorbing, a `Hung` device returns to
+    /// `Healthy` when a recovery is drawn, and a `Healthy` device
+    /// prefers loss over hang when both fire.
+    pub fn advance(&mut self) -> DevicePhase {
+        let epoch = self.epoch;
+        self.epoch += 1;
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.spec.seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let loss = rng.gen_bool(self.spec.loss_rate);
+        let hang = rng.gen_bool(self.spec.hang_rate);
+        let recover = rng.gen_bool(self.spec.recover_rate);
+        self.phase = match self.phase {
+            DevicePhase::Lost => DevicePhase::Lost,
+            DevicePhase::Hung => {
+                if recover {
+                    DevicePhase::Healthy
+                } else {
+                    DevicePhase::Hung
+                }
+            }
+            DevicePhase::Healthy => {
+                if loss {
+                    DevicePhase::Lost
+                } else if hang {
+                    DevicePhase::Hung
+                } else {
+                    DevicePhase::Healthy
+                }
+            }
+        };
+        self.phase
+    }
+}
+
+/// Seeded per-transfer interconnect fault rates: probabilities that a
+/// host↔device transfer is corrupted in flight (caught by the CRC
+/// check and retransmitted) or times out (the transfer — and with it
+/// the shard attempt — fails).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFaultSpec {
+    /// Base seed of the link-fault stream.
+    pub seed: u64,
+    /// Probability a transfer is corrupted (CRC-detected, retransmit).
+    pub corrupt_rate: f64,
+    /// Probability a transfer times out (attempt fails).
+    pub timeout_rate: f64,
+}
+
+impl Default for LinkFaultSpec {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            corrupt_rate: 0.0,
+            timeout_rate: 0.0,
+        }
+    }
+}
+
+impl LinkFaultSpec {
+    /// Parses a `key=value` comma list, e.g.
+    /// `"seed=3,corrupt=0.05,timeout=0.01"`. Unknown keys, malformed
+    /// values, and probabilities outside `[0, 1]` are rejected.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first problem.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut out = Self::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("link spec entry `{part}` is not key=value"))?;
+            let key = key.trim();
+            let value = value.trim();
+            let prob = |what: &str| -> Result<f64, String> {
+                let r: f64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid {what} value `{value}`"))?;
+                if !r.is_finite() || r < 0.0 {
+                    return Err(format!("{what} must be a finite non-negative number"));
+                }
+                if r > 1.0 {
+                    return Err(format!("{what} must be <= 1"));
+                }
+                Ok(r)
+            };
+            match key {
+                "seed" => {
+                    out.seed = value
+                        .parse()
+                        .map_err(|_| format!("invalid seed value `{value}`"))?;
+                }
+                "corrupt" => out.corrupt_rate = prob("corrupt probability")?,
+                "timeout" => out.timeout_rate = prob("timeout probability")?,
+                other => return Err(format!("unknown link spec key `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// True if no transfer fault can ever fire under this spec.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.corrupt_rate == 0.0 && self.timeout_rate == 0.0
+    }
+}
+
+/// The fault outcome drawn for one transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkDraw {
+    /// Transfer was corrupted in flight; the CRC check catches it and
+    /// a retransmit recovers the payload (time doubles).
+    pub corrupt: bool,
+    /// Transfer timed out; the shard attempt fails.
+    pub timeout: bool,
+}
+
+impl LinkDraw {
+    /// True when the transfer completed cleanly first try.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        !self.corrupt && !self.timeout
+    }
+}
+
+/// Per-task link-fault generator: the spec plus a transfer epoch.
+/// Deliberately *task-scoped*, not device-resident — work stealing
+/// lets two shards of one owner execute concurrently, so the pool
+/// coordinator binds a fresh state (seed decorrelated by batch and
+/// slot) into each task and transfers advance it task-locally. A
+/// draw sequence is then a pure function of `(spec, batch, slot,
+/// transfer ordinal)` regardless of which host thread runs the task.
+#[derive(Debug, Clone)]
+pub struct LinkFaultState {
+    spec: LinkFaultSpec,
+    epoch: u64,
+}
+
+impl LinkFaultState {
+    /// New state at transfer epoch 0.
+    #[must_use]
+    pub fn new(spec: LinkFaultSpec) -> Self {
+        Self { spec, epoch: 0 }
+    }
+
+    /// The configured spec.
+    #[must_use]
+    pub fn spec(&self) -> &LinkFaultSpec {
+        &self.spec
+    }
+
+    /// Draws the fault outcome of the next transfer and advances the
+    /// epoch. Both draws are always consumed; a timeout preempts a
+    /// simultaneous corruption (the transfer never finishes, so there
+    /// is nothing for the CRC to catch).
+    pub fn next_draw(&mut self) -> LinkDraw {
+        let epoch = self.epoch;
+        self.epoch += 1;
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.spec.seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let corrupt = rng.gen_bool(self.spec.corrupt_rate);
+        let timeout = rng.gen_bool(self.spec.timeout_rate);
+        LinkDraw {
+            corrupt: corrupt && !timeout,
+            timeout,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -533,6 +843,152 @@ mod tests {
         use serde::{Deserialize, Serialize};
         let s = spec("seed=11,smem=0.25,sm=0.5");
         let back = FaultSpec::from_value(&s.to_value()).expect("round trip");
+        assert_eq!(s, back);
+    }
+
+    fn lifecycle(s: &str) -> LifecycleSpec {
+        LifecycleSpec::parse(s).expect("valid lifecycle spec")
+    }
+
+    #[test]
+    fn lifecycle_parse_full_spec() {
+        let s = lifecycle("seed=7,hang=0.1,loss=0.01,recover=0.5");
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.hang_rate, 0.1);
+        assert_eq!(s.loss_rate, 0.01);
+        assert_eq!(s.recover_rate, 0.5);
+        assert!(!s.is_quiet());
+    }
+
+    #[test]
+    fn lifecycle_parse_rejects_garbage() {
+        assert!(LifecycleSpec::parse("bogus=1").is_err());
+        assert!(LifecycleSpec::parse("hang").is_err());
+        assert!(LifecycleSpec::parse("hang=-1").is_err());
+        assert!(LifecycleSpec::parse("hang=1.5").is_err());
+        assert!(LifecycleSpec::parse("loss=2").is_err());
+        assert!(LifecycleSpec::parse("recover=nan").is_err());
+        assert!(LifecycleSpec::parse("seed=abc").is_err());
+    }
+
+    #[test]
+    fn lifecycle_empty_and_recover_only_specs_are_quiet() {
+        assert!(lifecycle("").is_quiet());
+        assert!(lifecycle("seed=9,recover=1").is_quiet());
+        assert!(!lifecycle("hang=0.1").is_quiet());
+        assert!(!lifecycle("loss=0.1").is_quiet());
+    }
+
+    #[test]
+    fn quiet_lifecycle_stays_healthy_forever() {
+        let mut st = LifecycleState::new(LifecycleSpec::default());
+        for _ in 0..64 {
+            assert_eq!(st.advance(), DevicePhase::Healthy);
+        }
+        assert_eq!(st.epoch(), 64);
+    }
+
+    #[test]
+    fn lifecycle_trajectory_is_deterministic() {
+        let s = lifecycle("seed=42,hang=0.3,loss=0.05,recover=0.4");
+        let mut a = LifecycleState::new(s);
+        let mut b = LifecycleState::new(s);
+        for _ in 0..64 {
+            assert_eq!(a.advance(), b.advance());
+        }
+    }
+
+    #[test]
+    fn certain_hang_and_recover_flap() {
+        // hang=1, recover=1: the device alternates Hung/Healthy every
+        // epoch — the flapping pattern the health monitor must ride.
+        let mut st = LifecycleState::new(lifecycle("hang=1,recover=1"));
+        assert_eq!(st.advance(), DevicePhase::Hung);
+        assert_eq!(st.advance(), DevicePhase::Healthy);
+        assert_eq!(st.advance(), DevicePhase::Hung);
+        assert_eq!(st.advance(), DevicePhase::Healthy);
+    }
+
+    #[test]
+    fn loss_is_absorbing_even_with_certain_recovery() {
+        let mut st = LifecycleState::new(lifecycle("loss=1,recover=1"));
+        for _ in 0..8 {
+            assert_eq!(st.advance(), DevicePhase::Lost);
+        }
+        assert!(!DevicePhase::Lost.is_healthy());
+        assert!(!DevicePhase::Hung.is_healthy());
+        assert!(DevicePhase::Healthy.is_healthy());
+    }
+
+    #[test]
+    fn lifecycle_spec_serde_round_trips() {
+        use serde::{Deserialize, Serialize};
+        let s = lifecycle("seed=11,hang=0.25,loss=0.5");
+        let back = LifecycleSpec::from_value(&s.to_value()).expect("round trip");
+        assert_eq!(s, back);
+    }
+
+    fn link(s: &str) -> LinkFaultSpec {
+        LinkFaultSpec::parse(s).expect("valid link spec")
+    }
+
+    #[test]
+    fn link_parse_full_spec() {
+        let s = link("seed=3,corrupt=0.05,timeout=0.01");
+        assert_eq!(s.seed, 3);
+        assert_eq!(s.corrupt_rate, 0.05);
+        assert_eq!(s.timeout_rate, 0.01);
+        assert!(!s.is_quiet());
+    }
+
+    #[test]
+    fn link_parse_rejects_garbage() {
+        assert!(LinkFaultSpec::parse("bogus=1").is_err());
+        assert!(LinkFaultSpec::parse("corrupt").is_err());
+        assert!(LinkFaultSpec::parse("corrupt=-1").is_err());
+        assert!(LinkFaultSpec::parse("corrupt=1.5").is_err());
+        assert!(LinkFaultSpec::parse("timeout=2").is_err());
+        assert!(LinkFaultSpec::parse("seed=abc").is_err());
+    }
+
+    #[test]
+    fn quiet_link_spec_never_faults() {
+        assert!(link("").is_quiet());
+        assert!(link("seed=5").is_quiet());
+        let mut st = LinkFaultState::new(LinkFaultSpec::default());
+        for _ in 0..64 {
+            assert!(st.next_draw().is_clean());
+        }
+    }
+
+    #[test]
+    fn link_draws_are_deterministic_and_vary_by_epoch() {
+        let s = link("seed=9,corrupt=0.5,timeout=0.25");
+        let mut a = LinkFaultState::new(s);
+        let mut b = LinkFaultState::new(s);
+        let da: Vec<LinkDraw> = (0..64).map(|_| a.next_draw()).collect();
+        let db: Vec<LinkDraw> = (0..64).map(|_| b.next_draw()).collect();
+        assert_eq!(da, db);
+        assert!(
+            da.iter().any(|d| d.corrupt) && da.iter().any(|d| d.is_clean()),
+            "a 50% corrupt stream must mix clean and corrupt draws"
+        );
+    }
+
+    #[test]
+    fn link_timeout_preempts_corruption() {
+        let mut st = LinkFaultState::new(link("corrupt=1,timeout=1"));
+        for _ in 0..8 {
+            let d = st.next_draw();
+            assert!(d.timeout && !d.corrupt, "timeout wins over corruption");
+        }
+    }
+
+    #[test]
+    fn link_spec_serde_round_trips() {
+        use serde::{Deserialize, Serialize};
+        let s = link("seed=4,corrupt=0.125,timeout=0.0625");
+        let back = LinkFaultSpec::from_value(&s.to_value()).expect("round trip");
         assert_eq!(s, back);
     }
 }

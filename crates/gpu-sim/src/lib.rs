@@ -82,7 +82,10 @@ pub use config::{DeviceConfig, Interconnect};
 pub use device::GpuDevice;
 pub use dim::{Dim3, LaunchConfig};
 pub use exec::BlockCtx;
-pub use fault::{FaultCounters, FaultSpec};
+pub use fault::{
+    DevicePhase, FaultCounters, FaultSpec, LifecycleSpec, LifecycleState, LinkDraw, LinkFaultSpec,
+    LinkFaultState,
+};
 pub use kernel::{
     AnalysisBudget, BlockClass, BufferUse, ExecModel, Kernel, KernelResources, LaunchError,
     TimingHints, VecWidth,
@@ -90,6 +93,6 @@ pub use kernel::{
 pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
 pub use profiler::{Counters, KernelProfile, PipelineProfile, TransferProfile};
 pub use replay::ReplayStrategy;
-pub use timing::{estimate_transfer, KernelTiming, TimingParams};
+pub use timing::{estimate_transfer, estimate_transfer_faulted, KernelTiming, TimingParams};
 pub use trace::{AccessDir, BlockTrace, TraceSink};
 pub use traffic::{L2Event, TrafficSink};

@@ -279,8 +279,10 @@ impl KernelProfile {
 
 /// One modelled host↔device (or device↔device) transfer attributed to
 /// a pipeline: shard upload, weight staging, result download. Costed
-/// by [`crate::config::Interconnect::transfer_time_s`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// by [`crate::config::Interconnect::transfer_time_s`]; the CRC
+/// ledger fields record what the link-fault model did to it (see
+/// [`crate::fault::LinkFaultSpec`]).
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransferProfile {
     /// What moved (`"shard A"`, `"weights"`, `"result V"`, …).
     pub label: String,
@@ -288,8 +290,64 @@ pub struct TransferProfile {
     pub link: String,
     /// Payload size in bytes.
     pub bytes: u64,
-    /// Modelled transfer time in seconds.
+    /// Modelled transfer time in seconds (includes retransmits).
     pub time_s: f64,
+    /// In-flight corruptions the CRC check caught (each recovered by
+    /// a retransmit, so the payload still arrived intact).
+    pub crc_detected: u64,
+    /// Retransmissions charged after CRC detection.
+    pub retransmits: u64,
+    /// True when the transfer timed out; the shard attempt that
+    /// issued it fails and is re-served elsewhere.
+    pub timed_out: bool,
+}
+
+// Hand-written serde, same contract as [`KernelProfile`]: the CRC
+// ledger keys are omitted when quiet and defaulted when absent, so
+// fault-free transfers serialize byte-identically to the pre-ledger
+// schema and old golden documents still deserialize.
+impl Serialize for TransferProfile {
+    fn to_value(&self) -> serde::value::Value {
+        let mut obj: Vec<(String, serde::value::Value)> = vec![
+            ("label".to_string(), self.label.to_value()),
+            ("link".to_string(), self.link.to_value()),
+            ("bytes".to_string(), self.bytes.to_value()),
+            ("time_s".to_string(), self.time_s.to_value()),
+        ];
+        if self.crc_detected != 0 {
+            obj.push(("crc_detected".to_string(), self.crc_detected.to_value()));
+        }
+        if self.retransmits != 0 {
+            obj.push(("retransmits".to_string(), self.retransmits.to_value()));
+        }
+        if self.timed_out {
+            obj.push(("timed_out".to_string(), self.timed_out.to_value()));
+        }
+        serde::value::Value::Object(obj)
+    }
+}
+
+impl Deserialize for TransferProfile {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::de::Error> {
+        Ok(Self {
+            label: serde::de::field(v, "label")?,
+            link: serde::de::field(v, "link")?,
+            bytes: serde::de::field(v, "bytes")?,
+            time_s: serde::de::field(v, "time_s")?,
+            crc_detected: match v.get("crc_detected") {
+                Some(c) => u64::from_value(c).map_err(|e| e.context("crc_detected"))?,
+                None => 0,
+            },
+            retransmits: match v.get("retransmits") {
+                Some(r) => u64::from_value(r).map_err(|e| e.context("retransmits"))?,
+                None => 0,
+            },
+            timed_out: match v.get("timed_out") {
+                Some(t) => bool::from_value(t).map_err(|e| e.context("timed_out"))?,
+                None => false,
+            },
+        })
+    }
 }
 
 /// Profile of a multi-kernel pipeline (one end-to-end kernel-summation
@@ -499,11 +557,49 @@ mod tests {
             link: "PCIe 3.0 x16".to_string(),
             bytes: 4096,
             time_s: 1.5e-6,
+            crc_detected: 0,
+            retransmits: 0,
+            timed_out: false,
         });
         let rt = PipelineProfile::from_value(&q.to_value()).unwrap();
         assert_eq!(rt, q);
         assert_eq!(q.transfer_bytes(), 4096);
         assert!((q.total_time_s() - 1.5e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_transfer_serializes_without_crc_ledger_keys() {
+        use serde::value::Value;
+        let clean = TransferProfile {
+            label: "targets B".to_string(),
+            link: "NVLink".to_string(),
+            bytes: 1024,
+            time_s: 2e-6,
+            crc_detected: 0,
+            retransmits: 0,
+            timed_out: false,
+        };
+        let Value::Object(fields) = clean.to_value() else {
+            panic!("transfer must serialize to an object");
+        };
+        assert!(
+            fields
+                .iter()
+                .all(|(k, _)| !matches!(k.as_str(), "crc_detected" | "retransmits" | "timed_out")),
+            "quiet ledger keys must be omitted for golden stability"
+        );
+        // Absent keys default to a clean transfer (old documents).
+        let back = TransferProfile::from_value(&Value::Object(fields)).unwrap();
+        assert_eq!(back, clean);
+        // A faulted transfer round-trips its ledger.
+        let faulted = TransferProfile {
+            crc_detected: 1,
+            retransmits: 1,
+            timed_out: true,
+            ..clean
+        };
+        let rt = TransferProfile::from_value(&faulted.to_value()).unwrap();
+        assert_eq!(rt, faulted);
     }
 
     #[test]

@@ -280,7 +280,39 @@ pub fn estimate_transfer(
         link: link.name.clone(),
         bytes,
         time_s: link.transfer_time_s(bytes),
+        crc_detected: 0,
+        retransmits: 0,
+        timed_out: false,
     }
+}
+
+/// Costs one transfer under a link-fault draw. A zero-byte transfer
+/// issues no DMA and cannot fault. A timeout marks the entry
+/// `timed_out` without charging extra time — the caller fails the
+/// shard attempt and re-serves it, so the wasted wall clock is
+/// charged by the retry path, not the ledger. A CRC-detected
+/// corruption is recovered by one retransmit: payload bytes are
+/// unchanged, time doubles, and the `crc_detected`/`retransmits`
+/// counters record the event.
+#[must_use]
+pub fn estimate_transfer_faulted(
+    link: &crate::config::Interconnect,
+    label: impl Into<String>,
+    bytes: u64,
+    draw: crate::fault::LinkDraw,
+) -> crate::profiler::TransferProfile {
+    let mut t = estimate_transfer(link, label, bytes);
+    if bytes == 0 {
+        return t;
+    }
+    if draw.timeout {
+        t.timed_out = true;
+    } else if draw.corrupt {
+        t.crc_detected = 1;
+        t.retransmits = 1;
+        t.time_s *= 2.0;
+    }
+    t
 }
 
 #[cfg(test)]
@@ -504,5 +536,61 @@ mod tests {
             1000,
         );
         assert_eq!(t.bound, Bound::Sfu);
+    }
+
+    #[test]
+    fn faulted_transfer_charges_retransmits_and_marks_timeouts() {
+        use crate::config::Interconnect;
+        use crate::fault::LinkDraw;
+        let link = Interconnect::pcie3_x16();
+        let clean = estimate_transfer(&link, "targets B", 1 << 20);
+
+        // A clean draw is byte-identical to the fault-free estimate.
+        let quiet = estimate_transfer_faulted(&link, "targets B", 1 << 20, LinkDraw::default());
+        assert_eq!(quiet, clean);
+
+        // CRC-detected corruption: one retransmit, double time, same
+        // payload bytes.
+        let corrupt = estimate_transfer_faulted(
+            &link,
+            "targets B",
+            1 << 20,
+            LinkDraw {
+                corrupt: true,
+                timeout: false,
+            },
+        );
+        assert_eq!(corrupt.crc_detected, 1);
+        assert_eq!(corrupt.retransmits, 1);
+        assert!(!corrupt.timed_out);
+        assert_eq!(corrupt.bytes, clean.bytes);
+        assert!((corrupt.time_s - 2.0 * clean.time_s).abs() < 1e-15);
+
+        // Timeout: marked, no extra time (the retry path pays).
+        let lost = estimate_transfer_faulted(
+            &link,
+            "targets B",
+            1 << 20,
+            LinkDraw {
+                corrupt: false,
+                timeout: true,
+            },
+        );
+        assert!(lost.timed_out);
+        assert_eq!(lost.crc_detected, 0);
+        assert_eq!(lost.time_s, clean.time_s);
+
+        // Zero bytes: no DMA, no fault, regardless of the draw.
+        let empty = estimate_transfer_faulted(
+            &link,
+            "shard A",
+            0,
+            LinkDraw {
+                corrupt: true,
+                timeout: true,
+            },
+        );
+        assert!(!empty.timed_out && empty.crc_detected == 0);
+        assert_eq!(empty.time_s, 0.0);
     }
 }

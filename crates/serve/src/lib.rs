@@ -39,12 +39,16 @@
 //!   in fixed shard order, bit-identical to a single-device solve.
 //! * [`router`] — the shard placement policy: cache-first, then
 //!   load-aware, deterministic.
+//! * [`health`] — the pool's drain → evict → readmit control loop:
+//!   consecutive-failure eviction, cooldown-gated probation and
+//!   probe-success readmission, driven by per-shard health evidence.
 
 #![warn(missing_docs)]
 
 pub mod admission;
 pub mod cache;
 pub mod executor;
+pub mod health;
 pub mod packed;
 pub mod pool;
 pub mod queue;
@@ -55,6 +59,7 @@ pub mod workload;
 pub use admission::{AdmissionKey, AdmissionStats, AdmissionVerdict};
 pub use cache::{GeometryStats, PlanCache, PlanCacheStats, PlanKey};
 pub use executor::MAX_GPU_BATCH;
+pub use health::HealthConfig;
 pub use packed::{packable, PACK_MAX_COL_BLOCKS, PACK_MAX_SEGMENT_BLOCKS};
 pub use pool::{DeviceReport, PoolConfig, PoolDevice, PoolReport, SHARD_ALIGN};
 pub use queue::BoundedQueue;

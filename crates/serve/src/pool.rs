@@ -53,11 +53,13 @@ use ks_core::FusedCpuConfig;
 use ks_gpu_kernels::{TileGeometry, VerifyReport};
 use ks_gpu_sim::config::{DeviceConfig, Interconnect};
 use ks_gpu_sim::device::GpuDevice;
+use ks_gpu_sim::fault::{DevicePhase, LifecycleSpec, LifecycleState, LinkFaultState};
 use ks_gpu_sim::profiler::PipelineProfile;
-use ks_gpu_sim::timing::estimate_transfer;
+use ks_gpu_sim::timing::{estimate_transfer, estimate_transfer_faulted};
 
 use crate::cache::{PlanCacheStats, PlanKey};
 use crate::executor;
+use crate::health::{lifecycle_counter, HealthConfig, HealthMonitor, ShardHealth};
 use crate::packed::{self, PackedSegment};
 use crate::queue::BoundedQueue;
 use crate::server::{
@@ -73,8 +75,14 @@ pub const SHARD_ALIGN: usize = 128;
 pub struct PoolDevice {
     /// The simulated device (its own fault spec, clocks, caches).
     pub device: DeviceConfig,
-    /// The host↔device link shard traffic is charged through.
+    /// The host↔device link shard traffic is charged through (its own
+    /// optional link-fault spec — see
+    /// [`ks_gpu_sim::fault::LinkFaultSpec`]).
     pub interconnect: Interconnect,
+    /// Device-lifecycle fault injection (hang/loss/recovery per pool
+    /// batch), or `None` for a device that never flaps. A property of
+    /// the *slot*, like the interconnect.
+    pub lifecycle: Option<LifecycleSpec>,
 }
 
 /// Pool shape and sizing.
@@ -90,6 +98,8 @@ pub struct PoolConfig {
     /// (the GPU block tile) for the bit-identity argument to cover the
     /// GPU backend.
     pub shard_align: usize,
+    /// Eviction/readmission policy of the pool's health monitor.
+    pub health: HealthConfig,
 }
 
 impl PoolConfig {
@@ -106,12 +116,14 @@ impl PoolConfig {
                 PoolDevice {
                     device,
                     interconnect,
+                    lifecycle: None,
                 };
                 n
             ],
             queue_capacity: (2 * n).max(4),
             plan_cache_capacity: 8,
             shard_align: SHARD_ALIGN,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -140,6 +152,21 @@ pub struct DeviceReport {
     pub breaker_trips: u64,
     /// Circuit-breaker recoveries.
     pub breaker_resets: u64,
+    /// Health-monitor evictions (flaps count each time).
+    pub evictions: u64,
+    /// Health-monitor readmissions after a successful probe.
+    pub readmissions: u64,
+    /// Attempts that hit a lifecycle hang on this device.
+    pub lifecycle_hangs: u64,
+    /// Attempts that hit a (permanent) lifecycle loss.
+    pub lifecycle_losses: u64,
+    /// Transfers over this device's link that timed out (each fails
+    /// its shard attempt; the shard recovers on the CPU path).
+    pub link_timeouts: u64,
+    /// In-flight corruptions the link CRC check caught.
+    pub link_crc_detected: u64,
+    /// Retransmissions recovering those corruptions.
+    pub link_retransmits: u64,
     /// Shard-plan cache counters (coordinator-resolved).
     pub plan_cache: PlanCacheStats,
     /// Bytes moved over this device's interconnect.
@@ -180,6 +207,24 @@ impl PoolReport {
     pub fn total_trips(&self) -> u64 {
         self.devices.iter().map(|d| d.breaker_trips).sum()
     }
+
+    /// Total health-monitor evictions across devices.
+    #[must_use]
+    pub fn total_evictions(&self) -> u64 {
+        self.devices.iter().map(|d| d.evictions).sum()
+    }
+
+    /// Total readmissions across devices.
+    #[must_use]
+    pub fn total_readmissions(&self) -> u64 {
+        self.devices.iter().map(|d| d.readmissions).sum()
+    }
+
+    /// Total link timeouts across devices.
+    #[must_use]
+    pub fn total_link_timeouts(&self) -> u64 {
+        self.devices.iter().map(|d| d.link_timeouts).sum()
+    }
 }
 
 /// What one batch hands back to the server loop.
@@ -209,6 +254,10 @@ struct ShardOutcome {
     fallback: bool,
     corruption: u64,
     injected: u64,
+    /// What the attempt revealed about the owner device's health.
+    health: ShardHealth,
+    /// Lifecycle fault that forced the fallback, if any.
+    lifecycle: Option<DevicePhase>,
 }
 
 /// Rendezvous for one batch's tasks (row shards or packed
@@ -263,6 +312,9 @@ struct ShardTask {
     owner: usize,
     device: DeviceConfig,
     interconnect: Interconnect,
+    /// The owner's lifecycle phase this batch, drawn by the
+    /// coordinator and bound here so a steal never re-draws it.
+    phase: DevicePhase,
     batch_idx: u64,
     slot: usize,
     merge: Arc<BatchMerge<ShardOutcome>>,
@@ -280,6 +332,8 @@ struct PackedTask {
     owner: usize,
     device: DeviceConfig,
     interconnect: Interconnect,
+    /// The owner's lifecycle phase this wave (coordinator-drawn).
+    phase: DevicePhase,
     batch_idx: u64,
     slot: usize,
     merge: Arc<BatchMerge<PackedTaskOutcome>>,
@@ -299,6 +353,10 @@ struct PackedTaskOutcome {
     injected: u64,
     /// Whether a fused GPU launch completed on the owner's device.
     gpu_launch: bool,
+    /// What the sub-launch revealed about the owner's health.
+    health: ShardHealth,
+    /// Lifecycle fault that forced the recovery, if any.
+    lifecycle: Option<DevicePhase>,
 }
 
 /// A unit of device work: a row shard of one coalesced batch, or one
@@ -332,12 +390,16 @@ struct Shared {
 }
 
 /// Key of the per-device shard-plan caches: the batch-level plan key
-/// plus the shard's starting row (equal-length shards of one corpus
-/// would otherwise alias).
+/// plus the shard's full row range. Both endpoints matter — shards of
+/// one corpus share a start row whenever an eviction or readmission
+/// re-plans the shard count (`0..128` in a four-way split, `0..256`
+/// in the three-way split that replaces it), and equal-length shards
+/// share an extent — so either alone would alias.
 #[derive(PartialEq, Eq, Hash, Clone, Copy)]
 struct ShardKey {
     plan: PlanKey,
     row0: usize,
+    rows: usize,
 }
 
 const NIL: usize = usize::MAX;
@@ -454,6 +516,13 @@ pub(crate) struct DevicePool {
     /// caches).
     packed_warm: Vec<HashSet<u64>>,
     shard_align: usize,
+    /// Per-device lifecycle generators (`None` = never flaps),
+    /// advanced once per batch/wave on the coordinator so the phase
+    /// trajectory is deterministic and evicted devices keep aging
+    /// (a hung device can recover while out of the placement set).
+    lifecycles: Vec<Option<LifecycleState>>,
+    /// Membership authority: drain → evict → readmit.
+    health: HealthMonitor,
     report: PoolReport,
 }
 
@@ -540,8 +609,27 @@ impl DevicePool {
                 .collect(),
             packed_warm: (0..n).map(|_| HashSet::new()).collect(),
             shard_align: pool.shard_align,
+            lifecycles: pool
+                .devices
+                .iter()
+                .map(|d| d.lifecycle.map(LifecycleState::new))
+                .collect(),
+            health: HealthMonitor::new(n, pool.health),
             report: PoolReport::default(),
         }
+    }
+
+    /// Advances every device's lifecycle one epoch (evicted devices
+    /// included — a hung device must keep aging toward recovery) and
+    /// returns the drawn phases.
+    fn advance_lifecycles(&mut self) -> Vec<DevicePhase> {
+        self.lifecycles
+            .iter_mut()
+            .map(|l| match l {
+                Some(st) => st.advance(),
+                None => DevicePhase::Healthy,
+            })
+            .collect()
     }
 
     /// Number of devices.
@@ -552,7 +640,10 @@ impl DevicePool {
     /// Executes one coalesced batch across the pool and merges the
     /// shard results in shard order. Blocks the coordinator until
     /// every shard completes; never fails (sick shards land on the
-    /// bit-exact CPU path).
+    /// bit-exact CPU path). Only health-eligible devices receive
+    /// shards — the shard count shrinks with the active set, and
+    /// because the merge concatenates in slot order the pooled result
+    /// stays bit-identical for *any* active count.
     pub(crate) fn run_batch(
         &mut self,
         plan: &SourcePlan,
@@ -560,18 +651,23 @@ impl DevicePool {
         weights: &[Vec<f32>],
         batch_idx: u64,
     ) -> PoolBatch {
+        let phases = self.advance_lifecycles();
+        let eligible = self.health.eligible(batch_idx);
+        let active = eligible.iter().filter(|&&e| e).count();
         let (m, _) = plan.dims();
-        let ranges = shard_ranges(m, self.len(), self.shard_align);
+        let ranges = shard_ranges(m, active, self.shard_align);
         let key = PlanKey::new(&proto.sources, proto.h);
         let merge = Arc::new(BatchMerge::new(ranges.len()));
         let weights = Arc::new(weights.to_vec());
         // Placement load = queue depth plus what this batch already
         // placed (queues may drain faster than we enqueue).
         let mut placed = vec![0usize; self.len()];
+        let mut owners = Vec::with_capacity(ranges.len());
         for (slot, rows) in ranges.iter().enumerate() {
             let skey = ShardKey {
                 plan: key,
                 row0: rows.start,
+                rows: rows.len(),
             };
             let warm: Vec<bool> = self.caches.iter().map(|c| c.contains(&skey)).collect();
             let depth: Vec<usize> = self
@@ -581,8 +677,9 @@ impl DevicePool {
                 .zip(&placed)
                 .map(|(q, p)| q.len() + p)
                 .collect();
-            let owner = crate::router::place(&warm, &depth);
+            let owner = crate::router::place_masked(&warm, &depth, &eligible);
             placed[owner] += 1;
+            owners.push(owner);
             let (shard_plan, hit) = self.caches[owner].get_or_slice(skey, plan, rows.clone());
             self.shared.stats[owner]
                 .lock()
@@ -597,6 +694,7 @@ impl DevicePool {
                 owner,
                 device: self.devices[owner].device.clone(),
                 interconnect: self.devices[owner].interconnect.clone(),
+                phase: phases[owner],
                 batch_idx,
                 slot,
                 merge: Arc::clone(&merge),
@@ -615,7 +713,11 @@ impl DevicePool {
         let mut fallback_shards = 0u64;
         let mut undetected_shards = 0u64;
         let mut batch_sim = 0.0f64;
-        for o in outcomes {
+        for (slot, o) in outcomes.into_iter().enumerate() {
+            // Score health in slot order, after every in-flight shard
+            // has drained: evictions are deterministic and never race
+            // a live batch.
+            self.health.note_outcome(owners[slot], o.health, batch_idx);
             for (c, col) in o.results.iter().enumerate() {
                 results[c].extend_from_slice(col);
             }
@@ -676,7 +778,12 @@ impl DevicePool {
         // Place each segment; a segment is "warm" on a device that
         // has already uploaded its corpus — including earlier in this
         // wave, so wave-mates sharing a corpus cluster on one device
-        // and dedup its upload inside one fused launch.
+        // and dedup its upload inside one fused launch. Only
+        // health-eligible devices are considered, so an eviction
+        // re-routes exactly the evicted device's segments and leaves
+        // the rest of the wave's placement policy unchanged.
+        let phases = self.advance_lifecycles();
+        let eligible = self.health.eligible(batch_idx);
         let mut placed = vec![0usize; self.len()];
         let mut owner_of = Vec::with_capacity(segs.len());
         let mut wave_seen: Vec<HashSet<u64>> = (0..self.len()).map(|_| HashSet::new()).collect();
@@ -695,7 +802,7 @@ impl DevicePool {
                 .zip(&placed)
                 .map(|(q, p)| q.len() + p)
                 .collect();
-            let owner = crate::router::place(&warm, &depth);
+            let owner = crate::router::place_masked(&warm, &depth, &eligible);
             placed[owner] += 1;
             wave_seen[owner].insert(ptr);
             owner_of.push(owner);
@@ -738,6 +845,7 @@ impl DevicePool {
                 owner,
                 device: self.devices[owner].device.clone(),
                 interconnect: self.devices[owner].interconnect.clone(),
+                phase: phases[owner],
                 batch_idx,
                 slot,
                 merge: Arc::clone(&merge),
@@ -755,7 +863,9 @@ impl DevicePool {
         let mut packed_launches = 0u64;
         let mut packed_segments = 0u64;
         let mut batch_sim = 0.0f64;
-        for o in outcomes {
+        for (slot, o) in outcomes.into_iter().enumerate() {
+            self.health
+                .note_outcome(groups[slot].0, o.health, batch_idx);
             if o.gpu_launch {
                 packed_launches += 1;
                 packed_segments += o.seg_indices.len() as u64;
@@ -816,6 +926,8 @@ impl DevicePool {
             dr.breaker_trips = b.trips;
             dr.breaker_resets = b.resets;
             dr.plan_cache = self.caches[d].stats;
+            dr.evictions = self.health.evictions[d];
+            dr.readmissions = self.health.readmissions[d];
             report.stolen_tasks += dr.stolen;
             report.devices.push(dr);
         }
@@ -898,6 +1010,8 @@ fn run_shard_task(task: ShardTask, me: usize, stolen: bool, shared: &Shared) {
             fallback: false,
             corruption: 0,
             injected: 0,
+            health: ShardHealth::Passive,
+            lifecycle: None,
         }
     } else {
         run_gpu_shard(&task, shared)
@@ -922,10 +1036,20 @@ fn run_shard_task(task: ShardTask, me: usize, stolen: bool, shared: &Shared) {
         }
         owner.corruption_detected += outcome.corruption;
         owner.injected_faults += outcome.injected;
+        match outcome.lifecycle {
+            Some(DevicePhase::Hung) => owner.lifecycle_hangs += 1,
+            Some(DevicePhase::Lost) => owner.lifecycle_losses += 1,
+            _ => {}
+        }
         if let Some(p) = &outcome.profile {
             owner.transfer_bytes += p.transfer_bytes();
             owner.transfer_time_s += p.transfer_time_s();
             owner.busy_time_s += p.total_time_s();
+            for t in &p.transfers {
+                owner.link_crc_detected += t.crc_detected;
+                owner.link_retransmits += t.retransmits;
+                owner.link_timeouts += u64::from(t.timed_out);
+            }
         }
     }
     task.merge.complete(task.slot, outcome);
@@ -938,14 +1062,23 @@ type GpuAttempt =
 
 /// The per-shard resilience ladder: (verified) GPU on the owner's
 /// device, else the bit-exact CPU fused path; every failure is
-/// recorded on the owner's breaker only.
+/// recorded on the owner's breaker only. A lifecycle fault (hang or
+/// loss drawn by the coordinator) or a link timeout fails the attempt
+/// the same way a launch error does — the shard is never dropped, it
+/// recovers bit-exactly on the CPU and the evidence feeds the health
+/// monitor.
 fn run_gpu_shard(task: &ShardTask, shared: &Shared) -> ShardOutcome {
     let policy = &shared.policy;
     let allowed = shared.breakers[task.owner]
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .allow(task.batch_idx);
-    let cpu_shard = |fallback: bool, corruption: u64, injected: u64, profile| ShardOutcome {
+    let cpu_shard = |fallback: bool,
+                     corruption: u64,
+                     injected: u64,
+                     profile,
+                     health: ShardHealth,
+                     lifecycle: Option<DevicePhase>| ShardOutcome {
         results: executor::execute_cpu(
             &task.plan,
             &task.targets,
@@ -957,9 +1090,28 @@ fn run_gpu_shard(task: &ShardTask, shared: &Shared) -> ShardOutcome {
         fallback,
         corruption,
         injected,
+        health,
+        lifecycle,
     };
     if !allowed {
-        return cpu_shard(true, 0, 0, None);
+        // Open breaker: a passive fallback, no new health evidence.
+        return cpu_shard(true, 0, 0, None, ShardHealth::Passive, None);
+    }
+    if !task.phase.is_healthy() {
+        // The coordinator drew a hang or loss for this batch: the
+        // launch never starts.
+        shared.breakers[task.owner]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record_failure(task.batch_idx);
+        return cpu_shard(
+            true,
+            0,
+            0,
+            None,
+            ShardHealth::Failure,
+            lifecycle_counter(task.phase),
+        );
     }
     // Decorrelate the fault schedule per (batch, shard): a fresh
     // device restarts the launch-epoch counter, so without the reseed
@@ -996,6 +1148,17 @@ fn run_gpu_shard(task: &ShardTask, shared: &Shared) -> ShardOutcome {
         Ok((results, mut prof, verify)) => {
             let injected = injected_data_faults(&prof);
             attach_transfers(&mut prof, task);
+            if prof.transfers.iter().any(|t| t.timed_out) {
+                // A link timeout: the shard's data never (fully)
+                // moved, so the attempt fails like a launch error.
+                // The profile is kept — the time was spent — and the
+                // CRC ledger records what happened on the wire.
+                shared.breakers[task.owner]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .record_failure(task.batch_idx);
+                return cpu_shard(true, 0, injected, Some(prof), ShardHealth::Failure, None);
+            }
             if verify
                 .as_ref()
                 .is_some_and(VerifyReport::corruption_detected)
@@ -1008,7 +1171,7 @@ fn run_gpu_shard(task: &ShardTask, shared: &Shared) -> ShardOutcome {
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
                     .record_failure(task.batch_idx);
-                return cpu_shard(true, 1, injected, Some(prof));
+                return cpu_shard(true, 1, injected, Some(prof), ShardHealth::Failure, None);
             }
             shared.breakers[task.owner]
                 .lock()
@@ -1020,6 +1183,8 @@ fn run_gpu_shard(task: &ShardTask, shared: &Shared) -> ShardOutcome {
                 fallback: false,
                 corruption: 0,
                 injected,
+                health: ShardHealth::CleanGpu,
+                lifecycle: None,
             }
         }
         Err(_) => {
@@ -1027,34 +1192,72 @@ fn run_gpu_shard(task: &ShardTask, shared: &Shared) -> ShardOutcome {
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .record_failure(task.batch_idx);
-            cpu_shard(true, 0, 0, None)
+            cpu_shard(true, 0, 0, None, ShardHealth::Failure, None)
         }
     }
+}
+
+/// Seed salt decorrelating the link-fault stream from the device's
+/// soft-error stream of the same `(batch, slot)`.
+const LINK_FAULT_SALT: u64 = 0x11f7_ab1e << 24;
+
+/// Builds the per-task link-fault generator, if the task's link
+/// carries a fault spec. Task-scoped on purpose (see
+/// [`LinkFaultState`]): the seed is decorrelated by `(batch, slot)`
+/// so the transfer draws are a pure function of the task identity, no
+/// matter which host thread (owner or thief) executes it.
+fn task_link_state(
+    ic: &Interconnect,
+    batch_idx: u64,
+    slot: usize,
+    salt: u64,
+) -> Option<LinkFaultState> {
+    ic.fault.map(|mut spec| {
+        spec.seed ^= splitmix64(batch_idx ^ ((slot as u64) << 48) ^ LINK_FAULT_SALT ^ salt);
+        LinkFaultState::new(spec)
+    })
+}
+
+/// Charges one transfer, drawing from the link-fault stream when the
+/// link carries one.
+fn charge_transfer(
+    prof: &mut PipelineProfile,
+    ic: &Interconnect,
+    link: &mut Option<LinkFaultState>,
+    label: &str,
+    bytes: u64,
+) {
+    let entry = match link {
+        Some(st) => estimate_transfer_faulted(ic, label, bytes, st.next_draw()),
+        None => estimate_transfer(ic, label, bytes),
+    };
+    prof.transfers.push(entry);
 }
 
 /// Charges the shard's host↔device traffic to its pipeline profile:
 /// `A`-pack + norms upload on a cold placement, `B`/`W` uploads and
 /// the `V` download always (logical payload sizes; padding is
-/// device-side).
+/// device-side). With a quiet (or absent) link-fault spec the entries
+/// are byte-identical to the fault-free model.
 fn attach_transfers(prof: &mut PipelineProfile, task: &ShardTask) {
     const F32: u64 = 4;
     let (rows, k) = task.plan.dims();
     let n = task.targets.len();
     let r = task.weights.len();
     let ic = &task.interconnect;
+    let mut link = task_link_state(ic, task.batch_idx, task.slot, 0);
     if !task.warm {
-        prof.transfers.push(estimate_transfer(
+        charge_transfer(
+            prof,
             ic,
+            &mut link,
             "shard A+norms",
             (rows * k + rows) as u64 * F32,
-        ));
+        );
     }
-    prof.transfers
-        .push(estimate_transfer(ic, "targets B", (n * k) as u64 * F32));
-    prof.transfers
-        .push(estimate_transfer(ic, "weights W", (n * r) as u64 * F32));
-    prof.transfers
-        .push(estimate_transfer(ic, "result V", (rows * r) as u64 * F32));
+    charge_transfer(prof, ic, &mut link, "targets B", (n * k) as u64 * F32);
+    charge_transfer(prof, ic, &mut link, "weights W", (n * r) as u64 * F32);
+    charge_transfer(prof, ic, &mut link, "result V", (rows * r) as u64 * F32);
 }
 
 /// Seed salt decorrelating a packed sub-launch's fault schedule from
@@ -1072,7 +1275,9 @@ fn run_packed_task(task: PackedTask, me: usize, stolen: bool, shared: &Shared) {
     let cpu_seg = |seg: &PackedSegment| {
         executor::execute_cpu(&seg.plan, &seg.targets, seg.h, &seg.weights, &policy.cpu)
     };
-    let all_cpu = |outcome_profile: Option<PipelineProfile>| PackedTaskOutcome {
+    let all_cpu = |outcome_profile: Option<PipelineProfile>,
+                   health: ShardHealth,
+                   lifecycle: Option<DevicePhase>| PackedTaskOutcome {
         seg_indices: task.seg_indices.clone(),
         results: task.segments.iter().map(cpu_seg).collect(),
         fallback: vec![true; n_segs],
@@ -1080,6 +1285,8 @@ fn run_packed_task(task: PackedTask, me: usize, stolen: bool, shared: &Shared) {
         corruption: 0,
         injected: 0,
         gpu_launch: false,
+        health,
+        lifecycle,
     };
     let allowed = !policy.cpu_only
         && shared.breakers[task.owner]
@@ -1087,7 +1294,15 @@ fn run_packed_task(task: PackedTask, me: usize, stolen: bool, shared: &Shared) {
             .unwrap_or_else(PoisonError::into_inner)
             .allow(task.batch_idx);
     let outcome = if !allowed {
-        all_cpu(None)
+        all_cpu(None, ShardHealth::Passive, None)
+    } else if !task.phase.is_healthy() {
+        // Coordinator-drawn hang or loss: the fused launch never
+        // starts; every segment recovers on the CPU path.
+        shared.breakers[task.owner]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record_failure(task.batch_idx);
+        all_cpu(None, ShardHealth::Failure, lifecycle_counter(task.phase))
     } else {
         let mut dev_cfg = task.device.clone();
         if let Some(f) = &mut dev_cfg.fault {
@@ -1100,38 +1315,56 @@ fn run_packed_task(task: PackedTask, me: usize, stolen: bool, shared: &Shared) {
                 let injected = injected_data_faults(&out.profile);
                 let mut prof = out.profile;
                 attach_packed_transfers(&mut prof, &task);
-                let corrupt: Vec<bool> = match &out.verify {
-                    Some(reports) => reports
-                        .iter()
-                        .map(VerifyReport::corruption_detected)
-                        .collect(),
-                    None => vec![false; n_segs],
-                };
-                let corruption = corrupt.iter().filter(|&&c| c).count() as u64;
-                {
-                    let mut b = shared.breakers[task.owner]
+                if prof.transfers.iter().any(|t| t.timed_out) {
+                    // A link timeout fails the whole sub-launch: the
+                    // wave's data never (fully) moved. The profile —
+                    // with its CRC ledger — is kept; every segment
+                    // recovers bit-exactly on the CPU.
+                    shared.breakers[task.owner]
                         .lock()
-                        .unwrap_or_else(PoisonError::into_inner);
-                    if corruption > 0 {
-                        b.record_failure(task.batch_idx);
-                    } else {
-                        b.record_success();
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .record_failure(task.batch_idx);
+                    all_cpu(Some(prof), ShardHealth::Failure, None)
+                } else {
+                    let corrupt: Vec<bool> = match &out.verify {
+                        Some(reports) => reports
+                            .iter()
+                            .map(VerifyReport::corruption_detected)
+                            .collect(),
+                        None => vec![false; n_segs],
+                    };
+                    let corruption = corrupt.iter().filter(|&&c| c).count() as u64;
+                    {
+                        let mut b = shared.breakers[task.owner]
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        if corruption > 0 {
+                            b.record_failure(task.batch_idx);
+                        } else {
+                            b.record_success();
+                        }
                     }
-                }
-                let mut results = out.results;
-                for (i, flagged) in corrupt.iter().enumerate() {
-                    if *flagged {
-                        results[i] = cpu_seg(&task.segments[i]);
+                    let mut results = out.results;
+                    for (i, flagged) in corrupt.iter().enumerate() {
+                        if *flagged {
+                            results[i] = cpu_seg(&task.segments[i]);
+                        }
                     }
-                }
-                PackedTaskOutcome {
-                    seg_indices: task.seg_indices.clone(),
-                    results,
-                    fallback: corrupt,
-                    profile: Some(prof),
-                    corruption,
-                    injected,
-                    gpu_launch: true,
+                    PackedTaskOutcome {
+                        seg_indices: task.seg_indices.clone(),
+                        results,
+                        fallback: corrupt,
+                        profile: Some(prof),
+                        corruption,
+                        injected,
+                        gpu_launch: true,
+                        health: if corruption > 0 {
+                            ShardHealth::Failure
+                        } else {
+                            ShardHealth::CleanGpu
+                        },
+                        lifecycle: None,
+                    }
                 }
             }
             Err(_) => {
@@ -1139,7 +1372,7 @@ fn run_packed_task(task: PackedTask, me: usize, stolen: bool, shared: &Shared) {
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
                     .record_failure(task.batch_idx);
-                all_cpu(None)
+                all_cpu(None, ShardHealth::Failure, None)
             }
         }
     };
@@ -1163,10 +1396,20 @@ fn run_packed_task(task: PackedTask, me: usize, stolen: bool, shared: &Shared) {
         }
         owner.corruption_detected += outcome.corruption;
         owner.injected_faults += outcome.injected;
+        match outcome.lifecycle {
+            Some(DevicePhase::Hung) => owner.lifecycle_hangs += 1,
+            Some(DevicePhase::Lost) => owner.lifecycle_losses += 1,
+            _ => {}
+        }
         if let Some(p) = &outcome.profile {
             owner.transfer_bytes += p.transfer_bytes();
             owner.transfer_time_s += p.transfer_time_s();
             owner.busy_time_s += p.total_time_s();
+            for t in &p.transfers {
+                owner.link_crc_detected += t.crc_detected;
+                owner.link_retransmits += t.retransmits;
+                owner.link_timeouts += u64::from(t.timed_out);
+            }
         }
     }
     task.merge.complete(task.slot, outcome);
@@ -1175,10 +1418,13 @@ fn run_packed_task(task: PackedTask, me: usize, stolen: bool, shared: &Shared) {
 /// Charges a packed sub-launch's host↔device traffic: `A`-pack +
 /// norms once per **unique cold** corpus (device-side upload dedup is
 /// mirrored on the link), `B` once per unique target set, `W` and `V`
-/// per segment.
+/// per segment. Link faults draw from the packed-salted stream so a
+/// packed wave and a row-shard batch of the same `(batch, slot)`
+/// never share a schedule.
 fn attach_packed_transfers(prof: &mut PipelineProfile, task: &PackedTask) {
     const F32: u64 = 4;
     let ic = &task.interconnect;
+    let mut link = task_link_state(ic, task.batch_idx, task.slot, PACKED_POOL_SALT);
     let mut a_seen = HashSet::new();
     let mut b_seen = HashSet::new();
     for seg in &task.segments {
@@ -1186,20 +1432,19 @@ fn attach_packed_transfers(prof: &mut PipelineProfile, task: &PackedTask) {
         let n = seg.targets.len();
         let r = seg.weights.len();
         if a_seen.insert(Arc::as_ptr(&seg.plan) as u64) && !seg.warm {
-            prof.transfers.push(estimate_transfer(
+            charge_transfer(
+                prof,
                 ic,
+                &mut link,
                 "segment A+norms",
                 (rows * k + rows) as u64 * F32,
-            ));
+            );
         }
         if b_seen.insert(Arc::as_ptr(&seg.targets) as u64) {
-            prof.transfers
-                .push(estimate_transfer(ic, "segment B", (n * k) as u64 * F32));
+            charge_transfer(prof, ic, &mut link, "segment B", (n * k) as u64 * F32);
         }
-        prof.transfers
-            .push(estimate_transfer(ic, "weights W", (n * r) as u64 * F32));
-        prof.transfers
-            .push(estimate_transfer(ic, "result V", (rows * r) as u64 * F32));
+        charge_transfer(prof, ic, &mut link, "weights W", (n * r) as u64 * F32);
+        charge_transfer(prof, ic, &mut link, "result V", (rows * r) as u64 * F32);
     }
 }
 
@@ -1224,18 +1469,20 @@ mod tests {
     }
 
     #[test]
-    fn shard_plan_cache_is_lru_and_offset_keyed() {
+    fn shard_plan_cache_is_lru_and_range_keyed() {
         let pts = PointSet::uniform_cube(8, 3, 7);
         let full = SourcePlan::build(&pts);
         let source = PlanKey::new(&SourceSet::new(pts), 1.0);
-        let mut cache = ShardPlanCache::new(2);
+        let mut cache = ShardPlanCache::new(3);
         let k0 = ShardKey {
             plan: source,
             row0: 0,
+            rows: 4,
         };
         let k4 = ShardKey {
             plan: source,
             row0: 4,
+            rows: 4,
         };
         // Equal-length shards at different offsets are distinct keys.
         let (_, hit) = cache.get_or_slice(k0, &full, 0..4);
@@ -1245,6 +1492,16 @@ mod tests {
         let (p, hit) = cache.get_or_slice(k0, &full, 0..4);
         assert!(hit);
         assert_eq!(p.dims(), (4, 3));
+        // Same start, different extent — what an eviction's re-plan
+        // produces — must miss, not serve the stale shorter plan.
+        let k0_wide = ShardKey {
+            plan: source,
+            row0: 0,
+            rows: 8,
+        };
+        let (p, hit) = cache.get_or_slice(k0_wide, &full, 0..8);
+        assert!(!hit, "same offset, different extent: no aliasing");
+        assert_eq!(p.dims(), (8, 3));
         assert_eq!(cache.stats.evictions, 0);
     }
 
@@ -1263,6 +1520,7 @@ mod tests {
             owner: 0,
             device: DeviceConfig::gtx970(),
             interconnect: Interconnect::pcie3_x16(),
+            phase: DevicePhase::Healthy,
             batch_idx: 0,
             slot: 0,
             merge: Arc::new(BatchMerge::new(1)),

@@ -24,14 +24,28 @@
 /// Panics if the slices are empty or disagree in length.
 #[must_use]
 pub fn place(warm: &[bool], depth: &[usize]) -> usize {
+    place_masked(warm, depth, &vec![true; warm.len()])
+}
+
+/// [`place`] restricted to an eligibility mask: only devices with
+/// `eligible[d]` are considered, so the health monitor can evict a
+/// sick device from placement without the policy changing for the
+/// rest of the pool. With an all-true mask this is exactly [`place`].
+///
+/// # Panics
+/// Panics if the slices are empty, disagree in length, or no device
+/// is eligible.
+#[must_use]
+pub fn place_masked(warm: &[bool], depth: &[usize], eligible: &[bool]) -> usize {
     assert!(!warm.is_empty(), "placement over an empty pool");
     assert_eq!(warm.len(), depth.len(), "warm/depth length mismatch");
+    assert_eq!(warm.len(), eligible.len(), "warm/eligible length mismatch");
     let best_in = |class: &mut dyn Iterator<Item = usize>| -> Option<usize> {
         class.min_by_key(|&d| (depth[d], d))
     };
-    best_in(&mut (0..warm.len()).filter(|&d| warm[d]))
-        .or_else(|| best_in(&mut (0..warm.len())))
-        .expect("non-empty pool")
+    best_in(&mut (0..warm.len()).filter(|&d| eligible[d] && warm[d]))
+        .or_else(|| best_in(&mut (0..warm.len()).filter(|&d| eligible[d])))
+        .expect("placement needs at least one eligible device")
 }
 
 #[cfg(test)]
@@ -69,5 +83,42 @@ mod tests {
     #[should_panic(expected = "empty pool")]
     fn rejects_empty_pool() {
         let _ = place(&[], &[]);
+    }
+
+    #[test]
+    fn masked_placement_skips_evicted_devices() {
+        // The warm winner is ineligible: warmth on eligible devices
+        // still beats load, then load decides.
+        assert_eq!(
+            place_masked(
+                &[false, true, false, true],
+                &[0, 0, 0, 5],
+                &[true, false, true, true],
+            ),
+            3,
+            "the only eligible warm device wins despite its depth"
+        );
+        assert_eq!(
+            place_masked(
+                &[false, true, false, false],
+                &[0, 0, 1, 0],
+                &[true, false, true, true]
+            ),
+            0,
+            "no eligible warmth: shallowest eligible queue, lowest index"
+        );
+        // An all-true mask is exactly `place`.
+        let warm = [false, true, false];
+        let depth = [2, 4, 1];
+        assert_eq!(
+            place_masked(&warm, &depth, &[true; 3]),
+            place(&warm, &depth)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one eligible")]
+    fn rejects_a_fully_masked_pool() {
+        let _ = place_masked(&[false, false], &[0, 0], &[false, false]);
     }
 }

@@ -66,6 +66,10 @@ pub struct Query {
 pub enum ServeError {
     /// The query was still queued when its deadline passed.
     DeadlineExpired,
+    /// Deadline-aware brownout: the wave was running behind and the
+    /// query's deadline fell before its chunk's projected start, so it
+    /// was shed instead of being executed only to expire.
+    Shed,
     /// The GPU launch failed and CPU fallback was disabled.
     Launch(LaunchError),
     /// The server shut down before the query was executed.
@@ -79,6 +83,7 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::DeadlineExpired => write!(f, "deadline expired before execution"),
+            ServeError::Shed => write!(f, "shed by deadline-aware brownout"),
             ServeError::Launch(e) => write!(f, "GPU launch failed: {e}"),
             ServeError::ShutDown => write!(f, "server shut down before execution"),
             ServeError::Internal(why) => write!(f, "internal server error: {why}"),
@@ -377,8 +382,8 @@ impl Default for ServeConfig {
 }
 
 /// End-of-run accounting. `submitted == accepted + rejected` and
-/// `accepted == completed + expired + failed` always hold after
-/// [`Server::shutdown`] when `internal_errors == 0` (a panicked
+/// `accepted == completed + expired + shed + failed` always hold
+/// after [`Server::shutdown`] when `internal_errors == 0` (a panicked
 /// worker loses its counters; its queries drain as
 /// [`ServeError::Internal`]). Batch execution obeys
 /// `attempts == batches + retries`: every batch makes exactly one
@@ -400,6 +405,16 @@ pub struct ServeReport {
     /// expired while their own batch executed (re-checked at
     /// fulfilment, never completed as on-time).
     pub expired_in_batch: u64,
+    /// Queries shed by the deadline-aware brownout: their deadline
+    /// fell before their chunk's projected start in a running-behind
+    /// wave, so they were dropped (with [`ServeError::Shed`]) instead
+    /// of executed only to expire.
+    pub shed: u64,
+    /// Resilient-ladder backoff sleeps skipped because the delay
+    /// would have overrun every live deadline in the batch — the
+    /// ladder short-circuits to the CPU safe harbor instead of
+    /// sleeping the batch past its deadlines.
+    pub backoff_shortcircuits: u64,
     /// Queries failed with a launch error (no fallback).
     pub failed: u64,
     /// Batches recovered on the CPU after GPU failure (the
@@ -565,6 +580,8 @@ struct WorkerStats {
     completed: u64,
     expired: u64,
     expired_in_batch: u64,
+    shed: u64,
+    backoff_shortcircuits: u64,
     failed: u64,
     fallbacks: u64,
     batches: u64,
@@ -832,6 +849,8 @@ impl Server {
             completed: w.completed,
             expired: w.expired,
             expired_in_batch: w.expired_in_batch,
+            shed: w.shed,
+            backoff_shortcircuits: w.backoff_shortcircuits,
             failed: w.failed,
             fallbacks: w.fallbacks,
             batches: w.batches,
@@ -885,6 +904,10 @@ fn worker_loop(
     let mut cache = PlanCache::new(cfg.plan_cache_capacity.max(1));
     let mut breaker = Breaker::new(&cfg.resilience);
     let mut injected = 0u64;
+    // EWMA of per-chunk wall time, the brownout's service-rate
+    // estimate. Zero until the first wave completes, so nothing is
+    // ever shed before a real measurement exists.
+    let mut chunk_ewma_s = 0.0f64;
     let mut pool = cfg
         .pool
         .as_ref()
@@ -943,6 +966,9 @@ fn worker_loop(
             }
             chunks.push(rest);
         }
+        brownout_shed(&mut chunks, chunk_ewma_s, &mut stats);
+        let n_chunks = chunks.len();
+        let wave_started = Instant::now();
         serve_wave(
             cfg,
             chunks,
@@ -952,6 +978,14 @@ fn worker_loop(
             &mut injected,
             &mut stats,
         );
+        if n_chunks > 0 {
+            let sample = wave_started.elapsed().as_secs_f64() / n_chunks as f64;
+            chunk_ewma_s = if chunk_ewma_s == 0.0 {
+                sample
+            } else {
+                0.7 * chunk_ewma_s + 0.3 * sample
+            };
+        }
     }
     stats.plan_cache = cache.stats();
     stats.static_admission = cache.admission_stats();
@@ -967,6 +1001,33 @@ fn worker_loop(
 /// applies then.
 fn uses_gpu(cfg: &ServeConfig, pool: &Option<DevicePool>) -> bool {
     pool.is_some() || !matches!(cfg.backend, ServeBackend::CpuFused)
+}
+
+/// Deadline-aware brownout: with `avg_chunk_s` estimating one chunk's
+/// service time, chunk `i` of this wave starts roughly `i·avg` from
+/// now. A query whose deadline falls before that projected start is
+/// doomed — executing it spends a batch column only to expire at the
+/// fulfilment re-check — so it is shed now with [`ServeError::Shed`].
+/// Chunk 0 starts immediately and is never shed; queries already past
+/// their deadline are left for the dequeue check so they count as
+/// `expired`, not `shed`; and with no measurement yet (`avg == 0`)
+/// nothing sheds.
+fn brownout_shed(chunks: &mut [Vec<(Query, Ticket)>], avg_chunk_s: f64, stats: &mut WorkerStats) {
+    if avg_chunk_s <= 0.0 {
+        return;
+    }
+    let now = Instant::now();
+    for (i, chunk) in chunks.iter_mut().enumerate().skip(1) {
+        let projected = now + Duration::from_secs_f64(avg_chunk_s * i as f64);
+        chunk.retain(|(q, t)| match q.deadline {
+            Some(d) if d > now && d < projected => {
+                t.fulfil(Err(ServeError::Shed));
+                stats.shed += 1;
+                false
+            }
+            _ => true,
+        });
+    }
 }
 
 /// Executes one scheduling wave. Without packing (or on the pure CPU
@@ -1115,10 +1176,30 @@ fn run_prepared(
         admitted,
     } = prep;
     let profiles_before = stats.profiles.len();
+    // The latest instant any backoff sleep may run to: the max member
+    // deadline — but only when *every* member has one (a deadline-free
+    // member can wait out any backoff, so the ladder keeps its full
+    // retry budget).
+    let deadline_max = live
+        .iter()
+        .map(|(q, _)| q.deadline)
+        .collect::<Option<Vec<_>>>()
+        .and_then(|ds| ds.into_iter().max());
     let outcome = if admitted {
         let proto = &live[0].0;
         run_batch(
-            cfg, &plan, proto, &weights, hit, &geo, pool, breaker, injected, stats, tainted,
+            cfg,
+            &plan,
+            proto,
+            &weights,
+            hit,
+            &geo,
+            pool,
+            breaker,
+            injected,
+            stats,
+            tainted,
+            deadline_max,
         )
     } else {
         // Denied the GPU: the bit-exact CPU path serves the batch.
@@ -1420,6 +1501,7 @@ fn run_batch(
     injected: &mut u64,
     stats: &mut WorkerStats,
     tainted: bool,
+    deadline_max: Option<Instant>,
 ) -> Result<(Vec<Vec<f32>>, bool), ServeError> {
     // Pooled serving: shard the batch across the devices. The pool
     // ladder never fails a batch (sick shards recover on the CPU), so
@@ -1477,9 +1559,25 @@ fn run_batch(
             }
         }
         ServeBackend::GpuResilient => run_batch_resilient(
-            cfg, plan, proto, weights, hit, geo, breaker, injected, stats, tainted,
+            cfg,
+            plan,
+            proto,
+            weights,
+            hit,
+            geo,
+            breaker,
+            injected,
+            stats,
+            tainted,
+            deadline_max,
         ),
     }
+}
+
+/// Would sleeping `delay` run past the batch's latest live deadline?
+/// `None` (some member is deadline-free) never overruns.
+fn backoff_overruns(deadline_max: Option<Instant>, delay: Duration) -> bool {
+    deadline_max.is_some_and(|d| Instant::now() + delay > d)
 }
 
 /// Injected data-fault events recorded in a completed GPU profile
@@ -1540,7 +1638,10 @@ fn resilient_attempt(
 /// when no corruption was detected — ABFT-flagged data upsets must
 /// not be retried without verification) → the bit-deterministic CPU
 /// fused safe harbor, which cannot fail. Every rung transition and
-/// retry is counted; the breaker gates each GPU attempt.
+/// retry is counted; the breaker gates each GPU attempt. Backoff is
+/// charged against the batch's deadlines: a sleep that would overrun
+/// every member deadline is skipped and the ladder short-circuits to
+/// the safe harbor instead of sleeping the batch past its deadlines.
 #[allow(clippy::too_many_arguments)]
 fn run_batch_resilient(
     cfg: &ServeConfig,
@@ -1553,6 +1654,7 @@ fn run_batch_resilient(
     injected: &mut u64,
     stats: &mut WorkerStats,
     tainted: bool,
+    deadline_max: Option<Instant>,
 ) -> Result<(Vec<Vec<f32>>, bool), ServeError> {
     let rc = &cfg.resilience;
     let batch_idx = stats.batches;
@@ -1570,12 +1672,19 @@ fn run_batch_resilient(
     };
 
     // Top rung: up to `gpu_attempts` tries, verified when configured.
+    let mut shortcircuit = false;
     for _ in 0..rc.gpu_attempts.max(1) {
         if !breaker.allow(batch_idx) {
             break;
         }
         if attempt_no > 0 {
-            std::thread::sleep(backoff_delay(rc, batch_idx, attempt_no));
+            let delay = backoff_delay(rc, batch_idx, attempt_no);
+            if backoff_overruns(deadline_max, delay) {
+                stats.backoff_shortcircuits += 1;
+                shortcircuit = true;
+                break;
+            }
+            std::thread::sleep(delay);
         }
         note_attempt(stats, &mut attempt_no);
         match resilient_attempt(
@@ -1607,24 +1716,31 @@ fn run_batch_resilient(
     // Middle rung: one unverified attempt — only when verification
     // was the top rung and no corruption was detected there (after a
     // flagged data upset, dropping the checksums would invite exactly
-    // the silent wrong answer the ladder exists to prevent).
-    if rc.verify && !corruption_seen && breaker.allow(batch_idx) {
-        std::thread::sleep(backoff_delay(rc, batch_idx, attempt_no));
-        note_attempt(stats, &mut attempt_no);
-        match resilient_attempt(
-            cfg, plan, proto, weights, hit, geo, false, batch_idx, attempt_no, injected,
-        ) {
-            Ok((results, prof, _)) => {
-                let inj = injected_data_faults(&prof);
-                stats.injected_faults += inj;
-                if inj > 0 {
-                    stats.undetected_injected += 1;
+    // the silent wrong answer the ladder exists to prevent). Its
+    // backoff is deadline-charged too: an overrunning delay skips the
+    // rung entirely.
+    if !shortcircuit && rc.verify && !corruption_seen && breaker.allow(batch_idx) {
+        let delay = backoff_delay(rc, batch_idx, attempt_no);
+        if backoff_overruns(deadline_max, delay) {
+            stats.backoff_shortcircuits += 1;
+        } else {
+            std::thread::sleep(delay);
+            note_attempt(stats, &mut attempt_no);
+            match resilient_attempt(
+                cfg, plan, proto, weights, hit, geo, false, batch_idx, attempt_no, injected,
+            ) {
+                Ok((results, prof, _)) => {
+                    let inj = injected_data_faults(&prof);
+                    stats.injected_faults += inj;
+                    if inj > 0 {
+                        stats.undetected_injected += 1;
+                    }
+                    note_profile(stats, prof);
+                    breaker.record_success();
+                    return Ok((results, true));
                 }
-                note_profile(stats, prof);
-                breaker.record_success();
-                return Ok((results, true));
+                Err(_) => breaker.record_failure(batch_idx),
             }
-            Err(_) => breaker.record_failure(batch_idx),
         }
     }
 
@@ -1906,6 +2022,130 @@ mod tests {
         b.record_success();
         assert_eq!(b.resets, 1, "successful probe closes the breaker");
         assert!(b.allow(7));
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens_with_a_fresh_window() {
+        let rc = ResilienceConfig {
+            breaker_threshold: 2,
+            breaker_cooldown: 3,
+            ..ResilienceConfig::default()
+        };
+        let mut b = Breaker::new(&rc);
+        b.record_failure(0);
+        b.record_failure(0); // trips open, since_batch = 0
+        assert!(!b.allow(2));
+        assert!(b.allow(3), "cooldown over: half-open");
+        // The probe fails much later than the trip: the cooldown
+        // window restarts from the probe's batch, not the trip's.
+        b.record_failure(10);
+        assert!(!b.allow(11));
+        assert!(!b.allow(12));
+        assert!(b.allow(13), "cooldown counts from the failed probe");
+        b.record_success();
+        assert_eq!(b.resets, 1, "half-open probe success closes");
+        assert_eq!(b.consecutive_failures, 0, "…and clears the streak");
+        assert!(b.allow(14));
+        b.record_failure(14);
+        assert!(b.allow(14), "closed again: below threshold stays closed");
+        assert_eq!(b.trips, 2, "one trip, one probe-failure re-open");
+    }
+
+    #[test]
+    fn brownout_sheds_only_doomed_queries_in_later_chunks() {
+        let sources = SourceSet::new(PointSet::uniform_cube(16, 3, 61));
+        let targets = Arc::new(PointSet::uniform_cube(8, 3, 62));
+        let mut stats = WorkerStats::default();
+        let now = Instant::now();
+        let with_deadline = |seed: u64, d: Option<Instant>| {
+            let mut q = query(&sources, &targets, seed);
+            q.deadline = d;
+            (q, Ticket::new())
+        };
+        let mut chunks = vec![
+            // Chunk 0 starts immediately: never shed, however tight.
+            vec![with_deadline(1, Some(now + Duration::from_millis(1)))],
+            vec![
+                // Doomed: alive now, dead before chunk 1's projected
+                // start one avg (1 s) away.
+                with_deadline(2, Some(now + Duration::from_millis(200))),
+                // Comfortable deadline: kept.
+                with_deadline(3, Some(now + Duration::from_secs(30))),
+                // Deadline-free: kept.
+                with_deadline(4, None),
+            ],
+        ];
+        brownout_shed(&mut chunks, 1.0, &mut stats);
+        assert_eq!(stats.shed, 1, "exactly the doomed query sheds");
+        assert_eq!(chunks[0].len(), 1, "chunk 0 untouched");
+        assert_eq!(chunks[1].len(), 2);
+        assert_eq!(
+            chunks[1][0].0.deadline,
+            Some(now + Duration::from_secs(30)),
+            "survivors keep their order"
+        );
+
+        // Shed tickets are fulfilled with the explicit error.
+        let mut shed_chunks = vec![
+            vec![with_deadline(5, None)],
+            vec![with_deadline(6, Some(now + Duration::from_millis(100)))],
+        ];
+        let shed_ticket = shed_chunks[1][0].1.clone();
+        brownout_shed(&mut shed_chunks, 1.0, &mut stats);
+        assert_eq!(shed_ticket.try_take(), Some(Err(ServeError::Shed)));
+
+        // No measurement yet (avg == 0): nothing sheds.
+        let mut cold = vec![
+            vec![with_deadline(7, None)],
+            vec![with_deadline(8, Some(now + Duration::from_nanos(1)))],
+        ];
+        let before = stats.shed;
+        brownout_shed(&mut cold, 0.0, &mut stats);
+        assert_eq!(stats.shed, before, "cold EWMA never sheds");
+        assert_eq!(cold[1].len(), 1);
+    }
+
+    #[test]
+    fn overrunning_backoff_short_circuits_to_the_safe_harbor() {
+        let sources = SourceSet::new(PointSet::uniform_cube(128, 8, 71));
+        let targets = Arc::new(PointSet::uniform_cube(128, 8, 72));
+        let cfg = ServeConfig {
+            backend: ServeBackend::GpuResilient,
+            // Every GPU attempt fails, so the ladder wants to retry
+            // with backoff…
+            fault_injection: FaultInjection::FirstN(64),
+            resilience: ResilienceConfig {
+                // …but the very first backoff (base·2¹ ≥ 1 min) would
+                // sleep far past the query's deadline.
+                backoff_base: Duration::from_secs(30),
+                ..ResilienceConfig::default()
+            },
+            start_paused: true,
+            ..ServeConfig::default()
+        };
+        let mut srv = Server::start(cfg);
+        let mut q = query(&sources, &targets, 73);
+        q.deadline = Some(Instant::now() + Duration::from_secs(5));
+        let Submit::Accepted(t) = srv.submit(q) else {
+            panic!("must accept");
+        };
+        srv.resume();
+        // The deadline-charged ladder skips the sleeps entirely, so
+        // the CPU safe harbor answers well within the deadline.
+        assert_eq!(t.wait().expect("safe harbor completes").len(), 128);
+        let report = srv.shutdown();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.expired, 0, "no sleep ran the deadline out");
+        assert!(
+            report.backoff_shortcircuits >= 1,
+            "the overrunning backoff was charged, not slept"
+        );
+        assert_eq!(report.fallbacks, 1, "landed on the CPU safe harbor");
+        assert_eq!(report.degraded_completions, 1);
+        assert_eq!(
+            report.accepted,
+            report.completed + report.expired + report.shed + report.failed
+        );
     }
 
     #[test]

@@ -114,6 +114,12 @@ pub struct SmallQueryWorkloadConfig {
     /// larger values bias draws toward low indices (a hot-corpus
     /// mix), at the cost of occasional repeats within a wave.
     pub skew: f64,
+    /// Per-query deadline drawn seeded-uniformly from `[lo, hi]`,
+    /// relative to generation time — the mixed-urgency stream the
+    /// deadline-aware brownout sheds from. `None` (the default)
+    /// leaves every query deadline-free and consumes no RNG draws,
+    /// so existing streams replay bit-identically.
+    pub deadline_range: Option<(Duration, Duration)>,
     /// Master seed; the stream is deterministic in it.
     pub seed: u64,
 }
@@ -129,6 +135,7 @@ impl Default for SmallQueryWorkloadConfig {
             k: 32,
             h_values: vec![1.0, 0.8, 1.2, 0.6],
             skew: 0.0,
+            deadline_range: None,
             seed: 11,
         }
     }
@@ -148,8 +155,8 @@ pub fn packed_smoke_workload() -> SmallQueryWorkloadConfig {
 /// `cfg.seed`.
 ///
 /// # Panics
-/// Panics on a zero-sized workload, an empty bandwidth list, or a
-/// negative skew.
+/// Panics on a zero-sized workload, an empty bandwidth list, a
+/// negative skew, or an inverted deadline range.
 #[must_use]
 pub fn generate_small_queries(cfg: &SmallQueryWorkloadConfig) -> Vec<Query> {
     assert!(cfg.queries > 0, "empty workload");
@@ -159,6 +166,10 @@ pub fn generate_small_queries(cfg: &SmallQueryWorkloadConfig) -> Vec<Query> {
     );
     assert!(!cfg.h_values.is_empty(), "need at least one bandwidth");
     assert!(cfg.skew >= 0.0, "skew must be non-negative");
+    if let Some((lo, hi)) = cfg.deadline_range {
+        assert!(lo <= hi, "deadline range must be ordered");
+    }
+    let generated_at = Instant::now();
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let unit = Uniform::new(0.0f64, 1.0f64);
     let weight = Uniform::new(-0.5f32, 0.5f32);
@@ -191,12 +202,16 @@ pub fn generate_small_queries(cfg: &SmallQueryWorkloadConfig) -> Vec<Query> {
                 )
             };
             let weights = (0..cfg.n).map(|_| weight.sample(&mut rng)).collect();
+            let deadline = cfg.deadline_range.map(|(lo, hi)| {
+                let span = (hi - lo).as_secs_f64();
+                generated_at + lo + Duration::from_secs_f64(span * unit.sample(&mut rng))
+            });
             Query {
                 sources: corpora[ci].clone(),
                 targets: Arc::clone(&targets[ti]),
                 weights,
                 h: cfg.h_values[i % cfg.h_values.len()],
-                deadline: None,
+                deadline,
             }
         })
         .collect()
@@ -434,8 +449,48 @@ mod tests {
         assert_eq!(report.submitted, 15);
         assert_eq!(report.accepted + report.rejected, report.submitted);
         assert_eq!(
-            report.completed + report.expired + report.failed,
+            report.completed + report.expired + report.shed + report.failed,
             report.accepted
         );
+    }
+
+    #[test]
+    fn small_query_deadlines_draw_within_the_configured_range() {
+        let lo = Duration::from_secs(10);
+        let hi = Duration::from_secs(20);
+        let cfg = SmallQueryWorkloadConfig {
+            queries: 32,
+            m: 16,
+            n: 8,
+            k: 4,
+            deadline_range: Some((lo, hi)),
+            ..SmallQueryWorkloadConfig::default()
+        };
+        let start = Instant::now();
+        let qs = generate_small_queries(&cfg);
+        let end = Instant::now();
+        let mut distinct = std::collections::HashSet::new();
+        for q in &qs {
+            let d = q.deadline.expect("range set: every query has a deadline");
+            assert!(d >= start + lo, "deadline below the range");
+            assert!(d <= end + hi, "deadline above the range");
+            distinct.insert(d);
+        }
+        assert!(
+            distinct.len() > 1,
+            "a non-degenerate range draws mixed urgencies"
+        );
+        // The option consumes no draws when off: the default stream
+        // is untouched (weights replay bit-identically).
+        let off = SmallQueryWorkloadConfig {
+            deadline_range: None,
+            ..cfg.clone()
+        };
+        let a = generate_small_queries(&off);
+        let b = generate_small_queries(&off);
+        for (qa, qb) in a.iter().zip(&b) {
+            assert_eq!(qa.weights, qb.weights);
+            assert_eq!(qa.deadline, None);
+        }
     }
 }

@@ -15,7 +15,9 @@ use ks_core::plan::SourceSet;
 use ks_core::problem::PointSet;
 use ks_gpu_sim::config::{DeviceConfig, Interconnect};
 use ks_gpu_sim::fault::FaultSpec;
-use ks_serve::{PoolConfig, PoolDevice, Query, ServeBackend, ServeConfig, Server, Submit, Ticket};
+use ks_serve::{
+    HealthConfig, PoolConfig, PoolDevice, Query, ServeBackend, ServeConfig, Server, Submit, Ticket,
+};
 use rand::distributions::{Distribution, Uniform};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -202,6 +204,7 @@ fn faulted_device_trips_only_its_own_breaker() {
         .map(|_| PoolDevice {
             device: DeviceConfig::gtx970(),
             interconnect: Interconnect::pcie3_x16(),
+            lifecycle: None,
         })
         .collect();
     devices[sick].device.fault = Some(FaultSpec {
@@ -217,6 +220,7 @@ fn faulted_device_trips_only_its_own_breaker() {
             queue_capacity: 8,
             plan_cache_capacity: 8,
             shard_align: 128,
+            health: HealthConfig::default(),
         }),
         ..ServeConfig::default()
     };
@@ -270,6 +274,7 @@ fn pool_chaos_data_faults_are_surfaced_and_recovered() {
         .map(|_| PoolDevice {
             device: DeviceConfig::gtx970(),
             interconnect: Interconnect::pcie3_x16(),
+            lifecycle: None,
         })
         .collect();
     devices[sick].device.fault = Some(FaultSpec {
@@ -286,6 +291,7 @@ fn pool_chaos_data_faults_are_surfaced_and_recovered() {
             queue_capacity: 8,
             plan_cache_capacity: 8,
             shard_align: 128,
+            health: HealthConfig::default(),
         }),
         ..ServeConfig::default()
     };

@@ -25,7 +25,7 @@ use kernel_summation::gpu_kernels::TileGeometry;
 use kernel_summation::gpu_sim::config::DeviceConfig;
 use kernel_summation::gpu_sim::report::summary;
 use kernel_summation::gpu_sim::Interconnect;
-use kernel_summation::gpu_sim::{FaultSpec, GpuDevice};
+use kernel_summation::gpu_sim::{FaultSpec, GpuDevice, LifecycleSpec, LinkFaultSpec};
 use kernel_summation::prelude::*;
 use kernel_summation::serve::{
     run_workload, smoke_workload, PoolConfig, ServeBackend, ServeConfig, WorkloadConfig,
@@ -58,6 +58,7 @@ const USAGE: &str = "usage: ksum [--threads N] [--faults SPEC] <command> [flags]
                [--k K] [--h H] [--seed S] [--queue DEPTH] [--wave W]
                [--no-cache] [--devices N] [--energy-budget J]
                [--pack | --no-pack]
+               [--lifecycle-faults SPEC] [--link-faults SPEC]
                [--backend cpu-fused|gpu-fused|gpu-resilient]
                [--json PATH]
                (--pack fuses mutually-unrelated small batches from one
@@ -66,6 +67,14 @@ const USAGE: &str = "usage: ksum [--threads N] [--faults SPEC] <command> [flags]
                 --devices N shards every batch row-wise over a pool of
                 N simulated devices on PCIe 3.0 x16 links; results stay
                 bit-identical to single-device serving;
+                --lifecycle-faults e.g. seed=7,hang=0.1,loss=0.01,
+                recover=0.5 flaps pool devices through seeded hang/
+                loss/recovery epochs — sick devices drain, evict and
+                readmit via the health loop (needs --devices);
+                --link-faults e.g. seed=7,corrupt=0.2,timeout=0.05
+                injects per-transfer CRC-detected corruption and
+                timeouts on every pool link (needs --devices); seeds
+                decorrelate per device;
                 --energy-budget J downshifts batches to a
                 bit-compatible low-power tile geometry once the
                 modelled J/query exceeds the budget — result bits
@@ -419,6 +428,8 @@ fn cmd_serve_bench(rest: &[String], fault: Option<FaultSpec>) -> Result<ExitCode
     };
     let mut json: Option<String> = None;
     let mut devices: usize = 0;
+    let mut lifecycle: Option<LifecycleSpec> = None;
+    let mut link_fault: Option<LinkFaultSpec> = None;
     let mut it = rest.iter().peekable();
     while let Some(flag) = it.next() {
         // Bare switches first; everything else takes a value.
@@ -475,6 +486,18 @@ fn cmd_serve_bench(rest: &[String], fault: Option<FaultSpec>) -> Result<ExitCode
                     }
                 };
             }
+            "--lifecycle-faults" => {
+                lifecycle =
+                    Some(LifecycleSpec::parse(val).map_err(|e| {
+                        UsageError(format!("invalid --lifecycle-faults spec: {e}"))
+                    })?);
+            }
+            "--link-faults" => {
+                link_fault = Some(
+                    LinkFaultSpec::parse(val)
+                        .map_err(|e| UsageError(format!("invalid --link-faults spec: {e}")))?,
+                );
+            }
             "--energy-budget" => {
                 let budget: f64 = parse_value(flag, val)?;
                 if budget <= 0.0 || budget.is_nan() {
@@ -494,14 +517,31 @@ fn cmd_serve_bench(rest: &[String], fault: Option<FaultSpec>) -> Result<ExitCode
             other => return Err(UsageError(format!("unknown flag {other}"))),
         }
     }
+    if (lifecycle.is_some() || link_fault.is_some()) && devices == 0 {
+        return Err(UsageError(
+            "--lifecycle-faults and --link-faults model pool members; pass --devices N".into(),
+        ));
+    }
     if devices > 0 {
         // Pool devices clone the final serve device, so the global
         // --faults spec (if any) applies to every pool member.
-        cfg.pool = Some(PoolConfig::homogeneous(
-            devices,
-            cfg.device.clone(),
-            Interconnect::pcie3_x16(),
-        ));
+        let mut pool =
+            PoolConfig::homogeneous(devices, cfg.device.clone(), Interconnect::pcie3_x16());
+        // Per-device seed decorrelation: one spec on the command line,
+        // independent fault trajectories per pool member.
+        for (d, member) in pool.devices.iter_mut().enumerate() {
+            if let Some(spec) = &lifecycle {
+                let mut spec = *spec;
+                spec.seed ^= d as u64;
+                member.lifecycle = Some(spec);
+            }
+            if let Some(spec) = &link_fault {
+                let mut spec = *spec;
+                spec.seed ^= d as u64;
+                member.interconnect.fault = Some(spec);
+            }
+        }
+        cfg.pool = Some(pool);
     }
     println!(
         "serve-bench: {} clients x {} queries, {} corpora, shared ratio {}, M={} N={} K={}{}",
@@ -523,12 +563,13 @@ fn cmd_serve_bench(rest: &[String], fault: Option<FaultSpec>) -> Result<ExitCode
     let report = run_workload(cfg, &wl);
     let wall = t.elapsed();
     println!(
-        "submitted {} | accepted {} | rejected {} | completed {} | expired {} | failed {}",
+        "submitted {} | accepted {} | rejected {} | completed {} | expired {} | shed {} | failed {}",
         report.submitted,
         report.accepted,
         report.rejected,
         report.completed,
         report.expired,
+        report.shed,
         report.failed
     );
     println!(
@@ -586,6 +627,13 @@ fn cmd_serve_bench(rest: &[String], fault: Option<FaultSpec>) -> Result<ExitCode
             pool.total_fallbacks(),
             pool.total_trips(),
         );
+        if pool.total_evictions() > 0 || pool.total_readmissions() > 0 {
+            println!(
+                "pool health: {} evictions | {} readmissions",
+                pool.total_evictions(),
+                pool.total_readmissions(),
+            );
+        }
         for d in &pool.devices {
             println!(
                 "  {}: {} executed ({} stolen), {} gpu / {} cpu shards, \
@@ -599,6 +647,18 @@ fn cmd_serve_bench(rest: &[String], fault: Option<FaultSpec>) -> Result<ExitCode
                 d.plan_cache.misses,
                 d.transfer_bytes,
             );
+            if d.lifecycle_hangs + d.lifecycle_losses + d.evictions > 0 {
+                println!(
+                    "    lifecycle: {} hang / {} loss epochs | {} evictions, {} readmissions",
+                    d.lifecycle_hangs, d.lifecycle_losses, d.evictions, d.readmissions,
+                );
+            }
+            if d.link_crc_detected + d.link_retransmits + d.link_timeouts > 0 {
+                println!(
+                    "    link: {} crc detections, {} retransmits, {} timeouts",
+                    d.link_crc_detected, d.link_retransmits, d.link_timeouts,
+                );
+            }
         }
     }
     let metrics = ServeMetrics::collect(&report, &device);

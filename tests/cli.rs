@@ -398,6 +398,82 @@ fn serve_bench_pack_fuses_waves_and_no_pack_reports_zero() {
 }
 
 #[test]
+fn serve_bench_rejects_malformed_pool_fault_specs() {
+    assert_usage_error(
+        &ksum(&["serve-bench", "--lifecycle-faults"]),
+        "missing value for --lifecycle-faults",
+    );
+    assert_usage_error(
+        &ksum(&[
+            "serve-bench",
+            "--devices",
+            "2",
+            "--lifecycle-faults",
+            "bogus=1",
+        ]),
+        "invalid --lifecycle-faults spec",
+    );
+    assert_usage_error(
+        &ksum(&[
+            "serve-bench",
+            "--devices",
+            "2",
+            "--lifecycle-faults",
+            "hang=2",
+        ]),
+        "hang probability must be <= 1",
+    );
+    assert_usage_error(
+        &ksum(&["serve-bench", "--devices", "2", "--link-faults", "corrupt"]),
+        "invalid --link-faults spec",
+    );
+    // Pool fault specs without a pool are a contradiction, not a no-op.
+    assert_usage_error(
+        &ksum(&["serve-bench", "--lifecycle-faults", "hang=0.5"]),
+        "pass --devices N",
+    );
+    assert_usage_error(
+        &ksum(&["serve-bench", "--link-faults", "corrupt=0.5"]),
+        "pass --devices N",
+    );
+}
+
+#[test]
+fn serve_bench_pool_fault_specs_surface_in_the_report() {
+    let out = ksum(&[
+        "serve-bench",
+        "--smoke",
+        "--devices",
+        "2",
+        "--wave",
+        "1",
+        "--lifecycle-faults",
+        "seed=9,hang=1,recover=1",
+        "--link-faults",
+        "seed=5,corrupt=0.5",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("shed 0"),
+        "shed counter line; stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("hang /") && stdout.contains("evictions"),
+        "per-device lifecycle line; stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("crc detections"),
+        "per-device link line; stdout: {stdout}"
+    );
+}
+
+#[test]
 fn serve_bench_reports_energy_per_query() {
     let out = ksum(&[
         "serve-bench",
